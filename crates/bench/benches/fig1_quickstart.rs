@@ -1,0 +1,41 @@
+//! F1-QS: the Fig. 1 running example as a latency benchmark.
+//!
+//! Measures end-to-end certain-current-answer latency for the paper's
+//! four motivating queries Q1–Q4 (Example 1.1) over the company database,
+//! plus the consistency check and the current-instance determinism check.
+//! These are the "interactive" workloads of the system — each involves the
+//! full pipeline (grounding, encoding, All-SAT over value indicators,
+//! query evaluation, intersection).
+
+use criterion::Criterion;
+use currency_bench::quick_criterion;
+use currency_datagen::scenarios::fig1;
+use currency_reason::{certain_answers, cps_exact, dcip_exact, Options};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_quickstart");
+    let f = fig1();
+    let opts = Options::default();
+    group.bench_function("cps", |b| b.iter(|| cps_exact(&f.spec).unwrap()));
+    let queries = [
+        ("q1_salary", f.q1().to_query(5)),
+        ("q2_last_name", f.q2().to_query(5)),
+        ("q3_address", f.q3().to_query(5)),
+        ("q4_budget", f.q4().to_query(4)),
+    ];
+    for (name, q) in &queries {
+        group.bench_function(*name, |b| {
+            b.iter(|| certain_answers(&f.spec, q, &opts).unwrap())
+        });
+    }
+    group.bench_function("dcip_emp", |b| {
+        b.iter(|| dcip_exact(&f.spec, f.emp, &opts).unwrap())
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_fig1(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,79 @@
+//! G-VAL: gadget construction and encoding cost.
+//!
+//! The reduction gadgets (Figs. 2/4/5 analogues and the proof-only
+//! constructions) are both validation artifacts and benchmark inputs.
+//! This target measures the cost of *building* each gadget from its
+//! propositional instance and of grounding + CNF-encoding it — i.e. the
+//! reduction itself, which the paper requires to be polynomial.  Expected
+//! shape: low-order polynomial in the formula size for every gadget.
+
+use criterion::{BenchmarkId, Criterion};
+use currency_bench::quick_criterion;
+use currency_datagen::gadgets::{
+    ccqa_3sat, cop_3sat, cpp_forall_exists_3cnf, cps_betweenness, cps_exists_forall_3dnf,
+};
+use currency_datagen::logic::{random_betweenness, random_formula};
+use currency_reason::encode::Encoding;
+
+fn bench_gadgets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadget_validation");
+    for clauses in [2usize, 4, 8] {
+        let f = random_formula(4, clauses, 41);
+        group.bench_with_input(
+            BenchmarkId::new("build/ccqa_3sat_clauses", clauses),
+            &f,
+            |b, f| b.iter(|| ccqa_3sat(f)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("build_encode/cop_3sat_clauses", clauses),
+            &f,
+            |b, f| {
+                b.iter(|| {
+                    let g = cop_3sat(f);
+                    Encoding::new(&g.spec, &[]).unwrap()
+                })
+            },
+        );
+    }
+    for triples in [2usize, 4, 6] {
+        let bw = random_betweenness(5, triples, 43);
+        group.bench_with_input(
+            BenchmarkId::new("build_encode/betweenness_triples", triples),
+            &bw,
+            |b, bw| {
+                b.iter(|| {
+                    let g = cps_betweenness(bw);
+                    Encoding::new(&g.spec, &[]).unwrap()
+                })
+            },
+        );
+    }
+    for size in [2usize, 3] {
+        let f = random_formula(2 * size, size, 47);
+        group.bench_with_input(
+            BenchmarkId::new("build_encode/ef3dnf_blocksize", size),
+            &f,
+            |b, f| {
+                b.iter(|| {
+                    let g = cps_exists_forall_3dnf(f, size);
+                    Encoding::new(&g.spec, &[]).unwrap()
+                })
+            },
+        );
+    }
+    for num_x in [1usize, 2, 3] {
+        let f = random_formula(num_x + 2, 3, 53);
+        group.bench_with_input(
+            BenchmarkId::new("build/cpp_fe3cnf_numx", num_x),
+            &f,
+            |b, f| b.iter(|| cpp_forall_exists_3cnf(f, num_x)),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_gadgets(&mut c);
+    c.final_summary();
+}

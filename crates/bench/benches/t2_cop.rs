@@ -1,0 +1,61 @@
+//! T2-COP (Table II, column 2): the certain ordering problem.
+//!
+//! Series regenerated:
+//! * `cop_exact/3sat` — the coNP-hard data-complexity regime: exact COP
+//!   (entailment checks against the SAT encoding) on 3SAT→COP gadgets,
+//!   sweeping clause count.
+//! * `cop_ptime/no_constraints` — Lemma 6.2: containment in the `PO∞`
+//!   fixpoint, sweeping entity count.  Expected shape: polynomial.
+
+use criterion::{BenchmarkId, Criterion};
+use currency_bench::quick_criterion;
+use currency_core::{AttrId, TupleId};
+use currency_datagen::gadgets::cop_3sat;
+use currency_datagen::logic::random_formula;
+use currency_datagen::random::{random_spec, RandomSpecConfig};
+use currency_reason::{cop_exact, cop_ptime, CurrencyOrderQuery};
+
+fn bench_cop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_cop");
+    for clauses in [2usize, 4, 6, 8] {
+        let f = random_formula(3, clauses, 11);
+        let gadget = cop_3sat(&f);
+        group.bench_with_input(
+            BenchmarkId::new("cop_exact/3sat_clauses", clauses),
+            &(&gadget.spec, &gadget.ot),
+            |bench, (spec, ot)| bench.iter(|| cop_exact(spec, ot).unwrap()),
+        );
+    }
+    for entities in [16usize, 64, 256, 1024] {
+        let spec = random_spec(&RandomSpecConfig {
+            entities,
+            tuples_per_entity: (2, 3),
+            attrs: 2,
+            value_pool: 4,
+            order_density: 0.4,
+            with_copy: true,
+            seed: 3,
+            ..RandomSpecConfig::default()
+        });
+        // Ask about the first same-entity pair (certain via the recorded
+        // orders or not — the work is the fixpoint either way).
+        let ot = CurrencyOrderQuery::single(
+            currency_core::RelId(0),
+            AttrId(0),
+            TupleId(0),
+            TupleId(1),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cop_ptime/no_constraints_entities", entities),
+            &(&spec, &ot),
+            |bench, (spec, ot)| bench.iter(|| cop_ptime(spec, ot).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_cop(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,65 @@
+//! T2-CPS (Table II, column 1): the consistency problem.
+//!
+//! Series regenerated:
+//! * `cps_exact/betweenness` — the NP-hard data-complexity regime: exact
+//!   CPS on Betweenness→CPS gadgets, sweeping the number of triples.
+//! * `cps_exact/ef3dnf` — the Σᵖ₂ combined-complexity regime: the
+//!   ∃∀3DNF→CPS gadget, sweeping formula size (constraint and instance
+//!   grow together).
+//! * `cps_ptime/no_constraints` — Theorem 6.1: the `PO∞` fixpoint on
+//!   constraint-free specifications with copy functions, sweeping entity
+//!   count.  Expected shape: polynomial (near-linear here), orders of
+//!   magnitude below the exact engines at comparable sizes.
+
+use criterion::{BenchmarkId, Criterion};
+use currency_bench::quick_criterion;
+use currency_datagen::gadgets::{cps_betweenness, cps_exists_forall_3dnf};
+use currency_datagen::logic::{random_betweenness, random_formula};
+use currency_datagen::random::{random_spec, RandomSpecConfig};
+use currency_reason::{cps_exact, cps_ptime};
+
+fn bench_cps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_cps");
+    for triples in [1usize, 2, 3, 4] {
+        let b = random_betweenness(4, triples, 42);
+        let gadget = cps_betweenness(&b);
+        group.bench_with_input(
+            BenchmarkId::new("cps_exact/betweenness_triples", triples),
+            &gadget.spec,
+            |bench, spec| bench.iter(|| cps_exact(spec).unwrap()),
+        );
+    }
+    for size in [2usize, 3] {
+        let f = random_formula(2 * size, size, 7);
+        let gadget = cps_exists_forall_3dnf(&f, size);
+        group.bench_with_input(
+            BenchmarkId::new("cps_exact/ef3dnf_blocksize", size),
+            &gadget.spec,
+            |bench, spec| bench.iter(|| cps_exact(spec).unwrap()),
+        );
+    }
+    for entities in [16usize, 64, 256, 1024] {
+        let spec = random_spec(&RandomSpecConfig {
+            entities,
+            tuples_per_entity: (2, 4),
+            attrs: 3,
+            value_pool: 5,
+            order_density: 0.2,
+            with_copy: true,
+            seed: 9,
+            ..RandomSpecConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cps_ptime/no_constraints_entities", entities),
+            &spec,
+            |bench, spec| bench.iter(|| cps_ptime(spec).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_cps(&mut c);
+    c.final_summary();
+}

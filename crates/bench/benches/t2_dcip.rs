@@ -1,0 +1,55 @@
+//! T2-DCIP (Table II, column 3): the deterministic current instance
+//! problem.
+//!
+//! Series regenerated:
+//! * `dcip_exact/3sat` — coNP-hard data-complexity regime: projected
+//!   All-SAT over value indicators on 3SAT→DCIP gadgets, sweeping clause
+//!   count.
+//! * `dcip_ptime/no_constraints` — Theorem 6.1 sink test, sweeping entity
+//!   count.  Expected shape: polynomial.
+
+use criterion::{BenchmarkId, Criterion};
+use currency_bench::quick_criterion;
+use currency_core::RelId;
+use currency_datagen::gadgets::cop_3sat;
+use currency_datagen::logic::random_formula;
+use currency_datagen::random::{random_spec, RandomSpecConfig};
+use currency_reason::{dcip_exact, dcip_ptime, Options};
+
+fn bench_dcip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_dcip");
+    let opts = Options::default();
+    for clauses in [2usize, 3, 4, 5] {
+        let f = random_formula(3, clauses, 13);
+        let gadget = cop_3sat(&f);
+        group.bench_with_input(
+            BenchmarkId::new("dcip_exact/3sat_clauses", clauses),
+            &gadget.spec,
+            |bench, spec| bench.iter(|| dcip_exact(spec, gadget.rel, &opts).unwrap()),
+        );
+    }
+    for entities in [16usize, 64, 256, 1024] {
+        let spec = random_spec(&RandomSpecConfig {
+            entities,
+            tuples_per_entity: (2, 4),
+            attrs: 2,
+            value_pool: 3,
+            order_density: 0.5,
+            with_copy: false,
+            seed: 5,
+            ..RandomSpecConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("dcip_ptime/no_constraints_entities", entities),
+            &spec,
+            |bench, spec| bench.iter(|| dcip_ptime(spec, RelId(0)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_dcip(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,76 @@
+//! T3-BCP (Table III, column 4): the bounded copying problem.
+//!
+//! Series regenerated:
+//! * `bcp_exact/k` — the Σᵖ₃-flavoured exact search (extensions of size
+//!   ≤ k, each checked with a full CPP oracle) on the Example 4.1
+//!   scenario, sweeping k.  Cost grows steeply with k: every candidate
+//!   extension spawns a nested extension enumeration.
+//! * `bcp_sp/no_constraints` — Theorem 6.4 (fixed k): the PTIME bounded
+//!   search for SP queries, sweeping entity count at k = 1.
+//!
+//! Substitution note (DESIGN.md §6): the paper's Σᵖ₄/Σᵖ₃ BCP lower-bound
+//! gadgets measure copy size in *bits* and use wide constants to forbid
+//! copying; our BCP counts *mappings* (the natural measure in this
+//! implementation), so the exact series uses the worked scenario and
+//! random instances rather than those gadgets.
+
+use criterion::{BenchmarkId, Criterion};
+use currency_bench::quick_criterion;
+use currency_core::RelId;
+use currency_datagen::random::{random_spec, RandomSpecConfig};
+use currency_datagen::scenarios::example_4_1;
+use currency_query::SpQuery;
+use currency_reason::{bcp, bcp_sp, Options, PreservationProblem};
+use std::collections::BTreeSet;
+
+fn bench_bcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_bcp");
+    let opts = Options::default();
+    let e = example_4_1();
+    let q2 = e.q2().to_query(5);
+    let sources: BTreeSet<RelId> = [e.mgr].into();
+    for k in [0usize, 1, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("bcp_exact/example41_k", k),
+            &k,
+            |bench, &k| {
+                bench.iter(|| {
+                    let problem = PreservationProblem {
+                        spec: &e.spec,
+                        sources: &sources,
+                        query: &q2,
+                    };
+                    bcp(&problem, k, &opts).unwrap()
+                })
+            },
+        );
+    }
+    for entities in [2usize, 4, 8, 16] {
+        let spec = random_spec(&RandomSpecConfig {
+            entities,
+            tuples_per_entity: (1, 3),
+            attrs: 1,
+            value_pool: 3,
+            order_density: 0.3,
+            with_copy: true,
+            seed: 37,
+            ..RandomSpecConfig::default()
+        });
+        let srcs: BTreeSet<RelId> = [RelId(1)].into();
+        let q = SpQuery::identity(RelId(0), 1);
+        group.bench_with_input(
+            BenchmarkId::new("bcp_sp/no_constraints_entities_k1", entities),
+            &(&spec, &srcs, &q),
+            |bench, (spec, srcs, q)| {
+                bench.iter(|| bcp_sp(spec, srcs, q, 1, &opts).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_bcp(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,64 @@
+//! T3-CCQA (Table III, column 1): certain current query answering.
+//!
+//! Series regenerated:
+//! * `ccqa_exact/3sat` — the coNP-hard data-complexity regime for CQ:
+//!   exact CCQA on 3SAT→CCQA gadgets, sweeping the variable count.  The
+//!   projected model space is `2^vars`; expect exponential growth — this
+//!   is the observable footprint of Theorem 3.5's lower bound.
+//! * `ccqa_sp/no_constraints` — Proposition 6.3: the `poss(S)` algorithm
+//!   on constraint-free specifications, sweeping entity count.  Expected
+//!   shape: polynomial, scaling to thousands of entities.
+
+use criterion::{BenchmarkId, Criterion};
+use currency_bench::quick_criterion;
+use currency_core::{AttrId, RelId, Value};
+use currency_datagen::gadgets::ccqa_3sat;
+use currency_datagen::logic::random_formula;
+use currency_datagen::random::{random_spec, RandomSpecConfig};
+use currency_query::{SpCondition, SpQuery};
+use currency_reason::{ccqa_exact, certain_answers_sp, Options};
+
+fn bench_ccqa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_ccqa");
+    let opts = Options::default();
+    for vars in [2usize, 4, 6, 8] {
+        let f = random_formula(vars, vars * 2, 17);
+        let gadget = ccqa_3sat(&f);
+        group.bench_with_input(
+            BenchmarkId::new("ccqa_exact/3sat_vars", vars),
+            &gadget,
+            |bench, g| {
+                bench.iter(|| ccqa_exact(&g.spec, &g.query, &g.tuple, &opts).unwrap())
+            },
+        );
+    }
+    for entities in [64usize, 256, 1024, 4096] {
+        let spec = random_spec(&RandomSpecConfig {
+            entities,
+            tuples_per_entity: (2, 4),
+            attrs: 3,
+            value_pool: 5,
+            order_density: 0.3,
+            with_copy: false,
+            seed: 19,
+            ..RandomSpecConfig::default()
+        });
+        let q = SpQuery {
+            rel: RelId(0),
+            projection: vec![AttrId(1), AttrId(2)],
+            conditions: vec![SpCondition::AttrConst(AttrId(0), Value::int(1))],
+        };
+        group.bench_with_input(
+            BenchmarkId::new("ccqa_sp/no_constraints_entities", entities),
+            &(&spec, &q),
+            |bench, (spec, q)| bench.iter(|| certain_answers_sp(spec, q).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_ccqa(&mut c);
+    c.final_summary();
+}

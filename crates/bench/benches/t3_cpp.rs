@@ -1,0 +1,67 @@
+//! T3-CPP (Table III, column 2): the currency preservation problem.
+//!
+//! Series regenerated:
+//! * `cpp_exact/fe3cnf` — the Πᵖ₂-hard data-complexity regime: exact CPP
+//!   (extension enumeration with signature dedup) on ∀∃3CNF→CPP gadgets,
+//!   sweeping the universal block size.  Expect steep growth.
+//! * `cpp_sp/no_constraints` — Theorem 6.4: the PTIME SP algorithm on
+//!   constraint-free import scenarios, sweeping entity count.
+
+use criterion::{BenchmarkId, Criterion};
+use currency_bench::quick_criterion;
+use currency_core::RelId;
+use currency_datagen::gadgets::cpp_forall_exists_3cnf;
+use currency_datagen::logic::random_formula;
+use currency_datagen::random::{random_spec, RandomSpecConfig};
+use currency_query::SpQuery;
+use currency_reason::{cpp, cpp_sp, Options, PreservationProblem};
+use std::collections::BTreeSet;
+
+fn bench_cpp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_cpp");
+    let opts = Options::default();
+    for num_x in [1usize, 2] {
+        let f = random_formula(num_x + 1, 2, 23);
+        let gadget = cpp_forall_exists_3cnf(&f, num_x);
+        group.bench_with_input(
+            BenchmarkId::new("cpp_exact/fe3cnf_numx", num_x),
+            &gadget,
+            |bench, g| {
+                bench.iter(|| {
+                    let problem = PreservationProblem {
+                        spec: &g.spec,
+                        sources: &g.sources,
+                        query: &g.query,
+                    };
+                    cpp(&problem, &opts).unwrap()
+                })
+            },
+        );
+    }
+    for entities in [4usize, 8, 16, 24] {
+        let spec = random_spec(&RandomSpecConfig {
+            entities,
+            tuples_per_entity: (1, 3),
+            attrs: 1,
+            value_pool: 3,
+            order_density: 0.3,
+            with_copy: true,
+            seed: 29,
+            ..RandomSpecConfig::default()
+        });
+        let sources: BTreeSet<RelId> = [RelId(1)].into();
+        let q = SpQuery::identity(RelId(0), 1);
+        group.bench_with_input(
+            BenchmarkId::new("cpp_sp/no_constraints_entities", entities),
+            &(&spec, &sources, &q),
+            |bench, (spec, sources, q)| bench.iter(|| cpp_sp(spec, sources, q).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_cpp(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,66 @@
+//! T3-ECP (Table III, column 3): the existence problem.
+//!
+//! The paper's Proposition 5.2 puts ECP in O(1): an extension to a
+//! currency-preserving collection exists iff the specification is
+//! consistent.  Series regenerated:
+//! * `ecp_decision` — the decision itself, sweeping entity count; the
+//!   cost is one consistency check (flat/polynomial, confirming the O(1)
+//!   decision modulo the CPS oracle).
+//! * `maximum_extension` — the *constructive* counterpart from the
+//!   proposition's proof (greedy saturation), which the paper notes "may
+//!   take much longer" than the O(1) decision — this series quantifies
+//!   that gap.
+
+use criterion::{BenchmarkId, Criterion};
+use currency_bench::quick_criterion;
+use currency_core::RelId;
+use currency_datagen::random::{random_spec, RandomSpecConfig};
+use currency_query::SpQuery;
+use currency_reason::{ecp, maximum_extension, PreservationProblem};
+use std::collections::BTreeSet;
+
+fn bench_ecp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_ecp");
+    for entities in [2usize, 4, 8, 16] {
+        let spec = random_spec(&RandomSpecConfig {
+            entities,
+            tuples_per_entity: (1, 3),
+            attrs: 1,
+            value_pool: 3,
+            order_density: 0.3,
+            with_copy: true,
+            seed: 31,
+            ..RandomSpecConfig::default()
+        });
+        let sources: BTreeSet<RelId> = [RelId(1)].into();
+        let q = SpQuery::identity(RelId(0), 1).to_query(1);
+        group.bench_with_input(
+            BenchmarkId::new("ecp_decision/entities", entities),
+            &(&spec, &sources, &q),
+            |bench, (spec, sources, q)| {
+                bench.iter(|| {
+                    let problem = PreservationProblem {
+                        spec,
+                        sources,
+                        query: q,
+                    };
+                    ecp(&problem).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("maximum_extension/entities", entities),
+            &(&spec, &sources),
+            |bench, (spec, sources)| {
+                bench.iter(|| maximum_extension(spec, sources).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_ecp(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,290 @@
+//! Completions of partial currency orders, and their consistency checks.
+
+use crate::error::CurrencyError;
+use crate::schema::AttrId;
+use crate::spec::Specification;
+use crate::temporal::TemporalInstance;
+use crate::value::{Eid, TupleId};
+use std::collections::BTreeMap;
+
+/// A completion of one relation's currency orders: for every attribute and
+/// every entity, a total *chain* of the entity's tuples from least to most
+/// current.
+///
+/// Chains are the natural witness format — a total order over `m` tuples is
+/// exactly a permutation — and make "the most current tuple" a constant-time
+/// lookup (the chain's last element).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelCompletion {
+    /// `chains[attr][eid]` = tuples of `eid` from least to most current.
+    chains: Vec<BTreeMap<Eid, Vec<TupleId>>>,
+    /// `pos[attr][tid]` = position of `tid` within its chain.
+    pos: Vec<BTreeMap<TupleId, u32>>,
+}
+
+impl RelCompletion {
+    /// Build a completion for `inst` from per-attribute, per-entity chains,
+    /// validating that every chain is a permutation of the entity's tuples.
+    pub fn new(
+        inst: &TemporalInstance,
+        chains: Vec<BTreeMap<Eid, Vec<TupleId>>>,
+    ) -> Result<RelCompletion, CurrencyError> {
+        if chains.len() != inst.arity() {
+            return Err(CurrencyError::MalformedCompletion {
+                detail: format!(
+                    "relation {} has {} attributes but {} chains were given",
+                    inst.rel_name(),
+                    inst.arity(),
+                    chains.len()
+                ),
+            });
+        }
+        for (attr, per_entity) in chains.iter().enumerate() {
+            for (eid, group) in inst.entity_groups() {
+                let chain = per_entity.get(&eid).map(|c| c.as_slice()).unwrap_or(&[]);
+                let mut sorted = chain.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                let mut expected = group.to_vec();
+                expected.sort_unstable();
+                if sorted != expected {
+                    return Err(CurrencyError::MalformedCompletion {
+                        detail: format!(
+                            "attribute {attr} chain for entity {eid} is not a permutation of the entity's tuples"
+                        ),
+                    });
+                }
+            }
+        }
+        let pos = chains
+            .iter()
+            .map(|per_entity| {
+                let mut m = BTreeMap::new();
+                for chain in per_entity.values() {
+                    for (i, &t) in chain.iter().enumerate() {
+                        m.insert(t, i as u32);
+                    }
+                }
+                m
+            })
+            .collect();
+        Ok(RelCompletion { chains, pos })
+    }
+
+    /// `true` iff `u ≺ᶜ_attr v` — both tuples share an entity and `u` sits
+    /// strictly earlier in the chain.
+    pub fn precedes(&self, attr: AttrId, u: TupleId, v: TupleId) -> bool {
+        match (
+            self.pos[attr.index()].get(&u),
+            self.pos[attr.index()].get(&v),
+        ) {
+            (Some(pu), Some(pv)) => {
+                pu < pv && self.same_chain(attr, u, v)
+            }
+            _ => false,
+        }
+    }
+
+    fn same_chain(&self, attr: AttrId, u: TupleId, v: TupleId) -> bool {
+        self.chains[attr.index()]
+            .values()
+            .any(|c| c.contains(&u) && c.contains(&v))
+    }
+
+    /// The chain (least → most current) of an entity for an attribute.
+    pub fn chain(&self, attr: AttrId, eid: Eid) -> &[TupleId] {
+        self.chains[attr.index()]
+            .get(&eid)
+            .map(|c| c.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The most current tuple of an entity for an attribute.
+    pub fn last(&self, attr: AttrId, eid: Eid) -> Option<TupleId> {
+        self.chain(attr, eid).last().copied()
+    }
+
+    /// Number of attributes covered.
+    pub fn arity(&self) -> usize {
+        self.chains.len()
+    }
+}
+
+/// A completion of an entire specification: one [`RelCompletion`] per
+/// relation, in catalog order.
+///
+/// `Completion` is a *candidate* element of `Mod(S)`;
+/// [`Completion::is_consistent_for`] checks the three membership
+/// conditions of paper §2: extension of the initial orders, satisfaction of
+/// the denial constraints, and ≺-compatibility of every copy function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    rels: Vec<RelCompletion>,
+}
+
+impl Completion {
+    /// Bundle per-relation completions (must follow catalog order).
+    pub fn new(rels: Vec<RelCompletion>) -> Completion {
+        Completion { rels }
+    }
+
+    /// The completion of one relation.
+    pub fn rel(&self, rel: crate::schema::RelId) -> &RelCompletion {
+        &self.rels[rel.index()]
+    }
+
+    /// Per-relation completions, in catalog order.
+    pub fn rels(&self) -> &[RelCompletion] {
+        &self.rels
+    }
+
+    /// Condition (1): every initial order pair appears in the completion.
+    pub fn extends_initial_orders(&self, spec: &Specification) -> bool {
+        spec.instances().iter().all(|inst| {
+            let rc = &self.rels[inst.rel().index()];
+            (0..inst.arity()).all(|a| {
+                let attr = AttrId(a as u32);
+                inst.order(attr)
+                    .iter()
+                    .all(|(u, v)| rc.precedes(attr, u, v))
+            })
+        })
+    }
+
+    /// Condition (2): every denial constraint is satisfied.
+    pub fn satisfies_constraints(&self, spec: &Specification) -> bool {
+        spec.constraints().iter().all(|dc| {
+            let inst = spec.instance(dc.rel());
+            let rc = &self.rels[dc.rel().index()];
+            dc.satisfied_by(inst, &|attr, u, v| rc.precedes(attr, u, v))
+        })
+    }
+
+    /// Condition (3): every copy function is ≺-compatible.
+    pub fn copy_compatible(&self, spec: &Specification) -> bool {
+        spec.copies().iter().all(|cf| {
+            let sig = cf.signature();
+            let target = spec.instance(sig.target);
+            let source = spec.instance(sig.source);
+            let src_rc = &self.rels[sig.source.index()];
+            let tgt_rc = &self.rels[sig.target.index()];
+            cf.compatible_with(
+                target,
+                source,
+                &|attr, u, v| src_rc.precedes(attr, u, v),
+                &|attr, u, v| tgt_rc.precedes(attr, u, v),
+            )
+        })
+    }
+
+    /// Full `Mod(S)` membership check.
+    pub fn is_consistent_for(&self, spec: &Specification) -> bool {
+        self.extends_initial_orders(spec)
+            && self.satisfies_constraints(spec)
+            && self.copy_compatible(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::denial::{CmpOp, DenialConstraint, Term};
+    use crate::instance::Tuple;
+    use crate::schema::{Catalog, RelId, RelationSchema};
+    use crate::value::Value;
+
+    const A: AttrId = AttrId(0);
+
+    /// One relation R(A), entity 1 with two tuples valued 10 and 20.
+    fn spec_two_tuples() -> (Specification, TupleId, TupleId) {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        let t0 = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(10)]))
+            .unwrap();
+        let t1 = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(20)]))
+            .unwrap();
+        (spec, t0, t1)
+    }
+
+    fn completion_with_chain(
+        spec: &Specification,
+        chain: Vec<TupleId>,
+    ) -> Completion {
+        let inst = spec.instance(RelId(0));
+        let mut per_entity = BTreeMap::new();
+        per_entity.insert(Eid(1), chain);
+        Completion::new(vec![RelCompletion::new(inst, vec![per_entity]).unwrap()])
+    }
+
+    #[test]
+    fn chain_validation_rejects_non_permutations() {
+        let (spec, t0, _) = spec_two_tuples();
+        let inst = spec.instance(RelId(0));
+        let mut short = BTreeMap::new();
+        short.insert(Eid(1), vec![t0]);
+        assert!(matches!(
+            RelCompletion::new(inst, vec![short]),
+            Err(CurrencyError::MalformedCompletion { .. })
+        ));
+        assert!(matches!(
+            RelCompletion::new(inst, vec![]),
+            Err(CurrencyError::MalformedCompletion { .. })
+        ));
+    }
+
+    #[test]
+    fn precedes_follows_chain_positions() {
+        let (spec, t0, t1) = spec_two_tuples();
+        let c = completion_with_chain(&spec, vec![t0, t1]);
+        let rc = c.rel(RelId(0));
+        assert!(rc.precedes(A, t0, t1));
+        assert!(!rc.precedes(A, t1, t0));
+        assert!(!rc.precedes(A, t0, t0));
+        assert_eq!(rc.last(A, Eid(1)), Some(t1));
+        assert_eq!(rc.last(A, Eid(9)), None);
+    }
+
+    #[test]
+    fn extension_of_initial_orders() {
+        let (mut spec, t0, t1) = spec_two_tuples();
+        spec.instance_mut(RelId(0)).add_order(A, t1, t0).unwrap();
+        let respects = completion_with_chain(&spec, vec![t1, t0]);
+        let violates = completion_with_chain(&spec, vec![t0, t1]);
+        assert!(respects.extends_initial_orders(&spec));
+        assert!(!violates.extends_initial_orders(&spec));
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        let (mut spec, t0, t1) = spec_two_tuples();
+        // Higher A ⇒ more current in A: forces t0 ≺ t1 (10 < 20).
+        let dc = DenialConstraint::builder(RelId(0), 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+            .then_order(1, A, 0)
+            .build()
+            .unwrap();
+        spec.add_constraint(dc).unwrap();
+        assert!(completion_with_chain(&spec, vec![t0, t1]).satisfies_constraints(&spec));
+        assert!(!completion_with_chain(&spec, vec![t1, t0]).satisfies_constraints(&spec));
+    }
+
+    #[test]
+    fn full_consistency_check() {
+        let (mut spec, t0, t1) = spec_two_tuples();
+        let dc = DenialConstraint::builder(RelId(0), 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+            .then_order(1, A, 0)
+            .build()
+            .unwrap();
+        spec.add_constraint(dc).unwrap();
+        let good = completion_with_chain(&spec, vec![t0, t1]);
+        assert!(good.is_consistent_for(&spec));
+        let bad = completion_with_chain(&spec, vec![t1, t0]);
+        assert!(!bad.is_consistent_for(&spec));
+    }
+}

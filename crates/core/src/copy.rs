@@ -1,0 +1,369 @@
+//! Copy functions: provenance links that transport currency orders.
+//!
+//! A copy function `ρ` of signature `R₁[Ā] ⇐ R₂[B̄]` (paper §2) is a partial
+//! mapping from the tuples of a *target* instance of `R₁` to tuples of a
+//! *source* instance of `R₂`, recording that the `Ā`-attributes of a target
+//! tuple were imported from the `B̄`-attributes of its source tuple.  Two
+//! conditions give copy functions their semantics:
+//!
+//! * the **copying condition** — mapped tuples agree on the copied
+//!   attributes (`t[Aᵢ] = s[Bᵢ]`), checked by [`CopyFunction::validate`];
+//! * **≺-compatibility** — completed currency orders of the source carry
+//!   over to the target: if `ρ(t₁) = s₁`, `ρ(t₂) = s₂`, the `t`s share an
+//!   entity and the `s`s share an entity, then `s₁ ≺_{Bᵢ} s₂` forces
+//!   `t₁ ≺_{Aᵢ} t₂`.  This is a property of completions, enforced by the
+//!   reasoners; [`CopyFunction::compatibility_obligations`] enumerates the
+//!   ground implications.
+
+use crate::error::CurrencyError;
+use crate::denial::OrderEdge;
+use crate::schema::{AttrId, RelId};
+use crate::temporal::TemporalInstance;
+use crate::value::TupleId;
+use std::collections::BTreeMap;
+
+/// The signature `target[Ā] ⇐ source[B̄]` of a copy function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CopySignature {
+    /// Relation whose tuples received values (the importing side, `R₁`).
+    pub target: RelId,
+    /// Relation the values came from (`R₂`).
+    pub source: RelId,
+    /// Correlated attribute list `Ā` on the target.
+    pub target_attrs: Vec<AttrId>,
+    /// Correlated attribute list `B̄` on the source (same length as `Ā`).
+    pub source_attrs: Vec<AttrId>,
+}
+
+impl CopySignature {
+    /// Build a signature, checking the attribute lists have equal length
+    /// and are duplicate-free on the target side.
+    pub fn new(
+        target: RelId,
+        target_attrs: Vec<AttrId>,
+        source: RelId,
+        source_attrs: Vec<AttrId>,
+    ) -> Result<CopySignature, CurrencyError> {
+        if target_attrs.len() != source_attrs.len() {
+            return Err(CurrencyError::SignatureMismatch {
+                detail: format!(
+                    "target lists {} attributes but source lists {}",
+                    target_attrs.len(),
+                    source_attrs.len()
+                ),
+            });
+        }
+        let mut seen = target_attrs.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != target_attrs.len() {
+            return Err(CurrencyError::SignatureMismatch {
+                detail: "duplicate target attribute in copy signature".to_string(),
+            });
+        }
+        Ok(CopySignature {
+            target,
+            source,
+            target_attrs,
+            source_attrs,
+        })
+    }
+
+    /// Number of correlated attribute pairs.
+    pub fn width(&self) -> usize {
+        self.target_attrs.len()
+    }
+
+    /// `true` if the signature covers every proper attribute of the target
+    /// relation.  Only such functions may import *new* tuples when extended
+    /// (paper §4: "only copy functions that cover all attributes but EID
+    /// of `Rᵢ` can be extended" with fresh tuples).
+    pub fn covers_all_target_attrs(&self, target_arity: usize) -> bool {
+        let mut covered = vec![false; target_arity];
+        for a in &self.target_attrs {
+            if a.index() < target_arity {
+                covered[a.index()] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+}
+
+/// A copy function: a signature plus the partial tuple mapping.
+#[derive(Clone, Debug)]
+pub struct CopyFunction {
+    sig: CopySignature,
+    map: BTreeMap<TupleId, TupleId>,
+}
+
+impl CopyFunction {
+    /// Create an empty copy function with the given signature.
+    pub fn new(sig: CopySignature) -> CopyFunction {
+        CopyFunction {
+            sig,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// The signature.
+    pub fn signature(&self) -> &CopySignature {
+        &self.sig
+    }
+
+    /// Record `ρ(target) = source`.  Last write wins; the copying condition
+    /// is checked by [`CopyFunction::validate`] against concrete instances.
+    pub fn set_mapping(&mut self, target: TupleId, source: TupleId) {
+        self.map.insert(target, source);
+    }
+
+    /// `ρ(target)`, if defined.
+    pub fn mapping(&self, target: TupleId) -> Option<TupleId> {
+        self.map.get(&target).copied()
+    }
+
+    /// Iterate over `(target, source)` pairs.
+    pub fn mappings(&self) -> impl Iterator<Item = (TupleId, TupleId)> + '_ {
+        self.map.iter().map(|(t, s)| (*t, *s))
+    }
+
+    /// Number of mapped tuples (the `|ρ|` of the paper's BCP problem).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no tuple is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Check the copying condition against concrete target and source
+    /// instances: every mapped pair agrees on the correlated attributes.
+    ///
+    /// `copy_index` is only used to label errors.
+    pub fn validate(
+        &self,
+        copy_index: usize,
+        target: &TemporalInstance,
+        source: &TemporalInstance,
+    ) -> Result<(), CurrencyError> {
+        for (&t, &s) in &self.map {
+            let tt = target.tuple_checked(t)?;
+            let st = source.tuple_checked(s)?;
+            for (pos, (ta, sa)) in self
+                .sig
+                .target_attrs
+                .iter()
+                .zip(&self.sig.source_attrs)
+                .enumerate()
+            {
+                if tt.value(*ta) != st.value(*sa) {
+                    return Err(CurrencyError::CopyValueMismatch {
+                        copy: copy_index,
+                        target: t,
+                        source: s,
+                        position: pos,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerate the ground ≺-compatibility obligations.
+    ///
+    /// Each returned pair `(source_edge, target_edge)` reads: *if* the
+    /// completed source order contains `source_edge`, *then* the completed
+    /// target order must contain `target_edge`.  Obligations are generated
+    /// for every ordered pair of mapped target tuples sharing an entity
+    /// whose sources also share an entity, and for every correlated
+    /// attribute position.
+    pub fn compatibility_obligations(
+        &self,
+        target: &TemporalInstance,
+        source: &TemporalInstance,
+    ) -> Vec<(OrderEdge, OrderEdge)> {
+        let mut out = Vec::new();
+        let pairs: Vec<(TupleId, TupleId)> = self.map.iter().map(|(t, s)| (*t, *s)).collect();
+        for &(t1, s1) in &pairs {
+            for &(t2, s2) in &pairs {
+                if t1 == t2 || s1 == s2 {
+                    continue;
+                }
+                if target.tuple(t1).eid != target.tuple(t2).eid {
+                    continue;
+                }
+                if source.tuple(s1).eid != source.tuple(s2).eid {
+                    continue;
+                }
+                for (ta, sa) in self.sig.target_attrs.iter().zip(&self.sig.source_attrs) {
+                    out.push((
+                        OrderEdge {
+                            attr: *sa,
+                            lesser: s1,
+                            greater: s2,
+                        },
+                        OrderEdge {
+                            attr: *ta,
+                            lesser: t1,
+                            greater: t2,
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Check ≺-compatibility against completed-order oracles.
+    ///
+    /// `source_precedes` / `target_precedes` report membership in the
+    /// respective completed currency orders.
+    pub fn compatible_with(
+        &self,
+        target: &TemporalInstance,
+        source: &TemporalInstance,
+        source_precedes: &dyn Fn(AttrId, TupleId, TupleId) -> bool,
+        target_precedes: &dyn Fn(AttrId, TupleId, TupleId) -> bool,
+    ) -> bool {
+        self.compatibility_obligations(target, source)
+            .into_iter()
+            .all(|(se, te)| {
+                !source_precedes(se.attr, se.lesser, se.greater)
+                    || target_precedes(te.attr, te.lesser, te.greater)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Tuple;
+    use crate::schema::RelationSchema;
+    use crate::value::{Eid, Value};
+
+    fn target_inst() -> TemporalInstance {
+        let schema = RelationSchema::new("Dept", &["mgrAddr", "budget"]);
+        let mut d = TemporalInstance::new(RelId(0), &schema);
+        d.push_tuple(Tuple::new(
+            Eid(1),
+            vec![Value::str("2 Small St"), Value::int(6500)],
+        ))
+        .unwrap();
+        d.push_tuple(Tuple::new(
+            Eid(1),
+            vec![Value::str("6 Main St"), Value::int(6000)],
+        ))
+        .unwrap();
+        d
+    }
+
+    fn source_inst() -> TemporalInstance {
+        let schema = RelationSchema::new("Emp", &["address", "salary"]);
+        let mut d = TemporalInstance::new(RelId(1), &schema);
+        d.push_tuple(Tuple::new(
+            Eid(7),
+            vec![Value::str("2 Small St"), Value::int(50)],
+        ))
+        .unwrap();
+        d.push_tuple(Tuple::new(
+            Eid(7),
+            vec![Value::str("6 Main St"), Value::int(80)],
+        ))
+        .unwrap();
+        d
+    }
+
+    fn addr_sig() -> CopySignature {
+        CopySignature::new(RelId(0), vec![AttrId(0)], RelId(1), vec![AttrId(0)]).unwrap()
+    }
+
+    #[test]
+    fn signature_validation() {
+        assert!(CopySignature::new(RelId(0), vec![AttrId(0)], RelId(1), vec![]).is_err());
+        assert!(CopySignature::new(
+            RelId(0),
+            vec![AttrId(0), AttrId(0)],
+            RelId(1),
+            vec![AttrId(0), AttrId(1)]
+        )
+        .is_err());
+        let sig = addr_sig();
+        assert_eq!(sig.width(), 1);
+        assert!(!sig.covers_all_target_attrs(2));
+        let full = CopySignature::new(
+            RelId(0),
+            vec![AttrId(0), AttrId(1)],
+            RelId(1),
+            vec![AttrId(0), AttrId(1)],
+        )
+        .unwrap();
+        assert!(full.covers_all_target_attrs(2));
+    }
+
+    #[test]
+    fn copying_condition_enforced() {
+        let (tgt, src) = (target_inst(), source_inst());
+        let mut rho = CopyFunction::new(addr_sig());
+        rho.set_mapping(TupleId(0), TupleId(0)); // both "2 Small St": ok
+        assert!(rho.validate(0, &tgt, &src).is_ok());
+        rho.set_mapping(TupleId(1), TupleId(0)); // "6 Main St" ≠ "2 Small St"
+        assert!(matches!(
+            rho.validate(0, &tgt, &src),
+            Err(CurrencyError::CopyValueMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn obligations_require_shared_entities_on_both_sides() {
+        let (tgt, src) = (target_inst(), source_inst());
+        let mut rho = CopyFunction::new(addr_sig());
+        rho.set_mapping(TupleId(0), TupleId(0));
+        rho.set_mapping(TupleId(1), TupleId(1));
+        let obs = rho.compatibility_obligations(&tgt, &src);
+        // Both directions of the single same-entity pair.
+        assert_eq!(obs.len(), 2);
+        for (se, te) in &obs {
+            assert_eq!(se.attr, AttrId(0));
+            assert_eq!(te.attr, AttrId(0));
+        }
+    }
+
+    #[test]
+    fn no_obligations_when_sources_share_a_tuple() {
+        // Example 2.2 of the paper: t1 and t2 both copied from s1 — the
+        // obligation is vacuous because s ≺ s never holds.
+        let (tgt, src) = (target_inst(), source_inst());
+        let mut rho = CopyFunction::new(addr_sig());
+        rho.set_mapping(TupleId(0), TupleId(0));
+        rho.set_mapping(TupleId(1), TupleId(0));
+        assert!(rho.compatibility_obligations(&tgt, &src).is_empty());
+    }
+
+    #[test]
+    fn compatibility_oracle_check() {
+        let (tgt, src) = (target_inst(), source_inst());
+        let mut rho = CopyFunction::new(addr_sig());
+        rho.set_mapping(TupleId(0), TupleId(0));
+        rho.set_mapping(TupleId(1), TupleId(1));
+        // Source completion says s0 ≺ s1.
+        let src_prec = |_a: AttrId, l: TupleId, g: TupleId| l == TupleId(0) && g == TupleId(1);
+        // Target completion agreeing: t0 ≺ t1.
+        let tgt_good = |_a: AttrId, l: TupleId, g: TupleId| l == TupleId(0) && g == TupleId(1);
+        // Target completion disagreeing: t1 ≺ t0.
+        let tgt_bad = |_a: AttrId, l: TupleId, g: TupleId| l == TupleId(1) && g == TupleId(0);
+        assert!(rho.compatible_with(&tgt, &src, &src_prec, &tgt_good));
+        assert!(!rho.compatible_with(&tgt, &src, &src_prec, &tgt_bad));
+    }
+
+    #[test]
+    fn mapping_accessors() {
+        let mut rho = CopyFunction::new(addr_sig());
+        assert!(rho.is_empty());
+        rho.set_mapping(TupleId(3), TupleId(5));
+        assert_eq!(rho.len(), 1);
+        assert_eq!(rho.mapping(TupleId(3)), Some(TupleId(5)));
+        assert_eq!(rho.mapping(TupleId(4)), None);
+        let pairs: Vec<_> = rho.mappings().collect();
+        assert_eq!(pairs, vec![(TupleId(3), TupleId(5))]);
+    }
+}

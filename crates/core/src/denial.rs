@@ -1,0 +1,664 @@
+//! Denial constraints: syntax, a builder DSL, and grounding.
+//!
+//! A denial constraint (paper §2) is a universally quantified sentence
+//!
+//! ```text
+//! ∀ t₁ … t_k : R ( ⋀ⱼ t₁[EID] = tⱼ[EID]  ∧  ψ  →  t_u ≺_{A_i} t_v )
+//! ```
+//!
+//! where `ψ` conjoins *currency atoms* `tⱼ ≺_{A_ℓ} t_h` and *value atoms*
+//! (equalities, inequalities and built-in comparisons over attribute values
+//! and constants).  The same-entity premise is built in: all tuple
+//! variables range over tuples of one entity.
+//!
+//! ## Grounding
+//!
+//! Reasoners consume constraints in *ground* form: for a concrete temporal
+//! instance, [`DenialConstraint::ground`] enumerates the assignments of
+//! tuple variables to same-entity tuples that satisfy every value atom, and
+//! emits one [`GroundRule`] per assignment — a Horn-style implication from
+//! currency premises to a currency conclusion (or to falsum, when the
+//! conclusion instantiates to the irreflexive `t ≺ t`, the paper's idiom
+//! for "reject").
+//!
+//! Naive grounding is `|group|^k`; the proofs' reduction gadgets use
+//! constraints whose value atoms pin most variables to one or two
+//! candidates, so the grounder backtracks over per-variable candidate
+//! lists filtered by unary atoms and checks binary atoms as soon as both
+//! endpoints are bound.  This keeps the hardness gadgets (DESIGN.md §5)
+//! within reach.
+
+use crate::error::CurrencyError;
+use crate::schema::{AttrId, RelId};
+use crate::temporal::TemporalInstance;
+use crate::value::{TupleId, Value};
+use std::collections::BTreeSet;
+
+/// Index of a universally quantified tuple variable within a constraint.
+pub type VarId = usize;
+
+/// A term of a value atom: an attribute of a tuple variable, or a constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Term {
+    /// `t_var[attr]`.
+    Attr(VarId, AttrId),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Convenience constructor for `t_var[attr]`.
+    pub fn attr(var: VarId, attr: AttrId) -> Term {
+        Term::Attr(var, attr)
+    }
+
+    /// Convenience constructor for a constant term.
+    pub fn val(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+}
+
+/// Comparison operators for value atoms.
+///
+/// `Lt`/`Le`/`Gt`/`Ge` use the total order on [`Value`]; they are
+/// meaningful within one value kind, mirroring the paper's "built-in
+/// predicates defined on particular domains".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Strictly greater.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on two values.
+    pub fn eval(self, l: &Value, r: &Value) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+/// A premise of a denial constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// Currency atom `t_lesser ≺_attr t_greater`.
+    Order {
+        /// The less-current tuple variable.
+        lesser: VarId,
+        /// The attribute of the currency order.
+        attr: AttrId,
+        /// The more-current tuple variable.
+        greater: VarId,
+    },
+    /// Value atom `left op right`.
+    Cmp {
+        /// Left term.
+        left: Term,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right term.
+        right: Term,
+    },
+}
+
+/// A ground currency fact `lesser ≺_attr greater` over concrete tuples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OrderEdge {
+    /// Attribute of the currency order.
+    pub attr: AttrId,
+    /// The less-current tuple.
+    pub lesser: TupleId,
+    /// The more-current tuple.
+    pub greater: TupleId,
+}
+
+/// A grounded denial constraint: `⋀ premises → conclusion`.
+///
+/// `conclusion == None` encodes falsum — the constraint instantiated its
+/// conclusion to the unsatisfiable `t ≺ t`, so the premises must never
+/// jointly hold.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroundRule {
+    /// Currency premises (value atoms have already been checked).
+    pub premises: Vec<OrderEdge>,
+    /// Currency conclusion, or `None` for falsum.
+    pub conclusion: Option<OrderEdge>,
+}
+
+/// A denial constraint over one relation (see module docs).
+#[derive(Clone, Debug)]
+pub struct DenialConstraint {
+    rel: RelId,
+    num_vars: usize,
+    premises: Vec<Predicate>,
+    conclusion: (VarId, AttrId, VarId),
+}
+
+impl DenialConstraint {
+    /// Start building a constraint over `rel` with `num_vars` tuple
+    /// variables `t₀ … t_{num_vars−1}`.
+    pub fn builder(rel: RelId, num_vars: usize) -> DenialBuilder {
+        DenialBuilder {
+            rel,
+            num_vars,
+            premises: Vec::new(),
+            conclusion: None,
+        }
+    }
+
+    /// The relation this constraint speaks about.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Number of quantified tuple variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The premise list.
+    pub fn premises(&self) -> &[Predicate] {
+        &self.premises
+    }
+
+    /// The conclusion `(lesser, attr, greater)` over variable indices.
+    pub fn conclusion(&self) -> (VarId, AttrId, VarId) {
+        self.conclusion
+    }
+
+    /// Largest attribute index mentioned (for schema validation).
+    pub fn max_attr_index(&self) -> usize {
+        let mut m = self.conclusion.1.index();
+        for p in &self.premises {
+            match p {
+                Predicate::Order { attr, .. } => m = m.max(attr.index()),
+                Predicate::Cmp { left, right, .. } => {
+                    if let Term::Attr(_, a) = left {
+                        m = m.max(a.index());
+                    }
+                    if let Term::Attr(_, a) = right {
+                        m = m.max(a.index());
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Ground the constraint against an instance (see module docs).
+    ///
+    /// Rules are deduplicated and deterministically ordered.
+    pub fn ground(&self, inst: &TemporalInstance) -> Vec<GroundRule> {
+        debug_assert_eq!(inst.rel(), self.rel);
+        let mut rules: BTreeSet<GroundRule> = BTreeSet::new();
+        // Split value atoms into unary filters (per variable) and the rest.
+        let mut unary: Vec<Vec<&Predicate>> = vec![Vec::new(); self.num_vars];
+        // `rest[d]` = value atoms whose deepest variable is d.
+        let mut rest: Vec<Vec<&Predicate>> = vec![Vec::new(); self.num_vars];
+        for p in &self.premises {
+            if let Predicate::Cmp { left, right, .. } = p {
+                match (left, right) {
+                    (Term::Attr(v, _), Term::Const(_)) | (Term::Const(_), Term::Attr(v, _)) => {
+                        unary[*v].push(p);
+                    }
+                    (Term::Attr(v1, _), Term::Attr(v2, _)) => {
+                        if v1 == v2 {
+                            unary[*v1].push(p);
+                        } else {
+                            rest[(*v1).max(*v2)].push(p);
+                        }
+                    }
+                    (Term::Const(_), Term::Const(_)) => {
+                        // Constant-only atom: check once up front; if false
+                        // the constraint grounds to nothing.
+                        if let Some(v) = rest.first_mut() {
+                            v.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        for (_eid, group) in inst.entity_groups() {
+            // Per-variable candidate lists after unary filtering.
+            let candidates: Vec<Vec<TupleId>> = (0..self.num_vars)
+                .map(|v| {
+                    group
+                        .iter()
+                        .copied()
+                        .filter(|&tid| {
+                            unary[v].iter().all(|p| self.eval_cmp_partial(p, inst, &[(v, tid)]))
+                        })
+                        .collect()
+                })
+                .collect();
+            if candidates.iter().any(|c| c.is_empty()) {
+                continue;
+            }
+            let mut assignment: Vec<TupleId> = Vec::with_capacity(self.num_vars);
+            self.ground_rec(inst, &candidates, &rest, &mut assignment, &mut rules);
+        }
+        rules.into_iter().collect()
+    }
+
+    fn ground_rec(
+        &self,
+        inst: &TemporalInstance,
+        candidates: &[Vec<TupleId>],
+        rest: &[Vec<&Predicate>],
+        assignment: &mut Vec<TupleId>,
+        rules: &mut BTreeSet<GroundRule>,
+    ) {
+        let depth = assignment.len();
+        if depth == self.num_vars {
+            self.emit_rule(assignment, rules);
+            return;
+        }
+        for &tid in &candidates[depth] {
+            assignment.push(tid);
+            let pairs: Vec<(VarId, TupleId)> =
+                assignment.iter().copied().enumerate().collect();
+            let ok = rest[depth]
+                .iter()
+                .all(|p| self.eval_cmp_partial(p, inst, &pairs));
+            if ok {
+                self.ground_rec(inst, candidates, rest, assignment, rules);
+            }
+            assignment.pop();
+        }
+    }
+
+    /// Evaluate a value atom under a partial assignment; callers guarantee
+    /// every variable the atom mentions is bound.
+    fn eval_cmp_partial(
+        &self,
+        p: &Predicate,
+        inst: &TemporalInstance,
+        bound: &[(VarId, TupleId)],
+    ) -> bool {
+        let lookup = |v: VarId| -> TupleId {
+            bound
+                .iter()
+                .find(|(w, _)| *w == v)
+                .map(|(_, t)| *t)
+                .expect("variable bound before atom evaluation")
+        };
+        match p {
+            Predicate::Cmp { left, op, right } => {
+                let lv = match left {
+                    Term::Attr(v, a) => inst.tuple(lookup(*v)).value(*a).clone(),
+                    Term::Const(c) => c.clone(),
+                };
+                let rv = match right {
+                    Term::Attr(v, a) => inst.tuple(lookup(*v)).value(*a).clone(),
+                    Term::Const(c) => c.clone(),
+                };
+                op.eval(&lv, &rv)
+            }
+            Predicate::Order { .. } => true,
+        }
+    }
+
+    fn emit_rule(&self, assignment: &[TupleId], rules: &mut BTreeSet<GroundRule>) {
+        let mut premises = Vec::new();
+        for p in &self.premises {
+            if let Predicate::Order {
+                lesser,
+                attr,
+                greater,
+            } = p
+            {
+                let (l, g) = (assignment[*lesser], assignment[*greater]);
+                if l == g {
+                    // Premise `t ≺ t` is false by irreflexivity: the whole
+                    // instantiation is vacuously satisfied.
+                    return;
+                }
+                premises.push(OrderEdge {
+                    attr: *attr,
+                    lesser: l,
+                    greater: g,
+                });
+            }
+        }
+        let (cl, ca, cg) = self.conclusion;
+        let (l, g) = (assignment[cl], assignment[cg]);
+        let conclusion = if l == g {
+            None // conclusion `t ≺ t`: falsum
+        } else {
+            Some(OrderEdge {
+                attr: ca,
+                lesser: l,
+                greater: g,
+            })
+        };
+        premises.sort_unstable();
+        premises.dedup();
+        rules.insert(GroundRule {
+            premises,
+            conclusion,
+        });
+    }
+
+    /// Check satisfaction against a completed order oracle.
+    ///
+    /// `precedes(attr, u, v)` must report whether `u ≺ᶜ_attr v` holds in the
+    /// completion; the constraint is satisfied iff every ground rule whose
+    /// premises all hold has a holding conclusion.
+    pub fn satisfied_by(
+        &self,
+        inst: &TemporalInstance,
+        precedes: &dyn Fn(AttrId, TupleId, TupleId) -> bool,
+    ) -> bool {
+        self.ground(inst).iter().all(|rule| {
+            let fire = rule
+                .premises
+                .iter()
+                .all(|e| precedes(e.attr, e.lesser, e.greater));
+            if !fire {
+                return true;
+            }
+            match &rule.conclusion {
+                Some(e) => precedes(e.attr, e.lesser, e.greater),
+                None => false,
+            }
+        })
+    }
+}
+
+/// Fluent builder for [`DenialConstraint`] (see [`DenialConstraint::builder`]).
+#[derive(Clone, Debug)]
+pub struct DenialBuilder {
+    rel: RelId,
+    num_vars: usize,
+    premises: Vec<Predicate>,
+    conclusion: Option<(VarId, AttrId, VarId)>,
+}
+
+impl DenialBuilder {
+    /// Add a value atom `left op right` to the premise.
+    pub fn when_cmp(mut self, left: Term, op: CmpOp, right: Term) -> Self {
+        self.premises.push(Predicate::Cmp { left, op, right });
+        self
+    }
+
+    /// Add a currency atom `t_lesser ≺_attr t_greater` to the premise.
+    pub fn when_order(mut self, lesser: VarId, attr: AttrId, greater: VarId) -> Self {
+        self.premises.push(Predicate::Order {
+            lesser,
+            attr,
+            greater,
+        });
+        self
+    }
+
+    /// Set the conclusion `t_lesser ≺_attr t_greater`.
+    ///
+    /// Using the same variable on both sides (`t ≺ t`) makes the constraint
+    /// a pure denial: the premises must never jointly hold.
+    pub fn then_order(mut self, lesser: VarId, attr: AttrId, greater: VarId) -> Self {
+        self.conclusion = Some((lesser, attr, greater));
+        self
+    }
+
+    /// Set a falsum conclusion (`t₀ ≺ t₀`): premises must never hold.
+    pub fn then_false(self) -> Self {
+        let attr = AttrId(0);
+        self.then_order(0, attr, 0)
+    }
+
+    /// Finish, validating variable indices.
+    pub fn build(self) -> Result<DenialConstraint, CurrencyError> {
+        let conclusion = self.conclusion.ok_or(CurrencyError::SignatureMismatch {
+            detail: "denial constraint lacks a conclusion".to_string(),
+        })?;
+        let check_var = |v: VarId| -> Result<(), CurrencyError> {
+            if v >= self.num_vars {
+                Err(CurrencyError::BadVariable {
+                    var: v,
+                    num_vars: self.num_vars,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        check_var(conclusion.0)?;
+        check_var(conclusion.2)?;
+        for p in &self.premises {
+            match p {
+                Predicate::Order {
+                    lesser, greater, ..
+                } => {
+                    check_var(*lesser)?;
+                    check_var(*greater)?;
+                }
+                Predicate::Cmp { left, right, .. } => {
+                    if let Term::Attr(v, _) = left {
+                        check_var(*v)?;
+                    }
+                    if let Term::Attr(v, _) = right {
+                        check_var(*v)?;
+                    }
+                }
+            }
+        }
+        Ok(DenialConstraint {
+            rel: self.rel,
+            num_vars: self.num_vars,
+            premises: self.premises,
+            conclusion,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Tuple;
+    use crate::schema::RelationSchema;
+    use crate::value::Eid;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+
+    fn inst_with(rows: &[(u64, i64, i64)]) -> TemporalInstance {
+        let schema = RelationSchema::new("R", &["A", "B"]);
+        let mut d = TemporalInstance::new(RelId(0), &schema);
+        for &(e, a, b) in rows {
+            d.push_tuple(Tuple::new(Eid(e), vec![Value::int(a), Value::int(b)]))
+                .unwrap();
+        }
+        d
+    }
+
+    /// "Higher A ⇒ more current in A" (the paper's φ₁ shape).
+    fn monotone_a() -> DenialConstraint {
+        DenialConstraint::builder(RelId(0), 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+            .then_order(1, A, 0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_variables() {
+        let err = DenialConstraint::builder(RelId(0), 1)
+            .then_order(0, A, 1)
+            .build();
+        assert!(matches!(err, Err(CurrencyError::BadVariable { .. })));
+        let err = DenialConstraint::builder(RelId(0), 2)
+            .when_cmp(Term::attr(5, A), CmpOp::Eq, Term::val(1))
+            .then_order(0, A, 1)
+            .build();
+        assert!(matches!(err, Err(CurrencyError::BadVariable { .. })));
+        let err = DenialConstraint::builder(RelId(0), 2).build();
+        assert!(matches!(err, Err(CurrencyError::SignatureMismatch { .. })));
+    }
+
+    #[test]
+    fn grounding_monotone_constraint() {
+        // Entity 1: A-values 10 < 20; entity 2: single tuple.
+        let d = inst_with(&[(1, 10, 0), (1, 20, 0), (2, 5, 0)]);
+        let rules = monotone_a().ground(&d);
+        assert_eq!(
+            rules,
+            vec![GroundRule {
+                premises: vec![],
+                conclusion: Some(OrderEdge {
+                    attr: A,
+                    lesser: TupleId(0),
+                    greater: TupleId(1)
+                }),
+            }]
+        );
+    }
+
+    #[test]
+    fn grounding_does_not_cross_entities() {
+        let d = inst_with(&[(1, 10, 0), (2, 20, 0)]);
+        assert!(monotone_a().ground(&d).is_empty());
+    }
+
+    #[test]
+    fn grounding_order_premises() {
+        // "t ≺_A s ⇒ t ≺_B s" (the paper's φ₃ shape).
+        let dc = DenialConstraint::builder(RelId(0), 2)
+            .when_order(0, A, 1)
+            .then_order(0, B, 1)
+            .build()
+            .unwrap();
+        let d = inst_with(&[(1, 0, 0), (1, 1, 1)]);
+        let rules = dc.ground(&d);
+        // Two non-vacuous instantiations: (t0,t1) and (t1,t0).
+        assert_eq!(rules.len(), 2);
+        for r in &rules {
+            assert_eq!(r.premises.len(), 1);
+            assert_eq!(r.premises[0].attr, A);
+            let c = r.conclusion.unwrap();
+            assert_eq!(c.attr, B);
+            assert_eq!(
+                (r.premises[0].lesser, r.premises[0].greater),
+                (c.lesser, c.greater)
+            );
+        }
+    }
+
+    #[test]
+    fn reflexive_premise_instantiations_are_vacuous() {
+        let dc = DenialConstraint::builder(RelId(0), 2)
+            .when_order(0, A, 1)
+            .then_order(0, B, 1)
+            .build()
+            .unwrap();
+        let d = inst_with(&[(1, 0, 0)]); // single tuple: only t0,t0 binding
+        assert!(dc.ground(&d).is_empty());
+    }
+
+    #[test]
+    fn falsum_conclusion() {
+        // "No two tuples of one entity may share an A value" — premises
+        // must never hold (conclusion t₀ ≺ t₀).
+        let dc = DenialConstraint::builder(RelId(0), 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Eq, Term::attr(1, A))
+            .when_cmp(Term::attr(0, B), CmpOp::Ne, Term::attr(1, B))
+            .then_false()
+            .build()
+            .unwrap();
+        let d = inst_with(&[(1, 7, 0), (1, 7, 1)]);
+        let rules = dc.ground(&d);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].conclusion, None);
+        assert!(rules[0].premises.is_empty());
+    }
+
+    #[test]
+    fn satisfied_by_oracle() {
+        let d = inst_with(&[(1, 10, 0), (1, 20, 0)]);
+        let dc = monotone_a();
+        // Completion where t0 ≺ t1 in A: satisfied.
+        let good = |attr: AttrId, l: TupleId, g: TupleId| {
+            attr == A && l == TupleId(0) && g == TupleId(1)
+        };
+        assert!(dc.satisfied_by(&d, &good));
+        // Completion with the opposite order: violated.
+        let bad = |attr: AttrId, l: TupleId, g: TupleId| {
+            attr == A && l == TupleId(1) && g == TupleId(0)
+        };
+        assert!(!dc.satisfied_by(&d, &bad));
+    }
+
+    #[test]
+    fn status_style_constraint_with_constants() {
+        // "married is more current than single in attribute B" (φ₂ shape),
+        // written over string values.
+        let schema = RelationSchema::new("R", &["status", "LN"]);
+        let mut d = TemporalInstance::new(RelId(0), &schema);
+        let t0 = d
+            .push_tuple(Tuple::new(
+                Eid(1),
+                vec![Value::str("single"), Value::str("Smith")],
+            ))
+            .unwrap();
+        let t1 = d
+            .push_tuple(Tuple::new(
+                Eid(1),
+                vec![Value::str("married"), Value::str("Dupont")],
+            ))
+            .unwrap();
+        let status = AttrId(0);
+        let ln = AttrId(1);
+        let dc = DenialConstraint::builder(RelId(0), 2)
+            .when_cmp(Term::attr(0, status), CmpOp::Eq, Term::val("married"))
+            .when_cmp(Term::attr(1, status), CmpOp::Eq, Term::val("single"))
+            .then_order(1, ln, 0)
+            .build()
+            .unwrap();
+        let rules = dc.ground(&d);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(
+            rules[0].conclusion,
+            Some(OrderEdge {
+                attr: ln,
+                lesser: t0,
+                greater: t1
+            })
+        );
+    }
+
+    #[test]
+    fn max_attr_index_scans_everything() {
+        let dc = DenialConstraint::builder(RelId(0), 2)
+            .when_cmp(Term::attr(0, AttrId(4)), CmpOp::Eq, Term::val(1))
+            .when_order(0, AttrId(2), 1)
+            .then_order(0, AttrId(1), 1)
+            .build()
+            .unwrap();
+        assert_eq!(dc.max_attr_index(), 4);
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        let a = Value::int(1);
+        let b = Value::int(2);
+        assert!(CmpOp::Lt.eval(&a, &b));
+        assert!(CmpOp::Le.eval(&a, &a));
+        assert!(CmpOp::Gt.eval(&b, &a));
+        assert!(CmpOp::Ge.eval(&b, &b));
+        assert!(CmpOp::Eq.eval(&a, &a));
+        assert!(CmpOp::Ne.eval(&a, &b));
+    }
+}

@@ -1,0 +1,192 @@
+//! Error type shared across the model crate.
+
+use crate::schema::{AttrId, RelId};
+use crate::value::{Eid, TupleId};
+use std::fmt;
+
+/// Errors raised while constructing or validating model objects.
+///
+/// Construction errors are raised eagerly (e.g. pushing a tuple of the
+/// wrong arity); validation errors are raised by
+/// [`crate::Specification::validate`], which re-checks the global
+/// invariants that individual setters cannot see.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CurrencyError {
+    /// A tuple's value count does not match its schema.
+    ArityMismatch {
+        /// Relation involved.
+        relation: String,
+        /// Arity required by the schema.
+        expected: usize,
+        /// Arity supplied.
+        got: usize,
+    },
+    /// A currency-order pair relates tuples of different entities.
+    CrossEntityOrder {
+        /// Relation involved.
+        rel: RelId,
+        /// Attribute of the offending order pair.
+        attr: AttrId,
+        /// The two entities.
+        entities: (Eid, Eid),
+    },
+    /// The transitive closure of a currency order contains a cycle.
+    CyclicOrder {
+        /// Relation involved.
+        rel: RelId,
+        /// Attribute whose order is cyclic.
+        attr: AttrId,
+        /// A tuple on the cycle.
+        witness: TupleId,
+    },
+    /// Unknown relation name.
+    UnknownRelation {
+        /// The name that failed to resolve.
+        relation: String,
+    },
+    /// Duplicate relation name registered in a catalog.
+    DuplicateRelation {
+        /// The duplicated name.
+        relation: String,
+    },
+    /// Unknown attribute name.
+    UnknownAttribute {
+        /// Relation searched.
+        relation: String,
+        /// The attribute name that failed to resolve.
+        attribute: String,
+    },
+    /// An id referred to an out-of-range tuple.
+    UnknownTuple {
+        /// Relation searched.
+        rel: RelId,
+        /// The out-of-range id.
+        tuple: TupleId,
+    },
+    /// An id referred to an out-of-range attribute.
+    AttrOutOfRange {
+        /// Relation involved.
+        rel: RelId,
+        /// The out-of-range id.
+        attr: AttrId,
+    },
+    /// A copy function violates the copying condition `t[Aᵢ] = s[Bᵢ]`.
+    CopyValueMismatch {
+        /// Index of the copy function within the specification.
+        copy: usize,
+        /// Target tuple.
+        target: TupleId,
+        /// Source tuple.
+        source: TupleId,
+        /// Offending attribute position within the signature.
+        position: usize,
+    },
+    /// A copy signature has mismatched attribute lists.
+    SignatureMismatch {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A denial constraint refers to a tuple variable it does not quantify.
+    BadVariable {
+        /// The out-of-range variable index.
+        var: usize,
+        /// Number of quantified variables.
+        num_vars: usize,
+    },
+    /// A completion does not enumerate exactly the tuples of each entity.
+    MalformedCompletion {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CurrencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurrencyError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for relation {relation}: expected {expected} values, got {got}"
+            ),
+            CurrencyError::CrossEntityOrder { rel, attr, entities } => write!(
+                f,
+                "currency order on relation {rel:?}, attribute {attr:?} relates distinct entities {} and {}",
+                entities.0, entities.1
+            ),
+            CurrencyError::CyclicOrder { rel, attr, witness } => write!(
+                f,
+                "currency order on relation {rel:?}, attribute {attr:?} is cyclic (witness tuple {witness})"
+            ),
+            CurrencyError::UnknownRelation { relation } => {
+                write!(f, "unknown relation {relation}")
+            }
+            CurrencyError::DuplicateRelation { relation } => {
+                write!(f, "relation {relation} registered twice")
+            }
+            CurrencyError::UnknownAttribute { relation, attribute } => {
+                write!(f, "relation {relation} has no attribute {attribute}")
+            }
+            CurrencyError::UnknownTuple { rel, tuple } => {
+                write!(f, "relation {rel:?} has no tuple {tuple}")
+            }
+            CurrencyError::AttrOutOfRange { rel, attr } => {
+                write!(f, "relation {rel:?} has no attribute index {attr:?}")
+            }
+            CurrencyError::CopyValueMismatch {
+                copy,
+                target,
+                source,
+                position,
+            } => write!(
+                f,
+                "copy function #{copy} violates the copying condition at signature position {position}: target {target} ≠ source {source}"
+            ),
+            CurrencyError::SignatureMismatch { detail } => {
+                write!(f, "malformed copy signature: {detail}")
+            }
+            CurrencyError::BadVariable { var, num_vars } => write!(
+                f,
+                "denial constraint uses tuple variable t{var} but quantifies only {num_vars} variables"
+            ),
+            CurrencyError::MalformedCompletion { detail } => {
+                write!(f, "malformed completion: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CurrencyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_readably() {
+        let e = CurrencyError::ArityMismatch {
+            relation: "Emp".into(),
+            expected: 5,
+            got: 3,
+        };
+        assert!(e.to_string().contains("Emp"));
+        assert!(e.to_string().contains("5"));
+        let e = CurrencyError::CrossEntityOrder {
+            rel: RelId(0),
+            attr: AttrId(1),
+            entities: (Eid(1), Eid(2)),
+        };
+        assert!(e.to_string().contains("e1"));
+        assert!(e.to_string().contains("e2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(CurrencyError::UnknownRelation {
+            relation: "X".into(),
+        });
+        assert!(e.to_string().contains("X"));
+    }
+}

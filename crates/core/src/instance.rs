@@ -1,0 +1,162 @@
+//! Tuples and normal (plain, order-free) instances.
+
+use crate::schema::{AttrId, RelId};
+use crate::value::{Eid, Value};
+use std::fmt;
+
+/// A tuple: an entity id plus one value per proper attribute.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    /// The entity this tuple describes.
+    pub eid: Eid,
+    /// Values of the proper attributes, in schema order.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Construct a tuple.
+    pub fn new(eid: Eid, values: Vec<Value>) -> Tuple {
+        Tuple { eid, values }
+    }
+
+    /// The value of attribute `attr`.
+    pub fn value(&self, attr: AttrId) -> &Value {
+        &self.values[attr.index()]
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}", self.eid)?;
+        for v in &self.values {
+            write!(f, ", {v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A *normal instance*: a plain finite relation with no currency orders.
+///
+/// Current instances (`LST(Dᶜ)` in the paper) are normal instances; queries
+/// are evaluated over them.  The paper uses set semantics, so equality of
+/// normal instances ([`NormalInstance::set_eq`]) ignores duplicates and
+/// ordering.
+#[derive(Clone, Debug)]
+pub struct NormalInstance {
+    rel: RelId,
+    tuples: Vec<Tuple>,
+}
+
+impl NormalInstance {
+    /// Create an empty instance of the given relation.
+    pub fn new(rel: RelId) -> NormalInstance {
+        NormalInstance {
+            rel,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// The relation this instance populates.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Append a tuple (no set-semantics dedup; see [`NormalInstance::set_eq`]).
+    pub fn push(&mut self, t: Tuple) {
+        self.tuples.push(t);
+    }
+
+    /// Number of stored tuples (duplicates included).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate over the stored tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Membership under set semantics.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.iter().any(|u| u == t)
+    }
+
+    /// The tuples sorted and deduplicated — the canonical set form.
+    pub fn normalized(&self) -> Vec<Tuple> {
+        let mut ts = self.tuples.clone();
+        ts.sort();
+        ts.dedup();
+        ts
+    }
+
+    /// Set-semantics equality: same relation, same set of tuples.
+    pub fn set_eq(&self, other: &NormalInstance) -> bool {
+        self.rel == other.rel && self.normalized() == other.normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(eid: u64, vals: &[i64]) -> Tuple {
+        Tuple::new(Eid(eid), vals.iter().map(|&v| Value::int(v)).collect())
+    }
+
+    #[test]
+    fn tuple_value_access() {
+        let tup = t(1, &[10, 20]);
+        assert_eq!(tup.value(AttrId(0)), &Value::int(10));
+        assert_eq!(tup.value(AttrId(1)), &Value::int(20));
+        assert_eq!(tup.eid, Eid(1));
+    }
+
+    #[test]
+    fn instance_push_and_contains() {
+        let mut inst = NormalInstance::new(RelId(0));
+        assert!(inst.is_empty());
+        inst.push(t(1, &[5]));
+        inst.push(t(2, &[6]));
+        assert_eq!(inst.len(), 2);
+        assert!(inst.contains(&t(1, &[5])));
+        assert!(!inst.contains(&t(1, &[6])));
+    }
+
+    #[test]
+    fn set_equality_ignores_order_and_duplicates() {
+        let mut a = NormalInstance::new(RelId(0));
+        a.push(t(1, &[5]));
+        a.push(t(2, &[6]));
+        a.push(t(1, &[5])); // duplicate
+        let mut b = NormalInstance::new(RelId(0));
+        b.push(t(2, &[6]));
+        b.push(t(1, &[5]));
+        assert!(a.set_eq(&b));
+        let mut c = NormalInstance::new(RelId(1));
+        c.push(t(2, &[6]));
+        c.push(t(1, &[5]));
+        assert!(!a.set_eq(&c), "different relations are never set-equal");
+    }
+
+    #[test]
+    fn normalized_is_sorted_and_deduped() {
+        let mut a = NormalInstance::new(RelId(0));
+        a.push(t(2, &[6]));
+        a.push(t(1, &[5]));
+        a.push(t(2, &[6]));
+        let n = a.normalized();
+        assert_eq!(n.len(), 2);
+        assert!(n[0] <= n[1]);
+    }
+
+    #[test]
+    fn debug_rendering_mentions_entity() {
+        let s = format!("{:?}", t(3, &[1]));
+        assert!(s.contains("e3"));
+    }
+}

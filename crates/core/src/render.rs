@@ -1,0 +1,222 @@
+//! Human-readable rendering of model objects.
+//!
+//! Specifications carry four kinds of information (data, orders,
+//! constraints, copy functions); debugging a currency analysis means
+//! looking at all four.  [`render_spec`] produces the aligned-table text
+//! form used by the examples and error reports:
+//!
+//! ```text
+//! Emp(EID, FN, LN, address, salary, status)
+//!   t0 [e1] Mary | Smith  | 2 Small St | 50 | single
+//!   t1 [e1] Mary | Dupont | 10 Elm Ave | 50 | married
+//!   orders: salary: t0 ≺ t1
+//! ```
+
+use crate::instance::NormalInstance;
+use crate::schema::{AttrId, RelationSchema};
+use crate::spec::Specification;
+use crate::temporal::TemporalInstance;
+use std::fmt::Write as _;
+
+/// Render a normal instance as an aligned table.
+pub fn render_instance(schema: &RelationSchema, inst: &NormalInstance) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for t in inst.iter() {
+        let mut row = vec![format!("[{}]", t.eid)];
+        row.extend(t.values.iter().map(|v| v.to_string()));
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("EID".to_string())
+        .chain(schema.attrs().map(|(_, n)| n.to_string()))
+        .collect();
+    let mut out = format!("{schema}\n");
+    render_rows(&mut out, &header, &rows);
+    out
+}
+
+/// Render a temporal instance: the data table plus the recorded partial
+/// currency orders.
+pub fn render_temporal(schema: &RelationSchema, inst: &TemporalInstance) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (id, t) in inst.tuples() {
+        let mut row = vec![format!("{id} [{}]", t.eid)];
+        row.extend(t.values.iter().map(|v| v.to_string()));
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("tuple".to_string())
+        .chain(schema.attrs().map(|(_, n)| n.to_string()))
+        .collect();
+    let mut out = format!("{schema}\n");
+    render_rows(&mut out, &header, &rows);
+    let mut any = false;
+    for a in 0..inst.arity() {
+        let attr = AttrId(a as u32);
+        let order = inst.order(attr);
+        if order.is_empty() {
+            continue;
+        }
+        if !any {
+            out.push_str("  orders:\n");
+            any = true;
+        }
+        let pairs: Vec<String> = order
+            .iter()
+            .map(|(l, g)| format!("{l} ≺ {g}"))
+            .collect();
+        let _ = writeln!(out, "    {}: {}", schema.attr_name(attr), pairs.join(", "));
+    }
+    out
+}
+
+/// Render a full specification: every temporal instance, the constraint
+/// count per relation, and the copy functions with their mappings.
+pub fn render_spec(spec: &Specification) -> String {
+    let mut out = String::new();
+    for inst in spec.instances() {
+        let schema = spec.catalog().schema(inst.rel());
+        out.push_str(&render_temporal(schema, inst));
+        let n_constraints = spec.constraints_for(inst.rel()).count();
+        if n_constraints > 0 {
+            let _ = writeln!(out, "  denial constraints: {n_constraints}");
+        }
+        out.push('\n');
+    }
+    for (i, cf) in spec.copies().iter().enumerate() {
+        let sig = cf.signature();
+        let t_schema = spec.catalog().schema(sig.target);
+        let s_schema = spec.catalog().schema(sig.source);
+        let t_attrs: Vec<&str> = sig
+            .target_attrs
+            .iter()
+            .map(|&a| t_schema.attr_name(a))
+            .collect();
+        let s_attrs: Vec<&str> = sig
+            .source_attrs
+            .iter()
+            .map(|&a| s_schema.attr_name(a))
+            .collect();
+        let _ = writeln!(
+            out,
+            "ρ{} : {}[{}] ⇐ {}[{}]",
+            i,
+            t_schema.name(),
+            t_attrs.join(", "),
+            s_schema.name(),
+            s_attrs.join(", ")
+        );
+        for (t, s) in cf.mappings() {
+            let _ = writeln!(out, "    {t} ⇐ {s}");
+        }
+    }
+    out
+}
+
+fn render_rows(out: &mut String, header: &[String], rows: &[Vec<String>]) {
+    // Column widths over header + rows.
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let render_line = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let pad = widths.get(i).copied().unwrap_or(0);
+                format!("{c:<pad$}")
+            })
+            .collect();
+        format!("  {}", padded.join(" | "))
+    };
+    let _ = writeln!(out, "{}", render_line(header));
+    for row in rows {
+        let _ = writeln!(out, "{}", render_line(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Catalog, RelId};
+    use crate::value::{Eid, Value};
+    use crate::Tuple;
+
+    fn sample_spec() -> Specification {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("Emp", &["name", "salary"]));
+        let s = cat.add(RelationSchema::new("Src", &["name", "salary"]));
+        let mut spec = Specification::new(cat);
+        let t0 = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::str("Mary"), Value::int(50)]))
+            .unwrap();
+        let t1 = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::str("Mary"), Value::int(80)]))
+            .unwrap();
+        spec.instance_mut(r)
+            .add_order(AttrId(1), t0, t1)
+            .unwrap();
+        let sid = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(7), vec![Value::str("Mary"), Value::int(80)]))
+            .unwrap();
+        let sig = crate::CopySignature::new(
+            r,
+            vec![AttrId(0), AttrId(1)],
+            s,
+            vec![AttrId(0), AttrId(1)],
+        )
+        .unwrap();
+        let mut cf = crate::CopyFunction::new(sig);
+        cf.set_mapping(t1, sid);
+        spec.add_copy(cf).unwrap();
+        spec
+    }
+
+    #[test]
+    fn instance_rendering_contains_data_and_header() {
+        let spec = sample_spec();
+        let schema = spec.catalog().schema(RelId(0));
+        let text = render_instance(schema, &spec.instance(RelId(0)).as_normal());
+        assert!(text.contains("Emp(EID, name, salary)"));
+        assert!(text.contains("Mary"));
+        assert!(text.contains("80"));
+        assert!(text.contains("EID"));
+    }
+
+    #[test]
+    fn temporal_rendering_lists_orders() {
+        let spec = sample_spec();
+        let schema = spec.catalog().schema(RelId(0));
+        let text = render_temporal(schema, spec.instance(RelId(0)));
+        assert!(text.contains("orders:"));
+        assert!(text.contains("salary: t0 ≺ t1"));
+    }
+
+    #[test]
+    fn spec_rendering_lists_copy_functions() {
+        let spec = sample_spec();
+        let text = render_spec(&spec);
+        assert!(text.contains("ρ0 : Emp[name, salary] ⇐ Src[name, salary]"));
+        assert!(text.contains("t1 ⇐ t0"));
+    }
+
+    #[test]
+    fn columns_are_aligned() {
+        let spec = sample_spec();
+        let schema = spec.catalog().schema(RelId(0));
+        let text = render_instance(schema, &spec.instance(RelId(0)).as_normal());
+        // All data lines must have the separator at the same offset.
+        let offsets: Vec<usize> = text
+            .lines()
+            .skip(1)
+            .filter(|l| l.contains('|'))
+            .map(|l| l.find('|').expect("separator"))
+            .collect();
+        assert!(offsets.windows(2).all(|w| w[0] == w[1]), "{text}");
+    }
+}

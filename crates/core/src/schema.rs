@@ -1,0 +1,224 @@
+//! Relation schemas and the catalog.
+
+use crate::error::CurrencyError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a relation within a [`Catalog`] (dense index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The dense index of this relation id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a (non-EID) attribute within a relation schema.
+///
+/// Following the paper, the entity-id column `EID` is *not* an attribute:
+/// currency orders, denial constraints and copy signatures only ever talk
+/// about the proper attributes `A₁ … Aₙ`.  Attribute 0 is the first proper
+/// attribute.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The dense index of this attribute id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A relation schema `R = (EID, A₁, …, Aₙ)`.
+///
+/// The EID column is implicit; `attrs` names the proper attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attrs: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Create a schema with the given relation and attribute names.
+    pub fn new(name: impl Into<String>, attrs: &[&str]) -> RelationSchema {
+        RelationSchema {
+            name: name.into(),
+            attrs: attrs.iter().map(|a| a.to_string()).collect(),
+        }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of proper (non-EID) attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.attrs
+            .iter()
+            .position(|a| a == name)
+            .map(|i| AttrId(i as u32))
+    }
+
+    /// Look up an attribute by name, failing with a descriptive error.
+    pub fn attr_checked(&self, name: &str) -> Result<AttrId, CurrencyError> {
+        self.attr(name).ok_or_else(|| CurrencyError::UnknownAttribute {
+            relation: self.name.clone(),
+            attribute: name.to_string(),
+        })
+    }
+
+    /// The name of an attribute.
+    pub fn attr_name(&self, attr: AttrId) -> &str {
+        &self.attrs[attr.index()]
+    }
+
+    /// Iterate over `(AttrId, name)` pairs.
+    pub fn attrs(&self) -> impl Iterator<Item = (AttrId, &str)> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AttrId(i as u32), a.as_str()))
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(EID", self.name)?;
+        for a in &self.attrs {
+            write!(f, ", {a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The set of relation schemas of a specification.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    rels: Vec<RelationSchema>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a schema, returning its id.
+    ///
+    /// Re-registering a name replaces nothing: duplicate names are rejected
+    /// by [`Catalog::add_checked`]; `add` panics on duplicates to keep
+    /// builder code terse.
+    pub fn add(&mut self, schema: RelationSchema) -> RelId {
+        self.add_checked(schema).expect("duplicate relation name")
+    }
+
+    /// Register a schema, rejecting duplicate relation names.
+    pub fn add_checked(&mut self, schema: RelationSchema) -> Result<RelId, CurrencyError> {
+        if self.by_name.contains_key(schema.name()) {
+            return Err(CurrencyError::DuplicateRelation {
+                relation: schema.name().to_string(),
+            });
+        }
+        let id = RelId(self.rels.len() as u32);
+        self.by_name.insert(schema.name().to_string(), id);
+        self.rels.push(schema);
+        Ok(id)
+    }
+
+    /// Look up a relation by name.
+    pub fn rel(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The schema of a relation.
+    pub fn schema(&self, rel: RelId) -> &RelationSchema {
+        &self.rels[rel.index()]
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// `true` if no relations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Iterate over `(RelId, schema)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
+        self.rels
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RelId(i as u32), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = RelationSchema::new("Emp", &["FN", "LN", "address", "salary", "status"]);
+        assert_eq!(s.name(), "Emp");
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.attr("salary"), Some(AttrId(3)));
+        assert_eq!(s.attr("nope"), None);
+        assert_eq!(s.attr_name(AttrId(0)), "FN");
+        assert!(s.attr_checked("LN").is_ok());
+        assert!(matches!(
+            s.attr_checked("bogus"),
+            Err(CurrencyError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_display_includes_eid() {
+        let s = RelationSchema::new("R", &["A", "B"]);
+        assert_eq!(s.to_string(), "R(EID, A, B)");
+    }
+
+    #[test]
+    fn catalog_registration_and_lookup() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        let emp = c.add(RelationSchema::new("Emp", &["name"]));
+        let dept = c.add(RelationSchema::new("Dept", &["dname"]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.rel("Emp"), Some(emp));
+        assert_eq!(c.rel("Dept"), Some(dept));
+        assert_eq!(c.rel("Missing"), None);
+        assert_eq!(c.schema(emp).name(), "Emp");
+        let names: Vec<&str> = c.iter().map(|(_, s)| s.name()).collect();
+        assert_eq!(names, vec!["Emp", "Dept"]);
+    }
+
+    #[test]
+    fn catalog_rejects_duplicates() {
+        let mut c = Catalog::new();
+        c.add(RelationSchema::new("R", &["A"]));
+        assert!(matches!(
+            c.add_checked(RelationSchema::new("R", &["B"])),
+            Err(CurrencyError::DuplicateRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn attrs_iterates_in_order() {
+        let s = RelationSchema::new("R", &["A", "B", "C"]);
+        let pairs: Vec<(u32, &str)> = s.attrs().map(|(id, n)| (id.0, n)).collect();
+        assert_eq!(pairs, vec![(0, "A"), (1, "B"), (2, "C")]);
+    }
+}

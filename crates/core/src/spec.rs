@@ -1,0 +1,283 @@
+//! Specifications: the top-level bundle of the data-currency model.
+
+use crate::copy::CopyFunction;
+use crate::denial::DenialConstraint;
+use crate::error::CurrencyError;
+use crate::schema::{AttrId, Catalog, RelId};
+use crate::temporal::TemporalInstance;
+
+/// A specification `S` of data currency (paper §2): one temporal instance
+/// per relation of the catalog, a set of denial constraints, and a set of
+/// copy functions between the instances.
+///
+/// The semantics of `S` is its set of consistent completions `Mod(S)` —
+/// see [`crate::Completion`] and the solvers in `currency-reason`.  `S` is
+/// *consistent* iff `Mod(S) ≠ ∅`; deciding that is the paper's CPS problem
+/// (Σᵖ₂-complete in general).
+#[derive(Clone, Debug)]
+pub struct Specification {
+    catalog: Catalog,
+    instances: Vec<TemporalInstance>,
+    constraints: Vec<DenialConstraint>,
+    copies: Vec<CopyFunction>,
+}
+
+impl Specification {
+    /// Create a specification with one empty temporal instance per
+    /// relation of the catalog.
+    pub fn new(catalog: Catalog) -> Specification {
+        let instances = catalog
+            .iter()
+            .map(|(rel, schema)| TemporalInstance::new(rel, schema))
+            .collect();
+        Specification {
+            catalog,
+            instances,
+            constraints: Vec::new(),
+            copies: Vec::new(),
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Resolve a relation name.
+    pub fn rel(&self, name: &str) -> Result<RelId, CurrencyError> {
+        self.catalog
+            .rel(name)
+            .ok_or_else(|| CurrencyError::UnknownRelation {
+                relation: name.to_string(),
+            })
+    }
+
+    /// Resolve an attribute name within a relation.
+    pub fn attr(&self, rel: RelId, name: &str) -> Result<AttrId, CurrencyError> {
+        self.catalog.schema(rel).attr_checked(name)
+    }
+
+    /// The temporal instance of a relation.
+    pub fn instance(&self, rel: RelId) -> &TemporalInstance {
+        &self.instances[rel.index()]
+    }
+
+    /// Mutable access to a relation's temporal instance (to add tuples and
+    /// initial currency orders).
+    pub fn instance_mut(&mut self, rel: RelId) -> &mut TemporalInstance {
+        &mut self.instances[rel.index()]
+    }
+
+    /// All temporal instances, indexed by relation.
+    pub fn instances(&self) -> &[TemporalInstance] {
+        &self.instances
+    }
+
+    /// Add a denial constraint after validating its attribute references.
+    pub fn add_constraint(&mut self, dc: DenialConstraint) -> Result<(), CurrencyError> {
+        let rel = dc.rel();
+        if rel.index() >= self.catalog.len() {
+            return Err(CurrencyError::UnknownRelation {
+                relation: format!("{rel:?}"),
+            });
+        }
+        let arity = self.catalog.schema(rel).arity();
+        if dc.max_attr_index() >= arity {
+            return Err(CurrencyError::AttrOutOfRange {
+                rel,
+                attr: AttrId(dc.max_attr_index() as u32),
+            });
+        }
+        self.constraints.push(dc);
+        Ok(())
+    }
+
+    /// All denial constraints.
+    pub fn constraints(&self) -> &[DenialConstraint] {
+        &self.constraints
+    }
+
+    /// Denial constraints over a particular relation.
+    pub fn constraints_for(&self, rel: RelId) -> impl Iterator<Item = &DenialConstraint> {
+        self.constraints.iter().filter(move |c| c.rel() == rel)
+    }
+
+    /// `true` if the specification carries no denial constraints — the
+    /// tractable regime of paper §6.
+    pub fn has_no_constraints(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Add a copy function after validating its signature and copying
+    /// condition.  Returns the copy function's index.
+    pub fn add_copy(&mut self, cf: CopyFunction) -> Result<usize, CurrencyError> {
+        let sig = cf.signature();
+        for (rel, attrs) in [
+            (sig.target, &sig.target_attrs),
+            (sig.source, &sig.source_attrs),
+        ] {
+            if rel.index() >= self.catalog.len() {
+                return Err(CurrencyError::UnknownRelation {
+                    relation: format!("{rel:?}"),
+                });
+            }
+            let arity = self.catalog.schema(rel).arity();
+            if let Some(&a) = attrs.iter().find(|a| a.index() >= arity) {
+                return Err(CurrencyError::AttrOutOfRange { rel, attr: a });
+            }
+        }
+        let idx = self.copies.len();
+        cf.validate(
+            idx,
+            self.instance(sig.target),
+            self.instance(sig.source),
+        )?;
+        self.copies.push(cf);
+        Ok(idx)
+    }
+
+    /// All copy functions.
+    pub fn copies(&self) -> &[CopyFunction] {
+        &self.copies
+    }
+
+    /// Mutable access to a copy function (used when *extending* copy
+    /// functions, paper §4).  [`Specification::validate`] re-checks the
+    /// copying condition afterwards.
+    pub fn copy_mut(&mut self, idx: usize) -> &mut CopyFunction {
+        &mut self.copies[idx]
+    }
+
+    /// Total number of mappings across all copy functions (`|ρ̄|`, the size
+    /// measure of the paper's bounded-copying problem BCP).
+    pub fn total_copy_size(&self) -> usize {
+        self.copies.iter().map(|c| c.len()).sum()
+    }
+
+    /// Re-check every global invariant: instance orders acyclic and
+    /// entity-local, constraints within schema, copying conditions hold.
+    pub fn validate(&self) -> Result<(), CurrencyError> {
+        for inst in &self.instances {
+            inst.validate()?;
+        }
+        for dc in &self.constraints {
+            let arity = self.catalog.schema(dc.rel()).arity();
+            if dc.max_attr_index() >= arity {
+                return Err(CurrencyError::AttrOutOfRange {
+                    rel: dc.rel(),
+                    attr: AttrId(dc.max_attr_index() as u32),
+                });
+            }
+        }
+        for (i, cf) in self.copies.iter().enumerate() {
+            let sig = cf.signature();
+            cf.validate(i, self.instance(sig.target), self.instance(sig.source))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copy::CopySignature;
+    use crate::denial::{CmpOp, DenialConstraint, Term};
+    use crate::instance::Tuple;
+    use crate::schema::RelationSchema;
+    use crate::value::{Eid, Value};
+
+    fn two_rel_spec() -> (Specification, RelId, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A", "B"]));
+        let s = cat.add(RelationSchema::new("S", &["X"]));
+        (Specification::new(cat), r, s)
+    }
+
+    #[test]
+    fn new_spec_has_empty_instances() {
+        let (spec, r, s) = two_rel_spec();
+        assert!(spec.instance(r).is_empty());
+        assert!(spec.instance(s).is_empty());
+        assert!(spec.has_no_constraints());
+        assert_eq!(spec.total_copy_size(), 0);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn name_resolution() {
+        let (spec, r, _) = two_rel_spec();
+        assert_eq!(spec.rel("R").unwrap(), r);
+        assert!(spec.rel("Q").is_err());
+        assert_eq!(spec.attr(r, "B").unwrap(), AttrId(1));
+        assert!(spec.attr(r, "Z").is_err());
+    }
+
+    #[test]
+    fn constraint_attribute_ranges_checked() {
+        let (mut spec, r, _) = two_rel_spec();
+        let ok = DenialConstraint::builder(r, 2)
+            .when_cmp(Term::attr(0, AttrId(1)), CmpOp::Gt, Term::attr(1, AttrId(1)))
+            .then_order(1, AttrId(1), 0)
+            .build()
+            .unwrap();
+        assert!(spec.add_constraint(ok).is_ok());
+        let bad = DenialConstraint::builder(r, 2)
+            .when_cmp(Term::attr(0, AttrId(9)), CmpOp::Eq, Term::val(1))
+            .then_order(0, AttrId(0), 1)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            spec.add_constraint(bad),
+            Err(CurrencyError::AttrOutOfRange { .. })
+        ));
+        assert_eq!(spec.constraints().len(), 1);
+        assert_eq!(spec.constraints_for(r).count(), 1);
+    }
+
+    #[test]
+    fn copy_function_validated_on_add() {
+        let (mut spec, r, s) = two_rel_spec();
+        let tr = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1), Value::int(2)]))
+            .unwrap();
+        let ts = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1)]))
+            .unwrap();
+        let sig = CopySignature::new(r, vec![AttrId(0)], s, vec![AttrId(0)]).unwrap();
+        let mut cf = CopyFunction::new(sig.clone());
+        cf.set_mapping(tr, ts);
+        assert!(spec.add_copy(cf).is_ok());
+        // Value-mismatched mapping is rejected.
+        let mut bad = CopyFunction::new(
+            CopySignature::new(r, vec![AttrId(1)], s, vec![AttrId(0)]).unwrap(),
+        );
+        bad.set_mapping(tr, ts); // 2 ≠ 1
+        assert!(matches!(
+            spec.add_copy(bad),
+            Err(CurrencyError::CopyValueMismatch { .. })
+        ));
+        assert_eq!(spec.copies().len(), 1);
+        assert_eq!(spec.total_copy_size(), 1);
+    }
+
+    #[test]
+    fn validate_catches_late_order_cycles() {
+        let (mut spec, r, _) = two_rel_spec();
+        let t0 = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(0), Value::int(0)]))
+            .unwrap();
+        let t1 = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1), Value::int(1)]))
+            .unwrap();
+        spec.instance_mut(r).add_order(AttrId(0), t0, t1).unwrap();
+        spec.instance_mut(r).add_order(AttrId(0), t1, t0).unwrap();
+        assert!(matches!(
+            spec.validate(),
+            Err(CurrencyError::CyclicOrder { .. })
+        ));
+    }
+}

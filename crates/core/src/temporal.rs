@@ -1,0 +1,299 @@
+//! Temporal instances: relations with partial currency orders.
+
+use crate::error::CurrencyError;
+use crate::instance::{NormalInstance, Tuple};
+use crate::order::OrderRelation;
+use crate::schema::{AttrId, RelId, RelationSchema};
+use crate::value::{Eid, TupleId, Value};
+use std::collections::BTreeMap;
+
+/// A temporal instance `Dₜ = (D, ≺_{A₁}, …, ≺_{Aₙ})` (paper §2).
+///
+/// A plain relation plus one partial currency order per proper attribute.
+/// The invariants enforced here:
+///
+/// * tuples match the schema arity;
+/// * order pairs relate tuples of the *same entity* (checked on insertion);
+/// * the closure of every attribute order is acyclic (checked by
+///   [`TemporalInstance::validate`], since a single insertion cannot see
+///   future pairs).
+#[derive(Clone, Debug)]
+pub struct TemporalInstance {
+    rel: RelId,
+    rel_name: String,
+    arity: usize,
+    tuples: Vec<Tuple>,
+    orders: Vec<OrderRelation>,
+    groups: BTreeMap<Eid, Vec<TupleId>>,
+}
+
+impl TemporalInstance {
+    /// Create an empty temporal instance for `rel` with the given schema.
+    pub fn new(rel: RelId, schema: &RelationSchema) -> TemporalInstance {
+        TemporalInstance {
+            rel,
+            rel_name: schema.name().to_string(),
+            arity: schema.arity(),
+            tuples: Vec::new(),
+            orders: vec![OrderRelation::new(); schema.arity()],
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// The relation id.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// The relation name (for diagnostics).
+    pub fn rel_name(&self) -> &str {
+        &self.rel_name
+    }
+
+    /// Number of proper attributes.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` if the instance holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a tuple, checking arity.  Returns the new tuple's id.
+    pub fn push_tuple(&mut self, t: Tuple) -> Result<TupleId, CurrencyError> {
+        if t.values.len() != self.arity {
+            return Err(CurrencyError::ArityMismatch {
+                relation: self.rel_name.clone(),
+                expected: self.arity,
+                got: t.values.len(),
+            });
+        }
+        let id = TupleId(self.tuples.len() as u32);
+        self.groups.entry(t.eid).or_default().push(id);
+        self.tuples.push(t);
+        Ok(id)
+    }
+
+    /// The tuple with the given id.
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id.index()]
+    }
+
+    /// The tuple with the given id, with bounds checking.
+    pub fn tuple_checked(&self, id: TupleId) -> Result<&Tuple, CurrencyError> {
+        self.tuples
+            .get(id.index())
+            .ok_or(CurrencyError::UnknownTuple {
+                rel: self.rel,
+                tuple: id,
+            })
+    }
+
+    /// Iterate over `(TupleId, &Tuple)` pairs.
+    pub fn tuples(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TupleId(i as u32), t))
+    }
+
+    /// The tuple ids of an entity, in insertion order.
+    pub fn entity_group(&self, eid: Eid) -> &[TupleId] {
+        self.groups.get(&eid).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterate over `(Eid, group)` pairs, ordered by entity id.
+    pub fn entity_groups(&self) -> impl Iterator<Item = (Eid, &[TupleId])> {
+        self.groups.iter().map(|(e, g)| (*e, g.as_slice()))
+    }
+
+    /// The set of entities appearing in the instance.
+    pub fn entities(&self) -> impl Iterator<Item = Eid> + '_ {
+        self.groups.keys().copied()
+    }
+
+    /// Record the initial currency fact `lesser ≺_attr greater`.
+    ///
+    /// Fails if the tuples belong to different entities or the attribute is
+    /// out of range.  Cycle freedom is a global property checked by
+    /// [`TemporalInstance::validate`].
+    pub fn add_order(
+        &mut self,
+        attr: AttrId,
+        lesser: TupleId,
+        greater: TupleId,
+    ) -> Result<(), CurrencyError> {
+        if attr.index() >= self.arity {
+            return Err(CurrencyError::AttrOutOfRange {
+                rel: self.rel,
+                attr,
+            });
+        }
+        let el = self.tuple_checked(lesser)?.eid;
+        let eg = self.tuple_checked(greater)?.eid;
+        if el != eg {
+            return Err(CurrencyError::CrossEntityOrder {
+                rel: self.rel,
+                attr,
+                entities: (el, eg),
+            });
+        }
+        self.orders[attr.index()].add(lesser, greater);
+        Ok(())
+    }
+
+    /// The partial currency order of an attribute (raw pairs, not closed).
+    pub fn order(&self, attr: AttrId) -> &OrderRelation {
+        &self.orders[attr.index()]
+    }
+
+    /// Check global invariants: every attribute order acyclic.
+    pub fn validate(&self) -> Result<(), CurrencyError> {
+        for (i, o) in self.orders.iter().enumerate() {
+            if let Some(w) = o.find_cycle() {
+                return Err(CurrencyError::CyclicOrder {
+                    rel: self.rel,
+                    attr: AttrId(i as u32),
+                    witness: w,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Forget the orders: the embedded normal instance `D`.
+    pub fn as_normal(&self) -> NormalInstance {
+        let mut n = NormalInstance::new(self.rel);
+        for t in &self.tuples {
+            n.push(t.clone());
+        }
+        n
+    }
+
+    /// `true` if an identical tuple (same entity, same values) exists.
+    pub fn contains_tuple_value(&self, eid: Eid, values: &[Value]) -> bool {
+        self.entity_group(eid)
+            .iter()
+            .any(|&tid| self.tuple(tid).values == values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+
+    fn schema() -> RelationSchema {
+        RelationSchema::new("R", &["A", "B"])
+    }
+
+    fn inst() -> TemporalInstance {
+        TemporalInstance::new(RelId(0), &schema())
+    }
+
+    fn tup(eid: u64, a: i64, b: i64) -> Tuple {
+        Tuple::new(Eid(eid), vec![Value::int(a), Value::int(b)])
+    }
+
+    #[test]
+    fn push_assigns_dense_ids_and_groups() {
+        let mut d = inst();
+        let t0 = d.push_tuple(tup(1, 10, 20)).unwrap();
+        let t1 = d.push_tuple(tup(1, 11, 21)).unwrap();
+        let t2 = d.push_tuple(tup(2, 12, 22)).unwrap();
+        assert_eq!((t0, t1, t2), (TupleId(0), TupleId(1), TupleId(2)));
+        assert_eq!(d.entity_group(Eid(1)), &[t0, t1]);
+        assert_eq!(d.entity_group(Eid(2)), &[t2]);
+        assert_eq!(d.entity_group(Eid(9)), &[] as &[TupleId]);
+        assert_eq!(d.entities().count(), 2);
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut d = inst();
+        let bad = Tuple::new(Eid(1), vec![Value::int(1)]);
+        assert!(matches!(
+            d.push_tuple(bad),
+            Err(CurrencyError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_entity_orders_are_rejected() {
+        let mut d = inst();
+        let t0 = d.push_tuple(tup(1, 0, 0)).unwrap();
+        let t1 = d.push_tuple(tup(2, 0, 0)).unwrap();
+        assert!(matches!(
+            d.add_order(AttrId(0), t0, t1),
+            Err(CurrencyError::CrossEntityOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_attribute_rejected() {
+        let mut d = inst();
+        let t0 = d.push_tuple(tup(1, 0, 0)).unwrap();
+        let t1 = d.push_tuple(tup(1, 1, 1)).unwrap();
+        assert!(matches!(
+            d.add_order(AttrId(5), t0, t1),
+            Err(CurrencyError::AttrOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_detects_cycles_through_closure() {
+        let mut d = inst();
+        let t0 = d.push_tuple(tup(1, 0, 0)).unwrap();
+        let t1 = d.push_tuple(tup(1, 1, 1)).unwrap();
+        let t2 = d.push_tuple(tup(1, 2, 2)).unwrap();
+        d.add_order(AttrId(0), t0, t1).unwrap();
+        d.add_order(AttrId(0), t1, t2).unwrap();
+        assert!(d.validate().is_ok());
+        d.add_order(AttrId(0), t2, t0).unwrap();
+        assert!(matches!(
+            d.validate(),
+            Err(CurrencyError::CyclicOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn orders_are_per_attribute() {
+        let mut d = inst();
+        let t0 = d.push_tuple(tup(1, 0, 0)).unwrap();
+        let t1 = d.push_tuple(tup(1, 1, 1)).unwrap();
+        d.add_order(AttrId(0), t0, t1).unwrap();
+        // Opposite direction on a different attribute is fine (paper §2:
+        // a tuple may be current in one attribute and stale in another).
+        d.add_order(AttrId(1), t1, t0).unwrap();
+        assert!(d.validate().is_ok());
+        assert!(d.order(AttrId(0)).contains(t0, t1));
+        assert!(d.order(AttrId(1)).contains(t1, t0));
+        assert!(!d.order(AttrId(0)).contains(t1, t0));
+    }
+
+    #[test]
+    fn as_normal_strips_orders() {
+        let mut d = inst();
+        let t0 = d.push_tuple(tup(1, 0, 0)).unwrap();
+        let t1 = d.push_tuple(tup(1, 1, 1)).unwrap();
+        d.add_order(AttrId(0), t0, t1).unwrap();
+        let n = d.as_normal();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n.rel(), RelId(0));
+    }
+
+    #[test]
+    fn contains_tuple_value_matches_exactly() {
+        let mut d = inst();
+        d.push_tuple(tup(1, 0, 0)).unwrap();
+        assert!(d.contains_tuple_value(Eid(1), &[Value::int(0), Value::int(0)]));
+        assert!(!d.contains_tuple_value(Eid(1), &[Value::int(0), Value::int(1)]));
+        assert!(!d.contains_tuple_value(Eid(2), &[Value::int(0), Value::int(0)]));
+    }
+}

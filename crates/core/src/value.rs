@@ -1,0 +1,212 @@
+//! Attribute values, entity ids and tuple ids.
+
+use std::fmt;
+
+/// An attribute value.
+///
+/// The model is untyped in the paper; we provide the value kinds its
+/// examples and reductions use: integers, strings, booleans, and *fresh
+/// constants*.  Fresh constants implement the `poss(S)` construction of the
+/// paper's Proposition 6.3 (the PTIME algorithm for certain current answers
+/// to SP queries): a fresh constant is distinct from every ordinary value
+/// and from every other fresh constant.
+///
+/// `Value` has a total order (variant rank, then payload) so that values can
+/// live in ordered collections and so the built-in comparison predicates
+/// (`<`, `≤`, …) of denial constraints are well-defined.  Cross-kind
+/// comparisons are permitted but are only meaningful within a kind, exactly
+/// as in the paper where built-ins are "defined on particular domains".
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A boolean; used by the reduction gadgets for truth values.
+    Bool(bool),
+    /// A 64-bit integer (salaries, budgets, positions, …).
+    Int(i64),
+    /// A string (names, addresses, statuses, the `#`/`$` marker symbols of
+    /// the paper's reductions, …).
+    Str(String),
+    /// A fresh constant `c_{e,ℓ}`, distinct from all other values.
+    Fresh(u64),
+}
+
+impl Value {
+    /// Convenience constructor for integers.
+    pub fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    /// Convenience constructor for strings.
+    pub fn str(v: impl Into<String>) -> Value {
+        Value::Str(v.into())
+    }
+
+    /// Convenience constructor for booleans.
+    pub fn bool(v: bool) -> Value {
+        Value::Bool(v)
+    }
+
+    /// `true` iff this is a fresh constant (see [`Value::Fresh`]).
+    pub fn is_fresh(&self) -> bool {
+        matches!(self, Value::Fresh(_))
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Fresh(n) => write!(f, "⟨fresh#{n}⟩"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Fresh(n) => write!(f, "⟨fresh#{n}⟩"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// An entity id.
+///
+/// The paper assumes entity resolution has already grouped tuples by the
+/// real-world entity they describe (the `EID` column, after Codd 1979);
+/// currency orders only ever compare tuples of the same entity.  Entity ids
+/// are plain integers here; mapping external keys to dense ids is the
+/// caller's concern (`currency-datagen` does this for the paper scenarios).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Eid(pub u64);
+
+impl fmt::Display for Eid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A tuple id, unique *within one temporal instance*.
+///
+/// Ids are dense indices assigned by
+/// [`crate::TemporalInstance::push_tuple`] in insertion order, which lets
+/// per-tuple state (orders, copy mappings, SAT variables) live in flat
+/// structures keyed by `(RelId, TupleId)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The dense index of this tuple id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_constructors_and_accessors() {
+        assert_eq!(Value::int(42).as_int(), Some(42));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::bool(true), Value::Bool(true));
+        assert!(Value::Fresh(0).is_fresh());
+        assert!(!Value::int(0).is_fresh());
+        assert_eq!(Value::int(1).as_str(), None);
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn fresh_constants_are_pairwise_distinct() {
+        assert_ne!(Value::Fresh(0), Value::Fresh(1));
+        assert_ne!(Value::Fresh(0), Value::int(0));
+        assert_ne!(Value::Fresh(0), Value::str("fresh"));
+        assert_eq!(Value::Fresh(3), Value::Fresh(3));
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_within_kinds() {
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::bool(false) < Value::bool(true));
+        // A total order exists across kinds (arbitrary but fixed).
+        let mut vals = vec![
+            Value::str("z"),
+            Value::int(5),
+            Value::bool(true),
+            Value::Fresh(1),
+        ];
+        vals.sort();
+        vals.dedup();
+        assert_eq!(vals.len(), 4);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        let v: Value = 7i64.into();
+        assert_eq!(v, Value::int(7));
+        let v: Value = "hi".into();
+        assert_eq!(v, Value::str("hi"));
+        let v: Value = true.into();
+        assert_eq!(v, Value::bool(true));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::int(3).to_string(), "3");
+        assert_eq!(Value::str("a b").to_string(), "a b");
+        assert_eq!(Eid(4).to_string(), "e4");
+        assert_eq!(TupleId(9).to_string(), "t9");
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the model crate's order algebra and completion
+//! semantics.
+
+use currency_core::{
+    linear_extensions, AttrId, Catalog, Completion, Eid, OrderRelation, RelCompletion,
+    RelationSchema, Specification, Tuple, TupleId, Value,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Random DAG edges over `n` nodes (oriented low → high, hence acyclic).
+fn dag_edges(n: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    let pairs: Vec<(u32, u32)> = (0..n as u32)
+        .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+        .collect();
+    proptest::sample::subsequence(pairs.clone(), 0..=pairs.len())
+}
+
+fn relation(edges: &[(u32, u32)]) -> OrderRelation {
+    edges
+        .iter()
+        .map(|&(a, b)| (TupleId(a), TupleId(b)))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn closure_is_idempotent(edges in dag_edges(6)) {
+        let o = relation(&edges);
+        let once = o.transitive_closure();
+        let twice = once.transitive_closure();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn closure_contains_original(edges in dag_edges(6)) {
+        let o = relation(&edges);
+        prop_assert!(o.subset_of(&o.transitive_closure()));
+    }
+
+    #[test]
+    fn dag_oriented_edges_are_acyclic(edges in dag_edges(6)) {
+        prop_assert!(relation(&edges).is_acyclic());
+    }
+
+    #[test]
+    fn reversing_an_edge_of_a_chain_creates_a_cycle(n in 2usize..6) {
+        let mut o = OrderRelation::new();
+        for i in 0..(n as u32 - 1) {
+            o.add(TupleId(i), TupleId(i + 1));
+        }
+        o.add(TupleId(n as u32 - 1), TupleId(0));
+        prop_assert!(!o.is_acyclic());
+    }
+
+    #[test]
+    fn linear_extensions_respect_the_order(edges in dag_edges(5)) {
+        let o = relation(&edges);
+        let elems: Vec<TupleId> = (0..5).map(TupleId).collect();
+        let closed = o.transitive_closure();
+        let exts = linear_extensions(&elems, &o);
+        prop_assert!(!exts.is_empty(), "acyclic order has an extension");
+        for ext in &exts {
+            prop_assert_eq!(ext.len(), elems.len());
+            for (i, &u) in ext.iter().enumerate() {
+                for &v in &ext[i + 1..] {
+                    // v comes after u, so v must never be below u.
+                    prop_assert!(!closed.contains(v, u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_extensions_are_distinct(edges in dag_edges(5)) {
+        let o = relation(&edges);
+        let elems: Vec<TupleId> = (0..5).map(TupleId).collect();
+        let exts = linear_extensions(&elems, &o);
+        let set: BTreeSet<Vec<TupleId>> = exts.iter().cloned().collect();
+        prop_assert_eq!(set.len(), exts.len());
+    }
+
+    #[test]
+    fn extension_count_matches_brute_force(edges in dag_edges(4)) {
+        let o = relation(&edges).transitive_closure();
+        let elems: Vec<TupleId> = (0..4).map(TupleId).collect();
+        let exts = linear_extensions(&elems, &o);
+        // Brute force: filter all permutations.
+        let mut count = 0;
+        let mut perm = elems.clone();
+        permute(&mut perm, 0, &mut |p| {
+            let ok = (0..p.len()).all(|i| {
+                (i + 1..p.len()).all(|j| !o.contains(p[j], p[i]))
+            });
+            if ok {
+                count += 1;
+            }
+        });
+        prop_assert_eq!(exts.len(), count);
+    }
+
+    #[test]
+    fn sinks_are_exactly_the_maximal_elements(edges in dag_edges(6)) {
+        let o = relation(&edges).transitive_closure();
+        let elems: Vec<TupleId> = (0..6).map(TupleId).collect();
+        let sinks: BTreeSet<TupleId> = o.sinks(&elems).into_iter().collect();
+        for &e in &elems {
+            let has_successor = elems.iter().any(|&f| f != e && o.contains(e, f));
+            prop_assert_eq!(!has_successor, sinks.contains(&e));
+        }
+    }
+
+    #[test]
+    fn completions_built_from_extensions_are_consistent(edges in dag_edges(4)) {
+        // A spec with one relation, one entity, one attribute whose initial
+        // order is the DAG; every linear extension must pass the membership
+        // check, and the last element must supply the current value.
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        for i in 0..4i64 {
+            spec.instance_mut(r)
+                .push_tuple(Tuple::new(Eid(1), vec![Value::int(i)]))
+                .unwrap();
+        }
+        for &(a, b) in &edges {
+            spec.instance_mut(r)
+                .add_order(AttrId(0), TupleId(a), TupleId(b))
+                .unwrap();
+        }
+        let elems: Vec<TupleId> = (0..4).map(TupleId).collect();
+        let o = relation(&edges);
+        for ext in linear_extensions(&elems, &o) {
+            let mut chains = BTreeMap::new();
+            chains.insert(Eid(1), ext.clone());
+            let rc = RelCompletion::new(spec.instance(r), vec![chains]).unwrap();
+            let completion = Completion::new(vec![rc]);
+            prop_assert!(completion.is_consistent_for(&spec));
+            let cur = currency_core::current_tuple(
+                spec.instance(r),
+                completion.rel(r),
+                Eid(1),
+            );
+            let last = *ext.last().unwrap();
+            prop_assert_eq!(
+                cur.values[0].clone(),
+                spec.instance(r).tuple(last).values[0].clone()
+            );
+        }
+    }
+}
+
+fn permute(items: &mut Vec<TupleId>, k: usize, f: &mut impl FnMut(&[TupleId])) {
+    if k == items.len() {
+        f(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, f);
+        items.swap(k, i);
+    }
+}
+
+#[test]
+fn fresh_values_never_collide_with_pool_values() {
+    for i in 0..100u64 {
+        let f = Value::Fresh(i);
+        for v in [Value::int(i as i64), Value::str(format!("{i}")), Value::bool(i % 2 == 0)] {
+            assert_ne!(f, v);
+        }
+    }
+}

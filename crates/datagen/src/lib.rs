@@ -1,0 +1,27 @@
+//! # currency-datagen
+//!
+//! Workload generators for the `data-currency` workspace:
+//!
+//! * [`scenarios`] — the paper's worked examples as ready-made
+//!   specifications: the Fig. 1 company database with constraints φ₁–φ₄
+//!   and the `Dept ⇐ Emp` copy function, the Fig. 3 manager source with
+//!   φ₅, and the Example 4.1 currency-preservation setting.
+//! * [`logic`] — a tiny propositional substrate: 3-CNF/3-DNF formulas,
+//!   seeded random formula generation, and brute-force evaluation of the
+//!   quantified variants (`∃∀`, `∀∃`) that the paper's reductions encode.
+//!   These are the *oracles* against which the gadgets are validated.
+//! * [`gadgets`] — faithful constructions of the hardness reductions used
+//!   in the paper's lower-bound proofs: Betweenness → CPS (Thm 3.1, data
+//!   complexity), ∃∀3DNF → CPS (Thm 3.1, combined complexity),
+//!   3SAT → COP/DCIP (Thm 3.4), 3SAT → CCQA (Thm 3.5, data complexity),
+//!   and ∀∃3CNF → CPP (Thm 5.1, data complexity).  They serve both as
+//!   validated evidence that the implementation matches the paper's
+//!   semantics and as *hard instance generators* for the benchmarks.
+//! * [`random`] — seeded random specification generation (entities, stale
+//!   tuples, initial orders, constraint templates, copy functions) for
+//!   property tests and scaling benchmarks.
+
+pub mod gadgets;
+pub mod logic;
+pub mod random;
+pub mod scenarios;

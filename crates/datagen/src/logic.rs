@@ -1,0 +1,274 @@
+//! Propositional substrate: 3-CNF/3-DNF formulas and brute-force
+//! evaluation of their quantified variants.
+//!
+//! The paper's lower bounds reduce from (quantified) satisfiability
+//! problems — 3SAT, ∃∗∀∗3DNF, ∀∗∃∗3CNF, Betweenness.  This module holds
+//! the formula types, seeded random generators, and *brute-force* truth
+//! evaluators that serve as oracles when validating the reduction gadgets
+//! of [`crate::gadgets`]: for every random small instance, the gadget's
+//! answer (computed by the `currency-reason` solvers) must agree with the
+//! oracle.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A literal: variable index plus polarity (`true` = positive).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PLit {
+    /// Variable index (0-based).
+    pub var: usize,
+    /// `true` for `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl PLit {
+    /// Truth value under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+/// A three-literal clause (disjunctive in CNF use, conjunctive in DNF use).
+pub type Triple = [PLit; 3];
+
+/// A propositional formula over `num_vars` variables in clausal form.
+///
+/// `clauses` is read as a CNF (∧ of ∨-triples) by the `*_cnf` evaluators
+/// and as a DNF (∨ of ∧-triples) by the `*_dnf` evaluators.
+#[derive(Clone, Debug)]
+pub struct Formula3 {
+    /// Number of propositional variables.
+    pub num_vars: usize,
+    /// The triples.
+    pub clauses: Vec<Triple>,
+}
+
+impl Formula3 {
+    /// Evaluate as CNF under a complete assignment.
+    pub fn eval_cnf(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+
+    /// Evaluate as DNF under a complete assignment.
+    pub fn eval_dnf(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .any(|c| c.iter().all(|l| l.eval(assignment)))
+    }
+}
+
+/// Enumerate all assignments of `n` booleans, calling `f` until it returns
+/// `true`; returns whether any call did (i.e. `∃` semantics).
+fn exists_assignment(n: usize, mut f: impl FnMut(&[bool]) -> bool) -> bool {
+    let mut a = vec![false; n];
+    for bits in 0..(1u64 << n) {
+        for (i, slot) in a.iter_mut().enumerate() {
+            *slot = bits >> i & 1 == 1;
+        }
+        if f(&a) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Brute-force 3SAT: `∃X. φ_CNF(X)`.
+pub fn sat_cnf(f: &Formula3) -> bool {
+    exists_assignment(f.num_vars, |a| f.eval_cnf(a))
+}
+
+/// Brute-force `∃X ∀Y. φ_DNF(X, Y)` where `X` is the first `num_x`
+/// variables and `Y` the rest.
+pub fn exists_forall_dnf(f: &Formula3, num_x: usize) -> bool {
+    let num_y = f.num_vars - num_x;
+    exists_assignment(num_x, |x| {
+        !exists_assignment(num_y, |y| {
+            let mut a = x.to_vec();
+            a.extend_from_slice(y);
+            !f.eval_dnf(&a)
+        })
+    })
+}
+
+/// Brute-force `∀X ∃Y. φ_CNF(X, Y)` where `X` is the first `num_x`
+/// variables and `Y` the rest.
+pub fn forall_exists_cnf(f: &Formula3, num_x: usize) -> bool {
+    let num_y = f.num_vars - num_x;
+    !exists_assignment(num_x, |x| {
+        !exists_assignment(num_y, |y| {
+            let mut a = x.to_vec();
+            a.extend_from_slice(y);
+            f.eval_cnf(&a)
+        })
+    })
+}
+
+/// Generate a random formula with `num_clauses` triples over `num_vars`
+/// variables (uniform literals, deterministic in `seed`).
+pub fn random_formula(num_vars: usize, num_clauses: usize, seed: u64) -> Formula3 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            [0, 1, 2].map(|_| PLit {
+                var: rng.gen_range(0..num_vars),
+                positive: rng.gen_bool(0.5),
+            })
+        })
+        .collect();
+    Formula3 {
+        num_vars,
+        clauses,
+    }
+}
+
+/// A Betweenness instance: a ground set `0..n` and ordered triples
+/// `(a, b, c)` requiring `b` strictly between `a` and `c` in the output
+/// linear order (either direction).
+#[derive(Clone, Debug)]
+pub struct Betweenness {
+    /// Size of the ground set.
+    pub n: usize,
+    /// The betweenness triples.
+    pub triples: Vec<(usize, usize, usize)>,
+}
+
+/// Brute-force Betweenness: does a permutation satisfying all triples
+/// exist?  Exponential in `n`; oracle use only.
+pub fn betweenness_solvable(b: &Betweenness) -> bool {
+    let mut perm: Vec<usize> = (0..b.n).collect();
+    permutations(&mut perm, 0, &mut |p| {
+        b.triples.iter().all(|&(a, m, c)| {
+            let (pa, pm, pc) = (
+                p.iter().position(|&x| x == a).expect("member"),
+                p.iter().position(|&x| x == m).expect("member"),
+                p.iter().position(|&x| x == c).expect("member"),
+            );
+            (pa < pm && pm < pc) || (pc < pm && pm < pa)
+        })
+    })
+}
+
+fn permutations(items: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize]) -> bool) -> bool {
+    if k == items.len() {
+        return f(items);
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        if permutations(items, k + 1, f) {
+            items.swap(k, i);
+            return true;
+        }
+        items.swap(k, i);
+    }
+    false
+}
+
+/// Generate a random Betweenness instance (deterministic in `seed`).
+pub fn random_betweenness(n: usize, num_triples: usize, seed: u64) -> Betweenness {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut triples = Vec::with_capacity(num_triples);
+    while triples.len() < num_triples {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        if a != b && b != c && a != c {
+            triples.push((a, b, c));
+        }
+    }
+    Betweenness { n, triples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(var: usize, positive: bool) -> PLit {
+        PLit { var, positive }
+    }
+
+    #[test]
+    fn cnf_and_dnf_evaluation() {
+        // (x0 ∨ x1 ∨ x1) as CNF; (x0 ∧ x1 ∧ x1) as DNF.
+        let f = Formula3 {
+            num_vars: 2,
+            clauses: vec![[lit(0, true), lit(1, true), lit(1, true)]],
+        };
+        assert!(f.eval_cnf(&[true, false]));
+        assert!(!f.eval_cnf(&[false, false]));
+        assert!(f.eval_dnf(&[true, true]));
+        assert!(!f.eval_dnf(&[true, false]));
+    }
+
+    #[test]
+    fn sat_detects_contradiction() {
+        // (x0) ∧ (¬x0): encode as two padded clauses.
+        let f = Formula3 {
+            num_vars: 1,
+            clauses: vec![
+                [lit(0, true), lit(0, true), lit(0, true)],
+                [lit(0, false), lit(0, false), lit(0, false)],
+            ],
+        };
+        assert!(!sat_cnf(&f));
+    }
+
+    #[test]
+    fn exists_forall_dnf_basics() {
+        // ∃x ∀y. (x ∧ x ∧ x) — pick x = true; y irrelevant: true.
+        let f = Formula3 {
+            num_vars: 2,
+            clauses: vec![[lit(0, true), lit(0, true), lit(0, true)]],
+        };
+        assert!(exists_forall_dnf(&f, 1));
+        // ∃x ∀y. (y ∧ y ∧ y) — fails at y = false.
+        let g = Formula3 {
+            num_vars: 2,
+            clauses: vec![[lit(1, true), lit(1, true), lit(1, true)]],
+        };
+        assert!(!exists_forall_dnf(&g, 1));
+    }
+
+    #[test]
+    fn forall_exists_cnf_basics() {
+        // ∀x ∃y. (x ∨ y ∨ y): y = true always works.
+        let f = Formula3 {
+            num_vars: 2,
+            clauses: vec![[lit(0, true), lit(1, true), lit(1, true)]],
+        };
+        assert!(forall_exists_cnf(&f, 1));
+        // ∀x ∃y. (x ∨ x ∨ x): fails at x = false.
+        let g = Formula3 {
+            num_vars: 2,
+            clauses: vec![[lit(0, true), lit(0, true), lit(0, true)]],
+        };
+        assert!(!forall_exists_cnf(&g, 1));
+    }
+
+    #[test]
+    fn betweenness_oracle() {
+        // 0 < 1 < 2 satisfies (0,1,2); adding (1,0,2) makes it impossible
+        // together with (0,1,2)?  (1,0,2) asks 0 strictly between 1 and 2.
+        let sat = Betweenness {
+            n: 3,
+            triples: vec![(0, 1, 2)],
+        };
+        assert!(betweenness_solvable(&sat));
+        let unsat = Betweenness {
+            n: 3,
+            triples: vec![(0, 1, 2), (1, 0, 2)],
+        };
+        assert!(!betweenness_solvable(&unsat));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_formula(4, 6, 42);
+        let b = random_formula(4, 6, 42);
+        assert_eq!(a.clauses, b.clauses);
+        let x = random_betweenness(5, 4, 7);
+        let y = random_betweenness(5, 4, 7);
+        assert_eq!(x.triples, y.triples);
+    }
+}

@@ -1,0 +1,571 @@
+//! A small text syntax for queries.
+//!
+//! Queries can be written in a datalog-flavoured surface syntax and parsed
+//! against a [`Catalog`] (relation names and arities are resolved and
+//! checked at parse time):
+//!
+//! ```text
+//! Q(ln) :- Emp(fn, ln, addr, sal, st) and fn = 'Mary'
+//! Q(x)  :- R(x, y) and (S(y) or T(y))
+//! Q()   :- exists x . R(x) and not S(x)
+//! Q(b)  :- Dept(#d, mfn, mln, maddr, b)
+//! ```
+//!
+//! Conventions:
+//!
+//! * relation arguments bind the proper attributes in schema order; an
+//!   optional *first* argument written `#name` binds the entity id;
+//! * `_` is an anonymous variable (fresh each use);
+//! * variables are plain identifiers; constants are integers, `true` /
+//!   `false`, or single-quoted strings;
+//! * comparisons: `=`, `!=`, `<`, `<=`, `>`, `>=`;
+//! * connectives (loosest to tightest): `or`, `and`, `not`; quantifiers
+//!   `exists v1 v2 . φ` and `forall v1 . φ` extend as far right as
+//!   possible; parentheses group;
+//! * body variables not in the head are implicitly existentially
+//!   quantified (the usual datalog reading).
+
+use crate::ast::{Atom, Formula, QVar, Query, QueryBuilder, Term};
+use currency_core::{Catalog, CmpOp, RelId, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the problem was detected.
+    pub at: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Hash,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Underscore,
+    Turnstile, // :-
+    Op(CmpOp),
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    tokens: Vec<(usize, Tok)>,
+}
+
+impl<'a> Lexer<'a> {
+    fn lex(src: &'a str) -> Result<Vec<(usize, Tok)>, ParseError> {
+        let mut lx = Lexer {
+            src,
+            pos: 0,
+            tokens: Vec::new(),
+        };
+        lx.run()?;
+        Ok(lx.tokens)
+    }
+
+    fn run(&mut self) -> Result<(), ParseError> {
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() {
+            let start = self.pos;
+            let c = bytes[self.pos] as char;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    self.pos += 1;
+                }
+                '(' => self.push(start, Tok::LParen),
+                ')' => self.push(start, Tok::RParen),
+                ',' => self.push(start, Tok::Comma),
+                '.' => self.push(start, Tok::Dot),
+                '#' => self.push(start, Tok::Hash),
+                '_' => self.push(start, Tok::Underscore),
+                ':' => {
+                    if bytes.get(self.pos + 1) == Some(&b'-') {
+                        self.pos += 2;
+                        self.tokens.push((start, Tok::Turnstile));
+                    } else {
+                        return Err(err(start, "expected ':-'"));
+                    }
+                }
+                '=' => self.push(start, Tok::Op(CmpOp::Eq)),
+                '!' => {
+                    if bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        self.tokens.push((start, Tok::Op(CmpOp::Ne)));
+                    } else {
+                        return Err(err(start, "expected '!='"));
+                    }
+                }
+                '<' => {
+                    if bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        self.tokens.push((start, Tok::Op(CmpOp::Le)));
+                    } else {
+                        self.push(start, Tok::Op(CmpOp::Lt));
+                    }
+                }
+                '>' => {
+                    if bytes.get(self.pos + 1) == Some(&b'=') {
+                        self.pos += 2;
+                        self.tokens.push((start, Tok::Op(CmpOp::Ge)));
+                    } else {
+                        self.push(start, Tok::Op(CmpOp::Gt));
+                    }
+                }
+                '\'' => {
+                    let mut end = self.pos + 1;
+                    while end < bytes.len() && bytes[end] != b'\'' {
+                        end += 1;
+                    }
+                    if end == bytes.len() {
+                        return Err(err(start, "unterminated string literal"));
+                    }
+                    let text = self.src[self.pos + 1..end].to_string();
+                    self.pos = end + 1;
+                    self.tokens.push((start, Tok::Str(text)));
+                }
+                '-' | '0'..='9' => {
+                    let mut end = self.pos + 1;
+                    while end < bytes.len() && bytes[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                    let text = &self.src[self.pos..end];
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| err(start, "malformed integer literal"))?;
+                    self.pos = end;
+                    self.tokens.push((start, Tok::Int(n)));
+                }
+                c if c.is_ascii_alphabetic() => {
+                    let mut end = self.pos + 1;
+                    while end < bytes.len()
+                        && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    let text = self.src[self.pos..end].to_string();
+                    self.pos = end;
+                    self.tokens.push((start, Tok::Ident(text)));
+                }
+                _ => return Err(err(start, &format!("unexpected character {c:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, start: usize, t: Tok) {
+        self.pos += 1;
+        self.tokens.push((start, t));
+    }
+}
+
+fn err(at: usize, message: &str) -> ParseError {
+    ParseError {
+        at,
+        message: message.to_string(),
+    }
+}
+
+struct Parser<'a> {
+    catalog: &'a Catalog,
+    tokens: Vec<(usize, Tok)>,
+    ix: usize,
+    builder: QueryBuilder,
+    vars: HashMap<String, QVar>,
+    end: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.ix).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.tokens
+            .get(self.ix)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.end)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.ix).map(|(_, t)| t.clone());
+        self.ix += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        let at = self.at();
+        match self.next() {
+            Some(t) if &t == want => Ok(()),
+            _ => Err(err(at, &format!("expected {what}"))),
+        }
+    }
+
+    fn var(&mut self, name: &str) -> QVar {
+        if let Some(&v) = self.vars.get(name) {
+            return v;
+        }
+        let v = self.builder.var();
+        self.vars.insert(name.to_string(), v);
+        v
+    }
+
+    /// disjunction := conjunction ('or' conjunction)*
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.conjunction()?];
+        while matches!(self.peek(), Some(Tok::Ident(w)) if w == "or") {
+            self.next();
+            parts.push(self.conjunction()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Formula::Or(parts)
+        })
+    }
+
+    /// conjunction := unary ('and' unary)*
+    fn conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        while matches!(self.peek(), Some(Tok::Ident(w)) if w == "and") {
+            self.next();
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Formula::And(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        let at = self.at();
+        match self.peek().cloned() {
+            Some(Tok::Ident(w)) if w == "not" => {
+                self.next();
+                Ok(Formula::Not(Box::new(self.unary()?)))
+            }
+            Some(Tok::Ident(w)) if w == "exists" || w == "forall" => {
+                self.next();
+                let mut vs = Vec::new();
+                loop {
+                    match self.next() {
+                        Some(Tok::Ident(name)) => vs.push(self.var(&name)),
+                        Some(Tok::Dot) => break,
+                        _ => return Err(err(at, "expected variable list ending in '.'")),
+                    }
+                }
+                let body = Box::new(self.formula()?);
+                Ok(if w == "exists" {
+                    Formula::Exists(vs, body)
+                } else {
+                    Formula::Forall(vs, body)
+                })
+            }
+            Some(Tok::LParen) => {
+                self.next();
+                let inner = self.formula()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(name)) => {
+                // Atom (relation name followed by '(') or a comparison
+                // whose left side is a variable.
+                if self.tokens.get(self.ix + 1).map(|(_, t)| t) == Some(&Tok::LParen)
+                    && self.catalog.rel(&name).is_some()
+                {
+                    self.atom(&name)
+                } else {
+                    self.comparison()
+                }
+            }
+            Some(Tok::Int(_)) | Some(Tok::Str(_)) => self.comparison(),
+            _ => Err(err(at, "expected a formula")),
+        }
+    }
+
+    fn atom(&mut self, name: &str) -> Result<Formula, ParseError> {
+        let at = self.at();
+        let rel: RelId = self
+            .catalog
+            .rel(name)
+            .ok_or_else(|| err(at, &format!("unknown relation {name}")))?;
+        let arity = self.catalog.schema(rel).arity();
+        self.next(); // relation name
+        self.expect(&Tok::LParen, "'('")?;
+        let mut eid: Option<Term> = None;
+        let mut args: Vec<Term> = Vec::new();
+        let mut first = true;
+        loop {
+            match self.peek() {
+                Some(Tok::RParen) => {
+                    self.next();
+                    break;
+                }
+                Some(Tok::Hash) if first => {
+                    self.next();
+                    let t = self.term()?;
+                    eid = Some(t);
+                }
+                _ => {
+                    let t = self.term()?;
+                    args.push(t);
+                }
+            }
+            first = false;
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.next();
+                }
+                Some(Tok::RParen) => {}
+                _ => return Err(err(self.at(), "expected ',' or ')' in atom")),
+            }
+        }
+        if args.len() != arity {
+            return Err(err(
+                at,
+                &format!(
+                    "relation {name} has {arity} attributes but {} arguments were given",
+                    args.len()
+                ),
+            ));
+        }
+        Ok(Formula::Atom(Atom {
+            rel,
+            eid,
+            args,
+        }))
+    }
+
+    fn comparison(&mut self) -> Result<Formula, ParseError> {
+        let left = self.term()?;
+        let at = self.at();
+        let op = match self.next() {
+            Some(Tok::Op(op)) => op,
+            _ => return Err(err(at, "expected a comparison operator")),
+        };
+        let right = self.term()?;
+        Ok(Formula::Cmp { left, op, right })
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        let at = self.at();
+        match self.next() {
+            Some(Tok::Int(n)) => Ok(Term::Const(Value::int(n))),
+            Some(Tok::Str(s)) => Ok(Term::Const(Value::str(s))),
+            Some(Tok::Underscore) => Ok(Term::Var(self.builder.var())),
+            Some(Tok::Ident(name)) if name == "true" => Ok(Term::Const(Value::bool(true))),
+            Some(Tok::Ident(name)) if name == "false" => Ok(Term::Const(Value::bool(false))),
+            Some(Tok::Ident(name)) => Ok(Term::Var(self.var(&name))),
+            _ => Err(err(at, "expected a term")),
+        }
+    }
+}
+
+/// Parse a query in the surface syntax (see module docs) against a
+/// catalog.
+pub fn parse_query(catalog: &Catalog, input: &str) -> Result<Query, ParseError> {
+    let tokens = Lexer::lex(input)?;
+    let mut p = Parser {
+        catalog,
+        tokens,
+        ix: 0,
+        builder: QueryBuilder::new(),
+        vars: HashMap::new(),
+        end: input.len(),
+    };
+    // Head: IDENT '(' vars ')' ':-'
+    let at0 = p.at();
+    let head_names: Vec<String> = {
+        match (p.next(), p.next()) {
+            (Some(Tok::Ident(_)), Some(Tok::LParen)) => {
+                let mut names = Vec::new();
+                loop {
+                    match p.next() {
+                        Some(Tok::RParen) => break,
+                        Some(Tok::Ident(n)) => names.push(n),
+                        Some(Tok::Comma) => {}
+                        _ => return Err(err(at0, "malformed query head")),
+                    }
+                }
+                p.expect(&Tok::Turnstile, "':-' after the query head")?;
+                names
+            }
+            _ => return Err(err(at0, "expected a query head like 'Q(x) :- …'")),
+        }
+    };
+    let head: Vec<QVar> = head_names.iter().map(|n| p.var(n)).collect();
+    let body = p.formula()?;
+    if p.ix != p.tokens.len() {
+        return Err(err(p.at(), "trailing input after the query body"));
+    }
+    // Implicitly quantify non-head free variables.
+    let free = body.free_vars();
+    let implicit: Vec<QVar> = free
+        .into_iter()
+        .filter(|v| !head.contains(v))
+        .collect();
+    let body = if implicit.is_empty() {
+        body
+    } else {
+        Formula::Exists(implicit, Box::new(body))
+    };
+    for h in &head {
+        if !body.free_vars().contains(h) {
+            return Err(err(
+                0,
+                &format!(
+                    "head variable {:?} does not occur in the body",
+                    head_names[head.iter().position(|x| x == h).expect("present")]
+                ),
+            ));
+        }
+    }
+    Ok(p.builder.build(head, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, QueryClass};
+    use crate::eval::Database;
+    use currency_core::{Eid, NormalInstance, RelationSchema, Tuple};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(RelationSchema::new("Emp", &["name", "salary"]));
+        c.add(RelationSchema::new("Dept", &["dname"]));
+        c
+    }
+
+    fn db_data() -> Vec<NormalInstance> {
+        let cat = catalog();
+        let emp = cat.rel("Emp").unwrap();
+        let dept = cat.rel("Dept").unwrap();
+        let mut e = NormalInstance::new(emp);
+        e.push(Tuple::new(Eid(1), vec![Value::str("Mary"), Value::int(80)]));
+        e.push(Tuple::new(Eid(2), vec![Value::str("Bob"), Value::int(55)]));
+        let mut d = NormalInstance::new(dept);
+        d.push(Tuple::new(Eid(9), vec![Value::str("R&D")]));
+        vec![e, d]
+    }
+
+    #[test]
+    fn parses_projection_with_selection() {
+        let cat = catalog();
+        let q = parse_query(&cat, "Q(s) :- Emp(n, s) and n = 'Mary'").unwrap();
+        assert_eq!(classify(&q), QueryClass::Sp);
+        let data = db_data();
+        let db = Database::new(&data);
+        assert_eq!(q.eval(&db), vec![vec![Value::int(80)]]);
+    }
+
+    #[test]
+    fn parses_anonymous_variables() {
+        let cat = catalog();
+        let q = parse_query(&cat, "Q(n) :- Emp(n, _)").unwrap();
+        let data = db_data();
+        let db = Database::new(&data);
+        assert_eq!(q.eval(&db).len(), 2);
+    }
+
+    #[test]
+    fn parses_eid_binding() {
+        let cat = catalog();
+        let q = parse_query(&cat, "Q(e, n) :- Emp(#e, n, _)").unwrap();
+        let data = db_data();
+        let db = Database::new(&data);
+        let rows = q.eval(&db);
+        assert!(rows.contains(&vec![Value::int(1), Value::str("Mary")]));
+    }
+
+    #[test]
+    fn parses_boolean_query_with_negation_and_quantifier() {
+        let cat = catalog();
+        let q = parse_query(
+            &cat,
+            "Q() :- forall n . not Emp(n, 99) or n != n",
+        )
+        .unwrap();
+        assert_eq!(classify(&q), QueryClass::Fo);
+        let data = db_data();
+        let db = Database::new(&data);
+        assert!(q.eval_bool(&db), "nobody earns 99");
+    }
+
+    #[test]
+    fn parses_union_and_comparison() {
+        let cat = catalog();
+        let q = parse_query(&cat, "Q(n) :- Emp(n, s) and (s > 60 or s < 56)").unwrap();
+        let data = db_data();
+        let db = Database::new(&data);
+        assert_eq!(q.eval(&db).len(), 2);
+    }
+
+    #[test]
+    fn implicit_existentials_keep_sp_shape() {
+        let cat = catalog();
+        let q = parse_query(&cat, "Q(n) :- Emp(n, s) and s = 80").unwrap();
+        assert_eq!(classify(&q), QueryClass::Sp);
+    }
+
+    #[test]
+    fn error_on_unknown_relation() {
+        let cat = catalog();
+        let e = parse_query(&cat, "Q(x) :- Nope(x)").unwrap_err();
+        assert!(e.message.contains("comparison") || e.message.contains("unknown"));
+    }
+
+    #[test]
+    fn error_on_arity_mismatch() {
+        let cat = catalog();
+        let e = parse_query(&cat, "Q(x) :- Emp(x)").unwrap_err();
+        assert!(e.message.contains("2 attributes"), "{e}");
+    }
+
+    #[test]
+    fn error_on_trailing_input() {
+        let cat = catalog();
+        let e = parse_query(&cat, "Q(x) :- Emp(x, _) garbage").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn error_on_head_variable_not_in_body() {
+        let cat = catalog();
+        let e = parse_query(&cat, "Q(z) :- Emp(n, _)").unwrap_err();
+        assert!(e.message.contains("does not occur"), "{e}");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let cat = catalog();
+        let e = parse_query(&cat, "Q(x) :- Emp(x, 'oops)").unwrap_err();
+        assert!(e.at > 0);
+        assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn string_and_bool_literals() {
+        let cat = catalog();
+        let q = parse_query(&cat, "Q(n) :- Emp(n, _) and 'a' != 'b' and true = true").unwrap();
+        let data = db_data();
+        let db = Database::new(&data);
+        assert_eq!(q.eval(&db).len(), 2);
+    }
+}

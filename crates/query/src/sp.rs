@@ -1,0 +1,360 @@
+//! SP queries: selection + projection over one relation atom.
+//!
+//! The paper singles out *SP queries* — CQ queries of the form
+//!
+//! ```text
+//! Q(x̄) = ∃ e ȳ ( R(e, x̄, ȳ) ∧ ψ )
+//! ```
+//!
+//! with `ψ` a conjunction of equality atoms and no variable repeated in the
+//! atom — i.e. plain selection and projection, no join.  In the absence of
+//! denial constraints, certain current answering, currency preservation and
+//! bounded copying are all PTIME for SP queries (paper §6); the algorithms
+//! in `currency-reason` take this normal form as input.
+
+use crate::ast::{Atom, Formula, QVar, Query, QueryBuilder, Term};
+use crate::eval::Database;
+use currency_core::{AttrId, CmpOp, NormalInstance, RelId, Tuple, Value};
+use std::collections::BTreeSet;
+
+/// A selection condition of an SP query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpCondition {
+    /// `σ_{A = c}`: attribute equals a constant.
+    AttrConst(AttrId, Value),
+    /// `σ_{A = A'}`: two attributes are equal.
+    AttrAttr(AttrId, AttrId),
+}
+
+/// An SP query in normal form: projected attributes plus equality
+/// selections over a single relation.
+///
+/// The entity id is always projected *implicitly out* (queries return
+/// attribute values only), matching the paper's `∃e` in the SP normal form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpQuery {
+    /// The single relation scanned.
+    pub rel: RelId,
+    /// Projected attributes, in output order.
+    pub projection: Vec<AttrId>,
+    /// Equality selections.
+    pub conditions: Vec<SpCondition>,
+}
+
+impl SpQuery {
+    /// The *identity query* on `rel` — project every attribute, no
+    /// selection (the paper's Corollary 3.7 uses these).
+    pub fn identity(rel: RelId, arity: usize) -> SpQuery {
+        SpQuery {
+            rel,
+            projection: (0..arity).map(|i| AttrId(i as u32)).collect(),
+            conditions: Vec::new(),
+        }
+    }
+
+    /// `true` iff `tuple` passes every selection condition.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.conditions.iter().all(|c| match c {
+            SpCondition::AttrConst(a, v) => tuple.value(*a) == v,
+            SpCondition::AttrAttr(a, b) => tuple.value(*a) == tuple.value(*b),
+        })
+    }
+
+    /// Project a matching tuple to the output row.
+    pub fn project(&self, tuple: &Tuple) -> Vec<Value> {
+        self.projection
+            .iter()
+            .map(|a| tuple.value(*a).clone())
+            .collect()
+    }
+
+    /// Direct evaluation over one instance: scan, filter, project, dedup.
+    pub fn eval(&self, inst: &NormalInstance) -> Vec<Vec<Value>> {
+        let set: BTreeSet<Vec<Value>> = inst
+            .iter()
+            .filter(|t| self.matches(t))
+            .map(|t| self.project(t))
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Attributes that are projected or mentioned by a selection — the
+    /// attributes whose current value can influence the query answer
+    /// (the `LWit` analysis of the paper's Theorem 6.4 keys on these).
+    pub fn relevant_attrs(&self) -> BTreeSet<AttrId> {
+        let mut out: BTreeSet<AttrId> = self.projection.iter().copied().collect();
+        for c in &self.conditions {
+            match c {
+                SpCondition::AttrConst(a, _) => {
+                    out.insert(*a);
+                }
+                SpCondition::AttrAttr(a, b) => {
+                    out.insert(*a);
+                    out.insert(*b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Convert to a generic [`Query`] (for cross-validation against the
+    /// generic evaluator and the exact certain-answer solver).
+    pub fn to_query(&self, arity: usize) -> Query {
+        let mut b = QueryBuilder::new();
+        let attr_vars: Vec<QVar> = b.vars(arity);
+        let args: Vec<Term> = attr_vars.iter().map(|&v| Term::Var(v)).collect();
+        let mut conjuncts = vec![Formula::Atom(Atom::new(self.rel, args))];
+        for c in &self.conditions {
+            match c {
+                SpCondition::AttrConst(a, v) => conjuncts.push(Formula::Cmp {
+                    left: Term::Var(attr_vars[a.index()]),
+                    op: CmpOp::Eq,
+                    right: Term::Const(v.clone()),
+                }),
+                SpCondition::AttrAttr(a, bb) => conjuncts.push(Formula::Cmp {
+                    left: Term::Var(attr_vars[a.index()]),
+                    op: CmpOp::Eq,
+                    right: Term::Var(attr_vars[bb.index()]),
+                }),
+            }
+        }
+        let head: Vec<QVar> = self.projection.iter().map(|a| attr_vars[a.index()]).collect();
+        let existential: Vec<QVar> = attr_vars
+            .iter()
+            .copied()
+            .filter(|v| !head.contains(v))
+            .collect();
+        let body = Formula::Exists(existential, Box::new(Formula::And(conjuncts)));
+        b.build(head, body)
+    }
+
+    /// Evaluate through the generic engine (test helper / cross-check).
+    pub fn eval_via_query(&self, arity: usize, db: &Database) -> Vec<Vec<Value>> {
+        self.to_query(arity).eval(db)
+    }
+}
+
+/// Recognise the SP normal form of a generic query, if it has one.
+///
+/// Accepts bodies of the shape `∃ȳ (R(ē?, t̄) ∧ ψ)` where the atom's
+/// argument terms are distinct variables or constants (constants become
+/// `AttrConst` selections), `ψ` is a conjunction of equalities between
+/// atom variables or between an atom variable and a constant, and every
+/// head variable occurs in the atom.  Returns `None` when the query is not
+/// SP (e.g. joins, disjunction, repeated variables in the atom used as a
+/// hidden join, negation).
+pub fn as_sp(q: &Query) -> Option<SpQuery> {
+    // Strip one layer of ∃ and collect conjuncts.
+    let (bound, conjuncts): (Vec<QVar>, Vec<&Formula>) = match q.body() {
+        Formula::Exists(vs, inner) => match inner.as_ref() {
+            Formula::And(fs) => (vs.clone(), fs.iter().collect()),
+            other => (vs.clone(), vec![other]),
+        },
+        Formula::And(fs) => (Vec::new(), fs.iter().collect()),
+        other => (Vec::new(), vec![other]),
+    };
+    let _ = bound;
+    // Exactly one atom; the rest must be equality comparisons.
+    let mut atom: Option<&Atom> = None;
+    let mut cmps: Vec<(&Term, &Term)> = Vec::new();
+    for c in conjuncts {
+        match c {
+            Formula::Atom(a) => {
+                if atom.is_some() {
+                    return None; // join
+                }
+                atom = Some(a);
+            }
+            Formula::Cmp {
+                left,
+                op: CmpOp::Eq,
+                right,
+            } => cmps.push((left, right)),
+            _ => return None,
+        }
+    }
+    let atom = atom?;
+    // EID position must be unconstrained or a variable not used elsewhere.
+    if let Some(Term::Const(_)) = atom.eid {
+        return None;
+    }
+    // Atom argument terms: variables must be distinct (no hidden
+    // self-join); constants become selections.
+    let mut var_attr: Vec<(QVar, AttrId)> = Vec::new();
+    let mut conditions: Vec<SpCondition> = Vec::new();
+    for (i, t) in atom.args.iter().enumerate() {
+        let attr = AttrId(i as u32);
+        match t {
+            Term::Var(v) => {
+                if var_attr.iter().any(|(w, _)| w == v) {
+                    return None; // repeated variable: implicit equality join
+                }
+                if let Some(Term::Var(e)) = &atom.eid {
+                    if e == v {
+                        return None;
+                    }
+                }
+                var_attr.push((*v, attr));
+            }
+            Term::Const(c) => conditions.push(SpCondition::AttrConst(attr, c.clone())),
+        }
+    }
+    let attr_of = |v: &QVar| var_attr.iter().find(|(w, _)| w == v).map(|(_, a)| *a);
+    for (l, r) in cmps {
+        match (l, r) {
+            (Term::Var(a), Term::Var(b)) => {
+                conditions.push(SpCondition::AttrAttr(attr_of(a)?, attr_of(b)?));
+            }
+            (Term::Var(a), Term::Const(c)) | (Term::Const(c), Term::Var(a)) => {
+                conditions.push(SpCondition::AttrConst(attr_of(a)?, c.clone()));
+            }
+            (Term::Const(a), Term::Const(b)) => {
+                if a != b {
+                    return None; // constantly false: not representable
+                }
+            }
+        }
+    }
+    // Head variables must come from the atom.
+    let mut projection = Vec::new();
+    for h in q.head() {
+        projection.push(attr_of(h)?);
+    }
+    Some(SpQuery {
+        rel: atom.rel,
+        projection,
+        conditions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use currency_core::Eid;
+
+    const R: RelId = RelId(0);
+
+    fn inst(rows: &[(u64, &[&str])]) -> NormalInstance {
+        let mut n = NormalInstance::new(R);
+        for (e, vals) in rows {
+            n.push(Tuple::new(
+                Eid(*e),
+                vals.iter().map(|v| Value::str(*v)).collect(),
+            ));
+        }
+        n
+    }
+
+    #[test]
+    fn identity_query_returns_all_rows() {
+        let data = inst(&[(1, &["a", "x"]), (2, &["b", "y"])]);
+        let q = SpQuery::identity(R, 2);
+        assert_eq!(q.eval(&data).len(), 2);
+    }
+
+    #[test]
+    fn selection_and_projection() {
+        let data = inst(&[(1, &["mary", "old"]), (1, &["mary", "new"]), (2, &["bob", "z"])]);
+        let q = SpQuery {
+            rel: R,
+            projection: vec![AttrId(1)],
+            conditions: vec![SpCondition::AttrConst(AttrId(0), Value::str("mary"))],
+        };
+        assert_eq!(
+            q.eval(&data),
+            vec![vec![Value::str("new")], vec![Value::str("old")]]
+        );
+    }
+
+    #[test]
+    fn attr_attr_selection() {
+        let data = inst(&[(1, &["x", "x"]), (2, &["x", "y"])]);
+        let q = SpQuery {
+            rel: R,
+            projection: vec![AttrId(0)],
+            conditions: vec![SpCondition::AttrAttr(AttrId(0), AttrId(1))],
+        };
+        assert_eq!(q.eval(&data), vec![vec![Value::str("x")]]);
+    }
+
+    #[test]
+    fn sp_evaluation_agrees_with_generic_engine() {
+        let data = vec![inst(&[
+            (1, &["mary", "old"]),
+            (1, &["mary", "new"]),
+            (2, &["bob", "z"]),
+        ])];
+        let db = Database::new(&data);
+        let q = SpQuery {
+            rel: R,
+            projection: vec![AttrId(1), AttrId(0)],
+            conditions: vec![SpCondition::AttrConst(AttrId(0), Value::str("mary"))],
+        };
+        assert_eq!(q.eval(&data[0]), q.eval_via_query(2, &db));
+    }
+
+    #[test]
+    fn round_trip_through_as_sp() {
+        let q = SpQuery {
+            rel: R,
+            projection: vec![AttrId(1)],
+            conditions: vec![
+                SpCondition::AttrConst(AttrId(0), Value::str("mary")),
+                SpCondition::AttrAttr(AttrId(1), AttrId(1)),
+            ],
+        };
+        let generic = q.to_query(3);
+        let back = as_sp(&generic).expect("SP recognisable");
+        assert_eq!(back.rel, q.rel);
+        assert_eq!(back.projection, q.projection);
+    }
+
+    #[test]
+    fn join_queries_are_not_sp() {
+        let mut b = QueryBuilder::new();
+        let x = b.var();
+        let body = Formula::And(vec![
+            Formula::Atom(Atom::new(R, vec![Term::Var(x)])),
+            Formula::Atom(Atom::new(RelId(1), vec![Term::Var(x)])),
+        ]);
+        let q = b.build(vec![x], body);
+        assert!(as_sp(&q).is_none());
+    }
+
+    #[test]
+    fn repeated_atom_variables_are_not_sp() {
+        let mut b = QueryBuilder::new();
+        let x = b.var();
+        let body = Formula::Atom(Atom::new(R, vec![Term::Var(x), Term::Var(x)]));
+        let q = b.build(vec![x], body);
+        assert!(as_sp(&q).is_none());
+    }
+
+    #[test]
+    fn constant_in_atom_becomes_selection() {
+        let mut b = QueryBuilder::new();
+        let x = b.var();
+        let body = Formula::Atom(Atom::new(R, vec![Term::val("mary"), Term::Var(x)]));
+        let q = b.build(vec![x], body);
+        let sp = as_sp(&q).expect("SP with constant selection");
+        assert_eq!(
+            sp.conditions,
+            vec![SpCondition::AttrConst(AttrId(0), Value::str("mary"))]
+        );
+        assert_eq!(sp.projection, vec![AttrId(1)]);
+    }
+
+    #[test]
+    fn relevant_attrs_cover_projection_and_selections() {
+        let q = SpQuery {
+            rel: R,
+            projection: vec![AttrId(2)],
+            conditions: vec![
+                SpCondition::AttrConst(AttrId(0), Value::str("c")),
+                SpCondition::AttrAttr(AttrId(1), AttrId(3)),
+            ],
+        };
+        let rel: Vec<u32> = q.relevant_attrs().into_iter().map(|a| a.0).collect();
+        assert_eq!(rel, vec![0, 1, 2, 3]);
+    }
+}

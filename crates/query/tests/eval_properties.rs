@@ -1,0 +1,190 @@
+//! Property tests for the query evaluators: the relational (positive)
+//! engine and the active-domain FO engine must agree on positive queries,
+//! and evaluation must satisfy the standard algebraic laws.
+
+use currency_core::{Eid, NormalInstance, RelId, Tuple, Value};
+use currency_query::{Atom, Database, Formula, Query, QueryBuilder, QVar, Term};
+use proptest::prelude::*;
+
+const R: RelId = RelId(0);
+const S: RelId = RelId(1);
+
+fn instance(rel: RelId, rows: &[(u64, i64, i64)]) -> NormalInstance {
+    let mut n = NormalInstance::new(rel);
+    for &(e, a, b) in rows {
+        n.push(Tuple::new(Eid(e), vec![Value::int(a), Value::int(b)]));
+    }
+    n
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(u64, i64, i64)>> {
+    proptest::collection::vec((0u64..3, 0i64..3, 0i64..3), 0..6)
+}
+
+/// A random positive query shape over R and S with one head variable.
+#[derive(Debug, Clone)]
+enum Shape {
+    Scan,
+    Select(i64),
+    Join,
+    Union,
+    JoinWithFilter(i64),
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::Scan),
+        (0i64..3).prop_map(Shape::Select),
+        Just(Shape::Join),
+        Just(Shape::Union),
+        (0i64..3).prop_map(Shape::JoinWithFilter),
+    ]
+}
+
+fn build(shape: &Shape) -> (Query, Query) {
+    // Returns the positive query and its double-negated twin (which
+    // forces the active-domain FO engine).
+    let make = |wrap: bool| -> Query {
+        let mut b = QueryBuilder::new();
+        let x: QVar = b.var();
+        let y: QVar = b.var();
+        let body = match shape {
+            Shape::Scan => Formula::Exists(
+                vec![y],
+                Box::new(Formula::Atom(Atom::new(R, vec![Term::Var(x), Term::Var(y)]))),
+            ),
+            Shape::Select(c) => Formula::Exists(
+                vec![y],
+                Box::new(Formula::And(vec![
+                    Formula::Atom(Atom::new(R, vec![Term::Var(x), Term::Var(y)])),
+                    Formula::Cmp {
+                        left: Term::Var(y),
+                        op: currency_query::CmpOp::Eq,
+                        right: Term::Const(Value::int(*c)),
+                    },
+                ])),
+            ),
+            Shape::Join => Formula::Exists(
+                vec![y],
+                Box::new(Formula::And(vec![
+                    Formula::Atom(Atom::new(R, vec![Term::Var(x), Term::Var(y)])),
+                    Formula::Atom(Atom::new(S, vec![Term::Var(y), Term::Var(x)])),
+                ])),
+            ),
+            Shape::Union => Formula::Exists(
+                vec![y],
+                Box::new(Formula::Or(vec![
+                    Formula::Atom(Atom::new(R, vec![Term::Var(x), Term::Var(y)])),
+                    Formula::Atom(Atom::new(S, vec![Term::Var(x), Term::Var(y)])),
+                ])),
+            ),
+            Shape::JoinWithFilter(c) => Formula::Exists(
+                vec![y],
+                Box::new(Formula::And(vec![
+                    Formula::Atom(Atom::new(R, vec![Term::Var(x), Term::Var(y)])),
+                    Formula::Atom(Atom::new(S, vec![Term::Var(y), Term::Var(x)])),
+                    Formula::Cmp {
+                        left: Term::Var(x),
+                        op: currency_query::CmpOp::Ge,
+                        right: Term::Const(Value::int(*c)),
+                    },
+                ])),
+            ),
+        };
+        let body = if wrap {
+            Formula::Not(Box::new(Formula::Not(Box::new(body))))
+        } else {
+            body
+        };
+        b.build(vec![x], body)
+    };
+    (make(false), make(true))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn positive_engine_agrees_with_active_domain_engine(
+        r_rows in rows_strategy(),
+        s_rows in rows_strategy(),
+        shape in shape_strategy(),
+    ) {
+        let data = vec![instance(R, &r_rows), instance(S, &s_rows)];
+        let db = Database::new(&data);
+        let (positive, fo) = build(&shape);
+        prop_assert_eq!(positive.eval(&db), fo.eval(&db), "shape {:?}", shape);
+    }
+
+    #[test]
+    fn answers_are_sorted_and_distinct(
+        r_rows in rows_strategy(),
+        shape in shape_strategy(),
+    ) {
+        let data = vec![instance(R, &r_rows), instance(S, &[])];
+        let db = Database::new(&data);
+        let (q, _) = build(&shape);
+        let rows = q.eval(&db);
+        for w in rows.windows(2) {
+            prop_assert!(w[0] < w[1], "sorted and deduplicated");
+        }
+    }
+
+    #[test]
+    fn union_is_commutative(
+        r_rows in rows_strategy(),
+        s_rows in rows_strategy(),
+    ) {
+        let data = vec![instance(R, &r_rows), instance(S, &s_rows)];
+        let db = Database::new(&data);
+        let mk = |flip: bool| {
+            let mut b = QueryBuilder::new();
+            let x = b.var();
+            let y = b.var();
+            let ra = Formula::Atom(Atom::new(R, vec![Term::Var(x), Term::Var(y)]));
+            let sa = Formula::Atom(Atom::new(S, vec![Term::Var(x), Term::Var(y)]));
+            let parts = if flip { vec![sa, ra] } else { vec![ra, sa] };
+            b.build(vec![x], Formula::Exists(vec![y], Box::new(Formula::Or(parts))))
+        };
+        prop_assert_eq!(mk(false).eval(&db), mk(true).eval(&db));
+    }
+
+    #[test]
+    fn conjunction_with_true_is_identity(r_rows in rows_strategy()) {
+        let data = vec![instance(R, &r_rows)];
+        let db = Database::new(&data);
+        let mk = |with_true: bool| {
+            let mut b = QueryBuilder::new();
+            let x = b.var();
+            let y = b.var();
+            let atom = Formula::Atom(Atom::new(R, vec![Term::Var(x), Term::Var(y)]));
+            let body = if with_true {
+                Formula::And(vec![atom, Formula::And(vec![])])
+            } else {
+                atom
+            };
+            b.build(vec![x], Formula::Exists(vec![y], Box::new(body)))
+        };
+        prop_assert_eq!(mk(false).eval(&db), mk(true).eval(&db));
+    }
+
+    #[test]
+    fn boolean_negation_is_involutive(r_rows in rows_strategy()) {
+        let data = vec![instance(R, &r_rows)];
+        let db = Database::new(&data);
+        let mk = |neg2: bool| {
+            let mut b = QueryBuilder::new();
+            let x = b.var();
+            let y = b.var();
+            let atom = Formula::Atom(Atom::new(R, vec![Term::Var(x), Term::Var(y)]));
+            let inner = Formula::Exists(vec![x, y], Box::new(atom));
+            let body = if neg2 {
+                Formula::Not(Box::new(Formula::Not(Box::new(inner))))
+            } else {
+                inner
+            };
+            b.build(vec![], body)
+        };
+        prop_assert_eq!(mk(false).eval_bool(&db), mk(true).eval_bool(&db));
+    }
+}

@@ -1,0 +1,544 @@
+//! SAT encoding of specifications.
+//!
+//! A consistent completion of a specification is encoded as a model of a
+//! CNF formula over *order variables*:
+//!
+//! * for every relation, attribute `A`, entity and unordered pair `{u, v}`
+//!   of the entity's tuples there is one Boolean variable whose truth
+//!   means `u ≺_A v` (its falsity means `v ≺_A u`) — totality and
+//!   antisymmetry are therefore structural, not clausal;
+//! * transitivity is grounded per entity group: for each ordered triple
+//!   `(x, y, z)`, the clause `x≺y ∧ y≺z → x≺z`;
+//! * the initial partial orders contribute unit clauses;
+//! * every ground rule of every denial constraint contributes the clause
+//!   `¬p₁ ∨ … ∨ ¬pₘ ∨ c` (falsum conclusions drop `c`);
+//! * every ≺-compatibility obligation of every copy function contributes
+//!   the binary implication `s₁≺s₂ → t₁≺t₂`.
+//!
+//! Models of this CNF are exactly the consistent completions of the
+//! specification (`Mod(S)`), so CPS is one `solve()` call and COP is an
+//! entailment query under one assumption.
+//!
+//! For the current-instance problems (DCIP, CCQA) the encoding can
+//! additionally materialize, per `(relation, entity, attribute)`:
+//!
+//! * *max indicators* `m_t ⇔ ⋀_{t'≠t} t'≺t` — `t` holds the most current
+//!   value, and
+//! * *value indicators* `y_v ⇔ ⋁_{t : t[A]=v} m_t` — the most current
+//!   value is `v`.
+//!
+//! Projected All-SAT over the value indicators enumerates exactly the
+//! realizable current instances, collapsing the (huge) completion space to
+//! the (small) space of distinct `LST` outcomes.
+
+use currency_core::{
+    AttrId, Completion, CurrencyError, Eid, NormalInstance, RelCompletion, RelId, Specification,
+    Tuple, TupleId, Value,
+};
+use currency_sat::{Lit, Solver, Var};
+use std::collections::{BTreeMap, HashMap};
+
+/// How the current value of one `(relation, entity, attribute)` cell is
+/// represented in the encoding.
+#[derive(Clone, Debug)]
+pub enum ValueChoice {
+    /// Every completion yields this value (single tuple, or all tuples of
+    /// the entity agree on the attribute).
+    Fixed(Value),
+    /// The value is decided by the model: list of `(value, index into
+    /// [`Encoding::value_projection`])`; exactly one indicator is true in
+    /// any model.
+    Choice(Vec<(Value, usize)>),
+}
+
+/// A specification compiled to CNF (see module docs).
+#[derive(Debug)]
+pub struct Encoding {
+    /// The solver loaded with the specification's clauses.
+    pub solver: Solver,
+    /// `(rel, attr, u, v)` with `u < v` → order variable (`true` ⇔ `u ≺ v`).
+    order_vars: HashMap<(RelId, AttrId, TupleId, TupleId), Var>,
+    /// Current-value representation per encoded cell.
+    value_choices: BTreeMap<(RelId, Eid, AttrId), ValueChoice>,
+    /// Projection variables for All-SAT over current instances.
+    value_projection: Vec<Var>,
+    /// Relations whose current values are encoded.
+    value_rels: Vec<RelId>,
+}
+
+impl Encoding {
+    /// Compile `spec`.  `value_rels` lists the relations whose current
+    /// instances must be enumerable (pass `&[]` for pure CPS/COP use).
+    ///
+    /// Fails if the specification is structurally invalid
+    /// ([`Specification::validate`]).
+    pub fn new(spec: &Specification, value_rels: &[RelId]) -> Result<Encoding, CurrencyError> {
+        spec.validate()?;
+        let mut enc = Encoding {
+            solver: Solver::new(),
+            order_vars: HashMap::new(),
+            value_choices: BTreeMap::new(),
+            value_projection: Vec::new(),
+            value_rels: value_rels.to_vec(),
+        };
+        enc.alloc_order_vars(spec);
+        enc.add_transitivity(spec);
+        enc.add_initial_orders(spec);
+        enc.add_denial_constraints(spec);
+        enc.add_copy_compatibility(spec);
+        for &rel in value_rels {
+            enc.add_value_indicators(spec, rel);
+        }
+        Ok(enc)
+    }
+
+    /// The literal asserting `lesser ≺_attr greater`, if the pair is
+    /// same-entity (and thus has a variable).
+    pub fn order_lit(
+        &self,
+        rel: RelId,
+        attr: AttrId,
+        lesser: TupleId,
+        greater: TupleId,
+    ) -> Option<Lit> {
+        if lesser == greater {
+            return None;
+        }
+        let (a, b, positive) = if lesser < greater {
+            (lesser, greater, true)
+        } else {
+            (greater, lesser, false)
+        };
+        self.order_vars
+            .get(&(rel, attr, a, b))
+            .map(|v| v.lit(positive))
+    }
+
+    /// The value-indicator projection (for [`Solver::for_each_model`]).
+    pub fn value_projection(&self) -> &[Var] {
+        &self.value_projection
+    }
+
+    /// The relations whose current values are encoded.
+    pub fn value_rels(&self) -> &[RelId] {
+        &self.value_rels
+    }
+
+    /// Reconstruct the current instances of the encoded relations from a
+    /// projected model (as delivered by `for_each_model` over
+    /// [`Encoding::value_projection`]).
+    pub fn decode_current_instances(
+        &self,
+        spec: &Specification,
+        projected: &[bool],
+    ) -> Vec<NormalInstance> {
+        self.value_rels
+            .iter()
+            .map(|&rel| {
+                let inst = spec.instance(rel);
+                let mut out = NormalInstance::new(rel);
+                for eid in inst.entities() {
+                    let values: Vec<Value> = (0..inst.arity())
+                        .map(|a| {
+                            let attr = AttrId(a as u32);
+                            match self
+                                .value_choices
+                                .get(&(rel, eid, attr))
+                                .expect("cell encoded")
+                            {
+                                ValueChoice::Fixed(v) => v.clone(),
+                                ValueChoice::Choice(options) => options
+                                    .iter()
+                                    .find(|(_, ix)| projected[*ix])
+                                    .map(|(v, _)| v.clone())
+                                    .expect("exactly one value indicator true"),
+                            }
+                        })
+                        .collect();
+                    out.push(Tuple::new(eid, values));
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Decode the full completion witnessed by the solver's current model
+    /// (valid after a `Sat` result on [`Encoding::solver`]).
+    pub fn decode_completion(&self, spec: &Specification) -> Result<Completion, CurrencyError> {
+        let mut rels = Vec::with_capacity(spec.instances().len());
+        for inst in spec.instances() {
+            let rel = inst.rel();
+            let mut chains: Vec<BTreeMap<Eid, Vec<TupleId>>> = vec![BTreeMap::new(); inst.arity()];
+            for a in 0..inst.arity() {
+                let attr = AttrId(a as u32);
+                for (eid, group) in inst.entity_groups() {
+                    let mut chain: Vec<TupleId> = group.to_vec();
+                    // Count predecessors of each tuple under the model: in a
+                    // total order this equals the tuple's position, which
+                    // avoids relying on sort-comparator transitivity.
+                    let mut rank: Vec<(usize, TupleId)> = chain
+                        .iter()
+                        .map(|&t| {
+                            let preds = group
+                                .iter()
+                                .filter(|&&u| u != t && self.model_precedes(rel, attr, u, t))
+                                .count();
+                            (preds, t)
+                        })
+                        .collect();
+                    rank.sort_unstable();
+                    chain.clear();
+                    chain.extend(rank.into_iter().map(|(_, t)| t));
+                    chains[a].insert(eid, chain);
+                }
+            }
+            rels.push(RelCompletion::new(inst, chains)?);
+        }
+        Ok(Completion::new(rels))
+    }
+
+    fn model_precedes(&self, rel: RelId, attr: AttrId, u: TupleId, v: TupleId) -> bool {
+        match self.order_lit(rel, attr, u, v) {
+            Some(l) => {
+                let val = self.solver.model_value(l.var());
+                if l.is_pos() {
+                    val
+                } else {
+                    !val
+                }
+            }
+            None => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Construction passes
+    // ------------------------------------------------------------------
+
+    fn alloc_order_vars(&mut self, spec: &Specification) {
+        for inst in spec.instances() {
+            let rel = inst.rel();
+            for a in 0..inst.arity() {
+                let attr = AttrId(a as u32);
+                for (_eid, group) in inst.entity_groups() {
+                    for i in 0..group.len() {
+                        for j in (i + 1)..group.len() {
+                            let (u, v) = (group[i].min(group[j]), group[i].max(group[j]));
+                            let var = self.solver.new_var();
+                            self.order_vars.insert((rel, attr, u, v), var);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_transitivity(&mut self, spec: &Specification) {
+        for inst in spec.instances() {
+            let rel = inst.rel();
+            for a in 0..inst.arity() {
+                let attr = AttrId(a as u32);
+                for (_eid, group) in inst.entity_groups() {
+                    let n = group.len();
+                    for i in 0..n {
+                        for j in 0..n {
+                            for k in 0..n {
+                                if i == j || j == k || i == k {
+                                    continue;
+                                }
+                                let (x, y, z) = (group[i], group[j], group[k]);
+                                let xy = self.order_lit(rel, attr, x, y).expect("same entity");
+                                let yz = self.order_lit(rel, attr, y, z).expect("same entity");
+                                let xz = self.order_lit(rel, attr, x, z).expect("same entity");
+                                self.solver.add_clause(&[!xy, !yz, xz]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn add_initial_orders(&mut self, spec: &Specification) {
+        for inst in spec.instances() {
+            let rel = inst.rel();
+            for a in 0..inst.arity() {
+                let attr = AttrId(a as u32);
+                for (u, v) in inst.order(attr).iter() {
+                    let lit = self
+                        .order_lit(rel, attr, u, v)
+                        .expect("validated: same entity, irreflexive");
+                    self.solver.add_clause(&[lit]);
+                }
+            }
+        }
+    }
+
+    fn add_denial_constraints(&mut self, spec: &Specification) {
+        for dc in spec.constraints() {
+            let inst = spec.instance(dc.rel());
+            for rule in dc.ground(inst) {
+                let mut clause: Vec<Lit> = Vec::with_capacity(rule.premises.len() + 1);
+                for p in &rule.premises {
+                    let l = self
+                        .order_lit(dc.rel(), p.attr, p.lesser, p.greater)
+                        .expect("ground premises are same-entity and irreflexive");
+                    clause.push(!l);
+                }
+                if let Some(c) = &rule.conclusion {
+                    let l = self
+                        .order_lit(dc.rel(), c.attr, c.lesser, c.greater)
+                        .expect("ground conclusion is same-entity");
+                    clause.push(l);
+                }
+                self.solver.add_clause(&clause);
+            }
+        }
+    }
+
+    fn add_copy_compatibility(&mut self, spec: &Specification) {
+        for cf in spec.copies() {
+            let sig = cf.signature();
+            let target = spec.instance(sig.target);
+            let source = spec.instance(sig.source);
+            for (src_edge, tgt_edge) in cf.compatibility_obligations(target, source) {
+                let sl = self
+                    .order_lit(sig.source, src_edge.attr, src_edge.lesser, src_edge.greater)
+                    .expect("obligation endpoints share an entity");
+                let tl = self
+                    .order_lit(sig.target, tgt_edge.attr, tgt_edge.lesser, tgt_edge.greater)
+                    .expect("obligation endpoints share an entity");
+                self.solver.add_clause(&[!sl, tl]);
+            }
+        }
+    }
+
+    fn add_value_indicators(&mut self, spec: &Specification, rel: RelId) {
+        let inst = spec.instance(rel);
+        // Collect groups first to avoid borrowing `inst` across mutations.
+        let groups: Vec<(Eid, Vec<TupleId>)> = inst
+            .entity_groups()
+            .map(|(e, g)| (e, g.to_vec()))
+            .collect();
+        for (eid, group) in groups {
+            for a in 0..inst.arity() {
+                let attr = AttrId(a as u32);
+                // Distinct values of the attribute within the group, with
+                // the tuples holding each value.
+                let mut by_value: BTreeMap<Value, Vec<TupleId>> = BTreeMap::new();
+                for &t in &group {
+                    by_value
+                        .entry(inst.tuple(t).value(attr).clone())
+                        .or_default()
+                        .push(t);
+                }
+                if by_value.len() == 1 {
+                    let v = by_value.into_keys().next().expect("one value");
+                    self.value_choices
+                        .insert((rel, eid, attr), ValueChoice::Fixed(v));
+                    continue;
+                }
+                // Max indicators m_t ⇔ ⋀_{t'≠t} t' ≺ t.
+                let mut max_var: BTreeMap<TupleId, Var> = BTreeMap::new();
+                for &t in &group {
+                    let m = self.solver.new_var();
+                    max_var.insert(t, m);
+                    let mut closure_clause: Vec<Lit> = vec![m.pos()];
+                    for &u in &group {
+                        if u == t {
+                            continue;
+                        }
+                        let below = self.order_lit(rel, attr, u, t).expect("same entity");
+                        // m → u ≺ t
+                        self.solver.add_clause(&[m.neg(), below]);
+                        // collect for (⋀ u≺t) → m
+                        closure_clause.push(!below);
+                    }
+                    self.solver.add_clause(&closure_clause);
+                }
+                // Value indicators y_v ⇔ ⋁_{t[A]=v} m_t.
+                let mut options: Vec<(Value, usize)> = Vec::new();
+                for (value, holders) in by_value {
+                    let y = self.solver.new_var();
+                    let ix = self.value_projection.len();
+                    self.value_projection.push(y);
+                    options.push((value, ix));
+                    let mut def: Vec<Lit> = vec![y.neg()];
+                    for &t in &holders {
+                        let m = max_var[&t];
+                        // m_t → y
+                        self.solver.add_clause(&[m.neg(), y.pos()]);
+                        def.push(m.pos());
+                    }
+                    // y → ⋁ m_t
+                    self.solver.add_clause(&def);
+                }
+                self.value_choices
+                    .insert((rel, eid, attr), ValueChoice::Choice(options));
+            }
+        }
+        // Cells of entities with uniform values across every attribute are
+        // inserted above; nothing else to do.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use currency_core::{Catalog, CmpOp, DenialConstraint, RelationSchema, Term};
+    use currency_sat::SolveResult;
+
+    const A: AttrId = AttrId(0);
+
+    fn salary_spec() -> (Specification, RelId, TupleId, TupleId) {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["salary"]));
+        let mut spec = Specification::new(cat);
+        let t0 = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(50)]))
+            .unwrap();
+        let t1 = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(80)]))
+            .unwrap();
+        (spec, r, t0, t1)
+    }
+
+    fn monotone(r: RelId) -> DenialConstraint {
+        DenialConstraint::builder(r, 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+            .then_order(1, A, 0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unconstrained_pair_is_sat_both_ways() {
+        let (spec, r, t0, t1) = salary_spec();
+        let mut enc = Encoding::new(&spec, &[]).unwrap();
+        assert_eq!(enc.solver.solve(), SolveResult::Sat);
+        let l = enc.order_lit(r, A, t0, t1).unwrap();
+        assert_eq!(enc.solver.solve_with_assumptions(&[l]), SolveResult::Sat);
+        assert_eq!(enc.solver.solve_with_assumptions(&[!l]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn denial_constraint_forces_direction() {
+        let (mut spec, r, t0, t1) = salary_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut enc = Encoding::new(&spec, &[]).unwrap();
+        let l = enc.order_lit(r, A, t0, t1).unwrap();
+        // t0 (50) must precede t1 (80).
+        assert_eq!(enc.solver.solve_with_assumptions(&[!l]), SolveResult::Unsat);
+        assert_eq!(enc.solver.solve_with_assumptions(&[l]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn contradictory_initial_orders_are_unsat() {
+        let (mut spec, r, t0, t1) = salary_spec();
+        spec.instance_mut(r).add_order(A, t0, t1).unwrap();
+        spec.instance_mut(r).add_order(A, t1, t0).unwrap();
+        // validate() rejects the cyclic order before encoding.
+        assert!(Encoding::new(&spec, &[]).is_err());
+    }
+
+    #[test]
+    fn transitivity_is_enforced() {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        let ts: Vec<TupleId> = (0..3)
+            .map(|i| {
+                spec.instance_mut(r)
+                    .push_tuple(Tuple::new(Eid(1), vec![Value::int(i)]))
+                    .unwrap()
+            })
+            .collect();
+        let mut enc = Encoding::new(&spec, &[]).unwrap();
+        let l01 = enc.order_lit(r, A, ts[0], ts[1]).unwrap();
+        let l12 = enc.order_lit(r, A, ts[1], ts[2]).unwrap();
+        let l20 = enc.order_lit(r, A, ts[2], ts[0]).unwrap();
+        // A directed cycle must be unsatisfiable.
+        assert_eq!(
+            enc.solver.solve_with_assumptions(&[l01, l12, l20]),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            enc.solver.solve_with_assumptions(&[l01, l12, !l20]),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn order_lit_orientation() {
+        let (spec, r, t0, t1) = salary_spec();
+        let enc = Encoding::new(&spec, &[]).unwrap();
+        let fwd = enc.order_lit(r, A, t0, t1).unwrap();
+        let bwd = enc.order_lit(r, A, t1, t0).unwrap();
+        assert_eq!(fwd, !bwd);
+        assert!(enc.order_lit(r, A, t0, t0).is_none());
+    }
+
+    #[test]
+    fn value_indicators_enumerate_current_instances() {
+        let (spec, r, _, _) = salary_spec();
+        let mut enc = Encoding::new(&spec, &[r]).unwrap();
+        assert_eq!(enc.value_projection().len(), 2, "two candidate values");
+        let projection = enc.value_projection().to_vec();
+        let mut outcomes = Vec::new();
+        enc.solver.for_each_model(&projection, 100, |m| {
+            outcomes.push(m.to_vec());
+            true
+        });
+        // Unconstrained: both 50 and 80 can be the current salary.
+        assert_eq!(outcomes.len(), 2);
+        for m in &outcomes {
+            assert_eq!(m.iter().filter(|&&b| b).count(), 1);
+        }
+    }
+
+    #[test]
+    fn decode_current_instance_respects_constraints() {
+        let (mut spec, r, _, _) = salary_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut enc = Encoding::new(&spec, &[r]).unwrap();
+        let projection = enc.value_projection().to_vec();
+        let mut instances = Vec::new();
+        enc.solver.for_each_model(&projection, 100, |m| {
+            instances.push(m.to_vec());
+            true
+        });
+        assert_eq!(instances.len(), 1, "constraint pins the current value");
+        let dbs = enc.decode_current_instances(&spec, &instances[0]);
+        assert_eq!(dbs.len(), 1);
+        assert!(dbs[0].contains(&Tuple::new(Eid(1), vec![Value::int(80)])));
+    }
+
+    #[test]
+    fn decode_completion_is_consistent() {
+        let (mut spec, r, t0, t1) = salary_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut enc = Encoding::new(&spec, &[]).unwrap();
+        assert_eq!(enc.solver.solve(), SolveResult::Sat);
+        let completion = enc.decode_completion(&spec).unwrap();
+        assert!(completion.is_consistent_for(&spec));
+        assert!(completion.rel(r).precedes(A, t0, t1));
+    }
+
+    #[test]
+    fn uniform_value_groups_need_no_indicators() {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        for _ in 0..3 {
+            spec.instance_mut(r)
+                .push_tuple(Tuple::new(Eid(1), vec![Value::int(7)]))
+                .unwrap();
+        }
+        let enc = Encoding::new(&spec, &[r]).unwrap();
+        assert!(enc.value_projection().is_empty());
+        let dbs = enc.decode_current_instances(&spec, &[]);
+        assert!(dbs[0].contains(&Tuple::new(Eid(1), vec![Value::int(7)])));
+    }
+}

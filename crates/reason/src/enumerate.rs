@@ -1,0 +1,200 @@
+//! Brute-force enumeration of `Mod(S)` — the reference solver.
+//!
+//! Every combination of linear extensions of the initial partial orders
+//! (one per relation × attribute × entity) is generated and checked
+//! against the denial constraints and copy-compatibility conditions.  The
+//! cost is the product of factorials of group sizes — this is strictly a
+//! ground-truth oracle for differential testing and for the solver
+//! ablation benchmark, not a production path.
+
+use crate::error::ReasonError;
+use currency_core::{
+    linear_extensions, AttrId, Completion, Eid, RelCompletion, Specification, TupleId,
+};
+use std::collections::BTreeMap;
+
+/// One choice point: the chains available for a `(rel, attr, entity)` cell.
+struct Cell {
+    rel: usize,
+    attr: usize,
+    eid: Eid,
+    options: Vec<Vec<TupleId>>,
+}
+
+/// Enumerate all *candidate* completions (products of linear extensions of
+/// the initial orders) and invoke `f` on each **consistent** one.
+///
+/// Returns `Ok(count)` with the number of consistent completions visited
+/// when enumeration ran to completion, or stops early (returning the count
+/// so far) when `f` returns `false`.  Fails with
+/// [`ReasonError::BudgetExceeded`] if the candidate space exceeds `limit`.
+pub fn for_each_consistent_completion(
+    spec: &Specification,
+    limit: usize,
+    mut f: impl FnMut(&Completion) -> bool,
+) -> Result<usize, ReasonError> {
+    spec.validate()?;
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut total: usize = 1;
+    for (rix, inst) in spec.instances().iter().enumerate() {
+        for a in 0..inst.arity() {
+            let attr = AttrId(a as u32);
+            for (eid, group) in inst.entity_groups() {
+                let options = linear_extensions(group, inst.order(attr));
+                if options.is_empty() {
+                    // Initial order cyclic within this cell: no completions.
+                    return Ok(0);
+                }
+                total = total.saturating_mul(options.len());
+                if total > limit {
+                    return Err(ReasonError::BudgetExceeded {
+                        what: "completion enumeration",
+                    });
+                }
+                cells.push(Cell {
+                    rel: rix,
+                    attr: a,
+                    eid,
+                    options,
+                });
+            }
+        }
+    }
+    // Odometer over the cells.
+    let mut pick = vec![0usize; cells.len()];
+    let mut visited = 0usize;
+    loop {
+        // Materialize the completion for the current picks.
+        let mut chains: Vec<Vec<BTreeMap<Eid, Vec<TupleId>>>> = spec
+            .instances()
+            .iter()
+            .map(|inst| vec![BTreeMap::new(); inst.arity()])
+            .collect();
+        for (cell, &p) in cells.iter().zip(&pick) {
+            chains[cell.rel][cell.attr].insert(cell.eid, cell.options[p].clone());
+        }
+        let rels: Result<Vec<RelCompletion>, _> = spec
+            .instances()
+            .iter()
+            .zip(chains)
+            .map(|(inst, ch)| RelCompletion::new(inst, ch))
+            .collect();
+        let completion = Completion::new(rels?);
+        if completion.is_consistent_for(spec) {
+            visited += 1;
+            if !f(&completion) {
+                return Ok(visited);
+            }
+        }
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == cells.len() {
+                return Ok(visited);
+            }
+            pick[i] += 1;
+            if pick[i] < cells[i].options.len() {
+                break;
+            }
+            pick[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Collect all consistent completions (tiny inputs only).
+pub fn all_consistent_completions(
+    spec: &Specification,
+    limit: usize,
+) -> Result<Vec<Completion>, ReasonError> {
+    let mut out = Vec::new();
+    for_each_consistent_completion(spec, limit, |c| {
+        out.push(c.clone());
+        true
+    })?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use currency_core::{
+        Catalog, CmpOp, DenialConstraint, RelationSchema, Term, Tuple, Value,
+    };
+    use currency_core::RelId;
+
+    const A: AttrId = AttrId(0);
+
+    fn spec_with_values(vals: &[i64]) -> (Specification, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        for &v in vals {
+            spec.instance_mut(r)
+                .push_tuple(Tuple::new(Eid(1), vec![Value::int(v)]))
+                .unwrap();
+        }
+        (spec, r)
+    }
+
+    #[test]
+    fn unconstrained_counts_are_factorial() {
+        let (spec, _) = spec_with_values(&[1, 2, 3]);
+        let all = all_consistent_completions(&spec, 1000).unwrap();
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn initial_orders_prune_extensions() {
+        let (mut spec, r) = spec_with_values(&[1, 2, 3]);
+        spec.instance_mut(r)
+            .add_order(A, TupleId(0), TupleId(1))
+            .unwrap();
+        let all = all_consistent_completions(&spec, 1000).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn denial_constraints_filter_completions() {
+        let (mut spec, r) = spec_with_values(&[10, 20, 30]);
+        let dc = DenialConstraint::builder(r, 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+            .then_order(1, A, 0)
+            .build()
+            .unwrap();
+        spec.add_constraint(dc).unwrap();
+        // Monotone salaries admit exactly one completion.
+        let all = all_consistent_completions(&spec, 1000).unwrap();
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (spec, _) = spec_with_values(&[1, 2, 3, 4, 5, 6]);
+        // 6! = 720 candidate completions > 100.
+        assert!(matches!(
+            all_consistent_completions(&spec, 100),
+            Err(ReasonError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn early_stop_counts_partial() {
+        let (spec, _) = spec_with_values(&[1, 2, 3]);
+        let n = for_each_consistent_completion(&spec, 1000, |_| false).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn cyclic_initial_orders_yield_zero() {
+        let (mut spec, r) = spec_with_values(&[1, 2]);
+        spec.instance_mut(r)
+            .add_order(A, TupleId(0), TupleId(1))
+            .unwrap();
+        spec.instance_mut(r)
+            .add_order(A, TupleId(1), TupleId(0))
+            .unwrap();
+        // validate() inside rejects the cyclic order.
+        assert!(for_each_consistent_completion(&spec, 10, |_| true).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the reasoning crate.
+
+use currency_core::CurrencyError;
+use std::fmt;
+
+/// Errors raised by the decision procedures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReasonError {
+    /// The input specification is malformed (propagated from the model).
+    Currency(CurrencyError),
+    /// An exact solver exceeded its [`crate::Options`] budget.
+    BudgetExceeded {
+        /// Which budget was exhausted.
+        what: &'static str,
+    },
+    /// A query-shaped input was required but not met (e.g. an SP-only
+    /// algorithm received a non-SP query).
+    UnsupportedQuery {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ReasonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReasonError::Currency(e) => write!(f, "invalid specification: {e}"),
+            ReasonError::BudgetExceeded { what } => {
+                write!(f, "exact solver budget exceeded: {what}")
+            }
+            ReasonError::UnsupportedQuery { detail } => {
+                write!(f, "unsupported query: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReasonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReasonError::Currency(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CurrencyError> for ReasonError {
+    fn from(e: CurrencyError) -> ReasonError {
+        ReasonError::Currency(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ReasonError::from(CurrencyError::UnknownRelation {
+            relation: "R".into(),
+        });
+        assert!(e.to_string().contains("R"));
+        assert!(std::error::Error::source(&e).is_some());
+        let b = ReasonError::BudgetExceeded { what: "models" };
+        assert!(b.to_string().contains("models"));
+        assert!(std::error::Error::source(&b).is_none());
+    }
+}

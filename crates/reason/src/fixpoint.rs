@@ -1,0 +1,214 @@
+//! The PTIME certain-order fixpoint `PO∞` (paper Theorem 6.1, Lemma 6.2).
+//!
+//! In the absence of denial constraints, the certain currency orders of a
+//! specification are computed by a polynomial fixpoint: start from the
+//! transitive closures of the initial partial orders and repeatedly
+//! transfer order information *through* copy functions — from source to
+//! target (≺-compatibility forces imported pairs) and from target back to
+//! source (a target pair whose preimages are comparable-constrained), then
+//! re-close transitively.  The specification is consistent iff the
+//! fixpoint is cycle-free, and by Lemma 6.2 the fixpoint equals
+//! `⋂_{Dᶜ ∈ Mod(S)} ≺ᶜ` — it is both *certain* and *maximal*.
+//!
+//! These two properties make `PO∞` the workhorse of every PTIME special
+//! case in paper §6: COP is containment in `PO∞`, DCIP inspects its sinks,
+//! and the SP algorithms build `poss(S)` from its sinks.
+
+use crate::error::ReasonError;
+use currency_core::{AttrId, OrderRelation, RelId, Specification, TupleId};
+
+/// The certain orders `PO∞` of a specification without denial constraints.
+#[derive(Clone, Debug)]
+pub struct CertainOrders {
+    /// `orders[rel][attr]` — transitively closed certain order.
+    orders: Vec<Vec<OrderRelation>>,
+}
+
+impl CertainOrders {
+    /// The certain order of one relation attribute (transitively closed).
+    pub fn order(&self, rel: RelId, attr: AttrId) -> &OrderRelation {
+        &self.orders[rel.index()][attr.index()]
+    }
+
+    /// `true` iff `lesser ≺ greater` is certain.
+    pub fn certain(&self, rel: RelId, attr: AttrId, lesser: TupleId, greater: TupleId) -> bool {
+        self.orders[rel.index()][attr.index()].contains(lesser, greater)
+    }
+
+    /// `true` iff the two tuples are incomparable in the certain order.
+    pub fn incomparable(&self, rel: RelId, attr: AttrId, a: TupleId, b: TupleId) -> bool {
+        a != b && !self.certain(rel, attr, a, b) && !self.certain(rel, attr, b, a)
+    }
+}
+
+/// Compute `PO∞` (paper Theorem 6.1).
+///
+/// Returns `Ok(None)` when the fixpoint develops a cycle — i.e. the
+/// specification is **inconsistent** — and `Ok(Some(_))` otherwise.
+///
+/// The result characterizes certain orders only for specifications
+/// *without denial constraints*; the top-level dispatchers only call this
+/// in that regime.  (With constraints present the fixpoint is still a
+/// sound lower bound on the certain orders but no longer complete.)
+pub fn po_infinity(spec: &Specification) -> Result<Option<CertainOrders>, ReasonError> {
+    spec.validate()?;
+    let mut orders: Vec<Vec<OrderRelation>> = spec
+        .instances()
+        .iter()
+        .map(|inst| {
+            (0..inst.arity())
+                .map(|a| inst.order(AttrId(a as u32)).transitive_closure())
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for cf in spec.copies() {
+            let sig = cf.signature();
+            let target = spec.instance(sig.target);
+            let source = spec.instance(sig.source);
+            for (src_edge, tgt_edge) in cf.compatibility_obligations(target, source) {
+                // Forward: source order forces target order.
+                if orders[sig.source.index()][src_edge.attr.index()]
+                    .contains(src_edge.lesser, src_edge.greater)
+                    && orders[sig.target.index()][tgt_edge.attr.index()]
+                        .add(tgt_edge.lesser, tgt_edge.greater)
+                {
+                    changed = true;
+                }
+                // Backward: a certain target pair forces its source pair —
+                // otherwise the reverse source order would be completable,
+                // contradicting ≺-compatibility (paper algorithm step 3(a)ii).
+                if orders[sig.target.index()][tgt_edge.attr.index()]
+                    .contains(tgt_edge.lesser, tgt_edge.greater)
+                    && orders[sig.source.index()][src_edge.attr.index()]
+                        .add(src_edge.lesser, src_edge.greater)
+                {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Re-close and cycle-check after each propagation round.
+        for rel_orders in &mut orders {
+            for o in rel_orders.iter_mut() {
+                *o = o.transitive_closure();
+                if o.find_cycle().is_some() {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    for rel_orders in &orders {
+        for o in rel_orders {
+            if o.find_cycle().is_some() {
+                return Ok(None);
+            }
+        }
+    }
+    Ok(Some(CertainOrders { orders }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use currency_core::{
+        Catalog, CopyFunction, CopySignature, Eid, RelationSchema, Tuple, Value,
+    };
+
+    const A: AttrId = AttrId(0);
+
+    /// Two relations R(A), S(A); R copies attribute A from S.
+    fn copy_spec() -> (Specification, RelId, RelId, Vec<TupleId>, Vec<TupleId>) {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let s = cat.add(RelationSchema::new("S", &["A"]));
+        let mut spec = Specification::new(cat);
+        let mut rt = Vec::new();
+        let mut st = Vec::new();
+        for v in [1i64, 2] {
+            rt.push(
+                spec.instance_mut(r)
+                    .push_tuple(Tuple::new(Eid(1), vec![Value::int(v)]))
+                    .unwrap(),
+            );
+            st.push(
+                spec.instance_mut(s)
+                    .push_tuple(Tuple::new(Eid(9), vec![Value::int(v)]))
+                    .unwrap(),
+            );
+        }
+        (spec, r, s, rt, st)
+    }
+
+    fn mapped(spec: &mut Specification, r: RelId, s: RelId, rt: &[TupleId], st: &[TupleId]) {
+        let sig = CopySignature::new(r, vec![A], s, vec![A]).unwrap();
+        let mut cf = CopyFunction::new(sig);
+        cf.set_mapping(rt[0], st[0]);
+        cf.set_mapping(rt[1], st[1]);
+        spec.add_copy(cf).unwrap();
+    }
+
+    #[test]
+    fn closure_of_initial_orders() {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        let ts: Vec<TupleId> = (0..3)
+            .map(|i| {
+                spec.instance_mut(r)
+                    .push_tuple(Tuple::new(Eid(1), vec![Value::int(i)]))
+                    .unwrap()
+            })
+            .collect();
+        spec.instance_mut(r).add_order(A, ts[0], ts[1]).unwrap();
+        spec.instance_mut(r).add_order(A, ts[1], ts[2]).unwrap();
+        let po = po_infinity(&spec).unwrap().expect("consistent");
+        assert!(po.certain(r, A, ts[0], ts[2]), "transitive closure");
+        assert!(!po.incomparable(r, A, ts[0], ts[0]));
+    }
+
+    #[test]
+    fn forward_propagation_through_copy() {
+        let (mut spec, r, s, rt, st) = copy_spec();
+        mapped(&mut spec, r, s, &rt, &st);
+        spec.instance_mut(s).add_order(A, st[0], st[1]).unwrap();
+        let po = po_infinity(&spec).unwrap().expect("consistent");
+        assert!(po.certain(r, A, rt[0], rt[1]), "imported order");
+    }
+
+    #[test]
+    fn backward_propagation_through_copy() {
+        let (mut spec, r, s, rt, st) = copy_spec();
+        mapped(&mut spec, r, s, &rt, &st);
+        spec.instance_mut(r).add_order(A, rt[1], rt[0]).unwrap();
+        let po = po_infinity(&spec).unwrap().expect("consistent");
+        assert!(po.certain(s, A, st[1], st[0]), "exported order");
+    }
+
+    #[test]
+    fn conflicting_orders_across_copy_are_inconsistent() {
+        let (mut spec, r, s, rt, st) = copy_spec();
+        mapped(&mut spec, r, s, &rt, &st);
+        spec.instance_mut(s).add_order(A, st[0], st[1]).unwrap();
+        spec.instance_mut(r).add_order(A, rt[1], rt[0]).unwrap();
+        assert!(po_infinity(&spec).unwrap().is_none(), "cycle via copy");
+    }
+
+    #[test]
+    fn empty_spec_is_consistent() {
+        let cat = Catalog::new();
+        let spec = Specification::new(cat);
+        assert!(po_infinity(&spec).unwrap().is_some());
+    }
+
+    #[test]
+    fn incomparability_reporting() {
+        let (spec, r, _, rt, _) = copy_spec();
+        let po = po_infinity(&spec).unwrap().expect("consistent");
+        assert!(po.incomparable(r, A, rt[0], rt[1]));
+        assert!(!po.incomparable(r, A, rt[0], rt[0]));
+    }
+}

@@ -1,0 +1,87 @@
+//! # currency-reason
+//!
+//! Decision procedures for the seven data-currency problems of Fan, Geerts
+//! & Wijsen (PODS 2011 / TODS 2012), over the model of `currency-core`:
+//!
+//! | Problem | Question | General complexity | This crate |
+//! |---------|----------|--------------------|------------|
+//! | **CPS**  | is the specification consistent (`Mod(S) ≠ ∅`)? | Σᵖ₂-c / NP-c | [`cps`] |
+//! | **COP**  | is a currency order contained in every consistent completion? | Πᵖ₂-c / coNP-c | [`cop`] |
+//! | **DCIP** | do all completions agree on the current instance? | Πᵖ₂-c / coNP-c | [`dcip`] |
+//! | **CCQA** | is a tuple a certain current answer to a query? | Πᵖ₂–PSPACE / coNP-c | [`ccqa`], [`certain_answers`] |
+//! | **CPP**  | do the copy functions already import enough current data? | Πᵖ₃–PSPACE / Πᵖ₂-c | [`cpp`] |
+//! | **ECP**  | can the copy functions be extended to be currency preserving? | O(1) | [`ecp`], [`maximum_extension`] |
+//! | **BCP**  | … with at most `k` additional copied tuples? | Σᵖ₄–PSPACE / Σᵖ₃-c | [`bcp`] |
+//!
+//! ## Engines
+//!
+//! * **SAT-based exact solvers** ([`encode`]): consistent completions are
+//!   encoded as propositional models over *order variables* (one Boolean
+//!   per unordered same-entity tuple pair per attribute), with structural
+//!   totality/antisymmetry, ground transitivity clauses, grounded denial
+//!   constraints, and copy-compatibility implications.  Current instances
+//!   are enumerated through projected All-SAT over *value indicator*
+//!   variables.  The engine is `currency-sat`'s CDCL solver.
+//! * **Enumeration reference solvers** ([`enumerate`]): brute-force
+//!   iteration over all completions, used as ground truth in differential
+//!   tests and the ablation benchmarks.
+//! * **PTIME special-case algorithms** (paper §6): the fixpoint
+//!   computation of certain orders `PO∞` ([`po_infinity`], Theorem 6.1),
+//!   the `poss(S)` algorithm for SP queries ([`certain_answers_sp`],
+//!   Proposition 6.3), and polynomial currency-preservation checks for SP
+//!   queries without denial constraints ([`cpp_sp`], [`bcp_sp`],
+//!   Theorem 6.4).
+//!
+//! Top-level functions dispatch automatically: when a specification has no
+//! denial constraints (and, for query problems, the query is SP), the
+//! PTIME algorithms are used; otherwise the SAT-based exact solvers run.
+
+mod ccqa;
+mod cop;
+mod cps;
+mod dcip;
+pub mod encode;
+pub mod enumerate;
+mod error;
+pub mod explain;
+mod fixpoint;
+mod preserve;
+mod preserve_sp;
+mod sp_ptime;
+
+pub use ccqa::{ccqa, ccqa_exact, certain_answers, certain_answers_exact, CertainAnswers};
+pub use cop::{cop, cop_exact, cop_ptime, CurrencyOrderQuery};
+pub use cps::{cps, cps_enumerate, cps_exact, cps_ptime, witness_completion};
+pub use dcip::{dcip, dcip_exact, dcip_ptime};
+pub use error::ReasonError;
+pub use explain::{explain_inconsistency, InconsistencyCore, SpecComponent};
+pub use fixpoint::{po_infinity, CertainOrders};
+pub use preserve::{
+    bcp, cpp, ecp, maximum_extension, ExtensionSlot, PreservationProblem,
+};
+pub use preserve_sp::{bcp_sp, cpp_sp};
+pub use sp_ptime::{certain_answers_sp, ccqa_sp, poss_instance};
+
+/// Resource limits for the exact (enumeration-heavy) solvers.
+///
+/// The general problems are Σᵖ₂-hard and worse; the exact solvers can be
+/// asked questions whose answer requires visiting exponentially many
+/// projected models or extensions.  `Options` bounds that work so callers
+/// get a [`ReasonError::BudgetExceeded`] instead of an unbounded run.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Maximum number of projected models visited per All-SAT enumeration.
+    pub max_models: usize,
+    /// Maximum number of copy-function extensions examined per CPP/BCP
+    /// check.
+    pub max_extensions: usize,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            max_models: 1_000_000,
+            max_extensions: 1_000_000,
+        }
+    }
+}

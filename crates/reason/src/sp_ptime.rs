@@ -1,0 +1,199 @@
+//! The PTIME `poss(S)` algorithm for SP queries (paper Prop 6.3).
+//!
+//! Without denial constraints, the certain current answers to an SP query
+//! have a direct polynomial characterization.  For each entity `e` and
+//! attribute `A`, the possible most-current values are the values of the
+//! *sinks* of the certain order `PO∞` restricted to `e`'s tuples:
+//!
+//! * if all sinks agree on one value, that value is the certain current
+//!   value `poss(e, A)`;
+//! * otherwise `poss(e, A)` is a **fresh constant** — a value different
+//!   from every ordinary value and every other fresh constant
+//!   ([`currency_core::Value::Fresh`]).
+//!
+//! Evaluating the SP query over the synthetic instance
+//! `poss(S) = { poss(e, ·) | e }` and *discarding* every answer row that
+//! contains a fresh constant yields exactly the certain current answers.
+//! (A fresh constant can never satisfy an equality selection, and a
+//! projected fresh constant marks an entity whose answer row differs
+//! between completions.)
+
+use crate::ccqa::CertainAnswers;
+use crate::error::ReasonError;
+use crate::fixpoint::po_infinity;
+use currency_core::{AttrId, NormalInstance, RelId, Specification, Tuple, Value};
+use currency_query::SpQuery;
+
+/// Build the `poss(S)` instance of one relation: one synthetic tuple per
+/// entity whose cells are either the certain current value or a fresh
+/// constant.  Returns `Ok(None)` when the specification is inconsistent.
+///
+/// Fresh constants are numbered deterministically per `(entity-rank,
+/// attribute)` so repeated calls produce identical instances.
+pub fn poss_instance(
+    spec: &Specification,
+    rel: RelId,
+) -> Result<Option<NormalInstance>, ReasonError> {
+    debug_assert!(
+        spec.has_no_constraints(),
+        "poss(S) requires a constraint-free specification"
+    );
+    let Some(po) = po_infinity(spec)? else {
+        return Ok(None);
+    };
+    let inst = spec.instance(rel);
+    let mut out = NormalInstance::new(rel);
+    let mut fresh_counter: u64 = 0;
+    for (eid, group) in inst.entity_groups() {
+        let values: Vec<Value> = (0..inst.arity())
+            .map(|a| {
+                let attr = AttrId(a as u32);
+                let sinks = po.order(rel, attr).sinks(group);
+                let mut vals: Vec<&Value> =
+                    sinks.iter().map(|&t| inst.tuple(t).value(attr)).collect();
+                vals.sort();
+                vals.dedup();
+                let v = match vals.as_slice() {
+                    [only] => (*only).clone(),
+                    _ => {
+                        let f = Value::Fresh(fresh_counter);
+                        fresh_counter += 1;
+                        f
+                    }
+                };
+                v
+            })
+            .collect();
+        out.push(Tuple::new(eid, values));
+    }
+    Ok(Some(out))
+}
+
+/// Certain current answers to an SP query without denial constraints
+/// (paper Prop 6.3): evaluate over `poss(S)` and drop rows containing
+/// fresh constants.
+pub fn certain_answers_sp(
+    spec: &Specification,
+    query: &SpQuery,
+) -> Result<CertainAnswers, ReasonError> {
+    let Some(poss) = poss_instance(spec, query.rel)? else {
+        return Ok(CertainAnswers::Inconsistent);
+    };
+    let rows: Vec<Vec<Value>> = query
+        .eval(&poss)
+        .into_iter()
+        .filter(|row| !row.iter().any(Value::is_fresh))
+        .collect();
+    Ok(CertainAnswers::Answers(rows))
+}
+
+/// Decide CCQA for an SP query without denial constraints (PTIME).
+pub fn ccqa_sp(
+    spec: &Specification,
+    query: &SpQuery,
+    tuple: &[Value],
+) -> Result<bool, ReasonError> {
+    Ok(certain_answers_sp(spec, query)?.contains(tuple))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use currency_core::{Catalog, Eid, RelationSchema, TupleId};
+    use currency_query::SpCondition;
+
+    const NAME: AttrId = AttrId(0);
+    const ADDR: AttrId = AttrId(1);
+
+    /// Mary: two records with different addresses; Bob: one record.
+    fn spec() -> (Specification, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("Emp", &["name", "address"]));
+        let mut spec = Specification::new(cat);
+        for (e, n, a) in [
+            (1u64, "Mary", "2 Small St"),
+            (1, "Mary", "6 Main St"),
+            (2, "Bob", "8 Cowan St"),
+        ] {
+            spec.instance_mut(r)
+                .push_tuple(Tuple::new(Eid(e), vec![Value::str(n), Value::str(a)]))
+                .unwrap();
+        }
+        (spec, r)
+    }
+
+    #[test]
+    fn uncertain_cells_become_fresh() {
+        let (spec, r) = spec();
+        let poss = poss_instance(&spec, r).unwrap().unwrap();
+        let mary = poss.iter().find(|t| t.eid == Eid(1)).unwrap();
+        assert_eq!(mary.value(NAME), &Value::str("Mary"), "names agree");
+        assert!(mary.value(ADDR).is_fresh(), "addresses disagree");
+        let bob = poss.iter().find(|t| t.eid == Eid(2)).unwrap();
+        assert!(!bob.value(ADDR).is_fresh(), "single record is certain");
+    }
+
+    #[test]
+    fn orders_resolve_freshness() {
+        let (mut spec, r) = spec();
+        spec.instance_mut(r)
+            .add_order(ADDR, TupleId(0), TupleId(1))
+            .unwrap();
+        let poss = poss_instance(&spec, r).unwrap().unwrap();
+        let mary = poss.iter().find(|t| t.eid == Eid(1)).unwrap();
+        assert_eq!(mary.value(ADDR), &Value::str("6 Main St"));
+    }
+
+    #[test]
+    fn certain_answers_drop_fresh_rows() {
+        let (spec, r) = spec();
+        // Q: project the address of Mary.
+        let q = SpQuery {
+            rel: r,
+            projection: vec![ADDR],
+            conditions: vec![SpCondition::AttrConst(NAME, Value::str("Mary"))],
+        };
+        let ans = certain_answers_sp(&spec, &q).unwrap();
+        assert_eq!(ans.rows().unwrap().len(), 0, "address is uncertain");
+        // Bob's address is certain.
+        let qb = SpQuery {
+            rel: r,
+            projection: vec![ADDR],
+            conditions: vec![SpCondition::AttrConst(NAME, Value::str("Bob"))],
+        };
+        let ansb = certain_answers_sp(&spec, &qb).unwrap();
+        assert_eq!(ansb.rows().unwrap(), &[vec![Value::str("8 Cowan St")]]);
+        assert!(ccqa_sp(&spec, &qb, &[Value::str("8 Cowan St")]).unwrap());
+    }
+
+    #[test]
+    fn fresh_constants_fail_selections() {
+        let (spec, r) = spec();
+        // Selecting on the uncertain address must not match any constant.
+        let q = SpQuery {
+            rel: r,
+            projection: vec![NAME],
+            conditions: vec![SpCondition::AttrConst(ADDR, Value::str("6 Main St"))],
+        };
+        let ans = certain_answers_sp(&spec, &q).unwrap();
+        assert_eq!(
+            ans.rows().unwrap().len(),
+            0,
+            "Mary's address is not certainly 6 Main St"
+        );
+    }
+
+    #[test]
+    fn inconsistent_spec_detected() {
+        let (mut spec, r) = spec();
+        spec.instance_mut(r)
+            .add_order(ADDR, TupleId(0), TupleId(1))
+            .unwrap();
+        spec.instance_mut(r)
+            .add_order(ADDR, TupleId(1), TupleId(0))
+            .unwrap();
+        // Cyclic initial order → validation failure surfaces as an error
+        // (the specification is structurally malformed, not just empty).
+        assert!(poss_instance(&spec, r).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! A deliberately naive DPLL solver used as a differential-testing oracle.
+//!
+//! No watched literals, no learning, no heuristics: just unit propagation
+//! and chronological backtracking over a clause list.  Its simplicity is the
+//! point — the CDCL solver in [`crate::Solver`] is property-tested against
+//! this implementation on random instances.
+
+use crate::types::{Lit, Var};
+
+/// Decide satisfiability of `clauses` over variables `0..num_vars` and
+/// return a model if satisfiable.
+///
+/// Clauses are slices of literals; an empty clause renders the instance
+/// unsatisfiable.  Intended for small instances only (exponential time).
+pub fn solve_dpll(num_vars: usize, clauses: &[Vec<Lit>]) -> Option<Vec<bool>> {
+    let mut assign: Vec<Option<bool>> = vec![None; num_vars];
+    if dpll(clauses, &mut assign) {
+        Some(assign.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+fn lit_value(assign: &[Option<bool>], l: Lit) -> Option<bool> {
+    assign[l.var().index()].map(|v| v == l.is_pos())
+}
+
+/// Classify a clause under the partial assignment.
+enum ClauseState {
+    Satisfied,
+    Conflict,
+    Unit(Lit),
+    Unresolved,
+}
+
+fn clause_state(assign: &[Option<bool>], clause: &[Lit]) -> ClauseState {
+    let mut unassigned: Option<Lit> = None;
+    let mut unassigned_count = 0;
+    for &l in clause {
+        match lit_value(assign, l) {
+            Some(true) => return ClauseState::Satisfied,
+            Some(false) => {}
+            None => {
+                unassigned = Some(l);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => ClauseState::Conflict,
+        1 => ClauseState::Unit(unassigned.expect("unit literal")),
+        _ => ClauseState::Unresolved,
+    }
+}
+
+fn dpll(clauses: &[Vec<Lit>], assign: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint, remembering what we assigned so the
+    // assignments can be undone on backtrack.
+    let mut propagated: Vec<Var> = Vec::new();
+    loop {
+        let mut changed = false;
+        for clause in clauses {
+            match clause_state(assign, clause) {
+                ClauseState::Conflict => {
+                    for v in propagated {
+                        assign[v.index()] = None;
+                    }
+                    return false;
+                }
+                ClauseState::Unit(l) => {
+                    assign[l.var().index()] = Some(l.is_pos());
+                    propagated.push(l.var());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Branch on the first unassigned variable.
+    match assign.iter().position(|a| a.is_none()) {
+        None => true, // complete assignment, no conflict: satisfiable
+        Some(ix) => {
+            for value in [true, false] {
+                assign[ix] = Some(value);
+                if dpll(clauses, assign) {
+                    return true;
+                }
+                assign[ix] = None;
+            }
+            for v in propagated {
+                assign[v.index()] = None;
+            }
+            false
+        }
+    }
+}
+
+/// Evaluate a clause set under a complete assignment (test helper).
+#[cfg(test)]
+pub(crate) fn evaluate(clauses: &[Vec<Lit>], model: &[bool]) -> bool {
+    clauses.iter().all(|c| {
+        c.iter()
+            .any(|&l| model[l.var().index()] == l.is_pos())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let model = solve_dpll(1, &[vec![v(0).pos()]]).expect("sat");
+        assert!(model[0]);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        assert!(solve_dpll(1, &[vec![v(0).pos()], vec![v(0).neg()]]).is_none());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        assert!(solve_dpll(1, &[vec![]]).is_none());
+    }
+
+    #[test]
+    fn no_clauses_is_sat() {
+        assert!(solve_dpll(3, &[]).is_some());
+    }
+
+    #[test]
+    fn chain_of_implications() {
+        // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2) forces all true.
+        let clauses = vec![
+            vec![v(0).pos()],
+            vec![v(0).neg(), v(1).pos()],
+            vec![v(1).neg(), v(2).pos()],
+        ];
+        let model = solve_dpll(3, &clauses).expect("sat");
+        assert_eq!(model, vec![true, true, true]);
+        assert!(evaluate(&clauses, &model));
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        // Two pigeons, one hole: p0 ∧ p1 with exclusivity ¬p0 ∨ ¬p1.
+        let clauses = vec![
+            vec![v(0).pos()],
+            vec![v(1).pos()],
+            vec![v(0).neg(), v(1).neg()],
+        ];
+        assert!(solve_dpll(2, &clauses).is_none());
+    }
+}

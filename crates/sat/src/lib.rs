@@ -1,0 +1,53 @@
+//! # currency-sat
+//!
+//! A small, self-contained CDCL SAT solver used as the exact-reasoning
+//! substrate of the `data-currency` workspace.
+//!
+//! The decision problems of Fan, Geerts & Wijsen's *Determining the Currency
+//! of Data* (PODS 2011) sit between NP and Σᵖ₄.  Their exact solvers in
+//! `currency-reason` reduce consistent-completion search to propositional
+//! satisfiability over *order variables* (one Boolean per unordered tuple
+//! pair, per attribute).  This crate provides the engine:
+//!
+//! * conflict-driven clause learning (first-UIP),
+//! * two-watched-literal unit propagation,
+//! * VSIDS-style activity heuristics with a lazy binary heap,
+//! * Luby restarts and phase saving,
+//! * solving under assumptions,
+//! * model enumeration projected onto a variable subset (All-SAT with
+//!   blocking clauses).
+//!
+//! A deliberately naive DPLL solver ([`solve_dpll`]) serves as a reference
+//! implementation for differential testing.
+//!
+//! No external SAT crate is used: none is in the project's allowed offline
+//! dependency set, and the engine is small enough to be in-scope substrate
+//! work (see `DESIGN.md` §4).
+//!
+//! ## Example
+//!
+//! ```
+//! use currency_sat::{Solver, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[a.pos(), b.pos()]);
+//! s.add_clause(&[a.neg(), b.pos()]);
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert!(s.model_value(b));
+//! ```
+
+mod dpll;
+mod heap;
+mod luby;
+mod solver;
+mod types;
+
+pub use dpll::solve_dpll;
+pub use luby::luby;
+pub use solver::{Enumeration, SolveResult, Solver, SolverStats};
+pub use types::{Lit, Var};
+
+#[cfg(test)]
+mod tests;

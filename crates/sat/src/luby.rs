@@ -1,0 +1,63 @@
+//! The Luby restart sequence.
+//!
+//! Restarting search according to the Luby et al. (1993) sequence
+//! `1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …` is within a constant
+//! factor of the optimal universal restart strategy for Las Vegas
+//! algorithms, and is the de-facto standard in CDCL solvers.
+
+/// The `i`-th element of the Luby sequence, 0-based.
+///
+/// `luby(0) = 1, luby(1) = 1, luby(2) = 2, luby(3) = 1, …`
+pub fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index i, then the index inside.
+    // Subsequence k (k >= 1) has length 2^k - 1 and ends with value 2^(k-1).
+    let mut k = 1u32;
+    while (1u64 << k) - 1 <= i {
+        k += 1;
+    }
+    // Now i lies in subsequence k: indices [2^(k-1) - 1, 2^k - 2].
+    while k > 1 {
+        let len = (1u64 << (k - 1)) - 1;
+        if i == (1u64 << k) - 2 {
+            return 1u64 << (k - 1);
+        }
+        i -= len;
+        // Re-derive the subsequence for the shifted index.
+        k = 1;
+        while (1u64 << k) - 1 <= i {
+            k += 1;
+        }
+    }
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::luby;
+
+    #[test]
+    fn matches_reference_prefix() {
+        let expect = [
+            1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1,
+            2, 4, 8, 16,
+        ];
+        let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 0..2000u64 {
+            let v = luby(i);
+            assert!(v.is_power_of_two(), "luby({i}) = {v}");
+        }
+    }
+
+    #[test]
+    fn sequence_is_self_similar() {
+        // The sequence restarted after each "2^k" spike repeats its prefix.
+        let s: Vec<u64> = (0..127).map(luby).collect();
+        assert_eq!(&s[0..63], &s[63..126]);
+        assert_eq!(s[126], 64);
+    }
+}

@@ -1,0 +1,564 @@
+//! The CDCL solver proper.
+//!
+//! Architecture follows MiniSat (Eén & Sörensson, 2003): two watched
+//! literals per clause, first-UIP conflict analysis, VSIDS decision
+//! heuristic, phase saving, Luby restarts.  Learnt clauses are kept for the
+//! lifetime of the solver — clause-database reduction is unnecessary at the
+//! instance sizes produced by `currency-reason` and its omission keeps the
+//! solver easy to audit.
+
+use crate::heap::ActivityHeap;
+use crate::luby::luby;
+use crate::types::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with
+    /// [`Solver::model_value`].
+    Sat,
+    /// The clauses (under the given assumptions, if any) are unsatisfiable.
+    Unsat,
+}
+
+/// Outcome of [`Solver::for_each_model`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Enumeration {
+    /// All projected models were visited; carries the count.
+    Complete(usize),
+    /// The callback requested an early stop; carries the count so far.
+    Stopped(usize),
+    /// The model limit was reached before exhausting the space.
+    LimitReached(usize),
+}
+
+/// Counters exposed for benchmarking and ablation studies.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+const VAR_ACTIVITY_DECAY: f64 = 0.95;
+const RESCALE_THRESHOLD: f64 = 1e100;
+const RESTART_BASE: u64 = 100;
+
+/// A CDCL SAT solver.
+///
+/// The solver is incremental in two ways: clauses may be added between
+/// `solve` calls, and [`Solver::solve_with_assumptions`] checks
+/// satisfiability under a set of temporarily-assumed literals without
+/// permanently constraining the instance.  Cloning the solver clones the
+/// entire state, which `currency-reason` uses to fork entailment queries
+/// from a shared encoding.
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[l.code()]` = indices of clauses currently watching literal `l`.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<LBool>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Clause that implied each variable (`u32::MAX` = decision/unset).
+    reason: Vec<u32>,
+    activity: Vec<f64>,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    heap: ActivityHeap,
+    var_inc: f64,
+    ok: bool,
+    model: Vec<bool>,
+    stats: SolverStats,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+/// Literal value under an assignment vector (free function so `propagate`
+/// can borrow `assign` and `clauses` disjointly).
+#[inline]
+fn lit_value(assign: &[LBool], l: Lit) -> LBool {
+    match assign[l.var().index()] {
+        LBool::Undef => LBool::Undef,
+        LBool::True => {
+            if l.is_pos() {
+                LBool::True
+            } else {
+                LBool::False
+            }
+        }
+        LBool::False => {
+            if l.is_pos() {
+                LBool::False
+            } else {
+                LBool::True
+            }
+        }
+    }
+}
+
+impl Solver {
+    /// Create an empty solver with no variables and no clauses.
+    pub fn new() -> Solver {
+        Solver {
+            var_inc: 1.0,
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learnt) currently stored.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Solver statistics accumulated across all `solve` calls.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.push(v, 0.0);
+        v
+    }
+
+    #[inline]
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.assign[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_pos() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_pos() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a clause.  Returns `false` if the solver became trivially
+    /// unsatisfiable (an empty clause was derived at level zero).
+    ///
+    /// The clause is simplified: duplicate literals are merged, tautologies
+    /// are dropped, and literals already false at level zero are removed.
+    /// May be called between `solve` calls (used for blocking clauses during
+    /// model enumeration); any partial assignment is undone first.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        let mut cl: Vec<Lit> = lits.to_vec();
+        cl.sort_unstable();
+        cl.dedup();
+        // Tautology check: sorted order places l and ¬l adjacently.
+        for w in cl.windows(2) {
+            if w[0].var() == w[1].var() {
+                return true; // contains l ∨ ¬l: always satisfied
+            }
+        }
+        cl.retain(|&l| self.value_lit(l) != LBool::False);
+        if cl.iter().any(|&l| self.value_lit(l) == LBool::True) {
+            return true; // already satisfied at level 0
+        }
+        match cl.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                // Unit at level zero: assign and propagate to closure.
+                if !self.enqueue(cl[0], NO_REASON) {
+                    self.ok = false;
+                    return false;
+                }
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[cl[0].code()].push(idx);
+                self.watches[cl[1].code()].push(idx);
+                self.clauses.push(Clause { lits: cl });
+                true
+            }
+        }
+    }
+
+    /// Check satisfiability of the current clause set.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Check satisfiability under the given assumed literals.
+    ///
+    /// The assumptions hold only for this call; the clause database is not
+    /// modified (beyond learnt clauses, which are logical consequences).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.cancel_until(0);
+        let mut restart_idx: u64 = 0;
+        let mut conflicts_here: u64 = 0;
+        let mut budget = luby(restart_idx) * RESTART_BASE;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt_level) = self.analyze(confl);
+                self.cancel_until(bt_level);
+                self.record_learnt(learnt);
+                self.decay_var_activity();
+                if conflicts_here >= budget {
+                    // Luby restart.
+                    self.stats.restarts += 1;
+                    restart_idx += 1;
+                    conflicts_here = 0;
+                    budget = luby(restart_idx) * RESTART_BASE;
+                    self.cancel_until(0);
+                }
+            } else if (self.decision_level() as usize) < assumptions.len() {
+                // Re-establish the next assumption as a pseudo-decision.
+                let p = assumptions[self.decision_level() as usize];
+                match self.value_lit(p) {
+                    LBool::True => {
+                        // Already implied: open a vacuous level so that the
+                        // remaining assumptions keep their positions.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    LBool::False => {
+                        // The assumptions contradict the clauses.
+                        self.cancel_until(0);
+                        return SolveResult::Unsat;
+                    }
+                    LBool::Undef => {
+                        self.trail_lim.push(self.trail.len());
+                        let enq = self.enqueue(p, NO_REASON);
+                        debug_assert!(enq);
+                    }
+                }
+            } else if let Some(v) = self.pick_branch_var() {
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let lit = v.lit(self.phase[v.index()]);
+                let enq = self.enqueue(lit, NO_REASON);
+                debug_assert!(enq);
+            } else {
+                // Every variable assigned without conflict: model found.
+                self.model = self
+                    .assign
+                    .iter()
+                    .map(|&a| a == LBool::True)
+                    .collect();
+                self.cancel_until(0);
+                return SolveResult::Sat;
+            }
+        }
+    }
+
+    /// Value of `v` in the most recently found model.
+    ///
+    /// Only meaningful after a `solve` call returned [`SolveResult::Sat`].
+    pub fn model_value(&self, v: Var) -> bool {
+        self.model[v.index()]
+    }
+
+    /// Enumerate models projected onto `projection`, invoking `f` with the
+    /// projected assignment for each distinct projection found.
+    ///
+    /// Distinctness is with respect to the projection: after each model a
+    /// blocking clause over the projection variables is added, so the same
+    /// projected assignment is never reported twice.  `f` returning `false`
+    /// stops the enumeration.  At most `limit` models are visited.
+    ///
+    /// Blocking clauses permanently constrain this solver; callers that need
+    /// to reuse the instance should enumerate on a clone.
+    pub fn for_each_model(
+        &mut self,
+        projection: &[Var],
+        limit: usize,
+        mut f: impl FnMut(&[bool]) -> bool,
+    ) -> Enumeration {
+        let mut count = 0usize;
+        let mut values = vec![false; projection.len()];
+        while count < limit {
+            if self.solve() == SolveResult::Unsat {
+                return Enumeration::Complete(count);
+            }
+            for (slot, &v) in values.iter_mut().zip(projection) {
+                *slot = self.model_value(v);
+            }
+            count += 1;
+            if !f(&values) {
+                return Enumeration::Stopped(count);
+            }
+            // Block this projected assignment.
+            let blocking: Vec<Lit> = projection
+                .iter()
+                .zip(&values)
+                .map(|(&v, &val)| v.lit(!val))
+                .collect();
+            if !self.add_clause(&blocking) {
+                return Enumeration::Complete(count);
+            }
+        }
+        Enumeration::LimitReached(count)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Assign `p` true with the given reason clause; `false` if `p` is
+    /// already false (caller must treat as conflict).
+    fn enqueue(&mut self, p: Lit, reason: u32) -> bool {
+        match self.value_lit(p) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                let v = p.var().index();
+                self.assign[v] = LBool::from_bool(p.is_pos());
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.phase[v] = p.is_pos();
+                self.trail.push(p);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns a conflicting clause index if one arises.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // Take the watch list; entries are pushed back as they survive.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < ws.len() {
+                let ci = ws[i];
+                let assign = &self.assign;
+                let cl = &mut self.clauses[ci as usize];
+                // Normalize: the false literal sits at position 1.
+                if cl.lits[0] == false_lit {
+                    cl.lits.swap(0, 1);
+                }
+                debug_assert_eq!(cl.lits[1], false_lit);
+                let first = cl.lits[0];
+                if lit_value(assign, first) == LBool::True {
+                    i += 1; // clause satisfied; keep watching
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                for j in 2..cl.lits.len() {
+                    if lit_value(assign, cl.lits[j]) != LBool::False {
+                        cl.lits.swap(1, j);
+                        let new_watch = cl.lits[1];
+                        self.watches[new_watch.code()].push(ci);
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting under the current assignment.
+                if lit_value(&self.assign, first) == LBool::False {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[false_lit.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+                let ok = self.enqueue(first, ci);
+                debug_assert!(ok);
+                i += 1;
+            }
+            self.watches[false_lit.code()] = ws;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis.  Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = asserting literal
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut clause_idx = confl;
+        let mut trail_pos = self.trail.len();
+        let mut bt_level = 0u32;
+        loop {
+            let lits: Vec<Lit> = self.clauses[clause_idx as usize].lits.clone();
+            let skip_first = p.is_some();
+            for (k, &q) in lits.iter().enumerate() {
+                if skip_first && k == 0 {
+                    continue; // q == p: the literal being resolved on
+                }
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var_activity(q.var());
+                    if self.level[v] == current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                        bt_level = bt_level.max(self.level[v]);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                trail_pos -= 1;
+                if self.seen[self.trail[trail_pos].var().index()] {
+                    break;
+                }
+            }
+            let q = self.trail[trail_pos];
+            self.seen[q.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !q;
+                break;
+            }
+            p = Some(q);
+            clause_idx = self.reason[q.var().index()];
+            debug_assert_ne!(clause_idx, NO_REASON);
+            // Keep the reason clause normalized: position 0 holds q.
+            let rc = &mut self.clauses[clause_idx as usize];
+            if rc.lits[0] != q {
+                let pos = rc.lits.iter().position(|&l| l == q).expect("reason lit");
+                rc.lits.swap(0, pos);
+            }
+        }
+        // Clear remaining marks.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, bt_level)
+    }
+
+    /// Install a learnt clause and enqueue its asserting literal.
+    fn record_learnt(&mut self, mut learnt: Vec<Lit>) {
+        if learnt.len() == 1 {
+            let ok = self.enqueue(learnt[0], NO_REASON);
+            debug_assert!(ok);
+            return;
+        }
+        // Watch the asserting literal and a literal of the backjump level
+        // (the maximum level among the rest), preserving the invariant that
+        // watched literals are the last to become false.
+        let mut max_pos = 1;
+        for j in 2..learnt.len() {
+            if self.level[learnt[j].var().index()] > self.level[learnt[max_pos].var().index()] {
+                max_pos = j;
+            }
+        }
+        learnt.swap(1, max_pos);
+        let idx = self.clauses.len() as u32;
+        self.watches[learnt[0].code()].push(idx);
+        self.watches[learnt[1].code()].push(idx);
+        let assert_lit = learnt[0];
+        self.clauses.push(Clause { lits: learnt });
+        let ok = self.enqueue(assert_lit, idx);
+        debug_assert!(ok);
+    }
+
+    /// Undo assignments above the given decision level.
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        while self.decision_level() > target {
+            let lim = self.trail_lim.pop().expect("trail limit");
+            while self.trail.len() > lim {
+                let p = self.trail.pop().expect("trail literal");
+                let v = p.var();
+                self.assign[v.index()] = LBool::Undef;
+                self.reason[v.index()] = NO_REASON;
+                // Re-insert into the decision heap.
+                self.heap.push(v, self.activity[v.index()]);
+            }
+        }
+        // Everything still on the trail was fully propagated when its level
+        // was current, so propagation may resume at the end of the trail.
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        let assign = &self.assign;
+        let activity = &self.activity;
+        self.heap
+            .pop_fresh(|v, act| assign[v.index()] == LBool::Undef && act == activity[v.index()])
+    }
+
+    fn bump_var_activity(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_THRESHOLD {
+            for a in &mut self.activity {
+                *a *= 1.0 / RESCALE_THRESHOLD;
+            }
+            self.var_inc *= 1.0 / RESCALE_THRESHOLD;
+            self.heap.rescale(1.0 / RESCALE_THRESHOLD);
+        }
+        if self.assign[v.index()] == LBool::Undef {
+            self.heap.push(v, self.activity[v.index()]);
+        }
+    }
+
+    fn decay_var_activity(&mut self) {
+        self.var_inc /= VAR_ACTIVITY_DECAY;
+    }
+}

@@ -1,0 +1,363 @@
+//! Solver-level tests: unit tests for CDCL behaviour and differential tests
+//! against the naive DPLL oracle on random instances.
+
+use crate::dpll::evaluate;
+use crate::{solve_dpll, Enumeration, Lit, SolveResult, Solver, Var};
+
+fn build(num_vars: usize, clauses: &[Vec<Lit>]) -> Solver {
+    let mut s = Solver::new();
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        s.add_clause(c);
+    }
+    s
+}
+
+fn v(i: usize) -> Var {
+    Var::from_index(i)
+}
+
+#[test]
+fn empty_instance_is_sat() {
+    let mut s = Solver::new();
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn single_unit_clause() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    assert!(s.add_clause(&[a.neg()]));
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert!(!s.model_value(a));
+}
+
+#[test]
+fn contradictory_units_unsat() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    assert!(s.add_clause(&[a.pos()]));
+    assert!(!s.add_clause(&[a.neg()]));
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn tautological_clause_is_ignored() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    assert!(s.add_clause(&[a.pos(), a.neg()]));
+    assert_eq!(s.num_clauses(), 0);
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn duplicate_literals_are_merged() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    assert!(s.add_clause(&[a.pos(), a.pos(), b.pos()]));
+    assert!(s.add_clause(&[a.neg()]));
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert!(s.model_value(b));
+}
+
+#[test]
+fn implication_chain_propagates() {
+    let n = 32;
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+    s.add_clause(&[vars[0].pos()]);
+    for w in vars.windows(2) {
+        s.add_clause(&[w[0].neg(), w[1].pos()]);
+    }
+    assert_eq!(s.solve(), SolveResult::Sat);
+    for &x in &vars {
+        assert!(s.model_value(x));
+    }
+}
+
+#[test]
+fn pigeonhole_3_into_2_is_unsat() {
+    // p[i][j]: pigeon i in hole j.  3 pigeons, 2 holes.
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..3)
+        .map(|_| (0..2).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(&[row[0].pos(), row[1].pos()]);
+    }
+    for j in 0..2 {
+        for i1 in 0..3 {
+            for i2 in (i1 + 1)..3 {
+                s.add_clause(&[p[i1][j].neg(), p[i2][j].neg()]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn pigeonhole_5_into_4_exercises_learning() {
+    let (pigeons, holes) = (5usize, 4usize);
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &p {
+        let lits: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+        s.add_clause(&lits);
+    }
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                s.add_clause(&[p[i1][j].neg(), p[i2][j].neg()]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    assert!(s.stats().conflicts > 0, "should have required learning");
+}
+
+#[test]
+fn assumptions_restrict_without_committing() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[a.pos(), b.pos()]);
+    assert_eq!(s.solve_with_assumptions(&[a.neg()]), SolveResult::Sat);
+    assert!(s.model_value(b));
+    assert_eq!(
+        s.solve_with_assumptions(&[a.neg(), b.neg()]),
+        SolveResult::Unsat
+    );
+    // The instance itself is still satisfiable afterwards.
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.solve_with_assumptions(&[a.pos()]), SolveResult::Sat);
+}
+
+#[test]
+fn assumption_of_entailed_literal() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[a.pos()]);
+    s.add_clause(&[a.neg(), b.pos()]);
+    // Both assumptions are already consequences.
+    assert_eq!(
+        s.solve_with_assumptions(&[a.pos(), b.pos()]),
+        SolveResult::Sat
+    );
+    assert_eq!(s.solve_with_assumptions(&[b.neg()]), SolveResult::Unsat);
+}
+
+#[test]
+fn entailment_via_assumptions() {
+    // (a ∨ b) ∧ (¬a ∨ c) ∧ (¬b ∨ c) entails c.
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    let c = s.new_var();
+    s.add_clause(&[a.pos(), b.pos()]);
+    s.add_clause(&[a.neg(), c.pos()]);
+    s.add_clause(&[b.neg(), c.pos()]);
+    assert_eq!(s.solve_with_assumptions(&[c.neg()]), SolveResult::Unsat);
+    assert_eq!(s.solve_with_assumptions(&[c.pos()]), SolveResult::Sat);
+}
+
+#[test]
+fn model_enumeration_counts_projections() {
+    // Free variables a, b and a constrained c = a ∨ b.
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    let c = s.new_var();
+    s.add_clause(&[c.neg(), a.pos(), b.pos()]);
+    s.add_clause(&[a.neg(), c.pos()]);
+    s.add_clause(&[b.neg(), c.pos()]);
+    let mut seen = Vec::new();
+    let result = s.for_each_model(&[a, b], 100, |m| {
+        seen.push(m.to_vec());
+        true
+    });
+    assert_eq!(result, Enumeration::Complete(4));
+    seen.sort();
+    assert_eq!(
+        seen,
+        vec![
+            vec![false, false],
+            vec![false, true],
+            vec![true, false],
+            vec![true, true]
+        ]
+    );
+}
+
+#[test]
+fn model_enumeration_respects_limit_and_stop() {
+    let mut s = build(3, &[]);
+    let r = s.for_each_model(&[v(0), v(1), v(2)], 3, |_| true);
+    assert_eq!(r, Enumeration::LimitReached(3));
+
+    let mut s2 = build(3, &[]);
+    let r2 = s2.for_each_model(&[v(0), v(1), v(2)], 100, |_| false);
+    assert_eq!(r2, Enumeration::Stopped(1));
+}
+
+#[test]
+fn enumeration_with_empty_projection() {
+    let mut s = build(2, &[vec![v(0).pos()]]);
+    let r = s.for_each_model(&[], 10, |m| {
+        assert!(m.is_empty());
+        true
+    });
+    assert_eq!(r, Enumeration::Complete(1));
+}
+
+#[test]
+fn enumeration_of_unsat_instance() {
+    let mut s = build(1, &[vec![v(0).pos()], vec![v(0).neg()]]);
+    let r = s.for_each_model(&[v(0)], 10, |_| true);
+    assert_eq!(r, Enumeration::Complete(0));
+}
+
+#[test]
+fn cloned_solver_is_independent() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let mut t = s.clone();
+    assert!(s.add_clause(&[a.pos()]));
+    assert!(t.add_clause(&[a.neg()]));
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(t.solve(), SolveResult::Sat);
+    assert!(s.model_value(a));
+    assert!(!t.model_value(a));
+}
+
+// ---------------------------------------------------------------------------
+// Differential testing against the DPLL oracle.
+// ---------------------------------------------------------------------------
+
+/// Small deterministic xorshift generator so the test needs no external
+/// crates at unit-test level.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_3sat(rng: &mut XorShift, num_vars: usize, num_clauses: usize) -> Vec<Vec<Lit>> {
+    (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    let var = Var::from_index(rng.below(num_vars as u64) as usize);
+                    var.lit(rng.below(2) == 0)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn cdcl_agrees_with_dpll_on_random_3sat() {
+    let mut rng = XorShift(0x5eed_cafe_f00d_0001);
+    for round in 0..300 {
+        let num_vars = 3 + (round % 8);
+        // Around the phase-transition ratio 4.26 plus sparser/denser mixes.
+        let num_clauses = 1 + (rng.below(5 * num_vars as u64) as usize);
+        let clauses = random_3sat(&mut rng, num_vars, num_clauses);
+        let oracle = solve_dpll(num_vars, &clauses);
+        let mut s = build(num_vars, &clauses);
+        let got = s.solve();
+        match (&oracle, got) {
+            (Some(_), SolveResult::Sat) => {
+                let model: Vec<bool> =
+                    (0..num_vars).map(|i| s.model_value(v(i))).collect();
+                assert!(
+                    evaluate(&clauses, &model),
+                    "CDCL produced a non-model in round {round}: {clauses:?}"
+                );
+            }
+            (None, SolveResult::Unsat) => {}
+            _ => panic!(
+                "solver disagreement in round {round}: oracle={:?} cdcl={:?}\nclauses={clauses:?}",
+                oracle.is_some(),
+                got
+            ),
+        }
+    }
+}
+
+#[test]
+fn cdcl_assumptions_agree_with_clause_addition() {
+    let mut rng = XorShift(0xabcd_1234_5678_9def);
+    for round in 0..200 {
+        let num_vars = 4 + (round % 5);
+        let num_clauses = 2 + (rng.below(4 * num_vars as u64) as usize);
+        let clauses = random_3sat(&mut rng, num_vars, num_clauses);
+        // Pick one or two assumption literals.
+        let n_assume = 1 + (rng.below(2) as usize);
+        let assumptions: Vec<Lit> = (0..n_assume)
+            .map(|_| Var::from_index(rng.below(num_vars as u64) as usize).lit(rng.below(2) == 0))
+            .collect();
+        let mut s = build(num_vars, &clauses);
+        let with_assumptions = s.solve_with_assumptions(&assumptions);
+        // Reference: add the assumptions as unit clauses to a fresh solver.
+        let mut hard = clauses.clone();
+        for &a in &assumptions {
+            hard.push(vec![a]);
+        }
+        let oracle = solve_dpll(num_vars, &hard);
+        assert_eq!(
+            with_assumptions == SolveResult::Sat,
+            oracle.is_some(),
+            "round {round}: assumptions {assumptions:?} over {clauses:?}"
+        );
+        // The solver must remain usable and consistent with the
+        // unconstrained instance afterwards.
+        let base = solve_dpll(num_vars, &clauses);
+        assert_eq!(s.solve() == SolveResult::Sat, base.is_some());
+    }
+}
+
+#[test]
+fn enumeration_counts_match_dpll_model_count() {
+    let mut rng = XorShift(0x0123_4567_89ab_cdef);
+    for round in 0..120 {
+        let num_vars = 3 + (round % 4); // <= 6 vars: count all models
+        let num_clauses = 1 + (rng.below(3 * num_vars as u64) as usize);
+        let clauses = random_3sat(&mut rng, num_vars, num_clauses);
+        // Count models by brute force.
+        let mut expected = 0usize;
+        for bits in 0..(1u32 << num_vars) {
+            let model: Vec<bool> = (0..num_vars).map(|i| bits >> i & 1 == 1).collect();
+            if evaluate(&clauses, &model) {
+                expected += 1;
+            }
+        }
+        let mut s = build(num_vars, &clauses);
+        let all: Vec<Var> = (0..num_vars).map(v).collect();
+        let mut seen = std::collections::HashSet::new();
+        let r = s.for_each_model(&all, 1 << 16, |m| {
+            assert!(seen.insert(m.to_vec()), "duplicate model in round {round}");
+            true
+        });
+        assert_eq!(
+            r,
+            Enumeration::Complete(expected),
+            "round {round}: {clauses:?}"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Core value types of the SAT solver: variables and literals.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index.
+///
+/// Variables are created by [`crate::Solver::new_var`]; indices are assigned
+/// consecutively from zero, which lets the solver store per-variable state in
+/// flat vectors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct a variable from a raw index.
+    ///
+    /// Callers are responsible for only using indices previously returned by
+    /// [`crate::Solver::new_var`] with the solver they target.
+    #[inline]
+    pub fn from_index(ix: usize) -> Var {
+        Var(ix as u32)
+    }
+
+    /// The positive literal `v`.
+    #[inline]
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal `¬v`.
+    #[inline]
+    pub fn neg(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// A literal of this variable with the given sign (`true` = positive).
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.pos()
+        } else {
+            self.neg()
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a sign.
+///
+/// Encoded as `var << 1 | sign` where sign bit 1 means negated.  This is the
+/// classic MiniSat encoding; it makes literal negation a single XOR and lets
+/// watch lists be indexed directly by literal code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this is a positive (unnegated) literal.
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The literal code, usable as a dense index (`2 * var + sign`).
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct a literal from its dense code.
+    #[inline]
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pos() {
+            write!(f, "v{}", self.0 >> 1)
+        } else {
+            write!(f, "¬v{}", self.0 >> 1)
+        }
+    }
+}
+
+/// Ternary assignment value used internally.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    #[inline]
+    pub(crate) fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var::from_index(7);
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+        assert!(v.pos().is_pos());
+        assert!(!v.neg().is_pos());
+        assert_eq!(!v.pos(), v.neg());
+        assert_eq!(!!v.pos(), v.pos());
+        assert_eq!(Lit::from_code(v.pos().code()), v.pos());
+    }
+
+    #[test]
+    fn lit_builder_respects_sign() {
+        let v = Var::from_index(3);
+        assert_eq!(v.lit(true), v.pos());
+        assert_eq!(v.lit(false), v.neg());
+    }
+
+    #[test]
+    fn codes_are_dense() {
+        assert_eq!(Var::from_index(0).pos().code(), 0);
+        assert_eq!(Var::from_index(0).neg().code(), 1);
+        assert_eq!(Var::from_index(1).pos().code(), 2);
+        assert_eq!(Var::from_index(1).neg().code(), 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Auditing a currency specification for consistency.
+//!
+//! Currency semantics come from three places — recorded partial orders,
+//! denial constraints, and orders inherited through copy functions — and
+//! they can contradict each other (paper Example 2.3): then `Mod(S) = ∅`
+//! and every "certain" statement is vacuous.  This example walks a
+//! data-engineering audit:
+//!
+//! 1. check CPS before trusting any downstream answer;
+//! 2. when consistent, extract a *witness completion* to show one
+//!    concrete world;
+//! 3. when inconsistent, extract a minimal conflicting core
+//!    (`reason::explain_inconsistency`) naming exactly the constraints,
+//!    recorded order facts and copy functions that clash.
+//!
+//! Run with: `cargo run --example consistency_audit`
+
+use data_currency::datagen::scenarios::{self, dept_attrs};
+use data_currency::model::render_spec;
+use data_currency::reason::{cps, explain_inconsistency, witness_completion, SpecComponent};
+
+fn main() {
+    println!("== consistency audit ==\n");
+    let f = scenarios::fig1();
+
+    println!("--- the specification under audit ---");
+    print!("{}", render_spec(&f.spec));
+
+    // Healthy specification.
+    println!("\nS₀ (Fig. 1 + φ₁–φ₄ + ρ): consistent = {}", cps(&f.spec).unwrap());
+    let witness = witness_completion(&f.spec).unwrap().expect("witness");
+    let chain = witness.rel(f.dept).chain(dept_attrs::BUDGET, f.rnd);
+    let rendered: Vec<String> = chain.iter().map(|t| t.to_string()).collect();
+    println!(
+        "  one consistent world orders R&D's budget column as: {}",
+        rendered.join(" ≺ ")
+    );
+
+    // Poisoned specification (Example 2.3, second half): a recorded order
+    // contradicting what the constraints + copy function derive.
+    let mut poisoned = f.spec.clone();
+    poisoned
+        .instance_mut(f.dept)
+        .add_order(dept_attrs::BUDGET, f.t[2], f.t[0])
+        .unwrap();
+    let consistent = cps(&poisoned).unwrap();
+    println!("\nS₀ + claim 't3 ≺_budget t1': consistent = {consistent}");
+    assert!(!consistent);
+
+    // Minimal conflicting core.
+    let core = explain_inconsistency(&poisoned)
+        .unwrap()
+        .expect("inconsistent");
+    println!(
+        "minimal conflicting core ({} components):",
+        core.components.len()
+    );
+    for c in &core.components {
+        match c {
+            SpecComponent::Constraint(i) => {
+                println!("  constraint #{i}: {:?}", poisoned.constraints()[*i]);
+            }
+            SpecComponent::OrderFact {
+                rel,
+                attr,
+                lesser,
+                greater,
+            } => {
+                let schema = poisoned.catalog().schema(*rel);
+                println!(
+                    "  recorded order: {}.{}: {lesser} ≺ {greater}",
+                    schema.name(),
+                    schema.attr_name(*attr)
+                );
+            }
+            SpecComponent::Copy(i) => {
+                println!("  copy function ρ{i}");
+            }
+        }
+    }
+    println!(
+        "\nReading: φ₁ forces the salary order, φ₃ lifts it to addresses, the\n\
+         copy function imports it into mgrAddr, φ₄ lifts it to budgets —\n\
+         contradicting the recorded budget claim.  Drop any one component\n\
+         and the specification is consistent again (the core is minimal)."
+    );
+}

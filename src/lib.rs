@@ -1,0 +1,35 @@
+//! # data-currency
+//!
+//! A from-scratch implementation of the data-currency framework of
+//!
+//! > Wenfei Fan, Floris Geerts, Jef Wijsen.
+//! > *Determining the Currency of Data.* PODS 2011 / ACM TODS 37(4), 2012.
+//!
+//! This facade crate re-exports the public API of the workspace crates so
+//! that applications can depend on a single crate:
+//!
+//! * [`model`] (`currency-core`) — temporal instances, partial currency
+//!   orders, denial constraints, copy functions, specifications.
+//! * [`query`] (`currency-query`) — the SP ⊂ CQ ⊂ UCQ ⊂ ∃FO⁺ ⊂ FO query
+//!   family and evaluators over normal instances.
+//! * [`reason`] (`currency-reason`) — decision procedures for the paper's
+//!   seven problems: CPS, COP, DCIP, CCQA, CPP, ECP, BCP.
+//! * [`sat`] (`currency-sat`) — the CDCL SAT solver substrate.
+//! * [`datagen`] (`currency-datagen`) — paper scenarios, random
+//!   specification generators, and hardness-reduction gadgets.
+//!
+//! See `README.md` for a guided tour and `examples/quickstart.rs` for the
+//! paper's running example (Fig. 1, queries Q1–Q4).
+
+pub use currency_core as model;
+pub use currency_datagen as datagen;
+pub use currency_query as query;
+pub use currency_reason as reason;
+pub use currency_sat as sat;
+
+/// Convenience prelude importing the most commonly used items.
+pub mod prelude {
+    pub use currency_core::*;
+    pub use currency_query::{CmpOp as QueryCmpOp, Formula, Query, QueryClass, Term};
+    pub use currency_reason::*;
+}

@@ -1,0 +1,108 @@
+//! Facade-level API coverage: the prelude, option budgets, error
+//! surfaces, and rendering — the parts a downstream user touches first.
+
+use data_currency::prelude::*;
+use data_currency::reason::enumerate::all_consistent_completions;
+
+fn two_value_spec(n: usize) -> (Specification, RelId) {
+    let mut cat = Catalog::new();
+    let r = cat.add(RelationSchema::new("R", &["A"]));
+    let mut spec = Specification::new(cat);
+    for i in 0..n {
+        spec.instance_mut(r)
+            .push_tuple(Tuple::new(Eid(0), vec![Value::int(i as i64)]))
+            .unwrap();
+    }
+    (spec, r)
+}
+
+#[test]
+fn prelude_exposes_the_working_set() {
+    // Compile-time check that the prelude covers model + reason + query
+    // items; runtime sanity on a two-tuple entity.
+    let (spec, r) = two_value_spec(2);
+    assert!(cps(&spec).unwrap());
+    let q = CurrencyOrderQuery::single(r, AttrId(0), TupleId(0), TupleId(1));
+    assert!(!cop(&spec, &q).unwrap());
+    assert!(!dcip(&spec, r, &Options::default()).unwrap());
+}
+
+#[test]
+fn model_budget_is_enforced() {
+    // Ten tuples with ten distinct values: 10 realizable current
+    // instances; a budget of 4 must surface as BudgetExceeded, not as a
+    // wrong answer.  (DCIP stops after two distinct instances by design,
+    // so the budget bites in the full certain-answer enumeration.)
+    let (spec, r) = two_value_spec(10);
+    let q = data_currency::query::SpQuery::identity(r, 1).to_query(1);
+    let tight = Options {
+        max_models: 4,
+        ..Options::default()
+    };
+    let err = certain_answers_exact(&spec, &q, &tight).unwrap_err();
+    assert!(matches!(err, ReasonError::BudgetExceeded { .. }));
+    // A sufficient budget answers correctly (nothing is certain).
+    let ans = certain_answers_exact(&spec, &q, &Options::default()).unwrap();
+    assert!(ans.rows().unwrap().is_empty());
+    // DCIP itself needs only two models regardless of the budget.
+    assert!(!dcip_exact(&spec, r, &tight).unwrap());
+}
+
+#[test]
+fn enumeration_budget_is_enforced() {
+    let (spec, _) = two_value_spec(8); // 8! = 40320 completions
+    assert!(matches!(
+        all_consistent_completions(&spec, 1000),
+        Err(ReasonError::BudgetExceeded { .. })
+    ));
+}
+
+#[test]
+fn errors_render_with_context() {
+    let (mut spec, r) = two_value_spec(2);
+    let bad = Tuple::new(Eid(0), vec![Value::int(1), Value::int(2)]);
+    let err = spec.instance_mut(r).push_tuple(bad).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("R") && msg.contains("1") && msg.contains("2"), "{msg}");
+}
+
+#[test]
+fn render_roundtrip_smoke() {
+    let (spec, _) = two_value_spec(3);
+    let text = render_spec(&spec);
+    assert!(text.contains("R(EID, A)"));
+    assert!(text.contains("t2"));
+}
+
+#[test]
+fn sat_substrate_is_reachable() {
+    use data_currency::sat::{SolveResult, Solver};
+    let mut s = Solver::new();
+    let v = s.new_var();
+    s.add_clause(&[v.pos()]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert!(s.model_value(v));
+}
+
+#[test]
+fn query_classification_via_facade() {
+    use data_currency::query::{classify, parse_query, QueryClass};
+    let (spec, _) = two_value_spec(1);
+    let q = parse_query(spec.catalog(), "Q(x) :- R(x)").unwrap();
+    assert_eq!(classify(&q), QueryClass::Sp);
+    let q2 = parse_query(spec.catalog(), "Q(x) :- R(x) and not R(x)").unwrap();
+    assert_eq!(classify(&q2), QueryClass::Fo);
+}
+
+#[test]
+fn explain_via_facade() {
+    let (mut spec, r) = two_value_spec(2);
+    spec.instance_mut(r)
+        .add_order(AttrId(0), TupleId(0), TupleId(1))
+        .unwrap();
+    spec.instance_mut(r)
+        .add_order(AttrId(0), TupleId(1), TupleId(0))
+        .unwrap();
+    let core = explain_inconsistency(&spec).unwrap().expect("inconsistent");
+    assert_eq!(core.components.len(), 2);
+}
