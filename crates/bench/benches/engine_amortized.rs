@@ -1,0 +1,146 @@
+//! E-AMRT: the amortized repeated-query workload.
+//!
+//! The Improve3C-style cleaning workload (Ding et al., arXiv:1808.00024)
+//! interleaves many currency queries over **one** specification.  The
+//! pre-engine code re-encoded the whole specification on every call; the
+//! [`CurrencyEngine`] compiles each entity component once and answers
+//! queries with assumption-based incremental solves against only the
+//! touched components.
+//!
+//! Series (sweeping entity count; one spec, `N = 32` COP queries plus one
+//! CCQA certain-answer computation per iteration):
+//!
+//! * `engine/repeated_queries` — build the engine once per iteration,
+//!   then run the full query batch against it (worst case for the
+//!   engine: construction is *inside* the measured loop);
+//! * `reencode/repeated_queries` — the monolithic path, re-encoding the
+//!   specification for every query (`*_monolithic` functions);
+//! * `engine_prebuilt/repeated_queries` — the steady-state regime: the
+//!   engine already exists (built outside the loop), only the queries are
+//!   measured.
+
+use criterion::{BenchmarkId, Criterion};
+use currency_bench::quick_criterion;
+use currency_core::{AttrId, RelId, TupleId};
+use currency_datagen::random::{random_spec, RandomSpecConfig};
+use currency_reason::{
+    certain_answers_exact_monolithic, cop_exact_monolithic, CurrencyEngine, CurrencyOrderQuery,
+    Options,
+};
+
+const T: RelId = RelId(0);
+const N_COP: usize = 32;
+
+/// A **consistent** specification (asserted below): random initial orders
+/// are off because they contradict the monotone constraints with
+/// near-certainty at scale, which would silently turn the whole workload
+/// into the vacuous-truth fast path.
+fn spec_for(entities: usize) -> currency_core::Specification {
+    let spec = random_spec(&RandomSpecConfig {
+        entities,
+        tuples_per_entity: (2, 3),
+        attrs: 2,
+        value_pool: 4,
+        order_density: 0.0,
+        monotone_constraints: 2,
+        correlated_constraints: 1,
+        with_copy: true,
+        seed: 7,
+    });
+    assert!(
+        currency_reason::cps(&spec).expect("valid spec"),
+        "bench spec must be consistent — an inconsistent one measures \
+         only the vacuous-truth path"
+    );
+    spec
+}
+
+fn cop_queries(spec: &currency_core::Specification) -> Vec<CurrencyOrderQuery> {
+    let len = spec.instance(T).len() as u32;
+    (0..N_COP as u32)
+        .map(|i| {
+            CurrencyOrderQuery::single(
+                T,
+                AttrId(i % 2),
+                TupleId(i % len),
+                TupleId((i * 7 + 1) % len),
+            )
+        })
+        .collect()
+}
+
+fn ccqa_query(spec: &currency_core::Specification) -> currency_query::Query {
+    currency_query::SpQuery::identity(T, spec.instance(T).arity())
+        .to_query(spec.instance(T).arity())
+}
+
+fn bench_amortized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_amortized");
+    for entities in [8usize, 32, 128] {
+        let spec = spec_for(entities);
+        let queries = cop_queries(&spec);
+        let q = ccqa_query(&spec);
+        let opts = Options::default();
+
+        group.bench_with_input(
+            BenchmarkId::new("engine/repeated_queries", entities),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let engine = CurrencyEngine::new(spec, &opts).unwrap();
+                    let mut certain = 0usize;
+                    for query in &queries {
+                        if engine.cop(query).unwrap() {
+                            certain += 1;
+                        }
+                    }
+                    let answers = engine.certain_answers(&q).unwrap();
+                    (certain, answers)
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("reencode/repeated_queries", entities),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let mut certain = 0usize;
+                    for query in &queries {
+                        if cop_exact_monolithic(spec, query).unwrap() {
+                            certain += 1;
+                        }
+                    }
+                    let answers = certain_answers_exact_monolithic(spec, &q, &opts).unwrap();
+                    (certain, answers)
+                })
+            },
+        );
+
+        let prebuilt = CurrencyEngine::new(&spec, &opts).unwrap();
+        prebuilt.cps().unwrap(); // warm the per-component status cache
+        group.bench_with_input(
+            BenchmarkId::new("engine_prebuilt/repeated_queries", entities),
+            &prebuilt,
+            |b, engine| {
+                b.iter(|| {
+                    let mut certain = 0usize;
+                    for query in &queries {
+                        if engine.cop(query).unwrap() {
+                            certain += 1;
+                        }
+                    }
+                    let answers = engine.certain_answers(&q).unwrap();
+                    (certain, answers)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_amortized(&mut c);
+    c.final_summary();
+}

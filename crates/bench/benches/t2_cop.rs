@@ -39,12 +39,8 @@ fn bench_cop(c: &mut Criterion) {
         });
         // Ask about the first same-entity pair (certain via the recorded
         // orders or not — the work is the fixpoint either way).
-        let ot = CurrencyOrderQuery::single(
-            currency_core::RelId(0),
-            AttrId(0),
-            TupleId(0),
-            TupleId(1),
-        );
+        let ot =
+            CurrencyOrderQuery::single(currency_core::RelId(0), AttrId(0), TupleId(0), TupleId(1));
         group.bench_with_input(
             BenchmarkId::new("cop_ptime/no_constraints_entities", entities),
             &(&spec, &ot),

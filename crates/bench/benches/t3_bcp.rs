@@ -61,9 +61,7 @@ fn bench_bcp(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("bcp_sp/no_constraints_entities_k1", entities),
             &(&spec, &srcs, &q),
-            |bench, (spec, srcs, q)| {
-                bench.iter(|| bcp_sp(spec, srcs, q, 1, &opts).unwrap())
-            },
+            |bench, (spec, srcs, q)| bench.iter(|| bcp_sp(spec, srcs, q, 1, &opts).unwrap()),
         );
     }
     group.finish();

@@ -27,9 +27,7 @@ fn bench_ccqa(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("ccqa_exact/3sat_vars", vars),
             &gadget,
-            |bench, g| {
-                bench.iter(|| ccqa_exact(&g.spec, &g.query, &g.tuple, &opts).unwrap())
-            },
+            |bench, g| bench.iter(|| ccqa_exact(&g.spec, &g.query, &g.tuple, &opts).unwrap()),
         );
     }
     for entities in [64usize, 256, 1024, 4096] {

@@ -51,9 +51,7 @@ fn bench_ecp(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("maximum_extension/entities", entities),
             &(&spec, &sources),
-            |bench, (spec, sources)| {
-                bench.iter(|| maximum_extension(spec, sources).unwrap())
-            },
+            |bench, (spec, sources)| bench.iter(|| maximum_extension(spec, sources).unwrap()),
         );
     }
     group.finish();

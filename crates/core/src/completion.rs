@@ -78,9 +78,7 @@ impl RelCompletion {
             self.pos[attr.index()].get(&u),
             self.pos[attr.index()].get(&v),
         ) {
-            (Some(pu), Some(pv)) => {
-                pu < pv && self.same_chain(attr, u, v)
-            }
+            (Some(pu), Some(pv)) => pu < pv && self.same_chain(attr, u, v),
             _ => false,
         }
     }
@@ -211,10 +209,7 @@ mod tests {
         (spec, t0, t1)
     }
 
-    fn completion_with_chain(
-        spec: &Specification,
-        chain: Vec<TupleId>,
-    ) -> Completion {
+    fn completion_with_chain(spec: &Specification, chain: Vec<TupleId>) -> Completion {
         let inst = spec.instance(RelId(0));
         let mut per_entity = BTreeMap::new();
         per_entity.insert(Eid(1), chain);

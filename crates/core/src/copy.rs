@@ -15,8 +15,8 @@
 //!   reasoners; [`CopyFunction::compatibility_obligations`] enumerates the
 //!   ground implications.
 
-use crate::error::CurrencyError;
 use crate::denial::OrderEdge;
+use crate::error::CurrencyError;
 use crate::schema::{AttrId, RelId};
 use crate::temporal::TemporalInstance;
 use crate::value::TupleId;

@@ -241,7 +241,9 @@ impl DenialConstraint {
                         .iter()
                         .copied()
                         .filter(|&tid| {
-                            unary[v].iter().all(|p| self.eval_cmp_partial(p, inst, &[(v, tid)]))
+                            unary[v]
+                                .iter()
+                                .all(|p| self.eval_cmp_partial(p, inst, &[(v, tid)]))
                         })
                         .collect()
                 })
@@ -270,8 +272,7 @@ impl DenialConstraint {
         }
         for &tid in &candidates[depth] {
             assignment.push(tid);
-            let pairs: Vec<(VarId, TupleId)> =
-                assignment.iter().copied().enumerate().collect();
+            let pairs: Vec<(VarId, TupleId)> = assignment.iter().copied().enumerate().collect();
             let ok = rest[depth]
                 .iter()
                 .all(|p| self.eval_cmp_partial(p, inst, &pairs));
@@ -590,14 +591,12 @@ mod tests {
         let d = inst_with(&[(1, 10, 0), (1, 20, 0)]);
         let dc = monotone_a();
         // Completion where t0 ≺ t1 in A: satisfied.
-        let good = |attr: AttrId, l: TupleId, g: TupleId| {
-            attr == A && l == TupleId(0) && g == TupleId(1)
-        };
+        let good =
+            |attr: AttrId, l: TupleId, g: TupleId| attr == A && l == TupleId(0) && g == TupleId(1);
         assert!(dc.satisfied_by(&d, &good));
         // Completion with the opposite order: violated.
-        let bad = |attr: AttrId, l: TupleId, g: TupleId| {
-            attr == A && l == TupleId(1) && g == TupleId(0)
-        };
+        let bad =
+            |attr: AttrId, l: TupleId, g: TupleId| attr == A && l == TupleId(1) && g == TupleId(0);
         assert!(!dc.satisfied_by(&d, &bad));
     }
 

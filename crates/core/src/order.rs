@@ -179,7 +179,13 @@ pub fn linear_extensions(elems: &[TupleId], order: &OrderRelation) -> Vec<Vec<Tu
     let mut result = Vec::new();
     let mut prefix: Vec<TupleId> = Vec::with_capacity(elems.len());
     let mut remaining: BTreeSet<TupleId> = elems.iter().copied().collect();
-    backtrack(&closed, &mut preds, &mut remaining, &mut prefix, &mut result);
+    backtrack(
+        &closed,
+        &mut preds,
+        &mut remaining,
+        &mut prefix,
+        &mut result,
+    );
     result
 }
 

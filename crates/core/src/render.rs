@@ -59,10 +59,7 @@ pub fn render_temporal(schema: &RelationSchema, inst: &TemporalInstance) -> Stri
             out.push_str("  orders:\n");
             any = true;
         }
-        let pairs: Vec<String> = order
-            .iter()
-            .map(|(l, g)| format!("{l} ≺ {g}"))
-            .collect();
+        let pairs: Vec<String> = order.iter().map(|(l, g)| format!("{l} ≺ {g}")).collect();
         let _ = writeln!(out, "    {}: {}", schema.attr_name(attr), pairs.join(", "));
     }
     out
@@ -157,20 +154,14 @@ mod tests {
             .instance_mut(r)
             .push_tuple(Tuple::new(Eid(1), vec![Value::str("Mary"), Value::int(80)]))
             .unwrap();
-        spec.instance_mut(r)
-            .add_order(AttrId(1), t0, t1)
-            .unwrap();
+        spec.instance_mut(r).add_order(AttrId(1), t0, t1).unwrap();
         let sid = spec
             .instance_mut(s)
             .push_tuple(Tuple::new(Eid(7), vec![Value::str("Mary"), Value::int(80)]))
             .unwrap();
-        let sig = crate::CopySignature::new(
-            r,
-            vec![AttrId(0), AttrId(1)],
-            s,
-            vec![AttrId(0), AttrId(1)],
-        )
-        .unwrap();
+        let sig =
+            crate::CopySignature::new(r, vec![AttrId(0), AttrId(1)], s, vec![AttrId(0), AttrId(1)])
+                .unwrap();
         let mut cf = crate::CopyFunction::new(sig);
         cf.set_mapping(t1, sid);
         spec.add_copy(cf).unwrap();

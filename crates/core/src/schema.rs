@@ -71,10 +71,11 @@ impl RelationSchema {
 
     /// Look up an attribute by name, failing with a descriptive error.
     pub fn attr_checked(&self, name: &str) -> Result<AttrId, CurrencyError> {
-        self.attr(name).ok_or_else(|| CurrencyError::UnknownAttribute {
-            relation: self.name.clone(),
-            attribute: name.to_string(),
-        })
+        self.attr(name)
+            .ok_or_else(|| CurrencyError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_string(),
+            })
     }
 
     /// The name of an attribute.

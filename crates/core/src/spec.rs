@@ -127,11 +127,7 @@ impl Specification {
             }
         }
         let idx = self.copies.len();
-        cf.validate(
-            idx,
-            self.instance(sig.target),
-            self.instance(sig.source),
-        )?;
+        cf.validate(idx, self.instance(sig.target), self.instance(sig.source))?;
         self.copies.push(cf);
         Ok(idx)
     }
@@ -216,7 +212,11 @@ mod tests {
     fn constraint_attribute_ranges_checked() {
         let (mut spec, r, _) = two_rel_spec();
         let ok = DenialConstraint::builder(r, 2)
-            .when_cmp(Term::attr(0, AttrId(1)), CmpOp::Gt, Term::attr(1, AttrId(1)))
+            .when_cmp(
+                Term::attr(0, AttrId(1)),
+                CmpOp::Gt,
+                Term::attr(1, AttrId(1)),
+            )
             .then_order(1, AttrId(1), 0)
             .build()
             .unwrap();
@@ -250,9 +250,8 @@ mod tests {
         cf.set_mapping(tr, ts);
         assert!(spec.add_copy(cf).is_ok());
         // Value-mismatched mapping is rejected.
-        let mut bad = CopyFunction::new(
-            CopySignature::new(r, vec![AttrId(1)], s, vec![AttrId(0)]).unwrap(),
-        );
+        let mut bad =
+            CopyFunction::new(CopySignature::new(r, vec![AttrId(1)], s, vec![AttrId(0)]).unwrap());
         bad.set_mapping(tr, ts); // 2 ≠ 1
         assert!(matches!(
             spec.add_copy(bad),

@@ -166,7 +166,11 @@ fn permute(items: &mut Vec<TupleId>, k: usize, f: &mut impl FnMut(&[TupleId])) {
 fn fresh_values_never_collide_with_pool_values() {
     for i in 0..100u64 {
         let f = Value::Fresh(i);
-        for v in [Value::int(i as i64), Value::str(format!("{i}")), Value::bool(i % 2 == 0)] {
+        for v in [
+            Value::int(i as i64),
+            Value::str(format!("{i}")),
+            Value::bool(i % 2 == 0),
+        ] {
             assert_ne!(f, v);
         }
     }

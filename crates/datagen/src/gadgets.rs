@@ -234,7 +234,7 @@ pub fn cps_exists_forall_3dnf(f: &Formula3, num_x: usize) -> CpsEf3DnfGadget {
         }
         for bits in 0..8u8 {
             let a: Vec<i64> = (0..3).map(|p| (bits >> p & 1) as i64).collect();
-            let b = i64::from(a.iter().any(|&x| x == 1));
+            let b = i64::from(a.contains(&1));
             let id = inst
                 .push_tuple(Tuple::new(
                     e,
@@ -286,11 +286,7 @@ pub fn cps_exists_forall_3dnf(f: &Formula3, num_x: usize) -> CpsEf3DnfGadget {
         } else {
             // χ_j: Y values are enumerated freely, but the two bound
             // tuples must be the two distinct candidates.
-            builder = builder.when_cmp(
-                Term::attr(ti(u), LV),
-                CmpOp::Ne,
-                Term::attr(tpi(u), LV),
-            );
+            builder = builder.when_cmp(Term::attr(ti(u), LV), CmpOp::Ne, Term::attr(tpi(u), LV));
         }
     }
     for (l, clause) in f.clauses.iter().enumerate() {

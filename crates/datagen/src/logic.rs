@@ -117,10 +117,7 @@ pub fn random_formula(num_vars: usize, num_clauses: usize, seed: u64) -> Formula
             })
         })
         .collect();
-    Formula3 {
-        num_vars,
-        clauses,
-    }
+    Formula3 { num_vars, clauses }
 }
 
 /// A Betweenness instance: a ground set `0..n` and ordered triples

@@ -5,8 +5,8 @@
 //! benchmarks.  All generation is deterministic in the seed.
 
 use currency_core::{
-    AttrId, Catalog, CmpOp, CopyFunction, CopySignature, DenialConstraint, Eid,
-    RelationSchema, Specification, Term, Tuple, TupleId, Value,
+    AttrId, Catalog, CmpOp, CopyFunction, CopySignature, DenialConstraint, Eid, RelationSchema,
+    Specification, Term, Tuple, TupleId, Value,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -91,8 +91,8 @@ pub fn random_spec(cfg: &RandomSpecConfig) -> Specification {
         for i in 0..target_tuples.len() {
             for jj in (i + 1)..target_tuples.len() {
                 let (u, v) = (target_tuples[i], target_tuples[jj]);
-                let same_entity = spec.instance(target).tuple(u).eid
-                    == spec.instance(target).tuple(v).eid;
+                let same_entity =
+                    spec.instance(target).tuple(u).eid == spec.instance(target).tuple(v).eid;
                 if same_entity && rng.gen_bool(cfg.order_density) {
                     spec.instance_mut(target)
                         .add_order(attr, u, v)
@@ -124,8 +124,7 @@ pub fn random_spec(cfg: &RandomSpecConfig) -> Specification {
     // Copy function: source tuples mirror a random subset of the target.
     if let Some(src) = source {
         let sig_attrs: Vec<AttrId> = (0..cfg.attrs).map(|i| AttrId(i as u32)).collect();
-        let sig = CopySignature::new(target, sig_attrs.clone(), src, sig_attrs)
-            .expect("signature");
+        let sig = CopySignature::new(target, sig_attrs.clone(), src, sig_attrs).expect("signature");
         let mut cf = CopyFunction::new(sig);
         for &tid in &target_tuples {
             if rng.gen_bool(0.5) {
@@ -141,15 +140,13 @@ pub fn random_spec(cfg: &RandomSpecConfig) -> Specification {
             }
         }
         // Random initial orders on the source side.
-        let src_tuples: Vec<TupleId> =
-            spec.instance(src).tuples().map(|(id, _)| id).collect();
+        let src_tuples: Vec<TupleId> = spec.instance(src).tuples().map(|(id, _)| id).collect();
         for a in 0..cfg.attrs {
             let attr = AttrId(a as u32);
             for i in 0..src_tuples.len() {
                 for jj in (i + 1)..src_tuples.len() {
                     let (u, v) = (src_tuples[i], src_tuples[jj]);
-                    let same = spec.instance(src).tuple(u).eid
-                        == spec.instance(src).tuple(v).eid;
+                    let same = spec.instance(src).tuple(u).eid == spec.instance(src).tuple(v).eid;
                     if same && rng.gen_bool(cfg.order_density) {
                         spec.instance_mut(src)
                             .add_order(attr, u, v)
@@ -158,7 +155,8 @@ pub fn random_spec(cfg: &RandomSpecConfig) -> Specification {
                 }
             }
         }
-        spec.add_copy(cf).expect("copying condition by construction");
+        spec.add_copy(cf)
+            .expect("copying condition by construction");
     }
     debug_assert!(spec.validate().is_ok());
     spec

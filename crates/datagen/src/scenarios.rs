@@ -123,7 +123,11 @@ pub fn phi2(emp: RelId) -> DenialConstraint {
 pub fn phi_status(emp: RelId) -> Vec<DenialConstraint> {
     let stage = |earlier: &str, later: &str| {
         DenialConstraint::builder(emp, 2)
-            .when_cmp(Term::attr(0, emp_attrs::STATUS), CmpOp::Eq, Term::val(later))
+            .when_cmp(
+                Term::attr(0, emp_attrs::STATUS),
+                CmpOp::Eq,
+                Term::val(later),
+            )
             .when_cmp(
                 Term::attr(1, emp_attrs::STATUS),
                 CmpOp::Eq,
@@ -190,14 +194,35 @@ fn build_fig1(merge_luth: bool) -> Fig1 {
     let s = [
         e.push_tuple(emp_tuple(mary, "Mary", "Smith", "2 Small St", 50, "single"))
             .expect("s1"),
-        e.push_tuple(emp_tuple(mary, "Mary", "Dupont", "10 Elm Ave", 50, "married"))
-            .expect("s2"),
-        e.push_tuple(emp_tuple(mary, "Mary", "Dupont", "6 Main St", 80, "married"))
-            .expect("s3"),
+        e.push_tuple(emp_tuple(
+            mary,
+            "Mary",
+            "Dupont",
+            "10 Elm Ave",
+            50,
+            "married",
+        ))
+        .expect("s2"),
+        e.push_tuple(emp_tuple(
+            mary,
+            "Mary",
+            "Dupont",
+            "6 Main St",
+            80,
+            "married",
+        ))
+        .expect("s3"),
         e.push_tuple(emp_tuple(bob, "Bob", "Luth", "8 Cowan St", 80, "married"))
             .expect("s4"),
-        e.push_tuple(emp_tuple(robert, "Robert", "Luth", "8 Drum St", 55, "married"))
-            .expect("s5"),
+        e.push_tuple(emp_tuple(
+            robert,
+            "Robert",
+            "Luth",
+            "8 Drum St",
+            55,
+            "married",
+        ))
+        .expect("s5"),
     ];
     let d = spec.instance_mut(dept);
     let t = [
@@ -230,7 +255,8 @@ fn build_fig1(merge_luth: bool) -> Fig1 {
     rho.set_mapping(t[1], s[0]);
     rho.set_mapping(t[2], s[2]);
     rho.set_mapping(t[3], s[3]);
-    spec.add_copy(rho).expect("ρ satisfies the copying condition");
+    spec.add_copy(rho)
+        .expect("ρ satisfies the copying condition");
     Fig1 {
         spec,
         emp,
@@ -343,19 +369,54 @@ pub fn example_4_1() -> Example41 {
     let s = [
         e.push_tuple(emp_tuple(mary, "Mary", "Smith", "2 Small St", 50, "single"))
             .expect("s1"),
-        e.push_tuple(emp_tuple(mary, "Mary", "Dupont", "10 Elm Ave", 50, "married"))
-            .expect("s2"),
-        e.push_tuple(emp_tuple(mary, "Mary", "Dupont", "6 Main St", 80, "married"))
-            .expect("s3"),
+        e.push_tuple(emp_tuple(
+            mary,
+            "Mary",
+            "Dupont",
+            "10 Elm Ave",
+            50,
+            "married",
+        ))
+        .expect("s2"),
+        e.push_tuple(emp_tuple(
+            mary,
+            "Mary",
+            "Dupont",
+            "6 Main St",
+            80,
+            "married",
+        ))
+        .expect("s3"),
     ];
     let m = spec.instance_mut(mgr);
     let sp = [
-        m.push_tuple(emp_tuple(mary, "Mary", "Dupont", "6 Main St", 60, "married"))
-            .expect("s′1"),
-        m.push_tuple(emp_tuple(mary, "Mary", "Dupont", "6 Main St", 80, "married"))
-            .expect("s′2"),
-        m.push_tuple(emp_tuple(mary, "Mary", "Smith", "2 Small St", 80, "divorced"))
-            .expect("s′3"),
+        m.push_tuple(emp_tuple(
+            mary,
+            "Mary",
+            "Dupont",
+            "6 Main St",
+            60,
+            "married",
+        ))
+        .expect("s′1"),
+        m.push_tuple(emp_tuple(
+            mary,
+            "Mary",
+            "Dupont",
+            "6 Main St",
+            80,
+            "married",
+        ))
+        .expect("s′2"),
+        m.push_tuple(emp_tuple(
+            mary,
+            "Mary",
+            "Smith",
+            "2 Small St",
+            80,
+            "divorced",
+        ))
+        .expect("s′3"),
     ];
     spec.add_constraint(phi1(emp)).expect("φ₁");
     spec.add_constraint(phi2(emp)).expect("φ₂");

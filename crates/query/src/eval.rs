@@ -130,17 +130,15 @@ impl Rows {
         };
         'tuple: for t in inst.iter() {
             let mut binding: Vec<Option<Value>> = vec![None; vars.len()];
-            let unify = |term: &Term, value: &Value, binding: &mut Vec<Option<Value>>| {
-                match term {
-                    Term::Const(c) => c == value,
-                    Term::Var(v) => {
-                        let ix = vars.iter().position(|w| w == v).expect("var indexed");
-                        match &binding[ix] {
-                            Some(prev) => prev == value,
-                            None => {
-                                binding[ix] = Some(value.clone());
-                                true
-                            }
+            let unify = |term: &Term, value: &Value, binding: &mut Vec<Option<Value>>| match term {
+                Term::Const(c) => c == value,
+                Term::Var(v) => {
+                    let ix = vars.iter().position(|w| w == v).expect("var indexed");
+                    match &binding[ix] {
+                        Some(prev) => prev == value,
+                        None => {
+                            binding[ix] = Some(value.clone());
+                            true
                         }
                     }
                 }
@@ -175,7 +173,13 @@ impl Rows {
             .vars
             .iter()
             .copied()
-            .chain(other.vars.iter().copied().filter(|v| !self.vars.contains(v)))
+            .chain(
+                other
+                    .vars
+                    .iter()
+                    .copied()
+                    .filter(|v| !self.vars.contains(v)),
+            )
             .collect();
         let self_key: Vec<usize> = shared.iter().map(|&v| self.col(v).unwrap()).collect();
         let other_key: Vec<usize> = shared.iter().map(|&v| other.col(v).unwrap()).collect();
@@ -225,7 +229,10 @@ impl Rows {
 
     /// Keep only the columns in `keep` (first-occurrence order of `keep`).
     fn project(&self, keep: &[QVar]) -> Rows {
-        let cols: Vec<usize> = keep.iter().map(|&v| self.col(v).expect("projected var")).collect();
+        let cols: Vec<usize> = keep
+            .iter()
+            .map(|&v| self.col(v).expect("projected var"))
+            .collect();
         Rows {
             vars: keep.to_vec(),
             tuples: self
@@ -595,7 +602,10 @@ mod tests {
                 },
             ]),
         );
-        assert_eq!(q.eval(&db), vec![vec![Value::int(10)], vec![Value::int(15)]]);
+        assert_eq!(
+            q.eval(&db),
+            vec![vec![Value::int(10)], vec![Value::int(15)]]
+        );
     }
 
     #[test]
@@ -645,7 +655,10 @@ mod tests {
     #[test]
     fn universal_quantification() {
         // ∀x. R(_, x) → S(_, x) encoded as ∀x. ¬R(_, x) ∨ S(_, x).
-        let data = vec![inst(R, &[(1, &[1]), (2, &[2])]), inst(S, &[(9, &[1]), (9, &[2])])];
+        let data = vec![
+            inst(R, &[(1, &[1]), (2, &[2])]),
+            inst(S, &[(9, &[1]), (9, &[2])]),
+        ];
         let db = Database::new(&data);
         let mut b = QueryBuilder::new();
         let x = b.var();

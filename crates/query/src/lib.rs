@@ -40,7 +40,7 @@ mod eval;
 mod parser;
 mod sp;
 
-pub use ast::{Atom, Formula, Query, QueryBuilder, QVar, Term};
+pub use ast::{Atom, Formula, QVar, Query, QueryBuilder, Term};
 pub use classify::{classify, QueryClass};
 pub use currency_core::CmpOp;
 pub use eval::{Database, EvalError};

@@ -345,11 +345,7 @@ impl<'a> Parser<'a> {
                 ),
             ));
         }
-        Ok(Formula::Atom(Atom {
-            rel,
-            eid,
-            args,
-        }))
+        Ok(Formula::Atom(Atom { rel, eid, args }))
     }
 
     fn comparison(&mut self) -> Result<Formula, ParseError> {
@@ -416,10 +412,7 @@ pub fn parse_query(catalog: &Catalog, input: &str) -> Result<Query, ParseError> 
     }
     // Implicitly quantify non-head free variables.
     let free = body.free_vars();
-    let implicit: Vec<QVar> = free
-        .into_iter()
-        .filter(|v| !head.contains(v))
-        .collect();
+    let implicit: Vec<QVar> = free.into_iter().filter(|v| !head.contains(v)).collect();
     let body = if implicit.is_empty() {
         body
     } else {
@@ -497,11 +490,7 @@ mod tests {
     #[test]
     fn parses_boolean_query_with_negation_and_quantifier() {
         let cat = catalog();
-        let q = parse_query(
-            &cat,
-            "Q() :- forall n . not Emp(n, 99) or n != n",
-        )
-        .unwrap();
+        let q = parse_query(&cat, "Q() :- forall n . not Emp(n, 99) or n != n").unwrap();
         assert_eq!(classify(&q), QueryClass::Fo);
         let data = db_data();
         let db = Database::new(&data);

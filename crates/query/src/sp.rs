@@ -118,7 +118,11 @@ impl SpQuery {
                 }),
             }
         }
-        let head: Vec<QVar> = self.projection.iter().map(|a| attr_vars[a.index()]).collect();
+        let head: Vec<QVar> = self
+            .projection
+            .iter()
+            .map(|a| attr_vars[a.index()])
+            .collect();
         let existential: Vec<QVar> = attr_vars
             .iter()
             .copied()
@@ -254,7 +258,11 @@ mod tests {
 
     #[test]
     fn selection_and_projection() {
-        let data = inst(&[(1, &["mary", "old"]), (1, &["mary", "new"]), (2, &["bob", "z"])]);
+        let data = inst(&[
+            (1, &["mary", "old"]),
+            (1, &["mary", "new"]),
+            (2, &["bob", "z"]),
+        ]);
         let q = SpQuery {
             rel: R,
             projection: vec![AttrId(1)],

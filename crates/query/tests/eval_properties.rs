@@ -3,7 +3,7 @@
 //! and evaluation must satisfy the standard algebraic laws.
 
 use currency_core::{Eid, NormalInstance, RelId, Tuple, Value};
-use currency_query::{Atom, Database, Formula, Query, QueryBuilder, QVar, Term};
+use currency_query::{Atom, Database, Formula, QVar, Query, QueryBuilder, Term};
 use proptest::prelude::*;
 
 const R: RelId = RelId(0);
@@ -51,7 +51,10 @@ fn build(shape: &Shape) -> (Query, Query) {
         let body = match shape {
             Shape::Scan => Formula::Exists(
                 vec![y],
-                Box::new(Formula::Atom(Atom::new(R, vec![Term::Var(x), Term::Var(y)]))),
+                Box::new(Formula::Atom(Atom::new(
+                    R,
+                    vec![Term::Var(x), Term::Var(y)],
+                ))),
             ),
             Shape::Select(c) => Formula::Exists(
                 vec![y],

@@ -13,6 +13,7 @@
 //! current value are collapsed.
 
 use crate::encode::Encoding;
+use crate::engine::CurrencyEngine;
 use crate::error::ReasonError;
 use crate::sp_ptime;
 use crate::Options;
@@ -86,8 +87,33 @@ pub fn ccqa_exact(
     Ok(certain_answers_exact(spec, query, opts)?.contains(tuple))
 }
 
-/// Compute certain current answers with the exact engine.
+/// Compute certain current answers with the exact engine.  Routes through
+/// a transient [`CurrencyEngine`] — realizable current instances are
+/// enumerated per entity component and composed, so order differences in
+/// unrelated components never multiply the model count.  For repeated
+/// queries over one specification, build the engine once instead.
 pub fn certain_answers_exact(
+    spec: &Specification,
+    query: &Query,
+    opts: &Options,
+) -> Result<CertainAnswers, ReasonError> {
+    let rels: Vec<_> = query.body().relations().into_iter().collect();
+    CurrencyEngine::with_value_rels(spec, &rels, opts)?.certain_answers(query)
+}
+
+/// Decide CCQA on one monolithic encoding (kept for differential testing).
+pub fn ccqa_exact_monolithic(
+    spec: &Specification,
+    query: &Query,
+    tuple: &[Value],
+    opts: &Options,
+) -> Result<bool, ReasonError> {
+    Ok(certain_answers_exact_monolithic(spec, query, opts)?.contains(tuple))
+}
+
+/// [`certain_answers_exact`] on one monolithic whole-specification
+/// encoding (kept for differential testing).
+pub fn certain_answers_exact_monolithic(
     spec: &Specification,
     query: &Query,
     opts: &Options,
@@ -96,10 +122,12 @@ pub fn certain_answers_exact(
     let mut enc = Encoding::new(spec, &rels)?;
     let projection = enc.value_projection().to_vec();
     let mut models: Vec<Vec<bool>> = Vec::new();
-    let enumeration = enc.solver.for_each_model(&projection, opts.max_models, |m| {
-        models.push(m.to_vec());
-        true
-    });
+    let enumeration = enc
+        .solver
+        .for_each_model(&projection, opts.max_models, |m| {
+            models.push(m.to_vec());
+            true
+        });
     if matches!(enumeration, Enumeration::LimitReached(_)) {
         return Err(ReasonError::BudgetExceeded {
             what: "current-instance enumeration (CCQA)",
@@ -130,8 +158,7 @@ pub fn certain_answers_exact(
 mod tests {
     use super::*;
     use currency_core::{
-        AttrId, Catalog, CmpOp, DenialConstraint, Eid, RelId, RelationSchema, Term, Tuple,
-        TupleId,
+        AttrId, Catalog, CmpOp, DenialConstraint, Eid, RelId, RelationSchema, Term, Tuple, TupleId,
     };
     use currency_query::{Atom, Formula, QueryBuilder, Term as QTerm};
 
@@ -161,10 +188,7 @@ mod tests {
     fn salary_query(r: RelId) -> Query {
         let mut b = QueryBuilder::new();
         let x = b.var();
-        b.build(
-            vec![x],
-            Formula::Atom(Atom::new(r, vec![QTerm::Var(x)])),
-        )
+        b.build(vec![x], Formula::Atom(Atom::new(r, vec![QTerm::Var(x)])))
     }
 
     #[test]

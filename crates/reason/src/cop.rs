@@ -8,8 +8,10 @@
 //! (`Mod(S) = ∅`), every ordering is vacuously certain.
 
 use crate::encode::Encoding;
+use crate::engine::CurrencyEngine;
 use crate::error::ReasonError;
 use crate::fixpoint::po_infinity;
+use crate::Options;
 use currency_core::{AttrId, RelId, Specification, TupleId};
 use currency_sat::SolveResult;
 
@@ -43,8 +45,20 @@ pub fn cop(spec: &Specification, ot: &CurrencyOrderQuery) -> Result<bool, Reason
 }
 
 /// Decide COP with the SAT engine: each pair must be entailed, i.e. the
-/// encoding plus the negated pair must be unsatisfiable.
+/// encoding plus the negated pair must be unsatisfiable.  Routes through
+/// a transient [`CurrencyEngine`] — only the components the pairs touch
+/// are queried with assumptions; for repeated queries build the engine
+/// once instead.
 pub fn cop_exact(spec: &Specification, ot: &CurrencyOrderQuery) -> Result<bool, ReasonError> {
+    CurrencyEngine::with_value_rels(spec, &[], &Options::default())?.cop(ot)
+}
+
+/// [`cop_exact`] on one monolithic encoding (kept for differential
+/// testing).
+pub fn cop_exact_monolithic(
+    spec: &Specification,
+    ot: &CurrencyOrderQuery,
+) -> Result<bool, ReasonError> {
     let mut enc = Encoding::new(spec, &[])?;
     if enc.solver.solve() == SolveResult::Unsat {
         return Ok(true); // Mod(S) = ∅: vacuously certain

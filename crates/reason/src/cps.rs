@@ -4,9 +4,11 @@
 //! complexity); PTIME without denial constraints (paper Theorem 6.1).
 
 use crate::encode::Encoding;
+use crate::engine::CurrencyEngine;
 use crate::enumerate::for_each_consistent_completion;
 use crate::error::ReasonError;
 use crate::fixpoint::po_infinity;
+use crate::Options;
 use currency_core::{Completion, Specification};
 use currency_sat::SolveResult;
 
@@ -22,8 +24,17 @@ pub fn cps(spec: &Specification) -> Result<bool, ReasonError> {
 }
 
 /// Decide CPS with the SAT-based exact solver (sound and complete for
-/// arbitrary specifications).
+/// arbitrary specifications).  Routes through a transient
+/// [`CurrencyEngine`], solving each entity component independently; for
+/// repeated queries over one specification, build the engine once
+/// instead.
 pub fn cps_exact(spec: &Specification) -> Result<bool, ReasonError> {
+    CurrencyEngine::with_value_rels(spec, &[], &Options::default())?.cps()
+}
+
+/// Decide CPS with one monolithic whole-specification encoding (the
+/// pre-partitioning path, kept for differential testing).
+pub fn cps_exact_monolithic(spec: &Specification) -> Result<bool, ReasonError> {
     let mut enc = Encoding::new(spec, &[])?;
     Ok(enc.solver.solve() == SolveResult::Sat)
 }
@@ -56,6 +67,14 @@ pub fn cps_enumerate(spec: &Specification, limit: usize) -> Result<bool, ReasonE
 /// Uses the SAT engine regardless of constraints (the decoded model *is*
 /// the witness); `Ok(None)` means the specification is inconsistent.
 pub fn witness_completion(spec: &Specification) -> Result<Option<Completion>, ReasonError> {
+    CurrencyEngine::with_value_rels(spec, &[], &Options::default())?.witness_completion()
+}
+
+/// [`witness_completion`] on one monolithic encoding (kept for
+/// differential testing).
+pub fn witness_completion_monolithic(
+    spec: &Specification,
+) -> Result<Option<Completion>, ReasonError> {
     let mut enc = Encoding::new(spec, &[])?;
     if enc.solver.solve() == SolveResult::Unsat {
         return Ok(None);

@@ -8,6 +8,7 @@
 //! As with COP, an inconsistent specification is vacuously deterministic.
 
 use crate::encode::Encoding;
+use crate::engine::CurrencyEngine;
 use crate::error::ReasonError;
 use crate::fixpoint::po_infinity;
 use crate::Options;
@@ -25,18 +26,32 @@ pub fn dcip(spec: &Specification, rel: RelId, opts: &Options) -> Result<bool, Re
 
 /// Decide DCIP with the SAT engine: enumerate realizable current instances
 /// of `rel` via projected All-SAT over the value indicators and check that
-/// at most one distinct instance exists.
+/// at most one distinct instance exists.  Routes through a transient
+/// [`CurrencyEngine`], which enumerates per entity component; for repeated
+/// queries build the engine once instead.
 pub fn dcip_exact(spec: &Specification, rel: RelId, opts: &Options) -> Result<bool, ReasonError> {
+    CurrencyEngine::with_value_rels(spec, &[rel], opts)?.dcip(rel)
+}
+
+/// [`dcip_exact`] on one monolithic encoding (kept for differential
+/// testing).
+pub fn dcip_exact_monolithic(
+    spec: &Specification,
+    rel: RelId,
+    opts: &Options,
+) -> Result<bool, ReasonError> {
     let mut enc = Encoding::new(spec, &[rel])?;
     let projection = enc.value_projection().to_vec();
     // Two distinct projected models of the value indicators decode to two
     // distinct current instances (an indicator is true iff its value is the
     // current one), so the enumeration can stop after two models.
     let mut models: Vec<Vec<bool>> = Vec::new();
-    let enumeration = enc.solver.for_each_model(&projection, opts.max_models, |m| {
-        models.push(m.to_vec());
-        models.len() < 2
-    });
+    let enumeration = enc
+        .solver
+        .for_each_model(&projection, opts.max_models, |m| {
+            models.push(m.to_vec());
+            models.len() < 2
+        });
     if matches!(enumeration, Enumeration::LimitReached(_)) {
         return Err(ReasonError::BudgetExceeded {
             what: "current-instance enumeration (DCIP)",

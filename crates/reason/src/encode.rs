@@ -31,12 +31,13 @@
 //! realizable current instances, collapsing the (huge) completion space to
 //! the (small) space of distinct `LST` outcomes.
 
+use crate::partition::Component;
 use currency_core::{
     AttrId, Completion, CurrencyError, Eid, NormalInstance, RelCompletion, RelId, Specification,
     Tuple, TupleId, Value,
 };
 use currency_sat::{Lit, Solver, Var};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// How the current value of one `(relation, entity, attribute)` cell is
 /// represented in the encoding.
@@ -52,7 +53,14 @@ pub enum ValueChoice {
 }
 
 /// A specification compiled to CNF (see module docs).
-#[derive(Debug)]
+///
+/// An encoding covers either the whole specification
+/// ([`Encoding::new`]) or one entity component of it
+/// ([`Encoding::for_component`]): the scoped form contains exactly the
+/// order variables, clauses, and value indicators of its component's
+/// `(relation, entity)` cells, and its decode methods report rows and
+/// chains for those cells only.
+#[derive(Clone, Debug)]
 pub struct Encoding {
     /// The solver loaded with the specification's clauses.
     pub solver: Solver,
@@ -64,6 +72,8 @@ pub struct Encoding {
     value_projection: Vec<Var>,
     /// Relations whose current values are encoded.
     value_rels: Vec<RelId>,
+    /// `(relation, entity)` cells covered; `None` = the whole spec.
+    scope: Option<BTreeSet<(RelId, Eid)>>,
 }
 
 impl Encoding {
@@ -74,22 +84,96 @@ impl Encoding {
     /// ([`Specification::validate`]).
     pub fn new(spec: &Specification, value_rels: &[RelId]) -> Result<Encoding, CurrencyError> {
         spec.validate()?;
-        let mut enc = Encoding {
+        let mut enc = Encoding::empty(value_rels, None);
+        enc.alloc_order_vars(spec);
+        enc.add_transitivity(spec);
+        enc.add_initial_orders(spec);
+        for dc in spec.constraints() {
+            let inst = spec.instance(dc.rel());
+            for rule in dc.ground(inst) {
+                enc.add_ground_rule(dc.rel(), &rule);
+            }
+        }
+        for cf in spec.copies() {
+            let sig = cf.signature();
+            let target = spec.instance(sig.target);
+            let source = spec.instance(sig.source);
+            for (src_edge, tgt_edge) in cf.compatibility_obligations(target, source) {
+                enc.add_obligation(sig.source, &src_edge, sig.target, &tgt_edge);
+            }
+        }
+        for &rel in value_rels {
+            enc.add_value_indicators(spec, rel);
+        }
+        Ok(enc)
+    }
+
+    /// Compile one entity component of `spec` (see [`crate::partition`]).
+    ///
+    /// The component carries its ground rules and obligations, so no
+    /// grounding work is repeated per component.  The caller is expected
+    /// to have validated the specification once.
+    pub fn for_component(
+        spec: &Specification,
+        value_rels: &[RelId],
+        component: &Component,
+    ) -> Encoding {
+        let mut enc = Encoding::empty(value_rels, Some(component.cells.clone()));
+        enc.alloc_order_vars(spec);
+        enc.add_transitivity(spec);
+        enc.add_initial_orders(spec);
+        for r in &component.rules {
+            enc.add_ground_rule(r.rel, &r.rule);
+        }
+        for ob in &component.obligations {
+            enc.add_obligation(
+                ob.source_rel,
+                &ob.source_edge,
+                ob.target_rel,
+                &ob.target_edge,
+            );
+        }
+        for &rel in value_rels {
+            enc.add_value_indicators(spec, rel);
+        }
+        enc
+    }
+
+    fn empty(value_rels: &[RelId], scope: Option<BTreeSet<(RelId, Eid)>>) -> Encoding {
+        Encoding {
             solver: Solver::new(),
             order_vars: HashMap::new(),
             value_choices: BTreeMap::new(),
             value_projection: Vec::new(),
             value_rels: value_rels.to_vec(),
-        };
-        enc.alloc_order_vars(spec);
-        enc.add_transitivity(spec);
-        enc.add_initial_orders(spec);
-        enc.add_denial_constraints(spec);
-        enc.add_copy_compatibility(spec);
-        for &rel in value_rels {
-            enc.add_value_indicators(spec, rel);
+            scope,
         }
-        Ok(enc)
+    }
+
+    /// `true` if the `(rel, eid)` cell belongs to this encoding.
+    fn in_scope(&self, rel: RelId, eid: Eid) -> bool {
+        self.scope
+            .as_ref()
+            .is_none_or(|cells| cells.contains(&(rel, eid)))
+    }
+
+    /// This encoding's entities of `rel`.  A scoped encoding walks its own
+    /// (few) cells via a range scan instead of filtering every entity of
+    /// the relation — decode cost then scales with the component, not the
+    /// specification.
+    fn entities_in_scope<'s>(
+        &'s self,
+        spec: &'s Specification,
+        rel: RelId,
+    ) -> Box<dyn Iterator<Item = Eid> + 's> {
+        match &self.scope {
+            Some(cells) => Box::new(
+                cells
+                    .range((rel, Eid(u64::MIN))..=(rel, Eid(u64::MAX)))
+                    .map(|&(_, eid)| eid),
+            ),
+            None => Box::new(spec.instance(rel).entities()),
+        }
     }
 
     /// The literal asserting `lesser ≺_attr greater`, if the pair is
@@ -127,6 +211,8 @@ impl Encoding {
     /// Reconstruct the current instances of the encoded relations from a
     /// projected model (as delivered by `for_each_model` over
     /// [`Encoding::value_projection`]).
+    ///
+    /// A scoped encoding reports rows for its own entities only.
     pub fn decode_current_instances(
         &self,
         spec: &Specification,
@@ -135,48 +221,113 @@ impl Encoding {
         self.value_rels
             .iter()
             .map(|&rel| {
-                let inst = spec.instance(rel);
                 let mut out = NormalInstance::new(rel);
-                for eid in inst.entities() {
-                    let values: Vec<Value> = (0..inst.arity())
-                        .map(|a| {
-                            let attr = AttrId(a as u32);
-                            match self
-                                .value_choices
-                                .get(&(rel, eid, attr))
-                                .expect("cell encoded")
-                            {
-                                ValueChoice::Fixed(v) => v.clone(),
-                                ValueChoice::Choice(options) => options
-                                    .iter()
-                                    .find(|(_, ix)| projected[*ix])
-                                    .map(|(v, _)| v.clone())
-                                    .expect("exactly one value indicator true"),
-                            }
-                        })
-                        .collect();
-                    out.push(Tuple::new(eid, values));
+                for eid in self.entities_in_scope(spec, rel) {
+                    out.push(Tuple::new(
+                        eid,
+                        self.decode_entity_row(spec, rel, eid, |ix| projected[ix]),
+                    ));
                 }
                 out
             })
             .collect()
     }
 
-    /// Decode the full completion witnessed by the solver's current model
-    /// (valid after a `Sat` result on [`Encoding::solver`]).
-    pub fn decode_completion(&self, spec: &Specification) -> Result<Completion, CurrencyError> {
-        let mut rels = Vec::with_capacity(spec.instances().len());
+    fn decode_entity_row(
+        &self,
+        spec: &Specification,
+        rel: RelId,
+        eid: Eid,
+        indicator: impl Fn(usize) -> bool,
+    ) -> Vec<Value> {
+        let inst = spec.instance(rel);
+        (0..inst.arity())
+            .map(|a| {
+                let attr = AttrId(a as u32);
+                match self
+                    .value_choices
+                    .get(&(rel, eid, attr))
+                    .expect("cell encoded")
+                {
+                    ValueChoice::Fixed(v) => v.clone(),
+                    ValueChoice::Choice(options) => options
+                        .iter()
+                        .find(|(_, ix)| indicator(*ix))
+                        .map(|(v, _)| v.clone())
+                        .expect("exactly one value indicator true"),
+                }
+            })
+            .collect()
+    }
+
+    /// The subset of [`Encoding::value_projection`] belonging to `rels`:
+    /// parallel vectors of full-projection indices and their variables,
+    /// sorted by index.  Model enumeration restricted to one relation
+    /// projects onto these variables so that order differences in *other*
+    /// relations do not multiply the model count.
+    pub fn restricted_projection(&self, rels: &[RelId]) -> (Vec<usize>, Vec<Var>) {
+        let mut indices: Vec<usize> = Vec::new();
+        for ((rel, _, _), choice) in &self.value_choices {
+            if !rels.contains(rel) {
+                continue;
+            }
+            if let ValueChoice::Choice(options) = choice {
+                indices.extend(options.iter().map(|(_, ix)| *ix));
+            }
+        }
+        indices.sort_unstable();
+        indices.dedup();
+        let vars = indices
+            .iter()
+            .map(|&ix| self.value_projection[ix])
+            .collect();
+        (indices, vars)
+    }
+
+    /// Decode the current rows of `rels` for this encoding's entities from
+    /// a model projected onto a restricted projection (as returned by
+    /// [`Encoding::restricted_projection`]): `indices[k]` is the full
+    /// projection index of `values[k]`.
+    pub fn decode_restricted(
+        &self,
+        spec: &Specification,
+        rels: &[RelId],
+        indices: &[usize],
+        values: &[bool],
+    ) -> Vec<(RelId, Tuple)> {
+        debug_assert_eq!(indices.len(), values.len());
+        let mut out = Vec::new();
+        for &rel in rels {
+            for eid in self.entities_in_scope(spec, rel) {
+                let row = self.decode_entity_row(spec, rel, eid, |ix| {
+                    indices
+                        .binary_search(&ix)
+                        .map(|pos| values[pos])
+                        .unwrap_or(false)
+                });
+                out.push((rel, Tuple::new(eid, row)));
+            }
+        }
+        out
+    }
+
+    /// The per-attribute chains of this encoding's entities under the
+    /// solver's current model (valid after a `Sat` result): entries are
+    /// `(rel, attr, eid, chain)` with the chain ordered least → most
+    /// current.  The engine merges chains across components to assemble a
+    /// full [`Completion`].
+    pub fn model_chains(&self, spec: &Specification) -> Vec<(RelId, AttrId, Eid, Vec<TupleId>)> {
+        let mut out = Vec::new();
         for inst in spec.instances() {
             let rel = inst.rel();
-            let mut chains: Vec<BTreeMap<Eid, Vec<TupleId>>> = vec![BTreeMap::new(); inst.arity()];
             for a in 0..inst.arity() {
                 let attr = AttrId(a as u32);
-                for (eid, group) in inst.entity_groups() {
-                    let mut chain: Vec<TupleId> = group.to_vec();
-                    // Count predecessors of each tuple under the model: in a
-                    // total order this equals the tuple's position, which
+                for eid in self.entities_in_scope(spec, rel) {
+                    let group = inst.entity_group(eid);
+                    // Count predecessors of each tuple under the model: in
+                    // a total order this equals the tuple's position, which
                     // avoids relying on sort-comparator transitivity.
-                    let mut rank: Vec<(usize, TupleId)> = chain
+                    let mut rank: Vec<(usize, TupleId)> = group
                         .iter()
                         .map(|&t| {
                             let preds = group
@@ -187,14 +338,40 @@ impl Encoding {
                         })
                         .collect();
                     rank.sort_unstable();
-                    chain.clear();
-                    chain.extend(rank.into_iter().map(|(_, t)| t));
-                    chains[a].insert(eid, chain);
+                    out.push((rel, attr, eid, rank.into_iter().map(|(_, t)| t).collect()));
                 }
             }
-            rels.push(RelCompletion::new(inst, chains)?);
         }
-        Ok(Completion::new(rels))
+        out
+    }
+
+    /// Decode the full completion witnessed by the solver's current model
+    /// (valid after a `Sat` result on [`Encoding::solver`]).
+    ///
+    /// Only meaningful on an unscoped encoding — a component encoding
+    /// covers a subset of the entities and cannot produce chains for the
+    /// rest (use [`Encoding::model_chains`] and assemble instead).
+    pub fn decode_completion(&self, spec: &Specification) -> Result<Completion, CurrencyError> {
+        debug_assert!(self.scope.is_none(), "decode_completion needs full scope");
+        let mut chains: BTreeMap<RelId, Vec<BTreeMap<Eid, Vec<TupleId>>>> = spec
+            .instances()
+            .iter()
+            .map(|inst| (inst.rel(), vec![BTreeMap::new(); inst.arity()]))
+            .collect();
+        for (rel, attr, eid, chain) in self.model_chains(spec) {
+            chains.get_mut(&rel).expect("known relation")[attr.index()].insert(eid, chain);
+        }
+        let rels: Result<Vec<RelCompletion>, CurrencyError> = spec
+            .instances()
+            .iter()
+            .map(|inst| {
+                RelCompletion::new(
+                    inst,
+                    chains.remove(&inst.rel()).expect("chains per relation"),
+                )
+            })
+            .collect();
+        Ok(Completion::new(rels?))
     }
 
     fn model_precedes(&self, rel: RelId, attr: AttrId, u: TupleId, v: TupleId) -> bool {
@@ -220,7 +397,10 @@ impl Encoding {
             let rel = inst.rel();
             for a in 0..inst.arity() {
                 let attr = AttrId(a as u32);
-                for (_eid, group) in inst.entity_groups() {
+                for (eid, group) in inst.entity_groups() {
+                    if !self.in_scope(rel, eid) {
+                        continue;
+                    }
                     for i in 0..group.len() {
                         for j in (i + 1)..group.len() {
                             let (u, v) = (group[i].min(group[j]), group[i].max(group[j]));
@@ -238,7 +418,10 @@ impl Encoding {
             let rel = inst.rel();
             for a in 0..inst.arity() {
                 let attr = AttrId(a as u32);
-                for (_eid, group) in inst.entity_groups() {
+                for (eid, group) in inst.entity_groups() {
+                    if !self.in_scope(rel, eid) {
+                        continue;
+                    }
                     let n = group.len();
                     for i in 0..n {
                         for j in 0..n {
@@ -265,6 +448,9 @@ impl Encoding {
             for a in 0..inst.arity() {
                 let attr = AttrId(a as u32);
                 for (u, v) in inst.order(attr).iter() {
+                    if !self.in_scope(rel, inst.tuple(u).eid) {
+                        continue;
+                    }
                     let lit = self
                         .order_lit(rel, attr, u, v)
                         .expect("validated: same entity, irreflexive");
@@ -274,43 +460,41 @@ impl Encoding {
         }
     }
 
-    fn add_denial_constraints(&mut self, spec: &Specification) {
-        for dc in spec.constraints() {
-            let inst = spec.instance(dc.rel());
-            for rule in dc.ground(inst) {
-                let mut clause: Vec<Lit> = Vec::with_capacity(rule.premises.len() + 1);
-                for p in &rule.premises {
-                    let l = self
-                        .order_lit(dc.rel(), p.attr, p.lesser, p.greater)
-                        .expect("ground premises are same-entity and irreflexive");
-                    clause.push(!l);
-                }
-                if let Some(c) = &rule.conclusion {
-                    let l = self
-                        .order_lit(dc.rel(), c.attr, c.lesser, c.greater)
-                        .expect("ground conclusion is same-entity");
-                    clause.push(l);
-                }
-                self.solver.add_clause(&clause);
-            }
+    /// Add the clause of one ground denial rule:
+    /// `¬p₁ ∨ … ∨ ¬pₘ ∨ c` (falsum conclusions drop `c`).
+    fn add_ground_rule(&mut self, rel: RelId, rule: &currency_core::GroundRule) {
+        let mut clause: Vec<Lit> = Vec::with_capacity(rule.premises.len() + 1);
+        for p in &rule.premises {
+            let l = self
+                .order_lit(rel, p.attr, p.lesser, p.greater)
+                .expect("ground premises are same-entity, irreflexive, in scope");
+            clause.push(!l);
         }
+        if let Some(c) = &rule.conclusion {
+            let l = self
+                .order_lit(rel, c.attr, c.lesser, c.greater)
+                .expect("ground conclusion is same-entity and in scope");
+            clause.push(l);
+        }
+        self.solver.add_clause(&clause);
     }
 
-    fn add_copy_compatibility(&mut self, spec: &Specification) {
-        for cf in spec.copies() {
-            let sig = cf.signature();
-            let target = spec.instance(sig.target);
-            let source = spec.instance(sig.source);
-            for (src_edge, tgt_edge) in cf.compatibility_obligations(target, source) {
-                let sl = self
-                    .order_lit(sig.source, src_edge.attr, src_edge.lesser, src_edge.greater)
-                    .expect("obligation endpoints share an entity");
-                let tl = self
-                    .order_lit(sig.target, tgt_edge.attr, tgt_edge.lesser, tgt_edge.greater)
-                    .expect("obligation endpoints share an entity");
-                self.solver.add_clause(&[!sl, tl]);
-            }
-        }
+    /// Add the binary implication of one copy-compatibility obligation:
+    /// `s₁≺s₂ → t₁≺t₂`.
+    fn add_obligation(
+        &mut self,
+        source_rel: RelId,
+        src_edge: &currency_core::OrderEdge,
+        target_rel: RelId,
+        tgt_edge: &currency_core::OrderEdge,
+    ) {
+        let sl = self
+            .order_lit(source_rel, src_edge.attr, src_edge.lesser, src_edge.greater)
+            .expect("obligation endpoints share an entity in scope");
+        let tl = self
+            .order_lit(target_rel, tgt_edge.attr, tgt_edge.lesser, tgt_edge.greater)
+            .expect("obligation endpoints share an entity in scope");
+        self.solver.add_clause(&[!sl, tl]);
     }
 
     fn add_value_indicators(&mut self, spec: &Specification, rel: RelId) {
@@ -318,6 +502,7 @@ impl Encoding {
         // Collect groups first to avoid borrowing `inst` across mutations.
         let groups: Vec<(Eid, Vec<TupleId>)> = inst
             .entity_groups()
+            .filter(|&(eid, _)| self.in_scope(rel, eid))
             .map(|(e, g)| (e, g.to_vec()))
             .collect();
         for (eid, group) in groups {

@@ -1,0 +1,690 @@
+//! The entity-partitioned incremental reasoning engine.
+//!
+//! [`CurrencyEngine`] compiles a specification **once** into per-component
+//! cached solvers (see [`crate::partition`]) and answers repeated
+//! CPS/COP/DCIP/CCQA/witness queries incrementally:
+//!
+//! * **compile once** — each entity component's CNF is built a single time
+//!   ([`Encoding::for_component`]); constraints are grounded and copy
+//!   obligations enumerated once for the whole specification;
+//! * **solve incrementally** — consistency verdicts are cached per
+//!   component, entailment queries run as assumption-based calls
+//!   (`solve_with_assumptions`) against only the component a pair
+//!   touches, and learnt clauses accumulate across queries;
+//! * **enumerate locally** — current-instance enumeration projects onto
+//!   one component's value indicators at a time, so order differences in
+//!   unrelated components never multiply the model count, and All-SAT
+//!   blocking clauses go to a throwaway clone of the component solver;
+//! * **parallelize** — component compilation and component solves fan out
+//!   across threads ([`crate::Options::threads`]).
+//!
+//! The monolithic one-shot path (`Encoding::new` over the whole
+//! specification) remains available as the `*_monolithic` functions in
+//! the problem modules and is differentially tested against the engine.
+
+use crate::ccqa::CertainAnswers;
+use crate::cop::CurrencyOrderQuery;
+use crate::encode::Encoding;
+use crate::error::ReasonError;
+use crate::partition::Partition;
+use crate::Options;
+use currency_core::{
+    AttrId, Completion, Eid, NormalInstance, RelCompletion, RelId, Specification, Tuple, TupleId,
+    Value,
+};
+use currency_query::{Database, Query};
+use currency_sat::{Enumeration, SolveResult, SolverStats};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Aggregate counters across an engine's component solvers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Number of entity components.
+    pub components: usize,
+    /// Number of `(relation, entity)` cells.
+    pub cells: usize,
+    /// Total variables across component solvers.
+    pub vars: usize,
+    /// Total clauses (original + learnt) across component solvers.
+    pub clauses: usize,
+    /// Aggregated CDCL counters.
+    pub sat: SolverStats,
+}
+
+struct ComponentState {
+    enc: Encoding,
+    /// Cached satisfiability of the component (`None` = not yet solved).
+    status: Option<bool>,
+}
+
+/// One component's model chains: `(rel, attr, eid, least → most current)`.
+type ComponentChains = Vec<(RelId, AttrId, Eid, Vec<TupleId>)>;
+
+/// One component's contribution to a product enumeration: the component
+/// index, the restricted-projection indices, and the projected models.
+struct ComponentModels {
+    comp: usize,
+    indices: Vec<usize>,
+    models: Vec<Vec<bool>>,
+}
+
+/// The compiled, query-ready form of a specification.
+///
+/// Construction cost is paid once; queries touch only the components they
+/// involve.  All query methods take `&self` — component solvers sit
+/// behind mutexes, so engines are `Sync` and queries on distinct
+/// components proceed in parallel.  The engine borrows the specification
+/// it was compiled from, so the borrow checker guarantees the
+/// specification cannot drift from the compiled clauses.
+pub struct CurrencyEngine<'a> {
+    spec: &'a Specification,
+    value_rels: Vec<RelId>,
+    partition: Partition,
+    components: Vec<Mutex<ComponentState>>,
+    /// Aggregate CPS verdict, set after the first full component sweep.
+    cps_verdict: OnceLock<bool>,
+    opts: Options,
+}
+
+impl<'a> CurrencyEngine<'a> {
+    /// Compile `spec` with value indicators for **every** relation, so all
+    /// query kinds (including DCIP/CCQA over any relation) are available.
+    pub fn new(spec: &'a Specification, opts: &Options) -> Result<CurrencyEngine<'a>, ReasonError> {
+        let value_rels: Vec<RelId> = spec.instances().iter().map(|i| i.rel()).collect();
+        CurrencyEngine::with_value_rels(spec, &value_rels, opts)
+    }
+
+    /// Compile `spec` with value indicators for `value_rels` only.
+    ///
+    /// DCIP/CCQA queries are then limited to those relations; CPS, COP and
+    /// witness queries are always available.  Pass `&[]` for the leanest
+    /// engine when only consistency/ordering queries are needed.
+    pub fn with_value_rels(
+        spec: &'a Specification,
+        value_rels: &[RelId],
+        opts: &Options,
+    ) -> Result<CurrencyEngine<'a>, ReasonError> {
+        spec.validate()?;
+        let partition = Partition::of(spec);
+        let threads = effective_threads(opts);
+        let encodings = run_indexed(threads, partition.len(), |ix| {
+            Ok(Encoding::for_component(
+                spec,
+                value_rels,
+                &partition.components()[ix],
+            ))
+        })?;
+        let components = encodings
+            .into_iter()
+            .map(|enc| Mutex::new(ComponentState { enc, status: None }))
+            .collect();
+        Ok(CurrencyEngine {
+            spec,
+            value_rels: value_rels.to_vec(),
+            partition,
+            components,
+            cps_verdict: OnceLock::new(),
+            opts: *opts,
+        })
+    }
+
+    /// The specification the engine was compiled from.
+    pub fn spec(&self) -> &Specification {
+        self.spec
+    }
+
+    /// The entity partition the engine solves over.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &Options {
+        &self.opts
+    }
+
+    /// Aggregate solver counters (sizes plus CDCL statistics).
+    pub fn stats(&self) -> EngineStats {
+        let mut stats = EngineStats {
+            components: self.partition.len(),
+            cells: self
+                .partition
+                .components()
+                .iter()
+                .map(|c| c.cells.len())
+                .sum(),
+            ..EngineStats::default()
+        };
+        for comp in &self.components {
+            let st = comp.lock().expect("component lock");
+            stats.vars += st.enc.solver.num_vars();
+            stats.clauses += st.enc.solver.num_clauses();
+            stats.sat += st.enc.solver.stats();
+        }
+        stats
+    }
+
+    /// Satisfiability of one component, solved on first demand and cached.
+    fn component_status(&self, ix: usize) -> bool {
+        let mut st = self.components[ix].lock().expect("component lock");
+        match st.status {
+            Some(s) => s,
+            None => {
+                let sat = st.enc.solver.solve() == SolveResult::Sat;
+                st.status = Some(sat);
+                sat
+            }
+        }
+    }
+
+    /// **CPS** — is the specification consistent?  Solves every component
+    /// once (in parallel on first call); later calls return the cached
+    /// aggregate verdict without touching the components.
+    pub fn cps(&self) -> Result<bool, ReasonError> {
+        if let Some(&verdict) = self.cps_verdict.get() {
+            return Ok(verdict);
+        }
+        let verdict = if self.partition.has_ground_falsum {
+            false
+        } else {
+            run_indexed(effective_threads(&self.opts), self.partition.len(), |ix| {
+                Ok(self.component_status(ix))
+            })?
+            .into_iter()
+            .all(|sat| sat)
+        };
+        Ok(*self.cps_verdict.get_or_init(|| verdict))
+    }
+
+    /// **COP** — is every pair of the candidate order certain?  Vacuously
+    /// true when the specification is inconsistent (paper convention);
+    /// otherwise one assumption-based solve per pair, against only the
+    /// pair's component.
+    pub fn cop(&self, ot: &CurrencyOrderQuery) -> Result<bool, ReasonError> {
+        if !self.cps()? {
+            return Ok(true); // Mod(S) = ∅: vacuously certain
+        }
+        if ot.rel.index() >= self.spec.instances().len() {
+            return Ok(ot.pairs.is_empty());
+        }
+        let inst = self.spec.instance(ot.rel);
+        for &(attr, lesser, greater) in &ot.pairs {
+            let (Ok(lt), Ok(gt)) = (inst.tuple_checked(lesser), inst.tuple_checked(greater)) else {
+                return Ok(false); // unknown tuple: never certain
+            };
+            if lesser == greater || lt.eid != gt.eid {
+                return Ok(false); // reflexive or cross-entity: never holds
+            }
+            let ix = self
+                .partition
+                .component_of(ot.rel, lt.eid)
+                .expect("every entity has a component");
+            let mut st = self.components[ix].lock().expect("component lock");
+            let Some(l) = st.enc.order_lit(ot.rel, attr, lesser, greater) else {
+                return Ok(false);
+            };
+            if st.enc.solver.solve_with_assumptions(&[!l]) == SolveResult::Sat {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// **DCIP** — do all completions agree on the current instance of
+    /// `rel`?  Enumerates at most two rel-projected models per touched
+    /// component, on throwaway solver clones.
+    pub fn dcip(&self, rel: RelId) -> Result<bool, ReasonError> {
+        self.require_value_rel(rel)?;
+        if !self.cps()? {
+            return Ok(true); // vacuously deterministic
+        }
+        let touched = self.partition.components_touching(rel);
+        let verdicts = run_indexed(effective_threads(&self.opts), touched.len(), |k| {
+            let ix = touched[k];
+            let st = self.components[ix].lock().expect("component lock");
+            let (_, vars) = st.enc.restricted_projection(&[rel]);
+            if vars.is_empty() {
+                return Ok(true); // every completion yields the same rows
+            }
+            let mut solver = st.enc.solver.clone();
+            drop(st);
+            let mut count = 0usize;
+            let enumeration = solver.for_each_model(&vars, self.opts.max_models, |_| {
+                count += 1;
+                count < 2
+            });
+            if matches!(enumeration, Enumeration::LimitReached(_)) {
+                return Err(ReasonError::BudgetExceeded {
+                    what: "current-instance enumeration (DCIP)",
+                });
+            }
+            Ok(count < 2)
+        })?;
+        Ok(verdicts.into_iter().all(|deterministic| deterministic))
+    }
+
+    /// **CCQA** — is `tuple` a certain current answer of `query`?
+    pub fn ccqa(&self, query: &Query, tuple: &[Value]) -> Result<bool, ReasonError> {
+        Ok(self.certain_answers(query)?.contains(tuple))
+    }
+
+    /// The certain current answers of `query`: the intersection of the
+    /// query's answers over every realizable combination of current
+    /// instances.
+    ///
+    /// Realizable instances are enumerated **per component** and composed
+    /// as a product, so the per-component All-SAT never pays for order
+    /// choices in unrelated components.  Both the per-component model
+    /// count and the composed product are bounded by
+    /// [`Options::max_models`].
+    pub fn certain_answers(&self, query: &Query) -> Result<CertainAnswers, ReasonError> {
+        let rels: Vec<RelId> = query.body().relations().into_iter().collect();
+        for &rel in &rels {
+            self.require_value_rel(rel)?;
+        }
+        if !self.cps()? {
+            return Ok(CertainAnswers::Inconsistent);
+        }
+        let touched = self.touched_components(&rels);
+        let per_comp = self.enumerate_component_models(
+            &rels,
+            &touched,
+            "current-instance enumeration (CCQA)",
+        )?;
+        let mut certain: Option<BTreeSet<Vec<Value>>> = None;
+        self.for_each_combination(&rels, &per_comp, |rows| {
+            let mut insts: BTreeMap<RelId, NormalInstance> = rels
+                .iter()
+                .map(|&rel| (rel, NormalInstance::new(rel)))
+                .collect();
+            for (rel, t) in rows {
+                insts.get_mut(&rel).expect("requested relation").push(t);
+            }
+            let dbs: Vec<NormalInstance> = insts.into_values().collect();
+            let db = Database::new(&dbs);
+            let answers: BTreeSet<Vec<Value>> = query.eval(&db).into_iter().collect();
+            let next = match certain.take() {
+                None => answers,
+                Some(acc) => acc.intersection(&answers).cloned().collect(),
+            };
+            let keep_going = !next.is_empty(); // the intersection can only shrink
+            certain = Some(next);
+            keep_going
+        });
+        Ok(CertainAnswers::Answers(
+            certain.unwrap_or_default().into_iter().collect(),
+        ))
+    }
+
+    /// The components holding cells of any of `rels`, deduplicated.
+    fn touched_components(&self, rels: &[RelId]) -> Vec<usize> {
+        let mut out: Vec<usize> = rels
+            .iter()
+            .flat_map(|&rel| self.partition.components_touching(rel))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Enumerate each listed component's projected models over `rels`
+    /// (parallel, on throwaway solver clones).  Both the per-component
+    /// model count and the composed product are bounded by
+    /// [`Options::max_models`]; `what` labels the budget error.
+    fn enumerate_component_models(
+        &self,
+        rels: &[RelId],
+        comps: &[usize],
+        what: &'static str,
+    ) -> Result<Vec<ComponentModels>, ReasonError> {
+        let per_comp = run_indexed(effective_threads(&self.opts), comps.len(), |k| {
+            let ix = comps[k];
+            let st = self.components[ix].lock().expect("component lock");
+            let (indices, vars) = st.enc.restricted_projection(rels);
+            if vars.is_empty() {
+                // One realizable outcome: the component's fixed rows.
+                return Ok(ComponentModels {
+                    comp: ix,
+                    indices,
+                    models: vec![Vec::new()],
+                });
+            }
+            let mut solver = st.enc.solver.clone();
+            drop(st);
+            let mut models: Vec<Vec<bool>> = Vec::new();
+            let enumeration = solver.for_each_model(&vars, self.opts.max_models, |m| {
+                models.push(m.to_vec());
+                true
+            });
+            if matches!(enumeration, Enumeration::LimitReached(_)) {
+                return Err(ReasonError::BudgetExceeded { what });
+            }
+            Ok(ComponentModels {
+                comp: ix,
+                indices,
+                models,
+            })
+        })?;
+        let mut product: usize = 1;
+        for cm in &per_comp {
+            product = product.saturating_mul(cm.models.len().max(1));
+            if product > self.opts.max_models {
+                return Err(ReasonError::BudgetExceeded { what });
+            }
+        }
+        Ok(per_comp)
+    }
+
+    /// Run `f` on the decoded rows of every combination of per-component
+    /// model choices (odometer over the product); `f` returning `false`
+    /// stops the iteration.  With no components, `f` runs once with no
+    /// rows (the empty product has one element).
+    fn for_each_combination(
+        &self,
+        rels: &[RelId],
+        per_comp: &[ComponentModels],
+        mut f: impl FnMut(Vec<(RelId, Tuple)>) -> bool,
+    ) {
+        let mut pick = vec![0usize; per_comp.len()];
+        loop {
+            let mut rows: Vec<(RelId, Tuple)> = Vec::new();
+            for (k, cm) in per_comp.iter().enumerate() {
+                let st = self.components[cm.comp].lock().expect("component lock");
+                rows.extend(st.enc.decode_restricted(
+                    self.spec,
+                    rels,
+                    &cm.indices,
+                    &cm.models[pick[k]],
+                ));
+            }
+            if !f(rows) {
+                return;
+            }
+            // Advance the odometer.
+            let mut i = 0;
+            loop {
+                if i == per_comp.len() {
+                    return;
+                }
+                pick[i] += 1;
+                if pick[i] < per_comp[i].models.len() {
+                    break;
+                }
+                pick[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// A witness completion from `Mod(S)`, assembled from per-component
+    /// models; `Ok(None)` means the specification is inconsistent.
+    pub fn witness_completion(&self) -> Result<Option<Completion>, ReasonError> {
+        if !self.cps()? {
+            return Ok(None);
+        }
+        let chains_per_comp: Vec<ComponentChains> =
+            run_indexed(effective_threads(&self.opts), self.partition.len(), |ix| {
+                let mut st = self.components[ix].lock().expect("component lock");
+                // Re-solve without assumptions so the model is a plain
+                // completion model (assumption queries may have left the
+                // solver without one).
+                let sat = st.enc.solver.solve();
+                debug_assert_eq!(sat, SolveResult::Sat, "component known satisfiable");
+                Ok(st.enc.model_chains(self.spec))
+            })?;
+        let mut chains: BTreeMap<RelId, Vec<BTreeMap<Eid, Vec<TupleId>>>> = self
+            .spec
+            .instances()
+            .iter()
+            .map(|inst| (inst.rel(), vec![BTreeMap::new(); inst.arity()]))
+            .collect();
+        for (rel, attr, eid, chain) in chains_per_comp.into_iter().flatten() {
+            chains.get_mut(&rel).expect("known relation")[attr.index()].insert(eid, chain);
+        }
+        let rels: Result<Vec<RelCompletion>, _> = self
+            .spec
+            .instances()
+            .iter()
+            .map(|inst| {
+                RelCompletion::new(
+                    inst,
+                    chains.remove(&inst.rel()).expect("chains per relation"),
+                )
+            })
+            .collect();
+        let completion = Completion::new(rels?);
+        debug_assert!(completion.is_consistent_for(self.spec));
+        Ok(Some(completion))
+    }
+
+    /// The realizable current instances of `rel` (up to the model budget),
+    /// composed across components.  Exposed for diagnostics and tests.
+    pub fn current_instances(&self, rel: RelId) -> Result<Vec<NormalInstance>, ReasonError> {
+        self.require_value_rel(rel)?;
+        if !self.cps()? {
+            return Ok(Vec::new());
+        }
+        let rels = [rel];
+        let touched = self.partition.components_touching(rel);
+        let per_comp =
+            self.enumerate_component_models(&rels, &touched, "current-instance enumeration")?;
+        let mut out: Vec<NormalInstance> = Vec::new();
+        self.for_each_combination(&rels, &per_comp, |rows| {
+            let mut inst = NormalInstance::new(rel);
+            for (_, t) in rows {
+                inst.push(t);
+            }
+            out.push(inst);
+            true
+        });
+        Ok(out)
+    }
+
+    fn require_value_rel(&self, rel: RelId) -> Result<(), ReasonError> {
+        if self.value_rels.contains(&rel) {
+            Ok(())
+        } else {
+            Err(ReasonError::UnsupportedQuery {
+                detail: format!(
+                    "relation {rel:?} has no value indicators in this engine; \
+                     build it with CurrencyEngine::new or include the relation \
+                     in with_value_rels"
+                ),
+            })
+        }
+    }
+}
+
+fn effective_threads(opts: &Options) -> usize {
+    if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    }
+}
+
+/// Run `f(0..n)` and collect results in index order, fanning out across
+/// `threads` workers when the job count warrants it.  The first error
+/// wins; remaining work is still drained (workers are not cancelled).
+fn run_indexed<T, F>(threads: usize, n: usize, f: F) -> Result<Vec<T>, ReasonError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, ReasonError> + Sync,
+{
+    // Thread spawn costs dwarf small jobs; only fan out for real fleets.
+    const MIN_PARALLEL_JOBS: usize = 16;
+    if threads <= 1 || n < MIN_PARALLEL_JOBS {
+        return (0..n).map(&f).collect();
+    }
+    let slots: Vec<Mutex<Option<Result<T, ReasonError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                if ix >= n {
+                    break;
+                }
+                *slots[ix].lock().expect("result slot") = Some(f(ix));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every index processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use currency_core::{Catalog, CmpOp, DenialConstraint, RelationSchema, Term, Tuple};
+    use currency_query::{Atom, Formula, QueryBuilder, Term as QTerm};
+
+    const A: AttrId = AttrId(0);
+
+    fn multi_entity_spec() -> (Specification, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        for e in 0..3u64 {
+            for v in [10, 20] {
+                spec.instance_mut(r)
+                    .push_tuple(Tuple::new(Eid(e), vec![Value::int(v + e as i64)]))
+                    .unwrap();
+            }
+        }
+        (spec, r)
+    }
+
+    fn monotone(r: RelId) -> DenialConstraint {
+        DenialConstraint::builder(r, 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+            .then_order(1, A, 0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn engine_partitions_per_entity() {
+        let (spec, _) = multi_entity_spec();
+        let engine = CurrencyEngine::new(&spec, &Options::default()).unwrap();
+        assert_eq!(engine.partition().len(), 3);
+        assert!(engine.cps().unwrap());
+        let stats = engine.stats();
+        assert_eq!(stats.components, 3);
+        assert_eq!(stats.cells, 3);
+        assert!(stats.vars > 0);
+    }
+
+    #[test]
+    fn engine_cop_matches_expectations() {
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let engine = CurrencyEngine::new(&spec, &Options::default()).unwrap();
+        // Within entity 0: 10 < 20 so t0 ≺ t1 is forced.
+        assert!(engine
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)))
+            .unwrap());
+        assert!(!engine
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(1), TupleId(0)))
+            .unwrap());
+        // Cross-entity pairs are never certain.
+        assert!(!engine
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(2)))
+            .unwrap());
+        // Reflexive pairs are never certain.
+        assert!(!engine
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(0)))
+            .unwrap());
+        // Unknown tuples are never certain.
+        assert!(!engine
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(99)))
+            .unwrap());
+    }
+
+    #[test]
+    fn engine_dcip_and_answers() {
+        let (mut spec, r) = multi_entity_spec();
+        assert!(!CurrencyEngine::new(&spec, &Options::default())
+            .unwrap()
+            .dcip(r)
+            .unwrap());
+        spec.add_constraint(monotone(r)).unwrap();
+        let engine = CurrencyEngine::new(&spec, &Options::default()).unwrap();
+        assert!(engine.dcip(r).unwrap());
+        let mut b = QueryBuilder::new();
+        let x = b.var();
+        let q = b.build(vec![x], Formula::Atom(Atom::new(r, vec![QTerm::Var(x)])));
+        let ans = engine.certain_answers(&q).unwrap();
+        assert_eq!(
+            ans.rows().unwrap(),
+            &[
+                vec![Value::int(20)],
+                vec![Value::int(21)],
+                vec![Value::int(22)]
+            ]
+        );
+    }
+
+    #[test]
+    fn engine_witness_is_consistent() {
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let engine = CurrencyEngine::new(&spec, &Options::default()).unwrap();
+        let w = engine.witness_completion().unwrap().expect("consistent");
+        assert!(w.is_consistent_for(&spec));
+        assert!(w.rel(r).precedes(A, TupleId(0), TupleId(1)));
+    }
+
+    #[test]
+    fn engine_detects_inconsistency() {
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        // Contradict the constraint within entity 2 only.
+        spec.instance_mut(r)
+            .add_order(A, TupleId(5), TupleId(4))
+            .unwrap();
+        let engine = CurrencyEngine::new(&spec, &Options::default()).unwrap();
+        assert!(!engine.cps().unwrap());
+        // Vacuous conventions hold.
+        assert!(engine
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(1), TupleId(0)))
+            .unwrap());
+        assert!(engine.dcip(r).unwrap());
+        assert!(engine.witness_completion().unwrap().is_none());
+    }
+
+    #[test]
+    fn lean_engine_rejects_value_queries_politely() {
+        let (spec, r) = multi_entity_spec();
+        let engine = CurrencyEngine::with_value_rels(&spec, &[], &Options::default()).unwrap();
+        assert!(engine.cps().unwrap());
+        assert!(matches!(
+            engine.dcip(r),
+            Err(ReasonError::UnsupportedQuery { .. })
+        ));
+    }
+
+    #[test]
+    fn thread_knob_is_respected() {
+        let (spec, _) = multi_entity_spec();
+        for threads in [1usize, 2, 8] {
+            let opts = Options {
+                threads,
+                ..Options::default()
+            };
+            let engine = CurrencyEngine::new(&spec, &opts).unwrap();
+            assert!(engine.cps().unwrap());
+        }
+    }
+}

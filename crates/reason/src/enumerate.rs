@@ -118,10 +118,8 @@ pub fn all_consistent_completions(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use currency_core::{
-        Catalog, CmpOp, DenialConstraint, RelationSchema, Term, Tuple, Value,
-    };
     use currency_core::RelId;
+    use currency_core::{Catalog, CmpOp, DenialConstraint, RelationSchema, Term, Tuple, Value};
 
     const A: AttrId = AttrId(0);
 

@@ -114,9 +114,7 @@ pub fn po_infinity(spec: &Specification) -> Result<Option<CertainOrders>, Reason
 #[cfg(test)]
 mod tests {
     use super::*;
-    use currency_core::{
-        Catalog, CopyFunction, CopySignature, Eid, RelationSchema, Tuple, Value,
-    };
+    use currency_core::{Catalog, CopyFunction, CopySignature, Eid, RelationSchema, Tuple, Value};
 
     const A: AttrId = AttrId(0);
 

@@ -22,6 +22,16 @@
 //!   constraints, and copy-compatibility implications.  Current instances
 //!   are enumerated through projected All-SAT over *value indicator*
 //!   variables.  The engine is `currency-sat`'s CDCL solver.
+//!
+//!   The exact path is served by the **entity-partitioned
+//!   [`CurrencyEngine`]** ([`engine`], [`partition`]): the CNF factors
+//!   into independent components over `(relation, entity)` cells, each
+//!   compiled once into a cached incremental solver and queried with
+//!   assumptions — repeated queries over one specification cost
+//!   O(solve touched components) instead of O(encode whole spec), and
+//!   components compile and solve in parallel ([`Options::threads`]).
+//!   The pre-partitioning whole-specification path is kept as the
+//!   `*_monolithic` functions for differential testing.
 //! * **Enumeration reference solvers** ([`enumerate`]): brute-force
 //!   iteration over all completions, used as ground truth in differential
 //!   tests and the ablation benchmarks.
@@ -41,26 +51,34 @@ mod cop;
 mod cps;
 mod dcip;
 pub mod encode;
+pub mod engine;
 pub mod enumerate;
 mod error;
 pub mod explain;
 mod fixpoint;
+pub mod partition;
 mod preserve;
 mod preserve_sp;
 mod sp_ptime;
 
-pub use ccqa::{ccqa, ccqa_exact, certain_answers, certain_answers_exact, CertainAnswers};
-pub use cop::{cop, cop_exact, cop_ptime, CurrencyOrderQuery};
-pub use cps::{cps, cps_enumerate, cps_exact, cps_ptime, witness_completion};
-pub use dcip::{dcip, dcip_exact, dcip_ptime};
+pub use ccqa::{
+    ccqa, ccqa_exact, ccqa_exact_monolithic, certain_answers, certain_answers_exact,
+    certain_answers_exact_monolithic, CertainAnswers,
+};
+pub use cop::{cop, cop_exact, cop_exact_monolithic, cop_ptime, CurrencyOrderQuery};
+pub use cps::{
+    cps, cps_enumerate, cps_exact, cps_exact_monolithic, cps_ptime, witness_completion,
+    witness_completion_monolithic,
+};
+pub use dcip::{dcip, dcip_exact, dcip_exact_monolithic, dcip_ptime};
+pub use engine::{CurrencyEngine, EngineStats};
 pub use error::ReasonError;
 pub use explain::{explain_inconsistency, InconsistencyCore, SpecComponent};
 pub use fixpoint::{po_infinity, CertainOrders};
-pub use preserve::{
-    bcp, cpp, ecp, maximum_extension, ExtensionSlot, PreservationProblem,
-};
+pub use partition::Partition;
+pub use preserve::{bcp, cpp, ecp, maximum_extension, ExtensionSlot, PreservationProblem};
 pub use preserve_sp::{bcp_sp, cpp_sp};
-pub use sp_ptime::{certain_answers_sp, ccqa_sp, poss_instance};
+pub use sp_ptime::{ccqa_sp, certain_answers_sp, poss_instance};
 
 /// Resource limits for the exact (enumeration-heavy) solvers.
 ///
@@ -71,10 +89,19 @@ pub use sp_ptime::{certain_answers_sp, ccqa_sp, poss_instance};
 #[derive(Clone, Copy, Debug)]
 pub struct Options {
     /// Maximum number of projected models visited per All-SAT enumeration.
+    ///
+    /// The [`engine::CurrencyEngine`] applies this bound per entity
+    /// component *and* to the composed cross-component product, so a
+    /// budget that held for the monolithic path keeps holding.
     pub max_models: usize,
     /// Maximum number of copy-function extensions examined per CPP/BCP
     /// check.
     pub max_extensions: usize,
+    /// Worker threads for the engine's component compilation and solves.
+    ///
+    /// `0` (the default) means "use the machine's available parallelism";
+    /// `1` forces sequential operation.
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -82,6 +109,7 @@ impl Default for Options {
         Options {
             max_models: 1_000_000,
             max_extensions: 1_000_000,
+            threads: 0,
         }
     }
 }

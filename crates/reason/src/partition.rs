@@ -1,0 +1,368 @@
+//! Entity partitioning of specifications.
+//!
+//! The CNF encoding of a specification (see [`crate::encode`]) only ever
+//! relates order variables of the *same entity group*: currency orders are
+//! per-entity by definition, ground denial rules instantiate tuple
+//! variables within one relation, and copy-compatibility obligations tie a
+//! source entity's order to a target entity's order.  The encoding is
+//! therefore a disjoint union of independent subproblems over connected
+//! sets of `(relation, entity)` cells, where the connecting edges are:
+//!
+//! * a ground denial rule whose premises/conclusion span several entities
+//!   of its relation (cross-entity denial constraints), and
+//! * a copy-compatibility obligation, linking the source pair's entity to
+//!   the target pair's entity.
+//!
+//! [`Partition::of`] computes the connected components with a union–find
+//! over the cells, grounding every constraint and copy function **once**
+//! and distributing the ground artifacts to their components.  The
+//! [`crate::engine::CurrencyEngine`] compiles each component into its own
+//! cached solver and answers queries against only the components they
+//! touch.
+
+use currency_core::{Eid, GroundRule, OrderEdge, RelId, Specification};
+use std::collections::{BTreeSet, HashMap};
+
+/// A ground denial rule tagged with the relation it speaks about.
+#[derive(Clone, Debug)]
+pub struct GroundRuleAt {
+    /// The relation whose tuples the rule's edges relate.
+    pub rel: RelId,
+    /// The ground rule (`⋀ premises → conclusion`).
+    pub rule: GroundRule,
+}
+
+/// A ground copy-compatibility obligation tagged with its relations:
+/// *if* the completed source order contains `source_edge`, *then* the
+/// completed target order must contain `target_edge`.
+#[derive(Clone, Debug)]
+pub struct ObligationAt {
+    /// Relation of the source edge.
+    pub source_rel: RelId,
+    /// The source-order edge.
+    pub source_edge: OrderEdge,
+    /// Relation of the target edge.
+    pub target_rel: RelId,
+    /// The target-order edge.
+    pub target_edge: OrderEdge,
+}
+
+/// One independent subproblem: a connected set of `(relation, entity)`
+/// cells together with the ground rules and obligations local to it.
+#[derive(Clone, Debug, Default)]
+pub struct Component {
+    /// The cells (every tuple of the specification belongs to exactly one
+    /// component through its `(relation, entity)` cell).
+    pub cells: BTreeSet<(RelId, Eid)>,
+    /// Ground denial rules whose edges live in this component.
+    pub rules: Vec<GroundRuleAt>,
+    /// Copy obligations whose edges live in this component.
+    pub obligations: Vec<ObligationAt>,
+}
+
+/// The entity partition of a specification.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    components: Vec<Component>,
+    index: HashMap<(RelId, Eid), usize>,
+    /// `true` if grounding produced a premise-free falsum rule — the
+    /// specification is inconsistent regardless of any order choice.
+    pub has_ground_falsum: bool,
+}
+
+/// Plain union–find over dense cell ids.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+impl Partition {
+    /// Partition `spec` into independent components.
+    ///
+    /// Grounds every denial constraint and enumerates every copy
+    /// function's compatibility obligations exactly once; the caller is
+    /// expected to have validated the specification.
+    pub fn of(spec: &Specification) -> Partition {
+        // Dense ids for the (relation, entity) cells.
+        let mut cell_ids: HashMap<(RelId, Eid), u32> = HashMap::new();
+        let mut cells: Vec<(RelId, Eid)> = Vec::new();
+        for inst in spec.instances() {
+            for eid in inst.entities() {
+                let key = (inst.rel(), eid);
+                cell_ids.insert(key, cells.len() as u32);
+                cells.push(key);
+            }
+        }
+        let mut uf = UnionFind::new(cells.len());
+        let mut has_ground_falsum = false;
+
+        // Ground denial rules; union the entities their edges mention.
+        let mut rules: Vec<(GroundRuleAt, Option<u32>)> = Vec::new();
+        for dc in spec.constraints() {
+            let inst = spec.instance(dc.rel());
+            let entity_of = |edge: &OrderEdge| inst.tuple(edge.lesser).eid;
+            for rule in dc.ground(inst) {
+                let mut anchor: Option<u32> = None;
+                for edge in rule.premises.iter().chain(rule.conclusion.as_ref()) {
+                    let cell = cell_ids[&(dc.rel(), entity_of(edge))];
+                    match anchor {
+                        None => anchor = Some(cell),
+                        Some(a) => uf.union(a, cell),
+                    }
+                }
+                if anchor.is_none() && rule.conclusion.is_none() {
+                    // Premise-free falsum: an unconditional contradiction.
+                    has_ground_falsum = true;
+                }
+                rules.push((
+                    GroundRuleAt {
+                        rel: dc.rel(),
+                        rule,
+                    },
+                    anchor,
+                ));
+            }
+        }
+
+        // Copy obligations; union source and target entity cells.
+        let mut obligations: Vec<(ObligationAt, u32)> = Vec::new();
+        for cf in spec.copies() {
+            let sig = cf.signature();
+            let target = spec.instance(sig.target);
+            let source = spec.instance(sig.source);
+            for (src_edge, tgt_edge) in cf.compatibility_obligations(target, source) {
+                let src_cell = cell_ids[&(sig.source, source.tuple(src_edge.lesser).eid)];
+                let tgt_cell = cell_ids[&(sig.target, target.tuple(tgt_edge.lesser).eid)];
+                uf.union(src_cell, tgt_cell);
+                obligations.push((
+                    ObligationAt {
+                        source_rel: sig.source,
+                        source_edge: src_edge,
+                        target_rel: sig.target,
+                        target_edge: tgt_edge,
+                    },
+                    src_cell,
+                ));
+            }
+        }
+
+        // Materialize components in first-seen (deterministic) order.
+        let mut root_to_component: HashMap<u32, usize> = HashMap::new();
+        let mut components: Vec<Component> = Vec::new();
+        let mut index: HashMap<(RelId, Eid), usize> = HashMap::new();
+        for (id, &key) in cells.iter().enumerate() {
+            let root = uf.find(id as u32);
+            let cix = *root_to_component.entry(root).or_insert_with(|| {
+                components.push(Component::default());
+                components.len() - 1
+            });
+            components[cix].cells.insert(key);
+            index.insert(key, cix);
+        }
+        for (rule, anchor) in rules {
+            if let Some(anchor) = anchor {
+                let cix = root_to_component[&uf.find(anchor)];
+                components[cix].rules.push(rule);
+            }
+            // Premise-free rules with a conclusion have an anchor; pure
+            // falsum rules are recorded in `has_ground_falsum`.
+        }
+        for (ob, anchor) in obligations {
+            let cix = root_to_component[&uf.find(anchor)];
+            components[cix].obligations.push(ob);
+        }
+        Partition {
+            components,
+            index,
+            has_ground_falsum,
+        }
+    }
+
+    /// The components, in deterministic first-seen order.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` if the specification has no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The component owning a `(relation, entity)` cell.
+    pub fn component_of(&self, rel: RelId, eid: Eid) -> Option<usize> {
+        self.index.get(&(rel, eid)).copied()
+    }
+
+    /// Indices of the components holding any cell of `rel`.
+    pub fn components_touching(&self, rel: RelId) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .components
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.cells.iter().any(|&(r, _)| r == rel))
+            .map(|(i, _)| i)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use currency_core::{
+        AttrId, Catalog, CmpOp, CopyFunction, CopySignature, DenialConstraint, RelationSchema,
+        Term, Tuple, Value,
+    };
+
+    const A: AttrId = AttrId(0);
+
+    #[test]
+    fn independent_entities_get_separate_components() {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        for e in 0..4u64 {
+            for v in 0..2 {
+                spec.instance_mut(r)
+                    .push_tuple(Tuple::new(Eid(e), vec![Value::int(v)]))
+                    .unwrap();
+            }
+        }
+        let p = Partition::of(&spec);
+        assert_eq!(p.len(), 4);
+        for e in 0..4u64 {
+            assert!(p.component_of(r, Eid(e)).is_some());
+        }
+        assert_eq!(p.components_touching(r).len(), 4);
+    }
+
+    #[test]
+    fn per_tuple_constraints_do_not_merge_entities() {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        for e in 0..3u64 {
+            for v in 0..2 {
+                spec.instance_mut(r)
+                    .push_tuple(Tuple::new(Eid(e), vec![Value::int(v)]))
+                    .unwrap();
+            }
+        }
+        // Monotone rule: both tuple variables range over one entity (ground
+        // rules relate same-entity pairs only), so entities stay separate.
+        let dc = DenialConstraint::builder(r, 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+            .then_order(1, A, 0)
+            .build()
+            .unwrap();
+        spec.add_constraint(dc).unwrap();
+        let p = Partition::of(&spec);
+        assert_eq!(p.len(), 3);
+        let total_rules: usize = p.components().iter().map(|c| c.rules.len()).sum();
+        assert_eq!(total_rules, 3, "one ground rule per entity");
+    }
+
+    #[test]
+    fn copy_function_merges_source_and_target_entities() {
+        let mut cat = Catalog::new();
+        let d = cat.add(RelationSchema::new("D", &["A"]));
+        let s = cat.add(RelationSchema::new("S", &["A"]));
+        let mut spec = Specification::new(cat);
+        let d1 = spec
+            .instance_mut(d)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1)]))
+            .unwrap();
+        let d2 = spec
+            .instance_mut(d)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(2)]))
+            .unwrap();
+        // An unrelated entity in D.
+        spec.instance_mut(d)
+            .push_tuple(Tuple::new(Eid(9), vec![Value::int(7)]))
+            .unwrap();
+        let s1 = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(7), vec![Value::int(1)]))
+            .unwrap();
+        let s2 = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(7), vec![Value::int(2)]))
+            .unwrap();
+        let sig = CopySignature::new(d, vec![A], s, vec![A]).unwrap();
+        let mut cf = CopyFunction::new(sig);
+        cf.set_mapping(d1, s1);
+        cf.set_mapping(d2, s2);
+        spec.add_copy(cf).unwrap();
+        let p = Partition::of(&spec);
+        // (D, e1) and (S, e7) merge; (D, e9) stays alone.
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.component_of(d, Eid(1)), p.component_of(s, Eid(7)));
+        assert_ne!(p.component_of(d, Eid(1)), p.component_of(d, Eid(9)));
+        let merged = &p.components()[p.component_of(d, Eid(1)).unwrap()];
+        assert_eq!(merged.obligations.len(), 2, "both obligation directions");
+    }
+
+    #[test]
+    fn components_touching_filters_by_relation() {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let s = cat.add(RelationSchema::new("S", &["A"]));
+        let mut spec = Specification::new(cat);
+        spec.instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1)]))
+            .unwrap();
+        spec.instance_mut(s)
+            .push_tuple(Tuple::new(Eid(2), vec![Value::int(1)]))
+            .unwrap();
+        let p = Partition::of(&spec);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.components_touching(r).len(), 1);
+        assert_eq!(p.components_touching(s).len(), 1);
+        assert_ne!(p.components_touching(r), p.components_touching(s));
+    }
+
+    #[test]
+    fn empty_spec_has_no_components() {
+        let mut cat = Catalog::new();
+        cat.add(RelationSchema::new("R", &["A"]));
+        let spec = Specification::new(cat);
+        let p = Partition::of(&spec);
+        assert!(p.is_empty());
+        assert!(!p.has_ground_falsum);
+    }
+}

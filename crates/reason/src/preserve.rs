@@ -156,8 +156,7 @@ pub(crate) fn apply_extension(
             } => {
                 let sig = out.copies()[*copy].signature().clone();
                 let src_tuple = out.instance(sig.source).tuple(*source).clone();
-                let mut values: Vec<Value> =
-                    vec![Value::int(0); out.instance(sig.target).arity()];
+                let mut values: Vec<Value> = vec![Value::int(0); out.instance(sig.target).arity()];
                 for (ta, sa) in sig.target_attrs.iter().zip(&sig.source_attrs) {
                     values[ta.index()] = src_tuple.value(*sa).clone();
                 }
@@ -181,10 +180,13 @@ pub(crate) fn apply_extension(
 /// The order-theoretic signature of an extension: the new tuples it
 /// creates and the ≺-compatibility obligations its mappings induce.
 /// Extensions with equal signatures have equal `Mod(Sᵉ)`.
-fn extension_signature(spec: &Specification, ext: &Specification) -> Vec<u64> {
+fn extension_signature(spec: &Specification, ext: &Specification) -> Vec<[u64; 4]> {
     // Hash-free structural signature: serialize obligations and new-tuple
-    // counts into a canonical integer vector.
-    let mut sig: Vec<u64> = Vec::new();
+    // records into a canonical vector.  Records are sorted *as units* —
+    // sorting their flattened fields would conflate extensions that pair
+    // the same endpoints in different orientations (e.g. `{t0→s1, t2→s2}`
+    // vs `{t0→s2, t2→s1}`), which have different `Mod(Sᵉ)`.
+    let mut sig: Vec<[u64; 4]> = Vec::new();
     for (ci, cf) in ext.copies().iter().enumerate() {
         let s = cf.signature();
         let target = ext.instance(s.target);
@@ -194,16 +196,24 @@ fn extension_signature(spec: &Specification, ext: &Specification) -> Vec<u64> {
         let orig_len = spec.instance(s.target).len();
         for (tid, sid) in cf.mappings() {
             if tid.index() >= orig_len {
-                sig.push(0xA000_0000_0000_0000 | (ci as u64) << 48);
-                sig.push(target.tuple(tid).eid.0);
-                sig.push(sid.0 as u64);
+                sig.push([
+                    0xA000_0000_0000_0000 | (ci as u64) << 48,
+                    target.tuple(tid).eid.0,
+                    sid.0 as u64,
+                    0,
+                ]);
             }
         }
         for (se, te) in cf.compatibility_obligations(target, source) {
-            sig.push(0xB000_0000_0000_0000 | (ci as u64) << 48);
-            sig.push(((se.attr.0 as u64) << 32) | te.attr.0 as u64);
-            sig.push(((se.lesser.0 as u64) << 32) | se.greater.0 as u64);
-            sig.push(((te.lesser.0 as u64) << 32) | te.greater.0 as u64);
+            sig.push([
+                0xB000_0000_0000_0000
+                    | (ci as u64) << 48
+                    | (se.attr.0 as u64) << 24
+                    | te.attr.0 as u64,
+                ((se.lesser.0 as u64) << 32) | se.greater.0 as u64,
+                ((te.lesser.0 as u64) << 32) | te.greater.0 as u64,
+                0,
+            ]);
         }
     }
     sig.sort_unstable();
@@ -243,11 +253,8 @@ pub fn cpp(problem: &PreservationProblem, opts: &Options) -> Result<bool, Reason
     if base == CertainAnswers::Inconsistent {
         return Ok(false); // definition clause (a): Mod(S) must be nonempty
     }
-    let slots = viable_slots(
-        problem.spec,
-        extension_slots(problem.spec, problem.sources),
-    )?;
-    let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+    let slots = viable_slots(problem.spec, extension_slots(problem.spec, problem.sources))?;
+    let mut seen: BTreeSet<Vec<[u64; 4]>> = BTreeSet::new();
     let mut budget = opts.max_extensions;
     let mut changed = false;
     for_each_choice(&slots, &mut Vec::new(), 0, &mut budget, &mut |actions| {
@@ -320,10 +327,7 @@ pub fn bcp(problem: &PreservationProblem, k: usize, opts: &Options) -> Result<bo
     if !cps(problem.spec)? {
         return Ok(false);
     }
-    let slots = viable_slots(
-        problem.spec,
-        extension_slots(problem.spec, problem.sources),
-    )?;
+    let slots = viable_slots(problem.spec, extension_slots(problem.spec, problem.sources))?;
     let mut budget = opts.max_extensions;
     let mut found = false;
     for_each_bounded_choice(&slots, k, &mut Vec::new(), 0, &mut budget, &mut |actions| {
@@ -412,9 +416,7 @@ fn for_each_bounded_choice(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use currency_core::{
-        AttrId, Catalog, CopyFunction, CopySignature, RelationSchema, Tuple,
-    };
+    use currency_core::{AttrId, Catalog, CopyFunction, CopySignature, RelationSchema, Tuple};
     use currency_query::{Atom, Formula, QueryBuilder, Term as QTerm};
 
     const A: AttrId = AttrId(0);

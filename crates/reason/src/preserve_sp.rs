@@ -39,15 +39,17 @@ use currency_core::{Eid, RelId, Specification, Value};
 use currency_query::SpQuery;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// The per-entity answer rows of an SP query over `poss(S)`.
-///
-/// `None` entries are entities whose row is suppressed (selection failed
-/// or a projected cell is uncertain).  The certain answer set is the set
-/// of `Some` rows.
+/// The per-entity answer rows of an SP query: `None` entries are entities
+/// whose row is suppressed (selection failed or a projected cell is
+/// uncertain).  The certain answer set is the set of `Some` rows.
+type EntityRows = BTreeMap<Eid, Option<Vec<Value>>>;
+
+/// The per-entity answer rows of an SP query over `poss(S)`; `Ok(None)`
+/// when the specification is inconsistent.
 fn rows_by_entity(
     spec: &Specification,
     query: &SpQuery,
-) -> Result<Option<BTreeMap<Eid, Option<Vec<Value>>>>, ReasonError> {
+) -> Result<Option<EntityRows>, ReasonError> {
     let Some(poss) = poss_instance(spec, query.rel)? else {
         return Ok(None);
     };
@@ -68,42 +70,97 @@ fn rows_by_entity(
     Ok(Some(out))
 }
 
-fn answer_set(rows: &BTreeMap<Eid, Option<Vec<Value>>>) -> BTreeSet<Vec<Value>> {
+fn answer_set(rows: &EntityRows) -> BTreeSet<Vec<Value>> {
     rows.values().filter_map(|r| r.clone()).collect()
 }
 
-/// The atomic spoiler extensions: single slots plus constraint-inducing
-/// mapping pairs (same target entity, same source entity, same function).
-fn atomic_extensions(
-    spec: &Specification,
-    sources: &BTreeSet<RelId>,
-) -> Vec<Vec<ExtensionSlot>> {
+/// The `(copy, target entity)` class of a unit action: the copy function
+/// it extends and the target entity whose tuple set or mappings it grows.
+fn slot_class(spec: &Specification, slot: &ExtensionSlot) -> (usize, Eid) {
+    match slot {
+        ExtensionSlot::MapExisting { copy, target, .. } => {
+            let sig = spec.copies()[*copy].signature();
+            (*copy, spec.instance(sig.target).tuple(*target).eid)
+        }
+        ExtensionSlot::Import { copy, entity, .. } => (*copy, *entity),
+    }
+}
+
+/// The atomic spoiler extensions: single slots, all well-formed action
+/// pairs, and greedy saturations (per target-entity class and global).
+///
+/// Every member is a genuine extension and is *evaluated* (never assumed)
+/// by the caller, so enlarging this family can only make [`cpp_sp`] more
+/// complete, never unsound.  The families are chosen to reach the known
+/// spoiler shapes:
+///
+/// * **singles** — an import adding an unordered candidate value, or a
+///   mapping pairing with existing mappings;
+/// * **pairs** — the smallest action sets that import source order on
+///   their own (including pairs sharing one source tuple, which pin
+///   values through a pre-existing third mapping, and pairs spanning
+///   target entities coupled through a shared source entity);
+/// * **saturations** — greedy maximal well-formed action sets, per
+///   `(copy, target entity)` class and globally, one per starting slot:
+///   chains of three or more mappings can pin a current value no pair
+///   pins, and the greedy closure from each start reaches them.
+fn atomic_extensions(spec: &Specification, sources: &BTreeSet<RelId>) -> Vec<Vec<ExtensionSlot>> {
     let slots = extension_slots(spec, sources);
+    let classes: Vec<(usize, Eid)> = slots.iter().map(|s| slot_class(spec, s)).collect();
     let mut out: Vec<Vec<ExtensionSlot>> = slots.iter().map(|s| vec![s.clone()]).collect();
-    for (i, a) in slots.iter().enumerate() {
-        for b in slots.iter().skip(i + 1) {
-            let (ExtensionSlot::MapExisting {
-                copy: ca,
-                target: ta,
-                source: sa,
-            }, ExtensionSlot::MapExisting {
-                copy: cb,
-                target: tb,
-                source: sb,
-            }) = (a, b) else {
-                continue;
+    // Pairs.
+    for i in 0..slots.len() {
+        for j in (i + 1)..slots.len() {
+            let pair = vec![slots[i].clone(), slots[j].clone()];
+            if apply_extension(spec, &pair).is_some() {
+                out.push(pair);
+            }
+        }
+    }
+    // All-to-one families: for each (copy, target entity, source tuple),
+    // the set of every action assigning that source tuple within the
+    // entity.  Mapping all of an entity's unmapped tuples to one source
+    // tuple leaves them mutually unordered but places each below/above the
+    // entity's *pre-existing* mappings, which can pin a current value no
+    // pair or greedy chain pins.
+    {
+        let mut by_source: BTreeMap<(usize, Eid, currency_core::TupleId), Vec<usize>> =
+            BTreeMap::new();
+        for (i, slot) in slots.iter().enumerate() {
+            let (copy, entity) = classes[i];
+            let source = match slot {
+                ExtensionSlot::MapExisting { source, .. } => *source,
+                ExtensionSlot::Import { source, .. } => *source,
             };
-            if ca != cb || ta == tb {
+            by_source.entry((copy, entity, source)).or_default().push(i);
+        }
+        for group in by_source.values() {
+            if group.len() < 2 {
                 continue;
             }
-            let sig = spec.copies()[*ca].signature();
-            let target = spec.instance(sig.target);
-            let source = spec.instance(sig.source);
-            if target.tuple(*ta).eid == target.tuple(*tb).eid
-                && source.tuple(*sa).eid == source.tuple(*sb).eid
-                && sa != sb
-            {
-                out.push(vec![a.clone(), b.clone()]);
+            let actions: Vec<ExtensionSlot> = group.iter().map(|&i| slots[i].clone()).collect();
+            if apply_extension(spec, &actions).is_some() {
+                out.push(actions);
+            }
+        }
+    }
+    // Greedy saturations from each starting slot: class-local (only slots
+    // of the start's (copy, target entity) class) and global (all slots).
+    for start in 0..slots.len() {
+        for class_local in [true, false] {
+            let mut actions: Vec<ExtensionSlot> = vec![slots[start].clone()];
+            for (j, slot) in slots.iter().enumerate() {
+                if j == start || (class_local && classes[j] != classes[start]) {
+                    continue;
+                }
+                let mut candidate = actions.clone();
+                candidate.push(slot.clone());
+                if apply_extension(spec, &candidate).is_some() {
+                    actions = candidate;
+                }
+            }
+            if actions.len() > 2 {
+                out.push(actions);
             }
         }
     }
@@ -125,8 +182,10 @@ pub fn cpp_sp(
         return Ok(false); // Mod(S) = ∅: not preserving by definition
     };
     let base_answers = answer_set(&base_rows);
-    // Evaluate every atomic extension once.
-    let mut steer_away: BTreeMap<Eid, BTreeSet<Vec<Value>>> = BTreeMap::new();
+    // Evaluate every atomic extension once.  For each entity and base row,
+    // remember the first atomic extension that steers the entity away from
+    // the row (for the compositional C1 check).
+    let mut steer_away: BTreeMap<(Eid, Vec<Value>), Vec<ExtensionSlot>> = BTreeMap::new();
     for actions in atomic_extensions(spec, sources) {
         let Some(ext) = apply_extension(spec, &actions) else {
             continue;
@@ -138,29 +197,52 @@ pub fn cpp_sp(
         if answer_set(&rows) != base_answers {
             return Ok(false);
         }
-        // Record which entities this extension steers away from their
-        // base row (for the compositional C1 check).
         for (eid, base_row) in &base_rows {
             if let Some(r1) = base_row {
                 if rows.get(eid).cloned().flatten().as_ref() != Some(r1) {
-                    steer_away.entry(*eid).or_default().insert(r1.clone());
+                    steer_away
+                        .entry((*eid, r1.clone()))
+                        .or_insert_with(|| actions.clone());
                 }
             }
         }
     }
-    // (C1): some base row removable at every entity that produces it.
+    // (C1): some base row removable at every entity that produces it.  The
+    // composed extension is *verified*, not assumed: steering actions at
+    // one entity can import order that re-pins another entity's row, so
+    // the per-entity flags alone would over-report.
     for r1 in &base_answers {
         let producers: Vec<Eid> = base_rows
             .iter()
             .filter(|(_, row)| row.as_ref() == Some(r1))
             .map(|(e, _)| *e)
             .collect();
-        let all_steerable = producers.iter().all(|e| {
-            steer_away
-                .get(e)
-                .is_some_and(|rs| rs.contains(r1))
-        });
-        if all_steerable && !producers.is_empty() {
+        if producers.is_empty() {
+            continue;
+        }
+        let mut combo: Vec<ExtensionSlot> = Vec::new();
+        let mut complete = true;
+        for e in &producers {
+            match steer_away.get(&(*e, r1.clone())) {
+                Some(actions) => combo.extend(actions.iter().cloned()),
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if !complete {
+            continue;
+        }
+        combo.sort();
+        combo.dedup();
+        let Some(ext) = apply_extension(spec, &combo) else {
+            continue;
+        };
+        let Some(rows) = rows_by_entity(&ext, query)? else {
+            continue;
+        };
+        if answer_set(&rows) != base_answers {
             return Ok(false);
         }
     }
@@ -188,6 +270,7 @@ pub fn bcp_sp(
     let slots = extension_slots(spec, sources);
     let mut budget = opts.max_extensions;
     let mut chosen: Vec<ExtensionSlot> = Vec::new();
+    #[allow(clippy::too_many_arguments)] // local recursion carries its whole state
     fn recurse(
         spec: &Specification,
         sources: &BTreeSet<RelId>,

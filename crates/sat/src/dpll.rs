@@ -101,10 +101,9 @@ fn dpll(clauses: &[Vec<Lit>], assign: &mut Vec<Option<bool>>) -> bool {
 /// Evaluate a clause set under a complete assignment (test helper).
 #[cfg(test)]
 pub(crate) fn evaluate(clauses: &[Vec<Lit>], model: &[bool]) -> bool {
-    clauses.iter().all(|c| {
-        c.iter()
-            .any(|&l| model[l.var().index()] == l.is_pos())
-    })
+    clauses
+        .iter()
+        .all(|c| c.iter().any(|&l| model[l.var().index()] == l.is_pos()))
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@ pub(crate) struct ActivityHeap {
 impl ActivityHeap {
     #[cfg(test)]
     pub(crate) fn new() -> Self {
-        ActivityHeap { entries: Vec::new() }
+        ActivityHeap {
+            entries: Vec::new(),
+        }
     }
 
     /// Push a (possibly duplicate) entry for `v` at activity `act`.

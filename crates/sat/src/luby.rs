@@ -38,8 +38,8 @@ mod tests {
     #[test]
     fn matches_reference_prefix() {
         let expect = [
-            1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1,
-            2, 4, 8, 16,
+            1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2,
+            4, 8, 16,
         ];
         let got: Vec<u64> = (0..expect.len() as u64).map(luby).collect();
         assert_eq!(got, expect);

@@ -45,6 +45,27 @@ pub struct SolverStats {
     pub restarts: u64,
 }
 
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        self.conflicts += rhs.conflicts;
+        self.decisions += rhs.decisions;
+        self.propagations += rhs.propagations;
+        self.restarts += rhs.restarts;
+    }
+}
+
+impl std::iter::Sum for SolverStats {
+    /// Aggregate per-solver counters, e.g. across the per-component
+    /// solvers of an engine.
+    fn sum<I: Iterator<Item = SolverStats>>(iter: I) -> SolverStats {
+        let mut total = SolverStats::default();
+        for s in iter {
+            total += s;
+        }
+        total
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Clause {
     lits: Vec<Lit>,
@@ -293,11 +314,7 @@ impl Solver {
                 debug_assert!(enq);
             } else {
                 // Every variable assigned without conflict: model found.
-                self.model = self
-                    .assign
-                    .iter()
-                    .map(|&a| a == LBool::True)
-                    .collect();
+                self.model = self.assign.iter().map(|&a| a == LBool::True).collect();
                 self.cancel_until(0);
                 return SolveResult::Sat;
             }

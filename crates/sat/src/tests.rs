@@ -88,6 +88,7 @@ fn pigeonhole_3_into_2_is_unsat() {
     for row in &p {
         s.add_clause(&[row[0].pos(), row[1].pos()]);
     }
+    #[allow(clippy::needless_range_loop)] // j indexes two parallel rows
     for j in 0..2 {
         for i1 in 0..3 {
             for i2 in (i1 + 1)..3 {
@@ -109,6 +110,7 @@ fn pigeonhole_5_into_4_exercises_learning() {
         let lits: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
         s.add_clause(&lits);
     }
+    #[allow(clippy::needless_range_loop)] // j indexes parallel rows
     for j in 0..holes {
         for i1 in 0..pigeons {
             for i2 in (i1 + 1)..pigeons {
@@ -283,8 +285,7 @@ fn cdcl_agrees_with_dpll_on_random_3sat() {
         let got = s.solve();
         match (&oracle, got) {
             (Some(_), SolveResult::Sat) => {
-                let model: Vec<bool> =
-                    (0..num_vars).map(|i| s.model_value(v(i))).collect();
+                let model: Vec<bool> = (0..num_vars).map(|i| s.model_value(v(i))).collect();
                 assert!(
                     evaluate(&clauses, &model),
                     "CDCL produced a non-model in round {round}: {clauses:?}"

@@ -34,6 +34,7 @@ impl Var {
 
     /// The negative literal `¬v`.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // not a unary negation of Var
     pub fn neg(self) -> Lit {
         Lit(self.0 << 1 | 1)
     }

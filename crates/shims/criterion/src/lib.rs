@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crate registry, so this workspace-local
+//! crate implements the API subset the bench targets use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] — on top of a deliberately simple wall-clock harness:
+//!
+//! 1. warm up for the configured warm-up time;
+//! 2. pick an iteration count that fills the measurement window;
+//! 3. take `sample_size` samples and report min / median / mean.
+//!
+//! Results are printed to stdout in a stable `name  time: [..]` format.
+//! There is no statistical regression analysis, HTML report, or saved
+//! baseline — for this workspace's deterministic solver sweeps the median
+//! is the number of interest.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `self.iters` times, recording total elapsed time.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target duration of the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Apply command-line arguments.  Only a positional substring filter is
+    /// supported (matching `cargo bench -- <filter>`); harness flags the
+    /// real criterion accepts (e.g. `--bench`) are ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                self.filter = Some(arg);
+                break;
+            }
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Print the closing summary line.
+    pub fn final_summary(&mut self) {
+        println!("benchmarks complete");
+    }
+
+    fn run_one(&self, full_name: &str, mut routine: impl FnMut(&mut Bencher)) {
+        if let Some(f) = &self.filter {
+            if !full_name.contains(f.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: also estimates the per-iteration cost.
+        let mut one = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_up_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut warm_elapsed = Duration::ZERO;
+        while warm_up_start.elapsed() < self.warm_up_time {
+            routine(&mut one);
+            warm_elapsed += one.elapsed;
+            warm_iters += 1;
+        }
+        let per_iter = if warm_iters > 0 && !warm_elapsed.is_zero() {
+            warm_elapsed / warm_iters as u32
+        } else {
+            Duration::from_nanos(1)
+        };
+        // Fill the measurement window across `sample_size` samples.
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let min = samples_ns[0];
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        println!(
+            "{full_name:<60} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a routine identified by `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(&full, |b| f(b));
+        self
+    }
+
+    /// Benchmark a routine over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut group = c.benchmark_group("g");
+        let mut calls = 0u64;
+        group.bench_function("trivial", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        c.final_summary();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn id_formatting() {
+        let id = BenchmarkId::new("f", 32);
+        assert_eq!(id.id, "f/32");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(10.0).ends_with("ns"));
+        assert!(fmt_ns(10_000.0).ends_with("µs"));
+        assert!(fmt_ns(10_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(10_000_000_000.0).ends_with("s"));
+    }
+}

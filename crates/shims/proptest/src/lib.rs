@@ -1,0 +1,229 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate registry, so this workspace-local
+//! crate implements the API subset the workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(..)]` headers and
+//! `pat in strategy` parameters), [`prop_assert!`] / [`prop_assert_eq!`],
+//! [`prop_oneof!`], [`strategy::Just`], `prop_map`, integer-range
+//! strategies, tuple strategies, [`collection::vec`], and
+//! [`sample::subsequence`].
+//!
+//! Semantics: each test runs `cases` deterministic random cases (seeded
+//! from the test name and case index).  There is **no shrinking** — a
+//! failing case reports its inputs via the panic message instead.  For
+//! this workspace's differential tests, which are seeded and small,
+//! deterministic replay is what matters.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (subset of `proptest::sample`).
+
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// A strategy producing order-preserving subsequences of `values` with
+    /// length drawn from `size`.
+    pub fn subsequence<T: Clone + std::fmt::Debug>(
+        values: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        Subsequence {
+            values,
+            size: size.into(),
+        }
+    }
+
+    /// See [`subsequence`].
+    #[derive(Clone, Debug)]
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let max = self.values.len();
+            let count = self.size.clamped_sample(rng, max);
+            // Floyd-style distinct index selection, then restore order.
+            let mut picked: Vec<usize> = Vec::with_capacity(count);
+            let mut remaining: Vec<usize> = (0..max).collect();
+            for _ in 0..count {
+                let ix = (rng.next_u64() % remaining.len() as u64) as usize;
+                picked.push(remaining.swap_remove(ix));
+            }
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Define property tests.  Supports an optional
+/// `#![proptest_config(ProptestConfig { .. })]` header followed by any
+/// number of `#[test] fn name(pat in strategy, ..) { body }` items whose
+/// bodies may use `prop_assert*` and `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        #[test]
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        #[allow(unreachable_code)]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    stringify!($name),
+                    case as u64,
+                );
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("proptest case {}/{} failed: {}", case, config.cases, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case (not the
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(::std::boxed::Box::new($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pick {
+        A,
+        B(i64),
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(n in 2usize..6, m in 0i64..3) {
+            prop_assert!((2..6).contains(&n));
+            prop_assert!((0..3).contains(&m));
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(n in 0u64..10) {
+            if n > 100 {
+                return Ok(());
+            }
+            prop_assert_eq!(n, n, "reflexive {}", n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+        #[test]
+        fn oneof_and_map_and_collections(
+            v in crate::collection::vec((0u64..3, 0i64..3), 0..6),
+            p in prop_oneof![Just(Pick::A), (0i64..3).prop_map(Pick::B)],
+            s in crate::sample::subsequence(vec![1u32, 2, 3, 4], 0..=4),
+        ) {
+            prop_assert!(v.len() < 6);
+            match p {
+                Pick::A => {}
+                Pick::B(x) => prop_assert!((0..3).contains(&x)),
+            }
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sorted, &s, "subsequence preserves order");
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..100, 3..7);
+        let mut r1 = crate::test_runner::TestRng::for_case("x", 4);
+        let mut r2 = crate::test_runner::TestRng::for_case("x", 4);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crate registry, so this
+//! workspace-local crate provides the (small) API subset the workspace
+//! actually uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and
+//! the [`Rng`] methods `gen_range` / `gen_bool` / `gen`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction real `rand` uses for `SmallRng` on 64-bit targets — so
+//! streams are high quality and deterministic in the seed, which is all
+//! the seeded test-data generators require.  Distributions are *not*
+//! guaranteed to be bit-identical to the real crate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be uniformly sampled from a range.
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)` given a raw 64-bit source.
+    fn sample_half_open(low: Self, high: Self, source: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(low: $t, high: $t, source: &mut dyn FnMut() -> u64) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high - low) as u64;
+                low + (source() % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(low: $t, high: $t, source: &mut dyn FnMut() -> u64) -> $t {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u64;
+                (low as i128 + (source() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Range arguments accepted by [`Rng::gen_range`] (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Sample a value uniformly from the range.
+    fn sample_single(self, source: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single(self, source: &mut dyn FnMut() -> u64) -> T {
+        T::sample_half_open(self.start, self.end, source)
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample_single(self, source: &mut dyn FnMut() -> u64) -> usize {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "gen_range: empty inclusive range");
+        let span = (high - low) as u64 + 1;
+        low + (source() % span) as usize
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample_single(self, source: &mut dyn FnMut() -> u64) -> u64 {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "gen_range: empty inclusive range");
+        if low == 0 && high == u64::MAX {
+            return source();
+        }
+        let span = high - low + 1;
+        low + source() % span
+    }
+}
+
+impl SampleRange<i64> for RangeInclusive<i64> {
+    fn sample_single(self, source: &mut dyn FnMut() -> u64) -> i64 {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "gen_range: empty inclusive range");
+        let span = (high as i128 - low as i128) as u64 + 1;
+        (low as i128 + (source() % span) as i128) as i64
+    }
+}
+
+/// Random-value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit source.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        let mut source = || self.next_u64();
+        range.sample_single(&mut source)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// A uniformly random `bool`.
+    fn gen(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators (subset of `rand::rngs`).
+
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++ seeded via
+    /// SplitMix64 (matching real `rand`'s 64-bit `SmallRng` construction).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+            let z: usize = rng.gen_range(2..=4);
+            assert!((2..=4).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}

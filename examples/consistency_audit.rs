@@ -27,7 +27,10 @@ fn main() {
     print!("{}", render_spec(&f.spec));
 
     // Healthy specification.
-    println!("\nS₀ (Fig. 1 + φ₁–φ₄ + ρ): consistent = {}", cps(&f.spec).unwrap());
+    println!(
+        "\nS₀ (Fig. 1 + φ₁–φ₄ + ρ): consistent = {}",
+        cps(&f.spec).unwrap()
+    );
     let witness = witness_completion(&f.spec).unwrap().expect("witness");
     let chain = witness.rel(f.dept).chain(dept_attrs::BUDGET, f.rnd);
     let rendered: Vec<String> = chain.iter().map(|t| t.to_string()).collect();

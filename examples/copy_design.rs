@@ -45,7 +45,10 @@ fn main() {
     assert!(!preserving, "importing s′3 would flip the answer to Smith");
 
     // ECP: can ρ be fixed at all?  (O(1): yes, iff the spec is consistent.)
-    println!("ρ extendable to a preserving collection (ECP): {}", ecp(&problem).unwrap());
+    println!(
+        "ρ extendable to a preserving collection (ECP): {}",
+        ecp(&problem).unwrap()
+    );
 
     // BCP: how many extra imports are needed?
     for k in 0..=2 {
@@ -94,7 +97,10 @@ fn main() {
         maxed.instance(e.emp).len(),
     );
     let ans_max = certain_answers(&maxed, &q2, &opts).unwrap();
-    println!("Q2 under the maximum extension: {:?}", ans_max.rows().unwrap());
+    println!(
+        "Q2 under the maximum extension: {:?}",
+        ans_max.rows().unwrap()
+    );
     println!("\nConclusion: one targeted import (k = 1) repairs the copy design;");
     println!("the maximum extension reaches the same answer by saturation.");
 }

@@ -47,15 +47,22 @@ fn main() {
     {
         let inst = spec.instance_mut(cust);
         // Ada: three stale records across systems.
-        inst.push_tuple(record(1, "Ada", "ada@uni.edu", 1, "active")).unwrap();
-        inst.push_tuple(record(1, "Ada", "ada@corp.com", 2, "active")).unwrap();
-        inst.push_tuple(record(1, "Ada", "ada@corp.com", 3, "active")).unwrap();
+        inst.push_tuple(record(1, "Ada", "ada@uni.edu", 1, "active"))
+            .unwrap();
+        inst.push_tuple(record(1, "Ada", "ada@corp.com", 2, "active"))
+            .unwrap();
+        inst.push_tuple(record(1, "Ada", "ada@corp.com", 3, "active"))
+            .unwrap();
         // Grace: two records; the cancelled one must be the latest state.
-        inst.push_tuple(record(2, "Grace", "grace@mail.com", 2, "active")).unwrap();
-        inst.push_tuple(record(2, "Grace", "grace@mail.com", 2, "cancelled")).unwrap();
+        inst.push_tuple(record(2, "Grace", "grace@mail.com", 2, "active"))
+            .unwrap();
+        inst.push_tuple(record(2, "Grace", "grace@mail.com", 2, "cancelled"))
+            .unwrap();
         // Linus: two records that genuinely disagree about the email.
-        inst.push_tuple(record(3, "Linus", "linus@a.org", 1, "active")).unwrap();
-        inst.push_tuple(record(3, "Linus", "linus@b.org", 1, "active")).unwrap();
+        inst.push_tuple(record(3, "Linus", "linus@a.org", 1, "active"))
+            .unwrap();
+        inst.push_tuple(record(3, "Linus", "linus@b.org", 1, "active"))
+            .unwrap();
     }
     // Business semantics as denial constraints:
     // loyalty tiers only upgrade — a higher tier is more current (in every

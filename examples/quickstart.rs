@@ -10,10 +10,10 @@
 //! Run with: `cargo run --example quickstart`
 
 use data_currency::datagen::scenarios;
+use data_currency::datagen::scenarios::{dept_attrs, emp_attrs};
 use data_currency::model::Value;
 use data_currency::query::{classify, SpQuery};
 use data_currency::reason::{certain_answers, cop, cps, dcip, CurrencyOrderQuery, Options};
-use data_currency::datagen::scenarios::{dept_attrs, emp_attrs};
 
 fn show(label: &str, spec: &data_currency::model::Specification, q: &SpQuery, arity: usize) {
     let query = q.to_query(arity);

@@ -13,7 +13,8 @@
 //! * [`query`] (`currency-query`) — the SP ⊂ CQ ⊂ UCQ ⊂ ∃FO⁺ ⊂ FO query
 //!   family and evaluators over normal instances.
 //! * [`reason`] (`currency-reason`) — decision procedures for the paper's
-//!   seven problems: CPS, COP, DCIP, CCQA, CPP, ECP, BCP.
+//!   seven problems (CPS, COP, DCIP, CCQA, CPP, ECP, BCP) and the
+//!   entity-partitioned incremental `CurrencyEngine`.
 //! * [`sat`] (`currency-sat`) — the CDCL SAT solver substrate.
 //! * [`datagen`] (`currency-datagen`) — paper scenarios, random
 //!   specification generators, and hardness-reduction gadgets.
@@ -28,8 +29,12 @@ pub use currency_reason as reason;
 pub use currency_sat as sat;
 
 /// Convenience prelude importing the most commonly used items.
+///
+/// Query-side names that collide with the model's (`CmpOp`, `Term`) are
+/// re-exported under `Query*` aliases so that the model's constraint
+/// builders work unqualified.
 pub mod prelude {
     pub use currency_core::*;
-    pub use currency_query::{CmpOp as QueryCmpOp, Formula, Query, QueryClass, Term};
+    pub use currency_query::{CmpOp as QueryCmpOp, Formula, Query, QueryClass, Term as QueryTerm};
     pub use currency_reason::*;
 }

@@ -16,8 +16,8 @@ use data_currency::model::{AttrId, RelId, Specification, Value};
 use data_currency::query::{Database, SpCondition, SpQuery};
 use data_currency::reason::{
     certain_answers_exact, certain_answers_sp, cop_exact, cps_enumerate, cps_exact, cps_ptime,
-    dcip_exact, dcip_ptime, enumerate::for_each_consistent_completion, po_infinity,
-    CertainAnswers, CurrencyOrderQuery, Options,
+    dcip_exact, dcip_ptime, enumerate::for_each_consistent_completion, po_infinity, CertainAnswers,
+    CurrencyOrderQuery, Options,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;

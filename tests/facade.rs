@@ -63,7 +63,10 @@ fn errors_render_with_context() {
     let bad = Tuple::new(Eid(0), vec![Value::int(1), Value::int(2)]);
     let err = spec.instance_mut(r).push_tuple(bad).unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("R") && msg.contains("1") && msg.contains("2"), "{msg}");
+    assert!(
+        msg.contains("R") && msg.contains("1") && msg.contains("2"),
+        "{msg}"
+    );
 }
 
 #[test]

@@ -70,8 +70,7 @@ fn threesat_to_dcip_matches_oracle() {
         let f = logic::random_formula(vars, clauses, 3000 + seed);
         let expected_unsat = !logic::sat_cnf(&f);
         let gadget = gadgets::cop_3sat(&f);
-        let got =
-            dcip_exact(&gadget.spec, gadget.rel, &Options::default()).expect("DCIP solvable");
+        let got = dcip_exact(&gadget.spec, gadget.rel, &Options::default()).expect("DCIP solvable");
         assert_eq!(
             got, expected_unsat,
             "3SAT→DCIP mismatch (seed {seed}): {f:?}"
@@ -116,9 +115,6 @@ fn forall_exists_3cnf_to_cpp_matches_oracle() {
             query: &gadget.query,
         };
         let got = cpp(&problem, &Options::default()).expect("CPP solvable");
-        assert_eq!(
-            got, expected,
-            "∀∃3CNF→CPP mismatch (seed {seed}): {f:?}"
-        );
+        assert_eq!(got, expected, "∀∃3CNF→CPP mismatch (seed {seed}): {f:?}");
     }
 }

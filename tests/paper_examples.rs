@@ -11,7 +11,7 @@
 use data_currency::datagen::scenarios::{self, dept_attrs, emp_attrs};
 use data_currency::model::{AttrId, Tuple, Value};
 use data_currency::reason::{
-    ccqa, cop, cps, dcip, certain_answers, cpp, maximum_extension, witness_completion,
+    ccqa, certain_answers, cop, cpp, cps, dcip, maximum_extension, witness_completion,
     CurrencyOrderQuery, Options, PreservationProblem,
 };
 use std::collections::BTreeSet;
