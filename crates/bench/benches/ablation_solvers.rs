@@ -1,5 +1,5 @@
 //! A-SAT: solver ablation — CDCL-backed exact CPS vs brute-force
-//! completion enumeration.
+//! completion enumeration, and lazy vs eager transitivity grounding.
 //!
 //! DESIGN.md §4 argues for the order-variable SAT encoding over naive
 //! enumeration of completions.  This target quantifies the choice on the
@@ -7,30 +7,76 @@
 //! group sizes.  Enumeration visits `∏ (group!)^attrs` candidates, so its
 //! series explodes factorially while the CDCL engine stays flat at these
 //! sizes.
+//!
+//! The `cps_lazy`/`cps_eager` series ablate the transitivity grounding
+//! strategy on the same specs, and the run ends with a solver-counter
+//! report (conflicts, propagations, learnt clauses kept/deleted, lazy
+//! lemmas) for both modes on the largest shape — the observable footprint
+//! of the clause-database reduction and the lazy refinement loop.
 
 use criterion::{BenchmarkId, Criterion};
 use currency_bench::quick_criterion;
 use currency_datagen::random::{random_spec, RandomSpecConfig};
-use currency_reason::{cps_enumerate, cps_exact};
+use currency_reason::{cps_enumerate, cps_exact, CurrencyEngine, Options, TransitivityMode};
+
+fn spec_for(tuples: usize) -> currency_core::Specification {
+    random_spec(&RandomSpecConfig {
+        entities: 2,
+        tuples_per_entity: (tuples, tuples),
+        attrs: 2,
+        value_pool: 3,
+        order_density: 0.2,
+        monotone_constraints: 1,
+        correlated_constraints: 1,
+        with_copy: false,
+        seed: 59,
+    })
+}
+
+fn engine_opts(transitivity: TransitivityMode) -> Options {
+    Options {
+        transitivity,
+        threads: 1,
+        ..Options::default()
+    }
+}
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_solvers");
     for tuples in [2usize, 3, 4] {
-        let spec = random_spec(&RandomSpecConfig {
-            entities: 2,
-            tuples_per_entity: (tuples, tuples),
-            attrs: 2,
-            value_pool: 3,
-            order_density: 0.2,
-            monotone_constraints: 1,
-            correlated_constraints: 1,
-            with_copy: false,
-            seed: 59,
-        });
+        let spec = spec_for(tuples);
         group.bench_with_input(
             BenchmarkId::new("cps_cdcl/tuples_per_entity", tuples),
             &spec,
             |b, spec| b.iter(|| cps_exact(spec).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cps_lazy/tuples_per_entity", tuples),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    CurrencyEngine::with_value_rels(spec, &[], &engine_opts(TransitivityMode::Lazy))
+                        .unwrap()
+                        .cps()
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cps_eager/tuples_per_entity", tuples),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    CurrencyEngine::with_value_rels(
+                        spec,
+                        &[],
+                        &engine_opts(TransitivityMode::Eager),
+                    )
+                    .unwrap()
+                    .cps()
+                    .unwrap()
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("cps_enumeration/tuples_per_entity", tuples),
@@ -39,6 +85,24 @@ fn bench_ablation(c: &mut Criterion) {
         );
     }
     group.finish();
+    // Counter report: the ablation's qualitative story in numbers.
+    let spec = spec_for(4);
+    for mode in [TransitivityMode::Lazy, TransitivityMode::Eager] {
+        let engine = CurrencyEngine::with_value_rels(&spec, &[], &engine_opts(mode)).unwrap();
+        engine.cps().unwrap();
+        let stats = engine.stats();
+        println!(
+            "ablation_solvers/stats/{mode:?}: vars={} clauses={} conflicts={} \
+             propagations={} learnt_kept={} learnt_deleted={} lemmas_added={}",
+            stats.vars,
+            stats.clauses,
+            stats.sat.conflicts,
+            stats.sat.propagations,
+            stats.sat.learnt_kept,
+            stats.sat.learnt_deleted,
+            stats.sat.lemmas_added
+        );
+    }
 }
 
 fn main() {

@@ -18,68 +18,22 @@
 //! * `engine_prebuilt/repeated_queries` — the steady-state regime: the
 //!   engine already exists (built outside the loop), only the queries are
 //!   measured.
+//!
+//! The shared scenario lives in [`currency_bench::scenarios`]; the
+//! `bench_engine` binary records the same series to `BENCH_engine.json`.
 
 use criterion::{BenchmarkId, Criterion};
-use currency_bench::quick_criterion;
-use currency_core::{AttrId, RelId, TupleId};
-use currency_datagen::random::{random_spec, RandomSpecConfig};
+use currency_bench::{quick_criterion, scenarios};
 use currency_reason::{
-    certain_answers_exact_monolithic, cop_exact_monolithic, CurrencyEngine, CurrencyOrderQuery,
-    Options,
+    certain_answers_exact_monolithic, cop_exact_monolithic, CurrencyEngine, Options,
 };
-
-const T: RelId = RelId(0);
-const N_COP: usize = 32;
-
-/// A **consistent** specification (asserted below): random initial orders
-/// are off because they contradict the monotone constraints with
-/// near-certainty at scale, which would silently turn the whole workload
-/// into the vacuous-truth fast path.
-fn spec_for(entities: usize) -> currency_core::Specification {
-    let spec = random_spec(&RandomSpecConfig {
-        entities,
-        tuples_per_entity: (2, 3),
-        attrs: 2,
-        value_pool: 4,
-        order_density: 0.0,
-        monotone_constraints: 2,
-        correlated_constraints: 1,
-        with_copy: true,
-        seed: 7,
-    });
-    assert!(
-        currency_reason::cps(&spec).expect("valid spec"),
-        "bench spec must be consistent — an inconsistent one measures \
-         only the vacuous-truth path"
-    );
-    spec
-}
-
-fn cop_queries(spec: &currency_core::Specification) -> Vec<CurrencyOrderQuery> {
-    let len = spec.instance(T).len() as u32;
-    (0..N_COP as u32)
-        .map(|i| {
-            CurrencyOrderQuery::single(
-                T,
-                AttrId(i % 2),
-                TupleId(i % len),
-                TupleId((i * 7 + 1) % len),
-            )
-        })
-        .collect()
-}
-
-fn ccqa_query(spec: &currency_core::Specification) -> currency_query::Query {
-    currency_query::SpQuery::identity(T, spec.instance(T).arity())
-        .to_query(spec.instance(T).arity())
-}
 
 fn bench_amortized(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_amortized");
     for entities in [8usize, 32, 128] {
-        let spec = spec_for(entities);
-        let queries = cop_queries(&spec);
-        let q = ccqa_query(&spec);
+        let spec = scenarios::amortized_spec(entities);
+        let queries = scenarios::amortized_cop_queries(&spec);
+        let q = scenarios::amortized_ccqa_query(&spec);
         let opts = Options::default();
 
         group.bench_with_input(

@@ -1,0 +1,39 @@
+//! E-SCALE: lazy vs eager transitivity grounding on one large entity
+//! group.
+//!
+//! The reduction's only cubic term is the eagerly-grounded transitivity
+//! axiom — `n·(n-1)·(n-2)` triangle clauses per attribute for an entity
+//! group of `n` tuples.  The cleaning-oriented workloads (Improve3C-style
+//! whole-relation repair) live exactly in this large-group regime.  This
+//! target sweeps the group size for both [`TransitivityMode`]s over
+//! [`currency_bench::scenarios::big_group_spec`]: a consistent spec whose
+//! monotone constraint pins every pair, so the measured work is encoding
+//! plus a real (non-vacuous) CPS decision and one certain COP query.
+//!
+//! The machine-readable companion (`bench_engine` bin) writes the same
+//! series to `BENCH_engine.json`; this target is for interactive
+//! `cargo bench` sweeps.
+
+use criterion::{BenchmarkId, Criterion};
+use currency_bench::{quick_criterion, scenarios};
+use currency_reason::TransitivityMode;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling");
+    for n in [8usize, 16, 32, 64] {
+        let spec = scenarios::big_group_spec(n);
+        group.bench_with_input(BenchmarkId::new("lazy/group_size", n), &spec, |b, spec| {
+            b.iter(|| scenarios::big_group_workload(spec, TransitivityMode::Lazy).stats())
+        });
+        group.bench_with_input(BenchmarkId::new("eager/group_size", n), &spec, |b, spec| {
+            b.iter(|| scenarios::big_group_workload(spec, TransitivityMode::Eager).stats())
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_scaling(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,244 @@
+//! Machine-readable engine benchmark: runs the amortized repeated-query
+//! workload and the lazy-vs-eager transitivity scaling sweep, then writes
+//! `BENCH_engine.json` so the performance trajectory is tracked across
+//! PRs.
+//!
+//! ```text
+//! bench_engine [--fast] [--check] [--out PATH]
+//! ```
+//!
+//! * `--fast` — CI smoke shape: fewer samples, smaller sweeps, lazy-only
+//!   at the largest group size (seconds, not minutes);
+//! * `--check` — exit non-zero if the 64-tuple-group lazy scenario
+//!   regresses: wall time past the generous [`LAZY_64_THRESHOLD_NS`], or
+//!   stored-clause count past the deterministic
+//!   [`LAZY_64_CLAUSE_LIMIT`] (which catches an accidental eager
+//!   fallback without timing noise);
+//! * `--out PATH` — where to write the JSON (default
+//!   `BENCH_engine.json`).
+
+use currency_bench::measure::{measure, measure_once, Measurement};
+use currency_bench::scenarios;
+use currency_reason::{
+    certain_answers_exact_monolithic, cop_exact_monolithic, CurrencyEngine, Options,
+    TransitivityMode,
+};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Wall-time regression guard for `--check`: lazy end-to-end (engine
+/// build + CPS + one COP) on the 64-tuple single-group scenario.
+/// Measured ≈ 0.85 ms on the reference container; the threshold is ~60×
+/// generous so shared-runner noise cannot fail it.  The *deterministic*
+/// eager-fallback guard is [`LAZY_64_CLAUSE_LIMIT`].
+const LAZY_64_THRESHOLD_NS: f64 = 50_000_000.0; // 50 ms
+
+/// Deterministic regression guard for `--check`: stored clauses in the
+/// lazy engine on the 64-tuple-group scenario.  Lazy grounding stores no
+/// transitivity clauses up front (this scenario stores 0 clauses — its
+/// ground rules simplify to level-0 units — and refinement lemmas stay
+/// in the hundreds at worst); an accidental eager fallback stores the
+/// full 64·63·62 ≈ 250k triangles.  Timing-independent, so it cannot
+/// flake on slow runners.
+const LAZY_64_CLAUSE_LIMIT: usize = 10_000;
+
+struct Args {
+    fast: bool,
+    check: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        fast: false,
+        check: false,
+        out: "BENCH_engine.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => args.fast = true,
+            "--check" => args.check = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (expected --fast/--check/--out)"),
+        }
+    }
+    args
+}
+
+fn push_measurement(json: &mut String, m: &Measurement) {
+    let _ = write!(
+        json,
+        "{{\"median_ns\": {:.0}, \"min_ns\": {:.0}, \"mean_ns\": {:.0}, \
+         \"samples\": {}, \"iters\": {}}}",
+        m.median_ns, m.min_ns, m.mean_ns, m.samples, m.iters
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let (samples, warmup, window) = if args.fast {
+        (3, Duration::from_millis(50), Duration::from_millis(120))
+    } else {
+        (9, Duration::from_millis(200), Duration::from_millis(450))
+    };
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": 1,\n  \"bench\": \"engine\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if args.fast { "fast" } else { "full" }
+    );
+
+    // ------------------------------------------------------------------
+    // Amortized repeated-query workload (engine vs prebuilt vs re-encode).
+    // ------------------------------------------------------------------
+    let entity_sweep: &[usize] = if args.fast { &[8, 32] } else { &[8, 32, 128] };
+    json.push_str("  \"amortized\": [\n");
+    for (ix, &entities) in entity_sweep.iter().enumerate() {
+        eprintln!("amortized: entities = {entities}");
+        let spec = scenarios::amortized_spec(entities);
+        let queries = scenarios::amortized_cop_queries(&spec);
+        let q = scenarios::amortized_ccqa_query(&spec);
+        let opts = Options::default();
+        let engine = measure(samples, warmup, window, || {
+            let engine = CurrencyEngine::new(&spec, &opts).unwrap();
+            for query in &queries {
+                std::hint::black_box(engine.cop(query).unwrap());
+            }
+            std::hint::black_box(engine.certain_answers(&q).unwrap());
+        });
+        let prebuilt_engine = CurrencyEngine::new(&spec, &opts).unwrap();
+        prebuilt_engine.cps().unwrap();
+        let prebuilt = measure(samples, warmup, window, || {
+            for query in &queries {
+                std::hint::black_box(prebuilt_engine.cop(query).unwrap());
+            }
+            std::hint::black_box(prebuilt_engine.certain_answers(&q).unwrap());
+        });
+        let reencode = measure(samples, warmup, window, || {
+            for query in &queries {
+                std::hint::black_box(cop_exact_monolithic(&spec, query).unwrap());
+            }
+            std::hint::black_box(certain_answers_exact_monolithic(&spec, &q, &opts).unwrap());
+        });
+        let _ = write!(json, "    {{\"entities\": {entities}, \"engine\": ");
+        push_measurement(&mut json, &engine);
+        json.push_str(", \"prebuilt\": ");
+        push_measurement(&mut json, &prebuilt);
+        json.push_str(", \"reencode\": ");
+        push_measurement(&mut json, &reencode);
+        json.push('}');
+        if ix + 1 < entity_sweep.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ],\n");
+
+    // ------------------------------------------------------------------
+    // Lazy vs eager transitivity scaling on one large entity group.
+    // ------------------------------------------------------------------
+    let group_sweep: &[usize] = if args.fast {
+        &[16, 64]
+    } else {
+        &[16, 32, 64, 128]
+    };
+    let mut lazy_64_median: Option<f64> = None;
+    let mut lazy_64_clauses: Option<usize> = None;
+    json.push_str("  \"scaling\": [\n");
+    for (ix, &n) in group_sweep.iter().enumerate() {
+        eprintln!("scaling: group size = {n}");
+        let spec = scenarios::big_group_spec(n);
+        // Capture the per-run solver counters from the measured workload
+        // itself (every iteration builds an identical engine, so the last
+        // iteration's stats are the stats).
+        let mut lazy_stats = currency_reason::EngineStats::default();
+        let lazy = measure(samples, warmup, window, || {
+            lazy_stats = scenarios::big_group_workload(&spec, TransitivityMode::Lazy).stats();
+            std::hint::black_box(&lazy_stats);
+        });
+        if n == 64 {
+            lazy_64_median = Some(lazy.median_ns);
+            lazy_64_clauses = Some(lazy_stats.clauses);
+        }
+        // Eager grounding is cubic; at n = 128 (≈ 2M clauses) measure one
+        // shot rather than filling a sampling window, and skip it entirely
+        // in fast mode.
+        let eager = if args.fast {
+            None
+        } else if n > 64 {
+            Some(measure_once(|| {
+                std::hint::black_box(
+                    scenarios::big_group_workload(&spec, TransitivityMode::Eager).stats(),
+                );
+            }))
+        } else {
+            Some(measure(samples, warmup, window, || {
+                std::hint::black_box(
+                    scenarios::big_group_workload(&spec, TransitivityMode::Eager).stats(),
+                );
+            }))
+        };
+        let _ = write!(json, "    {{\"group_size\": {n}, \"lazy\": ");
+        push_measurement(&mut json, &lazy);
+        let _ = write!(
+            json,
+            ", \"lazy_vars\": {}, \"lazy_clauses\": {}, \"lazy_lemmas\": {}",
+            lazy_stats.vars, lazy_stats.clauses, lazy_stats.sat.lemmas_added
+        );
+        match &eager {
+            Some(e) => {
+                json.push_str(", \"eager\": ");
+                push_measurement(&mut json, e);
+                let _ = write!(
+                    json,
+                    ", \"eager_over_lazy\": {:.1}",
+                    e.median_ns / lazy.median_ns
+                );
+            }
+            None => json.push_str(", \"eager\": null"),
+        }
+        json.push('}');
+        if ix + 1 < group_sweep.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ],\n");
+
+    // ------------------------------------------------------------------
+    // Threshold verdicts (informational unless --check).
+    // ------------------------------------------------------------------
+    let lazy_64 = lazy_64_median.expect("sweep includes n = 64");
+    let clauses_64 = lazy_64_clauses.expect("sweep includes n = 64");
+    let time_ok = lazy_64 <= LAZY_64_THRESHOLD_NS;
+    let clauses_ok = clauses_64 <= LAZY_64_CLAUSE_LIMIT;
+    let pass = time_ok && clauses_ok;
+    let _ = write!(
+        json,
+        "  \"check\": {{\"lazy_64_median_ns\": {lazy_64:.0}, \
+         \"lazy_64_threshold_ns\": {LAZY_64_THRESHOLD_NS:.0}, \
+         \"lazy_64_clauses\": {clauses_64}, \
+         \"lazy_64_clause_limit\": {LAZY_64_CLAUSE_LIMIT}, \"pass\": {pass}}}\n}}\n"
+    );
+
+    std::fs::write(&args.out, &json).expect("write bench JSON");
+    eprintln!("wrote {}", args.out);
+    if args.check && !pass {
+        if !clauses_ok {
+            eprintln!(
+                "REGRESSION: lazy 64-tuple-group engine stores {clauses_64} clauses \
+                 (limit {LAZY_64_CLAUSE_LIMIT}) — accidental eager fallback?"
+            );
+        }
+        if !time_ok {
+            eprintln!(
+                "REGRESSION: lazy 64-tuple-group median {:.2} ms exceeds threshold {:.0} ms",
+                lazy_64 / 1e6,
+                LAZY_64_THRESHOLD_NS / 1e6
+            );
+        }
+        std::process::exit(1);
+    }
+}

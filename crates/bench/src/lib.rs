@@ -24,6 +24,9 @@
 use criterion::Criterion;
 use std::time::Duration;
 
+pub mod measure;
+pub mod scenarios;
+
 /// Criterion configured for the sweep-style benches of this harness:
 /// small sample counts (the solvers are deterministic; variance comes
 /// from the allocator, not the algorithm) and bounded measurement time so

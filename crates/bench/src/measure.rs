@@ -1,0 +1,112 @@
+//! Programmatic wall-clock measurement for the machine-readable bench
+//! binary (`bench_engine`).
+//!
+//! The criterion shim prints human-readable lines; this module returns
+//! the numbers, so `bench_engine` can write `BENCH_engine.json` and the
+//! CI smoke step can enforce thresholds.  The methodology matches the
+//! shim: warm up, pick an iteration count that fills the per-sample
+//! window, take `samples` samples, report the median.
+
+use std::time::{Duration, Instant};
+
+/// One measured series.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample (ns per iteration).
+    pub min_ns: f64,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+/// Measure `routine`, amortizing cheap routines over enough iterations to
+/// fill `per_sample` per sample.  Slow routines (≥ `per_sample`) run once
+/// per sample.
+pub fn measure(
+    samples: usize,
+    warmup: Duration,
+    per_sample: Duration,
+    mut routine: impl FnMut(),
+) -> Measurement {
+    let samples = samples.max(1);
+    // Warm-up doubles as the per-iteration cost estimate.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    loop {
+        routine();
+        warm_iters += 1;
+        if warm_start.elapsed() >= warmup {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed() / warm_iters as u32;
+    let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    Measurement {
+        median_ns: samples_ns[samples_ns.len() / 2],
+        min_ns: samples_ns[0],
+        mean_ns: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64,
+        samples,
+        iters,
+    }
+}
+
+/// Time a single execution (for expensive one-shot series like eager
+/// grounding at large group sizes).
+pub fn measure_once(mut routine: impl FnMut()) -> Measurement {
+    let start = Instant::now();
+    routine();
+    let ns = start.elapsed().as_nanos() as f64;
+    Measurement {
+        median_ns: ns,
+        min_ns: ns,
+        mean_ns: ns,
+        samples: 1,
+        iters: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_sane_numbers() {
+        let mut calls = 0u64;
+        let m = measure(
+            3,
+            Duration::from_millis(2),
+            Duration::from_millis(4),
+            || {
+                calls += 1;
+                std::hint::black_box(calls);
+            },
+        );
+        assert!(calls > 0);
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns);
+        assert_eq!(m.samples, 3);
+    }
+
+    #[test]
+    fn measure_once_is_single_shot() {
+        let mut calls = 0u64;
+        let m = measure_once(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(m.iters, 1);
+        assert!(m.median_ns > 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared benchmark scenarios, used by both the criterion-style bench
+//! targets and the machine-readable `bench_engine` binary.
+
+use currency_core::{
+    AttrId, Catalog, CmpOp, DenialConstraint, Eid, RelId, RelationSchema, Specification, Term,
+    Tuple, TupleId, Value,
+};
+use currency_datagen::random::{random_spec, RandomSpecConfig};
+use currency_query::{Query, SpQuery};
+use currency_reason::{CurrencyEngine, CurrencyOrderQuery, Options, TransitivityMode};
+
+/// The target relation of the generated workloads.
+pub const T: RelId = RelId(0);
+/// COP queries per amortized-workload iteration.
+pub const N_COP: usize = 32;
+
+/// A **consistent** multi-entity specification for the amortized
+/// repeated-query workload (asserted: an inconsistent spec would measure
+/// only the vacuous-truth path).
+pub fn amortized_spec(entities: usize) -> Specification {
+    let spec = random_spec(&RandomSpecConfig {
+        entities,
+        tuples_per_entity: (2, 3),
+        attrs: 2,
+        value_pool: 4,
+        order_density: 0.0,
+        monotone_constraints: 2,
+        correlated_constraints: 1,
+        with_copy: true,
+        seed: 7,
+    });
+    assert!(
+        currency_reason::cps(&spec).expect("valid spec"),
+        "bench spec must be consistent — an inconsistent one measures \
+         only the vacuous-truth path"
+    );
+    spec
+}
+
+/// The amortized workload's COP query batch.
+pub fn amortized_cop_queries(spec: &Specification) -> Vec<CurrencyOrderQuery> {
+    let len = spec.instance(T).len() as u32;
+    (0..N_COP as u32)
+        .map(|i| {
+            CurrencyOrderQuery::single(
+                T,
+                AttrId(i % 2),
+                TupleId(i % len),
+                TupleId((i * 7 + 1) % len),
+            )
+        })
+        .collect()
+}
+
+/// The amortized workload's CCQA identity query.
+pub fn amortized_ccqa_query(spec: &Specification) -> Query {
+    SpQuery::identity(T, spec.instance(T).arity()).to_query(spec.instance(T).arity())
+}
+
+/// One entity group of `n` tuples with strictly increasing values and a
+/// monotone denial constraint — consistent (the value order is the one
+/// completion), and every pair is constrained, so nothing short-circuits.
+/// This is the large-entity-group regime where eager transitivity
+/// grounding pays `n·(n-1)·(n-2)` clauses while the lazy closure walk
+/// typically grounds none.
+pub fn big_group_spec(n: usize) -> Specification {
+    let mut cat = Catalog::new();
+    let r = cat.add(RelationSchema::new("R", &["A"]));
+    let mut spec = Specification::new(cat);
+    for i in 0..n {
+        spec.instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(i as i64)]))
+            .expect("arity");
+    }
+    let dc = DenialConstraint::builder(r, 2)
+        .when_cmp(
+            Term::attr(0, AttrId(0)),
+            CmpOp::Gt,
+            Term::attr(1, AttrId(0)),
+        )
+        .then_order(1, AttrId(0), 0)
+        .build()
+        .expect("valid constraint");
+    spec.add_constraint(dc).expect("constraint applies");
+    spec
+}
+
+/// The scaling workload: build an engine over [`big_group_spec`] with the
+/// given transitivity mode, decide CPS, and answer one certain COP query.
+/// Returns the engine so callers can read its stats.
+pub fn big_group_workload(spec: &Specification, mode: TransitivityMode) -> CurrencyEngine<'_> {
+    let opts = Options {
+        transitivity: mode,
+        threads: 1,
+        ..Options::default()
+    };
+    let engine = CurrencyEngine::with_value_rels(spec, &[], &opts).expect("valid spec");
+    assert!(engine.cps().expect("in budget"), "spec is consistent");
+    let q = CurrencyOrderQuery::single(T, AttrId(0), TupleId(0), TupleId(1));
+    assert!(engine.cop(&q).expect("in budget"), "0 ≺ 1 is forced");
+    engine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_group_spec_is_consistent_and_scaling_workload_runs() {
+        let spec = big_group_spec(8);
+        for mode in [TransitivityMode::Eager, TransitivityMode::Lazy] {
+            let engine = big_group_workload(&spec, mode);
+            assert_eq!(engine.partition().len(), 1, "one entity, one component");
+        }
+    }
+
+    #[test]
+    fn amortized_spec_shapes_hold() {
+        let spec = amortized_spec(8);
+        assert!(!amortized_cop_queries(&spec).is_empty());
+        let _ = amortized_ccqa_query(&spec);
+    }
+}

@@ -122,12 +122,10 @@ pub fn certain_answers_exact_monolithic(
     let mut enc = Encoding::new(spec, &rels)?;
     let projection = enc.value_projection().to_vec();
     let mut models: Vec<Vec<bool>> = Vec::new();
-    let enumeration = enc
-        .solver
-        .for_each_model(&projection, opts.max_models, |m| {
-            models.push(m.to_vec());
-            true
-        });
+    let enumeration = enc.for_each_model(&projection, opts.max_models, |m| {
+        models.push(m.to_vec());
+        true
+    });
     if matches!(enumeration, Enumeration::LimitReached(_)) {
         return Err(ReasonError::BudgetExceeded {
             what: "current-instance enumeration (CCQA)",

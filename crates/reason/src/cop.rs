@@ -60,14 +60,14 @@ pub fn cop_exact_monolithic(
     ot: &CurrencyOrderQuery,
 ) -> Result<bool, ReasonError> {
     let mut enc = Encoding::new(spec, &[])?;
-    if enc.solver.solve() == SolveResult::Unsat {
+    if enc.solve() == SolveResult::Unsat {
         return Ok(true); // Mod(S) = ∅: vacuously certain
     }
     for &(attr, lesser, greater) in &ot.pairs {
         match enc.order_lit(ot.rel, attr, lesser, greater) {
             None => return Ok(false), // reflexive or cross-entity: never holds
             Some(l) => {
-                if enc.solver.solve_with_assumptions(&[!l]) == SolveResult::Sat {
+                if enc.solve_with_assumptions(&[!l]) == SolveResult::Sat {
                     return Ok(false);
                 }
             }

@@ -36,7 +36,7 @@ pub fn cps_exact(spec: &Specification) -> Result<bool, ReasonError> {
 /// pre-partitioning path, kept for differential testing).
 pub fn cps_exact_monolithic(spec: &Specification) -> Result<bool, ReasonError> {
     let mut enc = Encoding::new(spec, &[])?;
-    Ok(enc.solver.solve() == SolveResult::Sat)
+    Ok(enc.solve() == SolveResult::Sat)
 }
 
 /// Decide CPS with the PTIME fixpoint of paper Theorem 6.1.
@@ -76,7 +76,7 @@ pub fn witness_completion_monolithic(
     spec: &Specification,
 ) -> Result<Option<Completion>, ReasonError> {
     let mut enc = Encoding::new(spec, &[])?;
-    if enc.solver.solve() == SolveResult::Unsat {
+    if enc.solve() == SolveResult::Unsat {
         return Ok(None);
     }
     let completion = enc.decode_completion(spec)?;

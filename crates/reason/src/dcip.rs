@@ -46,12 +46,10 @@ pub fn dcip_exact_monolithic(
     // distinct current instances (an indicator is true iff its value is the
     // current one), so the enumeration can stop after two models.
     let mut models: Vec<Vec<bool>> = Vec::new();
-    let enumeration = enc
-        .solver
-        .for_each_model(&projection, opts.max_models, |m| {
-            models.push(m.to_vec());
-            models.len() < 2
-        });
+    let enumeration = enc.for_each_model(&projection, opts.max_models, |m| {
+        models.push(m.to_vec());
+        models.len() < 2
+    });
     if matches!(enumeration, Enumeration::LimitReached(_)) {
         return Err(ReasonError::BudgetExceeded {
             what: "current-instance enumeration (DCIP)",

@@ -3,12 +3,20 @@
 //! A consistent completion of a specification is encoded as a model of a
 //! CNF formula over *order variables*:
 //!
-//! * for every relation, attribute `A`, entity and unordered pair `{u, v}`
-//!   of the entity's tuples there is one Boolean variable whose truth
-//!   means `u ≺_A v` (its falsity means `v ≺_A u`) — totality and
-//!   antisymmetry are therefore structural, not clausal;
-//! * transitivity is grounded per entity group: for each ordered triple
-//!   `(x, y, z)`, the clause `x≺y ∧ y≺z → x≺z`;
+//! * for every relation, **referenced** attribute `A`, entity and
+//!   unordered pair `{u, v}` of the entity's tuples there is one Boolean
+//!   variable whose truth means `u ≺_A v` (its falsity means `v ≺_A u`) —
+//!   totality and antisymmetry are therefore structural, not clausal.  An
+//!   attribute is referenced when an initial order, ground rule, copy
+//!   obligation, or value indicator of this encoding's scope touches it;
+//!   unreferenced attributes admit every total order, so they need no
+//!   variables at all ([`Encoding::order_lit`] returns `None` and every
+//!   consumer already treats that as "unconstrained");
+//! * transitivity is grounded per entity group — eagerly (for each
+//!   ordered triple `(x, y, z)` the clause `x≺y ∧ y≺z → x≺z`) or
+//!   **lazily** (no triangle clauses up front; candidate models are
+//!   checked by a closure walk and only *violated* triangles are added as
+//!   lemmas, see [`TransitivityMode`]);
 //! * the initial partial orders contribute unit clauses;
 //! * every ground rule of every denial constraint contributes the clause
 //!   `¬p₁ ∨ … ∨ ¬pₘ ∨ c` (falsum conclusions drop `c`);
@@ -16,8 +24,12 @@
 //!   the binary implication `s₁≺s₂ → t₁≺t₂`.
 //!
 //! Models of this CNF are exactly the consistent completions of the
-//! specification (`Mod(S)`), so CPS is one `solve()` call and COP is an
-//! entailment query under one assumption.
+//! specification (`Mod(S)`), so CPS is one [`Encoding::solve`] call and
+//! COP is an entailment query under one assumption.  In lazy mode those
+//! calls loop — solve, closure-check, lemmatize — until the model is
+//! transitive or the instance is refuted; the lemmas are sound
+//! consequences of the eager theory, so both modes decide the same
+//! problems.
 //!
 //! For the current-instance problems (DCIP, CCQA) the encoding can
 //! additionally materialize, per `(relation, entity, attribute)`:
@@ -27,16 +39,19 @@
 //! * *value indicators* `y_v ⇔ ⋁_{t : t[A]=v} m_t` — the most current
 //!   value is `v`.
 //!
-//! Projected All-SAT over the value indicators enumerates exactly the
-//! realizable current instances, collapsing the (huge) completion space to
-//! the (small) space of distinct `LST` outcomes.
+//! Projected All-SAT over the value indicators
+//! ([`Encoding::for_each_model`], which re-checks closure per model in
+//! lazy mode) enumerates exactly the realizable current instances,
+//! collapsing the (huge) completion space to the (small) space of
+//! distinct `LST` outcomes.
 
-use crate::partition::Component;
+use crate::partition::{Component, GroundRuleAt, ObligationAt};
+use crate::TransitivityMode;
 use currency_core::{
     AttrId, Completion, CurrencyError, Eid, NormalInstance, RelCompletion, RelId, Specification,
     Tuple, TupleId, Value,
 };
-use currency_sat::{Lit, Solver, Var};
+use currency_sat::{enumerate_projected, Enumeration, Lit, ModelSource, SolveResult, Solver, Var};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// How the current value of one `(relation, entity, attribute)` cell is
@@ -52,6 +67,16 @@ pub enum ValueChoice {
     Choice(Vec<(Value, usize)>),
 }
 
+/// One entity group whose transitivity is enforced lazily: the tuples of
+/// a `(relation, attribute, entity)` cell with ≥ 3 members (smaller
+/// groups have no triangles).
+#[derive(Clone, Debug)]
+struct LazyGroup {
+    rel: RelId,
+    attr: AttrId,
+    tuples: Vec<TupleId>,
+}
+
 /// A specification compiled to CNF (see module docs).
 ///
 /// An encoding covers either the whole specification
@@ -60,10 +85,20 @@ pub enum ValueChoice {
 /// order variables, clauses, and value indicators of its component's
 /// `(relation, entity)` cells, and its decode methods report rows and
 /// chains for those cells only.
+///
+/// Callers must reach satisfiability through [`Encoding::solve`],
+/// [`Encoding::solve_with_assumptions`] or [`Encoding::for_each_model`]
+/// rather than the raw solver: in lazy mode those wrappers run the
+/// refinement loop that makes a `Sat` answer trustworthy.
 #[derive(Clone, Debug)]
 pub struct Encoding {
-    /// The solver loaded with the specification's clauses.
-    pub solver: Solver,
+    /// The solver loaded with the specification's clauses.  Private so
+    /// that satisfiability can only be reached through the mode-aware
+    /// wrappers ([`Encoding::solve`], [`Encoding::solve_with_assumptions`],
+    /// [`Encoding::for_each_model`]) — in lazy mode a raw solver `Sat`
+    /// without the closure-refinement loop could decode a non-transitive
+    /// order.
+    solver: Solver,
     /// `(rel, attr, u, v)` with `u < v` → order variable (`true` ⇔ `u ≺ v`).
     order_vars: HashMap<(RelId, AttrId, TupleId, TupleId), Var>,
     /// Current-value representation per encoded cell.
@@ -74,38 +109,68 @@ pub struct Encoding {
     value_rels: Vec<RelId>,
     /// `(relation, entity)` cells covered; `None` = the whole spec.
     scope: Option<BTreeSet<(RelId, Eid)>>,
+    /// Transitivity grounding strategy.
+    mode: TransitivityMode,
+    /// Closure-checked groups (empty in eager mode).
+    lazy_groups: Vec<LazyGroup>,
 }
 
 impl Encoding {
-    /// Compile `spec`.  `value_rels` lists the relations whose current
-    /// instances must be enumerable (pass `&[]` for pure CPS/COP use).
+    /// Compile `spec` with eagerly-grounded transitivity.  `value_rels`
+    /// lists the relations whose current instances must be enumerable
+    /// (pass `&[]` for pure CPS/COP use).
     ///
-    /// Fails if the specification is structurally invalid
-    /// ([`Specification::validate`]).
+    /// This is the whole-specification reference path (used by the
+    /// `*_monolithic` functions); engines prefer
+    /// [`Encoding::for_component`] with a caller-chosen
+    /// [`TransitivityMode`].  Fails if the specification is structurally
+    /// invalid ([`Specification::validate`]).
     pub fn new(spec: &Specification, value_rels: &[RelId]) -> Result<Encoding, CurrencyError> {
+        Encoding::with_mode(spec, value_rels, TransitivityMode::Eager)
+    }
+
+    /// Compile `spec` with the given transitivity strategy.
+    pub fn with_mode(
+        spec: &Specification,
+        value_rels: &[RelId],
+        mode: TransitivityMode,
+    ) -> Result<Encoding, CurrencyError> {
         spec.validate()?;
-        let mut enc = Encoding::empty(value_rels, None);
-        enc.alloc_order_vars(spec);
-        enc.add_transitivity(spec);
-        enc.add_initial_orders(spec);
+        // Ground every constraint and obligation once, exactly as the
+        // partition does for components, so the construction below is
+        // shared verbatim with the scoped path.
+        let mut rules: Vec<GroundRuleAt> = Vec::new();
         for dc in spec.constraints() {
             let inst = spec.instance(dc.rel());
             for rule in dc.ground(inst) {
-                enc.add_ground_rule(dc.rel(), &rule);
+                rules.push(GroundRuleAt {
+                    rel: dc.rel(),
+                    rule,
+                });
             }
         }
+        let mut obligations: Vec<ObligationAt> = Vec::new();
         for cf in spec.copies() {
             let sig = cf.signature();
             let target = spec.instance(sig.target);
             let source = spec.instance(sig.source);
             for (src_edge, tgt_edge) in cf.compatibility_obligations(target, source) {
-                enc.add_obligation(sig.source, &src_edge, sig.target, &tgt_edge);
+                obligations.push(ObligationAt {
+                    source_rel: sig.source,
+                    source_edge: src_edge,
+                    target_rel: sig.target,
+                    target_edge: tgt_edge,
+                });
             }
         }
-        for &rel in value_rels {
-            enc.add_value_indicators(spec, rel);
-        }
-        Ok(enc)
+        Ok(Encoding::build(
+            spec,
+            value_rels,
+            None,
+            &rules,
+            &obligations,
+            mode,
+        ))
     }
 
     /// Compile one entity component of `spec` (see [`crate::partition`]).
@@ -117,15 +182,48 @@ impl Encoding {
         spec: &Specification,
         value_rels: &[RelId],
         component: &Component,
+        mode: TransitivityMode,
     ) -> Encoding {
-        let mut enc = Encoding::empty(value_rels, Some(component.cells.clone()));
-        enc.alloc_order_vars(spec);
-        enc.add_transitivity(spec);
+        Encoding::build(
+            spec,
+            value_rels,
+            Some(component.cells.clone()),
+            &component.rules,
+            &component.obligations,
+            mode,
+        )
+    }
+
+    /// The shared construction pass over pre-grounded artifacts.
+    fn build(
+        spec: &Specification,
+        value_rels: &[RelId],
+        scope: Option<BTreeSet<(RelId, Eid)>>,
+        rules: &[GroundRuleAt],
+        obligations: &[ObligationAt],
+        mode: TransitivityMode,
+    ) -> Encoding {
+        let mut enc = Encoding {
+            solver: Solver::new(),
+            order_vars: HashMap::new(),
+            value_choices: BTreeMap::new(),
+            value_projection: Vec::new(),
+            value_rels: value_rels.to_vec(),
+            scope,
+            mode,
+            lazy_groups: Vec::new(),
+        };
+        let referenced = enc.referenced_attrs(spec, rules, obligations);
+        enc.alloc_order_vars(spec, &referenced);
+        match mode {
+            TransitivityMode::Eager => enc.add_transitivity(spec, &referenced),
+            TransitivityMode::Lazy => enc.collect_lazy_groups(spec, &referenced),
+        }
         enc.add_initial_orders(spec);
-        for r in &component.rules {
+        for r in rules {
             enc.add_ground_rule(r.rel, &r.rule);
         }
-        for ob in &component.obligations {
+        for ob in obligations {
             enc.add_obligation(
                 ob.source_rel,
                 &ob.source_edge,
@@ -139,14 +237,85 @@ impl Encoding {
         enc
     }
 
-    fn empty(value_rels: &[RelId], scope: Option<BTreeSet<(RelId, Eid)>>) -> Encoding {
-        Encoding {
-            solver: Solver::new(),
-            order_vars: HashMap::new(),
-            value_choices: BTreeMap::new(),
-            value_projection: Vec::new(),
-            value_rels: value_rels.to_vec(),
-            scope,
+    /// The `(relation, attribute)` pairs actually constrained within this
+    /// encoding's scope.  Only these get order variables: an attribute no
+    /// initial order, rule, obligation, or value indicator touches admits
+    /// every total order, so allocating its `O(n²)` pair variables (and,
+    /// eagerly, its `O(n³)` triangle clauses) would be pure waste.
+    fn referenced_attrs(
+        &self,
+        spec: &Specification,
+        rules: &[GroundRuleAt],
+        obligations: &[ObligationAt],
+    ) -> BTreeSet<(RelId, AttrId)> {
+        let mut refd: BTreeSet<(RelId, AttrId)> = BTreeSet::new();
+        for inst in spec.instances() {
+            let rel = inst.rel();
+            for a in 0..inst.arity() {
+                let attr = AttrId(a as u32);
+                if inst
+                    .order(attr)
+                    .iter()
+                    .any(|(u, _)| self.in_scope(rel, inst.tuple(u).eid))
+                {
+                    refd.insert((rel, attr));
+                }
+            }
+        }
+        for r in rules {
+            for edge in r.rule.premises.iter().chain(r.rule.conclusion.as_ref()) {
+                refd.insert((r.rel, edge.attr));
+            }
+        }
+        for ob in obligations {
+            refd.insert((ob.source_rel, ob.source_edge.attr));
+            refd.insert((ob.target_rel, ob.target_edge.attr));
+        }
+        // Value indicators need the order relation of any attribute on
+        // which some in-scope entity group disagrees (max indicators
+        // quantify over the group's pairs).
+        for (rel, _, group) in self.groups_in_scope(spec) {
+            if group.len() < 2 || !self.value_rels.contains(&rel) {
+                continue;
+            }
+            let inst = spec.instance(rel);
+            for a in 0..inst.arity() {
+                let attr = AttrId(a as u32);
+                if refd.contains(&(rel, attr)) {
+                    continue;
+                }
+                let first = inst.tuple(group[0]).value(attr);
+                if group[1..]
+                    .iter()
+                    .any(|&t| inst.tuple(t).value(attr) != first)
+                {
+                    refd.insert((rel, attr));
+                }
+            }
+        }
+        refd
+    }
+
+    /// The `(rel, eid, group)` cells this encoding covers: a component
+    /// encoding walks its own (few) scope cells, the unscoped form every
+    /// entity group — construction cost then scales with the component,
+    /// not the specification (the engine builds one encoding *per*
+    /// component, so a full-spec scan here would make engine construction
+    /// O(components × spec)).
+    fn groups_in_scope<'s>(
+        &'s self,
+        spec: &'s Specification,
+    ) -> Box<dyn Iterator<Item = (RelId, Eid, &'s [TupleId])> + 's> {
+        match &self.scope {
+            Some(cells) => Box::new(
+                cells
+                    .iter()
+                    .map(move |&(rel, eid)| (rel, eid, spec.instance(rel).entity_group(eid))),
+            ),
+            None => Box::new(spec.instances().iter().flat_map(|inst| {
+                inst.entity_groups()
+                    .map(move |(eid, group)| (inst.rel(), eid, group))
+            })),
         }
     }
 
@@ -177,7 +346,7 @@ impl Encoding {
     }
 
     /// The literal asserting `lesser ≺_attr greater`, if the pair is
-    /// same-entity (and thus has a variable).
+    /// same-entity on a referenced attribute (and thus has a variable).
     pub fn order_lit(
         &self,
         rel: RelId,
@@ -198,7 +367,140 @@ impl Encoding {
             .map(|v| v.lit(positive))
     }
 
-    /// The value-indicator projection (for [`Solver::for_each_model`]).
+    /// The transitivity grounding strategy this encoding was built with.
+    pub fn mode(&self) -> TransitivityMode {
+        self.mode
+    }
+
+    /// Number of solver variables (order variables plus value-indicator
+    /// auxiliaries).
+    pub fn num_vars(&self) -> usize {
+        self.solver.num_vars()
+    }
+
+    /// Number of solver clauses (original + lemmas + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.solver.num_clauses()
+    }
+
+    /// The underlying solver's counters.
+    pub fn solver_stats(&self) -> currency_sat::SolverStats {
+        self.solver.stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Solving (mode-aware)
+    // ------------------------------------------------------------------
+
+    /// Check satisfiability, running the lazy refinement loop if needed.
+    ///
+    /// After `Sat`, the solver's model is guaranteed transitive on every
+    /// encoded group, so decode helpers ([`Encoding::model_chains`],
+    /// [`Encoding::decode_completion`]) are safe in both modes.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Check satisfiability under assumed literals, running the lazy
+    /// refinement loop if needed.  Lemmas added by refinement persist in
+    /// the solver (they are assumption-independent consequences of the
+    /// transitivity axiom), so repeated queries against one encoding
+    /// amortize the refinement work.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        loop {
+            if self.solver.solve_with_assumptions(assumptions) == SolveResult::Unsat {
+                return SolveResult::Unsat;
+            }
+            if self.mode == TransitivityMode::Eager || self.refine_transitivity() == 0 {
+                return SolveResult::Sat;
+            }
+        }
+    }
+
+    /// Closure-check the current model and install every violated
+    /// triangle as a lemma; returns the number of lemmas added (0 ⇒ the
+    /// model is transitive).
+    ///
+    /// Per group of `n` tuples the walk builds successor bitsets in
+    /// `O(n²)` variable lookups and scans `succ(j) ∖ succ(i)` for every
+    /// model edge `i → j` in `O(n²·⌈n/64⌉)` word operations — far below
+    /// grounding cost, and the violated-triangle sets it yields are
+    /// usually tiny (the first candidate model per group is already a
+    /// total order unless constraints force reordering).
+    fn refine_transitivity(&mut self) -> usize {
+        let mut lemmas: Vec<[Lit; 3]> = Vec::new();
+        for g in &self.lazy_groups {
+            let n = g.tuples.len();
+            let words = n.div_ceil(64);
+            // succ[i] ∋ j ⇔ the model orders tuple i before tuple j.
+            let mut succ = vec![0u64; n * words];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let lit = self
+                        .order_lit(g.rel, g.attr, g.tuples[i], g.tuples[j])
+                        .expect("lazy group pairs have order vars");
+                    let fwd = self.solver.model_value(lit.var()) == lit.is_pos();
+                    if fwd {
+                        succ[i * words + j / 64] |= 1 << (j % 64);
+                    } else {
+                        succ[j * words + i / 64] |= 1 << (i % 64);
+                    }
+                }
+            }
+            // For each edge i → j, every k ∈ succ(j) ∖ succ(i) ∖ {i}
+            // closes a violated triangle i → j → k with k → i.
+            for i in 0..n {
+                for wi in 0..words {
+                    let mut js = succ[i * words + wi];
+                    while js != 0 {
+                        let j = wi * 64 + js.trailing_zeros() as usize;
+                        js &= js - 1;
+                        let ij = self
+                            .order_lit(g.rel, g.attr, g.tuples[i], g.tuples[j])
+                            .expect("same entity");
+                        for w in 0..words {
+                            let mut d = succ[j * words + w] & !succ[i * words + w];
+                            if w == i / 64 {
+                                d &= !(1u64 << (i % 64));
+                            }
+                            while d != 0 {
+                                let k = w * 64 + d.trailing_zeros() as usize;
+                                d &= d - 1;
+                                let jk = self
+                                    .order_lit(g.rel, g.attr, g.tuples[j], g.tuples[k])
+                                    .expect("same entity");
+                                let ik = self
+                                    .order_lit(g.rel, g.attr, g.tuples[i], g.tuples[k])
+                                    .expect("same entity");
+                                lemmas.push([!ij, !jk, ik]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for lemma in &lemmas {
+            self.solver.add_lemma(lemma);
+        }
+        lemmas.len()
+    }
+
+    /// Enumerate models projected onto `projection` (see
+    /// [`Solver::for_each_model`]), using mode-aware solving so that in
+    /// lazy mode every reported model has passed the closure check.
+    ///
+    /// Blocking clauses permanently constrain this encoding; callers that
+    /// need to reuse it should enumerate on a clone.
+    pub fn for_each_model(
+        &mut self,
+        projection: &[Var],
+        limit: usize,
+        f: impl FnMut(&[bool]) -> bool,
+    ) -> Enumeration {
+        enumerate_projected(self, projection, limit, f)
+    }
+
+    /// The value-indicator projection (for [`Encoding::for_each_model`]).
     pub fn value_projection(&self) -> &[Var] {
         &self.value_projection
     }
@@ -312,10 +614,14 @@ impl Encoding {
     }
 
     /// The per-attribute chains of this encoding's entities under the
-    /// solver's current model (valid after a `Sat` result): entries are
-    /// `(rel, attr, eid, chain)` with the chain ordered least → most
-    /// current.  The engine merges chains across components to assemble a
-    /// full [`Completion`].
+    /// solver's current model (valid after a `Sat` result from
+    /// [`Encoding::solve`]): entries are `(rel, attr, eid, chain)` with
+    /// the chain ordered least → most current.  The engine merges chains
+    /// across components to assemble a full [`Completion`].
+    ///
+    /// Unreferenced attributes have no order variables; their groups come
+    /// back in tuple-id order, which is a valid chain because nothing in
+    /// scope constrains them.
     pub fn model_chains(&self, spec: &Specification) -> Vec<(RelId, AttrId, Eid, Vec<TupleId>)> {
         let mut out = Vec::new();
         for inst in spec.instances() {
@@ -346,7 +652,7 @@ impl Encoding {
     }
 
     /// Decode the full completion witnessed by the solver's current model
-    /// (valid after a `Sat` result on [`Encoding::solver`]).
+    /// (valid after a `Sat` result from [`Encoding::solve`]).
     ///
     /// Only meaningful on an unscoped encoding — a component encoding
     /// covers a subset of the entities and cannot produce chains for the
@@ -392,54 +698,76 @@ impl Encoding {
     // Construction passes
     // ------------------------------------------------------------------
 
-    fn alloc_order_vars(&mut self, spec: &Specification) {
-        for inst in spec.instances() {
-            let rel = inst.rel();
-            for a in 0..inst.arity() {
+    /// The in-scope `(rel, attr, group)` triples of referenced attributes
+    /// — the O(cells × arity) worklist the quadratic/cubic construction
+    /// passes iterate so they can mutate `self` without holding the
+    /// `groups_in_scope` borrow.
+    fn referenced_groups(
+        &self,
+        spec: &Specification,
+        referenced: &BTreeSet<(RelId, AttrId)>,
+    ) -> Vec<(RelId, AttrId, Vec<TupleId>)> {
+        let mut out = Vec::new();
+        for (rel, _, group) in self.groups_in_scope(spec) {
+            let arity = spec.instance(rel).arity();
+            for a in 0..arity {
                 let attr = AttrId(a as u32);
-                for (eid, group) in inst.entity_groups() {
-                    if !self.in_scope(rel, eid) {
-                        continue;
-                    }
-                    for i in 0..group.len() {
-                        for j in (i + 1)..group.len() {
-                            let (u, v) = (group[i].min(group[j]), group[i].max(group[j]));
-                            let var = self.solver.new_var();
-                            self.order_vars.insert((rel, attr, u, v), var);
+                if referenced.contains(&(rel, attr)) {
+                    out.push((rel, attr, group.to_vec()));
+                }
+            }
+        }
+        out
+    }
+
+    fn alloc_order_vars(&mut self, spec: &Specification, referenced: &BTreeSet<(RelId, AttrId)>) {
+        for (rel, attr, group) in self.referenced_groups(spec, referenced) {
+            for i in 0..group.len() {
+                for j in (i + 1)..group.len() {
+                    let (u, v) = (group[i].min(group[j]), group[i].max(group[j]));
+                    let var = self.solver.new_var();
+                    self.order_vars.insert((rel, attr, u, v), var);
+                }
+            }
+        }
+    }
+
+    fn add_transitivity(&mut self, spec: &Specification, referenced: &BTreeSet<(RelId, AttrId)>) {
+        // Iterate an owned O(cells) group list, not groups_in_scope
+        // directly: the cubic clause stream is added straight to the
+        // solver instead of being buffered alongside the borrow.
+        for (rel, attr, group) in self.referenced_groups(spec, referenced) {
+            let n = group.len();
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        if i == j || j == k || i == k {
+                            continue;
                         }
+                        let (x, y, z) = (group[i], group[j], group[k]);
+                        let xy = self.order_lit(rel, attr, x, y).expect("same entity");
+                        let yz = self.order_lit(rel, attr, y, z).expect("same entity");
+                        let xz = self.order_lit(rel, attr, x, z).expect("same entity");
+                        self.solver.add_clause(&[!xy, !yz, xz]);
                     }
                 }
             }
         }
     }
 
-    fn add_transitivity(&mut self, spec: &Specification) {
-        for inst in spec.instances() {
-            let rel = inst.rel();
-            for a in 0..inst.arity() {
-                let attr = AttrId(a as u32);
-                for (eid, group) in inst.entity_groups() {
-                    if !self.in_scope(rel, eid) {
-                        continue;
-                    }
-                    let n = group.len();
-                    for i in 0..n {
-                        for j in 0..n {
-                            for k in 0..n {
-                                if i == j || j == k || i == k {
-                                    continue;
-                                }
-                                let (x, y, z) = (group[i], group[j], group[k]);
-                                let xy = self.order_lit(rel, attr, x, y).expect("same entity");
-                                let yz = self.order_lit(rel, attr, y, z).expect("same entity");
-                                let xz = self.order_lit(rel, attr, x, z).expect("same entity");
-                                self.solver.add_clause(&[!xy, !yz, xz]);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    /// Record the groups whose closure the lazy refinement loop checks.
+    fn collect_lazy_groups(
+        &mut self,
+        spec: &Specification,
+        referenced: &BTreeSet<(RelId, AttrId)>,
+    ) {
+        self.lazy_groups = self
+            .referenced_groups(spec, referenced)
+            // Groups of < 3 tuples have no triangles to violate.
+            .into_iter()
+            .filter(|(_, _, tuples)| tuples.len() >= 3)
+            .map(|(rel, attr, tuples)| LazyGroup { rel, attr, tuples })
+            .collect();
     }
 
     fn add_initial_orders(&mut self, spec: &Specification) {
@@ -567,6 +895,23 @@ impl Encoding {
     }
 }
 
+/// Mode-aware model source: `solve` runs the lazy refinement loop, so
+/// the shared enumeration protocol ([`enumerate_projected`]) only ever
+/// sees closure-checked models.
+impl ModelSource for Encoding {
+    fn solve(&mut self) -> SolveResult {
+        Encoding::solve(self)
+    }
+
+    fn model_value(&self, v: Var) -> bool {
+        self.solver.model_value(v)
+    }
+
+    fn block(&mut self, clause: &[Lit]) -> bool {
+        self.solver.add_clause(clause)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,11 +946,13 @@ mod tests {
     #[test]
     fn unconstrained_pair_is_sat_both_ways() {
         let (spec, r, t0, t1) = salary_spec();
-        let mut enc = Encoding::new(&spec, &[]).unwrap();
-        assert_eq!(enc.solver.solve(), SolveResult::Sat);
+        // Value indicators reference the attribute (distinct values), so
+        // its pair variable exists despite the absence of constraints.
+        let mut enc = Encoding::new(&spec, &[r]).unwrap();
+        assert_eq!(enc.solve(), SolveResult::Sat);
         let l = enc.order_lit(r, A, t0, t1).unwrap();
-        assert_eq!(enc.solver.solve_with_assumptions(&[l]), SolveResult::Sat);
-        assert_eq!(enc.solver.solve_with_assumptions(&[!l]), SolveResult::Sat);
+        assert_eq!(enc.solve_with_assumptions(&[l]), SolveResult::Sat);
+        assert_eq!(enc.solve_with_assumptions(&[!l]), SolveResult::Sat);
     }
 
     #[test]
@@ -615,8 +962,8 @@ mod tests {
         let mut enc = Encoding::new(&spec, &[]).unwrap();
         let l = enc.order_lit(r, A, t0, t1).unwrap();
         // t0 (50) must precede t1 (80).
-        assert_eq!(enc.solver.solve_with_assumptions(&[!l]), SolveResult::Unsat);
-        assert_eq!(enc.solver.solve_with_assumptions(&[l]), SolveResult::Sat);
+        assert_eq!(enc.solve_with_assumptions(&[!l]), SolveResult::Unsat);
+        assert_eq!(enc.solve_with_assumptions(&[l]), SolveResult::Sat);
     }
 
     #[test]
@@ -628,8 +975,7 @@ mod tests {
         assert!(Encoding::new(&spec, &[]).is_err());
     }
 
-    #[test]
-    fn transitivity_is_enforced() {
+    fn three_tuple_spec() -> (Specification, RelId, Vec<TupleId>) {
         let mut cat = Catalog::new();
         let r = cat.add(RelationSchema::new("R", &["A"]));
         let mut spec = Specification::new(cat);
@@ -640,25 +986,99 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        let mut enc = Encoding::new(&spec, &[]).unwrap();
-        let l01 = enc.order_lit(r, A, ts[0], ts[1]).unwrap();
-        let l12 = enc.order_lit(r, A, ts[1], ts[2]).unwrap();
-        let l20 = enc.order_lit(r, A, ts[2], ts[0]).unwrap();
-        // A directed cycle must be unsatisfiable.
+        (spec, r, ts)
+    }
+
+    #[test]
+    fn transitivity_is_enforced_in_both_modes() {
+        for mode in [TransitivityMode::Eager, TransitivityMode::Lazy] {
+            let (spec, r, ts) = three_tuple_spec();
+            // Value indicators reference the attribute (three distinct
+            // values), so the order variables exist.
+            let mut enc = Encoding::with_mode(&spec, &[r], mode).unwrap();
+            assert_eq!(enc.mode(), mode);
+            let l01 = enc.order_lit(r, A, ts[0], ts[1]).unwrap();
+            let l12 = enc.order_lit(r, A, ts[1], ts[2]).unwrap();
+            let l20 = enc.order_lit(r, A, ts[2], ts[0]).unwrap();
+            // A directed cycle must be unsatisfiable.
+            assert_eq!(
+                enc.solve_with_assumptions(&[l01, l12, l20]),
+                SolveResult::Unsat,
+                "{mode:?}"
+            );
+            assert_eq!(
+                enc.solve_with_assumptions(&[l01, l12, !l20]),
+                SolveResult::Sat,
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_mode_grounds_fewer_clauses_and_reports_lemmas() {
+        let (spec, r, _) = three_tuple_spec();
+        let mut eager = Encoding::with_mode(&spec, &[r], TransitivityMode::Eager).unwrap();
+        let mut lazy = Encoding::with_mode(&spec, &[r], TransitivityMode::Lazy).unwrap();
         assert_eq!(
-            enc.solver.solve_with_assumptions(&[l01, l12, l20]),
+            eager.num_vars(),
+            lazy.num_vars(),
+            "variable allocation is mode-independent"
+        );
+        assert!(lazy.num_clauses() < eager.num_clauses());
+        assert_eq!(eager.solve(), SolveResult::Sat);
+        assert_eq!(lazy.solve(), SolveResult::Sat);
+        // The cycle check forces refinement work at some point.
+        let l01 = lazy.order_lit(r, A, TupleId(0), TupleId(1)).unwrap();
+        let l12 = lazy.order_lit(r, A, TupleId(1), TupleId(2)).unwrap();
+        let l20 = lazy.order_lit(r, A, TupleId(2), TupleId(0)).unwrap();
+        assert_eq!(
+            lazy.solve_with_assumptions(&[l01, l12, l20]),
             SolveResult::Unsat
         );
-        assert_eq!(
-            enc.solver.solve_with_assumptions(&[l01, l12, !l20]),
-            SolveResult::Sat
+        assert!(
+            lazy.solver_stats().lemmas_added > 0,
+            "refuting a cycle requires triangle lemmas"
         );
+    }
+
+    #[test]
+    fn unreferenced_attributes_get_no_order_vars() {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A", "B"]));
+        let mut spec = Specification::new(cat);
+        let t0 = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1), Value::int(7)]))
+            .unwrap();
+        let t1 = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(2), Value::int(7)]))
+            .unwrap();
+        // Constraint touches attribute A only; B is uniform, so with no
+        // value relations nothing references either attribute except A.
+        spec.add_constraint(monotone(r)).unwrap();
+        let enc = Encoding::new(&spec, &[]).unwrap();
+        assert_eq!(enc.num_vars(), 1, "one pair on A, none on B");
+        assert!(enc.order_lit(r, A, t0, t1).is_some());
+        assert!(enc.order_lit(r, AttrId(1), t0, t1).is_none());
+        // With value indicators, the uniform B still needs no vars.
+        let enc2 = Encoding::new(&spec, &[r]).unwrap();
+        assert!(enc2.order_lit(r, AttrId(1), t0, t1).is_none());
+    }
+
+    #[test]
+    fn fully_unconstrained_spec_encodes_to_nothing() {
+        let (spec, r, t0, t1) = salary_spec();
+        let mut enc = Encoding::new(&spec, &[]).unwrap();
+        assert_eq!(enc.num_vars(), 0);
+        assert_eq!(enc.solve(), SolveResult::Sat);
+        assert!(enc.order_lit(r, A, t0, t1).is_none());
     }
 
     #[test]
     fn order_lit_orientation() {
         let (spec, r, t0, t1) = salary_spec();
-        let enc = Encoding::new(&spec, &[]).unwrap();
+        let enc = Encoding::new(&spec, &[r]).unwrap();
         let fwd = enc.order_lit(r, A, t0, t1).unwrap();
         let bwd = enc.order_lit(r, A, t1, t0).unwrap();
         assert_eq!(fwd, !bwd);
@@ -672,7 +1092,7 @@ mod tests {
         assert_eq!(enc.value_projection().len(), 2, "two candidate values");
         let projection = enc.value_projection().to_vec();
         let mut outcomes = Vec::new();
-        enc.solver.for_each_model(&projection, 100, |m| {
+        enc.for_each_model(&projection, 100, |m| {
             outcomes.push(m.to_vec());
             true
         });
@@ -684,13 +1104,38 @@ mod tests {
     }
 
     #[test]
+    fn lazy_enumeration_matches_eager() {
+        // Three distinct values, monotone constraint: exactly one current
+        // instance; without the constraint: three.
+        for constrained in [false, true] {
+            let (mut spec, r, _) = three_tuple_spec();
+            if constrained {
+                spec.add_constraint(monotone(r)).unwrap();
+            }
+            let mut counts = Vec::new();
+            for mode in [TransitivityMode::Eager, TransitivityMode::Lazy] {
+                let mut enc = Encoding::with_mode(&spec, &[r], mode).unwrap();
+                let projection = enc.value_projection().to_vec();
+                let mut models = Vec::new();
+                enc.for_each_model(&projection, 100, |m| {
+                    models.push(m.to_vec());
+                    true
+                });
+                models.sort();
+                counts.push(models);
+            }
+            assert_eq!(counts[0], counts[1], "constrained = {constrained}");
+        }
+    }
+
+    #[test]
     fn decode_current_instance_respects_constraints() {
         let (mut spec, r, _, _) = salary_spec();
         spec.add_constraint(monotone(r)).unwrap();
         let mut enc = Encoding::new(&spec, &[r]).unwrap();
         let projection = enc.value_projection().to_vec();
         let mut instances = Vec::new();
-        enc.solver.for_each_model(&projection, 100, |m| {
+        enc.for_each_model(&projection, 100, |m| {
             instances.push(m.to_vec());
             true
         });
@@ -702,13 +1147,15 @@ mod tests {
 
     #[test]
     fn decode_completion_is_consistent() {
-        let (mut spec, r, t0, t1) = salary_spec();
-        spec.add_constraint(monotone(r)).unwrap();
-        let mut enc = Encoding::new(&spec, &[]).unwrap();
-        assert_eq!(enc.solver.solve(), SolveResult::Sat);
-        let completion = enc.decode_completion(&spec).unwrap();
-        assert!(completion.is_consistent_for(&spec));
-        assert!(completion.rel(r).precedes(A, t0, t1));
+        for mode in [TransitivityMode::Eager, TransitivityMode::Lazy] {
+            let (mut spec, r, t0, t1) = salary_spec();
+            spec.add_constraint(monotone(r)).unwrap();
+            let mut enc = Encoding::with_mode(&spec, &[], mode).unwrap();
+            assert_eq!(enc.solve(), SolveResult::Sat);
+            let completion = enc.decode_completion(&spec).unwrap();
+            assert!(completion.is_consistent_for(&spec), "{mode:?}");
+            assert!(completion.rel(r).precedes(A, t0, t1), "{mode:?}");
+        }
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! * **solve incrementally** — consistency verdicts are cached per
 //!   component, entailment queries run as assumption-based calls
 //!   (`solve_with_assumptions`) against only the component a pair
-//!   touches, and learnt clauses accumulate across queries;
+//!   touches, and learnt clauses accumulate across queries.  With the
+//!   default [`crate::TransitivityMode::Lazy`], transitivity lemmas
+//!   discovered by refinement also persist in each cached component
+//!   solver, so refinement work amortizes across the query stream;
 //! * **enumerate locally** — current-instance enumeration projects onto
 //!   one component's value indicators at a time, so order differences in
 //!   unrelated components never multiply the model count, and All-SAT
@@ -114,6 +117,7 @@ impl<'a> CurrencyEngine<'a> {
                 spec,
                 value_rels,
                 &partition.components()[ix],
+                opts.transitivity,
             ))
         })?;
         let components = encodings
@@ -159,9 +163,9 @@ impl<'a> CurrencyEngine<'a> {
         };
         for comp in &self.components {
             let st = comp.lock().expect("component lock");
-            stats.vars += st.enc.solver.num_vars();
-            stats.clauses += st.enc.solver.num_clauses();
-            stats.sat += st.enc.solver.stats();
+            stats.vars += st.enc.num_vars();
+            stats.clauses += st.enc.num_clauses();
+            stats.sat += st.enc.solver_stats();
         }
         stats
     }
@@ -172,7 +176,7 @@ impl<'a> CurrencyEngine<'a> {
         match st.status {
             Some(s) => s,
             None => {
-                let sat = st.enc.solver.solve() == SolveResult::Sat;
+                let sat = st.enc.solve() == SolveResult::Sat;
                 st.status = Some(sat);
                 sat
             }
@@ -225,7 +229,7 @@ impl<'a> CurrencyEngine<'a> {
             let Some(l) = st.enc.order_lit(ot.rel, attr, lesser, greater) else {
                 return Ok(false);
             };
-            if st.enc.solver.solve_with_assumptions(&[!l]) == SolveResult::Sat {
+            if st.enc.solve_with_assumptions(&[!l]) == SolveResult::Sat {
                 return Ok(false);
             }
         }
@@ -248,10 +252,10 @@ impl<'a> CurrencyEngine<'a> {
             if vars.is_empty() {
                 return Ok(true); // every completion yields the same rows
             }
-            let mut solver = st.enc.solver.clone();
+            let mut enc = st.enc.clone();
             drop(st);
             let mut count = 0usize;
-            let enumeration = solver.for_each_model(&vars, self.opts.max_models, |_| {
+            let enumeration = enc.for_each_model(&vars, self.opts.max_models, |_| {
                 count += 1;
                 count < 2
             });
@@ -351,10 +355,10 @@ impl<'a> CurrencyEngine<'a> {
                     models: vec![Vec::new()],
                 });
             }
-            let mut solver = st.enc.solver.clone();
+            let mut enc = st.enc.clone();
             drop(st);
             let mut models: Vec<Vec<bool>> = Vec::new();
-            let enumeration = solver.for_each_model(&vars, self.opts.max_models, |m| {
+            let enumeration = enc.for_each_model(&vars, self.opts.max_models, |m| {
                 models.push(m.to_vec());
                 true
             });
@@ -429,8 +433,9 @@ impl<'a> CurrencyEngine<'a> {
                 let mut st = self.components[ix].lock().expect("component lock");
                 // Re-solve without assumptions so the model is a plain
                 // completion model (assumption queries may have left the
-                // solver without one).
-                let sat = st.enc.solver.solve();
+                // solver without one); in lazy mode this also re-runs the
+                // closure refinement so the model is transitive.
+                let sat = st.enc.solve();
                 debug_assert_eq!(sat, SolveResult::Sat, "component known satisfiable");
                 Ok(st.enc.model_chains(self.spec))
             })?;
@@ -673,6 +678,49 @@ mod tests {
             engine.dcip(r),
             Err(ReasonError::UnsupportedQuery { .. })
         ));
+    }
+
+    #[test]
+    fn lazy_and_eager_engines_agree_and_surface_lemma_stats() {
+        use crate::TransitivityMode;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        // A third tuple per entity so transitivity has triangles to check.
+        for e in 0..3u64 {
+            spec.instance_mut(r)
+                .push_tuple(Tuple::new(Eid(e), vec![Value::int(15 + e as i64)]))
+                .unwrap();
+        }
+        let eager_opts = Options {
+            transitivity: TransitivityMode::Eager,
+            ..Options::default()
+        };
+        let lazy_opts = Options {
+            transitivity: TransitivityMode::Lazy,
+            ..Options::default()
+        };
+        let eager = CurrencyEngine::new(&spec, &eager_opts).unwrap();
+        let lazy = CurrencyEngine::new(&spec, &lazy_opts).unwrap();
+        // Variable allocation is mode-independent (parity), clause counts
+        // are not (lazy omits the eager triangle grounding).
+        assert_eq!(eager.stats().vars, lazy.stats().vars);
+        assert!(lazy.stats().clauses < eager.stats().clauses);
+        assert_eq!(eager.cps().unwrap(), lazy.cps().unwrap());
+        for u in 0..9u32 {
+            for v in 0..9u32 {
+                let q = CurrencyOrderQuery::single(r, A, TupleId(u), TupleId(v));
+                assert_eq!(eager.cop(&q).unwrap(), lazy.cop(&q).unwrap(), "{u} ≺ {v}");
+            }
+        }
+        assert_eq!(eager.dcip(r).unwrap(), lazy.dcip(r).unwrap());
+        assert_eq!(
+            eager.current_instances(r).unwrap().len(),
+            lazy.current_instances(r).unwrap().len(),
+            "realizable current-instance counts must match"
+        );
+        // The aggregated stats surface the new solver counters.
+        assert_eq!(eager.stats().sat.lemmas_added, 0, "eager never lemmatizes");
+        let _ = lazy.stats().sat.lemmas_added; // present and aggregated
     }
 
     #[test]

@@ -80,6 +80,32 @@ pub use preserve::{bcp, cpp, ecp, maximum_extension, ExtensionSlot, Preservation
 pub use preserve_sp::{bcp_sp, cpp_sp};
 pub use sp_ptime::{ccqa_sp, certain_answers_sp, poss_instance};
 
+/// How the transitivity axiom of the order encoding is grounded (see
+/// [`encode`]).
+///
+/// Transitivity is the only cubic part of the reduction: an entity group
+/// of `n` tuples has `n·(n-1)·(n-2)` ordered triangles per attribute.
+/// Eager grounding emits them all up front; lazy grounding solves without
+/// them, checks each candidate model's order relation for transitivity
+/// violations with a closure walk, installs only the violated triangles
+/// as lemmas ([`currency_sat::Solver::add_lemma`]) and re-solves —
+/// converging in a handful of refinement rounds while typically grounding
+/// a tiny fraction of the triangles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransitivityMode {
+    /// Ground all `O(n³)` triangle clauses up front.  Predictable and
+    /// marginally faster on tiny entity groups (≲ 8 tuples) or when a
+    /// query enumerates *many* models over one component (each model
+    /// re-checks closure); infeasible for large groups.
+    Eager,
+    /// Encode only order variables, initial orders and constraints; add
+    /// violated triangle clauses as lemmas between solver calls.  Lemmas
+    /// persist in cached per-component solvers, so refinement work
+    /// amortizes across queries.  The default.
+    #[default]
+    Lazy,
+}
+
 /// Resource limits for the exact (enumeration-heavy) solvers.
 ///
 /// The general problems are Σᵖ₂-hard and worse; the exact solvers can be
@@ -102,6 +128,10 @@ pub struct Options {
     /// `0` (the default) means "use the machine's available parallelism";
     /// `1` forces sequential operation.
     pub threads: usize,
+    /// How transitivity is grounded ([`TransitivityMode::Lazy`] by
+    /// default).  The monolithic `*_monolithic` reference paths always
+    /// ground eagerly and are differentially tested against both modes.
+    pub transitivity: TransitivityMode,
 }
 
 impl Default for Options {
@@ -110,6 +140,7 @@ impl Default for Options {
             max_models: 1_000_000,
             max_extensions: 1_000_000,
             threads: 0,
+            transitivity: TransitivityMode::default(),
         }
     }
 }

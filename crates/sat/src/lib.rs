@@ -10,12 +10,19 @@
 //! pair, per attribute).  This crate provides the engine:
 //!
 //! * conflict-driven clause learning (first-UIP),
-//! * two-watched-literal unit propagation,
+//! * two-watched-literal unit propagation with blocking literals and
+//!   inlined binary-clause watchers (binary clauses propagate without
+//!   touching the clause database),
+//! * LBD-based learnt-clause database reduction with glue protection —
+//!   learnt clauses are no longer kept for the solver's lifetime; see
+//!   [`SolverStats::learnt_deleted`],
 //! * VSIDS-style activity heuristics with a lazy binary heap,
 //! * Luby restarts and phase saving,
 //! * solving under assumptions,
 //! * model enumeration projected onto a variable subset (All-SAT with
-//!   blocking clauses).
+//!   blocking clauses),
+//! * theory-lemma installation ([`Solver::add_lemma`]) feeding the lazy
+//!   transitivity refinement loop in `currency-reason`.
 //!
 //! A deliberately naive DPLL solver ([`solve_dpll`]) serves as a reference
 //! implementation for differential testing.
@@ -46,7 +53,7 @@ mod types;
 
 pub use dpll::solve_dpll;
 pub use luby::luby;
-pub use solver::{Enumeration, SolveResult, Solver, SolverStats};
+pub use solver::{enumerate_projected, Enumeration, ModelSource, SolveResult, Solver, SolverStats};
 pub use types::{Lit, Var};
 
 #[cfg(test)]

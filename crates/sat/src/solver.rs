@@ -1,11 +1,18 @@
 //! The CDCL solver proper.
 //!
-//! Architecture follows MiniSat (Eén & Sörensson, 2003): two watched
-//! literals per clause, first-UIP conflict analysis, VSIDS decision
-//! heuristic, phase saving, Luby restarts.  Learnt clauses are kept for the
-//! lifetime of the solver — clause-database reduction is unnecessary at the
-//! instance sizes produced by `currency-reason` and its omission keeps the
-//! solver easy to audit.
+//! Architecture follows MiniSat (Eén & Sörensson, 2003) with the standard
+//! hot-path refinements of its descendants: two watched literals per
+//! clause with *blocking literals* (a satisfied-clause probe that skips
+//! the clause dereference entirely), *inlined binary-clause watchers*
+//! (two-literal clauses propagate straight from the watch list, never
+//! touching the clause database), first-UIP conflict analysis, VSIDS
+//! decision heuristic, phase saving, Luby restarts, and Glucose-style
+//! *LBD-based learnt-clause database reduction*: learnt clauses carry the
+//! literal-block-distance of their derivation, low-LBD ("glue") clauses
+//! and clauses locked as propagation reasons are kept forever, and the
+//! rest is periodically halved by activity so long refinement runs (e.g.
+//! the lazy transitivity loop in `currency-reason`) cannot drown the
+//! solver in stale lemma-derived learnt clauses.
 
 use crate::heap::ActivityHeap;
 use crate::luby::luby;
@@ -43,6 +50,14 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Number of restarts performed.
     pub restarts: u64,
+    /// Learnt clauses surviving clause-database reductions (cumulative
+    /// across reduction passes).
+    pub learnt_kept: u64,
+    /// Learnt clauses deleted by clause-database reductions.
+    pub learnt_deleted: u64,
+    /// Theory lemmas installed via [`Solver::add_lemma`] (e.g. lazy
+    /// transitivity refinement rounds in `currency-reason`).
+    pub lemmas_added: u64,
 }
 
 impl std::ops::AddAssign for SolverStats {
@@ -51,6 +66,9 @@ impl std::ops::AddAssign for SolverStats {
         self.decisions += rhs.decisions;
         self.propagations += rhs.propagations;
         self.restarts += rhs.restarts;
+        self.learnt_kept += rhs.learnt_kept;
+        self.learnt_deleted += rhs.learnt_deleted;
+        self.lemmas_added += rhs.lemmas_added;
     }
 }
 
@@ -69,11 +87,34 @@ impl std::iter::Sum for SolverStats {
 #[derive(Clone, Debug)]
 struct Clause {
     lits: Vec<Lit>,
+    /// Learnt (eligible for database reduction) vs original.
+    learnt: bool,
+    /// Literal block distance at learning time (distinct decision levels).
+    lbd: u32,
+    /// Bump-and-decay activity, used to rank deletable learnt clauses.
+    activity: f64,
+}
+
+/// A watch-list entry: the watching clause plus a *blocking literal* — any
+/// literal of the clause whose satisfaction proves the clause satisfied
+/// without dereferencing it.  For binary clauses the blocker is the other
+/// literal, making binary propagation a pure watch-list walk.
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: u32,
+    blocker: Lit,
 }
 
 const VAR_ACTIVITY_DECAY: f64 = 0.95;
+const CLA_ACTIVITY_DECAY: f64 = 0.999;
 const RESCALE_THRESHOLD: f64 = 1e100;
+const CLA_RESCALE_THRESHOLD: f64 = 1e20;
 const RESTART_BASE: u64 = 100;
+/// Floor for the learnt-clause budget before the first reduction.
+const MIN_LEARNT_LIMIT: usize = 2000;
+/// Glue protection: learnt clauses with LBD at or below this survive every
+/// reduction (binary learnts always qualify).
+const GLUE_LBD: u32 = 2;
 
 /// A CDCL SAT solver.
 ///
@@ -86,8 +127,14 @@ const RESTART_BASE: u64 = 100;
 #[derive(Clone, Debug, Default)]
 pub struct Solver {
     clauses: Vec<Clause>,
-    /// `watches[l.code()]` = indices of clauses currently watching literal `l`.
-    watches: Vec<Vec<u32>>,
+    /// `watches[l.code()]` = watchers of clauses (length ≥ 3) currently
+    /// watching literal `l`; consulted when `l` becomes false.
+    watches: Vec<Vec<Watcher>>,
+    /// `bin_watches[l.code()]` = watchers of binary clauses containing
+    /// `l`; `blocker` is the other literal.  Binary clauses are never
+    /// deleted, so these lists only change on clause addition and during
+    /// database compaction (index remapping).
+    bin_watches: Vec<Vec<Watcher>>,
     assign: Vec<LBool>,
     /// Decision level at which each variable was assigned.
     level: Vec<u32>,
@@ -101,6 +148,14 @@ pub struct Solver {
     qhead: usize,
     heap: ActivityHeap,
     var_inc: f64,
+    cla_inc: f64,
+    /// Level-indexed stamps for allocation-free LBD computation.
+    lbd_stamp: Vec<u32>,
+    lbd_counter: u32,
+    /// Stored learnt clauses (kept in sync with the clause database).
+    num_learnts: usize,
+    /// Learnt budget; exceeded ⇒ reduce the clause database.
+    max_learnts: usize,
     ok: bool,
     model: Vec<bool>,
     stats: SolverStats,
@@ -136,6 +191,7 @@ impl Solver {
     pub fn new() -> Solver {
         Solver {
             var_inc: 1.0,
+            cla_inc: 1.0,
             ok: true,
             ..Default::default()
         }
@@ -149,6 +205,11 @@ impl Solver {
     /// Number of clauses (original + learnt) currently stored.
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// Number of learnt clauses currently stored.
+    pub fn num_learnts(&self) -> usize {
+        self.num_learnts
     }
 
     /// Solver statistics accumulated across all `solve` calls.
@@ -167,29 +228,15 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
+        self.bin_watches.push(Vec::new());
         self.heap.push(v, 0.0);
         v
     }
 
     #[inline]
     fn value_lit(&self, l: Lit) -> LBool {
-        match self.assign[l.var().index()] {
-            LBool::Undef => LBool::Undef,
-            LBool::True => {
-                if l.is_pos() {
-                    LBool::True
-                } else {
-                    LBool::False
-                }
-            }
-            LBool::False => {
-                if l.is_pos() {
-                    LBool::False
-                } else {
-                    LBool::True
-                }
-            }
-        }
+        lit_value(&self.assign, l)
     }
 
     #[inline]
@@ -240,13 +287,54 @@ impl Solver {
                 true
             }
             _ => {
-                let idx = self.clauses.len() as u32;
-                self.watches[cl[0].code()].push(idx);
-                self.watches[cl[1].code()].push(idx);
-                self.clauses.push(Clause { lits: cl });
+                self.attach_clause(Clause {
+                    lits: cl,
+                    learnt: false,
+                    lbd: 0,
+                    activity: 0.0,
+                });
                 true
             }
         }
+    }
+
+    /// Add a theory lemma: like [`Solver::add_clause`] but counted in
+    /// [`SolverStats::lemmas_added`].  Used by lazy-encoding refinement
+    /// loops (e.g. the transitivity closure walk in `currency-reason`).
+    pub fn add_lemma(&mut self, lits: &[Lit]) -> bool {
+        self.stats.lemmas_added += 1;
+        self.add_clause(lits)
+    }
+
+    /// Store a simplified clause of length ≥ 2 and hook up its watchers.
+    fn attach_clause(&mut self, cl: Clause) -> u32 {
+        debug_assert!(cl.lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        if cl.learnt {
+            self.num_learnts += 1;
+        }
+        let (l0, l1) = (cl.lits[0], cl.lits[1]);
+        if cl.lits.len() == 2 {
+            self.bin_watches[l0.code()].push(Watcher {
+                clause: idx,
+                blocker: l1,
+            });
+            self.bin_watches[l1.code()].push(Watcher {
+                clause: idx,
+                blocker: l0,
+            });
+        } else {
+            self.watches[l0.code()].push(Watcher {
+                clause: idx,
+                blocker: l1,
+            });
+            self.watches[l1.code()].push(Watcher {
+                clause: idx,
+                blocker: l0,
+            });
+        }
+        self.clauses.push(cl);
+        idx
     }
 
     /// Check satisfiability of the current clause set.
@@ -257,12 +345,19 @@ impl Solver {
     /// Check satisfiability under the given assumed literals.
     ///
     /// The assumptions hold only for this call; the clause database is not
-    /// modified (beyond learnt clauses, which are logical consequences).
+    /// modified (beyond learnt clauses, which are logical consequences,
+    /// and learnt-clause deletions, which only drop redundant ones).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }
         self.cancel_until(0);
+        if self.max_learnts == 0 {
+            // First solve: size the learnt budget to the instance.  It
+            // grows on every reduction thereafter.
+            let originals = self.clauses.len() - self.num_learnts;
+            self.max_learnts = (originals / 3).max(MIN_LEARNT_LIMIT);
+        }
         let mut restart_idx: u64 = 0;
         let mut conflicts_here: u64 = 0;
         let mut budget = luby(restart_idx) * RESTART_BASE;
@@ -278,6 +373,10 @@ impl Solver {
                 self.cancel_until(bt_level);
                 self.record_learnt(learnt);
                 self.decay_var_activity();
+                self.decay_clause_activity();
+                if self.num_learnts > self.max_learnts {
+                    self.reduce_db();
+                }
                 if conflicts_here >= budget {
                     // Luby restart.
                     self.stats.restarts += 1;
@@ -342,32 +441,9 @@ impl Solver {
         &mut self,
         projection: &[Var],
         limit: usize,
-        mut f: impl FnMut(&[bool]) -> bool,
+        f: impl FnMut(&[bool]) -> bool,
     ) -> Enumeration {
-        let mut count = 0usize;
-        let mut values = vec![false; projection.len()];
-        while count < limit {
-            if self.solve() == SolveResult::Unsat {
-                return Enumeration::Complete(count);
-            }
-            for (slot, &v) in values.iter_mut().zip(projection) {
-                *slot = self.model_value(v);
-            }
-            count += 1;
-            if !f(&values) {
-                return Enumeration::Stopped(count);
-            }
-            // Block this projected assignment.
-            let blocking: Vec<Lit> = projection
-                .iter()
-                .zip(&values)
-                .map(|(&v, &val)| v.lit(!val))
-                .collect();
-            if !self.add_clause(&blocking) {
-                return Enumeration::Complete(count);
-            }
-        }
-        Enumeration::LimitReached(count)
+        enumerate_projected(self, projection, limit, f)
     }
 
     // ------------------------------------------------------------------
@@ -399,11 +475,35 @@ impl Solver {
             self.qhead += 1;
             self.stats.propagations += 1;
             let false_lit = !p;
-            // Take the watch list; entries are pushed back as they survive.
+            // Binary clauses first: propagate straight off the watch list,
+            // no clause dereference.  The list is static during search, so
+            // plain index iteration is safe across `enqueue` calls.
+            for i in 0..self.bin_watches[false_lit.code()].len() {
+                let w = self.bin_watches[false_lit.code()][i];
+                match lit_value(&self.assign, w.blocker) {
+                    LBool::True => {}
+                    LBool::False => {
+                        self.qhead = self.trail.len();
+                        return Some(w.clause);
+                    }
+                    LBool::Undef => {
+                        let ok = self.enqueue(w.blocker, w.clause);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+            // Long clauses: take the watch list; entries are pushed back as
+            // they survive.
             let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
             let mut i = 0;
-            while i < ws.len() {
-                let ci = ws[i];
+            'watchers: while i < ws.len() {
+                // Blocking literal: if it is already true the clause is
+                // satisfied and never dereferenced.
+                if lit_value(&self.assign, ws[i].blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let ci = ws[i].clause;
                 let assign = &self.assign;
                 let cl = &mut self.clauses[ci as usize];
                 // Normalize: the false literal sits at position 1.
@@ -412,24 +512,25 @@ impl Solver {
                 }
                 debug_assert_eq!(cl.lits[1], false_lit);
                 let first = cl.lits[0];
-                if lit_value(assign, first) == LBool::True {
-                    i += 1; // clause satisfied; keep watching
+                if first != ws[i].blocker && lit_value(assign, first) == LBool::True {
+                    // Clause satisfied; remember the satisfying literal as
+                    // the new blocker and keep watching.
+                    ws[i].blocker = first;
+                    i += 1;
                     continue;
                 }
                 // Look for a replacement watch.
-                let mut moved = false;
                 for j in 2..cl.lits.len() {
                     if lit_value(assign, cl.lits[j]) != LBool::False {
                         cl.lits.swap(1, j);
                         let new_watch = cl.lits[1];
-                        self.watches[new_watch.code()].push(ci);
+                        self.watches[new_watch.code()].push(Watcher {
+                            clause: ci,
+                            blocker: first,
+                        });
                         ws.swap_remove(i);
-                        moved = true;
-                        break;
+                        continue 'watchers;
                     }
-                }
-                if moved {
-                    continue;
                 }
                 // Clause is unit or conflicting under the current assignment.
                 if lit_value(&self.assign, first) == LBool::False {
@@ -440,6 +541,7 @@ impl Solver {
                 }
                 let ok = self.enqueue(first, ci);
                 debug_assert!(ok);
+                ws[i].blocker = first;
                 i += 1;
             }
             self.watches[false_lit.code()] = ws;
@@ -458,12 +560,17 @@ impl Solver {
         let mut trail_pos = self.trail.len();
         let mut bt_level = 0u32;
         loop {
-            let lits: Vec<Lit> = self.clauses[clause_idx as usize].lits.clone();
+            self.bump_clause_activity(clause_idx);
+            let n_lits = self.clauses[clause_idx as usize].lits.len();
             let skip_first = p.is_some();
-            for (k, &q) in lits.iter().enumerate() {
+            // Indexed access instead of cloning the literal vector: the
+            // borrow must end before each seen/activity update, and this
+            // loop runs once per resolution step of every conflict.
+            for k in 0..n_lits {
                 if skip_first && k == 0 {
-                    continue; // q == p: the literal being resolved on
+                    continue; // the literal being resolved on (== p)
                 }
+                let q = self.clauses[clause_idx as usize].lits[k];
                 let v = q.var().index();
                 if !self.seen[v] && self.level[v] > 0 {
                     self.seen[v] = true;
@@ -507,6 +614,33 @@ impl Solver {
         (learnt, bt_level)
     }
 
+    /// Literal block distance: distinct decision levels among the clause's
+    /// literals.  Low LBD ("glue") clauses connect few levels and are the
+    /// learnt clauses worth keeping forever.
+    ///
+    /// Counted with a level-indexed stamp array (no allocation or sort —
+    /// this runs once per conflict).
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        if self.lbd_stamp.len() <= self.assign.len() {
+            // One slot per possible decision level (≤ one per variable).
+            self.lbd_stamp.resize(self.assign.len() + 1, 0);
+        }
+        self.lbd_counter = self.lbd_counter.wrapping_add(1);
+        if self.lbd_counter == 0 {
+            self.lbd_stamp.fill(0);
+            self.lbd_counter = 1;
+        }
+        let mut lbd = 0u32;
+        for &l in lits {
+            let lev = self.level[l.var().index()] as usize;
+            if self.lbd_stamp[lev] != self.lbd_counter {
+                self.lbd_stamp[lev] = self.lbd_counter;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
     /// Install a learnt clause and enqueue its asserting literal.
     fn record_learnt(&mut self, mut learnt: Vec<Lit>) {
         if learnt.len() == 1 {
@@ -524,13 +658,104 @@ impl Solver {
             }
         }
         learnt.swap(1, max_pos);
-        let idx = self.clauses.len() as u32;
-        self.watches[learnt[0].code()].push(idx);
-        self.watches[learnt[1].code()].push(idx);
         let assert_lit = learnt[0];
-        self.clauses.push(Clause { lits: learnt });
+        let lbd = self.compute_lbd(&learnt);
+        let idx = self.attach_clause(Clause {
+            lits: learnt,
+            learnt: true,
+            lbd,
+            activity: self.cla_inc,
+        });
         let ok = self.enqueue(assert_lit, idx);
         debug_assert!(ok);
+    }
+
+    /// `true` if the clause is the reason of a currently-assigned variable
+    /// (its asserting literal is true and points back at it).  Locked
+    /// clauses must never be deleted: conflict analysis resolves on them.
+    fn locked(&self, ci: u32) -> bool {
+        let l0 = self.clauses[ci as usize].lits[0];
+        self.value_lit(l0) == LBool::True && self.reason[l0.var().index()] == ci
+    }
+
+    /// Glucose-style learnt-clause database reduction.
+    ///
+    /// Deletable clauses are the learnt ones that are neither glue
+    /// (LBD ≤ [`GLUE_LBD`], which includes every binary learnt) nor locked
+    /// as a propagation reason.  The half with the highest LBD (activity
+    /// breaking ties) is deleted and the database is compacted in place:
+    /// reason indices are remapped and both watch structures rebuilt.
+    fn reduce_db(&mut self) {
+        let mut cands: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&ci| {
+                let cl = &self.clauses[ci as usize];
+                cl.learnt && cl.lits.len() > 2 && cl.lbd > GLUE_LBD && !self.locked(ci)
+            })
+            .collect();
+        // Worst first: high LBD, then low activity.
+        cands.sort_unstable_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).expect("finite"))
+        });
+        let n_delete = cands.len() / 2;
+        if n_delete == 0 {
+            // Nothing deletable (everything is glue or locked): raise the
+            // budget so the search is not re-entered every conflict.
+            self.max_learnts += self.max_learnts / 2;
+            return;
+        }
+        let mut delete = vec![false; self.clauses.len()];
+        for &ci in &cands[..n_delete] {
+            delete[ci as usize] = true;
+        }
+        // Compact the database, building the old → new index map.
+        let mut remap = vec![NO_REASON; self.clauses.len()];
+        let mut kept: Vec<Clause> = Vec::with_capacity(self.clauses.len() - n_delete);
+        for (old, cl) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if !delete[old] {
+                remap[old] = kept.len() as u32;
+                kept.push(cl);
+            }
+        }
+        self.clauses = kept;
+        for r in &mut self.reason {
+            if *r != NO_REASON {
+                *r = remap[*r as usize];
+                debug_assert_ne!(*r, NO_REASON, "deleted a locked clause");
+            }
+        }
+        // Rebuild both watch structures from the surviving clauses; the
+        // watched literals are positionally invariant (slots 0 and 1), so
+        // the rebuilt lists watch exactly what the old ones did.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for w in &mut self.bin_watches {
+            w.clear();
+        }
+        for ci in 0..self.clauses.len() {
+            let (l0, l1) = (self.clauses[ci].lits[0], self.clauses[ci].lits[1]);
+            let target = if self.clauses[ci].lits.len() == 2 {
+                &mut self.bin_watches
+            } else {
+                &mut self.watches
+            };
+            target[l0.code()].push(Watcher {
+                clause: ci as u32,
+                blocker: l1,
+            });
+            target[l1.code()].push(Watcher {
+                clause: ci as u32,
+                blocker: l0,
+            });
+        }
+        self.num_learnts -= n_delete;
+        self.stats.learnt_deleted += n_delete as u64;
+        self.stats.learnt_kept += self.num_learnts as u64;
+        // Let the database grow before the next reduction.
+        self.max_learnts += self.max_learnts / 4;
     }
 
     /// Undo assignments above the given decision level.
@@ -578,4 +803,212 @@ impl Solver {
     fn decay_var_activity(&mut self) {
         self.var_inc /= VAR_ACTIVITY_DECAY;
     }
+
+    fn bump_clause_activity(&mut self, ci: u32) {
+        let cl = &mut self.clauses[ci as usize];
+        if !cl.learnt {
+            return;
+        }
+        cl.activity += self.cla_inc;
+        if cl.activity > CLA_RESCALE_THRESHOLD {
+            for c in &mut self.clauses {
+                if c.learnt {
+                    c.activity *= 1.0 / CLA_RESCALE_THRESHOLD;
+                }
+            }
+            self.cla_inc *= 1.0 / CLA_RESCALE_THRESHOLD;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.cla_inc /= CLA_ACTIVITY_DECAY;
+    }
+
+    // ------------------------------------------------------------------
+    // Test support
+    // ------------------------------------------------------------------
+
+    /// Override the learnt-clause budget (test hook for forcing database
+    /// reductions on small instances).
+    #[cfg(test)]
+    pub(crate) fn set_max_learnts(&mut self, limit: usize) {
+        self.max_learnts = limit.max(1);
+    }
+
+    /// Snapshot of the stored learnt clauses as `(sorted literals, lbd)`
+    /// pairs, for reduction-invariant tests.
+    #[cfg(test)]
+    pub(crate) fn learnt_snapshot(&self) -> Vec<(Vec<Lit>, u32)> {
+        self.clauses
+            .iter()
+            .filter(|c| c.learnt)
+            .map(|c| {
+                let mut lits = c.lits.clone();
+                lits.sort_unstable();
+                (lits, c.lbd)
+            })
+            .collect()
+    }
+
+    /// Force a clause-database reduction regardless of the budget.
+    #[cfg(test)]
+    pub(crate) fn force_reduce(&mut self) {
+        self.reduce_db();
+    }
+
+    /// Verify the watch-list invariants; returns a description of the
+    /// first violation found.
+    ///
+    /// * every clause of length ≥ 3 is watched exactly twice, under its
+    ///   first two literals, with a blocker drawn from the clause;
+    /// * every binary clause appears in `bin_watches` under both literals
+    ///   with the other literal as blocker;
+    /// * no watcher points outside the clause database and no clause is
+    ///   filed in the wrong structure;
+    /// * every assigned variable's reason clause holds the implied literal
+    ///   in slot 0.
+    #[doc(hidden)]
+    pub fn debug_check_invariants(&self) -> Result<(), String> {
+        let mut long_watches: Vec<Vec<Lit>> = vec![Vec::new(); self.clauses.len()];
+        for (code, ws) in self.watches.iter().enumerate() {
+            for w in ws {
+                let ci = w.clause as usize;
+                if ci >= self.clauses.len() {
+                    return Err(format!("watcher for dead clause {ci}"));
+                }
+                let cl = &self.clauses[ci];
+                if cl.lits.len() == 2 {
+                    return Err(format!("binary clause {ci} in long watches"));
+                }
+                if !cl.lits.contains(&w.blocker) {
+                    return Err(format!("clause {ci} blocker {:?} not in clause", w.blocker));
+                }
+                long_watches[ci].push(Lit::from_code(code));
+            }
+        }
+        for (ci, cl) in self.clauses.iter().enumerate() {
+            if cl.lits.len() == 2 {
+                for (a, b) in [(cl.lits[0], cl.lits[1]), (cl.lits[1], cl.lits[0])] {
+                    let hits = self.bin_watches[a.code()]
+                        .iter()
+                        .filter(|w| w.clause as usize == ci && w.blocker == b)
+                        .count();
+                    if hits != 1 {
+                        return Err(format!("binary clause {ci} watched {hits}× under {a:?}"));
+                    }
+                }
+            } else {
+                let mut watched = long_watches[ci].clone();
+                watched.sort_unstable();
+                let mut expect = vec![cl.lits[0], cl.lits[1]];
+                expect.sort_unstable();
+                if watched != expect {
+                    return Err(format!(
+                        "clause {ci} watched under {watched:?}, expected {expect:?}"
+                    ));
+                }
+            }
+        }
+        for (code, ws) in self.bin_watches.iter().enumerate() {
+            for w in ws {
+                let ci = w.clause as usize;
+                if ci >= self.clauses.len() {
+                    return Err(format!("bin watcher for dead clause {ci}"));
+                }
+                let cl = &self.clauses[ci];
+                if cl.lits.len() != 2 {
+                    return Err(format!("long clause {ci} in binary watches"));
+                }
+                let l = Lit::from_code(code);
+                if !(cl.lits.contains(&l) && cl.lits.contains(&w.blocker) && l != w.blocker) {
+                    return Err(format!("binary watcher mismatch on clause {ci}"));
+                }
+            }
+        }
+        for (vix, &r) in self.reason.iter().enumerate() {
+            if r == NO_REASON || self.assign[vix] == LBool::Undef {
+                continue;
+            }
+            let cl = &self.clauses[r as usize];
+            // Binary reasons propagate off the watch list without position
+            // normalization, so the implied literal may sit in either slot;
+            // long reasons keep it in slot 0 (relied on by `locked`).
+            let asserts = if cl.lits.len() == 2 {
+                cl.lits.iter().any(|l| l.var().index() == vix)
+            } else {
+                cl.lits[0].var().index() == vix
+            };
+            if !asserts {
+                return Err(format!(
+                    "reason clause {r} of v{vix} does not assert it first"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A source of models for projected All-SAT enumeration: anything that
+/// can be (re-)solved, report model values, and accept a blocking clause.
+///
+/// Implemented by [`Solver`] directly and by richer wrappers whose
+/// `solve` does more than one SAT call (e.g. `currency-reason`'s lazy
+/// transitivity refinement loop), so the blocking-clause enumeration
+/// protocol lives in exactly one place: [`enumerate_projected`].
+pub trait ModelSource {
+    /// Decide satisfiability of the current state.
+    fn solve(&mut self) -> SolveResult;
+    /// Value of `v` in the most recent model (after a `Sat` result).
+    fn model_value(&self, v: Var) -> bool;
+    /// Permanently add a blocking clause; `false` if the instance became
+    /// trivially unsatisfiable.
+    fn block(&mut self, clause: &[Lit]) -> bool;
+}
+
+impl ModelSource for Solver {
+    fn solve(&mut self) -> SolveResult {
+        Solver::solve(self)
+    }
+
+    fn model_value(&self, v: Var) -> bool {
+        Solver::model_value(self, v)
+    }
+
+    fn block(&mut self, clause: &[Lit]) -> bool {
+        self.add_clause(clause)
+    }
+}
+
+/// The projected All-SAT loop shared by every [`ModelSource`] (see
+/// [`Solver::for_each_model`] for the semantics).
+pub fn enumerate_projected<S: ModelSource>(
+    source: &mut S,
+    projection: &[Var],
+    limit: usize,
+    mut f: impl FnMut(&[bool]) -> bool,
+) -> Enumeration {
+    let mut count = 0usize;
+    let mut values = vec![false; projection.len()];
+    while count < limit {
+        if source.solve() == SolveResult::Unsat {
+            return Enumeration::Complete(count);
+        }
+        for (slot, &v) in values.iter_mut().zip(projection) {
+            *slot = source.model_value(v);
+        }
+        count += 1;
+        if !f(&values) {
+            return Enumeration::Stopped(count);
+        }
+        // Block this projected assignment.
+        let blocking: Vec<Lit> = projection
+            .iter()
+            .zip(&values)
+            .map(|(&v, &val)| v.lit(!val))
+            .collect();
+        if !source.block(&blocking) {
+            return Enumeration::Complete(count);
+        }
+    }
+    Enumeration::LimitReached(count)
 }

@@ -238,6 +238,183 @@ fn cloned_solver_is_independent() {
 }
 
 // ---------------------------------------------------------------------------
+// Watch-list integrity and clause-database reduction invariants.
+// ---------------------------------------------------------------------------
+
+/// Pigeonhole instance: `pigeons` into `holes`.  Unsat iff pigeons > holes;
+/// reliably generates conflicts (and thus learnt clauses) for its size.
+fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &p {
+        let lits: Vec<Lit> = row.iter().map(|v| v.pos()).collect();
+        s.add_clause(&lits);
+    }
+    #[allow(clippy::needless_range_loop)] // j indexes parallel rows
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                s.add_clause(&[p[i1][j].neg(), p[i2][j].neg()]);
+            }
+        }
+    }
+    s
+}
+
+#[test]
+fn watch_lists_stay_consistent_across_operations() {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+    s.debug_check_invariants().unwrap();
+    // Mixed binary and long clauses.
+    s.add_clause(&[vars[0].pos(), vars[1].pos()]);
+    s.add_clause(&[vars[1].neg(), vars[2].pos(), vars[3].pos()]);
+    s.add_clause(&[vars[2].neg(), vars[4].pos(), vars[5].pos(), vars[6].pos()]);
+    s.debug_check_invariants().unwrap();
+    assert_eq!(s.solve(), SolveResult::Sat);
+    s.debug_check_invariants().unwrap();
+    // Assumption solving and clause addition between solves.
+    s.solve_with_assumptions(&[vars[0].neg(), vars[2].pos()]);
+    s.add_clause(&[vars[6].neg(), vars[7].pos()]);
+    s.debug_check_invariants().unwrap();
+    // Enumeration adds blocking clauses.
+    s.for_each_model(&[vars[0], vars[1]], 10, |_| true);
+    s.debug_check_invariants().unwrap();
+}
+
+#[test]
+fn watch_lists_survive_hard_search_and_reductions() {
+    let mut s = pigeonhole(6, 5);
+    s.set_max_learnts(8); // force frequent clause-database reductions
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let st = s.stats();
+    assert!(st.conflicts > 0, "search must have conflicted");
+    assert!(
+        st.learnt_deleted > 0,
+        "tiny budget must have triggered reductions: {st:?}"
+    );
+    s.debug_check_invariants().unwrap();
+}
+
+#[test]
+fn reduction_keeps_glue_clauses_and_counts_deletions() {
+    let mut s = pigeonhole(6, 5);
+    // A satisfiable side variable keeps the instance usable after solving.
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    assert!(s.num_learnts() > 0, "expected learnt clauses");
+    let before = s.learnt_snapshot();
+    let deleted_before = s.stats().learnt_deleted;
+    s.set_max_learnts(0);
+    s.force_reduce();
+    let after = s.learnt_snapshot();
+    s.debug_check_invariants().unwrap();
+    let deleted = s.stats().learnt_deleted - deleted_before;
+    assert_eq!(before.len() - after.len(), deleted as usize);
+    // Glue protection: every learnt clause with LBD ≤ 2 (and every binary
+    // learnt) survives the reduction.
+    for (lits, lbd) in &before {
+        if *lbd <= 2 || lits.len() == 2 {
+            assert!(
+                after.iter().any(|(l, _)| l == lits),
+                "glue clause {lits:?} (lbd {lbd}) was deleted"
+            );
+        }
+    }
+    // Survivors are a subset of the previous database.
+    for (lits, _) in &after {
+        assert!(before.iter().any(|(l, _)| l == lits));
+    }
+}
+
+#[test]
+fn reduction_never_deletes_locked_reasons() {
+    // Level-zero propagations lock their reason clauses for the lifetime
+    // of the solver; reductions must keep them even at budget zero.
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    let c = s.new_var();
+    let d = s.new_var();
+    s.add_clause(&[a.neg(), b.pos(), c.pos()]);
+    s.add_clause(&[a.pos()]);
+    s.add_clause(&[b.neg()]);
+    // `c` is now implied at level 0 with the ternary clause as its reason.
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert!(s.model_value(c));
+    s.add_clause(&[c.neg(), d.pos()]);
+    s.set_max_learnts(0);
+    s.force_reduce();
+    s.debug_check_invariants().unwrap();
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert!(s.model_value(c) && s.model_value(d));
+}
+
+#[test]
+fn solver_correct_under_aggressive_reduction() {
+    // Differential run with a pathologically small learnt budget: clause
+    // deletion must never change verdicts.
+    let mut rng = XorShift(0xdead_beef_0bad_cafe);
+    for round in 0..150 {
+        let num_vars = 6 + (round % 6);
+        let num_clauses = 2 + (rng.below(5 * num_vars as u64) as usize);
+        let clauses = random_3sat(&mut rng, num_vars, num_clauses);
+        let oracle = solve_dpll(num_vars, &clauses);
+        let mut s = build(num_vars, &clauses);
+        s.set_max_learnts(2);
+        let got = s.solve();
+        assert_eq!(
+            oracle.is_some(),
+            got == SolveResult::Sat,
+            "round {round}: {clauses:?}"
+        );
+        if got == SolveResult::Sat {
+            let model: Vec<bool> = (0..num_vars).map(|i| s.model_value(v(i))).collect();
+            assert!(evaluate(&clauses, &model), "round {round}: non-model");
+        }
+        s.debug_check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn lemma_counter_tracks_add_lemma() {
+    let mut s = Solver::new();
+    let a = s.new_var();
+    let b = s.new_var();
+    let c = s.new_var();
+    assert!(s.add_lemma(&[a.neg(), b.neg(), c.pos()]));
+    assert!(s.add_lemma(&[a.pos(), b.pos()]));
+    assert_eq!(s.stats().lemmas_added, 2);
+    assert_eq!(s.stats().conflicts, 0);
+    s.debug_check_invariants().unwrap();
+}
+
+#[test]
+fn stats_aggregation_covers_new_counters() {
+    let mut x = crate::SolverStats {
+        learnt_kept: 1,
+        learnt_deleted: 2,
+        lemmas_added: 3,
+        ..Default::default()
+    };
+    let y = crate::SolverStats {
+        learnt_kept: 10,
+        learnt_deleted: 20,
+        lemmas_added: 30,
+        conflicts: 5,
+        ..Default::default()
+    };
+    x += y;
+    assert_eq!(
+        (x.learnt_kept, x.learnt_deleted, x.lemmas_added, x.conflicts),
+        (11, 22, 33, 5)
+    );
+    let total: crate::SolverStats = [x, y].into_iter().sum();
+    assert_eq!(total.lemmas_added, 63);
+}
+
+// ---------------------------------------------------------------------------
 // Differential testing against the DPLL oracle.
 // ---------------------------------------------------------------------------
 
