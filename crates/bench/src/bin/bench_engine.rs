@@ -10,10 +10,14 @@
 //! * `--fast` — CI smoke shape: fewer samples, smaller sweeps, lazy-only
 //!   at the largest group size (seconds, not minutes);
 //! * `--check` — exit non-zero if the 64-tuple-group lazy scenario
-//!   regresses: wall time past the generous [`LAZY_64_THRESHOLD_NS`], or
+//!   regresses (wall time past the generous [`LAZY_64_THRESHOLD_NS`], or
 //!   stored-clause count past the deterministic
-//!   [`LAZY_64_CLAUSE_LIMIT`] (which catches an accidental eager
-//!   fallback without timing noise);
+//!   [`LAZY_64_CLAUSE_LIMIT`], which catches an accidental eager
+//!   fallback without timing noise), **or** if the update workload's
+//!   single-tuple delta recompiles more than
+//!   [`UPDATE_REBUILT_LIMIT`] component (the deterministic
+//!   incremental-maintenance guard: a delta local to one entity component
+//!   must never trigger a wider rebuild);
 //! * `--out PATH` — where to write the JSON (default
 //!   `BENCH_engine.json`).
 
@@ -41,6 +45,17 @@ const LAZY_64_THRESHOLD_NS: f64 = 50_000_000.0; // 50 ms
 /// full 64·63·62 ≈ 250k triangles.  Timing-independent, so it cannot
 /// flake on slow runners.
 const LAZY_64_CLAUSE_LIMIT: usize = 10_000;
+
+/// Deterministic regression guard for `--check`: components recompiled by
+/// one single-tuple delta on the prebuilt update-workload engine.  The
+/// delta touches one entity's cell, so a correct incremental partition
+/// rebuilds exactly the component owning it — recompiling more means the
+/// dirty-region computation leaks.  Timing-independent.
+const UPDATE_REBUILT_LIMIT: usize = 1;
+
+/// Entity count of the update workload (the acceptance scenario: a
+/// 1-tuple delta against a prebuilt 128-entity engine).
+const UPDATE_ENTITIES: usize = 128;
 
 struct Args {
     fast: bool,
@@ -137,6 +152,60 @@ fn main() {
     json.push_str("  ],\n");
 
     // ------------------------------------------------------------------
+    // Update workload: a 1-tuple delta against a prebuilt engine vs a
+    // full rebuild of the same specification.  Each insert is paired
+    // with its retraction, so the *live* instance is steady-state (group
+    // sizes, components and solver work never grow); retraction
+    // tombstones do accumulate one id slot per iteration, which both the
+    // incremental path and the rebuild baseline (built from the same
+    // spec) carry equally.
+    // ------------------------------------------------------------------
+    eprintln!("update: entities = {UPDATE_ENTITIES}");
+    let update_spec = scenarios::amortized_spec(UPDATE_ENTITIES);
+    let opts = Options::default();
+    let mut engine = CurrencyEngine::new(&update_spec, &opts).unwrap();
+    engine.cps().unwrap();
+    let components = engine.stats().components;
+    let insert = scenarios::update_insert_delta(&update_spec);
+    // Worst observed rebuild width across all measured deltas — the
+    // deterministic guard for --check.
+    let mut rebuilt_per_delta: usize = 0;
+    let apply = measure(samples, warmup, window, || {
+        let report = engine.apply(&insert).unwrap();
+        rebuilt_per_delta = rebuilt_per_delta.max(report.components_rebuilt);
+        std::hint::black_box(engine.cps().unwrap());
+        let (rel, id) = report.inserted[0];
+        let report = engine
+            .apply(&scenarios::update_remove_delta(rel, id))
+            .unwrap();
+        rebuilt_per_delta = rebuilt_per_delta.max(report.components_rebuilt);
+        std::hint::black_box(engine.cps().unwrap());
+    });
+    // The full-rebuild baseline answers the same question (post-delta
+    // CPS) by recompiling every component from the updated spec.
+    let rebuild = measure(samples, warmup, window, || {
+        let fresh = CurrencyEngine::new(engine.spec(), &opts).unwrap();
+        std::hint::black_box(fresh.cps().unwrap());
+    });
+    // `apply` measured two delta+query rounds per iteration; halve it so
+    // the ratio compares one delta against one rebuild.
+    let per_delta_ns = apply.median_ns / 2.0;
+    let rebuild_over_apply = rebuild.median_ns / per_delta_ns;
+    let _ = write!(
+        json,
+        "  \"update\": {{\"entities\": {UPDATE_ENTITIES}, \"components\": {components}, \
+         \"per_delta_ns\": {per_delta_ns:.0}, \"apply_pair\": "
+    );
+    push_measurement(&mut json, &apply);
+    json.push_str(", \"rebuild\": ");
+    push_measurement(&mut json, &rebuild);
+    let _ = writeln!(
+        json,
+        ", \"rebuild_over_apply\": {rebuild_over_apply:.1}, \
+         \"rebuilt_per_delta\": {rebuilt_per_delta}}},"
+    );
+
+    // ------------------------------------------------------------------
     // Lazy vs eager transitivity scaling on one large entity group.
     // ------------------------------------------------------------------
     let group_sweep: &[usize] = if args.fast {
@@ -214,13 +283,16 @@ fn main() {
     let clauses_64 = lazy_64_clauses.expect("sweep includes n = 64");
     let time_ok = lazy_64 <= LAZY_64_THRESHOLD_NS;
     let clauses_ok = clauses_64 <= LAZY_64_CLAUSE_LIMIT;
-    let pass = time_ok && clauses_ok;
+    let update_ok = rebuilt_per_delta <= UPDATE_REBUILT_LIMIT;
+    let pass = time_ok && clauses_ok && update_ok;
     let _ = write!(
         json,
         "  \"check\": {{\"lazy_64_median_ns\": {lazy_64:.0}, \
          \"lazy_64_threshold_ns\": {LAZY_64_THRESHOLD_NS:.0}, \
          \"lazy_64_clauses\": {clauses_64}, \
-         \"lazy_64_clause_limit\": {LAZY_64_CLAUSE_LIMIT}, \"pass\": {pass}}}\n}}\n"
+         \"lazy_64_clause_limit\": {LAZY_64_CLAUSE_LIMIT}, \
+         \"update_rebuilt_per_delta\": {rebuilt_per_delta}, \
+         \"update_rebuilt_limit\": {UPDATE_REBUILT_LIMIT}, \"pass\": {pass}}}\n}}\n"
     );
 
     std::fs::write(&args.out, &json).expect("write bench JSON");
@@ -237,6 +309,12 @@ fn main() {
                 "REGRESSION: lazy 64-tuple-group median {:.2} ms exceeds threshold {:.0} ms",
                 lazy_64 / 1e6,
                 LAZY_64_THRESHOLD_NS / 1e6
+            );
+        }
+        if !update_ok {
+            eprintln!(
+                "REGRESSION: a single-tuple delta recompiled {rebuilt_per_delta} components \
+                 (limit {UPDATE_REBUILT_LIMIT}) — incremental partition maintenance leaks"
             );
         }
         std::process::exit(1);

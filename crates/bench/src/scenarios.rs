@@ -2,8 +2,8 @@
 //! targets and the machine-readable `bench_engine` binary.
 
 use currency_core::{
-    AttrId, Catalog, CmpOp, DenialConstraint, Eid, RelId, RelationSchema, Specification, Term,
-    Tuple, TupleId, Value,
+    AttrId, Catalog, CmpOp, DenialConstraint, Eid, RelId, RelationSchema, SpecDelta, Specification,
+    Term, Tuple, TupleId, Value,
 };
 use currency_datagen::random::{random_spec, RandomSpecConfig};
 use currency_query::{Query, SpQuery};
@@ -55,6 +55,28 @@ pub fn amortized_cop_queries(spec: &Specification) -> Vec<CurrencyOrderQuery> {
 /// The amortized workload's CCQA identity query.
 pub fn amortized_ccqa_query(spec: &Specification) -> Query {
     SpQuery::identity(T, spec.instance(T).arity()).to_query(spec.instance(T).arity())
+}
+
+/// The update workload's delta: one fresh reading for entity 0 of the
+/// target relation.  Component-local by construction — entity 0's cell
+/// (merged with its copy sources, if any) is the only thing it touches —
+/// so a correct incremental engine rebuilds exactly one component.
+pub fn update_insert_delta(spec: &Specification) -> SpecDelta {
+    let arity = spec.instance(T).arity();
+    let mut delta = SpecDelta::new();
+    delta.insert_tuple(
+        T,
+        Tuple::new(Eid(0), (0..arity).map(|a| Value::int(a as i64)).collect()),
+    );
+    delta
+}
+
+/// The retraction paired with [`update_insert_delta`], keeping the
+/// workload steady-state so measurement iterations don't grow the spec.
+pub fn update_remove_delta(rel: RelId, id: TupleId) -> SpecDelta {
+    let mut delta = SpecDelta::new();
+    delta.remove_tuple(rel, id);
+    delta
 }
 
 /// One entity group of `n` tuples with strictly increasing values and a
@@ -119,5 +141,26 @@ mod tests {
         let spec = amortized_spec(8);
         assert!(!amortized_cop_queries(&spec).is_empty());
         let _ = amortized_ccqa_query(&spec);
+    }
+
+    #[test]
+    fn update_deltas_are_component_local_and_steady_state() {
+        let spec = amortized_spec(8);
+        let mut engine = CurrencyEngine::new(&spec, &Options::default()).expect("valid spec");
+        assert!(engine.cps().expect("in budget"));
+        let before = engine.stats();
+        let report = engine
+            .apply(&update_insert_delta(&spec))
+            .expect("valid delta");
+        assert_eq!(report.components_rebuilt, 1, "delta is component-local");
+        let (rel, id) = report.inserted[0];
+        assert!(engine.cps().expect("in budget"));
+        let report = engine
+            .apply(&update_remove_delta(rel, id))
+            .expect("valid delta");
+        assert_eq!(report.components_rebuilt, 1);
+        let after = engine.stats();
+        assert_eq!(before.cells, after.cells, "steady state");
+        assert_eq!(before.components, after.components);
     }
 }

@@ -19,7 +19,7 @@ use crate::denial::OrderEdge;
 use crate::error::CurrencyError;
 use crate::schema::{AttrId, RelId};
 use crate::temporal::TemporalInstance;
-use crate::value::TupleId;
+use crate::value::{Eid, TupleId};
 use std::collections::BTreeMap;
 
 /// The signature `target[Ā] ⇐ source[B̄]` of a copy function.
@@ -121,6 +121,24 @@ impl CopyFunction {
         self.map.get(&target).copied()
     }
 
+    /// Keep only the mappings `f(target, source)` accepts, returning the
+    /// dropped pairs.  Used to cascade tuple removals: a mapping whose
+    /// endpoint is gone must go with it.
+    pub fn retain_mappings(
+        &mut self,
+        mut f: impl FnMut(TupleId, TupleId) -> bool,
+    ) -> Vec<(TupleId, TupleId)> {
+        let mut dropped = Vec::new();
+        self.map.retain(|&t, &mut s| {
+            let keep = f(t, s);
+            if !keep {
+                dropped.push((t, s));
+            }
+            keep
+        });
+        dropped
+    }
+
     /// Iterate over `(target, source)` pairs.
     pub fn mappings(&self) -> impl Iterator<Item = (TupleId, TupleId)> + '_ {
         self.map.iter().map(|(t, s)| (*t, *s))
@@ -182,32 +200,54 @@ impl CopyFunction {
         target: &TemporalInstance,
         source: &TemporalInstance,
     ) -> Vec<(OrderEdge, OrderEdge)> {
+        self.compatibility_obligations_filtered(target, source, |_, _| true)
+    }
+
+    /// [`CopyFunction::compatibility_obligations`] restricted to the
+    /// obligations `keep(target_entity, source_entity)` accepts.
+    ///
+    /// Mapped pairs are grouped by their `(target entity, source entity)`
+    /// cell pair first, so the quadratic pair enumeration runs only within
+    /// accepted groups — this is what lets the incremental partition
+    /// re-derive the obligations of a few dirty cells without paying for
+    /// the whole mapping.
+    pub fn compatibility_obligations_filtered(
+        &self,
+        target: &TemporalInstance,
+        source: &TemporalInstance,
+        keep: impl Fn(Eid, Eid) -> bool,
+    ) -> Vec<(OrderEdge, OrderEdge)> {
+        let mut groups: BTreeMap<(Eid, Eid), Vec<(TupleId, TupleId)>> = BTreeMap::new();
+        for (&t, &s) in &self.map {
+            groups
+                .entry((target.tuple(t).eid, source.tuple(s).eid))
+                .or_default()
+                .push((t, s));
+        }
         let mut out = Vec::new();
-        let pairs: Vec<(TupleId, TupleId)> = self.map.iter().map(|(t, s)| (*t, *s)).collect();
-        for &(t1, s1) in &pairs {
-            for &(t2, s2) in &pairs {
-                if t1 == t2 || s1 == s2 {
-                    continue;
-                }
-                if target.tuple(t1).eid != target.tuple(t2).eid {
-                    continue;
-                }
-                if source.tuple(s1).eid != source.tuple(s2).eid {
-                    continue;
-                }
-                for (ta, sa) in self.sig.target_attrs.iter().zip(&self.sig.source_attrs) {
-                    out.push((
-                        OrderEdge {
-                            attr: *sa,
-                            lesser: s1,
-                            greater: s2,
-                        },
-                        OrderEdge {
-                            attr: *ta,
-                            lesser: t1,
-                            greater: t2,
-                        },
-                    ));
+        for ((te, se), pairs) in groups {
+            if !keep(te, se) {
+                continue;
+            }
+            for &(t1, s1) in &pairs {
+                for &(t2, s2) in &pairs {
+                    if t1 == t2 || s1 == s2 {
+                        continue;
+                    }
+                    for (ta, sa) in self.sig.target_attrs.iter().zip(&self.sig.source_attrs) {
+                        out.push((
+                            OrderEdge {
+                                attr: *sa,
+                                lesser: s1,
+                                greater: s2,
+                            },
+                            OrderEdge {
+                                attr: *ta,
+                                lesser: t1,
+                                greater: t2,
+                            },
+                        ));
+                    }
                 }
             }
         }

@@ -1,0 +1,730 @@
+//! Specification deltas: validated, atomic batches of updates.
+//!
+//! The paper's setting is inherently dynamic — tuples arrive, currency
+//! orders are extended, copy functions import more data — yet every
+//! reasoner consumes a frozen [`Specification`].  A [`SpecDelta`] is the
+//! bridge: a batch of update operations that is **validated against the
+//! current specification first** and applied only if every operation is
+//! admissible, so a failed delta leaves the specification untouched.
+//!
+//! Supported operations:
+//!
+//! * [`SpecDelta::insert_tuples`] — append tuples (ids are assigned
+//!   densely, reported through [`DeltaEffects::inserted`]);
+//! * [`SpecDelta::remove_tuples`] — tombstone tuples
+//!   ([`crate::TemporalInstance::remove_tuple`]); copy-function mappings
+//!   whose endpoint vanishes are cascaded away;
+//! * [`SpecDelta::add_order_edges`] — extend an initial currency order
+//!   (rejected if the result would be cyclic);
+//! * [`SpecDelta::add_constraint`] — attach a new denial constraint;
+//! * [`SpecDelta::add_copy`] / [`SpecDelta::extend_copy`] — attach a new
+//!   copy function, or record additional copied tuples on an existing one
+//!   (the paper's §4 copy-function *extensions*, which create new
+//!   ≺-compatibility obligations).
+//!
+//! The relation catalog is fixed at specification creation; deltas update
+//! instances, constraints and copies, not schemas.
+//!
+//! [`Specification::apply_delta`] returns the [`DeltaEffects`]: the
+//! `(relation, entity)` cells whose semantics the delta may have changed.
+//! Incremental consumers (the reasoning engine's component cache) use the
+//! touched-cell set to invalidate only the affected part of their state.
+
+use crate::copy::CopyFunction;
+use crate::denial::DenialConstraint;
+use crate::error::CurrencyError;
+use crate::instance::Tuple;
+use crate::schema::{AttrId, RelId};
+use crate::spec::Specification;
+use crate::value::{Eid, TupleId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One update operation (see [`SpecDelta`]'s builder methods).
+#[derive(Clone, Debug)]
+pub enum DeltaOp {
+    /// Append a tuple to a relation.
+    InsertTuple {
+        /// Target relation.
+        rel: RelId,
+        /// The tuple to append.
+        tuple: Tuple,
+    },
+    /// Tombstone a tuple (and cascade copy mappings referencing it).
+    RemoveTuple {
+        /// Relation owning the tuple.
+        rel: RelId,
+        /// The tuple to remove.
+        tuple: TupleId,
+    },
+    /// Record the initial currency fact `lesser ≺_attr greater`.
+    AddOrderEdge {
+        /// Relation owning the tuples.
+        rel: RelId,
+        /// Attribute of the currency order.
+        attr: AttrId,
+        /// The less-current tuple.
+        lesser: TupleId,
+        /// The more-current tuple.
+        greater: TupleId,
+    },
+    /// Attach a denial constraint.
+    AddConstraint(DenialConstraint),
+    /// Attach a new copy function.
+    AddCopy(CopyFunction),
+    /// Record `ρ(target) = source` on an existing copy function.
+    ExtendCopy {
+        /// Index of the copy function within the specification (existing
+        /// copies first, then [`DeltaOp::AddCopy`] operations of this
+        /// delta in order).
+        copy: usize,
+        /// Target tuple.
+        target: TupleId,
+        /// Source tuple.
+        source: TupleId,
+    },
+}
+
+/// A batch of specification updates, applied atomically by
+/// [`Specification::apply_delta`].
+///
+/// Builder methods append operations and return `&mut Self` for chaining:
+///
+/// ```
+/// use currency_core::*;
+///
+/// let mut catalog = Catalog::new();
+/// let r = catalog.add(RelationSchema::new("R", &["A"]));
+/// let mut spec = Specification::new(catalog);
+/// let t0 = spec.instance_mut(r)
+///     .push_tuple(Tuple::new(Eid(1), vec![Value::int(1)]))
+///     .unwrap();
+///
+/// let mut delta = SpecDelta::new();
+/// delta
+///     .insert_tuple(r, Tuple::new(Eid(1), vec![Value::int(2)]))
+///     .add_order_edge(r, AttrId(0), t0, TupleId(1));
+/// let effects = spec.apply_delta(&delta).unwrap();
+/// assert_eq!(effects.inserted, vec![(r, TupleId(1))]);
+/// assert!(effects.touched_cells.contains(&(r, Eid(1))));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SpecDelta {
+    ops: Vec<DeltaOp>,
+}
+
+impl SpecDelta {
+    /// An empty delta.
+    pub fn new() -> SpecDelta {
+        SpecDelta::default()
+    }
+
+    /// The operations, in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the delta carries no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append one tuple insertion.
+    pub fn insert_tuple(&mut self, rel: RelId, tuple: Tuple) -> &mut Self {
+        self.ops.push(DeltaOp::InsertTuple { rel, tuple });
+        self
+    }
+
+    /// Append tuple insertions.
+    pub fn insert_tuples(
+        &mut self,
+        rel: RelId,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> &mut Self {
+        for tuple in tuples {
+            self.insert_tuple(rel, tuple);
+        }
+        self
+    }
+
+    /// Append one tuple removal.
+    pub fn remove_tuple(&mut self, rel: RelId, tuple: TupleId) -> &mut Self {
+        self.ops.push(DeltaOp::RemoveTuple { rel, tuple });
+        self
+    }
+
+    /// Append tuple removals.
+    pub fn remove_tuples(
+        &mut self,
+        rel: RelId,
+        tuples: impl IntoIterator<Item = TupleId>,
+    ) -> &mut Self {
+        for tuple in tuples {
+            self.remove_tuple(rel, tuple);
+        }
+        self
+    }
+
+    /// Append one initial-order edge.
+    pub fn add_order_edge(
+        &mut self,
+        rel: RelId,
+        attr: AttrId,
+        lesser: TupleId,
+        greater: TupleId,
+    ) -> &mut Self {
+        self.ops.push(DeltaOp::AddOrderEdge {
+            rel,
+            attr,
+            lesser,
+            greater,
+        });
+        self
+    }
+
+    /// Append initial-order edges `(attr, lesser, greater)`.
+    pub fn add_order_edges(
+        &mut self,
+        rel: RelId,
+        edges: impl IntoIterator<Item = (AttrId, TupleId, TupleId)>,
+    ) -> &mut Self {
+        for (attr, lesser, greater) in edges {
+            self.add_order_edge(rel, attr, lesser, greater);
+        }
+        self
+    }
+
+    /// Append a denial constraint.
+    pub fn add_constraint(&mut self, dc: DenialConstraint) -> &mut Self {
+        self.ops.push(DeltaOp::AddConstraint(dc));
+        self
+    }
+
+    /// Append a new copy function.
+    pub fn add_copy(&mut self, cf: CopyFunction) -> &mut Self {
+        self.ops.push(DeltaOp::AddCopy(cf));
+        self
+    }
+
+    /// Record `ρ(target) = source` on the `copy`-th copy function (new
+    /// ≺-compatibility obligations follow; the copying condition is
+    /// checked on application).
+    pub fn extend_copy(&mut self, copy: usize, target: TupleId, source: TupleId) -> &mut Self {
+        self.ops.push(DeltaOp::ExtendCopy {
+            copy,
+            target,
+            source,
+        });
+        self
+    }
+
+    /// Check the delta's admissibility against `spec` without mutating
+    /// anything — exactly the validation phase of
+    /// [`Specification::apply_delta`].  Callers that must pay to obtain a
+    /// mutable specification (e.g. an engine promoting a borrowed `Cow`)
+    /// validate first so a rejected delta costs no copy.
+    pub fn validate(&self, spec: &Specification) -> Result<(), CurrencyError> {
+        let mut sim = Sim::new(spec);
+        for op in self.ops() {
+            sim.step(op)?;
+        }
+        sim.check_acyclic()
+    }
+}
+
+/// What a successfully applied delta changed (see
+/// [`Specification::apply_delta`]).
+#[derive(Clone, Debug, Default)]
+pub struct DeltaEffects {
+    /// The `(relation, entity)` cells whose tuples, orders, ground rules
+    /// or copy obligations the delta may have changed.  Everything outside
+    /// these cells is semantically untouched.
+    pub touched_cells: BTreeSet<(RelId, Eid)>,
+    /// Ids assigned to inserted tuples, in operation order.
+    pub inserted: Vec<(RelId, TupleId)>,
+}
+
+/// Phase-1 simulation state: enough of the post-delta specification to
+/// validate every operation without mutating anything.
+struct Sim<'s> {
+    spec: &'s Specification,
+    /// Tuples inserted so far, per relation (ids follow the base length).
+    pending: BTreeMap<RelId, Vec<Tuple>>,
+    /// Tuples removed so far, per relation.
+    removed: BTreeMap<RelId, BTreeSet<TupleId>>,
+    /// Order edges added so far, per `(relation, attribute)`.
+    added_edges: BTreeMap<(RelId, AttrId), Vec<(TupleId, TupleId)>>,
+    /// Signatures of copies added so far (for `ExtendCopy` onto them).
+    added_copy_sigs: Vec<crate::copy::CopySignature>,
+}
+
+impl<'s> Sim<'s> {
+    fn new(spec: &'s Specification) -> Sim<'s> {
+        Sim {
+            spec,
+            pending: BTreeMap::new(),
+            removed: BTreeMap::new(),
+            added_edges: BTreeMap::new(),
+            added_copy_sigs: Vec::new(),
+        }
+    }
+
+    fn check_rel(&self, rel: RelId) -> Result<(), CurrencyError> {
+        if rel.index() < self.spec.catalog().len() {
+            Ok(())
+        } else {
+            Err(CurrencyError::UnknownRelation {
+                relation: format!("{rel:?}"),
+            })
+        }
+    }
+
+    /// The tuple a (possibly pending) id resolves to, if live.
+    fn live_tuple(&self, rel: RelId, id: TupleId) -> Option<&Tuple> {
+        if self.removed.get(&rel).is_some_and(|r| r.contains(&id)) {
+            return None;
+        }
+        let inst = self.spec.instance(rel);
+        if id.index() < inst.len() {
+            return inst.is_live(id).then(|| inst.tuple(id));
+        }
+        self.pending
+            .get(&rel)
+            .and_then(|p| p.get(id.index() - inst.len()))
+    }
+
+    fn require_live(&self, rel: RelId, id: TupleId) -> Result<&Tuple, CurrencyError> {
+        self.live_tuple(rel, id)
+            .ok_or(CurrencyError::UnknownTuple { rel, tuple: id })
+    }
+
+    /// Validate the copying condition of one mapping against a signature.
+    fn check_mapping(
+        &self,
+        copy_index: usize,
+        sig: &crate::copy::CopySignature,
+        target: TupleId,
+        source: TupleId,
+    ) -> Result<(), CurrencyError> {
+        let tt = self.require_live(sig.target, target)?;
+        let st = self.require_live(sig.source, source)?;
+        for (pos, (ta, sa)) in sig.target_attrs.iter().zip(&sig.source_attrs).enumerate() {
+            if tt.value(*ta) != st.value(*sa) {
+                return Err(CurrencyError::CopyValueMismatch {
+                    copy: copy_index,
+                    target,
+                    source,
+                    position: pos,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Check one operation and fold it into the simulation.
+    fn step(&mut self, op: &DeltaOp) -> Result<(), CurrencyError> {
+        match op {
+            DeltaOp::InsertTuple { rel, tuple } => {
+                self.check_rel(*rel)?;
+                let arity = self.spec.catalog().schema(*rel).arity();
+                if tuple.values.len() != arity {
+                    return Err(CurrencyError::ArityMismatch {
+                        relation: self.spec.catalog().schema(*rel).name().to_string(),
+                        expected: arity,
+                        got: tuple.values.len(),
+                    });
+                }
+                self.pending.entry(*rel).or_default().push(tuple.clone());
+            }
+            DeltaOp::RemoveTuple { rel, tuple } => {
+                self.check_rel(*rel)?;
+                self.require_live(*rel, *tuple)?;
+                self.removed.entry(*rel).or_default().insert(*tuple);
+            }
+            DeltaOp::AddOrderEdge {
+                rel,
+                attr,
+                lesser,
+                greater,
+            } => {
+                self.check_rel(*rel)?;
+                if attr.index() >= self.spec.catalog().schema(*rel).arity() {
+                    return Err(CurrencyError::AttrOutOfRange {
+                        rel: *rel,
+                        attr: *attr,
+                    });
+                }
+                let el = self.require_live(*rel, *lesser)?.eid;
+                let eg = self.require_live(*rel, *greater)?.eid;
+                if el != eg {
+                    return Err(CurrencyError::CrossEntityOrder {
+                        rel: *rel,
+                        attr: *attr,
+                        entities: (el, eg),
+                    });
+                }
+                self.added_edges
+                    .entry((*rel, *attr))
+                    .or_default()
+                    .push((*lesser, *greater));
+            }
+            DeltaOp::AddConstraint(dc) => {
+                self.spec.check_constraint_schema(dc)?;
+            }
+            DeltaOp::AddCopy(cf) => {
+                let sig = cf.signature();
+                self.spec.check_copy_schema(sig)?;
+                let copy_index = self.spec.copies().len() + self.added_copy_sigs.len();
+                for (t, s) in cf.mappings() {
+                    self.check_mapping(copy_index, sig, t, s)?;
+                }
+                self.added_copy_sigs.push(sig.clone());
+            }
+            DeltaOp::ExtendCopy {
+                copy,
+                target,
+                source,
+            } => {
+                let base = self.spec.copies().len();
+                let sig = if *copy < base {
+                    self.spec.copies()[*copy].signature().clone()
+                } else if *copy < base + self.added_copy_sigs.len() {
+                    self.added_copy_sigs[*copy - base].clone()
+                } else {
+                    return Err(CurrencyError::UnknownCopy { copy: *copy });
+                };
+                self.check_mapping(*copy, &sig, *target, *source)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Final acyclicity check of every order touched by added edges, over
+    /// the simulated post-delta pair set.
+    fn check_acyclic(&self) -> Result<(), CurrencyError> {
+        for (&(rel, attr), edges) in &self.added_edges {
+            let inst = self.spec.instance(rel);
+            let removed = self.removed.get(&rel);
+            let dead = |t: TupleId| removed.is_some_and(|r| r.contains(&t));
+            let sim: crate::order::OrderRelation = inst
+                .order(attr)
+                .iter()
+                .chain(edges.iter().copied())
+                .filter(|&(a, b)| !dead(a) && !dead(b))
+                .collect();
+            if let Some(w) = sim.find_cycle() {
+                return Err(CurrencyError::CyclicOrder {
+                    rel,
+                    attr,
+                    witness: w,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Specification {
+    /// Apply a delta atomically.
+    ///
+    /// Every operation is validated against a simulation of the post-delta
+    /// specification **before anything mutates** — arity, liveness,
+    /// same-entity and attribute-range checks per operation, the copying
+    /// condition for copy extensions, and acyclicity of every extended
+    /// initial order.  On error the specification is unchanged.
+    ///
+    /// On success the returned [`DeltaEffects`] lists the assigned ids of
+    /// inserted tuples and the set of `(relation, entity)` cells whose
+    /// semantics may have changed:
+    ///
+    /// * inserting/removing a tuple or adding an order edge touches the
+    ///   tuple's cell;
+    /// * removing a tuple also cascades away copy mappings referencing it
+    ///   and touches both cells of every dropped mapping;
+    /// * adding a constraint touches every current cell of its relation;
+    /// * adding or extending a copy function touches the target and source
+    ///   cells of every new mapping (and, when an extension overwrites an
+    ///   existing mapping, the old source's cell).
+    pub fn apply_delta(&mut self, delta: &SpecDelta) -> Result<DeltaEffects, CurrencyError> {
+        // Phase 1: validate everything against a simulation.
+        delta.validate(self)?;
+
+        // Phase 2: apply for real.  Every failure mode was ruled out above,
+        // so the `expect`s encode invariants, not error handling.
+        let mut effects = DeltaEffects::default();
+        for op in delta.ops() {
+            match op {
+                DeltaOp::InsertTuple { rel, tuple } => {
+                    let eid = tuple.eid;
+                    let id = self
+                        .instance_mut(*rel)
+                        .push_tuple(tuple.clone())
+                        .expect("validated arity");
+                    effects.inserted.push((*rel, id));
+                    effects.touched_cells.insert((*rel, eid));
+                }
+                DeltaOp::RemoveTuple { rel, tuple } => {
+                    let eid = self.instance(*rel).tuple(*tuple).eid;
+                    self.instance_mut(*rel)
+                        .remove_tuple(*tuple)
+                        .expect("validated liveness");
+                    effects.touched_cells.insert((*rel, eid));
+                    // Cascade: mappings with a vanished endpoint go too,
+                    // and both their cells are touched (their obligations
+                    // disappear).
+                    for i in 0..self.copies().len() {
+                        let sig = self.copies()[i].signature().clone();
+                        if sig.target != *rel && sig.source != *rel {
+                            continue;
+                        }
+                        let dropped = self.copy_mut(i).retain_mappings(|t, s| {
+                            !((sig.target == *rel && t == *tuple)
+                                || (sig.source == *rel && s == *tuple))
+                        });
+                        for (t, s) in dropped {
+                            // `tuple()` resolves tombstones too — the data
+                            // stays in the slot.
+                            effects
+                                .touched_cells
+                                .insert((sig.target, self.instance(sig.target).tuple(t).eid));
+                            effects
+                                .touched_cells
+                                .insert((sig.source, self.instance(sig.source).tuple(s).eid));
+                        }
+                    }
+                }
+                DeltaOp::AddOrderEdge {
+                    rel,
+                    attr,
+                    lesser,
+                    greater,
+                } => {
+                    let eid = self.instance(*rel).tuple(*lesser).eid;
+                    self.instance_mut(*rel)
+                        .add_order(*attr, *lesser, *greater)
+                        .expect("validated edge");
+                    effects.touched_cells.insert((*rel, eid));
+                }
+                DeltaOp::AddConstraint(dc) => {
+                    let rel = dc.rel();
+                    let cells: Vec<Eid> = self.instance(rel).entities().collect();
+                    self.add_constraint(dc.clone())
+                        .expect("validated constraint");
+                    for eid in cells {
+                        effects.touched_cells.insert((rel, eid));
+                    }
+                }
+                DeltaOp::AddCopy(cf) => {
+                    let sig = cf.signature().clone();
+                    let mappings: Vec<(TupleId, TupleId)> = cf.mappings().collect();
+                    self.add_copy(cf.clone()).expect("validated copy");
+                    for (t, s) in mappings {
+                        effects
+                            .touched_cells
+                            .insert((sig.target, self.instance(sig.target).tuple(t).eid));
+                        effects
+                            .touched_cells
+                            .insert((sig.source, self.instance(sig.source).tuple(s).eid));
+                    }
+                }
+                DeltaOp::ExtendCopy {
+                    copy,
+                    target,
+                    source,
+                } => {
+                    let sig = self.copies()[*copy].signature().clone();
+                    let old_source = self.copies()[*copy].mapping(*target);
+                    self.copy_mut(*copy).set_mapping(*target, *source);
+                    effects
+                        .touched_cells
+                        .insert((sig.target, self.instance(sig.target).tuple(*target).eid));
+                    effects
+                        .touched_cells
+                        .insert((sig.source, self.instance(sig.source).tuple(*source).eid));
+                    if let Some(old) = old_source {
+                        effects
+                            .touched_cells
+                            .insert((sig.source, self.instance(sig.source).tuple(old).eid));
+                    }
+                }
+            }
+        }
+        debug_assert!(self.validate().is_ok(), "post-delta invariants hold");
+        Ok(effects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copy::CopySignature;
+    use crate::denial::{CmpOp, Term};
+    use crate::schema::{Catalog, RelationSchema};
+    use crate::value::Value;
+
+    const A: AttrId = AttrId(0);
+
+    fn spec_two_rels() -> (Specification, RelId, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let s = cat.add(RelationSchema::new("S", &["A"]));
+        (Specification::new(cat), r, s)
+    }
+
+    fn t(e: u64, v: i64) -> Tuple {
+        Tuple::new(Eid(e), vec![Value::int(v)])
+    }
+
+    #[test]
+    fn insert_remove_and_order_edges_round_trip() {
+        let (mut spec, r, _) = spec_two_rels();
+        let mut d = SpecDelta::new();
+        d.insert_tuples(r, [t(1, 10), t(1, 20), t(2, 5)]);
+        let fx = spec.apply_delta(&d).unwrap();
+        assert_eq!(
+            fx.inserted,
+            vec![(r, TupleId(0)), (r, TupleId(1)), (r, TupleId(2))]
+        );
+        assert_eq!(fx.touched_cells.len(), 2, "two entities touched");
+
+        let mut d2 = SpecDelta::new();
+        d2.add_order_edge(r, A, TupleId(0), TupleId(1))
+            .remove_tuple(r, TupleId(2));
+        let fx2 = spec.apply_delta(&d2).unwrap();
+        assert!(fx2.touched_cells.contains(&(r, Eid(1))));
+        assert!(fx2.touched_cells.contains(&(r, Eid(2))));
+        assert!(spec.instance(r).order(A).contains(TupleId(0), TupleId(1)));
+        assert!(!spec.instance(r).is_live(TupleId(2)));
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn edges_may_reference_tuples_inserted_in_the_same_delta() {
+        let (mut spec, r, _) = spec_two_rels();
+        spec.instance_mut(r).push_tuple(t(1, 1)).unwrap();
+        let mut d = SpecDelta::new();
+        d.insert_tuple(r, t(1, 2))
+            .add_order_edge(r, A, TupleId(0), TupleId(1));
+        assert!(spec.apply_delta(&d).is_ok());
+        // Forward references (edge before the insert) are rejected.
+        let mut bad = SpecDelta::new();
+        bad.add_order_edge(r, A, TupleId(0), TupleId(2))
+            .insert_tuple(r, t(1, 3));
+        assert!(matches!(
+            spec.apply_delta(&bad),
+            Err(CurrencyError::UnknownTuple { .. })
+        ));
+        assert_eq!(spec.instance(r).len(), 2, "failed delta changed nothing");
+    }
+
+    #[test]
+    fn invalid_deltas_are_rejected_atomically() {
+        let (mut spec, r, _) = spec_two_rels();
+        spec.instance_mut(r).push_tuple(t(1, 1)).unwrap();
+        spec.instance_mut(r).push_tuple(t(2, 2)).unwrap();
+        // Arity mismatch after a valid insert: nothing applies.
+        let mut d = SpecDelta::new();
+        d.insert_tuple(r, t(1, 5))
+            .insert_tuple(r, Tuple::new(Eid(1), vec![Value::int(1), Value::int(2)]));
+        assert!(matches!(
+            spec.apply_delta(&d),
+            Err(CurrencyError::ArityMismatch { .. })
+        ));
+        assert_eq!(spec.instance(r).len(), 2);
+        // Cross-entity edge.
+        let mut d = SpecDelta::new();
+        d.add_order_edge(r, A, TupleId(0), TupleId(1));
+        assert!(matches!(
+            spec.apply_delta(&d),
+            Err(CurrencyError::CrossEntityOrder { .. })
+        ));
+        // Cyclic order (via two edges of one delta).
+        let mut d = SpecDelta::new();
+        d.insert_tuple(r, t(1, 5))
+            .add_order_edge(r, A, TupleId(0), TupleId(2))
+            .add_order_edge(r, A, TupleId(2), TupleId(0));
+        assert!(matches!(
+            spec.apply_delta(&d),
+            Err(CurrencyError::CyclicOrder { .. })
+        ));
+        assert_eq!(spec.instance(r).len(), 2);
+        // Removing an unknown tuple.
+        let mut d = SpecDelta::new();
+        d.remove_tuple(r, TupleId(9));
+        assert!(matches!(
+            spec.apply_delta(&d),
+            Err(CurrencyError::UnknownTuple { .. })
+        ));
+    }
+
+    #[test]
+    fn constraint_touches_every_cell_of_its_relation() {
+        let (mut spec, r, _) = spec_two_rels();
+        spec.instance_mut(r).push_tuple(t(1, 1)).unwrap();
+        spec.instance_mut(r).push_tuple(t(2, 2)).unwrap();
+        let dc = DenialConstraint::builder(r, 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+            .then_order(1, A, 0)
+            .build()
+            .unwrap();
+        let mut d = SpecDelta::new();
+        d.add_constraint(dc);
+        let fx = spec.apply_delta(&d).unwrap();
+        assert_eq!(fx.touched_cells.len(), 2);
+        assert_eq!(spec.constraints().len(), 1);
+    }
+
+    #[test]
+    fn copy_extension_checks_the_copying_condition() {
+        let (mut spec, r, s) = spec_two_rels();
+        let tr = spec.instance_mut(r).push_tuple(t(1, 7)).unwrap();
+        let ts = spec.instance_mut(s).push_tuple(t(9, 7)).unwrap();
+        let bad_ts = spec.instance_mut(s).push_tuple(t(9, 8)).unwrap();
+        let sig = CopySignature::new(r, vec![A], s, vec![A]).unwrap();
+        let mut d = SpecDelta::new();
+        d.add_copy(CopyFunction::new(sig)).extend_copy(0, tr, ts);
+        let fx = spec.apply_delta(&d).unwrap();
+        assert!(fx.touched_cells.contains(&(r, Eid(1))));
+        assert!(fx.touched_cells.contains(&(s, Eid(9))));
+        assert_eq!(spec.copies()[0].mapping(tr), Some(ts));
+        // Value-mismatched extension is rejected.
+        let mut bad = SpecDelta::new();
+        bad.extend_copy(0, tr, bad_ts);
+        assert!(matches!(
+            spec.apply_delta(&bad),
+            Err(CurrencyError::CopyValueMismatch { .. })
+        ));
+        // Unknown copy index.
+        let mut bad = SpecDelta::new();
+        bad.extend_copy(5, tr, ts);
+        assert!(matches!(
+            spec.apply_delta(&bad),
+            Err(CurrencyError::UnknownCopy { .. })
+        ));
+    }
+
+    #[test]
+    fn removing_a_copied_tuple_cascades_the_mapping() {
+        let (mut spec, r, s) = spec_two_rels();
+        let tr = spec.instance_mut(r).push_tuple(t(1, 7)).unwrap();
+        let ts = spec.instance_mut(s).push_tuple(t(9, 7)).unwrap();
+        let sig = CopySignature::new(r, vec![A], s, vec![A]).unwrap();
+        let mut cf = CopyFunction::new(sig);
+        cf.set_mapping(tr, ts);
+        spec.add_copy(cf).unwrap();
+        let mut d = SpecDelta::new();
+        d.remove_tuple(s, ts);
+        let fx = spec.apply_delta(&d).unwrap();
+        assert!(spec.copies()[0].is_empty(), "dangling mapping cascaded");
+        assert!(
+            fx.touched_cells.contains(&(r, Eid(1))),
+            "target cell touched"
+        );
+        assert!(fx.touched_cells.contains(&(s, Eid(9))));
+        assert!(spec.validate().is_ok());
+    }
+}

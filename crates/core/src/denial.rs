@@ -31,7 +31,7 @@
 use crate::error::CurrencyError;
 use crate::schema::{AttrId, RelId};
 use crate::temporal::TemporalInstance;
-use crate::value::{TupleId, Value};
+use crate::value::{Eid, TupleId, Value};
 use std::collections::BTreeSet;
 
 /// Index of a universally quantified tuple variable within a constraint.
@@ -205,10 +205,43 @@ impl DenialConstraint {
     /// Rules are deduplicated and deterministically ordered.
     pub fn ground(&self, inst: &TemporalInstance) -> Vec<GroundRule> {
         debug_assert_eq!(inst.rel(), self.rel);
+        let grounder = self.entity_grounder();
         let mut rules: BTreeSet<GroundRule> = BTreeSet::new();
-        // Split value atoms into unary filters (per variable) and the rest.
+        for (_eid, group) in inst.entity_groups() {
+            grounder.ground_group(inst, group, &mut rules);
+        }
+        rules.into_iter().collect()
+    }
+
+    /// Ground the constraint against a **single entity** of the instance.
+    ///
+    /// Tuple variables range over one entity's tuples (the same-entity
+    /// premise is built in), so full grounding is exactly the union of the
+    /// per-entity groundings.  Grounding many entities of one constraint?
+    /// Build one [`DenialConstraint::entity_grounder`] and reuse it — the
+    /// value-atom analysis is then paid once, not per entity.
+    pub fn ground_entity(&self, inst: &TemporalInstance, eid: Eid) -> Vec<GroundRule> {
+        self.entity_grounder().ground_entity(inst, eid)
+    }
+
+    /// A reusable per-entity grounder: the constraint's value atoms are
+    /// analyzed once (unary filters vs multi-variable atoms), after which
+    /// each [`EntityGrounder::ground_entity`] call pays only for its own
+    /// entity's backtracking — the entry point the incremental partition
+    /// uses to re-derive a dirty region's rules.
+    pub fn entity_grounder(&self) -> EntityGrounder<'_> {
+        let (unary, rest) = self.split_value_atoms();
+        EntityGrounder {
+            dc: self,
+            unary,
+            rest,
+        }
+    }
+
+    /// Split the value atoms into unary filters (per variable) and the
+    /// rest, indexed by their deepest variable (see module docs).
+    fn split_value_atoms(&self) -> (Vec<Vec<&Predicate>>, Vec<Vec<&Predicate>>) {
         let mut unary: Vec<Vec<&Predicate>> = vec![Vec::new(); self.num_vars];
-        // `rest[d]` = value atoms whose deepest variable is d.
         let mut rest: Vec<Vec<&Predicate>> = vec![Vec::new(); self.num_vars];
         for p in &self.premises {
             if let Predicate::Cmp { left, right, .. } = p {
@@ -233,29 +266,10 @@ impl DenialConstraint {
                 }
             }
         }
-        for (_eid, group) in inst.entity_groups() {
-            // Per-variable candidate lists after unary filtering.
-            let candidates: Vec<Vec<TupleId>> = (0..self.num_vars)
-                .map(|v| {
-                    group
-                        .iter()
-                        .copied()
-                        .filter(|&tid| {
-                            unary[v]
-                                .iter()
-                                .all(|p| self.eval_cmp_partial(p, inst, &[(v, tid)]))
-                        })
-                        .collect()
-                })
-                .collect();
-            if candidates.iter().any(|c| c.is_empty()) {
-                continue;
-            }
-            let mut assignment: Vec<TupleId> = Vec::with_capacity(self.num_vars);
-            self.ground_rec(inst, &candidates, &rest, &mut assignment, &mut rules);
-        }
-        rules.into_iter().collect()
+        (unary, rest)
     }
+
+    // (Per-group backtracking lives on [`EntityGrounder`].)
 
     fn ground_rec(
         &self,
@@ -378,6 +392,56 @@ impl DenialConstraint {
                 None => false,
             }
         })
+    }
+}
+
+/// A [`DenialConstraint`] with its value atoms pre-analyzed for repeated
+/// per-entity grounding (see [`DenialConstraint::entity_grounder`]).
+pub struct EntityGrounder<'c> {
+    dc: &'c DenialConstraint,
+    /// Unary filters per tuple variable.
+    unary: Vec<Vec<&'c Predicate>>,
+    /// Multi-variable atoms, indexed by their deepest variable.
+    rest: Vec<Vec<&'c Predicate>>,
+}
+
+impl EntityGrounder<'_> {
+    /// Ground the constraint against a single entity of the instance
+    /// (equals the corresponding slice of [`DenialConstraint::ground`]).
+    pub fn ground_entity(&self, inst: &TemporalInstance, eid: Eid) -> Vec<GroundRule> {
+        debug_assert_eq!(inst.rel(), self.dc.rel);
+        let mut rules: BTreeSet<GroundRule> = BTreeSet::new();
+        self.ground_group(inst, inst.entity_group(eid), &mut rules);
+        rules.into_iter().collect()
+    }
+
+    /// Backtracking grounding over one entity group.
+    fn ground_group(
+        &self,
+        inst: &TemporalInstance,
+        group: &[TupleId],
+        rules: &mut BTreeSet<GroundRule>,
+    ) {
+        // Per-variable candidate lists after unary filtering.
+        let candidates: Vec<Vec<TupleId>> = (0..self.dc.num_vars)
+            .map(|v| {
+                group
+                    .iter()
+                    .copied()
+                    .filter(|&tid| {
+                        self.unary[v]
+                            .iter()
+                            .all(|p| self.dc.eval_cmp_partial(p, inst, &[(v, tid)]))
+                    })
+                    .collect()
+            })
+            .collect();
+        if candidates.iter().any(|c| c.is_empty()) {
+            return;
+        }
+        let mut assignment: Vec<TupleId> = Vec::with_capacity(self.dc.num_vars);
+        self.dc
+            .ground_rec(inst, &candidates, &self.rest, &mut assignment, rules);
     }
 }
 
@@ -584,6 +648,22 @@ mod tests {
         assert_eq!(rules.len(), 1);
         assert_eq!(rules[0].conclusion, None);
         assert!(rules[0].premises.is_empty());
+    }
+
+    #[test]
+    fn ground_entity_partitions_full_grounding() {
+        // Two entities with in-group value spreads: the per-entity
+        // groundings must union (disjointly) to the full grounding.
+        let d = inst_with(&[(1, 10, 0), (1, 20, 0), (2, 5, 0), (2, 7, 0)]);
+        let dc = monotone_a();
+        let full = dc.ground(&d);
+        let mut merged: Vec<GroundRule> = [Eid(1), Eid(2)]
+            .into_iter()
+            .flat_map(|e| dc.ground_entity(&d, e))
+            .collect();
+        merged.sort();
+        assert_eq!(full, merged);
+        assert!(dc.ground_entity(&d, Eid(9)).is_empty(), "unknown entity");
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub enum CurrencyError {
         /// Offending attribute position within the signature.
         position: usize,
     },
+    /// A delta referred to a copy-function index that does not exist.
+    UnknownCopy {
+        /// The out-of-range copy index.
+        copy: usize,
+    },
     /// A copy signature has mismatched attribute lists.
     SignatureMismatch {
         /// Human-readable detail.
@@ -144,6 +149,9 @@ impl fmt::Display for CurrencyError {
                 f,
                 "copy function #{copy} violates the copying condition at signature position {position}: target {target} ≠ source {source}"
             ),
+            CurrencyError::UnknownCopy { copy } => {
+                write!(f, "specification has no copy function #{copy}")
+            }
             CurrencyError::SignatureMismatch { detail } => {
                 write!(f, "malformed copy signature: {detail}")
             }

@@ -26,6 +26,13 @@
 //!   all constraints.  Each completion induces a **current instance**
 //!   ([`current_instance`]): one synthesized most-current tuple per entity.
 //!
+//! Specifications are *live*: a [`SpecDelta`] batches tuple inserts and
+//! removals, new order edges, new constraints and copy-function
+//! extensions, and [`Specification::apply_delta`] applies the batch
+//! atomically (validate first, mutate only if everything is admissible),
+//! reporting the touched `(relation, entity)` cells so incremental
+//! consumers can invalidate precisely.
+//!
 //! Decision procedures over this model (consistency, certain orders,
 //! certain current query answers, currency preservation) live in the
 //! `currency-reason` crate; this crate is purely the model plus its local
@@ -64,6 +71,7 @@
 mod completion;
 mod copy;
 mod current;
+mod delta;
 mod denial;
 mod error;
 mod instance;
@@ -77,8 +85,10 @@ mod value;
 pub use completion::{Completion, RelCompletion};
 pub use copy::{CopyFunction, CopySignature};
 pub use current::{current_instance, current_tuple, lst};
+pub use delta::{DeltaEffects, DeltaOp, SpecDelta};
 pub use denial::{
-    CmpOp, DenialBuilder, DenialConstraint, GroundRule, OrderEdge, Predicate, Term, VarId,
+    CmpOp, DenialBuilder, DenialConstraint, EntityGrounder, GroundRule, OrderEdge, Predicate, Term,
+    VarId,
 };
 pub use error::CurrencyError;
 pub use instance::{NormalInstance, Tuple};

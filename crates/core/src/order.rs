@@ -52,6 +52,31 @@ impl OrderRelation {
         self.pairs.iter().copied()
     }
 
+    /// Iterate over the stored pairs whose *lesser* side is `lesser`.
+    ///
+    /// A range scan over the ordered pair set — the per-entity encoding
+    /// passes use this to collect one tuple's outgoing edges without
+    /// walking the whole relation's order.
+    pub fn pairs_from(&self, lesser: TupleId) -> impl Iterator<Item = (TupleId, TupleId)> + '_ {
+        self.pairs
+            .range((lesser, TupleId(u32::MIN))..=(lesser, TupleId(u32::MAX)))
+            .copied()
+    }
+
+    /// Remove the pair `lesser ≺ greater`.  Returns `true` if it was stored.
+    pub fn remove(&mut self, lesser: TupleId, greater: TupleId) -> bool {
+        self.pairs.remove(&(lesser, greater))
+    }
+
+    /// Remove every pair mentioning `t` (on either side).  Returns the
+    /// number of pairs dropped.  Used when a tuple is removed from its
+    /// instance: its order facts go with it.
+    pub fn remove_involving(&mut self, t: TupleId) -> usize {
+        let before = self.pairs.len();
+        self.pairs.retain(|&(a, b)| a != t && b != t);
+        before - self.pairs.len()
+    }
+
     /// `true` iff every pair of `self` appears in `other` (⊆ on raw pairs).
     pub fn subset_of(&self, other: &OrderRelation) -> bool {
         self.pairs.is_subset(&other.pairs)

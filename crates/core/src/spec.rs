@@ -75,6 +75,19 @@ impl Specification {
 
     /// Add a denial constraint after validating its attribute references.
     pub fn add_constraint(&mut self, dc: DenialConstraint) -> Result<(), CurrencyError> {
+        self.check_constraint_schema(&dc)?;
+        self.constraints.push(dc);
+        Ok(())
+    }
+
+    /// Schema admissibility of a denial constraint: relation registered,
+    /// attribute indices within its arity.  Shared between
+    /// [`Specification::add_constraint`] and delta validation so the two
+    /// can never drift.
+    pub(crate) fn check_constraint_schema(
+        &self,
+        dc: &DenialConstraint,
+    ) -> Result<(), CurrencyError> {
         let rel = dc.rel();
         if rel.index() >= self.catalog.len() {
             return Err(CurrencyError::UnknownRelation {
@@ -88,7 +101,6 @@ impl Specification {
                 attr: AttrId(dc.max_attr_index() as u32),
             });
         }
-        self.constraints.push(dc);
         Ok(())
     }
 
@@ -111,7 +123,24 @@ impl Specification {
     /// Add a copy function after validating its signature and copying
     /// condition.  Returns the copy function's index.
     pub fn add_copy(&mut self, cf: CopyFunction) -> Result<usize, CurrencyError> {
+        self.check_copy_schema(cf.signature())?;
         let sig = cf.signature();
+        let idx = self.copies.len();
+        cf.validate(idx, self.instance(sig.target), self.instance(sig.source))?;
+        self.copies.push(cf);
+        Ok(idx)
+    }
+
+    /// Schema admissibility of a copy signature: both relations
+    /// registered, correlated attributes within their arities.  Shared
+    /// between [`Specification::add_copy`] and delta validation so the
+    /// two can never drift (the copying condition itself is checked
+    /// separately — against live instances here, against the delta
+    /// simulation there).
+    pub(crate) fn check_copy_schema(
+        &self,
+        sig: &crate::copy::CopySignature,
+    ) -> Result<(), CurrencyError> {
         for (rel, attrs) in [
             (sig.target, &sig.target_attrs),
             (sig.source, &sig.source_attrs),
@@ -126,10 +155,7 @@ impl Specification {
                 return Err(CurrencyError::AttrOutOfRange { rel, attr: a });
             }
         }
-        let idx = self.copies.len();
-        cf.validate(idx, self.instance(sig.target), self.instance(sig.source))?;
-        self.copies.push(cf);
-        Ok(idx)
+        Ok(())
     }
 
     /// All copy functions.

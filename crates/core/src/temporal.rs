@@ -17,12 +17,27 @@ use std::collections::BTreeMap;
 /// * the closure of every attribute order is acyclic (checked by
 ///   [`TemporalInstance::validate`], since a single insertion cannot see
 ///   future pairs).
+///
+/// ## Removal
+///
+/// Tuple ids are dense indices and must stay stable across updates (the
+/// delta layer, copy functions and cached engines all hold ids), so
+/// [`TemporalInstance::remove_tuple`] *tombstones*: the slot is kept but
+/// the tuple leaves its entity group and sheds its order pairs.  Every
+/// semantic consumer (grounding, encoding, completion enumeration) walks
+/// entity groups, so a tombstoned tuple simply stops existing; only
+/// [`TemporalInstance::len`] still counts the slot (it is the id
+/// allocator's high-water mark).  Slots are never reclaimed — sustained
+/// insert/retract churn grows the instance by one slot per removal
+/// (compaction with id remapping is future work; see the roadmap).
 #[derive(Clone, Debug)]
 pub struct TemporalInstance {
     rel: RelId,
     rel_name: String,
     arity: usize,
     tuples: Vec<Tuple>,
+    /// `removed[i]` — tuple `i` is a tombstone (see struct docs).
+    removed: Vec<bool>,
     orders: Vec<OrderRelation>,
     groups: BTreeMap<Eid, Vec<TupleId>>,
 }
@@ -35,6 +50,7 @@ impl TemporalInstance {
             rel_name: schema.name().to_string(),
             arity: schema.arity(),
             tuples: Vec::new(),
+            removed: Vec::new(),
             orders: vec![OrderRelation::new(); schema.arity()],
             groups: BTreeMap::new(),
         }
@@ -55,12 +71,18 @@ impl TemporalInstance {
         self.arity
     }
 
-    /// Number of tuples.
+    /// Number of tuple *slots* (tombstones included) — the exclusive upper
+    /// bound on valid [`TupleId`]s.
     pub fn len(&self) -> usize {
         self.tuples.len()
     }
 
-    /// `true` if the instance holds no tuples.
+    /// Number of live (non-tombstoned) tuples.
+    pub fn live_len(&self) -> usize {
+        self.removed.iter().filter(|&&r| !r).count()
+    }
+
+    /// `true` if the instance holds no tuple slots.
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()
     }
@@ -77,7 +99,41 @@ impl TemporalInstance {
         let id = TupleId(self.tuples.len() as u32);
         self.groups.entry(t.eid).or_default().push(id);
         self.tuples.push(t);
+        self.removed.push(false);
         Ok(id)
+    }
+
+    /// Tombstone a tuple: it leaves its entity group and sheds every order
+    /// pair mentioning it, but its id slot stays allocated (ids held by
+    /// copy functions or cached engines never dangle — they resolve to
+    /// "unknown tuple" through [`TemporalInstance::tuple_checked`]).
+    ///
+    /// Fails if the id is out of range or already removed.  Copy-function
+    /// mappings referencing the tuple are the specification's concern; see
+    /// `Specification::apply_delta`, which cascades them.
+    pub fn remove_tuple(&mut self, id: TupleId) -> Result<(), CurrencyError> {
+        if id.index() >= self.tuples.len() || self.removed[id.index()] {
+            return Err(CurrencyError::UnknownTuple {
+                rel: self.rel,
+                tuple: id,
+            });
+        }
+        self.removed[id.index()] = true;
+        let eid = self.tuples[id.index()].eid;
+        let group = self.groups.get_mut(&eid).expect("tuple was grouped");
+        group.retain(|&t| t != id);
+        if group.is_empty() {
+            self.groups.remove(&eid);
+        }
+        for o in &mut self.orders {
+            o.remove_involving(id);
+        }
+        Ok(())
+    }
+
+    /// `true` if the id names a live (non-tombstoned) tuple.
+    pub fn is_live(&self, id: TupleId) -> bool {
+        id.index() < self.tuples.len() && !self.removed[id.index()]
     }
 
     /// The tuple with the given id.
@@ -85,21 +141,25 @@ impl TemporalInstance {
         &self.tuples[id.index()]
     }
 
-    /// The tuple with the given id, with bounds checking.
+    /// The tuple with the given id, with bounds *and* liveness checking —
+    /// tombstoned ids resolve to [`CurrencyError::UnknownTuple`].
     pub fn tuple_checked(&self, id: TupleId) -> Result<&Tuple, CurrencyError> {
-        self.tuples
-            .get(id.index())
-            .ok_or(CurrencyError::UnknownTuple {
+        if self.is_live(id) {
+            Ok(&self.tuples[id.index()])
+        } else {
+            Err(CurrencyError::UnknownTuple {
                 rel: self.rel,
                 tuple: id,
             })
+        }
     }
 
-    /// Iterate over `(TupleId, &Tuple)` pairs.
+    /// Iterate over the live `(TupleId, &Tuple)` pairs (tombstones skipped).
     pub fn tuples(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
         self.tuples
             .iter()
             .enumerate()
+            .filter(|&(i, _)| !self.removed[i])
             .map(|(i, t)| (TupleId(i as u32), t))
     }
 
@@ -167,10 +227,10 @@ impl TemporalInstance {
         Ok(())
     }
 
-    /// Forget the orders: the embedded normal instance `D`.
+    /// Forget the orders: the embedded normal instance `D` (live tuples).
     pub fn as_normal(&self) -> NormalInstance {
         let mut n = NormalInstance::new(self.rel);
-        for t in &self.tuples {
+        for (_, t) in self.tuples() {
             n.push(t.clone());
         }
         n
@@ -286,6 +346,35 @@ mod tests {
         let n = d.as_normal();
         assert_eq!(n.len(), 2);
         assert_eq!(n.rel(), RelId(0));
+    }
+
+    #[test]
+    fn remove_tuple_tombstones_without_shifting_ids() {
+        let mut d = inst();
+        let t0 = d.push_tuple(tup(1, 0, 0)).unwrap();
+        let t1 = d.push_tuple(tup(1, 1, 1)).unwrap();
+        let t2 = d.push_tuple(tup(2, 2, 2)).unwrap();
+        d.add_order(AttrId(0), t0, t1).unwrap();
+        d.remove_tuple(t1).unwrap();
+        // Ids are stable; the tombstone is everywhere invisible.
+        assert_eq!(d.len(), 3, "slot count keeps the id space");
+        assert_eq!(d.live_len(), 2);
+        assert!(!d.is_live(t1));
+        assert!(d.tuple_checked(t1).is_err());
+        assert_eq!(d.entity_group(Eid(1)), &[t0]);
+        assert!(d.order(AttrId(0)).is_empty(), "orders shed the tuple");
+        assert_eq!(d.tuples().count(), 2);
+        assert!(d.as_normal().contains(&tup(2, 2, 2)));
+        // Removing it again (or a bogus id) fails.
+        assert!(d.remove_tuple(t1).is_err());
+        assert!(d.remove_tuple(TupleId(99)).is_err());
+        // Removing an entity's last tuple drops the entity.
+        d.remove_tuple(t2).unwrap();
+        assert_eq!(d.entities().count(), 1);
+        // New pushes still get fresh ids past the tombstones.
+        let t3 = d.push_tuple(tup(1, 3, 3)).unwrap();
+        assert_eq!(t3, TupleId(3));
+        assert_eq!(d.entity_group(Eid(1)), &[t0, t3]);
     }
 
     #[test]

@@ -249,16 +249,39 @@ impl Encoding {
         obligations: &[ObligationAt],
     ) -> BTreeSet<(RelId, AttrId)> {
         let mut refd: BTreeSet<(RelId, AttrId)> = BTreeSet::new();
-        for inst in spec.instances() {
-            let rel = inst.rel();
-            for a in 0..inst.arity() {
-                let attr = AttrId(a as u32);
-                if inst
-                    .order(attr)
-                    .iter()
-                    .any(|(u, _)| self.in_scope(rel, inst.tuple(u).eid))
-                {
-                    refd.insert((rel, attr));
+        // Initial orders: a scoped encoding range-scans its own groups'
+        // outgoing pairs (both endpoints of a pair share the entity, so
+        // checking lessers covers every pair) instead of walking every
+        // relation's full pair set — rebuild cost must scale with the
+        // component, not the specification.
+        match &self.scope {
+            None => {
+                for inst in spec.instances() {
+                    let rel = inst.rel();
+                    for a in 0..inst.arity() {
+                        let attr = AttrId(a as u32);
+                        if !inst.order(attr).is_empty() {
+                            refd.insert((rel, attr));
+                        }
+                    }
+                }
+            }
+            Some(cells) => {
+                for &(rel, eid) in cells {
+                    let inst = spec.instance(rel);
+                    for a in 0..inst.arity() {
+                        let attr = AttrId(a as u32);
+                        if refd.contains(&(rel, attr)) {
+                            continue;
+                        }
+                        if inst
+                            .entity_group(eid)
+                            .iter()
+                            .any(|&t| inst.order(attr).pairs_from(t).next().is_some())
+                        {
+                            refd.insert((rel, attr));
+                        }
+                    }
                 }
             }
         }
@@ -317,13 +340,6 @@ impl Encoding {
                     .map(move |(eid, group)| (inst.rel(), eid, group))
             })),
         }
-    }
-
-    /// `true` if the `(rel, eid)` cell belongs to this encoding.
-    fn in_scope(&self, rel: RelId, eid: Eid) -> bool {
-        self.scope
-            .as_ref()
-            .is_none_or(|cells| cells.contains(&(rel, eid)))
     }
 
     /// This encoding's entities of `rel`.  A scoped encoding walks its own
@@ -771,18 +787,37 @@ impl Encoding {
     }
 
     fn add_initial_orders(&mut self, spec: &Specification) {
-        for inst in spec.instances() {
-            let rel = inst.rel();
-            for a in 0..inst.arity() {
-                let attr = AttrId(a as u32);
-                for (u, v) in inst.order(attr).iter() {
-                    if !self.in_scope(rel, inst.tuple(u).eid) {
-                        continue;
+        match self.scope.clone() {
+            None => {
+                for inst in spec.instances() {
+                    let rel = inst.rel();
+                    for a in 0..inst.arity() {
+                        let attr = AttrId(a as u32);
+                        for (u, v) in inst.order(attr).iter() {
+                            let lit = self
+                                .order_lit(rel, attr, u, v)
+                                .expect("validated: same entity, irreflexive");
+                            self.solver.add_clause(&[lit]);
+                        }
                     }
-                    let lit = self
-                        .order_lit(rel, attr, u, v)
-                        .expect("validated: same entity, irreflexive");
-                    self.solver.add_clause(&[lit]);
+                }
+            }
+            // Scoped: range-scan each scope group's outgoing pairs rather
+            // than filtering every relation's full pair set.
+            Some(cells) => {
+                for (rel, eid) in cells {
+                    let inst = spec.instance(rel);
+                    for a in 0..inst.arity() {
+                        let attr = AttrId(a as u32);
+                        for &t in inst.entity_group(eid) {
+                            for (u, v) in inst.order(attr).pairs_from(t) {
+                                let lit = self
+                                    .order_lit(rel, attr, u, v)
+                                    .expect("validated: same entity, irreflexive");
+                                self.solver.add_clause(&[lit]);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -827,11 +862,12 @@ impl Encoding {
 
     fn add_value_indicators(&mut self, spec: &Specification, rel: RelId) {
         let inst = spec.instance(rel);
-        // Collect groups first to avoid borrowing `inst` across mutations.
-        let groups: Vec<(Eid, Vec<TupleId>)> = inst
-            .entity_groups()
-            .filter(|&(eid, _)| self.in_scope(rel, eid))
-            .map(|(e, g)| (e, g.to_vec()))
+        // Collect groups first to avoid borrowing `inst` across mutations;
+        // a scoped encoding walks its own (few) cells via a range scan
+        // instead of filtering every entity of the relation.
+        let groups: Vec<(Eid, Vec<TupleId>)> = self
+            .entities_in_scope(spec, rel)
+            .map(|eid| (eid, inst.entity_group(eid).to_vec()))
             .collect();
         for (eid, group) in groups {
             for a in 0..inst.arity() {

@@ -19,7 +19,15 @@
 //!   unrelated components never multiply the model count, and All-SAT
 //!   blocking clauses go to a throwaway clone of the component solver;
 //! * **parallelize** — component compilation and component solves fan out
-//!   across threads ([`crate::Options::threads`]).
+//!   across threads ([`crate::Options::threads`]);
+//! * **update in place** — [`CurrencyEngine::apply`] feeds a
+//!   [`SpecDelta`] through the engine: the owned specification mutates,
+//!   the entity partition is maintained incrementally
+//!   ([`Partition::refresh`]), and **only the touched components** are
+//!   recompiled — every clean component keeps its cached solver, learnt
+//!   clauses, lazy-transitivity lemmas and satisfiability verdict.  A
+//!   component-local delta on an `n`-component specification therefore
+//!   costs one component compile, not `n`.
 //!
 //! The monolithic one-shot path (`Encoding::new` over the whole
 //! specification) remains available as the `*_monolithic` functions in
@@ -29,17 +37,18 @@ use crate::ccqa::CertainAnswers;
 use crate::cop::CurrencyOrderQuery;
 use crate::encode::Encoding;
 use crate::error::ReasonError;
-use crate::partition::Partition;
+use crate::partition::{ComponentSource, Partition};
 use crate::Options;
 use currency_core::{
-    AttrId, Completion, Eid, NormalInstance, RelCompletion, RelId, Specification, Tuple, TupleId,
-    Value,
+    AttrId, Completion, Eid, NormalInstance, RelCompletion, RelId, SpecDelta, Specification, Tuple,
+    TupleId, Value,
 };
 use currency_query::{Database, Query};
 use currency_sat::{Enumeration, SolveResult, SolverStats};
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Aggregate counters across an engine's component solvers.
 #[derive(Clone, Copy, Debug, Default)]
@@ -52,8 +61,29 @@ pub struct EngineStats {
     pub vars: usize,
     /// Total clauses (original + learnt) across component solvers.
     pub clauses: usize,
+    /// Deltas applied over the engine's lifetime
+    /// ([`CurrencyEngine::apply`]).
+    pub updates_applied: usize,
+    /// Components recompiled across all applied deltas.
+    pub components_rebuilt: usize,
+    /// Components whose cached state survived a delta, summed across all
+    /// applied deltas.
+    pub components_reused: usize,
     /// Aggregated CDCL counters.
     pub sat: SolverStats,
+}
+
+/// What one [`CurrencyEngine::apply`] call did.
+#[derive(Clone, Debug)]
+pub struct ApplyReport {
+    /// Components recompiled by this delta.
+    pub components_rebuilt: usize,
+    /// Components whose cached solver state was carried over untouched.
+    pub components_reused: usize,
+    /// Number of `(relation, entity)` cells the delta touched.
+    pub cells_touched: usize,
+    /// Ids assigned to tuples the delta inserted, in operation order.
+    pub inserted: Vec<(RelId, TupleId)>,
 }
 
 struct ComponentState {
@@ -78,17 +108,26 @@ struct ComponentModels {
 /// Construction cost is paid once; queries touch only the components they
 /// involve.  All query methods take `&self` — component solvers sit
 /// behind mutexes, so engines are `Sync` and queries on distinct
-/// components proceed in parallel.  The engine borrows the specification
-/// it was compiled from, so the borrow checker guarantees the
-/// specification cannot drift from the compiled clauses.
+/// components proceed in parallel.
+///
+/// The engine holds its specification as a [`Cow`]: compiled from a
+/// borrowed specification it stays zero-copy, and the first
+/// [`CurrencyEngine::apply`] promotes it to an owned copy that mutates in
+/// place from then on — either way the compiled clauses can never drift
+/// from the specification the engine answers for.  Engines meant to live
+/// beyond their construction scope can take ownership up front with
+/// [`CurrencyEngine::new_owned`].
 pub struct CurrencyEngine<'a> {
-    spec: &'a Specification,
+    spec: Cow<'a, Specification>,
     value_rels: Vec<RelId>,
     partition: Partition,
     components: Vec<Mutex<ComponentState>>,
     /// Aggregate CPS verdict, set after the first full component sweep.
     cps_verdict: OnceLock<bool>,
     opts: Options,
+    updates_applied: usize,
+    components_rebuilt: usize,
+    components_reused: usize,
 }
 
 impl<'a> CurrencyEngine<'a> {
@@ -109,17 +148,49 @@ impl<'a> CurrencyEngine<'a> {
         value_rels: &[RelId],
         opts: &Options,
     ) -> Result<CurrencyEngine<'a>, ReasonError> {
+        CurrencyEngine::build(Cow::Borrowed(spec), value_rels, opts)
+    }
+
+    /// [`CurrencyEngine::new`], taking ownership of the specification —
+    /// the natural form for a long-lived engine fed by
+    /// [`CurrencyEngine::apply`].
+    pub fn new_owned(
+        spec: Specification,
+        opts: &Options,
+    ) -> Result<CurrencyEngine<'static>, ReasonError> {
+        let value_rels: Vec<RelId> = spec.instances().iter().map(|i| i.rel()).collect();
+        CurrencyEngine::build(Cow::Owned(spec), &value_rels, opts)
+    }
+
+    /// [`CurrencyEngine::with_value_rels`], taking ownership of the
+    /// specification.
+    pub fn with_value_rels_owned(
+        spec: Specification,
+        value_rels: &[RelId],
+        opts: &Options,
+    ) -> Result<CurrencyEngine<'static>, ReasonError> {
+        CurrencyEngine::build(Cow::Owned(spec), value_rels, opts)
+    }
+
+    fn build<'s>(
+        spec: Cow<'s, Specification>,
+        value_rels: &[RelId],
+        opts: &Options,
+    ) -> Result<CurrencyEngine<'s>, ReasonError> {
         spec.validate()?;
-        let partition = Partition::of(spec);
+        let partition = Partition::of(&spec);
         let threads = effective_threads(opts);
-        let encodings = run_indexed(threads, partition.len(), |ix| {
-            Ok(Encoding::for_component(
-                spec,
-                value_rels,
-                &partition.components()[ix],
-                opts.transitivity,
-            ))
-        })?;
+        let encodings = {
+            let spec = spec.as_ref();
+            run_indexed(threads, partition.len(), |ix| {
+                Ok(Encoding::for_component(
+                    spec,
+                    value_rels,
+                    &partition.components()[ix],
+                    opts.transitivity,
+                ))
+            })?
+        };
         let components = encodings
             .into_iter()
             .map(|enc| Mutex::new(ComponentState { enc, status: None }))
@@ -131,12 +202,108 @@ impl<'a> CurrencyEngine<'a> {
             components,
             cps_verdict: OnceLock::new(),
             opts: *opts,
+            updates_applied: 0,
+            components_rebuilt: 0,
+            components_reused: 0,
         })
     }
 
-    /// The specification the engine was compiled from.
+    /// Apply a delta to the live specification and re-validate exactly the
+    /// touched components.
+    ///
+    /// The delta is validated and applied atomically
+    /// ([`Specification::apply_delta`]) — on error the engine and its
+    /// specification are unchanged and remain fully usable.  On success
+    /// the entity partition is refreshed incrementally
+    /// ([`Partition::refresh`]): components the delta touched (or that a
+    /// new copy obligation links to a touched one) are recompiled, in
+    /// parallel under [`Options::threads`]; every other component keeps
+    /// its compiled CNF, learnt clauses, transitivity lemmas and cached
+    /// satisfiability verdict.  The aggregate CPS verdict is invalidated
+    /// and re-derived on demand from the per-component caches, so the next
+    /// [`CurrencyEngine::cps`] call solves only the rebuilt components.
+    ///
+    /// A borrowed engine clones the specification on its first `apply`
+    /// (`Cow` promotion); subsequent deltas mutate the owned copy in
+    /// place.
+    pub fn apply(&mut self, delta: &SpecDelta) -> Result<ApplyReport, ReasonError> {
+        // A rejected delta on a still-borrowed engine must not pay the
+        // Cow promotion (a full spec clone), so validate first; owned
+        // engines skip this — `apply_delta` validates internally.
+        if matches!(self.spec, Cow::Borrowed(_)) {
+            delta.validate(self.spec.as_ref())?;
+        }
+        let effects = self.spec.to_mut().apply_delta(delta)?;
+        let plan = self
+            .partition
+            .refresh(self.spec.as_ref(), &effects.touched_cells);
+        let rebuild_ixs: Vec<usize> = plan
+            .sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, ComponentSource::Rebuilt))
+            .map(|(ix, _)| ix)
+            .collect();
+        // Compile the rebuilt components (in parallel when the fleet
+        // warrants it) *before* dismantling the cache, so the fallible
+        // step cannot leave the engine without its component states.
+        let transitivity = self.opts.transitivity;
+        let compiled = {
+            let spec = self.spec.as_ref();
+            let partition = &self.partition;
+            let value_rels = &self.value_rels;
+            run_indexed(effective_threads(&self.opts), rebuild_ixs.len(), |k| {
+                Ok(Encoding::for_component(
+                    spec,
+                    value_rels,
+                    &partition.components()[rebuild_ixs[k]],
+                    transitivity,
+                ))
+            })?
+        };
+        // Carry clean component states over (infallible from here on).
+        let mut old: Vec<Option<ComponentState>> = std::mem::take(&mut self.components)
+            .into_iter()
+            .map(|m| {
+                Some(
+                    m.into_inner()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                )
+            })
+            .collect();
+        let mut compiled = compiled.into_iter();
+        self.components = plan
+            .sources
+            .iter()
+            .map(|src| {
+                let state = match src {
+                    ComponentSource::Reused(old_ix) => {
+                        old[*old_ix].take().expect("each old component reused once")
+                    }
+                    ComponentSource::Rebuilt => ComponentState {
+                        enc: compiled.next().expect("one encoding per rebuilt component"),
+                        status: None,
+                    },
+                };
+                Mutex::new(state)
+            })
+            .collect();
+        self.cps_verdict = OnceLock::new();
+        self.updates_applied += 1;
+        self.components_rebuilt += plan.rebuilt();
+        self.components_reused += plan.reused();
+        Ok(ApplyReport {
+            components_rebuilt: plan.rebuilt(),
+            components_reused: plan.reused(),
+            cells_touched: effects.touched_cells.len(),
+            inserted: effects.inserted,
+        })
+    }
+
+    /// The specification the engine currently answers for (including every
+    /// applied delta).
     pub fn spec(&self) -> &Specification {
-        self.spec
+        self.spec.as_ref()
     }
 
     /// The entity partition the engine solves over.
@@ -159,10 +326,13 @@ impl<'a> CurrencyEngine<'a> {
                 .iter()
                 .map(|c| c.cells.len())
                 .sum(),
+            updates_applied: self.updates_applied,
+            components_rebuilt: self.components_rebuilt,
+            components_reused: self.components_reused,
             ..EngineStats::default()
         };
         for comp in &self.components {
-            let st = comp.lock().expect("component lock");
+            let st = lock_component(comp);
             stats.vars += st.enc.num_vars();
             stats.clauses += st.enc.num_clauses();
             stats.sat += st.enc.solver_stats();
@@ -172,7 +342,7 @@ impl<'a> CurrencyEngine<'a> {
 
     /// Satisfiability of one component, solved on first demand and cached.
     fn component_status(&self, ix: usize) -> bool {
-        let mut st = self.components[ix].lock().expect("component lock");
+        let mut st = lock_component(&self.components[ix]);
         match st.status {
             Some(s) => s,
             None => {
@@ -225,7 +395,7 @@ impl<'a> CurrencyEngine<'a> {
                 .partition
                 .component_of(ot.rel, lt.eid)
                 .expect("every entity has a component");
-            let mut st = self.components[ix].lock().expect("component lock");
+            let mut st = lock_component(&self.components[ix]);
             let Some(l) = st.enc.order_lit(ot.rel, attr, lesser, greater) else {
                 return Ok(false);
             };
@@ -247,7 +417,7 @@ impl<'a> CurrencyEngine<'a> {
         let touched = self.partition.components_touching(rel);
         let verdicts = run_indexed(effective_threads(&self.opts), touched.len(), |k| {
             let ix = touched[k];
-            let st = self.components[ix].lock().expect("component lock");
+            let st = lock_component(&self.components[ix]);
             let (_, vars) = st.enc.restricted_projection(&[rel]);
             if vars.is_empty() {
                 return Ok(true); // every completion yields the same rows
@@ -345,7 +515,7 @@ impl<'a> CurrencyEngine<'a> {
     ) -> Result<Vec<ComponentModels>, ReasonError> {
         let per_comp = run_indexed(effective_threads(&self.opts), comps.len(), |k| {
             let ix = comps[k];
-            let st = self.components[ix].lock().expect("component lock");
+            let st = lock_component(&self.components[ix]);
             let (indices, vars) = st.enc.restricted_projection(rels);
             if vars.is_empty() {
                 // One realizable outcome: the component's fixed rows.
@@ -395,9 +565,9 @@ impl<'a> CurrencyEngine<'a> {
         loop {
             let mut rows: Vec<(RelId, Tuple)> = Vec::new();
             for (k, cm) in per_comp.iter().enumerate() {
-                let st = self.components[cm.comp].lock().expect("component lock");
+                let st = lock_component(&self.components[cm.comp]);
                 rows.extend(st.enc.decode_restricted(
-                    self.spec,
+                    self.spec.as_ref(),
                     rels,
                     &cm.indices,
                     &cm.models[pick[k]],
@@ -430,14 +600,14 @@ impl<'a> CurrencyEngine<'a> {
         }
         let chains_per_comp: Vec<ComponentChains> =
             run_indexed(effective_threads(&self.opts), self.partition.len(), |ix| {
-                let mut st = self.components[ix].lock().expect("component lock");
+                let mut st = lock_component(&self.components[ix]);
                 // Re-solve without assumptions so the model is a plain
                 // completion model (assumption queries may have left the
                 // solver without one); in lazy mode this also re-runs the
                 // closure refinement so the model is transitive.
                 let sat = st.enc.solve();
                 debug_assert_eq!(sat, SolveResult::Sat, "component known satisfiable");
-                Ok(st.enc.model_chains(self.spec))
+                Ok(st.enc.model_chains(self.spec.as_ref()))
             })?;
         let mut chains: BTreeMap<RelId, Vec<BTreeMap<Eid, Vec<TupleId>>>> = self
             .spec
@@ -460,7 +630,7 @@ impl<'a> CurrencyEngine<'a> {
             })
             .collect();
         let completion = Completion::new(rels?);
-        debug_assert!(completion.is_consistent_for(self.spec));
+        debug_assert!(completion.is_consistent_for(self.spec.as_ref()));
         Ok(Some(completion))
     }
 
@@ -498,6 +668,27 @@ impl<'a> CurrencyEngine<'a> {
                      in with_value_rels"
                 ),
             })
+        }
+    }
+}
+
+/// Lock a component's state, surviving mutex poisoning.
+///
+/// A query that panics while holding a component lock (a budget assertion,
+/// a debug invariant) poisons the mutex; without recovery every later
+/// query on that component would panic too, which is fatal for a
+/// long-lived engine.  The component state itself stays coherent across
+/// such a panic — queries mutate only the solver, whose operations keep
+/// its invariants — but the cached satisfiability verdict is conservatively
+/// dropped so the next query re-derives it.
+fn lock_component(m: &Mutex<ComponentState>) -> MutexGuard<'_, ComponentState> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            m.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.status = None;
+            guard
         }
     }
 }
@@ -721,6 +912,126 @@ mod tests {
         // The aggregated stats surface the new solver counters.
         assert_eq!(eager.stats().sat.lemmas_added, 0, "eager never lemmatizes");
         let _ = lazy.stats().sat.lemmas_added; // present and aggregated
+    }
+
+    #[test]
+    fn apply_rebuilds_only_the_touched_component() {
+        use currency_core::SpecDelta;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut engine = CurrencyEngine::new(&spec, &Options::default()).unwrap();
+        assert!(engine.cps().unwrap());
+        // Insert a new most-current value into entity 1 only.
+        let mut delta = SpecDelta::new();
+        delta.insert_tuple(r, Tuple::new(Eid(1), vec![Value::int(99)]));
+        let report = engine.apply(&delta).unwrap();
+        assert_eq!(report.components_rebuilt, 1);
+        assert_eq!(report.components_reused, 2);
+        assert_eq!(report.inserted.len(), 1);
+        let new_id = report.inserted[0].1;
+        // The borrowed original is untouched (Cow promotion).
+        assert_eq!(spec.instance(r).len(), 6);
+        assert_eq!(engine.spec().instance(r).len(), 7);
+        // Verdicts match a freshly built engine on the updated spec.
+        let fresh = CurrencyEngine::new(engine.spec(), &Options::default()).unwrap();
+        assert_eq!(engine.cps().unwrap(), fresh.cps().unwrap());
+        for (u, v) in [(TupleId(2), new_id), (new_id, TupleId(2))] {
+            let q = CurrencyOrderQuery::single(r, A, u, v);
+            assert_eq!(engine.cop(&q).unwrap(), fresh.cop(&q).unwrap());
+        }
+        assert!(engine
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(2), new_id))
+            .unwrap());
+        // Lifetime counters surface in the stats.
+        let stats = engine.stats();
+        assert_eq!(stats.updates_applied, 1);
+        assert_eq!(stats.components_rebuilt, 1);
+        assert_eq!(stats.components_reused, 2);
+    }
+
+    #[test]
+    fn apply_chains_on_an_owned_engine() {
+        use currency_core::SpecDelta;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut engine = CurrencyEngine::new_owned(spec, &Options::default()).unwrap();
+        for step in 0..3 {
+            let mut delta = SpecDelta::new();
+            delta.insert_tuple(r, Tuple::new(Eid(0), vec![Value::int(100 + step)]));
+            let report = engine.apply(&delta).unwrap();
+            assert_eq!(report.components_rebuilt, 1);
+            assert!(engine.cps().unwrap());
+        }
+        assert_eq!(engine.stats().updates_applied, 3);
+        assert_eq!(engine.spec().instance(r).entity_group(Eid(0)).len(), 5);
+    }
+
+    #[test]
+    fn failed_apply_leaves_engine_untouched_and_usable() {
+        use currency_core::SpecDelta;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut engine = CurrencyEngine::new(&spec, &Options::default()).unwrap();
+        assert!(engine.cps().unwrap());
+        // Second op of the delta is invalid: nothing may change.
+        let mut delta = SpecDelta::new();
+        delta
+            .insert_tuple(r, Tuple::new(Eid(0), vec![Value::int(5)]))
+            .add_order_edge(r, A, TupleId(0), TupleId(2)); // cross-entity
+        assert!(engine.apply(&delta).is_err());
+        assert_eq!(engine.spec().instance(r).len(), 6, "no partial mutation");
+        assert_eq!(engine.stats().updates_applied, 0);
+        assert!(engine.cps().unwrap());
+        assert!(engine
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)))
+            .unwrap());
+    }
+
+    #[test]
+    fn apply_handles_constraint_and_removal_deltas() {
+        use currency_core::SpecDelta;
+        let (spec, r) = multi_entity_spec();
+        let mut engine = CurrencyEngine::new(&spec, &Options::default()).unwrap();
+        // Unconstrained: 10 ≺ 20 is not certain.
+        let q = CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1));
+        assert!(!engine.cop(&q).unwrap());
+        // Adding the monotone constraint touches every cell of R.
+        let mut delta = SpecDelta::new();
+        delta.add_constraint(monotone(r));
+        let report = engine.apply(&delta).unwrap();
+        assert_eq!(report.components_rebuilt, 3);
+        assert!(engine.cop(&q).unwrap(), "constraint now forces the pair");
+        // Removing the greater tuple makes the pair unknown → not certain.
+        let mut delta = SpecDelta::new();
+        delta.remove_tuple(r, TupleId(1));
+        let report = engine.apply(&delta).unwrap();
+        assert_eq!(report.components_rebuilt, 1);
+        assert!(!engine.cop(&q).unwrap(), "removed tuple is never certain");
+        let fresh = CurrencyEngine::new(engine.spec(), &Options::default()).unwrap();
+        assert_eq!(engine.cps().unwrap(), fresh.cps().unwrap());
+        assert_eq!(engine.dcip(r).unwrap(), fresh.dcip(r).unwrap());
+    }
+
+    #[test]
+    fn poisoned_component_lock_recovers() {
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let engine = CurrencyEngine::new(&spec, &Options::default()).unwrap();
+        // Poison one component's mutex by panicking while holding it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = engine.components[0].lock().unwrap();
+            panic!("simulated query panic");
+        }));
+        assert!(result.is_err());
+        assert!(engine.components[0].is_poisoned());
+        // Every query path still works: the lock recovers, the cached
+        // status is re-derived.
+        assert!(engine.cps().unwrap());
+        assert!(engine
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)))
+            .unwrap());
+        assert!(engine.witness_completion().unwrap().is_some());
+        assert!(!engine.components[0].is_poisoned(), "poison cleared");
     }
 
     #[test]

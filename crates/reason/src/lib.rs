@@ -30,6 +30,11 @@
 //!   assumptions — repeated queries over one specification cost
 //!   O(solve touched components) instead of O(encode whole spec), and
 //!   components compile and solve in parallel ([`Options::threads`]).
+//!   The engine is also *live*: [`CurrencyEngine::apply`] feeds it a
+//!   [`currency_core::SpecDelta`] (tuple inserts/removals, new order
+//!   edges, constraints, copy extensions), re-partitions incrementally
+//!   and recompiles only the touched components — see [`engine`] and
+//!   [`partition`].
 //!   The pre-partitioning whole-specification path is kept as the
 //!   `*_monolithic` functions for differential testing.
 //! * **Enumeration reference solvers** ([`enumerate`]): brute-force
@@ -71,11 +76,11 @@ pub use cps::{
     witness_completion_monolithic,
 };
 pub use dcip::{dcip, dcip_exact, dcip_exact_monolithic, dcip_ptime};
-pub use engine::{CurrencyEngine, EngineStats};
+pub use engine::{ApplyReport, CurrencyEngine, EngineStats};
 pub use error::ReasonError;
 pub use explain::{explain_inconsistency, InconsistencyCore, SpecComponent};
 pub use fixpoint::{po_infinity, CertainOrders};
-pub use partition::Partition;
+pub use partition::{ComponentSource, Partition, RefreshPlan};
 pub use preserve::{bcp, cpp, ecp, maximum_extension, ExtensionSlot, PreservationProblem};
 pub use preserve_sp::{bcp_sp, cpp_sp};
 pub use sp_ptime::{ccqa_sp, certain_answers_sp, poss_instance};

@@ -19,6 +19,22 @@
 //! [`crate::engine::CurrencyEngine`] compiles each component into its own
 //! cached solver and answers queries against only the components they
 //! touch.
+//!
+//! ## Incremental maintenance
+//!
+//! The partition is *dynamic*: after a [`currency_core::SpecDelta`] is
+//! applied to the specification, [`Partition::refresh`] re-derives only
+//! the **dirty region** — the components owning a touched cell, plus any
+//! component a freshly derived copy obligation links into it.  Grounding
+//! is entity-local ([`currency_core::DenialConstraint::ground_entity`]),
+//! so only the dirty cells' rules are recomputed; obligations are
+//! re-enumerated only for mapping groups touching the dirty region
+//! ([`currency_core::CopyFunction::compatibility_obligations_filtered`]).
+//! The dirty region is then locally re-partitioned (merges *and* splits
+//! both fall out of re-running the union–find over the region), while
+//! every clean component survives untouched — the returned
+//! [`RefreshPlan`] tells the engine which cached component states are
+//! still valid and which must be recompiled.
 
 use currency_core::{Eid, GroundRule, OrderEdge, RelId, Specification};
 use std::collections::{BTreeSet, HashMap};
@@ -65,9 +81,47 @@ pub struct Component {
 pub struct Partition {
     components: Vec<Component>,
     index: HashMap<(RelId, Eid), usize>,
+    /// Cells whose grounding produced a premise-free falsum rule (an
+    /// unconditional contradiction local to that cell).
+    falsum_cells: BTreeSet<(RelId, Eid)>,
     /// `true` if grounding produced a premise-free falsum rule — the
     /// specification is inconsistent regardless of any order choice.
     pub has_ground_falsum: bool,
+}
+
+/// How one component of a refreshed partition relates to the previous
+/// layout (see [`Partition::refresh`]): positions are aligned with
+/// [`Partition::components`] after the refresh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComponentSource {
+    /// Identical to the old component at this index — caches built for it
+    /// (compiled CNF, learnt clauses, solved status) remain valid.
+    Reused(usize),
+    /// Freshly derived from the dirty region; must be recompiled.
+    Rebuilt,
+}
+
+/// The outcome of [`Partition::refresh`]: one [`ComponentSource`] per
+/// component of the refreshed partition, in component order.
+#[derive(Clone, Debug)]
+pub struct RefreshPlan {
+    /// Per-component provenance, aligned with [`Partition::components`].
+    pub sources: Vec<ComponentSource>,
+}
+
+impl RefreshPlan {
+    /// Number of components rebuilt from the dirty region.
+    pub fn rebuilt(&self) -> usize {
+        self.sources
+            .iter()
+            .filter(|s| matches!(s, ComponentSource::Rebuilt))
+            .count()
+    }
+
+    /// Number of components carried over unchanged.
+    pub fn reused(&self) -> usize {
+        self.sources.len() - self.rebuilt()
+    }
 }
 
 /// Plain union–find over dense cell ids.
@@ -112,44 +166,158 @@ impl Partition {
     /// function's compatibility obligations exactly once; the caller is
     /// expected to have validated the specification.
     pub fn of(spec: &Specification) -> Partition {
-        // Dense ids for the (relation, entity) cells.
-        let mut cell_ids: HashMap<(RelId, Eid), u32> = HashMap::new();
-        let mut cells: Vec<(RelId, Eid)> = Vec::new();
-        for inst in spec.instances() {
-            for eid in inst.entities() {
-                let key = (inst.rel(), eid);
-                cell_ids.insert(key, cells.len() as u32);
-                cells.push(key);
+        let cells: BTreeSet<(RelId, Eid)> = spec
+            .instances()
+            .iter()
+            .flat_map(|inst| inst.entities().map(move |eid| (inst.rel(), eid)))
+            .collect();
+        let mut partition = Partition {
+            components: Vec::new(),
+            index: HashMap::new(),
+            falsum_cells: BTreeSet::new(),
+            has_ground_falsum: false,
+        };
+        let keep_all = |_: Eid, _: Eid, _: RelId, _: RelId| true;
+        let fresh = partition.derive_region(spec, &cells, &keep_all);
+        partition.components = fresh;
+        partition.index = Partition::index_of(&partition.components);
+        partition.has_ground_falsum = !partition.falsum_cells.is_empty();
+        partition
+    }
+
+    /// Re-derive the partition after a delta touched `touched` cells,
+    /// keeping every clean component (and its index) byte-identical.
+    ///
+    /// The dirty region is the touched cells plus every cell of a
+    /// component owning one.  Only the region's rules and obligations are
+    /// re-derived (entity-local grounding, filtered obligation
+    /// enumeration); the region is then re-partitioned locally, which
+    /// realizes merges *and* splits.  Clean components keep their
+    /// *relative order*; rebuilt components fill the freed slots in order
+    /// (overflow appends, a shrink closes slots), so absolute indices may
+    /// shift — map cached per-component state through the returned plan,
+    /// never through pre-refresh indices.
+    ///
+    /// **Contract** (guaranteed by `DeltaEffects::touched_cells`):
+    /// `touched` must contain *both* endpoint cells of every copy mapping
+    /// the delta added or removed.  That closes the region without any
+    /// global scan: a pre-existing obligation already has both endpoints
+    /// in one component (that is what the partition means), so an
+    /// obligation can only cross the region boundary if its link is new —
+    /// and then both its cells are in `touched`.  Refresh cost therefore
+    /// scales with the dirty region, not the specification.
+    ///
+    /// The returned [`RefreshPlan`] maps every post-refresh component to
+    /// its provenance so cached per-component state can be carried over.
+    pub fn refresh(
+        &mut self,
+        spec: &Specification,
+        touched: &BTreeSet<(RelId, Eid)>,
+    ) -> RefreshPlan {
+        // The dirty region: touched cells plus their components' cells.
+        let mut dirty_comps: BTreeSet<usize> = BTreeSet::new();
+        let mut dirty_cells: BTreeSet<(RelId, Eid)> = touched.clone();
+        for cell in touched {
+            if let Some(&cix) = self.index.get(cell) {
+                dirty_comps.insert(cix);
             }
         }
-        let mut uf = UnionFind::new(cells.len());
-        let mut has_ground_falsum = false;
+        for &cix in &dirty_comps {
+            dirty_cells.extend(self.components[cix].cells.iter().copied());
+        }
 
-        // Ground denial rules; union the entities their edges mention.
-        let mut rules: Vec<(GroundRuleAt, Option<u32>)> = Vec::new();
+        // Cells may have vanished (their entity lost its last tuple): the
+        // region to re-derive is the *live* part of the dirty cell set.
+        let live_dirty: BTreeSet<(RelId, Eid)> = dirty_cells
+            .iter()
+            .copied()
+            .filter(|&(rel, eid)| !spec.instance(rel).entity_group(eid).is_empty())
+            .collect();
+        // Stale falsum verdicts of the region go; derive_region re-adds
+        // the ones that still hold.
+        for cell in &dirty_cells {
+            self.falsum_cells.remove(cell);
+        }
+        let keep = |te: Eid, se: Eid, tgt: RelId, src: RelId| {
+            live_dirty.contains(&(tgt, te)) || live_dirty.contains(&(src, se))
+        };
+        let fresh = self.derive_region(spec, &live_dirty, &keep);
+
+        // Splice: clean components keep their slots; fresh components fill
+        // the freed dirty slots in order, overflowing to the tail.
+        let mut sources: Vec<ComponentSource> = Vec::new();
+        let mut components: Vec<Component> = Vec::new();
+        let mut fresh_iter = fresh.into_iter();
+        for (old_ix, comp) in std::mem::take(&mut self.components).into_iter().enumerate() {
+            if dirty_comps.contains(&old_ix) {
+                if let Some(f) = fresh_iter.next() {
+                    components.push(f);
+                    sources.push(ComponentSource::Rebuilt);
+                }
+                // A dirty slot with no fresh component left just closes.
+            } else {
+                components.push(comp);
+                sources.push(ComponentSource::Reused(old_ix));
+            }
+        }
+        for f in fresh_iter {
+            components.push(f);
+            sources.push(ComponentSource::Rebuilt);
+        }
+        self.components = components;
+        self.index = Partition::index_of(&self.components);
+        self.has_ground_falsum = !self.falsum_cells.is_empty();
+        RefreshPlan { sources }
+    }
+
+    /// Derive the components covering `cells`: ground every constraint for
+    /// the cells' entities (recording premise-free falsum cells), collect
+    /// the copy obligations `keep` accepts, and union-find the cells into
+    /// components in deterministic first-seen order.
+    ///
+    /// Ground rules are entity-local, so only obligations merge cells.
+    fn derive_region(
+        &mut self,
+        spec: &Specification,
+        cells: &BTreeSet<(RelId, Eid)>,
+        keep: &dyn Fn(Eid, Eid, RelId, RelId) -> bool,
+    ) -> Vec<Component> {
+        let cell_ids: HashMap<(RelId, Eid), u32> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
+        let mut uf = UnionFind::new(cells.len());
+
+        // Entity-local grounding: each cell's rules anchor at the cell.
+        // Iterate the ordered cell set (not the id map) so rule order —
+        // and with it clause order in the compiled encodings — is
+        // deterministic.  One grounder per constraint: its value-atom
+        // analysis is shared across all the cells it grounds for.
+        let mut rules: Vec<(GroundRuleAt, u32)> = Vec::new();
         for dc in spec.constraints() {
             let inst = spec.instance(dc.rel());
-            let entity_of = |edge: &OrderEdge| inst.tuple(edge.lesser).eid;
-            for rule in dc.ground(inst) {
-                let mut anchor: Option<u32> = None;
-                for edge in rule.premises.iter().chain(rule.conclusion.as_ref()) {
-                    let cell = cell_ids[&(dc.rel(), entity_of(edge))];
-                    match anchor {
-                        None => anchor = Some(cell),
-                        Some(a) => uf.union(a, cell),
+            let grounder = dc.entity_grounder();
+            for (cid, &cell) in cells.iter().enumerate() {
+                let cid = cid as u32;
+                if cell.0 != dc.rel() {
+                    continue;
+                }
+                for rule in grounder.ground_entity(inst, cell.1) {
+                    if rule.premises.is_empty() && rule.conclusion.is_none() {
+                        // Premise-free falsum: an unconditional
+                        // contradiction local to this cell.
+                        self.falsum_cells.insert(cell);
+                        continue;
                     }
+                    rules.push((
+                        GroundRuleAt {
+                            rel: dc.rel(),
+                            rule,
+                        },
+                        cid,
+                    ));
                 }
-                if anchor.is_none() && rule.conclusion.is_none() {
-                    // Premise-free falsum: an unconditional contradiction.
-                    has_ground_falsum = true;
-                }
-                rules.push((
-                    GroundRuleAt {
-                        rel: dc.rel(),
-                        rule,
-                    },
-                    anchor,
-                ));
             }
         }
 
@@ -159,7 +327,10 @@ impl Partition {
             let sig = cf.signature();
             let target = spec.instance(sig.target);
             let source = spec.instance(sig.source);
-            for (src_edge, tgt_edge) in cf.compatibility_obligations(target, source) {
+            let accept = |te: Eid, se: Eid| keep(te, se, sig.target, sig.source);
+            for (src_edge, tgt_edge) in
+                cf.compatibility_obligations_filtered(target, source, accept)
+            {
                 let src_cell = cell_ids[&(sig.source, source.tuple(src_edge.lesser).eid)];
                 let tgt_cell = cell_ids[&(sig.target, target.tuple(tgt_edge.lesser).eid)];
                 uf.union(src_cell, tgt_cell);
@@ -178,7 +349,6 @@ impl Partition {
         // Materialize components in first-seen (deterministic) order.
         let mut root_to_component: HashMap<u32, usize> = HashMap::new();
         let mut components: Vec<Component> = Vec::new();
-        let mut index: HashMap<(RelId, Eid), usize> = HashMap::new();
         for (id, &key) in cells.iter().enumerate() {
             let root = uf.find(id as u32);
             let cix = *root_to_component.entry(root).or_insert_with(|| {
@@ -186,25 +356,29 @@ impl Partition {
                 components.len() - 1
             });
             components[cix].cells.insert(key);
-            index.insert(key, cix);
         }
         for (rule, anchor) in rules {
-            if let Some(anchor) = anchor {
-                let cix = root_to_component[&uf.find(anchor)];
-                components[cix].rules.push(rule);
-            }
-            // Premise-free rules with a conclusion have an anchor; pure
-            // falsum rules are recorded in `has_ground_falsum`.
+            let cix = root_to_component[&uf.find(anchor)];
+            components[cix].rules.push(rule);
         }
         for (ob, anchor) in obligations {
             let cix = root_to_component[&uf.find(anchor)];
             components[cix].obligations.push(ob);
         }
-        Partition {
-            components,
-            index,
-            has_ground_falsum,
+        // Component-local determinism: rules arrive grouped by constraint
+        // then cell (the iteration above), obligations by copy function.
+        components
+    }
+
+    /// The cell → component index of a component list.
+    fn index_of(components: &[Component]) -> HashMap<(RelId, Eid), usize> {
+        let mut index = HashMap::new();
+        for (i, c) in components.iter().enumerate() {
+            for &cell in &c.cells {
+                index.insert(cell, i);
+            }
         }
+        index
     }
 
     /// The components, in deterministic first-seen order.
@@ -354,6 +528,217 @@ mod tests {
         assert_eq!(p.components_touching(r).len(), 1);
         assert_eq!(p.components_touching(s).len(), 1);
         assert_ne!(p.components_touching(r), p.components_touching(s));
+    }
+
+    fn monotone(r: RelId) -> DenialConstraint {
+        DenialConstraint::builder(r, 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+            .then_order(1, A, 0)
+            .build()
+            .unwrap()
+    }
+
+    /// `refresh` must produce exactly the partition `of` computes from the
+    /// post-delta specification (same cells, rules, obligations per
+    /// component up to component order).
+    fn assert_refresh_matches_fresh(p: &Partition, spec: &Specification) {
+        let fresh = Partition::of(spec);
+        assert_eq!(p.len(), fresh.len(), "component count");
+        assert_eq!(p.has_ground_falsum, fresh.has_ground_falsum);
+        let mut a: Vec<_> = p.components().to_vec();
+        let mut b: Vec<_> = fresh.components().to_vec();
+        let key = |c: &Component| c.cells.iter().next().copied();
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cells, y.cells);
+            let mut xr = x
+                .rules
+                .iter()
+                .map(|r| (r.rel, r.rule.clone()))
+                .collect::<Vec<_>>();
+            let mut yr = y
+                .rules
+                .iter()
+                .map(|r| (r.rel, r.rule.clone()))
+                .collect::<Vec<_>>();
+            xr.sort();
+            yr.sort();
+            assert_eq!(xr, yr, "rules of {:?}", x.cells);
+            let ob_key =
+                |o: &ObligationAt| (o.source_rel, o.source_edge, o.target_rel, o.target_edge);
+            let mut xo = x.obligations.iter().map(ob_key).collect::<Vec<_>>();
+            let mut yo = y.obligations.iter().map(ob_key).collect::<Vec<_>>();
+            xo.sort();
+            yo.sort();
+            assert_eq!(xo, yo, "obligations of {:?}", x.cells);
+        }
+    }
+
+    #[test]
+    fn refresh_on_local_insert_rebuilds_one_component() {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        for e in 0..4u64 {
+            for v in 0..2 {
+                spec.instance_mut(r)
+                    .push_tuple(Tuple::new(Eid(e), vec![Value::int(v)]))
+                    .unwrap();
+            }
+        }
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut p = Partition::of(&spec);
+        assert_eq!(p.len(), 4);
+        // Insert a third tuple into entity 2 only.
+        spec.instance_mut(r)
+            .push_tuple(Tuple::new(Eid(2), vec![Value::int(7)]))
+            .unwrap();
+        let touched: BTreeSet<(RelId, Eid)> = [(r, Eid(2))].into();
+        let plan = p.refresh(&spec, &touched);
+        assert_eq!(plan.rebuilt(), 1);
+        assert_eq!(plan.reused(), 3);
+        assert_eq!(p.len(), 4);
+        // The rebuilt component carries the new entity-2 rules.
+        let cix = p.component_of(r, Eid(2)).unwrap();
+        assert!(p.components()[cix].rules.len() > 1);
+        assert_refresh_matches_fresh(&p, &spec);
+    }
+
+    #[test]
+    fn refresh_merges_components_linked_by_new_copy_mapping() {
+        let mut cat = Catalog::new();
+        let d = cat.add(RelationSchema::new("D", &["A"]));
+        let s = cat.add(RelationSchema::new("S", &["A"]));
+        let mut spec = Specification::new(cat);
+        let d1 = spec
+            .instance_mut(d)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1)]))
+            .unwrap();
+        let d2 = spec
+            .instance_mut(d)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(2)]))
+            .unwrap();
+        let s1 = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(7), vec![Value::int(1)]))
+            .unwrap();
+        let s2 = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(7), vec![Value::int(2)]))
+            .unwrap();
+        // A bystander entity that must stay untouched.
+        spec.instance_mut(d)
+            .push_tuple(Tuple::new(Eid(9), vec![Value::int(5)]))
+            .unwrap();
+        let sig = CopySignature::new(d, vec![A], s, vec![A]).unwrap();
+        let mut cf = CopyFunction::new(sig);
+        cf.set_mapping(d1, s1);
+        spec.add_copy(cf).unwrap();
+        let mut p = Partition::of(&spec);
+        // One mapping yields no obligations: three separate components.
+        assert_eq!(p.len(), 3);
+        // Extend the copy with the second mapping: obligations appear,
+        // merging (D, e1) with (S, e7).
+        spec.copy_mut(0).set_mapping(d2, s2);
+        let touched: BTreeSet<(RelId, Eid)> = [(d, Eid(1)), (s, Eid(7))].into();
+        let plan = p.refresh(&spec, &touched);
+        assert_eq!(p.len(), 2);
+        assert_eq!(plan.rebuilt(), 1, "merged region is one component");
+        assert_eq!(plan.reused(), 1, "bystander untouched");
+        assert_eq!(p.component_of(d, Eid(1)), p.component_of(s, Eid(7)));
+        assert_refresh_matches_fresh(&p, &spec);
+    }
+
+    #[test]
+    fn refresh_splits_component_when_link_is_removed() {
+        let mut cat = Catalog::new();
+        let d = cat.add(RelationSchema::new("D", &["A"]));
+        let s = cat.add(RelationSchema::new("S", &["A"]));
+        let mut spec = Specification::new(cat);
+        let d1 = spec
+            .instance_mut(d)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1)]))
+            .unwrap();
+        let d2 = spec
+            .instance_mut(d)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(2)]))
+            .unwrap();
+        let s1 = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(7), vec![Value::int(1)]))
+            .unwrap();
+        let s2 = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(7), vec![Value::int(2)]))
+            .unwrap();
+        let sig = CopySignature::new(d, vec![A], s, vec![A]).unwrap();
+        let mut cf = CopyFunction::new(sig);
+        cf.set_mapping(d1, s1);
+        cf.set_mapping(d2, s2);
+        spec.add_copy(cf).unwrap();
+        let mut p = Partition::of(&spec);
+        assert_eq!(p.len(), 1, "copy merges the two cells");
+        // Remove one mapped target tuple; the delta layer would cascade the
+        // mapping, so mirror that here.
+        spec.instance_mut(d).remove_tuple(d2).unwrap();
+        spec.copy_mut(0).retain_mappings(|t, _| t != d2);
+        let touched: BTreeSet<(RelId, Eid)> = [(d, Eid(1)), (s, Eid(7))].into();
+        let plan = p.refresh(&spec, &touched);
+        assert_eq!(p.len(), 2, "obligations gone: the component splits");
+        assert_eq!(plan.rebuilt(), 2);
+        assert_ne!(p.component_of(d, Eid(1)), p.component_of(s, Eid(7)));
+        assert_refresh_matches_fresh(&p, &spec);
+    }
+
+    #[test]
+    fn refresh_tracks_falsum_cells() {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A", "B"]));
+        let mut spec = Specification::new(cat);
+        let t0 = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1), Value::int(0)]))
+            .unwrap();
+        spec.instance_mut(r)
+            .push_tuple(Tuple::new(Eid(2), vec![Value::int(9), Value::int(0)]))
+            .unwrap();
+        // "No entity may hold two tuples agreeing on A but not B": falsum
+        // when violated (the B ≠ atom forces distinct tuples).
+        let dc = DenialConstraint::builder(r, 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Eq, Term::attr(1, A))
+            .when_cmp(
+                Term::attr(0, AttrId(1)),
+                CmpOp::Ne,
+                Term::attr(1, AttrId(1)),
+            )
+            .then_false()
+            .build()
+            .unwrap();
+        spec.add_constraint(dc).unwrap();
+        let mut p = Partition::of(&spec);
+        assert!(!p.has_ground_falsum);
+        // A conflicting duplicate in entity 1 triggers the falsum.
+        let t_dup = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1), Value::int(5)]))
+            .unwrap();
+        let touched: BTreeSet<(RelId, Eid)> = [(r, Eid(1))].into();
+        p.refresh(&spec, &touched);
+        assert!(p.has_ground_falsum);
+        assert_refresh_matches_fresh(&p, &spec);
+        // Removing the duplicate clears it again.
+        spec.instance_mut(r).remove_tuple(t_dup).unwrap();
+        let plan = p.refresh(&spec, &touched);
+        assert!(!p.has_ground_falsum);
+        assert_eq!(plan.rebuilt(), 1);
+        assert_refresh_matches_fresh(&p, &spec);
+        // Removing the last tuple of the entity drops the cell entirely.
+        spec.instance_mut(r).remove_tuple(t0).unwrap();
+        p.refresh(&spec, &touched);
+        assert_eq!(p.len(), 1);
+        assert!(p.component_of(r, Eid(1)).is_none());
+        assert_refresh_matches_fresh(&p, &spec);
     }
 
     #[test]
