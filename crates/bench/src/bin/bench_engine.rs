@@ -57,6 +57,24 @@ const UPDATE_REBUILT_LIMIT: usize = 1;
 /// 1-tuple delta against a prebuilt 128-entity engine).
 const UPDATE_ENTITIES: usize = 128;
 
+/// Flatness guard for `--check` on the large-scale workload: per-delta
+/// apply+CPS at 4× the base entity count must stay within this factor of
+/// the 1× baseline.  The delta path is O(dirty region) — stable component
+/// slots, region-patched cell index, entity-keyed mapping lookups — so
+/// the true ratio is ≈ 1; any reintroduced O(spec) term (index rebuild,
+/// whole-mapping grouping, full cache sweep) pushes it toward 4× and
+/// trips this with margin to spare for runner noise.
+const LARGE_FLAT_FACTOR: f64 = 2.0;
+
+/// Base entity count of the large workload in full mode.  The 4× point is
+/// 10 000 entities × 10 tuples and copy mappings each — the ≥10k-entity /
+/// ≥100k-mapping scale the acceptance criteria name.
+const LARGE_BASE_ENTITIES: usize = 2_500;
+
+/// Base entity count of the large workload under `--fast` (CI smoke keeps
+/// the same 1×-vs-4× shape at a fraction of the build time).
+const LARGE_BASE_ENTITIES_FAST: usize = 400;
+
 struct Args {
     fast: bool,
     check: bool,
@@ -206,6 +224,72 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Large-scale update workload: the same insert+retract delta pair
+    // against prebuilt engines at 1× and 4× spec size (entities, copy
+    // mappings, components all scale together).  The delta path is
+    // O(dirty region), so per-delta time must stay flat; afterwards one
+    // compact() reclaims the measurement loop's retraction tombstones.
+    // ------------------------------------------------------------------
+    let large_base = if args.fast {
+        LARGE_BASE_ENTITIES_FAST
+    } else {
+        LARGE_BASE_ENTITIES
+    };
+    let mut large_per_delta: Vec<f64> = Vec::new();
+    let mut large_rebuilt_per_delta: usize = 0;
+    json.push_str("  \"large\": [\n");
+    for (ix, &scale) in [1usize, 4].iter().enumerate() {
+        let entities = large_base * scale;
+        eprintln!("large: entities = {entities}");
+        let spec = scenarios::large_spec(entities);
+        let mappings = spec.total_copy_size();
+        let opts = Options::default();
+        let mut engine =
+            CurrencyEngine::with_value_rels_owned(spec, &[], &opts).expect("valid spec");
+        engine.cps().unwrap();
+        let components = engine.stats().components;
+        let insert = scenarios::large_insert_delta();
+        let apply = measure(samples, warmup, window, || {
+            let report = engine.apply(&insert).unwrap();
+            large_rebuilt_per_delta = large_rebuilt_per_delta.max(report.components_rebuilt);
+            std::hint::black_box(engine.cps().unwrap());
+            let (rel, id) = report.inserted[0];
+            let report = engine
+                .apply(&scenarios::update_remove_delta(rel, id))
+                .unwrap();
+            large_rebuilt_per_delta = large_rebuilt_per_delta.max(report.components_rebuilt);
+            std::hint::black_box(engine.cps().unwrap());
+        });
+        let per_delta_ns = apply.median_ns / 2.0;
+        large_per_delta.push(per_delta_ns);
+        // Every measured iteration retracted one tuple, leaving one
+        // tombstone slot: compact them away and price the rebuild.
+        let compact = measure_once(|| {
+            std::hint::black_box(engine.compact().unwrap().reclaimed);
+        });
+        let reclaimed = engine.stats().slots_reclaimed;
+        assert!(engine.cps().unwrap(), "consistent after compaction");
+        let _ = write!(
+            json,
+            "    {{\"entities\": {entities}, \"mappings\": {mappings}, \
+             \"components\": {components}, \"per_delta_ns\": {per_delta_ns:.0}, \
+             \"apply_pair\": "
+        );
+        push_measurement(&mut json, &apply);
+        let _ = write!(
+            json,
+            ", \"compact_reclaimed\": {reclaimed}, \"compact_ns\": {:.0}}}",
+            compact.median_ns
+        );
+        if ix == 0 {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ],\n");
+    let large_ratio = large_per_delta[1] / large_per_delta[0];
+
+    // ------------------------------------------------------------------
     // Lazy vs eager transitivity scaling on one large entity group.
     // ------------------------------------------------------------------
     let group_sweep: &[usize] = if args.fast {
@@ -284,7 +368,9 @@ fn main() {
     let time_ok = lazy_64 <= LAZY_64_THRESHOLD_NS;
     let clauses_ok = clauses_64 <= LAZY_64_CLAUSE_LIMIT;
     let update_ok = rebuilt_per_delta <= UPDATE_REBUILT_LIMIT;
-    let pass = time_ok && clauses_ok && update_ok;
+    let large_flat_ok = large_ratio <= LARGE_FLAT_FACTOR;
+    let large_rebuilt_ok = large_rebuilt_per_delta <= UPDATE_REBUILT_LIMIT;
+    let pass = time_ok && clauses_ok && update_ok && large_flat_ok && large_rebuilt_ok;
     let _ = write!(
         json,
         "  \"check\": {{\"lazy_64_median_ns\": {lazy_64:.0}, \
@@ -292,7 +378,10 @@ fn main() {
          \"lazy_64_clauses\": {clauses_64}, \
          \"lazy_64_clause_limit\": {LAZY_64_CLAUSE_LIMIT}, \
          \"update_rebuilt_per_delta\": {rebuilt_per_delta}, \
-         \"update_rebuilt_limit\": {UPDATE_REBUILT_LIMIT}, \"pass\": {pass}}}\n}}\n"
+         \"update_rebuilt_limit\": {UPDATE_REBUILT_LIMIT}, \
+         \"large_ratio_4x_over_1x\": {large_ratio:.2}, \
+         \"large_flat_factor\": {LARGE_FLAT_FACTOR:.1}, \
+         \"large_rebuilt_per_delta\": {large_rebuilt_per_delta}, \"pass\": {pass}}}\n}}\n"
     );
 
     std::fs::write(&args.out, &json).expect("write bench JSON");
@@ -315,6 +404,19 @@ fn main() {
             eprintln!(
                 "REGRESSION: a single-tuple delta recompiled {rebuilt_per_delta} components \
                  (limit {UPDATE_REBUILT_LIMIT}) — incremental partition maintenance leaks"
+            );
+        }
+        if !large_flat_ok {
+            eprintln!(
+                "REGRESSION: large-spec per-delta apply grew {large_ratio:.2}× from 1× to 4× \
+                 spec size (limit {LARGE_FLAT_FACTOR}×) — an O(spec) term crept back into \
+                 the delta path"
+            );
+        }
+        if !large_rebuilt_ok {
+            eprintln!(
+                "REGRESSION: a single-tuple delta on the large spec recompiled \
+                 {large_rebuilt_per_delta} components (limit {UPDATE_REBUILT_LIMIT})"
             );
         }
         std::process::exit(1);

@@ -2,8 +2,8 @@
 //! targets and the machine-readable `bench_engine` binary.
 
 use currency_core::{
-    AttrId, Catalog, CmpOp, DenialConstraint, Eid, RelId, RelationSchema, SpecDelta, Specification,
-    Term, Tuple, TupleId, Value,
+    AttrId, Catalog, CmpOp, CopyFunction, CopySignature, DenialConstraint, Eid, RelId,
+    RelationSchema, SpecDelta, Specification, Term, Tuple, TupleId, Value,
 };
 use currency_datagen::random::{random_spec, RandomSpecConfig};
 use currency_query::{Query, SpQuery};
@@ -79,6 +79,65 @@ pub fn update_remove_delta(rel: RelId, id: TupleId) -> SpecDelta {
     delta
 }
 
+/// Tuples — and copy mappings — per entity of [`large_spec`].
+pub const LARGE_TUPLES_PER_ENTITY: usize = 10;
+
+/// The large-scale scenario: `entities` target entities with
+/// [`LARGE_TUPLES_PER_ENTITY`] strictly-increasing readings each, every
+/// reading copied from a mirrored source entity (one copy function with
+/// `entities × 10` mappings, so each component spans one target cell +
+/// one source cell and carries ~90 compatibility obligations), plus a
+/// monotone constraint on the target.  Consistent by construction (the
+/// value order is the single completion per component).
+///
+/// This is the regime where any per-apply O(spec) cost — full
+/// cell→component index rebuilds, whole-mapping-set grouping, per-removal
+/// mapping scans — dominates a delta; the "large" bench section drives a
+/// single-entity delta against it at 1× and 4× scale and demands a flat
+/// per-delta time.
+pub fn large_spec(entities: usize) -> Specification {
+    let mut cat = Catalog::new();
+    let t = cat.add(RelationSchema::new("T", &["V"]));
+    let s = cat.add(RelationSchema::new("S", &["V"]));
+    let mut spec = Specification::new(cat);
+    let sig = CopySignature::new(t, vec![AttrId(0)], s, vec![AttrId(0)]).expect("signature");
+    let mut cf = CopyFunction::new(sig);
+    for e in 0..entities as u64 {
+        for v in 0..LARGE_TUPLES_PER_ENTITY {
+            let tt = spec
+                .instance_mut(t)
+                .push_tuple(Tuple::new(Eid(e), vec![Value::int(v as i64)]))
+                .expect("arity");
+            let ts = spec
+                .instance_mut(s)
+                .push_tuple(Tuple::new(Eid(e), vec![Value::int(v as i64)]))
+                .expect("arity");
+            cf.set_mapping(tt, ts);
+        }
+    }
+    let dc = DenialConstraint::builder(t, 2)
+        .when_cmp(
+            Term::attr(0, AttrId(0)),
+            CmpOp::Gt,
+            Term::attr(1, AttrId(0)),
+        )
+        .then_order(1, AttrId(0), 0)
+        .build()
+        .expect("valid constraint");
+    spec.add_constraint(dc).expect("constraint applies");
+    spec.add_copy(cf).expect("copying condition holds");
+    spec
+}
+
+/// The large workload's delta: one fresh most-current reading for target
+/// entity 0 — component-local (entity 0's target cell merged with its
+/// mirrored source cell), unmapped, value above every existing reading.
+pub fn large_insert_delta() -> SpecDelta {
+    let mut delta = SpecDelta::new();
+    delta.insert_tuple(T, Tuple::new(Eid(0), vec![Value::int(1_000_000)]));
+    delta
+}
+
 /// One entity group of `n` tuples with strictly increasing values and a
 /// monotone denial constraint — consistent (the value order is the one
 /// completion), and every pair is constrained, so nothing short-circuits.
@@ -141,6 +200,27 @@ mod tests {
         let spec = amortized_spec(8);
         assert!(!amortized_cop_queries(&spec).is_empty());
         let _ = amortized_ccqa_query(&spec);
+    }
+
+    #[test]
+    fn large_spec_shape_and_delta_locality() {
+        let spec = large_spec(4);
+        assert_eq!(spec.total_copy_size(), 4 * LARGE_TUPLES_PER_ENTITY);
+        let mut engine = CurrencyEngine::with_value_rels_owned(spec, &[], &Options::default())
+            .expect("valid spec");
+        assert_eq!(engine.partition().len(), 4, "one component per entity");
+        assert!(engine.cps().expect("in budget"), "consistent");
+        let report = engine.apply(&large_insert_delta()).expect("valid delta");
+        assert_eq!(report.components_rebuilt, 1, "delta is component-local");
+        assert!(engine.cps().expect("in budget"));
+        let (rel, id) = report.inserted[0];
+        let report = engine
+            .apply(&update_remove_delta(rel, id))
+            .expect("valid delta");
+        assert_eq!(report.components_rebuilt, 1);
+        let reclaimed = engine.compact().expect("compactable").reclaimed;
+        assert_eq!(reclaimed, 1, "the retraction's tombstone");
+        assert!(engine.cps().expect("in budget"));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::error::CurrencyError;
 use crate::schema::{AttrId, RelId};
 use crate::temporal::TemporalInstance;
 use crate::value::{Eid, TupleId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The signature `target[Ā] ⇐ source[B̄]` of a copy function.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -89,11 +89,93 @@ impl CopySignature {
     }
 }
 
+/// Entity-keyed indexes over a copy function's mapping set, maintained
+/// incrementally by the id-aware mutators ([`CopyFunction::insert_mapping`],
+/// [`CopyFunction::remove_target_mapping`],
+/// [`CopyFunction::remove_source_mappings`]).
+///
+/// The indexes exist so that the two hot paths of the incremental engine
+/// cost O(region), not O(|ρ|):
+///
+/// * obligation enumeration for a dirty set of entities walks only the
+///   groups those entities participate in
+///   ([`CopyFunction::obligations_for_region`]), and
+/// * a tuple removal sheds every mapping touching the tuple in one
+///   indexed lookup instead of a scan of the whole mapping set.
+#[derive(Clone, Debug, Default)]
+struct MappingIndex {
+    /// Target tuple → the `(target_entity, source_entity)` group key of
+    /// its mapping (the reverse `TupleId → mapping` index).
+    group_of: BTreeMap<TupleId, (Eid, Eid)>,
+    /// Source tuple → the target tuples mapped to it.
+    by_source: BTreeMap<TupleId, BTreeSet<TupleId>>,
+    /// `(target_entity, source_entity)` → the group's mapped pairs.
+    /// Group keys lead with the target entity, so a target entity's
+    /// groups are a contiguous range of this map — no separate
+    /// target-entity index is needed (see [`MappingIndex::target_keys`]).
+    groups: BTreeMap<(Eid, Eid), BTreeSet<(TupleId, TupleId)>>,
+    /// Source entity → group keys it participates in (the source entity
+    /// is the *second* key component, so this one does need its own
+    /// index).
+    source_groups: BTreeMap<Eid, BTreeSet<(Eid, Eid)>>,
+}
+
+impl MappingIndex {
+    fn insert(&mut self, target: TupleId, source: TupleId, te: Eid, se: Eid) {
+        let key = (te, se);
+        self.group_of.insert(target, key);
+        self.by_source.entry(source).or_default().insert(target);
+        self.groups.entry(key).or_default().insert((target, source));
+        self.source_groups.entry(se).or_default().insert(key);
+    }
+
+    /// Drop `ρ(target) = source` from every index.
+    fn remove(&mut self, target: TupleId, source: TupleId) {
+        let key = self.group_of.remove(&target).expect("indexed mapping");
+        if let Some(ts) = self.by_source.get_mut(&source) {
+            ts.remove(&target);
+            if ts.is_empty() {
+                self.by_source.remove(&source);
+            }
+        }
+        let group = self.groups.get_mut(&key).expect("indexed group");
+        group.remove(&(target, source));
+        if group.is_empty() {
+            self.groups.remove(&key);
+            let keys = self.source_groups.get_mut(&key.1).expect("indexed entity");
+            keys.remove(&key);
+            if keys.is_empty() {
+                self.source_groups.remove(&key.1);
+            }
+        }
+    }
+
+    /// The group keys of a target entity: a range scan over the sorted
+    /// group map (keys lead with the target entity).
+    fn target_keys(&self, te: Eid) -> impl Iterator<Item = (Eid, Eid)> + '_ {
+        self.groups
+            .range((te, Eid(u64::MIN))..=(te, Eid(u64::MAX)))
+            .map(|(&key, _)| key)
+    }
+}
+
 /// A copy function: a signature plus the partial tuple mapping.
+///
+/// The mapping set (`map`) is the source of truth.  Alongside it the
+/// function keeps an optional entity-keyed `MappingIndex`; it is built by
+/// [`CopyFunction::rebuild_index`] (which [`crate::Specification::add_copy`]
+/// calls) and maintained incrementally by the id-aware mutators the delta
+/// layer uses.  The legacy mutator [`CopyFunction::set_mapping`] has no
+/// access to entity ids and therefore *invalidates* the index; every
+/// consumer falls back to an on-the-fly grouping in that case, so direct
+/// mutation stays correct — just not O(region).
 #[derive(Clone, Debug)]
 pub struct CopyFunction {
     sig: CopySignature,
     map: BTreeMap<TupleId, TupleId>,
+    /// `None` = stale (a non-indexed mutation happened); rebuilt by
+    /// [`CopyFunction::rebuild_index`].
+    index: Option<MappingIndex>,
 }
 
 impl CopyFunction {
@@ -102,6 +184,7 @@ impl CopyFunction {
         CopyFunction {
             sig,
             map: BTreeMap::new(),
+            index: Some(MappingIndex::default()),
         }
     }
 
@@ -112,8 +195,78 @@ impl CopyFunction {
 
     /// Record `ρ(target) = source`.  Last write wins; the copying condition
     /// is checked by [`CopyFunction::validate`] against concrete instances.
+    ///
+    /// This mutator has no access to the endpoint entities, so it marks
+    /// the entity-keyed mapping index stale; prefer
+    /// [`CopyFunction::insert_mapping`] when the entities are at hand.
     pub fn set_mapping(&mut self, target: TupleId, source: TupleId) {
         self.map.insert(target, source);
+        self.index = None;
+    }
+
+    /// Record `ρ(target) = source` with the endpoints' entities, keeping
+    /// the entity-keyed index fresh.  Returns the previously mapped
+    /// source, if the target was already mapped.
+    pub fn insert_mapping(
+        &mut self,
+        target: TupleId,
+        source: TupleId,
+        target_entity: Eid,
+        source_entity: Eid,
+    ) -> Option<TupleId> {
+        let old = self.map.insert(target, source);
+        if let Some(ix) = &mut self.index {
+            if let Some(old_source) = old {
+                ix.remove(target, old_source);
+            }
+            ix.insert(target, source, target_entity, source_entity);
+        }
+        old
+    }
+
+    /// Drop the mapping of `target`, returning the dropped pair.  One
+    /// indexed lookup when the index is fresh.
+    pub fn remove_target_mapping(&mut self, target: TupleId) -> Option<(TupleId, TupleId)> {
+        let source = self.map.remove(&target)?;
+        if let Some(ix) = &mut self.index {
+            ix.remove(target, source);
+        }
+        Some((target, source))
+    }
+
+    /// Drop every mapping whose source is `source`, returning the dropped
+    /// pairs.  One indexed lookup plus O(dropped) when the index is
+    /// fresh; a k-tuple removal delta therefore sheds all its mappings in
+    /// one pass instead of k scans of the mapping set.
+    pub fn remove_source_mappings(&mut self, source: TupleId) -> Vec<(TupleId, TupleId)> {
+        match &mut self.index {
+            Some(ix) => {
+                let targets: Vec<TupleId> = ix
+                    .by_source
+                    .get(&source)
+                    .map(|ts| ts.iter().copied().collect())
+                    .unwrap_or_default();
+                let mut dropped = Vec::with_capacity(targets.len());
+                for t in targets {
+                    let s = self.map.remove(&t).expect("indexed mapping in map");
+                    self.index.as_mut().expect("checked").remove(t, s);
+                    dropped.push((t, s));
+                }
+                dropped
+            }
+            None => {
+                let mut dropped = Vec::new();
+                self.map.retain(|&t, &mut s| {
+                    if s == source {
+                        dropped.push((t, s));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                dropped
+            }
+        }
     }
 
     /// `ρ(target)`, if defined.
@@ -123,7 +276,9 @@ impl CopyFunction {
 
     /// Keep only the mappings `f(target, source)` accepts, returning the
     /// dropped pairs.  Used to cascade tuple removals: a mapping whose
-    /// endpoint is gone must go with it.
+    /// endpoint is gone must go with it.  Keeps a fresh index fresh (the
+    /// dropped pairs' group keys are known); scans the whole mapping set
+    /// either way.
     pub fn retain_mappings(
         &mut self,
         mut f: impl FnMut(TupleId, TupleId) -> bool,
@@ -136,7 +291,62 @@ impl CopyFunction {
             }
             keep
         });
+        if let Some(ix) = &mut self.index {
+            for &(t, s) in &dropped {
+                ix.remove(t, s);
+            }
+        }
         dropped
+    }
+
+    /// Rebuild the entity-keyed mapping index from the mapping set.
+    /// Mapped tuples must resolve in the given instances (tombstoned
+    /// slots still resolve; the cascade keeps mappings live anyway).
+    pub fn rebuild_index(&mut self, target: &TemporalInstance, source: &TemporalInstance) {
+        let mut ix = MappingIndex::default();
+        for (&t, &s) in &self.map {
+            ix.insert(t, s, target.tuple(t).eid, source.tuple(s).eid);
+        }
+        self.index = Some(ix);
+    }
+
+    /// `true` while the entity-keyed index mirrors the mapping set (no
+    /// non-indexed mutation since the last [`CopyFunction::rebuild_index`]).
+    pub fn is_indexed(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Remap every mapped tuple id through per-relation translation
+    /// tables (old id → new id), as produced by specification compaction;
+    /// an **empty** table is the identity (that relation had no
+    /// tombstones).  A mapping whose endpoint did not survive the
+    /// compaction is **dropped**, mirroring the delta layer's removal
+    /// cascade — the delta path never leaves such a mapping behind, but a
+    /// caller who tombstoned an endpoint directly through
+    /// `instance_mut().remove_tuple()` must not turn a later compaction
+    /// into a panic.  A no-op when both tables are the identity;
+    /// otherwise invalidates the index — the caller re-derives it with
+    /// [`CopyFunction::rebuild_index`] against the remapped instances.
+    pub fn remap_tuples(
+        &mut self,
+        target_remap: &[Option<TupleId>],
+        source_remap: &[Option<TupleId>],
+    ) {
+        if target_remap.is_empty() && source_remap.is_empty() {
+            return;
+        }
+        let translate = |table: &[Option<TupleId>], id: TupleId| -> Option<TupleId> {
+            if table.is_empty() {
+                Some(id)
+            } else {
+                table.get(id.index()).copied().flatten()
+            }
+        };
+        self.map = std::mem::take(&mut self.map)
+            .into_iter()
+            .filter_map(|(t, s)| Some((translate(target_remap, t)?, translate(source_remap, s)?)))
+            .collect();
+        self.index = None;
     }
 
     /// Iterate over `(target, source)` pairs.
@@ -207,51 +417,111 @@ impl CopyFunction {
     /// obligations `keep(target_entity, source_entity)` accepts.
     ///
     /// Mapped pairs are grouped by their `(target entity, source entity)`
-    /// cell pair first, so the quadratic pair enumeration runs only within
-    /// accepted groups — this is what lets the incremental partition
-    /// re-derive the obligations of a few dirty cells without paying for
-    /// the whole mapping.
+    /// cell pair, so the quadratic pair enumeration runs only within
+    /// accepted groups.  With a fresh index the persisted groups are used
+    /// directly; otherwise they are derived on the fly from the mapping
+    /// set.  Callers that already know the dirty *entities* should prefer
+    /// [`CopyFunction::obligations_for_region`], which skips the rejected
+    /// groups without visiting them.
     pub fn compatibility_obligations_filtered(
         &self,
         target: &TemporalInstance,
         source: &TemporalInstance,
         keep: impl Fn(Eid, Eid) -> bool,
     ) -> Vec<(OrderEdge, OrderEdge)> {
-        let mut groups: BTreeMap<(Eid, Eid), Vec<(TupleId, TupleId)>> = BTreeMap::new();
+        if let Some(ix) = &self.index {
+            let mut out = Vec::new();
+            for (&(te, se), pairs) in &ix.groups {
+                if keep(te, se) {
+                    self.emit_group_obligations(pairs, &mut out);
+                }
+            }
+            return out;
+        }
+        let mut groups: BTreeMap<(Eid, Eid), BTreeSet<(TupleId, TupleId)>> = BTreeMap::new();
         for (&t, &s) in &self.map {
             groups
                 .entry((target.tuple(t).eid, source.tuple(s).eid))
                 .or_default()
-                .push((t, s));
+                .insert((t, s));
         }
         let mut out = Vec::new();
         for ((te, se), pairs) in groups {
-            if !keep(te, se) {
-                continue;
-            }
-            for &(t1, s1) in &pairs {
-                for &(t2, s2) in &pairs {
-                    if t1 == t2 || s1 == s2 {
-                        continue;
-                    }
-                    for (ta, sa) in self.sig.target_attrs.iter().zip(&self.sig.source_attrs) {
-                        out.push((
-                            OrderEdge {
-                                attr: *sa,
-                                lesser: s1,
-                                greater: s2,
-                            },
-                            OrderEdge {
-                                attr: *ta,
-                                lesser: t1,
-                                greater: t2,
-                            },
-                        ));
-                    }
-                }
+            if keep(te, se) {
+                self.emit_group_obligations(&pairs, &mut out);
             }
         }
         out
+    }
+
+    /// The obligations of every group touching a dirty region: groups
+    /// whose target entity is in `dirty_targets` *or* whose source entity
+    /// is in `dirty_sources`.
+    ///
+    /// With a fresh index this enumerates only the accepted groups (via
+    /// the per-entity group-key indexes), so the cost scales with the
+    /// dirty region and its obligations — never with `|ρ|`.  On a stale
+    /// index it falls back to the filtered full grouping.
+    pub fn obligations_for_region(
+        &self,
+        target: &TemporalInstance,
+        source: &TemporalInstance,
+        dirty_targets: &BTreeSet<Eid>,
+        dirty_sources: &BTreeSet<Eid>,
+    ) -> Vec<(OrderEdge, OrderEdge)> {
+        let Some(ix) = &self.index else {
+            return self.compatibility_obligations_filtered(target, source, |te, se| {
+                dirty_targets.contains(&te) || dirty_sources.contains(&se)
+            });
+        };
+        // Keys in sorted order so the emission order matches the full
+        // enumeration's (component clause order must be deterministic).
+        let mut keys: BTreeSet<(Eid, Eid)> = BTreeSet::new();
+        for &te in dirty_targets {
+            keys.extend(ix.target_keys(te));
+        }
+        for se in dirty_sources {
+            if let Some(ks) = ix.source_groups.get(se) {
+                keys.extend(ks.iter().copied());
+            }
+        }
+        let mut out = Vec::new();
+        for key in keys {
+            self.emit_group_obligations(&ix.groups[&key], &mut out);
+        }
+        out
+    }
+
+    /// Emit one group's obligations (every ordered pair of distinct
+    /// mappings with distinct sources, per correlated attribute).
+    fn emit_group_obligations(
+        &self,
+        pairs: &BTreeSet<(TupleId, TupleId)>,
+        out: &mut Vec<(OrderEdge, OrderEdge)>,
+    ) {
+        // Upper bound: |pairs|² ordered pairs × correlated attributes.
+        out.reserve(pairs.len() * pairs.len() * self.sig.width());
+        for &(t1, s1) in pairs {
+            for &(t2, s2) in pairs {
+                if t1 == t2 || s1 == s2 {
+                    continue;
+                }
+                for (ta, sa) in self.sig.target_attrs.iter().zip(&self.sig.source_attrs) {
+                    out.push((
+                        OrderEdge {
+                            attr: *sa,
+                            lesser: s1,
+                            greater: s2,
+                        },
+                        OrderEdge {
+                            attr: *ta,
+                            lesser: t1,
+                            greater: t2,
+                        },
+                    ));
+                }
+            }
+        }
     }
 
     /// Check ≺-compatibility against completed-order oracles.
@@ -405,5 +675,129 @@ mod tests {
         assert_eq!(rho.mapping(TupleId(4)), None);
         let pairs: Vec<_> = rho.mappings().collect();
         assert_eq!(pairs, vec![(TupleId(3), TupleId(5))]);
+    }
+
+    #[test]
+    fn set_mapping_stales_the_index_and_rebuild_restores_it() {
+        let (tgt, src) = (target_inst(), source_inst());
+        let mut rho = CopyFunction::new(addr_sig());
+        assert!(rho.is_indexed(), "fresh copy starts indexed");
+        rho.set_mapping(TupleId(0), TupleId(0));
+        assert!(!rho.is_indexed(), "entity-blind mutation stales the index");
+        rho.rebuild_index(&tgt, &src);
+        assert!(rho.is_indexed());
+        // Stale and fresh enumeration agree.
+        rho.set_mapping(TupleId(1), TupleId(1));
+        let stale = rho.compatibility_obligations(&tgt, &src);
+        rho.rebuild_index(&tgt, &src);
+        let fresh = rho.compatibility_obligations(&tgt, &src);
+        assert_eq!(stale, fresh);
+        assert_eq!(fresh.len(), 2);
+    }
+
+    #[test]
+    fn indexed_mutators_match_a_rebuilt_index() {
+        let (tgt, src) = (target_inst(), source_inst());
+        let mut incremental = CopyFunction::new(addr_sig());
+        incremental.insert_mapping(TupleId(0), TupleId(0), Eid(1), Eid(7));
+        incremental.insert_mapping(TupleId(1), TupleId(1), Eid(1), Eid(7));
+        assert!(incremental.is_indexed(), "id-aware mutation keeps it fresh");
+        // Overwrite: the old pair must leave every index.
+        let old = incremental.insert_mapping(TupleId(1), TupleId(0), Eid(1), Eid(7));
+        assert_eq!(old, Some(TupleId(1)));
+        let mut rebuilt = incremental.clone();
+        rebuilt.rebuild_index(&tgt, &src);
+        assert_eq!(
+            incremental.compatibility_obligations(&tgt, &src),
+            rebuilt.compatibility_obligations(&tgt, &src)
+        );
+        // Both sources now share tuple 0: no obligations (Example 2.2).
+        assert!(incremental.compatibility_obligations(&tgt, &src).is_empty());
+    }
+
+    #[test]
+    fn removal_mutators_shed_mappings_by_either_endpoint() {
+        let mut rho = CopyFunction::new(addr_sig());
+        rho.insert_mapping(TupleId(0), TupleId(0), Eid(1), Eid(7));
+        rho.insert_mapping(TupleId(1), TupleId(0), Eid(1), Eid(7));
+        rho.insert_mapping(TupleId(2), TupleId(1), Eid(2), Eid(7));
+        // By source: both targets of source 0 go in one pass.
+        let dropped = rho.remove_source_mappings(TupleId(0));
+        assert_eq!(
+            dropped,
+            vec![(TupleId(0), TupleId(0)), (TupleId(1), TupleId(0))]
+        );
+        assert_eq!(rho.len(), 1);
+        // By target.
+        assert_eq!(
+            rho.remove_target_mapping(TupleId(2)),
+            Some((TupleId(2), TupleId(1)))
+        );
+        assert!(rho.is_empty());
+        assert!(rho.is_indexed());
+        assert_eq!(rho.remove_target_mapping(TupleId(2)), None);
+        assert!(rho.remove_source_mappings(TupleId(9)).is_empty());
+    }
+
+    #[test]
+    fn obligations_for_region_enumerates_only_dirty_groups() {
+        // Two independent groups: entities (1, 7) and (2, 8).
+        let schema_t = RelationSchema::new("T", &["A"]);
+        let mut tgt = TemporalInstance::new(RelId(0), &schema_t);
+        let schema_s = RelationSchema::new("S", &["A"]);
+        let mut src = TemporalInstance::new(RelId(1), &schema_s);
+        let mut rho = CopyFunction::new(addr_sig());
+        for (e, se) in [(1u64, 7u64), (2, 8)] {
+            for v in 0..2i64 {
+                let t = tgt
+                    .push_tuple(Tuple::new(Eid(e), vec![Value::int(v)]))
+                    .unwrap();
+                let s = src
+                    .push_tuple(Tuple::new(Eid(se), vec![Value::int(v)]))
+                    .unwrap();
+                rho.insert_mapping(t, s, Eid(e), Eid(se));
+            }
+        }
+        let all = rho.compatibility_obligations(&tgt, &src);
+        assert_eq!(all.len(), 4, "two obligations per group");
+        // Region = target entity 1 only: just that group's obligations.
+        let only_e1 =
+            rho.obligations_for_region(&tgt, &src, &BTreeSet::from([Eid(1)]), &BTreeSet::new());
+        assert_eq!(only_e1.len(), 2);
+        assert!(only_e1.iter().all(|(_, te)| {
+            tgt.tuple(te.lesser).eid == Eid(1) && tgt.tuple(te.greater).eid == Eid(1)
+        }));
+        // Same region addressed through the source side.
+        let via_source =
+            rho.obligations_for_region(&tgt, &src, &BTreeSet::new(), &BTreeSet::from([Eid(7)]));
+        assert_eq!(only_e1, via_source);
+        // Stale index falls back to the filtered scan with equal output.
+        let mut stale = rho.clone();
+        stale.set_mapping(TupleId(0), TupleId(0)); // no-op write, stales it
+        assert!(!stale.is_indexed());
+        assert_eq!(
+            stale.obligations_for_region(&tgt, &src, &BTreeSet::from([Eid(1)]), &BTreeSet::new()),
+            only_e1
+        );
+    }
+
+    #[test]
+    fn remap_tuples_translates_both_sides_and_drops_dead_endpoints() {
+        let mut rho = CopyFunction::new(addr_sig());
+        rho.insert_mapping(TupleId(0), TupleId(2), Eid(1), Eid(7));
+        rho.insert_mapping(TupleId(3), TupleId(0), Eid(1), Eid(7));
+        // A mapping whose target was tombstoned outside the delta cascade:
+        // compaction must shed it, not panic.
+        rho.insert_mapping(TupleId(1), TupleId(1), Eid(1), Eid(7));
+        // Target slots 1–2 and source slot 1 were tombstones.
+        let target_remap = vec![Some(TupleId(0)), None, None, Some(TupleId(1))];
+        let source_remap = vec![Some(TupleId(0)), None, Some(TupleId(1))];
+        rho.remap_tuples(&target_remap, &source_remap);
+        assert!(!rho.is_indexed(), "remap invalidates until rebuilt");
+        let pairs: Vec<_> = rho.mappings().collect();
+        assert_eq!(
+            pairs,
+            vec![(TupleId(0), TupleId(1)), (TupleId(1), TupleId(0))]
+        );
     }
 }

@@ -475,16 +475,20 @@ impl Specification {
                     effects.touched_cells.insert((*rel, eid));
                     // Cascade: mappings with a vanished endpoint go too,
                     // and both their cells are touched (their obligations
-                    // disappear).
+                    // disappear).  The entity-keyed index makes each shed
+                    // an indexed lookup, not a scan of the mapping set.
                     for i in 0..self.copies().len() {
                         let sig = self.copies()[i].signature().clone();
                         if sig.target != *rel && sig.source != *rel {
                             continue;
                         }
-                        let dropped = self.copy_mut(i).retain_mappings(|t, s| {
-                            !((sig.target == *rel && t == *tuple)
-                                || (sig.source == *rel && s == *tuple))
-                        });
+                        let mut dropped: Vec<(TupleId, TupleId)> = Vec::new();
+                        if sig.target == *rel {
+                            dropped.extend(self.copy_mut(i).remove_target_mapping(*tuple));
+                        }
+                        if sig.source == *rel {
+                            dropped.extend(self.copy_mut(i).remove_source_mappings(*tuple));
+                        }
                         for (t, s) in dropped {
                             // `tuple()` resolves tombstones too — the data
                             // stays in the slot.
@@ -537,8 +541,11 @@ impl Specification {
                     source,
                 } => {
                     let sig = self.copies()[*copy].signature().clone();
-                    let old_source = self.copies()[*copy].mapping(*target);
-                    self.copy_mut(*copy).set_mapping(*target, *source);
+                    let te = self.instance(sig.target).tuple(*target).eid;
+                    let se = self.instance(sig.source).tuple(*source).eid;
+                    let old_source = self
+                        .copy_mut(*copy)
+                        .insert_mapping(*target, *source, te, se);
                     effects
                         .touched_cells
                         .insert((sig.target, self.instance(sig.target).tuple(*target).eid));

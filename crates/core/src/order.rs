@@ -82,6 +82,22 @@ impl OrderRelation {
         self.pairs.is_subset(&other.pairs)
     }
 
+    /// Rewrite every stored id through a translation table (old id →
+    /// new id), as produced by [`crate::TemporalInstance::compact`].
+    /// Every stored id must survive the remap — removal already sheds a
+    /// tuple's pairs, so a compacting instance never holds dead ids here.
+    pub fn remap(&mut self, remap: &[Option<TupleId>]) {
+        self.pairs = std::mem::take(&mut self.pairs)
+            .into_iter()
+            .map(|(a, b)| {
+                (
+                    remap[a.index()].expect("ordered ids are live"),
+                    remap[b.index()].expect("ordered ids are live"),
+                )
+            })
+            .collect();
+    }
+
     /// The transitive closure, as a new relation.
     ///
     /// Worklist algorithm over successor/predecessor maps; output size is

@@ -5,6 +5,34 @@ use crate::denial::DenialConstraint;
 use crate::error::CurrencyError;
 use crate::schema::{AttrId, Catalog, RelId};
 use crate::temporal::TemporalInstance;
+use crate::value::TupleId;
+
+/// What [`Specification::compact`] reclaimed, and how to translate
+/// externally held tuple ids onto the compacted id space.
+#[derive(Clone, Debug)]
+pub struct CompactReport {
+    /// Total tombstone slots reclaimed across all instances.
+    pub reclaimed: usize,
+    /// Per-relation translation tables, indexed by [`RelId`]: entry `i`
+    /// of table `r` is the new id of relation `r`'s old tuple `i`
+    /// (`None` — the slot was a tombstone and is gone).  An **empty**
+    /// table means the relation had no tombstones and its ids are
+    /// unchanged (identity) — the tombstone-free fast path allocates no
+    /// tables at all.
+    pub remap: Vec<Vec<Option<TupleId>>>,
+}
+
+impl CompactReport {
+    /// Translate an old tuple id (`None` if the tuple had been removed;
+    /// an empty/absent table is the identity).
+    pub fn new_id(&self, rel: RelId, old: TupleId) -> Option<TupleId> {
+        match self.remap.get(rel.index()) {
+            None => Some(old),
+            Some(table) if table.is_empty() => Some(old),
+            Some(table) => table.get(old.index()).copied().flatten(),
+        }
+    }
+}
 
 /// A specification `S` of data currency (paper §2): one temporal instance
 /// per relation of the catalog, a set of denial constraints, and a set of
@@ -122,11 +150,16 @@ impl Specification {
 
     /// Add a copy function after validating its signature and copying
     /// condition.  Returns the copy function's index.
-    pub fn add_copy(&mut self, cf: CopyFunction) -> Result<usize, CurrencyError> {
+    ///
+    /// The copy's entity-keyed mapping index is (re)built here, so copies
+    /// attached to a specification always start with a fresh index no
+    /// matter how they were assembled.
+    pub fn add_copy(&mut self, mut cf: CopyFunction) -> Result<usize, CurrencyError> {
         self.check_copy_schema(cf.signature())?;
-        let sig = cf.signature();
+        let (target, source) = (cf.signature().target, cf.signature().source);
         let idx = self.copies.len();
-        cf.validate(idx, self.instance(sig.target), self.instance(sig.source))?;
+        cf.validate(idx, self.instance(target), self.instance(source))?;
+        cf.rebuild_index(self.instance(target), self.instance(source));
         self.copies.push(cf);
         Ok(idx)
     }
@@ -174,6 +207,50 @@ impl Specification {
     /// measure of the paper's bounded-copying problem BCP).
     pub fn total_copy_size(&self) -> usize {
         self.copies.iter().map(|c| c.len()).sum()
+    }
+
+    /// Reclaim every tombstone slot across all instances, remapping the
+    /// surviving tuple ids densely and rewriting everything that holds
+    /// ids — entity groups, initial currency orders, and copy-function
+    /// mappings (whose entity-keyed indexes are rebuilt).
+    ///
+    /// Long-lived specifications under insert/retract churn grow one dead
+    /// slot per removal ([`TemporalInstance::remove_tuple`] tombstones to
+    /// keep ids stable); compaction is the explicit point where that
+    /// memory is handed back.  **Every externally held [`TupleId`] is
+    /// invalidated** — translate through the returned
+    /// [`CompactReport::remap`] tables.  Cached reasoning state built
+    /// over the old ids (compiled encodings, partitions) must be
+    /// rebuilt; `CurrencyEngine::compact` does that automatically.
+    pub fn compact(&mut self) -> CompactReport {
+        let mut report = CompactReport {
+            reclaimed: 0,
+            remap: Vec::with_capacity(self.instances.len()),
+        };
+        for inst in &mut self.instances {
+            let (reclaimed, remap) = inst.compact();
+            report.reclaimed += reclaimed;
+            report.remap.push(remap);
+        }
+        if report.reclaimed > 0 {
+            let Specification {
+                instances, copies, ..
+            } = self;
+            for cf in copies.iter_mut() {
+                let (target, source) = (cf.signature().target, cf.signature().source);
+                let (t_remap, s_remap) = (
+                    report.remap[target.index()].as_slice(),
+                    report.remap[source.index()].as_slice(),
+                );
+                if t_remap.is_empty() && s_remap.is_empty() {
+                    continue; // both relations untouched: mapping ids stand
+                }
+                cf.remap_tuples(t_remap, s_remap);
+                cf.rebuild_index(&instances[target.index()], &instances[source.index()]);
+            }
+        }
+        debug_assert!(self.validate().is_ok(), "compaction preserves invariants");
+        report
     }
 
     /// Re-check every global invariant: instance orders acyclic and
@@ -285,6 +362,71 @@ mod tests {
         ));
         assert_eq!(spec.copies().len(), 1);
         assert_eq!(spec.total_copy_size(), 1);
+    }
+
+    #[test]
+    fn compact_remaps_copy_mappings_and_reports_tables() {
+        let (mut spec, r, s) = two_rel_spec();
+        let pad = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(5), vec![Value::int(9), Value::int(9)]))
+            .unwrap();
+        let tr = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1), Value::int(2)]))
+            .unwrap();
+        let dead_s = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(9), vec![Value::int(7)]))
+            .unwrap();
+        let ts = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1)]))
+            .unwrap();
+        let sig = CopySignature::new(r, vec![AttrId(0)], s, vec![AttrId(0)]).unwrap();
+        let mut cf = CopyFunction::new(sig);
+        cf.set_mapping(tr, ts);
+        spec.add_copy(cf).unwrap();
+        assert!(spec.copies()[0].is_indexed(), "add_copy builds the index");
+        // Tombstone one tuple on each side of the copy's relations.
+        spec.instance_mut(r).remove_tuple(pad).unwrap();
+        spec.instance_mut(s).remove_tuple(dead_s).unwrap();
+        let report = spec.compact();
+        assert_eq!(report.reclaimed, 2);
+        assert_eq!(report.new_id(r, tr), Some(TupleId(0)));
+        assert_eq!(report.new_id(r, pad), None);
+        assert_eq!(report.new_id(s, ts), Some(TupleId(0)));
+        // The mapping followed both remaps and the index is fresh again.
+        assert_eq!(spec.copies()[0].mapping(TupleId(0)), Some(TupleId(0)));
+        assert!(spec.copies()[0].is_indexed());
+        assert!(spec.validate().is_ok());
+        // No tombstones left: compact is now a pure no-op.
+        assert_eq!(spec.compact().reclaimed, 0);
+    }
+
+    #[test]
+    fn compact_sheds_mappings_orphaned_by_direct_removal() {
+        // `remove_tuple` documents that cascading copy mappings is the
+        // caller's concern; a caller who skips the cascade must get a
+        // clean compaction (mapping dropped), not a panic.
+        let (mut spec, r, s) = two_rel_spec();
+        let tr = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1), Value::int(2)]))
+            .unwrap();
+        let ts = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1)]))
+            .unwrap();
+        let sig = CopySignature::new(r, vec![AttrId(0)], s, vec![AttrId(0)]).unwrap();
+        let mut cf = CopyFunction::new(sig);
+        cf.set_mapping(tr, ts);
+        spec.add_copy(cf).unwrap();
+        spec.instance_mut(s).remove_tuple(ts).unwrap(); // no cascade
+        let report = spec.compact();
+        assert_eq!(report.reclaimed, 1);
+        assert!(spec.copies()[0].is_empty(), "orphaned mapping shed");
+        assert!(spec.validate().is_ok());
     }
 
     #[test]

@@ -27,9 +27,11 @@ use std::collections::BTreeMap;
 /// semantic consumer (grounding, encoding, completion enumeration) walks
 /// entity groups, so a tombstoned tuple simply stops existing; only
 /// [`TemporalInstance::len`] still counts the slot (it is the id
-/// allocator's high-water mark).  Slots are never reclaimed — sustained
-/// insert/retract churn grows the instance by one slot per removal
-/// (compaction with id remapping is future work; see the roadmap).
+/// allocator's high-water mark).  Sustained insert/retract churn grows
+/// the instance by one slot per removal; [`TemporalInstance::compact`]
+/// reclaims the tombstone slots by remapping the surviving ids densely —
+/// an explicitly invalidating operation every id holder must mirror
+/// (see [`crate::Specification::compact`]).
 #[derive(Clone, Debug)]
 pub struct TemporalInstance {
     rel: RelId,
@@ -38,6 +40,9 @@ pub struct TemporalInstance {
     tuples: Vec<Tuple>,
     /// `removed[i]` — tuple `i` is a tombstone (see struct docs).
     removed: Vec<bool>,
+    /// Number of `true` entries in `removed` (kept so liveness stats and
+    /// the compaction no-op check are O(1)).
+    tombstones: usize,
     orders: Vec<OrderRelation>,
     groups: BTreeMap<Eid, Vec<TupleId>>,
 }
@@ -51,6 +56,7 @@ impl TemporalInstance {
             arity: schema.arity(),
             tuples: Vec::new(),
             removed: Vec::new(),
+            tombstones: 0,
             orders: vec![OrderRelation::new(); schema.arity()],
             groups: BTreeMap::new(),
         }
@@ -79,7 +85,13 @@ impl TemporalInstance {
 
     /// Number of live (non-tombstoned) tuples.
     pub fn live_len(&self) -> usize {
-        self.removed.iter().filter(|&&r| !r).count()
+        self.tuples.len() - self.tombstones
+    }
+
+    /// Number of tombstoned slots (reclaimable by
+    /// [`TemporalInstance::compact`]).
+    pub fn tombstones(&self) -> usize {
+        self.tombstones
     }
 
     /// `true` if the instance holds no tuple slots.
@@ -119,6 +131,7 @@ impl TemporalInstance {
             });
         }
         self.removed[id.index()] = true;
+        self.tombstones += 1;
         let eid = self.tuples[id.index()].eid;
         let group = self.groups.get_mut(&eid).expect("tuple was grouped");
         group.retain(|&t| t != id);
@@ -241,6 +254,56 @@ impl TemporalInstance {
         self.entity_group(eid)
             .iter()
             .any(|&tid| self.tuple(tid).values == values)
+    }
+
+    /// Reclaim every tombstone slot, remapping the surviving tuples onto
+    /// dense ids (relative order preserved).  Returns the number of slots
+    /// reclaimed and the translation table `old id → new id` (`None` for
+    /// tombstones).  With no tombstones this is a free no-op: nothing is
+    /// touched and the returned table is **empty, meaning identity** —
+    /// the convention every remap consumer honors, so steady-state
+    /// compaction ticks allocate nothing.
+    ///
+    /// **Every external holder of this instance's tuple ids is
+    /// invalidated** — copy-function mappings, cached encodings, ids kept
+    /// by applications.  Use [`crate::Specification::compact`] (which
+    /// remaps the copy functions and hands back the tables) or
+    /// `CurrencyEngine::compact` (which also rebuilds the compiled
+    /// components) rather than calling this directly.
+    pub fn compact(&mut self) -> (usize, Vec<Option<TupleId>>) {
+        let slots = self.tuples.len();
+        if self.tombstones == 0 {
+            return (0, Vec::new());
+        }
+        let mut remap: Vec<Option<TupleId>> = vec![None; slots];
+        let mut next = 0u32;
+        for (i, slot) in remap.iter_mut().enumerate() {
+            if !self.removed[i] {
+                *slot = Some(TupleId(next));
+                next += 1;
+            }
+        }
+        let removed = std::mem::take(&mut self.removed);
+        self.tuples = std::mem::take(&mut self.tuples)
+            .into_iter()
+            .zip(removed)
+            .filter(|(_, dead)| !dead)
+            .map(|(t, _)| t)
+            .collect();
+        self.removed = vec![false; self.tuples.len()];
+        let reclaimed = slots - self.tuples.len();
+        self.tombstones = 0;
+        // Entity groups hold live ids only; the remap is monotonic, so
+        // in-group insertion order survives.
+        for group in self.groups.values_mut() {
+            for id in group.iter_mut() {
+                *id = remap[id.index()].expect("grouped ids are live");
+            }
+        }
+        for order in &mut self.orders {
+            order.remap(&remap);
+        }
+        (reclaimed, remap)
     }
 }
 
@@ -375,6 +438,57 @@ mod tests {
         let t3 = d.push_tuple(tup(1, 3, 3)).unwrap();
         assert_eq!(t3, TupleId(3));
         assert_eq!(d.entity_group(Eid(1)), &[t0, t3]);
+    }
+
+    #[test]
+    fn compact_reclaims_tombstones_and_remaps_densely() {
+        let mut d = inst();
+        let t0 = d.push_tuple(tup(1, 0, 0)).unwrap();
+        let t1 = d.push_tuple(tup(1, 1, 1)).unwrap();
+        let t2 = d.push_tuple(tup(2, 2, 2)).unwrap();
+        let t3 = d.push_tuple(tup(1, 3, 3)).unwrap();
+        d.add_order(AttrId(0), t0, t1).unwrap();
+        d.add_order(AttrId(0), t1, t3).unwrap();
+        d.remove_tuple(t1).unwrap();
+        d.remove_tuple(t2).unwrap();
+        assert_eq!(d.tombstones(), 2);
+        let (reclaimed, remap) = d.compact();
+        assert_eq!(reclaimed, 2);
+        assert_eq!(
+            remap,
+            vec![Some(TupleId(0)), None, None, Some(TupleId(1))],
+            "survivors get dense ids in order"
+        );
+        // The tuple vector actually shrank and liveness is total.
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.live_len(), 2);
+        assert_eq!(d.tombstones(), 0);
+        assert_eq!(d.entity_group(Eid(1)), &[TupleId(0), TupleId(1)]);
+        assert_eq!(d.tuple(TupleId(1)).values, tup(1, 3, 3).values);
+        // Orders survived the remap (t1's pairs had been shed on removal).
+        assert!(d.order(AttrId(0)).is_empty());
+        assert!(d.validate().is_ok());
+        // Compacting again is a free no-op: the empty table is the
+        // identity convention, so nothing is allocated.
+        let (again, remap) = d.compact();
+        assert_eq!(again, 0);
+        assert!(remap.is_empty());
+        // New pushes reuse the reclaimed id space.
+        assert_eq!(d.push_tuple(tup(3, 9, 9)).unwrap(), TupleId(2));
+    }
+
+    #[test]
+    fn compact_remaps_surviving_order_pairs() {
+        let mut d = inst();
+        let t0 = d.push_tuple(tup(1, 0, 0)).unwrap();
+        let t1 = d.push_tuple(tup(2, 1, 1)).unwrap();
+        let t2 = d.push_tuple(tup(1, 2, 2)).unwrap();
+        d.add_order(AttrId(1), t0, t2).unwrap();
+        d.remove_tuple(t1).unwrap();
+        let (reclaimed, _) = d.compact();
+        assert_eq!(reclaimed, 1);
+        assert!(d.order(AttrId(1)).contains(TupleId(0), TupleId(1)));
+        assert!(d.validate().is_ok());
     }
 
     #[test]

@@ -173,6 +173,24 @@ impl Encoding {
         ))
     }
 
+    /// The encoding of a vacant component slot: empty scope, no
+    /// variables, no clauses, trivially satisfiable.  The engine parks
+    /// one of these in a slot the partition has vacated (see
+    /// `Partition::refresh`), so slot arrays never need `Option`s and a
+    /// stale query against a vacated slot degrades to a no-op.
+    pub fn vacant(value_rels: &[RelId], mode: TransitivityMode) -> Encoding {
+        Encoding {
+            solver: Solver::new(),
+            order_vars: HashMap::new(),
+            value_choices: BTreeMap::new(),
+            value_projection: Vec::new(),
+            value_rels: value_rels.to_vec(),
+            scope: Some(BTreeSet::new()),
+            mode,
+            lazy_groups: Vec::new(),
+        }
+    }
+
     /// Compile one entity component of `spec` (see [`crate::partition`]).
     ///
     /// The component carries its ground rules and obligations, so no

@@ -23,11 +23,21 @@
 //! * **update in place** — [`CurrencyEngine::apply`] feeds a
 //!   [`SpecDelta`] through the engine: the owned specification mutates,
 //!   the entity partition is maintained incrementally
-//!   ([`Partition::refresh`]), and **only the touched components** are
-//!   recompiled — every clean component keeps its cached solver, learnt
-//!   clauses, lazy-transitivity lemmas and satisfiability verdict.  A
-//!   component-local delta on an `n`-component specification therefore
-//!   costs one component compile, not `n`.
+//!   ([`Partition::refresh`]), and **only the touched component slots**
+//!   are recompiled — every clean component keeps its cached solver,
+//!   learnt clauses, lazy-transitivity lemmas and satisfiability verdict,
+//!   *in place*: component slots are stable, so nothing is remapped,
+//!   moved, or even looked at outside the dirty region.  The aggregate
+//!   consistency verdict is maintained the same way (a count of known
+//!   unsatisfiable slots plus the set of undecided ones), so a
+//!   component-local delta followed by a [`CurrencyEngine::cps`] costs
+//!   one component compile and one component solve — O(dirty region),
+//!   independent of how many components the engine holds;
+//! * **compact on demand** — retraction tombstones accumulate one dead
+//!   tuple slot each ([`currency_core::TemporalInstance::remove_tuple`]);
+//!   [`CurrencyEngine::compact`] reclaims them all, remapping tuple ids
+//!   densely and rebuilding the compiled state (a full rebuild, priced
+//!   accordingly — call it at maintenance points, not per delta).
 //!
 //! The monolithic one-shot path (`Encoding::new` over the whole
 //! specification) remains available as the `*_monolithic` functions in
@@ -37,18 +47,18 @@ use crate::ccqa::CertainAnswers;
 use crate::cop::CurrencyOrderQuery;
 use crate::encode::Encoding;
 use crate::error::ReasonError;
-use crate::partition::{ComponentSource, Partition};
+use crate::partition::Partition;
 use crate::Options;
 use currency_core::{
-    AttrId, Completion, Eid, NormalInstance, RelCompletion, RelId, SpecDelta, Specification, Tuple,
-    TupleId, Value,
+    AttrId, CompactReport, Completion, Eid, NormalInstance, RelCompletion, RelId, SpecDelta,
+    Specification, Tuple, TupleId, Value,
 };
 use currency_query::{Database, Query};
 use currency_sat::{Enumeration, SolveResult, SolverStats};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Aggregate counters across an engine's component solvers.
 #[derive(Clone, Copy, Debug, Default)]
@@ -69,6 +79,11 @@ pub struct EngineStats {
     /// Components whose cached state survived a delta, summed across all
     /// applied deltas.
     pub components_reused: usize,
+    /// Compactions performed over the engine's lifetime
+    /// ([`CurrencyEngine::compact`]).
+    pub compactions: usize,
+    /// Tombstone tuple slots reclaimed across all compactions.
+    pub slots_reclaimed: usize,
     /// Aggregated CDCL counters.
     pub sat: SolverStats,
 }
@@ -90,6 +105,35 @@ struct ComponentState {
     enc: Encoding,
     /// Cached satisfiability of the component (`None` = not yet solved).
     status: Option<bool>,
+}
+
+/// Incrementally maintained aggregate-consistency cache.
+///
+/// Invariant (per slot, guarded by the slot's own component lock for the
+/// status side and by this cache's lock for the set side): a slot's
+/// `status` is `None` **iff** the slot is in `unsolved`, and `unsat`
+/// counts the slots whose `status` is `Some(false)`.  [`CurrencyEngine::cps`]
+/// is then "drain `unsolved`, check `unsat == 0`" — after a delta only
+/// the rebuilt slots are in `unsolved`, so re-deciding consistency is
+/// O(dirty region), never a sweep of all components.
+#[derive(Debug, Default)]
+struct CpsCache {
+    /// Slots whose satisfiability has not been decided yet.
+    unsolved: BTreeSet<usize>,
+    /// Decided slots that are unsatisfiable.
+    unsat: usize,
+}
+
+/// Retire a slot's old status from the cache (the slot is about to be
+/// replaced or re-solved).
+fn retire_status(cache: &mut CpsCache, slot: usize, status: Option<bool>) {
+    match status {
+        Some(false) => cache.unsat -= 1,
+        Some(true) => {}
+        None => {
+            cache.unsolved.remove(&slot);
+        }
+    }
 }
 
 /// One component's model chains: `(rel, attr, eid, least → most current)`.
@@ -121,13 +165,17 @@ pub struct CurrencyEngine<'a> {
     spec: Cow<'a, Specification>,
     value_rels: Vec<RelId>,
     partition: Partition,
+    /// Per-slot compiled state, aligned with [`Partition::components`]
+    /// (vacant slots hold a trivially satisfiable [`Encoding::vacant`]).
     components: Vec<Mutex<ComponentState>>,
-    /// Aggregate CPS verdict, set after the first full component sweep.
-    cps_verdict: OnceLock<bool>,
+    /// O(dirty region) aggregate-consistency cache (see [`CpsCache`]).
+    cps_cache: Mutex<CpsCache>,
     opts: Options,
     updates_applied: usize,
     components_rebuilt: usize,
     components_reused: usize,
+    compactions: usize,
+    slots_reclaimed: usize,
 }
 
 impl<'a> CurrencyEngine<'a> {
@@ -179,32 +227,20 @@ impl<'a> CurrencyEngine<'a> {
     ) -> Result<CurrencyEngine<'s>, ReasonError> {
         spec.validate()?;
         let partition = Partition::of(&spec);
-        let threads = effective_threads(opts);
-        let encodings = {
-            let spec = spec.as_ref();
-            run_indexed(threads, partition.len(), |ix| {
-                Ok(Encoding::for_component(
-                    spec,
-                    value_rels,
-                    &partition.components()[ix],
-                    opts.transitivity,
-                ))
-            })?
-        };
-        let components = encodings
-            .into_iter()
-            .map(|enc| Mutex::new(ComponentState { enc, status: None }))
-            .collect();
+        let components = compile_components(spec.as_ref(), value_rels, opts, &partition)?;
+        let cps_cache = Mutex::new(undecided_cache(components.len()));
         Ok(CurrencyEngine {
             spec,
             value_rels: value_rels.to_vec(),
             partition,
             components,
-            cps_verdict: OnceLock::new(),
+            cps_cache,
             opts: *opts,
             updates_applied: 0,
             components_rebuilt: 0,
             components_reused: 0,
+            compactions: 0,
+            slots_reclaimed: 0,
         })
     }
 
@@ -215,13 +251,15 @@ impl<'a> CurrencyEngine<'a> {
     /// ([`Specification::apply_delta`]) — on error the engine and its
     /// specification are unchanged and remain fully usable.  On success
     /// the entity partition is refreshed incrementally
-    /// ([`Partition::refresh`]): components the delta touched (or that a
-    /// new copy obligation links to a touched one) are recompiled, in
-    /// parallel under [`Options::threads`]; every other component keeps
-    /// its compiled CNF, learnt clauses, transitivity lemmas and cached
-    /// satisfiability verdict.  The aggregate CPS verdict is invalidated
-    /// and re-derived on demand from the per-component caches, so the next
-    /// [`CurrencyEngine::cps`] call solves only the rebuilt components.
+    /// ([`Partition::refresh`]): component slots the delta touched (or
+    /// that a new copy obligation links to a touched one) are recompiled,
+    /// in parallel under [`Options::threads`], and patched **in place** —
+    /// slots are stable, so every clean component's compiled CNF, learnt
+    /// clauses, transitivity lemmas and cached satisfiability verdict
+    /// survive without being moved or remapped.  The aggregate CPS cache
+    /// is likewise patched for the changed slots only, so the next
+    /// [`CurrencyEngine::cps`] call solves exactly the rebuilt
+    /// components.  Everything `apply` does is O(dirty region).
     ///
     /// A borrowed engine clones the specification on its first `apply`
     /// (`Cow` promotion); subsequent deltas mutate the owned copy in
@@ -237,58 +275,57 @@ impl<'a> CurrencyEngine<'a> {
         let plan = self
             .partition
             .refresh(self.spec.as_ref(), &effects.touched_cells);
-        let rebuild_ixs: Vec<usize> = plan
-            .sources
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| matches!(s, ComponentSource::Rebuilt))
-            .map(|(ix, _)| ix)
-            .collect();
-        // Compile the rebuilt components (in parallel when the fleet
-        // warrants it) *before* dismantling the cache, so the fallible
-        // step cannot leave the engine without its component states.
+        // Compile the rebuilt slots (in parallel when the fleet warrants
+        // it) *before* patching any state, so the fallible step cannot
+        // leave the engine half-updated.
         let transitivity = self.opts.transitivity;
         let compiled = {
             let spec = self.spec.as_ref();
             let partition = &self.partition;
             let value_rels = &self.value_rels;
-            run_indexed(effective_threads(&self.opts), rebuild_ixs.len(), |k| {
+            let rebuilt = &plan.rebuilt;
+            run_indexed(effective_threads(&self.opts), rebuilt.len(), |k| {
                 Ok(Encoding::for_component(
                     spec,
                     value_rels,
-                    &partition.components()[rebuild_ixs[k]],
+                    &partition.components()[rebuilt[k]],
                     transitivity,
                 ))
             })?
         };
-        // Carry clean component states over (infallible from here on).
-        let mut old: Vec<Option<ComponentState>> = std::mem::take(&mut self.components)
-            .into_iter()
-            .map(|m| {
-                Some(
-                    m.into_inner()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner),
-                )
-            })
-            .collect();
-        let mut compiled = compiled.into_iter();
-        self.components = plan
-            .sources
-            .iter()
-            .map(|src| {
-                let state = match src {
-                    ComponentSource::Reused(old_ix) => {
-                        old[*old_ix].take().expect("each old component reused once")
-                    }
-                    ComponentSource::Rebuilt => ComponentState {
-                        enc: compiled.next().expect("one encoding per rebuilt component"),
-                        status: None,
-                    },
-                };
-                Mutex::new(state)
-            })
-            .collect();
-        self.cps_verdict = OnceLock::new();
+        // Patch exactly the changed slots (infallible from here on); no
+        // other slot's mutex is even acquired.
+        let cache = self
+            .cps_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        for &slot in &plan.freed {
+            let slot_mutex = &mut self.components[slot];
+            let state = slot_mutex.get_mut().unwrap_or_else(PoisonError::into_inner);
+            retire_status(cache, slot, state.status);
+            *state = ComponentState {
+                enc: Encoding::vacant(&self.value_rels, transitivity),
+                status: Some(true),
+            };
+            // The slot holds brand-new state now; a stale poison flag
+            // would make the next lock discard its status for nothing.
+            slot_mutex.clear_poison();
+        }
+        for (&slot, enc) in plan.rebuilt.iter().zip(compiled) {
+            if slot < self.components.len() {
+                let slot_mutex = &mut self.components[slot];
+                let state = slot_mutex.get_mut().unwrap_or_else(PoisonError::into_inner);
+                retire_status(cache, slot, state.status);
+                *state = ComponentState { enc, status: None };
+                slot_mutex.clear_poison();
+            } else {
+                debug_assert_eq!(slot, self.components.len(), "appends are contiguous");
+                self.components
+                    .push(Mutex::new(ComponentState { enc, status: None }));
+            }
+            cache.unsolved.insert(slot);
+        }
+        debug_assert_eq!(self.components.len(), plan.slots, "slot arrays aligned");
         self.updates_applied += 1;
         self.components_rebuilt += plan.rebuilt();
         self.components_reused += plan.reused();
@@ -298,6 +335,53 @@ impl<'a> CurrencyEngine<'a> {
             cells_touched: effects.touched_cells.len(),
             inserted: effects.inserted,
         })
+    }
+
+    /// Reclaim every tombstone slot of the specification
+    /// ([`Specification::compact`]) and rebuild the compiled state over
+    /// the remapped tuple ids.
+    ///
+    /// Long churn streams grow one dead tuple slot per retraction (ids
+    /// must stay stable between compactions); this hands the memory back
+    /// and re-densifies the id space.  The cost is a full engine rebuild
+    /// — partition, component encodings, caches — so call it at
+    /// maintenance points (e.g. when [`EngineStats`] shows tombstones
+    /// dominating live tuples), not per delta.  With no tombstones it is
+    /// a no-op: nothing is rebuilt and borrowed specifications are not
+    /// cloned.
+    ///
+    /// Externally held [`TupleId`]s are invalidated; translate them
+    /// through the returned [`CompactReport`].
+    pub fn compact(&mut self) -> Result<CompactReport, ReasonError> {
+        let tombstones: usize = self.spec.instances().iter().map(|i| i.tombstones()).sum();
+        if tombstones == 0 {
+            // Identity report (empty tables = unchanged ids): nothing is
+            // rebuilt, nothing proportional to the spec is allocated, and
+            // a borrowed specification is not cloned.
+            return Ok(CompactReport {
+                reclaimed: 0,
+                remap: Vec::new(),
+            });
+        }
+        let report = self.spec.to_mut().compact();
+        // Tuple ids moved: ground rules, obligations and every compiled
+        // clause referenced the old ids, so the partition and all cached
+        // encodings are rebuilt from scratch (the documented price of a
+        // compaction), through the same path the constructor uses.
+        self.partition = Partition::of(self.spec.as_ref());
+        self.components = compile_components(
+            self.spec.as_ref(),
+            &self.value_rels,
+            &self.opts,
+            &self.partition,
+        )?;
+        *self
+            .cps_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = undecided_cache(self.components.len());
+        self.compactions += 1;
+        self.slots_reclaimed += report.reclaimed;
+        Ok(report)
     }
 
     /// The specification the engine currently answers for (including every
@@ -329,10 +413,12 @@ impl<'a> CurrencyEngine<'a> {
             updates_applied: self.updates_applied,
             components_rebuilt: self.components_rebuilt,
             components_reused: self.components_reused,
+            compactions: self.compactions,
+            slots_reclaimed: self.slots_reclaimed,
             ..EngineStats::default()
         };
-        for comp in &self.components {
-            let st = lock_component(comp);
+        for ix in 0..self.components.len() {
+            let st = self.component(ix);
             stats.vars += st.enc.num_vars();
             stats.clauses += st.enc.num_clauses();
             stats.sat += st.enc.solver_stats();
@@ -340,36 +426,84 @@ impl<'a> CurrencyEngine<'a> {
         stats
     }
 
-    /// Satisfiability of one component, solved on first demand and cached.
-    fn component_status(&self, ix: usize) -> bool {
-        let mut st = lock_component(&self.components[ix]);
-        match st.status {
-            Some(s) => s,
-            None => {
-                let sat = st.enc.solve() == SolveResult::Sat;
-                st.status = Some(sat);
-                sat
+    /// Lock one slot's state, surviving mutex poisoning.
+    ///
+    /// A query that panics while holding a component lock (a budget
+    /// assertion, a debug invariant) poisons the mutex; without recovery
+    /// every later query on that slot would panic too, which is fatal for
+    /// a long-lived engine.  The component state itself stays coherent
+    /// across such a panic — queries mutate only the solver, whose
+    /// operations keep its invariants — but the cached satisfiability
+    /// verdict is conservatively dropped (and retired from the aggregate
+    /// cache) so the next query re-derives it.
+    fn component(&self, ix: usize) -> MutexGuard<'_, ComponentState> {
+        match self.components[ix].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.components[ix].clear_poison();
+                let mut guard = poisoned.into_inner();
+                if let Some(was_sat) = guard.status.take() {
+                    let mut cache = self.cps_lock();
+                    if !was_sat {
+                        cache.unsat -= 1;
+                    }
+                    cache.unsolved.insert(ix);
+                }
+                guard
             }
         }
     }
 
-    /// **CPS** — is the specification consistent?  Solves every component
-    /// once (in parallel on first call); later calls return the cached
-    /// aggregate verdict without touching the components.
-    pub fn cps(&self) -> Result<bool, ReasonError> {
-        if let Some(&verdict) = self.cps_verdict.get() {
-            return Ok(verdict);
+    /// Lock the aggregate-consistency cache (poisoning cannot corrupt it:
+    /// every mutation is a couple of integer/set updates).
+    fn cps_lock(&self) -> MutexGuard<'_, CpsCache> {
+        self.cps_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Satisfiability of one slot, solved on first demand and cached
+    /// (with the aggregate cache book-kept under the slot's lock, so
+    /// concurrent solvers of the same slot cannot double-count).
+    fn component_status(&self, ix: usize) -> bool {
+        let mut st = self.component(ix);
+        if let Some(sat) = st.status {
+            return sat;
         }
-        let verdict = if self.partition.has_ground_falsum {
-            false
-        } else {
-            run_indexed(effective_threads(&self.opts), self.partition.len(), |ix| {
-                Ok(self.component_status(ix))
-            })?
-            .into_iter()
-            .all(|sat| sat)
-        };
-        Ok(*self.cps_verdict.get_or_init(|| verdict))
+        let sat = st.enc.solve() == SolveResult::Sat;
+        st.status = Some(sat);
+        let mut cache = self.cps_lock();
+        if cache.unsolved.remove(&ix) && !sat {
+            cache.unsat += 1;
+        }
+        sat
+    }
+
+    /// **CPS** — is the specification consistent?  Decides only the slots
+    /// whose satisfiability is not yet known (in parallel when there are
+    /// many): all of them on the first call, exactly the rebuilt slots
+    /// after a delta, none at steady state — the call is O(undecided
+    /// region), never a sweep of every component.
+    pub fn cps(&self) -> Result<bool, ReasonError> {
+        if self.partition.has_ground_falsum {
+            return Ok(false);
+        }
+        // Loop until the undecided set is empty *at verdict time*: a
+        // concurrent poison recovery can re-insert a slot between the
+        // drain and the check, and "still undecided" must trigger another
+        // drain, never masquerade as a verdict.
+        loop {
+            let pending: Vec<usize> = {
+                let cache = self.cps_lock();
+                if cache.unsolved.is_empty() {
+                    return Ok(cache.unsat == 0);
+                }
+                cache.unsolved.iter().copied().collect()
+            };
+            run_indexed(effective_threads(&self.opts), pending.len(), |k| {
+                Ok(self.component_status(pending[k]))
+            })?;
+        }
     }
 
     /// **COP** — is every pair of the candidate order certain?  Vacuously
@@ -395,7 +529,7 @@ impl<'a> CurrencyEngine<'a> {
                 .partition
                 .component_of(ot.rel, lt.eid)
                 .expect("every entity has a component");
-            let mut st = lock_component(&self.components[ix]);
+            let mut st = self.component(ix);
             let Some(l) = st.enc.order_lit(ot.rel, attr, lesser, greater) else {
                 return Ok(false);
             };
@@ -417,7 +551,7 @@ impl<'a> CurrencyEngine<'a> {
         let touched = self.partition.components_touching(rel);
         let verdicts = run_indexed(effective_threads(&self.opts), touched.len(), |k| {
             let ix = touched[k];
-            let st = lock_component(&self.components[ix]);
+            let st = self.component(ix);
             let (_, vars) = st.enc.restricted_projection(&[rel]);
             if vars.is_empty() {
                 return Ok(true); // every completion yields the same rows
@@ -515,7 +649,7 @@ impl<'a> CurrencyEngine<'a> {
     ) -> Result<Vec<ComponentModels>, ReasonError> {
         let per_comp = run_indexed(effective_threads(&self.opts), comps.len(), |k| {
             let ix = comps[k];
-            let st = lock_component(&self.components[ix]);
+            let st = self.component(ix);
             let (indices, vars) = st.enc.restricted_projection(rels);
             if vars.is_empty() {
                 // One realizable outcome: the component's fixed rows.
@@ -565,7 +699,7 @@ impl<'a> CurrencyEngine<'a> {
         loop {
             let mut rows: Vec<(RelId, Tuple)> = Vec::new();
             for (k, cm) in per_comp.iter().enumerate() {
-                let st = lock_component(&self.components[cm.comp]);
+                let st = self.component(cm.comp);
                 rows.extend(st.enc.decode_restricted(
                     self.spec.as_ref(),
                     rels,
@@ -599,8 +733,8 @@ impl<'a> CurrencyEngine<'a> {
             return Ok(None);
         }
         let chains_per_comp: Vec<ComponentChains> =
-            run_indexed(effective_threads(&self.opts), self.partition.len(), |ix| {
-                let mut st = lock_component(&self.components[ix]);
+            run_indexed(effective_threads(&self.opts), self.components.len(), |ix| {
+                let mut st = self.component(ix);
                 // Re-solve without assumptions so the model is a plain
                 // completion model (assumption queries may have left the
                 // solver without one); in lazy mode this also re-runs the
@@ -672,24 +806,34 @@ impl<'a> CurrencyEngine<'a> {
     }
 }
 
-/// Lock a component's state, surviving mutex poisoning.
-///
-/// A query that panics while holding a component lock (a budget assertion,
-/// a debug invariant) poisons the mutex; without recovery every later
-/// query on that component would panic too, which is fatal for a
-/// long-lived engine.  The component state itself stays coherent across
-/// such a panic — queries mutate only the solver, whose operations keep
-/// its invariants — but the cached satisfiability verdict is conservatively
-/// dropped so the next query re-derives it.
-fn lock_component(m: &Mutex<ComponentState>) -> MutexGuard<'_, ComponentState> {
-    match m.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => {
-            m.clear_poison();
-            let mut guard = poisoned.into_inner();
-            guard.status = None;
-            guard
-        }
+/// Compile every slot of `partition` into an unsolved component state
+/// (parallel under `opts.threads`) — shared by engine construction and
+/// post-compaction rebuild so the two can never drift.
+fn compile_components(
+    spec: &Specification,
+    value_rels: &[RelId],
+    opts: &Options,
+    partition: &Partition,
+) -> Result<Vec<Mutex<ComponentState>>, ReasonError> {
+    let encodings = run_indexed(effective_threads(opts), partition.slots(), |ix| {
+        Ok(Encoding::for_component(
+            spec,
+            value_rels,
+            &partition.components()[ix],
+            opts.transitivity,
+        ))
+    })?;
+    Ok(encodings
+        .into_iter()
+        .map(|enc| Mutex::new(ComponentState { enc, status: None }))
+        .collect())
+}
+
+/// The consistency cache of an engine none of whose slots is decided.
+fn undecided_cache(slots: usize) -> CpsCache {
+    CpsCache {
+        unsolved: (0..slots).collect(),
+        unsat: 0,
     }
 }
 
@@ -1010,6 +1154,105 @@ mod tests {
         let fresh = CurrencyEngine::new(engine.spec(), &Options::default()).unwrap();
         assert_eq!(engine.cps().unwrap(), fresh.cps().unwrap());
         assert_eq!(engine.dcip(r).unwrap(), fresh.dcip(r).unwrap());
+    }
+
+    #[test]
+    fn compact_reclaims_churn_tombstones_and_preserves_verdicts() {
+        use currency_core::SpecDelta;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut engine = CurrencyEngine::new_owned(spec, &Options::default()).unwrap();
+        // Churn entity 1: every insert+retract leaves one tombstone slot.
+        for step in 0..5 {
+            let mut delta = SpecDelta::new();
+            delta.insert_tuple(r, Tuple::new(Eid(1), vec![Value::int(50 + step)]));
+            let report = engine.apply(&delta).unwrap();
+            let (rel, id) = report.inserted[0];
+            let mut retract = SpecDelta::new();
+            retract.remove_tuple(rel, id);
+            engine.apply(&retract).unwrap();
+        }
+        assert!(engine.cps().unwrap());
+        assert_eq!(engine.spec().instance(r).len(), 11, "6 live + 5 dead");
+        let report = engine.compact().unwrap();
+        assert_eq!(report.reclaimed, 5);
+        // The tuple vector shrank; ids are dense again.
+        assert_eq!(engine.spec().instance(r).len(), 6);
+        assert_eq!(engine.spec().instance(r).live_len(), 6);
+        // Verdicts equal a fresh engine over the compacted specification.
+        let fresh = CurrencyEngine::new(engine.spec(), &Options::default()).unwrap();
+        assert_eq!(engine.cps().unwrap(), fresh.cps().unwrap());
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                let q = CurrencyOrderQuery::single(r, A, TupleId(u), TupleId(v));
+                assert_eq!(engine.cop(&q).unwrap(), fresh.cop(&q).unwrap(), "{u}≺{v}");
+            }
+        }
+        assert_eq!(engine.dcip(r).unwrap(), fresh.dcip(r).unwrap());
+        let stats = engine.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.slots_reclaimed, 5);
+        // Nothing left to reclaim: no rebuild, no counter bump.
+        let noop = engine.compact().unwrap();
+        assert_eq!(noop.reclaimed, 0);
+        assert_eq!(noop.new_id(r, TupleId(2)), Some(TupleId(2)));
+        assert_eq!(engine.stats().compactions, 1);
+    }
+
+    #[test]
+    fn compact_remaps_ids_for_later_queries() {
+        use currency_core::SpecDelta;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut engine = CurrencyEngine::new_owned(spec, &Options::default()).unwrap();
+        // Retract entity 0's lesser tuple (TupleId(0), value 10).
+        let mut delta = SpecDelta::new();
+        delta.remove_tuple(r, TupleId(0));
+        engine.apply(&delta).unwrap();
+        let report = engine.compact().unwrap();
+        assert_eq!(report.reclaimed, 1);
+        // Old ids shift down by one; the constraint still orders entity 1.
+        let old_pair = (TupleId(2), TupleId(3));
+        let new_pair = (
+            report.new_id(r, old_pair.0).unwrap(),
+            report.new_id(r, old_pair.1).unwrap(),
+        );
+        assert_eq!(new_pair, (TupleId(1), TupleId(2)));
+        assert!(engine
+            .cop(&CurrencyOrderQuery::single(r, A, new_pair.0, new_pair.1))
+            .unwrap());
+        // The vacated id space is live again: the last id is now unknown.
+        assert!(!engine
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(4), TupleId(5)))
+            .unwrap());
+    }
+
+    #[test]
+    fn apply_keeps_slot_count_bounded_under_churn() {
+        use currency_core::SpecDelta;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut engine = CurrencyEngine::new_owned(spec, &Options::default()).unwrap();
+        let slots_before = engine.components.len();
+        for step in 0..8 {
+            // A brand-new entity appears and disappears: its component
+            // slot must be recycled, not leaked.
+            let mut delta = SpecDelta::new();
+            delta.insert_tuple(r, Tuple::new(Eid(100), vec![Value::int(step)]));
+            let report = engine.apply(&delta).unwrap();
+            let (rel, id) = report.inserted[0];
+            let mut retract = SpecDelta::new();
+            retract.remove_tuple(rel, id);
+            engine.apply(&retract).unwrap();
+            assert!(engine.cps().unwrap());
+        }
+        assert!(
+            engine.components.len() <= slots_before + 1,
+            "vacated slots are reused: {} grew past {}",
+            engine.components.len(),
+            slots_before + 1
+        );
+        assert_eq!(engine.partition().len(), 3, "live components steady");
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub use engine::{ApplyReport, CurrencyEngine, EngineStats};
 pub use error::ReasonError;
 pub use explain::{explain_inconsistency, InconsistencyCore, SpecComponent};
 pub use fixpoint::{po_infinity, CertainOrders};
-pub use partition::{ComponentSource, Partition, RefreshPlan};
+pub use partition::{Partition, RefreshPlan};
 pub use preserve::{bcp, cpp, ecp, maximum_extension, ExtensionSlot, PreservationProblem};
 pub use preserve_sp::{bcp_sp, cpp_sp};
 pub use sp_ptime::{ccqa_sp, certain_answers_sp, poss_instance};

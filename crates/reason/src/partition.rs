@@ -27,14 +27,24 @@
 //! the **dirty region** — the components owning a touched cell, plus any
 //! component a freshly derived copy obligation links into it.  Grounding
 //! is entity-local ([`currency_core::DenialConstraint::ground_entity`]),
-//! so only the dirty cells' rules are recomputed; obligations are
-//! re-enumerated only for mapping groups touching the dirty region
-//! ([`currency_core::CopyFunction::compatibility_obligations_filtered`]).
-//! The dirty region is then locally re-partitioned (merges *and* splits
-//! both fall out of re-running the union–find over the region), while
-//! every clean component survives untouched — the returned
-//! [`RefreshPlan`] tells the engine which cached component states are
-//! still valid and which must be recompiled.
+//! and obligations are enumerated only for the mapping groups the dirty
+//! region's entities participate in
+//! ([`currency_core::CopyFunction::obligations_for_region`], an indexed
+//! lookup — never a scan of a copy's whole mapping set).  The dirty
+//! region is then locally re-partitioned (merges *and* splits both fall
+//! out of re-running the union–find over the region).
+//!
+//! ## Stable slots
+//!
+//! Components live in **slots** whose indices are stable across
+//! refreshes: a clean component keeps its absolute index forever, so the
+//! engine's cached per-slot state needs no remapping — slot identity
+//! *is* component identity.  A refresh vacates the dirty slots, reuses
+//! them (via a free-list) for the freshly derived components, and
+//! appends only on overflow; the cell → slot index is patched for the
+//! dirty region's cells only.  Refresh cost therefore scales with the
+//! dirty region, not with the specification — the returned
+//! [`RefreshPlan`] lists just the rebuilt and freed slots.
 
 use currency_core::{Eid, GroundRule, OrderEdge, RelId, Specification};
 use std::collections::{BTreeSet, HashMap};
@@ -76,10 +86,20 @@ pub struct Component {
     pub obligations: Vec<ObligationAt>,
 }
 
-/// The entity partition of a specification.
+/// The entity partition of a specification, stored in stable slots.
+///
+/// [`Partition::components`] is a slot array: a slot either holds a live
+/// component or is *vacant* (empty cell set, tracked on a free-list).
+/// Slot indices are the identity the engine caches against — a refresh
+/// never moves a clean component.
 #[derive(Clone, Debug)]
 pub struct Partition {
+    /// The slot array; vacant slots hold an empty [`Component`].
     components: Vec<Component>,
+    /// Vacant slot indices, reused (LIFO) before the array grows.
+    free: Vec<usize>,
+    /// Number of live (non-vacant) components.
+    live: usize,
     index: HashMap<(RelId, Eid), usize>,
     /// Cells whose grounding produced a premise-free falsum rule (an
     /// unconditional contradiction local to that cell).
@@ -87,52 +107,61 @@ pub struct Partition {
     /// `true` if grounding produced a premise-free falsum rule — the
     /// specification is inconsistent regardless of any order choice.
     pub has_ground_falsum: bool,
+    /// Reusable buffers for [`Partition::refresh`], so steady-state
+    /// deltas allocate nothing proportional to past refreshes.
+    scratch: Scratch,
 }
 
-/// How one component of a refreshed partition relates to the previous
-/// layout (see [`Partition::refresh`]): positions are aligned with
-/// [`Partition::components`] after the refresh.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ComponentSource {
-    /// Identical to the old component at this index — caches built for it
-    /// (compiled CNF, learnt clauses, solved status) remain valid.
-    Reused(usize),
-    /// Freshly derived from the dirty region; must be recompiled.
-    Rebuilt,
+/// Scratch buffers reused across [`Partition::refresh`] calls (cleared,
+/// never shrunk — capacity amortizes across the delta stream).
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    dirty_slots: Vec<usize>,
+    dirty_cells: Vec<(RelId, Eid)>,
+    region: Vec<(RelId, Eid)>,
+    cell_ids: HashMap<(RelId, Eid), u32>,
 }
 
-/// The outcome of [`Partition::refresh`]: one [`ComponentSource`] per
-/// component of the refreshed partition, in component order.
+/// The outcome of [`Partition::refresh`]: which slots changed.  Sized by
+/// the dirty region, not the component count.
 #[derive(Clone, Debug)]
 pub struct RefreshPlan {
-    /// Per-component provenance, aligned with [`Partition::components`].
-    pub sources: Vec<ComponentSource>,
+    /// Slots holding freshly derived components — the engine must
+    /// recompile exactly these.  Slots `>=` the pre-refresh slot count
+    /// are appends (in increasing order, after every reused vacancy).
+    pub rebuilt: Vec<usize>,
+    /// Slots vacated by this refresh with no fresh component taking
+    /// them — the engine clears their cached state.
+    pub freed: Vec<usize>,
+    /// Total slot count after the refresh.
+    pub slots: usize,
+    /// Live components untouched by the refresh.
+    reused_components: usize,
 }
 
 impl RefreshPlan {
     /// Number of components rebuilt from the dirty region.
     pub fn rebuilt(&self) -> usize {
-        self.sources
-            .iter()
-            .filter(|s| matches!(s, ComponentSource::Rebuilt))
-            .count()
+        self.rebuilt.len()
     }
 
-    /// Number of components carried over unchanged.
+    /// Number of live components carried over unchanged.
     pub fn reused(&self) -> usize {
-        self.sources.len() - self.rebuilt()
+        self.reused_components
     }
 }
 
-/// Plain union–find over dense cell ids.
+/// Union–find over dense cell ids: union by size, full path compression.
 struct UnionFind {
     parent: Vec<u32>,
+    size: Vec<u32>,
 }
 
 impl UnionFind {
     fn new(n: usize) -> UnionFind {
         UnionFind {
             parent: (0..n as u32).collect(),
+            size: vec![1; n],
         }
     }
 
@@ -141,7 +170,7 @@ impl UnionFind {
         while self.parent[root as usize] != root {
             root = self.parent[root as usize];
         }
-        // Path compression.
+        // Full path compression: repoint everything on the walk.
         let mut cur = x;
         while self.parent[cur as usize] != root {
             let next = self.parent[cur as usize];
@@ -153,10 +182,29 @@ impl UnionFind {
 
     fn union(&mut self, a: u32, b: u32) {
         let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[rb as usize] = ra;
+        if ra == rb {
+            return;
         }
+        // Union by size: graft the smaller tree under the larger so find
+        // chains stay logarithmic under adversarial merge orders.
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
     }
+}
+
+/// The scope of a [`Partition::derive_region`] call: either the whole
+/// specification (initial build) or a dirty region's live cells.
+enum RegionScope<'r> {
+    /// Enumerate every copy obligation.
+    Full,
+    /// Enumerate only obligations of groups touching the region (sorted
+    /// cell list, shared with the derive pass).
+    Cells(&'r [(RelId, Eid)]),
 }
 
 impl Partition {
@@ -166,37 +214,52 @@ impl Partition {
     /// function's compatibility obligations exactly once; the caller is
     /// expected to have validated the specification.
     pub fn of(spec: &Specification) -> Partition {
-        let cells: BTreeSet<(RelId, Eid)> = spec
+        // Instances are iterated in relation order and entities in id
+        // order, so the collected cell list is sorted.
+        let cells: Vec<(RelId, Eid)> = spec
             .instances()
             .iter()
             .flat_map(|inst| inst.entities().map(move |eid| (inst.rel(), eid)))
             .collect();
         let mut partition = Partition {
             components: Vec::new(),
-            index: HashMap::new(),
+            free: Vec::new(),
+            live: 0,
+            index: HashMap::with_capacity(cells.len()),
             falsum_cells: BTreeSet::new(),
             has_ground_falsum: false,
+            scratch: Scratch::default(),
         };
-        let keep_all = |_: Eid, _: Eid, _: RelId, _: RelId| true;
-        let fresh = partition.derive_region(spec, &cells, &keep_all);
+        let mut cell_ids = HashMap::with_capacity(cells.len());
+        let fresh = partition.derive_region(spec, &cells, RegionScope::Full, &mut cell_ids);
+        for (slot, comp) in fresh.iter().enumerate() {
+            for &cell in &comp.cells {
+                partition.index.insert(cell, slot);
+            }
+        }
+        partition.live = fresh.len();
         partition.components = fresh;
-        partition.index = Partition::index_of(&partition.components);
+        // `cell_ids` is full-spec-sized here; deliberately NOT kept as
+        // refresh scratch — steady-state regions are tiny, and retaining
+        // O(cells) of dead capacity per partition would defeat the point.
+        // The scratch map re-grows only if a genuinely huge delta lands.
+        drop(cell_ids);
         partition.has_ground_falsum = !partition.falsum_cells.is_empty();
         partition
     }
 
     /// Re-derive the partition after a delta touched `touched` cells,
-    /// keeping every clean component (and its index) byte-identical.
+    /// keeping every clean component — **and its slot index** —
+    /// byte-identical.
     ///
-    /// The dirty region is the touched cells plus every cell of a
-    /// component owning one.  Only the region's rules and obligations are
-    /// re-derived (entity-local grounding, filtered obligation
-    /// enumeration); the region is then re-partitioned locally, which
-    /// realizes merges *and* splits.  Clean components keep their
-    /// *relative order*; rebuilt components fill the freed slots in order
-    /// (overflow appends, a shrink closes slots), so absolute indices may
-    /// shift — map cached per-component state through the returned plan,
-    /// never through pre-refresh indices.
+    /// The dirty region is the touched cells plus every cell of a slot
+    /// owning one.  Only the region's rules and obligations are
+    /// re-derived (entity-local grounding, indexed obligation lookup);
+    /// the region is then re-partitioned locally, which realizes merges
+    /// *and* splits.  Dirty slots are vacated and refilled from the
+    /// fresh components (free-list first, appends on overflow), and the
+    /// cell → slot index is patched for the region's cells only — no
+    /// step of a refresh walks the full component or cell set.
     ///
     /// **Contract** (guaranteed by `DeltaEffects::touched_cells`):
     /// `touched` must contain *both* endpoint cells of every copy mapping
@@ -204,93 +267,122 @@ impl Partition {
     /// global scan: a pre-existing obligation already has both endpoints
     /// in one component (that is what the partition means), so an
     /// obligation can only cross the region boundary if its link is new —
-    /// and then both its cells are in `touched`.  Refresh cost therefore
-    /// scales with the dirty region, not the specification.
+    /// and then both its cells are in `touched`.
     ///
-    /// The returned [`RefreshPlan`] maps every post-refresh component to
-    /// its provenance so cached per-component state can be carried over.
+    /// The returned [`RefreshPlan`] lists the rebuilt and freed slots so
+    /// the engine can patch exactly that cached state.
     pub fn refresh(
         &mut self,
         spec: &Specification,
         touched: &BTreeSet<(RelId, Eid)>,
     ) -> RefreshPlan {
-        // The dirty region: touched cells plus their components' cells.
-        let mut dirty_comps: BTreeSet<usize> = BTreeSet::new();
-        let mut dirty_cells: BTreeSet<(RelId, Eid)> = touched.clone();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.dirty_slots.clear();
+        scratch.dirty_cells.clear();
+        scratch.region.clear();
+
+        // The dirty region: touched cells plus their slots' cells.
         for cell in touched {
-            if let Some(&cix) = self.index.get(cell) {
-                dirty_comps.insert(cix);
+            if let Some(&slot) = self.index.get(cell) {
+                scratch.dirty_slots.push(slot);
             }
         }
-        for &cix in &dirty_comps {
-            dirty_cells.extend(self.components[cix].cells.iter().copied());
+        scratch.dirty_slots.sort_unstable();
+        scratch.dirty_slots.dedup();
+        scratch.dirty_cells.extend(touched.iter().copied());
+        for &slot in &scratch.dirty_slots {
+            scratch
+                .dirty_cells
+                .extend(self.components[slot].cells.iter().copied());
         }
+        scratch.dirty_cells.sort_unstable();
+        scratch.dirty_cells.dedup();
 
         // Cells may have vanished (their entity lost its last tuple): the
         // region to re-derive is the *live* part of the dirty cell set.
-        let live_dirty: BTreeSet<(RelId, Eid)> = dirty_cells
-            .iter()
-            .copied()
-            .filter(|&(rel, eid)| !spec.instance(rel).entity_group(eid).is_empty())
-            .collect();
+        scratch.region.extend(
+            scratch
+                .dirty_cells
+                .iter()
+                .copied()
+                .filter(|&(rel, eid)| !spec.instance(rel).entity_group(eid).is_empty()),
+        );
         // Stale falsum verdicts of the region go; derive_region re-adds
         // the ones that still hold.
-        for cell in &dirty_cells {
+        for cell in &scratch.dirty_cells {
             self.falsum_cells.remove(cell);
         }
-        let keep = |te: Eid, se: Eid, tgt: RelId, src: RelId| {
-            live_dirty.contains(&(tgt, te)) || live_dirty.contains(&(src, se))
-        };
-        let fresh = self.derive_region(spec, &live_dirty, &keep);
+        let Scratch {
+            region, cell_ids, ..
+        } = &mut scratch;
+        let fresh = self.derive_region(spec, region, RegionScope::Cells(region), cell_ids);
 
-        // Splice: clean components keep their slots; fresh components fill
-        // the freed dirty slots in order, overflowing to the tail.
-        let mut sources: Vec<ComponentSource> = Vec::new();
-        let mut components: Vec<Component> = Vec::new();
-        let mut fresh_iter = fresh.into_iter();
-        for (old_ix, comp) in std::mem::take(&mut self.components).into_iter().enumerate() {
-            if dirty_comps.contains(&old_ix) {
-                if let Some(f) = fresh_iter.next() {
-                    components.push(f);
-                    sources.push(ComponentSource::Rebuilt);
+        // Patch the index for the region only; clean entries survive.
+        for cell in &scratch.dirty_cells {
+            self.index.remove(cell);
+        }
+        // Vacate the dirty slots, then refill from the fresh components:
+        // free-list first (most recently vacated first), appends on
+        // overflow.
+        for &slot in &scratch.dirty_slots {
+            self.components[slot] = Component::default();
+            self.free.push(slot);
+            self.live -= 1;
+        }
+        let mut rebuilt = Vec::with_capacity(fresh.len());
+        for comp in fresh {
+            let slot = match self.free.pop() {
+                Some(slot) => {
+                    self.components[slot] = comp;
+                    slot
                 }
-                // A dirty slot with no fresh component left just closes.
-            } else {
-                components.push(comp);
-                sources.push(ComponentSource::Reused(old_ix));
+                None => {
+                    self.components.push(comp);
+                    self.components.len() - 1
+                }
+            };
+            for &cell in &self.components[slot].cells {
+                self.index.insert(cell, slot);
             }
+            self.live += 1;
+            rebuilt.push(slot);
         }
-        for f in fresh_iter {
-            components.push(f);
-            sources.push(ComponentSource::Rebuilt);
-        }
-        self.components = components;
-        self.index = Partition::index_of(&self.components);
+        let freed: Vec<usize> = scratch
+            .dirty_slots
+            .iter()
+            .copied()
+            .filter(|&slot| self.components[slot].cells.is_empty())
+            .collect();
+        self.scratch = scratch;
         self.has_ground_falsum = !self.falsum_cells.is_empty();
-        RefreshPlan { sources }
+        RefreshPlan {
+            reused_components: self.live - rebuilt.len(),
+            rebuilt,
+            freed,
+            slots: self.components.len(),
+        }
     }
 
-    /// Derive the components covering `cells`: ground every constraint for
-    /// the cells' entities (recording premise-free falsum cells), collect
-    /// the copy obligations `keep` accepts, and union-find the cells into
-    /// components in deterministic first-seen order.
+    /// Derive the components covering `cells` (a sorted, duplicate-free
+    /// list): ground every constraint for the cells' entities (recording
+    /// premise-free falsum cells), collect the scope's copy obligations,
+    /// and union-find the cells into components in deterministic
+    /// first-seen order.
     ///
     /// Ground rules are entity-local, so only obligations merge cells.
     fn derive_region(
         &mut self,
         spec: &Specification,
-        cells: &BTreeSet<(RelId, Eid)>,
-        keep: &dyn Fn(Eid, Eid, RelId, RelId) -> bool,
+        cells: &[(RelId, Eid)],
+        scope: RegionScope<'_>,
+        cell_ids: &mut HashMap<(RelId, Eid), u32>,
     ) -> Vec<Component> {
-        let cell_ids: HashMap<(RelId, Eid), u32> = cells
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (c, i as u32))
-            .collect();
+        cell_ids.clear();
+        cell_ids.extend(cells.iter().enumerate().map(|(i, &c)| (c, i as u32)));
         let mut uf = UnionFind::new(cells.len());
 
         // Entity-local grounding: each cell's rules anchor at the cell.
-        // Iterate the ordered cell set (not the id map) so rule order —
+        // Iterate the ordered cell list (not the id map) so rule order —
         // and with it clause order in the compiled encodings — is
         // deterministic.  One grounder per constraint: its value-atom
         // analysis is shared across all the cells it grounds for.
@@ -321,16 +413,24 @@ impl Partition {
             }
         }
 
-        // Copy obligations; union source and target entity cells.
+        // Copy obligations; union source and target entity cells.  The
+        // scoped form asks each copy for the dirty entities' groups only
+        // (an indexed lookup), so obligation enumeration scales with the
+        // region, not the copy's mapping set.
         let mut obligations: Vec<(ObligationAt, u32)> = Vec::new();
         for cf in spec.copies() {
             let sig = cf.signature();
             let target = spec.instance(sig.target);
             let source = spec.instance(sig.source);
-            let accept = |te: Eid, se: Eid| keep(te, se, sig.target, sig.source);
-            for (src_edge, tgt_edge) in
-                cf.compatibility_obligations_filtered(target, source, accept)
-            {
+            let obls = match &scope {
+                RegionScope::Full => cf.compatibility_obligations(target, source),
+                RegionScope::Cells(region) => {
+                    let dirty_targets = entities_of(region, sig.target);
+                    let dirty_sources = entities_of(region, sig.source);
+                    cf.obligations_for_region(target, source, &dirty_targets, &dirty_sources)
+                }
+            };
+            for (src_edge, tgt_edge) in obls {
                 let src_cell = cell_ids[&(sig.source, source.tuple(src_edge.lesser).eid)];
                 let tgt_cell = cell_ids[&(sig.target, target.tuple(tgt_edge.lesser).eid)];
                 uf.union(src_cell, tgt_cell);
@@ -370,30 +470,28 @@ impl Partition {
         components
     }
 
-    /// The cell → component index of a component list.
-    fn index_of(components: &[Component]) -> HashMap<(RelId, Eid), usize> {
-        let mut index = HashMap::new();
-        for (i, c) in components.iter().enumerate() {
-            for &cell in &c.cells {
-                index.insert(cell, i);
-            }
-        }
-        index
-    }
-
-    /// The components, in deterministic first-seen order.
+    /// The component slots, in stable slot order.  Vacant slots hold an
+    /// empty component (no cells); most callers filter on
+    /// `!cells.is_empty()` or never see them (cell-driven lookups cannot
+    /// reach a vacant slot).
     pub fn components(&self) -> &[Component] {
         &self.components
     }
 
-    /// Number of components.
+    /// Number of **live** components (vacant slots excluded).
     pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Number of slots, vacant included — the exclusive upper bound on
+    /// slot indices ([`Partition::components`]`.len()`).
+    pub fn slots(&self) -> usize {
         self.components.len()
     }
 
     /// `true` if the specification has no cells at all.
     pub fn is_empty(&self) -> bool {
-        self.components.is_empty()
+        self.live == 0
     }
 
     /// The component owning a `(relation, entity)` cell.
@@ -401,7 +499,8 @@ impl Partition {
         self.index.get(&(rel, eid)).copied()
     }
 
-    /// Indices of the components holding any cell of `rel`.
+    /// Slot indices of the components holding any cell of `rel` (vacant
+    /// slots have no cells and never match).
     pub fn components_touching(&self, rel: RelId) -> Vec<usize> {
         let mut out: Vec<usize> = self
             .components
@@ -413,6 +512,17 @@ impl Partition {
         out.sort_unstable();
         out
     }
+}
+
+/// The entities of `rel` within a sorted cell list — a range scan, so
+/// region-scoped obligation lookups never walk cells of other relations.
+fn entities_of(cells: &[(RelId, Eid)], rel: RelId) -> BTreeSet<Eid> {
+    let lo = cells.partition_point(|&(r, _)| r < rel);
+    cells[lo..]
+        .iter()
+        .take_while(|&&(r, _)| r == rel)
+        .map(|&(_, eid)| eid)
+        .collect()
 }
 
 #[cfg(test)]
@@ -539,14 +649,24 @@ mod tests {
     }
 
     /// `refresh` must produce exactly the partition `of` computes from the
-    /// post-delta specification (same cells, rules, obligations per
-    /// component up to component order).
+    /// post-delta specification (same cells, rules, obligations per live
+    /// component up to slot order; vacant slots are layout, not content).
     fn assert_refresh_matches_fresh(p: &Partition, spec: &Specification) {
         let fresh = Partition::of(spec);
         assert_eq!(p.len(), fresh.len(), "component count");
         assert_eq!(p.has_ground_falsum, fresh.has_ground_falsum);
-        let mut a: Vec<_> = p.components().to_vec();
-        let mut b: Vec<_> = fresh.components().to_vec();
+        let mut a: Vec<_> = p
+            .components()
+            .iter()
+            .filter(|c| !c.cells.is_empty())
+            .cloned()
+            .collect();
+        let mut b: Vec<_> = fresh
+            .components()
+            .iter()
+            .filter(|c| !c.cells.is_empty())
+            .cloned()
+            .collect();
         let key = |c: &Component| c.cells.iter().next().copied();
         a.sort_by_key(key);
         b.sort_by_key(key);
@@ -739,6 +859,93 @@ mod tests {
         assert_eq!(p.len(), 1);
         assert!(p.component_of(r, Eid(1)).is_none());
         assert_refresh_matches_fresh(&p, &spec);
+    }
+
+    /// The stable-slot contract: a refresh never moves a clean component,
+    /// and vacated slots are recycled before the slot array grows.
+    #[test]
+    fn clean_slots_are_stable_and_freed_slots_are_reused() {
+        let mut cat = Catalog::new();
+        let d = cat.add(RelationSchema::new("D", &["A"]));
+        let s = cat.add(RelationSchema::new("S", &["A"]));
+        let mut spec = Specification::new(cat);
+        let d1 = spec
+            .instance_mut(d)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1)]))
+            .unwrap();
+        let d2 = spec
+            .instance_mut(d)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(2)]))
+            .unwrap();
+        spec.instance_mut(d)
+            .push_tuple(Tuple::new(Eid(9), vec![Value::int(5)]))
+            .unwrap();
+        let s1 = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(7), vec![Value::int(1)]))
+            .unwrap();
+        let s2 = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(7), vec![Value::int(2)]))
+            .unwrap();
+        let sig = CopySignature::new(d, vec![A], s, vec![A]).unwrap();
+        let mut cf = CopyFunction::new(sig);
+        cf.set_mapping(d1, s1);
+        spec.add_copy(cf).unwrap();
+        let mut p = Partition::of(&spec);
+        // Cells sort (D,1) < (D,9) < (S,7): three slots, no vacancies.
+        assert_eq!((p.len(), p.slots()), (3, 3));
+        let bystander_slot = p.component_of(d, Eid(9)).unwrap();
+        let touched: BTreeSet<(RelId, Eid)> = [(d, Eid(1)), (s, Eid(7))].into();
+        // Merge → split → merge churn over the two linked cells.  The
+        // bystander's slot must never move and the slot array must never
+        // grow past its high-water mark (freed slots get recycled).
+        for round in 0..3 {
+            spec.copy_mut(0).set_mapping(d2, s2);
+            let plan = p.refresh(&spec, &touched);
+            assert_eq!(plan.rebuilt(), 1, "round {round}: merged into one");
+            assert_eq!((p.len(), p.slots()), (2, 3), "round {round}");
+            assert_eq!(
+                p.component_of(d, Eid(1)),
+                p.component_of(s, Eid(7)),
+                "round {round}"
+            );
+            assert_eq!(p.component_of(d, Eid(9)), Some(bystander_slot));
+            spec.copy_mut(0).retain_mappings(|t, _| t != d2);
+            let plan = p.refresh(&spec, &touched);
+            assert_eq!(plan.rebuilt(), 2, "round {round}: split in two");
+            assert_eq!((p.len(), p.slots()), (3, 3), "round {round}");
+            assert_eq!(p.component_of(d, Eid(9)), Some(bystander_slot));
+            assert_refresh_matches_fresh(&p, &spec);
+        }
+    }
+
+    /// Rebuilt slots listed by the plan, clean cells untouched by the
+    /// index patch: a component-local insert leaves every other cell's
+    /// slot assignment — not just its contents — bit-identical.
+    #[test]
+    fn refresh_patches_index_only_for_the_region() {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        for e in 0..6u64 {
+            spec.instance_mut(r)
+                .push_tuple(Tuple::new(Eid(e), vec![Value::int(e as i64)]))
+                .unwrap();
+        }
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut p = Partition::of(&spec);
+        let before: Vec<Option<usize>> = (0..6).map(|e| p.component_of(r, Eid(e))).collect();
+        spec.instance_mut(r)
+            .push_tuple(Tuple::new(Eid(3), vec![Value::int(42)]))
+            .unwrap();
+        let touched: BTreeSet<(RelId, Eid)> = [(r, Eid(3))].into();
+        let plan = p.refresh(&spec, &touched);
+        assert_eq!(plan.rebuilt, vec![before[3].unwrap()], "slot recycled");
+        assert!(plan.freed.is_empty());
+        assert_eq!(plan.slots, 6);
+        let after: Vec<Option<usize>> = (0..6).map(|e| p.component_of(r, Eid(e))).collect();
+        assert_eq!(before, after, "no cell changed slots");
     }
 
     #[test]

@@ -226,6 +226,20 @@ fn assert_agreement(engine: &CurrencyEngine<'_>, with_oracle: bool, seed: u64, s
     );
 }
 
+/// A churn-biased delta: prefer retractions (every one leaves a tombstone
+/// slot) so compaction has something to reclaim; fall back to the general
+/// generator otherwise.
+fn random_churn_delta(spec: &Specification, rng: &mut SmallRng) -> SpecDelta {
+    let live: Vec<TupleId> = spec.instance(T).tuples().map(|(id, _)| id).collect();
+    if live.len() > 1 && rng.gen_range(0..2u32) == 0 {
+        let victim = live[rng.gen_range(0..live.len())];
+        let mut delta = SpecDelta::new();
+        delta.remove_tuple(T, victim);
+        return delta;
+    }
+    random_delta(spec, rng)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
 
@@ -253,6 +267,48 @@ proptest! {
             engine.apply(&delta).expect("generated deltas are admissible");
             assert_agreement(&engine, false, seed, step);
         }
+    }
+
+    // Churn + compaction: after every `compact()` the engine (remapped
+    // ids, rebuilt components) must agree with a fresh engine *and* the
+    // enumeration oracle on CPS, all-pairs COP, certain answers, and
+    // model counts — and the tuple vectors must actually have shrunk.
+    #[test]
+    fn churn_then_compact_agrees_with_fresh_engine_and_oracle(seed in 0u64..10_000) {
+        let spec = random_spec(&config(seed));
+        let mut engine = CurrencyEngine::new_owned(spec, &Options::default()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64));
+        for step in 0..5usize {
+            let delta = random_churn_delta(engine.spec(), &mut rng);
+            engine.apply(&delta).expect("generated deltas are admissible");
+            if step % 2 == 1 {
+                let tombstones: usize = engine
+                    .spec()
+                    .instances()
+                    .iter()
+                    .map(|i| i.tombstones())
+                    .sum();
+                let slots_before: usize =
+                    engine.spec().instances().iter().map(|i| i.len()).sum();
+                let report = engine.compact().expect("compaction succeeds");
+                prop_assert_eq!(report.reclaimed, tombstones, "seed {}", seed);
+                let slots_after: usize =
+                    engine.spec().instances().iter().map(|i| i.len()).sum();
+                prop_assert_eq!(
+                    slots_after, slots_before - tombstones,
+                    "tuple vectors shrink by exactly the tombstone count (seed {})", seed
+                );
+                for inst in engine.spec().instances() {
+                    prop_assert_eq!(inst.tombstones(), 0, "seed {}", seed);
+                    prop_assert_eq!(inst.len(), inst.live_len(), "seed {}", seed);
+                }
+                assert_agreement(&engine, true, seed, step);
+            }
+        }
+        // The compacted engine keeps accepting deltas afterwards.
+        let delta = random_churn_delta(engine.spec(), &mut rng);
+        engine.apply(&delta).expect("post-compaction delta");
+        assert_agreement(&engine, true, seed, 99);
     }
 
     #[test]
