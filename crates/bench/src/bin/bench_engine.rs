@@ -23,10 +23,12 @@
 
 use currency_bench::measure::{measure, measure_once, Measurement};
 use currency_bench::scenarios;
+use currency_core::SpecDelta;
 use currency_reason::{
     certain_answers_exact_monolithic, cop_exact_monolithic, CurrencyEngine, Options,
     TransitivityMode,
 };
+use currency_store::{DurableEngine, StoreOptions};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -74,6 +76,39 @@ const LARGE_BASE_ENTITIES: usize = 2_500;
 /// Base entity count of the large workload under `--fast` (CI smoke keeps
 /// the same 1×-vs-4× shape at a fraction of the build time).
 const LARGE_BASE_ENTITIES_FAST: usize = 400;
+
+/// Logged history length of the durability workload (1k deltas — the
+/// acceptance scenario; `--fast` scales it down but keeps the shape).
+const DURABILITY_DELTAS: usize = 1_000;
+
+/// Durability history length under `--fast`.
+const DURABILITY_DELTAS_FAST: usize = 240;
+
+/// Fraction of the durability history covered by the rotated snapshot;
+/// the rest is the log suffix recovery must replay.  The replayed count
+/// is deterministic (exactly `deltas - snapshot point`), and `--check`
+/// asserts it.
+const DURABILITY_SNAPSHOT_FRACTION: f64 = 0.8;
+
+/// Overhead guard for `--check`: per-delta apply through the durable
+/// log-then-apply path must stay within this factor of the in-memory
+/// apply path on the same workload.  A buffered CRC-framed append costs
+/// single-digit microseconds against an ~70 µs apply+CPS round, so the
+/// true ratio is ≈ 1.05; 2× leaves ample room for runner noise while
+/// still catching an accidental per-delta fsync or snapshot write.
+const DURABLE_OVERHEAD_FACTOR: f64 = 2.0;
+
+/// Recovery guard for `--check`: opening the store (newest snapshot +
+/// log-suffix replay) must beat re-applying the *full* delta history
+/// from scratch by at least this factor.  With 80% of the history behind
+/// the snapshot the replay does a fifth of the apply work, so the true
+/// speedup is well past 2; 1.5 is the noise-safe floor for "measurably
+/// faster".
+const RECOVERY_SPEEDUP_MIN: f64 = 1.5;
+
+/// Absolute wall-time ceiling on recovery for `--check` (generous: the
+/// measured open is tens of milliseconds).
+const RECOVERY_WALL_NS: f64 = 10_000_000_000.0; // 10 s
 
 struct Args {
     fast: bool,
@@ -290,6 +325,133 @@ fn main() {
     let large_ratio = large_per_delta[1] / large_per_delta[0];
 
     // ------------------------------------------------------------------
+    // Durability workload (currency-store): log-append overhead per
+    // delta vs the in-memory apply path, then recovery of a logged
+    // history (snapshot + suffix replay) vs re-applying every delta from
+    // scratch.  fsync is off so the section measures the durability
+    // *machinery* (framing, checksumming, buffered writes), not the
+    // runner's disk.
+    // ------------------------------------------------------------------
+    let durability_deltas = if args.fast {
+        DURABILITY_DELTAS_FAST
+    } else {
+        DURABILITY_DELTAS
+    };
+    eprintln!("durability: entities = {UPDATE_ENTITIES}, history = {durability_deltas} deltas");
+    let bench_dir =
+        std::env::temp_dir().join(format!("currency-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&bench_dir);
+    let store_opts = StoreOptions {
+        sync_data: false,
+        snapshot_rotate_bytes: u64::MAX, // rotation is driven explicitly below
+        ..StoreOptions::default()
+    };
+    let durable_spec = scenarios::amortized_spec(UPDATE_ENTITIES);
+    let opts = Options::default();
+    // (a) Per-delta overhead: the same insert+retract+CPS pair loop as
+    // the update section, through a DurableEngine and through a plain
+    // CurrencyEngine on identical specs.
+    let mut durable = DurableEngine::create(
+        &bench_dir.join("overhead"),
+        durable_spec.clone(),
+        &opts,
+        store_opts,
+    )
+    .expect("fresh store");
+    durable.cps().unwrap();
+    let insert = scenarios::update_insert_delta(&durable_spec);
+    let durable_apply = measure(samples, warmup, window, || {
+        let report = durable.apply(&insert).unwrap();
+        std::hint::black_box(durable.cps().unwrap());
+        let (rel, id) = report.inserted[0];
+        let report = durable
+            .apply(&scenarios::update_remove_delta(rel, id))
+            .unwrap();
+        std::hint::black_box(durable.cps().unwrap());
+        std::hint::black_box(report.cells_touched);
+    });
+    drop(durable);
+    let mut memory = CurrencyEngine::new_owned(durable_spec.clone(), &opts).unwrap();
+    memory.cps().unwrap();
+    let memory_apply = measure(samples, warmup, window, || {
+        let report = memory.apply(&insert).unwrap();
+        std::hint::black_box(memory.cps().unwrap());
+        let (rel, id) = report.inserted[0];
+        let report = memory
+            .apply(&scenarios::update_remove_delta(rel, id))
+            .unwrap();
+        std::hint::black_box(memory.cps().unwrap());
+        std::hint::black_box(report.cells_touched);
+    });
+    drop(memory);
+    let durable_per_delta = durable_apply.median_ns / 2.0;
+    let memory_per_delta = memory_apply.median_ns / 2.0;
+    let durable_over_apply = durable_per_delta / memory_per_delta;
+    // (b) Recovery: build a recorded history, snapshot at 80%, and race
+    // `open` (snapshot + suffix replay) against a from-scratch re-apply
+    // of all recorded deltas.
+    let history_dir = bench_dir.join("history");
+    let mut durable = DurableEngine::create(&history_dir, durable_spec.clone(), &opts, store_opts)
+        .expect("fresh store");
+    let mut history: Vec<SpecDelta> = Vec::with_capacity(durability_deltas);
+    let snapshot_point = (durability_deltas as f64 * DURABILITY_SNAPSHOT_FRACTION) as usize;
+    while history.len() < durability_deltas {
+        let report = durable.apply(&insert).unwrap();
+        history.push(insert.clone());
+        if history.len() == snapshot_point {
+            durable.snapshot_now().unwrap();
+        }
+        if history.len() == durability_deltas {
+            break;
+        }
+        let (rel, id) = report.inserted[0];
+        let retract = scenarios::update_remove_delta(rel, id);
+        durable.apply(&retract).unwrap();
+        history.push(retract);
+        if history.len() == snapshot_point {
+            durable.snapshot_now().unwrap();
+        }
+    }
+    durable.flush().unwrap();
+    let expected_suffix = durability_deltas - snapshot_point;
+    drop(durable);
+    let mut replayed: usize = 0;
+    let open = measure(samples, warmup, window, || {
+        let recovered = DurableEngine::open(&history_dir, &opts, store_opts).expect("clean store");
+        replayed = recovered.recovery().deltas_replayed;
+        std::hint::black_box(recovered.cps().unwrap());
+    });
+    let full_reapply = measure_once(|| {
+        let mut fresh = CurrencyEngine::new_owned(durable_spec.clone(), &opts).unwrap();
+        for delta in &history {
+            fresh.apply(delta).unwrap();
+        }
+        std::hint::black_box(fresh.cps().unwrap());
+    });
+    let recovery_speedup = full_reapply.median_ns / open.median_ns;
+    let replay_deltas_per_s = replayed as f64 / (open.median_ns / 1e9);
+    let _ = std::fs::remove_dir_all(&bench_dir);
+    let _ = write!(
+        json,
+        "  \"durability\": {{\"entities\": {UPDATE_ENTITIES}, \"deltas\": {durability_deltas}, \
+         \"durable_per_delta_ns\": {durable_per_delta:.0}, \
+         \"memory_per_delta_ns\": {memory_per_delta:.0}, \
+         \"durable_over_apply\": {durable_over_apply:.2}, \"durable_pair\": "
+    );
+    push_measurement(&mut json, &durable_apply);
+    json.push_str(", \"memory_pair\": ");
+    push_measurement(&mut json, &memory_apply);
+    json.push_str(", \"open\": ");
+    push_measurement(&mut json, &open);
+    let _ = writeln!(
+        json,
+        ", \"replayed\": {replayed}, \"expected_suffix\": {expected_suffix}, \
+         \"replay_deltas_per_s\": {replay_deltas_per_s:.0}, \
+         \"full_reapply_ns\": {:.0}, \"recovery_speedup\": {recovery_speedup:.1}}},",
+        full_reapply.median_ns
+    );
+
+    // ------------------------------------------------------------------
     // Lazy vs eager transitivity scaling on one large entity group.
     // ------------------------------------------------------------------
     let group_sweep: &[usize] = if args.fast {
@@ -370,7 +532,18 @@ fn main() {
     let update_ok = rebuilt_per_delta <= UPDATE_REBUILT_LIMIT;
     let large_flat_ok = large_ratio <= LARGE_FLAT_FACTOR;
     let large_rebuilt_ok = large_rebuilt_per_delta <= UPDATE_REBUILT_LIMIT;
-    let pass = time_ok && clauses_ok && update_ok && large_flat_ok && large_rebuilt_ok;
+    let durable_overhead_ok = durable_over_apply <= DURABLE_OVERHEAD_FACTOR;
+    let replay_count_ok = replayed == expected_suffix;
+    let recovery_ok =
+        recovery_speedup >= RECOVERY_SPEEDUP_MIN && open.median_ns <= RECOVERY_WALL_NS;
+    let pass = time_ok
+        && clauses_ok
+        && update_ok
+        && large_flat_ok
+        && large_rebuilt_ok
+        && durable_overhead_ok
+        && replay_count_ok
+        && recovery_ok;
     let _ = write!(
         json,
         "  \"check\": {{\"lazy_64_median_ns\": {lazy_64:.0}, \
@@ -381,7 +554,13 @@ fn main() {
          \"update_rebuilt_limit\": {UPDATE_REBUILT_LIMIT}, \
          \"large_ratio_4x_over_1x\": {large_ratio:.2}, \
          \"large_flat_factor\": {LARGE_FLAT_FACTOR:.1}, \
-         \"large_rebuilt_per_delta\": {large_rebuilt_per_delta}, \"pass\": {pass}}}\n}}\n"
+         \"large_rebuilt_per_delta\": {large_rebuilt_per_delta}, \
+         \"durable_over_apply\": {durable_over_apply:.2}, \
+         \"durable_overhead_factor\": {DURABLE_OVERHEAD_FACTOR:.1}, \
+         \"recovery_replayed\": {replayed}, \
+         \"recovery_expected_suffix\": {expected_suffix}, \
+         \"recovery_speedup\": {recovery_speedup:.1}, \
+         \"recovery_speedup_min\": {RECOVERY_SPEEDUP_MIN:.1}, \"pass\": {pass}}}\n}}\n"
     );
 
     std::fs::write(&args.out, &json).expect("write bench JSON");
@@ -417,6 +596,27 @@ fn main() {
             eprintln!(
                 "REGRESSION: a single-tuple delta on the large spec recompiled \
                  {large_rebuilt_per_delta} components (limit {UPDATE_REBUILT_LIMIT})"
+            );
+        }
+        if !durable_overhead_ok {
+            eprintln!(
+                "REGRESSION: durable apply costs {durable_over_apply:.2}× the in-memory \
+                 path (limit {DURABLE_OVERHEAD_FACTOR}×) — a per-delta fsync or snapshot \
+                 write crept into the log-append path?"
+            );
+        }
+        if !replay_count_ok {
+            eprintln!(
+                "REGRESSION: recovery replayed {replayed} deltas, the snapshot placement \
+                 implies exactly {expected_suffix} — rotation or seq filtering is off"
+            );
+        }
+        if !recovery_ok {
+            eprintln!(
+                "REGRESSION: recovery (snapshot + {replayed}-delta suffix) is only \
+                 {recovery_speedup:.2}× faster than re-applying all {durability_deltas} \
+                 deltas (floor {RECOVERY_SPEEDUP_MIN}×, wall cap {:.1} s)",
+                RECOVERY_WALL_NS / 1e9
             );
         }
         std::process::exit(1);

@@ -324,9 +324,14 @@ impl CopyFunction {
     /// cascade — the delta path never leaves such a mapping behind, but a
     /// caller who tombstoned an endpoint directly through
     /// `instance_mut().remove_tuple()` must not turn a later compaction
-    /// into a panic.  A no-op when both tables are the identity;
-    /// otherwise invalidates the index — the caller re-derives it with
-    /// [`CopyFunction::rebuild_index`] against the remapped instances.
+    /// into a panic.  A no-op when both tables are the identity.
+    ///
+    /// A fresh entity-keyed index stays fresh: compaction moves ids but
+    /// never changes which entity a tuple describes, so the index is
+    /// translated in the same pass (group keys survive verbatim) instead
+    /// of being staled and rebuilt from the instances.  A stale index
+    /// stays stale — the caller re-derives it with
+    /// [`CopyFunction::rebuild_index`] as before.
     pub fn remap_tuples(
         &mut self,
         target_remap: &[Option<TupleId>],
@@ -342,11 +347,20 @@ impl CopyFunction {
                 table.get(id.index()).copied().flatten()
             }
         };
-        self.map = std::mem::take(&mut self.map)
-            .into_iter()
-            .filter_map(|(t, s)| Some((translate(target_remap, t)?, translate(source_remap, s)?)))
-            .collect();
-        self.index = None;
+        let old_index = self.index.take();
+        let mut new_index = old_index.as_ref().map(|_| MappingIndex::default());
+        for (t, s) in std::mem::take(&mut self.map) {
+            let (Some(nt), Some(ns)) = (translate(target_remap, t), translate(source_remap, s))
+            else {
+                continue; // endpoint died before compaction: mapping goes
+            };
+            self.map.insert(nt, ns);
+            if let (Some(ix), Some(old)) = (&mut new_index, &old_index) {
+                let &(te, se) = old.group_of.get(&t).expect("indexed mapping");
+                ix.insert(nt, ns, te, se);
+            }
+        }
+        self.index = new_index;
     }
 
     /// Iterate over `(target, source)` pairs.
@@ -793,11 +807,86 @@ mod tests {
         let target_remap = vec![Some(TupleId(0)), None, None, Some(TupleId(1))];
         let source_remap = vec![Some(TupleId(0)), None, Some(TupleId(1))];
         rho.remap_tuples(&target_remap, &source_remap);
-        assert!(!rho.is_indexed(), "remap invalidates until rebuilt");
+        assert!(rho.is_indexed(), "remap maintains a fresh index in place");
         let pairs: Vec<_> = rho.mappings().collect();
         assert_eq!(
             pairs,
             vec![(TupleId(0), TupleId(1)), (TupleId(1), TupleId(0))]
         );
+    }
+
+    #[test]
+    fn remap_keeps_the_index_equivalent_to_a_rebuilt_one() {
+        // Two groups; compaction shifts ids on both sides.  The in-place
+        // translated index must behave exactly like a from-scratch
+        // rebuild: same region lookups, same obligations.
+        let schema_t = RelationSchema::new("T", &["A"]);
+        let mut tgt = TemporalInstance::new(RelId(0), &schema_t);
+        let schema_s = RelationSchema::new("S", &["A"]);
+        let mut src = TemporalInstance::new(RelId(1), &schema_s);
+        let mut rho = CopyFunction::new(addr_sig());
+        for (e, se) in [(1u64, 7u64), (2, 8)] {
+            for v in 0..2i64 {
+                let t = tgt
+                    .push_tuple(Tuple::new(Eid(e), vec![Value::int(v)]))
+                    .unwrap();
+                let s = src
+                    .push_tuple(Tuple::new(Eid(se), vec![Value::int(v)]))
+                    .unwrap();
+                rho.insert_mapping(t, s, Eid(e), Eid(se));
+            }
+        }
+        // Tombstone and compact target slot 1 and source slot 2; the
+        // removal cascade sheds their mappings first (as the delta layer
+        // would).
+        rho.remove_target_mapping(TupleId(1));
+        rho.remove_source_mappings(TupleId(2));
+        tgt.remove_tuple(TupleId(1)).unwrap();
+        tgt.remove_tuple(TupleId(2)).unwrap(); // its mapping went with s2
+        src.remove_tuple(TupleId(2)).unwrap();
+        let (_, t_remap) = tgt.compact();
+        let (_, s_remap) = src.compact();
+        rho.remap_tuples(&t_remap, &s_remap);
+        assert!(rho.is_indexed());
+        let mut rebuilt = rho.clone();
+        rebuilt.rebuild_index(&tgt, &src);
+        for e in [1u64, 2, 9] {
+            assert_eq!(
+                rho.obligations_for_region(&tgt, &src, &BTreeSet::from([Eid(e)]), &BTreeSet::new()),
+                rebuilt.obligations_for_region(
+                    &tgt,
+                    &src,
+                    &BTreeSet::from([Eid(e)]),
+                    &BTreeSet::new()
+                ),
+                "region lookup for entity {e}"
+            );
+        }
+        for se in [7u64, 8] {
+            assert_eq!(
+                rho.obligations_for_region(
+                    &tgt,
+                    &src,
+                    &BTreeSet::new(),
+                    &BTreeSet::from([Eid(se)])
+                ),
+                rebuilt.obligations_for_region(
+                    &tgt,
+                    &src,
+                    &BTreeSet::new(),
+                    &BTreeSet::from([Eid(se)])
+                ),
+                "region lookup for source entity {se}"
+            );
+        }
+        assert_eq!(
+            rho.compatibility_obligations(&tgt, &src),
+            rebuilt.compatibility_obligations(&tgt, &src)
+        );
+        // A stale index stays stale through a remap (caller rebuilds).
+        let mut stale = rebuilt.clone();
+        stale.set_mapping(TupleId(0), TupleId(0));
+        stale.remap_tuples(&[Some(TupleId(0))], &[]);
+        assert!(!stale.is_indexed());
     }
 }

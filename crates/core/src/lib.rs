@@ -36,7 +36,9 @@
 //! Decision procedures over this model (consistency, certain orders,
 //! certain current query answers, currency preservation) live in the
 //! `currency-reason` crate; this crate is purely the model plus its local
-//! validation and grounding machinery.
+//! validation and grounding machinery — including the stable binary
+//! [`wire`] codec the durability layer (`currency-store`) persists
+//! specifications and deltas with.
 //!
 //! ## Example: two stale records, one constraint
 //!
@@ -81,6 +83,7 @@ mod schema;
 mod spec;
 mod temporal;
 mod value;
+pub mod wire;
 
 pub use completion::{Completion, RelCompletion};
 pub use copy::{CopyFunction, CopySignature};

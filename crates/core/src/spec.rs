@@ -9,7 +9,11 @@ use crate::value::TupleId;
 
 /// What [`Specification::compact`] reclaimed, and how to translate
 /// externally held tuple ids onto the compacted id space.
-#[derive(Clone, Debug)]
+///
+/// Equality compares the full translation tables — the durability layer
+/// logs compaction reports and verifies on recovery that replaying the
+/// same history reproduces the same remap.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompactReport {
     /// Total tombstone slots reclaimed across all instances.
     pub reclaimed: usize,
@@ -245,8 +249,13 @@ impl Specification {
                 if t_remap.is_empty() && s_remap.is_empty() {
                     continue; // both relations untouched: mapping ids stand
                 }
+                // `remap_tuples` keeps a fresh index fresh (entities are
+                // untouched by compaction); only a copy that was already
+                // stale pays the instance-walking rebuild.
                 cf.remap_tuples(t_remap, s_remap);
-                cf.rebuild_index(&instances[target.index()], &instances[source.index()]);
+                if !cf.is_indexed() {
+                    cf.rebuild_index(&instances[target.index()], &instances[source.index()]);
+                }
             }
         }
         debug_assert!(self.validate().is_ok(), "compaction preserves invariants");
@@ -426,6 +435,75 @@ mod tests {
         let report = spec.compact();
         assert_eq!(report.reclaimed, 1);
         assert!(spec.copies()[0].is_empty(), "orphaned mapping shed");
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn compact_keeps_live_indexes_live_and_rebuilds_stale_ones() {
+        // Regression (PR 5): compaction used to stale every copy's
+        // entity-keyed index and pay a full rebuild; now a fresh index is
+        // translated in place and must still answer region queries
+        // exactly like a from-scratch rebuild.
+        let (mut spec, r, s) = two_rel_spec();
+        let mut ids = Vec::new();
+        for v in 0..3i64 {
+            let tr = spec
+                .instance_mut(r)
+                .push_tuple(Tuple::new(Eid(1), vec![Value::int(v), Value::int(v)]))
+                .unwrap();
+            let ts = spec
+                .instance_mut(s)
+                .push_tuple(Tuple::new(Eid(7), vec![Value::int(v)]))
+                .unwrap();
+            ids.push((tr, ts));
+        }
+        let sig = CopySignature::new(r, vec![AttrId(0)], s, vec![AttrId(0)]).unwrap();
+        let mut cf = CopyFunction::new(sig);
+        for &(tr, ts) in &ids {
+            cf.set_mapping(tr, ts);
+        }
+        spec.add_copy(cf).unwrap();
+        // Stale the index (fresh state), then make one copy stale and one
+        // fresh across two compactions to cover both paths.
+        spec.instance_mut(r).remove_tuple(ids[0].0).unwrap();
+        spec.copy_mut(0).remove_target_mapping(ids[0].0);
+        assert!(spec.copies()[0].is_indexed());
+        spec.compact();
+        assert!(
+            spec.copies()[0].is_indexed(),
+            "fresh index survives compaction in place"
+        );
+        let mut rebuilt = spec.copies()[0].clone();
+        rebuilt.rebuild_index(spec.instance(r), spec.instance(s));
+        assert_eq!(
+            spec.copies()[0].obligations_for_region(
+                spec.instance(r),
+                spec.instance(s),
+                &std::collections::BTreeSet::from([Eid(1)]),
+                &std::collections::BTreeSet::new(),
+            ),
+            rebuilt.obligations_for_region(
+                spec.instance(r),
+                spec.instance(s),
+                &std::collections::BTreeSet::from([Eid(1)]),
+                &std::collections::BTreeSet::new(),
+            ),
+            "in-place translated index answers like a rebuilt one"
+        );
+        assert!(spec.validate().is_ok());
+        // Stale path: an entity-blind mutation (re-writing an existing
+        // pair) stales the index; the next compaction falls back to the
+        // rebuild and re-freshens it.
+        let ts = spec.copies()[0].mapping(TupleId(0)).unwrap();
+        spec.copy_mut(0).set_mapping(TupleId(0), ts);
+        assert!(!spec.copies()[0].is_indexed());
+        spec.copy_mut(0).remove_target_mapping(TupleId(1));
+        spec.instance_mut(s).remove_tuple(TupleId(2)).unwrap();
+        spec.compact();
+        assert!(
+            spec.copies()[0].is_indexed(),
+            "stale index rebuilt by compaction"
+        );
         assert!(spec.validate().is_ok());
     }
 

@@ -80,10 +80,17 @@ pub struct EngineStats {
     /// applied deltas.
     pub components_reused: usize,
     /// Compactions performed over the engine's lifetime
-    /// ([`CurrencyEngine::compact`]).
+    /// ([`CurrencyEngine::compact`]), whether explicit or triggered by
+    /// the [`Options::auto_compact_tombstones`] policy.
     pub compactions: usize,
     /// Tombstone tuple slots reclaimed across all compactions.
     pub slots_reclaimed: usize,
+    /// Times this engine was restored from a durability log
+    /// ([`CurrencyEngine::note_recovery`]; `currency-store` calls it once
+    /// per successful open).
+    pub recoveries: usize,
+    /// Deltas re-applied from log suffixes across all recoveries.
+    pub deltas_replayed: usize,
     /// Aggregated CDCL counters.
     pub sat: SolverStats,
 }
@@ -99,6 +106,13 @@ pub struct ApplyReport {
     pub cells_touched: usize,
     /// Ids assigned to tuples the delta inserted, in operation order.
     pub inserted: Vec<(RelId, TupleId)>,
+    /// The compaction the [`Options::auto_compact_tombstones`] policy
+    /// triggered after this delta, if any.  **When set, every externally
+    /// held tuple id is invalidated** — including this report's own
+    /// `inserted` ids, which stay in pre-compaction form: translate them
+    /// through [`CompactReport::new_id`] (`None` means the delta itself
+    /// retracted the tuple again before the compaction ran).
+    pub compacted: Option<CompactReport>,
 }
 
 struct ComponentState {
@@ -176,6 +190,8 @@ pub struct CurrencyEngine<'a> {
     components_reused: usize,
     compactions: usize,
     slots_reclaimed: usize,
+    recoveries: usize,
+    deltas_replayed: usize,
 }
 
 impl<'a> CurrencyEngine<'a> {
@@ -241,6 +257,8 @@ impl<'a> CurrencyEngine<'a> {
             components_reused: 0,
             compactions: 0,
             slots_reclaimed: 0,
+            recoveries: 0,
+            deltas_replayed: 0,
         })
     }
 
@@ -329,12 +347,25 @@ impl<'a> CurrencyEngine<'a> {
         self.updates_applied += 1;
         self.components_rebuilt += plan.rebuilt();
         self.components_reused += plan.reused();
-        Ok(ApplyReport {
+        let mut report = ApplyReport {
             components_rebuilt: plan.rebuilt(),
             components_reused: plan.reused(),
             cells_touched: effects.touched_cells.len(),
             inserted: effects.inserted,
-        })
+            compacted: None,
+        };
+        // Auto-compaction policy: once retraction tombstones accumulate
+        // past the configured threshold, reclaim them here rather than
+        // letting the id space grow until someone remembers to call
+        // `compact()`.  The remap rides along in the report so callers
+        // can translate the ids they hold (the `inserted` list included).
+        if self.opts.auto_compact_tombstones > 0 {
+            let tombstones: usize = self.spec.instances().iter().map(|i| i.tombstones()).sum();
+            if tombstones >= self.opts.auto_compact_tombstones {
+                report.compacted = Some(self.compact()?);
+            }
+        }
+        Ok(report)
     }
 
     /// Reclaim every tombstone slot of the specification
@@ -384,6 +415,20 @@ impl<'a> CurrencyEngine<'a> {
         Ok(report)
     }
 
+    /// Record a completed log recovery in the engine's lifetime counters
+    /// (surfaced as [`EngineStats::recoveries`] /
+    /// [`EngineStats::deltas_replayed`]).
+    ///
+    /// Called by durability wrappers (`currency-store`'s `DurableEngine`)
+    /// after rebuilding an engine from a snapshot and replaying the log
+    /// suffix through [`CurrencyEngine::apply`]; the replayed applies
+    /// also count toward [`EngineStats::updates_applied`], so the two
+    /// counters together distinguish replayed from live traffic.
+    pub fn note_recovery(&mut self, deltas_replayed: usize) {
+        self.recoveries += 1;
+        self.deltas_replayed += deltas_replayed;
+    }
+
     /// The specification the engine currently answers for (including every
     /// applied delta).
     pub fn spec(&self) -> &Specification {
@@ -415,6 +460,8 @@ impl<'a> CurrencyEngine<'a> {
             components_reused: self.components_reused,
             compactions: self.compactions,
             slots_reclaimed: self.slots_reclaimed,
+            recoveries: self.recoveries,
+            deltas_replayed: self.deltas_replayed,
             ..EngineStats::default()
         };
         for ix in 0..self.components.len() {
@@ -1253,6 +1300,68 @@ mod tests {
             slots_before + 1
         );
         assert_eq!(engine.partition().len(), 3, "live components steady");
+    }
+
+    #[test]
+    fn auto_compaction_fires_exactly_once_when_churn_crosses_the_threshold() {
+        use currency_core::SpecDelta;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let opts = Options {
+            auto_compact_tombstones: 3,
+            ..Options::default()
+        };
+        let mut engine = CurrencyEngine::new_owned(spec, &opts).unwrap();
+        // Five insert+retract churn rounds: tombstones reach 1, 2, 3
+        // (compaction fires, resets to 0), 1, 2 — exactly one compaction.
+        let mut compactions_seen = 0;
+        for step in 0..5 {
+            let mut delta = SpecDelta::new();
+            delta.insert_tuple(r, Tuple::new(Eid(1), vec![Value::int(50 + step)]));
+            let report = engine.apply(&delta).unwrap();
+            assert!(report.compacted.is_none(), "inserts leave no tombstones");
+            let (rel, id) = report.inserted[0];
+            let mut retract = SpecDelta::new();
+            retract.remove_tuple(rel, id);
+            let report = engine.apply(&retract).unwrap();
+            if let Some(compact) = &report.compacted {
+                compactions_seen += 1;
+                assert_eq!(compact.reclaimed, 3, "threshold batch reclaimed");
+                assert_eq!(
+                    compact.new_id(rel, id),
+                    None,
+                    "the just-retracted tuple is gone from the id space"
+                );
+            }
+            assert!(engine.cps().unwrap());
+        }
+        assert_eq!(compactions_seen, 1, "churn crossed the threshold once");
+        let stats = engine.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.slots_reclaimed, 3);
+        let tombstones: usize = engine
+            .spec()
+            .instances()
+            .iter()
+            .map(|i| i.tombstones())
+            .sum();
+        assert_eq!(tombstones, 2, "post-compaction churn accumulates anew");
+        // Verdicts match a fresh engine over the compacted specification.
+        let fresh = CurrencyEngine::new(engine.spec(), &Options::default()).unwrap();
+        assert_eq!(engine.cps().unwrap(), fresh.cps().unwrap());
+        assert_eq!(engine.dcip(r).unwrap(), fresh.dcip(r).unwrap());
+    }
+
+    #[test]
+    fn note_recovery_surfaces_in_stats() {
+        let (spec, _) = multi_entity_spec();
+        let mut engine = CurrencyEngine::new_owned(spec, &Options::default()).unwrap();
+        assert_eq!(engine.stats().recoveries, 0);
+        engine.note_recovery(17);
+        engine.note_recovery(3);
+        let stats = engine.stats();
+        assert_eq!(stats.recoveries, 2);
+        assert_eq!(stats.deltas_replayed, 20);
     }
 
     #[test]

@@ -137,6 +137,22 @@ pub struct Options {
     /// default).  The monolithic `*_monolithic` reference paths always
     /// ground eagerly and are differentially tested against both modes.
     pub transitivity: TransitivityMode,
+    /// Auto-compaction threshold: once the specification's accumulated
+    /// retraction tombstones reach this count,
+    /// [`engine::CurrencyEngine::apply`] triggers
+    /// [`engine::CurrencyEngine::compact`] itself after applying the
+    /// delta (the compaction is surfaced through
+    /// [`engine::ApplyReport::compacted`], since it invalidates every
+    /// externally held tuple id).  `0` (the default) disables the policy;
+    /// retraction-heavy streams then grow one dead id slot per removal
+    /// until an explicit `compact()` call.
+    ///
+    /// Replay determinism: engines recovered from a durability log
+    /// (`currency-store`) must be reopened with the same threshold, or
+    /// log replay would compact at different points than the original
+    /// run and de-synchronize tuple ids (the recovery path detects this
+    /// and fails cleanly rather than diverging silently).
+    pub auto_compact_tombstones: usize,
 }
 
 impl Default for Options {
@@ -146,6 +162,7 @@ impl Default for Options {
             max_extensions: 1_000_000,
             threads: 0,
             transitivity: TransitivityMode::default(),
+            auto_compact_tombstones: 0,
         }
     }
 }

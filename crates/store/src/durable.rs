@@ -1,0 +1,1044 @@
+//! The crash-recoverable engine: log-then-apply over a
+//! [`CurrencyEngine`].
+//!
+//! A [`DurableEngine`] owns a store directory holding two kinds of file:
+//!
+//! * `snapshot-<seq>.cur` — checksummed full-state snapshots
+//!   ([`crate::snapshot`]), each covering the log prefix up to `seq`;
+//! * `wal.log` — the append-only write-ahead log ([`crate::wal`]) of
+//!   everything since.
+//!
+//! ## Write path
+//!
+//! [`DurableEngine::apply`] validates the delta against the live
+//! specification ([`SpecDelta::validate`] — an inadmissible delta is
+//! rejected *before* it can pollute the log), appends it as a log record,
+//! and only then feeds it to the in-memory engine — **log-then-apply**,
+//! so every state the engine ever reaches is reconstructible from disk
+//! (up to the group-commit window; see [`StoreOptions::group_commit`]).
+//! [`DurableEngine::compact`] appends the [`CompactReport`]'s remap
+//! tables as a log record, so replaying the suffix applies the *same* id
+//! translation at the same point and every later record's tuple ids
+//! resolve correctly.
+//!
+//! ## Recovery
+//!
+//! [`DurableEngine::open`] loads the newest snapshot that passes its
+//! checksum (older generations are fallbacks), rebuilds a
+//! [`CurrencyEngine`] from it, and replays the log suffix — each delta
+//! re-validated through the normal [`SpecDelta::validate`] path and
+//! applied through the normal [`CurrencyEngine::apply`] path, each
+//! compaction record re-executed and **verified** against the logged
+//! remap tables.  A torn log tail (the footprint of a crash mid-append)
+//! is truncated away; checksum damage anywhere else is a refusal, never
+//! a silently wrong specification.  What recovery did is reported in
+//! [`DurableEngine::recovery`] and counted into
+//! [`currency_reason::EngineStats`].
+//!
+//! ## Rotation
+//!
+//! When the log grows past [`StoreOptions::snapshot_rotate_bytes`], the
+//! engine writes a fresh snapshot (temp-file + atomic rename), truncates
+//! the log, and prunes old snapshot generations — bounding both recovery
+//! time (replay length) and disk use.  The crash-safe order is
+//! flush-log → write-snapshot → truncate-log: a crash between the last
+//! two steps leaves a snapshot plus a log of already-covered records,
+//! which replay skips by sequence number.
+
+use crate::error::{io_err, StoreError};
+use crate::snapshot::{
+    list_snapshots, prune_snapshots, read_snapshot, sweep_tmp_snapshots, write_snapshot,
+};
+use crate::wal::{Record, Wal};
+use currency_core::{CompactReport, SpecDelta, Specification};
+use currency_query::Query;
+use currency_reason::{
+    ApplyReport, CertainAnswers, CurrencyEngine, CurrencyOrderQuery, EngineStats, Options,
+};
+use std::path::{Path, PathBuf};
+
+/// Durability knobs of a [`DurableEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Rotate (snapshot + truncate the log) once the log exceeds this
+    /// many bytes.  Bounds recovery replay length.  Default: 1 MiB.
+    pub snapshot_rotate_bytes: u64,
+    /// Group-commit batch: log records are flushed to disk every this
+    /// many appends.  `1` (the default) makes every [`DurableEngine::apply`]
+    /// durable before it returns; larger batches amortize the write/sync
+    /// cost and widen the crash-loss window to at most the last
+    /// `group_commit - 1` acknowledged records — always a suffix, never
+    /// a hole.
+    pub group_commit: usize,
+    /// `fsync` file data at every flush point.  Default `true`; turn off
+    /// for benchmarks and tests where the OS page cache is trusted.
+    pub sync_data: bool,
+    /// Snapshot generations to retain after rotation (the newest plus
+    /// `keep_snapshots - 1` fallbacks for checksum-failure recovery).
+    /// Clamped to at least 1.  Default: 2.
+    pub keep_snapshots: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            snapshot_rotate_bytes: 1 << 20,
+            group_commit: 1,
+            sync_data: true,
+            keep_snapshots: 2,
+        }
+    }
+}
+
+/// What [`DurableEngine::open`] had to do.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// Covered sequence number of the snapshot recovery started from.
+    pub snapshot_seq: u64,
+    /// Newer snapshot generations skipped because they failed their
+    /// checksum.
+    pub snapshots_skipped: usize,
+    /// Delta records replayed from the log suffix.
+    pub deltas_replayed: usize,
+    /// Compaction records re-executed (and verified) from the suffix.
+    pub compacts_replayed: usize,
+    /// Records skipped because the snapshot already covered them (the
+    /// residue of a rotation interrupted between snapshot and log
+    /// truncation).
+    pub records_skipped: usize,
+    /// Torn-tail bytes truncated from the log (a crash mid-append).
+    pub torn_tail_bytes: u64,
+}
+
+/// The log file's name within a store directory.
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+/// A [`CurrencyEngine`] whose specification survives process restarts
+/// (see module docs).
+pub struct DurableEngine {
+    dir: PathBuf,
+    engine: CurrencyEngine<'static>,
+    wal: Wal,
+    store_opts: StoreOptions,
+    /// Sequence number of the last appended record.
+    seq: u64,
+    /// Sequence number the newest on-disk snapshot covers.
+    snapshot_seq: u64,
+    recovery: RecoveryReport,
+    /// Set when a write failed partway through the log-then-apply
+    /// sequence: the log and the engine may disagree from that point on,
+    /// so every further mutation is refused ([`StoreError::Poisoned`])
+    /// until the store is reopened — recovery rebuilds the one
+    /// consistent state the durable files define.  A *rejected* delta
+    /// (validation failure before anything is written) never poisons.
+    poisoned: Option<String>,
+}
+
+impl DurableEngine {
+    /// Create a fresh store in `dir` (created if missing, refused if it
+    /// already holds one): the initial specification is written as
+    /// snapshot 0 and an empty log is laid down, so the store is
+    /// reopenable from its first instant.
+    pub fn create(
+        dir: &Path,
+        spec: Specification,
+        engine_opts: &Options,
+        store_opts: StoreOptions,
+    ) -> Result<DurableEngine, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        if !list_snapshots(dir)?.is_empty() {
+            return Err(StoreError::AlreadyExists {
+                dir: dir.to_path_buf(),
+            });
+        }
+        sweep_tmp_snapshots(dir)?;
+        // Log before snapshot: a store "exists" once its base snapshot
+        // does (the `AlreadyExists` check above), so the snapshot must be
+        // the *last* artifact laid down — a crash in between leaves a
+        // directory a retried `create` simply recreates, never a
+        // half-store that both `create` and `open` refuse.
+        let wal = Wal::create(
+            &wal_path(dir),
+            store_opts.group_commit,
+            store_opts.sync_data,
+        )?;
+        write_snapshot(dir, 0, &spec, store_opts.sync_data)?;
+        let engine = CurrencyEngine::new_owned(spec, engine_opts)?;
+        Ok(DurableEngine {
+            dir: dir.to_path_buf(),
+            engine,
+            wal,
+            store_opts,
+            seq: 0,
+            snapshot_seq: 0,
+            recovery: RecoveryReport::default(),
+            poisoned: None,
+        })
+    }
+
+    /// Recover a store from `dir`: newest valid snapshot, then log-suffix
+    /// replay (see module docs).
+    ///
+    /// `engine_opts` must match the options the log was written under —
+    /// [`Options::auto_compact_tombstones`] in particular decides *where*
+    /// compactions fire along the delta stream, and replaying under a
+    /// different policy would de-synchronize tuple ids.  The logged
+    /// compaction records verify this and fail with
+    /// [`StoreError::ReplayDiverged`] instead of recovering wrongly.
+    pub fn open(
+        dir: &Path,
+        engine_opts: &Options,
+        store_opts: StoreOptions,
+    ) -> Result<DurableEngine, StoreError> {
+        let snaps = list_snapshots(dir)?;
+        if snaps.is_empty() {
+            return Err(StoreError::NoSnapshot {
+                dir: dir.to_path_buf(),
+            });
+        }
+        // A crash mid-snapshot-write can orphan a `.cur.tmp`; it was
+        // never renamed into a live name, so it holds no committed state
+        // and accumulating them would leak a full spec encoding per
+        // crashed rotation.
+        sweep_tmp_snapshots(dir)?;
+        // Newest snapshot that passes its checksum wins; older
+        // generations are the fallback chain.  If every generation is
+        // damaged, surface the newest one's error.  Falling back is only
+        // sound if the log still covers the gap — the file name of a
+        // skipped generation tells us the sequence number recovery must
+        // reach, and the contiguity checks below enforce it.
+        let mut snapshot = None;
+        let mut snapshots_skipped = 0;
+        let mut max_skipped_seq = 0u64;
+        let mut first_err = None;
+        for (name_seq, path) in snaps.iter().rev() {
+            match read_snapshot(path) {
+                Ok(loaded) => {
+                    snapshot = Some(loaded);
+                    break;
+                }
+                Err(e) => {
+                    snapshots_skipped += 1;
+                    max_skipped_seq = max_skipped_seq.max(*name_seq);
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        let Some((snapshot_seq, spec)) = snapshot else {
+            return Err(first_err.expect("at least one snapshot was tried"));
+        };
+        let opened = Wal::open(
+            &wal_path(dir),
+            store_opts.group_commit,
+            store_opts.sync_data,
+        )?;
+        let mut engine = CurrencyEngine::new_owned(spec, engine_opts)?;
+        let mut recovery = RecoveryReport {
+            snapshot_seq,
+            snapshots_skipped,
+            torn_tail_bytes: opened.torn_tail_bytes,
+            ..RecoveryReport::default()
+        };
+        let mut seq = snapshot_seq;
+        // The auto-compaction a replayed delta triggered, awaiting its
+        // verification record.
+        let mut pending_auto: Option<CompactReport> = None;
+        for record in opened.records {
+            if record.seq() <= snapshot_seq {
+                // Rotation crashed between snapshot and log truncation:
+                // the snapshot already contains these records' effects.
+                recovery.records_skipped += 1;
+                continue;
+            }
+            if record.seq() != seq + 1 {
+                // Sequence numbers are assigned contiguously, so a hole
+                // means records between the loaded snapshot and this one
+                // are gone (a rotation truncated them and the newer
+                // snapshot that covered them failed its checksum).
+                // Recovering around the hole would silently drop
+                // acknowledged updates.
+                return Err(StoreError::ReplayDiverged {
+                    seq: record.seq(),
+                    detail: format!(
+                        "log gap: expected record #{}, found #{} — the \
+                         records in between are covered only by an \
+                         unreadable snapshot",
+                        seq + 1,
+                        record.seq()
+                    ),
+                });
+            }
+            // An auto-compaction triggered by the previous replayed delta
+            // must be matched by its marker as the very next record (the
+            // writer appends the two back to back).  Any other record
+            // here means the original run did *not* compact at that point
+            // — the reopening options' auto-compaction policy differs —
+            // and every id in the remaining suffix would resolve against
+            // the wrong id space.  (A compaction left unconsumed at
+            // end-of-log is the crashed-between-delta-and-marker case;
+            // its marker is backfilled after the loop.)
+            if pending_auto.is_some() && !matches!(record, Record::Compact { auto: true, .. }) {
+                return Err(StoreError::ReplayDiverged {
+                    seq: record.seq(),
+                    detail: "replayed delta triggered an auto-compaction the log \
+                             has no marker for"
+                        .to_string(),
+                });
+            }
+            seq = record.seq();
+            match record {
+                Record::Delta { seq, delta } => {
+                    // Re-validate through the same admissibility path the
+                    // live `apply` uses; a delta that no longer validates
+                    // means snapshot and log diverged.
+                    delta
+                        .validate(engine.spec())
+                        .map_err(|source| StoreError::ReplayInvalid { seq, source })?;
+                    let report = engine.apply(&delta)?;
+                    pending_auto = report.compacted;
+                    recovery.deltas_replayed += 1;
+                }
+                Record::Compact { seq, auto, report } => {
+                    let actual = if auto {
+                        pending_auto
+                            .take()
+                            .ok_or_else(|| StoreError::ReplayDiverged {
+                                seq,
+                                detail: "log records an auto-compaction the replayed \
+                                     delta did not trigger"
+                                    .to_string(),
+                            })?
+                    } else {
+                        engine.compact()?
+                    };
+                    if actual != report {
+                        return Err(StoreError::ReplayDiverged {
+                            seq,
+                            detail: format!(
+                                "compaction remap mismatch: replay reclaimed {} \
+                                 slot(s), the log records {}",
+                                actual.reclaimed, report.reclaimed
+                            ),
+                        });
+                    }
+                    recovery.compacts_replayed += 1;
+                }
+            }
+        }
+        if seq < max_skipped_seq {
+            // An unreadable newer snapshot covered records the log no
+            // longer holds (its rotation truncated them): recovery cannot
+            // reach the acknowledged state, so refuse rather than hand
+            // back a silently older one.
+            return Err(StoreError::ReplayDiverged {
+                seq,
+                detail: format!(
+                    "an unreadable snapshot covers up to record #{max_skipped_seq}, \
+                     but snapshot + log only reach #{seq}"
+                ),
+            });
+        }
+        let mut wal = opened.wal;
+        if let Some(report) = pending_auto.take() {
+            // The original run crashed between the final delta and its
+            // auto-compaction marker.  The compaction itself was
+            // reproduced by the replay above; backfill the marker now so
+            // the log is self-consistent — otherwise any record appended
+            // after this open would sit where the marker belongs, and
+            // every *later* open would refuse with `ReplayDiverged`.
+            seq += 1;
+            wal.append_compact(seq, true, &report)?;
+            wal.flush()?;
+            recovery.compacts_replayed += 1;
+        }
+        engine.note_recovery(recovery.deltas_replayed);
+        Ok(DurableEngine {
+            dir: dir.to_path_buf(),
+            engine,
+            wal,
+            store_opts,
+            seq,
+            snapshot_seq,
+            recovery,
+            poisoned: None,
+        })
+    }
+
+    /// Refuse mutations after a partial write (see the `poisoned` field).
+    fn check_poison(&self) -> Result<(), StoreError> {
+        match &self.poisoned {
+            None => Ok(()),
+            Some(detail) => Err(StoreError::Poisoned {
+                detail: detail.clone(),
+            }),
+        }
+    }
+
+    /// Mark the store fail-stop, preserving the original error.
+    fn poison<T>(&mut self, what: &str, err: StoreError) -> Result<T, StoreError> {
+        self.poisoned = Some(format!("{what}: {err}"));
+        Err(err)
+    }
+
+    /// Apply a delta durably: validate, log, apply, maybe rotate (see the
+    /// module-level write-path contract).
+    ///
+    /// A *rejected* delta (inadmissible against the live specification)
+    /// is a clean error — nothing is written, the store stays usable.  A
+    /// failure *after* the log append (an I/O error mid-flush, say)
+    /// poisons the store: the log and the engine may now disagree, so
+    /// every further mutation returns [`StoreError::Poisoned`] until the
+    /// store is reopened and recovery re-derives the consistent state
+    /// from the durable files.
+    pub fn apply(&mut self, delta: &SpecDelta) -> Result<ApplyReport, StoreError> {
+        self.check_poison()?;
+        // Reject before logging — the log must only ever hold deltas that
+        // were admissible when appended.
+        delta.validate(self.engine.spec())?;
+        self.seq += 1;
+        if let Err(e) = self.wal.append_delta(self.seq, delta) {
+            // The frame may be half-written or stuck in the buffer while
+            // `seq` advanced: retrying would duplicate the record.
+            return self.poison("log append failed", e);
+        }
+        let report = match self.engine.apply(delta) {
+            Ok(report) => report,
+            // The log holds a delta the engine never applied.
+            Err(e) => return self.poison("apply after log append failed", e.into()),
+        };
+        if let Some(compact) = &report.compacted {
+            // The auto-compaction policy fired inside `apply`: log its
+            // remap so replay can verify it reproduces the same one.
+            self.seq += 1;
+            if let Err(e) = self.wal.append_compact(self.seq, true, compact) {
+                return self.poison("auto-compaction marker append failed", e);
+            }
+        }
+        if let Err(e) = self.maybe_rotate() {
+            return self.poison("snapshot rotation failed", e);
+        }
+        Ok(report)
+    }
+
+    /// Compact the engine ([`CurrencyEngine::compact`]), logging the
+    /// remap record that keeps post-compaction replay id-correct.  The
+    /// tombstone-free no-op logs nothing.  Failure handling matches
+    /// [`DurableEngine::apply`]: a failure after the engine compacted
+    /// poisons the store.
+    pub fn compact(&mut self) -> Result<CompactReport, StoreError> {
+        self.check_poison()?;
+        let report = self.engine.compact()?;
+        if report.reclaimed > 0 {
+            self.seq += 1;
+            if let Err(e) = self.wal.append_compact(self.seq, false, &report) {
+                // The engine's ids moved but the log never heard of it.
+                return self.poison("compaction record append failed", e);
+            }
+            if let Err(e) = self.maybe_rotate() {
+                return self.poison("snapshot rotation failed", e);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Force every buffered log record to disk (the group-commit
+    /// durability point).  Also runs on drop, best-effort.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.wal.flush()
+    }
+
+    /// Write a snapshot of the current state now, truncating the log and
+    /// pruning old generations — what rotation does, on demand.
+    pub fn snapshot_now(&mut self) -> Result<(), StoreError> {
+        // A poisoned store's engine may disagree with its log; a snapshot
+        // claiming to cover `seq` would persist that disagreement.
+        self.check_poison()?;
+        self.wal.flush()?;
+        write_snapshot(
+            &self.dir,
+            self.seq,
+            self.engine.spec(),
+            self.store_opts.sync_data,
+        )?;
+        self.snapshot_seq = self.seq;
+        self.wal.reset()?;
+        prune_snapshots(&self.dir, self.store_opts.keep_snapshots)?;
+        Ok(())
+    }
+
+    fn maybe_rotate(&mut self) -> Result<(), StoreError> {
+        if self.wal.total_len() > self.store_opts.snapshot_rotate_bytes {
+            self.snapshot_now()?;
+        }
+        Ok(())
+    }
+
+    /// The wrapped engine, for queries (mutation must go through
+    /// [`DurableEngine::apply`] / [`DurableEngine::compact`], so only a
+    /// shared reference is handed out).
+    pub fn engine(&self) -> &CurrencyEngine<'static> {
+        &self.engine
+    }
+
+    /// The live specification (including every applied delta).
+    pub fn spec(&self) -> &Specification {
+        self.engine.spec()
+    }
+
+    /// What the opening recovery did (all zeros for a freshly created
+    /// store).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Sequence number of the last logged record.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Sequence number the newest snapshot covers (records after it live
+    /// only in the log until the next rotation).
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snapshot_seq
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// **CPS** — see [`CurrencyEngine::cps`].
+    pub fn cps(&self) -> Result<bool, StoreError> {
+        Ok(self.engine.cps()?)
+    }
+
+    /// **COP** — see [`CurrencyEngine::cop`].
+    pub fn cop(&self, query: &CurrencyOrderQuery) -> Result<bool, StoreError> {
+        Ok(self.engine.cop(query)?)
+    }
+
+    /// **DCIP** — see [`CurrencyEngine::dcip`].
+    pub fn dcip(&self, rel: currency_core::RelId) -> Result<bool, StoreError> {
+        Ok(self.engine.dcip(rel)?)
+    }
+
+    /// Certain current answers — see [`CurrencyEngine::certain_answers`].
+    pub fn certain_answers(&self, query: &Query) -> Result<CertainAnswers, StoreError> {
+        Ok(self.engine.certain_answers(query)?)
+    }
+
+    /// Aggregate engine statistics (includes the recovery counters).
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+}
+
+impl Drop for DurableEngine {
+    fn drop(&mut self) {
+        // Best-effort group-commit drain; an explicit `flush` is the way
+        // to observe failures.
+        let _ = self.wal.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use currency_core::wire::encode_spec;
+    use currency_core::{
+        AttrId, Catalog, CmpOp, DenialConstraint, Eid, RelId, RelationSchema, Term, Tuple, TupleId,
+        Value,
+    };
+
+    const A: AttrId = AttrId(0);
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "currency-store-durable-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn monotone(r: RelId) -> DenialConstraint {
+        DenialConstraint::builder(r, 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+            .then_order(1, A, 0)
+            .build()
+            .unwrap()
+    }
+
+    fn seed_spec() -> (Specification, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        for e in 0..3u64 {
+            for v in [10, 20] {
+                spec.instance_mut(r)
+                    .push_tuple(Tuple::new(Eid(e), vec![Value::int(v + e as i64)]))
+                    .unwrap();
+            }
+        }
+        spec.add_constraint(monotone(r)).unwrap();
+        (spec, r)
+    }
+
+    fn insert(r: RelId, e: u64, v: i64) -> SpecDelta {
+        let mut d = SpecDelta::new();
+        d.insert_tuple(r, Tuple::new(Eid(e), vec![Value::int(v)]));
+        d
+    }
+
+    fn fast() -> StoreOptions {
+        StoreOptions {
+            sync_data: false,
+            ..StoreOptions::default()
+        }
+    }
+
+    #[test]
+    fn create_apply_reopen_recovers_the_exact_state() {
+        let dir = tmpdir("reopen");
+        let (spec, r) = seed_spec();
+        let opts = Options::default();
+        let mut durable = DurableEngine::create(&dir, spec, &opts, fast()).unwrap();
+        assert!(durable.cps().unwrap());
+        for step in 0..4 {
+            durable
+                .apply(&insert(r, step % 3, 100 + step as i64))
+                .unwrap();
+        }
+        assert_eq!(durable.seq(), 4);
+        let live_bytes = encode_spec(durable.spec());
+        drop(durable);
+        let recovered = DurableEngine::open(&dir, &opts, fast()).unwrap();
+        assert_eq!(encode_spec(recovered.spec()), live_bytes);
+        let rec = recovered.recovery();
+        assert_eq!(rec.snapshot_seq, 0);
+        assert_eq!(rec.deltas_replayed, 4);
+        assert_eq!(rec.torn_tail_bytes, 0);
+        assert_eq!(recovered.seq(), 4);
+        let stats = recovered.stats();
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.deltas_replayed, 4);
+        assert!(recovered.cps().unwrap());
+        assert!(recovered
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)))
+            .unwrap());
+    }
+
+    #[test]
+    fn create_refuses_an_existing_store() {
+        let dir = tmpdir("exists");
+        let (spec, _) = seed_spec();
+        let opts = Options::default();
+        let durable = DurableEngine::create(&dir, spec.clone(), &opts, fast()).unwrap();
+        drop(durable);
+        assert!(matches!(
+            DurableEngine::create(&dir, spec, &opts, fast()),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+        assert!(matches!(
+            DurableEngine::open(&tmpdir("not-a-store"), &opts, fast()),
+            Err(StoreError::Io { .. } | StoreError::NoSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn rejected_deltas_never_reach_the_log() {
+        let dir = tmpdir("rejected");
+        let (spec, r) = seed_spec();
+        let opts = Options::default();
+        let mut durable = DurableEngine::create(&dir, spec, &opts, fast()).unwrap();
+        let mut bad = SpecDelta::new();
+        bad.add_order_edge(r, A, TupleId(0), TupleId(2)); // cross-entity
+        assert!(durable.apply(&bad).is_err());
+        assert_eq!(durable.seq(), 0, "nothing was logged");
+        durable.apply(&insert(r, 0, 99)).unwrap();
+        drop(durable);
+        let recovered = DurableEngine::open(&dir, &opts, fast()).unwrap();
+        assert_eq!(recovered.recovery().deltas_replayed, 1);
+        assert!(recovered.cps().unwrap());
+    }
+
+    #[test]
+    fn rotation_snapshots_truncate_the_log_and_bound_replay() {
+        let dir = tmpdir("rotate");
+        let (spec, r) = seed_spec();
+        let opts = Options::default();
+        let store_opts = StoreOptions {
+            snapshot_rotate_bytes: 256, // a few deltas per generation
+            sync_data: false,
+            keep_snapshots: 2,
+            ..StoreOptions::default()
+        };
+        let mut durable = DurableEngine::create(&dir, spec, &opts, store_opts).unwrap();
+        for step in 0..20 {
+            durable
+                .apply(&insert(r, step % 3, 1000 + step as i64))
+                .unwrap();
+        }
+        assert!(durable.snapshot_seq() > 0, "rotation happened");
+        assert!(
+            list_snapshots(&dir).unwrap().len() <= 2,
+            "old generations pruned"
+        );
+        let live_bytes = encode_spec(durable.spec());
+        let snapshot_seq = durable.snapshot_seq();
+        drop(durable);
+        let recovered = DurableEngine::open(&dir, &opts, store_opts).unwrap();
+        assert_eq!(encode_spec(recovered.spec()), live_bytes);
+        assert_eq!(recovered.recovery().snapshot_seq, snapshot_seq);
+        assert!(
+            recovered.recovery().deltas_replayed < 20,
+            "the snapshot absorbed most of the history"
+        );
+        assert_eq!(recovered.seq(), 20);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_when_the_log_covers_the_gap() {
+        // The recoverable fallback shape: a snapshot was written (e.g. a
+        // rotation crashed right after the atomic rename, before the log
+        // truncation) and later went bad, while the log still holds
+        // everything since the previous generation.
+        let dir = tmpdir("fallback-ok");
+        let (spec, r) = seed_spec();
+        let opts = Options::default();
+        let mut durable = DurableEngine::create(&dir, spec, &opts, fast()).unwrap();
+        durable.apply(&insert(r, 0, 50)).unwrap();
+        durable.apply(&insert(r, 1, 60)).unwrap();
+        durable.flush().unwrap();
+        // A snapshot covering seq 2 exists but the log was NOT truncated.
+        write_snapshot(&dir, 2, durable.spec(), false).unwrap();
+        let live_bytes = encode_spec(durable.spec());
+        drop(durable);
+        // Damage that newest snapshot's payload.
+        let snaps = list_snapshots(&dir).unwrap();
+        let newest = &snaps.last().unwrap().1;
+        let mut bytes = std::fs::read(newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(newest, &bytes).unwrap();
+        let recovered = DurableEngine::open(&dir, &opts, fast()).unwrap();
+        let rec = *recovered.recovery();
+        assert_eq!(rec.snapshots_skipped, 1, "newest generation refused");
+        assert_eq!(rec.snapshot_seq, 0, "fell back to the base snapshot");
+        assert_eq!(rec.deltas_replayed, 2, "log bridged the whole gap");
+        assert_eq!(encode_spec(recovered.spec()), live_bytes);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_with_a_truncated_log_fails_cleanly() {
+        // The unrecoverable shape: rotation truncated the log, then the
+        // snapshot that covered those records went bad.  Recovery must
+        // refuse (the acknowledged state is unreachable) instead of
+        // silently handing back the older generation minus the gap.
+        let dir = tmpdir("fallback-gap");
+        let (spec, r) = seed_spec();
+        let opts = Options::default();
+        let mut durable = DurableEngine::create(&dir, spec, &opts, fast()).unwrap();
+        durable.apply(&insert(r, 0, 50)).unwrap();
+        durable.snapshot_now().unwrap(); // truncates the log at seq 1
+        durable.apply(&insert(r, 1, 60)).unwrap(); // seq 2, in the log
+        drop(durable);
+        let snaps = list_snapshots(&dir).unwrap();
+        let newest = snaps.last().unwrap().1.clone();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+        assert!(
+            matches!(
+                DurableEngine::open(&dir, &opts, fast()),
+                Err(StoreError::ReplayDiverged { .. })
+            ),
+            "a log gap behind an unreadable snapshot must refuse recovery"
+        );
+        // Same refusal when the gap sits at the log's tail (log empty
+        // since the rotation).
+        let dir = tmpdir("fallback-tail-gap");
+        let (spec, r) = seed_spec();
+        let mut durable = DurableEngine::create(&dir, spec, &opts, fast()).unwrap();
+        durable.apply(&insert(r, 0, 50)).unwrap();
+        durable.snapshot_now().unwrap();
+        drop(durable);
+        let snaps = list_snapshots(&dir).unwrap();
+        let newest = snaps.last().unwrap().1.clone();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+        assert!(matches!(
+            DurableEngine::open(&dir, &opts, fast()),
+            Err(StoreError::ReplayDiverged { .. })
+        ));
+    }
+
+    #[test]
+    fn compaction_records_replay_id_correct_histories() {
+        let dir = tmpdir("compact-replay");
+        let (spec, r) = seed_spec();
+        let opts = Options::default();
+        let mut durable = DurableEngine::create(&dir, spec, &opts, fast()).unwrap();
+        // Insert, retract, compact — then keep writing deltas whose ids
+        // only make sense *after* the compaction's remap.
+        let report = durable.apply(&insert(r, 1, 77)).unwrap();
+        let (rel, id) = report.inserted[0];
+        let mut retract = SpecDelta::new();
+        retract.remove_tuple(rel, id);
+        durable.apply(&retract).unwrap();
+        let compact = durable.compact().unwrap();
+        assert_eq!(compact.reclaimed, 1);
+        // Post-compaction: an order edge between two remapped ids.
+        let last = TupleId(durable.spec().instance(r).len() as u32 - 1);
+        let group = durable
+            .spec()
+            .instance(r)
+            .entity_group(durable.spec().instance(r).tuple(last).eid);
+        let first = group[0];
+        let mut edge = SpecDelta::new();
+        edge.add_order_edge(r, A, first, last);
+        durable.apply(&edge).unwrap();
+        let live_bytes = encode_spec(durable.spec());
+        drop(durable);
+        let recovered = DurableEngine::open(&dir, &opts, fast()).unwrap();
+        assert_eq!(encode_spec(recovered.spec()), live_bytes);
+        assert_eq!(recovered.recovery().compacts_replayed, 1);
+        assert_eq!(recovered.recovery().deltas_replayed, 3);
+        assert!(recovered.cps().unwrap());
+    }
+
+    #[test]
+    fn auto_compaction_is_logged_and_verified_on_replay() {
+        let dir = tmpdir("auto-compact");
+        let (spec, r) = seed_spec();
+        let opts = Options {
+            auto_compact_tombstones: 2,
+            ..Options::default()
+        };
+        let mut durable = DurableEngine::create(&dir, spec, &opts, fast()).unwrap();
+        let mut auto_seen = 0;
+        for step in 0..3 {
+            let report = durable.apply(&insert(r, 0, 500 + step)).unwrap();
+            let (rel, id) = report.inserted[0];
+            let mut retract = SpecDelta::new();
+            retract.remove_tuple(rel, id);
+            if durable.apply(&retract).unwrap().compacted.is_some() {
+                auto_seen += 1;
+            }
+        }
+        assert_eq!(auto_seen, 1, "threshold crossed once in three rounds");
+        let live_bytes = encode_spec(durable.spec());
+        drop(durable);
+        // Same options: replay reproduces the auto-compaction and its
+        // verification record passes.
+        let recovered = DurableEngine::open(&dir, &opts, fast()).unwrap();
+        assert_eq!(encode_spec(recovered.spec()), live_bytes);
+        assert_eq!(recovered.recovery().compacts_replayed, 1);
+        assert_eq!(recovered.stats().compactions, 1);
+        drop(recovered);
+        // Different auto-compaction policy: the verification record
+        // detects the divergence instead of recovering a wrong id space.
+        let err = DurableEngine::open(&dir, &Options::default(), fast());
+        assert!(
+            matches!(err, Err(StoreError::ReplayDiverged { .. })),
+            "policy mismatch must fail cleanly, got {:?}",
+            err.map(|d| d.recovery().deltas_replayed)
+        );
+    }
+
+    #[test]
+    fn replay_refuses_an_auto_compaction_the_log_never_recorded() {
+        // The mirror image of the marker-without-compaction case: the
+        // log was written with auto-compaction OFF, and the store is
+        // reopened with a threshold the replayed churn crosses.  Replay
+        // then compacts where the original run did not — every later
+        // record's tuple ids would resolve against the wrong id space —
+        // so recovery must refuse, not proceed.
+        let dir = tmpdir("auto-unrecorded");
+        let (spec, r) = seed_spec();
+        let mut durable = DurableEngine::create(&dir, spec, &Options::default(), fast()).unwrap();
+        for step in 0..3 {
+            let report = durable.apply(&insert(r, 0, 700 + step)).unwrap();
+            let (rel, id) = report.inserted[0];
+            let mut retract = SpecDelta::new();
+            retract.remove_tuple(rel, id);
+            let report = durable.apply(&retract).unwrap();
+            assert!(report.compacted.is_none(), "policy off while writing");
+        }
+        drop(durable);
+        let strict = Options {
+            auto_compact_tombstones: 2,
+            ..Options::default()
+        };
+        assert!(
+            matches!(
+                DurableEngine::open(&dir, &strict, fast()),
+                Err(StoreError::ReplayDiverged { .. })
+            ),
+            "an unrecorded replay-side auto-compaction must refuse recovery"
+        );
+        // The matching options still recover fine.
+        let recovered = DurableEngine::open(&dir, &Options::default(), fast()).unwrap();
+        assert_eq!(recovered.recovery().deltas_replayed, 6);
+        assert!(recovered.cps().unwrap());
+    }
+
+    /// Byte offsets where each log frame starts (walks the public frame
+    /// format: 12-byte header, then `[len u32][crc u32][payload]`).
+    fn frame_starts(bytes: &[u8]) -> Vec<usize> {
+        let mut starts = Vec::new();
+        let mut pos = 12;
+        while pos + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            starts.push(pos);
+            pos += 8 + len;
+        }
+        starts
+    }
+
+    #[test]
+    fn crash_between_delta_and_auto_marker_backfills_instead_of_bricking() {
+        // A crash after the delta flush but before its auto-compaction
+        // marker leaves the marker missing at end-of-log.  Recovery must
+        // reproduce the compaction AND backfill the marker — otherwise
+        // the next appended record sits where the marker belongs and
+        // every later open fails ReplayDiverged forever.
+        let dir = tmpdir("marker-gap");
+        let (spec, r) = seed_spec();
+        let opts = Options {
+            auto_compact_tombstones: 2,
+            ..Options::default()
+        };
+        let mut durable = DurableEngine::create(&dir, spec, &opts, fast()).unwrap();
+        let mut marker_seen = false;
+        for step in 0..2 {
+            let report = durable.apply(&insert(r, 0, 800 + step)).unwrap();
+            let (rel, id) = report.inserted[0];
+            let mut retract = SpecDelta::new();
+            retract.remove_tuple(rel, id);
+            marker_seen |= durable.apply(&retract).unwrap().compacted.is_some();
+        }
+        assert!(marker_seen, "threshold crossed during the churn");
+        let seq_before = durable.seq();
+        drop(durable);
+        // Chop the final frame (the auto marker) off the log: the
+        // crash-between-appends footprint.
+        let wal = dir.join("wal.log");
+        let bytes = std::fs::read(&wal).unwrap();
+        let last = *frame_starts(&bytes).last().unwrap();
+        std::fs::write(&wal, &bytes[..last]).unwrap();
+        // First reopen: the replayed churn re-triggers the compaction and
+        // the marker is backfilled at the same sequence number.
+        let mut recovered = DurableEngine::open(&dir, &opts, fast()).unwrap();
+        assert_eq!(recovered.recovery().compacts_replayed, 1);
+        assert_eq!(recovered.seq(), seq_before, "marker seq restored");
+        recovered.apply(&insert(r, 1, 900)).unwrap();
+        let live = encode_spec(recovered.spec());
+        drop(recovered);
+        // Second reopen is the regression: it must find the backfilled
+        // marker where it belongs and recover, not brick.
+        let again = DurableEngine::open(&dir, &opts, fast())
+            .expect("store must stay openable after the backfill");
+        assert_eq!(encode_spec(again.spec()), live);
+        assert!(again.cps().unwrap());
+    }
+
+    #[test]
+    fn create_crash_before_the_base_snapshot_is_retryable() {
+        // The creation order is log first, snapshot last: a crash in
+        // between leaves a log-only directory, which `open` reports as
+        // not-a-store and a retried `create` simply rebuilds.
+        let dir = tmpdir("create-crash");
+        std::fs::create_dir_all(&dir).unwrap();
+        drop(crate::wal::Wal::create(&dir.join("wal.log"), 1, false).unwrap());
+        assert!(matches!(
+            DurableEngine::open(&dir, &Options::default(), fast()),
+            Err(StoreError::NoSnapshot { .. })
+        ));
+        let (spec, r) = seed_spec();
+        let mut durable = DurableEngine::create(&dir, spec, &Options::default(), fast()).unwrap();
+        durable.apply(&insert(r, 0, 7)).unwrap();
+        drop(durable);
+        assert!(DurableEngine::open(&dir, &Options::default(), fast()).is_ok());
+    }
+
+    #[test]
+    fn orphaned_tmp_snapshots_are_swept_on_open() {
+        let dir = tmpdir("tmp-sweep");
+        let (spec, r) = seed_spec();
+        let mut durable = DurableEngine::create(&dir, spec, &Options::default(), fast()).unwrap();
+        durable.apply(&insert(r, 0, 7)).unwrap();
+        drop(durable);
+        // The residue of a crash between temp write and rename.
+        let orphan = dir.join("snapshot-00000000000000000099.cur.tmp");
+        std::fs::write(&orphan, b"half-written snapshot").unwrap();
+        let recovered = DurableEngine::open(&dir, &Options::default(), fast()).unwrap();
+        assert!(!orphan.exists(), "orphaned temp file swept");
+        assert!(recovered.cps().unwrap());
+    }
+
+    #[test]
+    fn poisoned_store_refuses_mutations_but_reopens_cleanly() {
+        let dir = tmpdir("poison");
+        let (spec, r) = seed_spec();
+        let mut durable = DurableEngine::create(&dir, spec, &Options::default(), fast()).unwrap();
+        durable.apply(&insert(r, 0, 41)).unwrap();
+        durable.poisoned = Some("simulated partial write".to_string());
+        assert!(matches!(
+            durable.apply(&insert(r, 0, 42)),
+            Err(StoreError::Poisoned { .. })
+        ));
+        assert!(matches!(
+            durable.compact(),
+            Err(StoreError::Poisoned { .. })
+        ));
+        assert!(matches!(
+            durable.snapshot_now(),
+            Err(StoreError::Poisoned { .. })
+        ));
+        assert_eq!(durable.seq(), 1, "poisoned mutations never advance seq");
+        // Queries still answer (the in-memory engine is coherent).
+        assert!(durable.cps().unwrap());
+        drop(durable);
+        // Reopening recovers the durable prefix and clears the poison.
+        let mut recovered = DurableEngine::open(&dir, &Options::default(), fast()).unwrap();
+        assert_eq!(recovered.recovery().deltas_replayed, 1);
+        recovered.apply(&insert(r, 0, 42)).unwrap();
+        assert!(recovered.cps().unwrap());
+    }
+
+    #[test]
+    fn group_commit_loses_at_most_the_unflushed_suffix() {
+        let dir = tmpdir("group-commit");
+        let (spec, r) = seed_spec();
+        let opts = Options::default();
+        let store_opts = StoreOptions {
+            group_commit: 4,
+            sync_data: false,
+            ..StoreOptions::default()
+        };
+        let mut durable = DurableEngine::create(&dir, spec, &opts, store_opts).unwrap();
+        for step in 0..5 {
+            durable
+                .apply(&insert(r, step % 3, 300 + step as i64))
+                .unwrap();
+        }
+        // 4 records flushed as one batch, the 5th is buffered.  Simulate
+        // a crash: leak the engine so Drop's flush never runs.
+        assert_eq!(durable.wal.pending_records(), 1);
+        std::mem::forget(durable);
+        let recovered = DurableEngine::open(&dir, &opts, store_opts).unwrap();
+        assert_eq!(
+            recovered.recovery().deltas_replayed,
+            4,
+            "exactly the flushed prefix survives"
+        );
+        assert_eq!(recovered.seq(), 4);
+        assert!(recovered.cps().unwrap());
+    }
+}

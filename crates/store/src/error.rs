@@ -1,0 +1,190 @@
+//! Error type of the durability layer.
+
+use currency_core::wire::WireError;
+use currency_core::CurrencyError;
+use currency_reason::ReasonError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong persisting or recovering a specification.
+///
+/// The durability contract is that **corruption and truncation are
+/// errors, never panics or silently wrong states**: a torn log tail is
+/// recovered from (it is the expected shape of a crash mid-write), while
+/// a checksum mismatch anywhere else refuses the file with
+/// [`StoreError::Corrupt`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A file's framing or checksum is wrong (flipped bytes, a bad magic
+    /// number, a mid-log CRC mismatch).
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// Byte offset of the first bad frame (0 for header corruption).
+        offset: u64,
+        /// What failed.
+        detail: String,
+    },
+    /// The file was written by a different wire-format version.
+    UnsupportedVersion {
+        /// The file involved.
+        path: PathBuf,
+        /// The version found in its header.
+        found: u32,
+    },
+    /// The directory holds no readable snapshot (it is not a store, or
+    /// every snapshot generation failed its checksum).
+    NoSnapshot {
+        /// The directory searched.
+        dir: PathBuf,
+    },
+    /// [`crate::DurableEngine::create`] refused to overwrite an existing
+    /// store.
+    AlreadyExists {
+        /// The directory involved.
+        dir: PathBuf,
+    },
+    /// A persisted payload failed to decode back into a model object.
+    Wire(WireError),
+    /// A logged delta no longer validates against the recovered
+    /// specification — the log and snapshot are from diverging histories.
+    ReplayInvalid {
+        /// Sequence number of the offending record.
+        seq: u64,
+        /// The validation failure.
+        source: CurrencyError,
+    },
+    /// Replay reproduced a different state than the log records claim
+    /// (e.g. a compaction remap mismatch because the engine was reopened
+    /// with different [`currency_reason::Options`] than it was written
+    /// under).
+    ReplayDiverged {
+        /// Sequence number of the offending record.
+        seq: u64,
+        /// What diverged.
+        detail: String,
+    },
+    /// The wrapped reasoning engine failed.
+    Reason(ReasonError),
+    /// A model-layer operation failed.
+    Model(CurrencyError),
+    /// A previous write failed partway, so the log and the in-memory
+    /// engine can no longer be trusted to agree; the store is fail-stop
+    /// until reopened (recovery rebuilds the one consistent state the
+    /// durable files define).
+    Poisoned {
+        /// The original failure.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
+            StoreError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "{} is corrupt at byte {offset}: {detail}",
+                path.display()
+            ),
+            StoreError::UnsupportedVersion { path, found } => write!(
+                f,
+                "{} uses wire-format version {found}, this build speaks {}",
+                path.display(),
+                currency_core::wire::WIRE_VERSION
+            ),
+            StoreError::NoSnapshot { dir } => {
+                write!(f, "{} holds no readable snapshot", dir.display())
+            }
+            StoreError::AlreadyExists { dir } => write!(
+                f,
+                "{} already holds a store (open it instead of creating)",
+                dir.display()
+            ),
+            StoreError::Wire(e) => write!(f, "persisted payload failed to decode: {e}"),
+            StoreError::ReplayInvalid { seq, source } => write!(
+                f,
+                "log record #{seq} no longer validates against the recovered specification: {source}"
+            ),
+            StoreError::ReplayDiverged { seq, detail } => write!(
+                f,
+                "log replay diverged at record #{seq}: {detail} \
+                 (was the store reopened with different engine options?)"
+            ),
+            StoreError::Reason(e) => write!(f, "engine error: {e}"),
+            StoreError::Model(e) => write!(f, "model error: {e}"),
+            StoreError::Poisoned { detail } => write!(
+                f,
+                "store is poisoned by an earlier write failure ({detail}); \
+                 reopen it to recover the durable state"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Wire(e) => Some(e),
+            StoreError::ReplayInvalid { source, .. } => Some(source),
+            StoreError::Reason(e) => Some(e),
+            StoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for StoreError {
+    fn from(e: WireError) -> StoreError {
+        StoreError::Wire(e)
+    }
+}
+
+impl From<ReasonError> for StoreError {
+    fn from(e: ReasonError) -> StoreError {
+        StoreError::Reason(e)
+    }
+}
+
+impl From<CurrencyError> for StoreError {
+    fn from(e: CurrencyError) -> StoreError {
+        StoreError::Model(e)
+    }
+}
+
+/// Attach a path to a raw I/O error.
+pub(crate) fn io_err(path: &std::path::Path, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// `fsync` a directory so a just-created or just-renamed entry inside it
+/// survives power loss — file-data syncs alone do not persist the
+/// directory entry.  Called after the atomic snapshot rename and after
+/// log creation (when `sync_data` is on); best-effort on platforms where
+/// directories cannot be opened for syncing.
+pub(crate) fn sync_dir(dir: &std::path::Path) -> Result<(), StoreError> {
+    match std::fs::File::open(dir) {
+        Ok(handle) => handle.sync_all().map_err(|e| io_err(dir, e)),
+        // Opening a directory read-only can be unsupported (non-POSIX
+        // platforms); the rename itself is still atomic, so degrade to
+        // the pre-fsync guarantee instead of failing the write.
+        Err(_) => Ok(()),
+    }
+}

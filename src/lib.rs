@@ -15,6 +15,8 @@
 //! * [`reason`] (`currency-reason`) — decision procedures for the paper's
 //!   seven problems (CPS, COP, DCIP, CCQA, CPP, ECP, BCP) and the
 //!   entity-partitioned incremental `CurrencyEngine`.
+//! * [`store`] (`currency-store`) — durability: checksummed snapshots, a
+//!   delta write-ahead log, and the crash-recoverable `DurableEngine`.
 //! * [`sat`] (`currency-sat`) — the CDCL SAT solver substrate.
 //! * [`datagen`] (`currency-datagen`) — paper scenarios, random
 //!   specification generators, and hardness-reduction gadgets.
@@ -27,6 +29,7 @@ pub use currency_datagen as datagen;
 pub use currency_query as query;
 pub use currency_reason as reason;
 pub use currency_sat as sat;
+pub use currency_store as store;
 
 /// Convenience prelude importing the most commonly used items.
 ///
