@@ -23,14 +23,17 @@
 
 use currency_bench::measure::{measure, measure_once, Measurement};
 use currency_bench::scenarios;
-use currency_core::SpecDelta;
+use currency_core::{SpecDelta, Specification};
 use currency_reason::{
     certain_answers_exact_monolithic, cop_exact_monolithic, CurrencyEngine, Options,
     TransitivityMode,
 };
+use currency_serve::{CurrencyServe, ServeOptions, ServeRequest, ServeStats};
 use currency_store::{DurableEngine, StoreOptions};
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Wall-time regression guard for `--check`: lazy end-to-end (engine
 /// build + CPS + one COP) on the 64-tuple single-group scenario.
@@ -110,6 +113,39 @@ const RECOVERY_SPEEDUP_MIN: f64 = 1.5;
 /// measured open is tens of milliseconds).
 const RECOVERY_WALL_NS: f64 = 10_000_000_000.0; // 10 s
 
+/// Reader-thread sweep of the serve workload: sustained qps with a
+/// concurrent writer churning the delta stream.
+const SERVE_READER_SWEEP: &[usize] = &[1, 8, 64];
+
+/// Scaling guard for `--check`: 8 reader threads must sustain at least
+/// this multiple of the single-reader qps.  Readers share nothing but
+/// immutable snapshot `Arc`s and the sharded answer cache, so on real
+/// multi-core hardware the scaling is near-linear; 3× leaves room for
+/// the shared writer churn and cache-shard contention.
+const SERVE_SCALING_MIN: f64 = 3.0;
+
+/// The scaling guard is enforced only when the machine can physically
+/// exhibit it: below this core count the 8 readers time-slice one
+/// another and the honest ratio is ≈ 1, so the run records the ratio
+/// (and the relaxed [`SERVE_COLLAPSE_FLOOR`] still applies) without
+/// failing `--check`.
+const SERVE_SCALING_MIN_CORES: usize = 8;
+
+/// Everywhere-enforced sanity floor: even time-sliced on one core, 8
+/// readers must not *collapse* below this fraction of the single-reader
+/// qps — a shared lock on the read path (the bug this layer exists to
+/// avoid) would serialize and sink it.
+const SERVE_COLLAPSE_FLOOR: f64 = 0.2;
+
+/// Cache guard for `--check`: hit rate of the deterministic
+/// repeated-query workload (one snapshot, [`SERVE_CACHE_ROUNDS`] passes
+/// over the request pool — only the first pass can miss, so the true
+/// rate is `(rounds-1)/rounds` = 98%).  Timing-independent.
+const SERVE_CACHE_HIT_MIN: f64 = 0.90;
+
+/// Passes over the request pool in the deterministic cache workload.
+const SERVE_CACHE_ROUNDS: usize = 50;
+
 struct Args {
     fast: bool,
     check: bool,
@@ -132,6 +168,71 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// One serve run: `threads` readers cycling the request pool through
+/// their own handles while a writer thread churns insert+retract deltas
+/// (each publishing a new epoch and invalidating the cache), for a fixed
+/// wall window.  Returns the sustained reader qps, the run's serving
+/// stats, and the number of epochs the writer got through.
+fn serve_sustained_qps(
+    spec: &Specification,
+    pool: &[ServeRequest],
+    threads: usize,
+    window: Duration,
+) -> (f64, ServeStats) {
+    let serve = Arc::new(
+        CurrencyServe::new(spec.clone(), &Options::default(), &ServeOptions::default())
+            .expect("valid spec"),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let serve = serve.clone();
+        let stop = stop.clone();
+        let insert = scenarios::update_insert_delta(spec);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let report = serve.apply(&insert).expect("admissible");
+                let (rel, id) = report.inserted[0];
+                serve
+                    .apply(&scenarios::update_remove_delta(rel, id))
+                    .expect("admissible");
+                std::thread::yield_now();
+            }
+        })
+    };
+    let start = Instant::now();
+    let readers: Vec<_> = (0..threads)
+        .map(|_| {
+            let serve = serve.clone();
+            let stop = stop.clone();
+            let pool = pool.to_vec();
+            std::thread::spawn(move || {
+                let mut handle = serve.handle();
+                let mut answered = 0u64;
+                'run: loop {
+                    for req in &pool {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'run;
+                        }
+                        std::hint::black_box(handle.query(req).expect("in budget"));
+                        answered += 1;
+                    }
+                    std::thread::yield_now();
+                }
+                answered
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = readers
+        .into_iter()
+        .map(|r| r.join().expect("reader thread survives"))
+        .sum();
+    let elapsed = start.elapsed();
+    writer.join().expect("writer thread survives");
+    (total as f64 / elapsed.as_secs_f64(), serve.stats())
 }
 
 fn push_measurement(json: &mut String, m: &Measurement) {
@@ -452,6 +553,84 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Serve workload (currency-serve): sustained multi-reader qps over a
+    // concurrent delta stream, then the deterministic repeated-query
+    // cache workload.  The qps sweep shares one spec and one request
+    // pool across thread counts so the ratios are apples-to-apples; the
+    // cache run has no writer, so its hit rate is exact arithmetic.
+    // ------------------------------------------------------------------
+    let serve_window = if args.fast {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(600)
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let serve_spec = scenarios::amortized_spec(UPDATE_ENTITIES);
+    let serve_pool = scenarios::serve_request_pool(&serve_spec);
+    let mut serve_qps: Vec<(usize, f64)> = Vec::new();
+    let _ = writeln!(
+        json,
+        "  \"serve\": {{\"entities\": {UPDATE_ENTITIES}, \"cores\": {cores}, \
+         \"pool\": {}, \"window_ms\": {}, \"readers\": [",
+        serve_pool.len(),
+        serve_window.as_millis()
+    );
+    for (ix, &threads) in SERVE_READER_SWEEP.iter().enumerate() {
+        eprintln!("serve: readers = {threads}");
+        let (qps, stats) = serve_sustained_qps(&serve_spec, &serve_pool, threads, serve_window);
+        serve_qps.push((threads, qps));
+        let _ = write!(
+            json,
+            "    {{\"threads\": {threads}, \"qps\": {qps:.0}, \"queries\": {}, \
+             \"hit_rate\": {:.3}, \"epochs\": {}, \"mean_latency_ns\": {}, \
+             \"max_latency_ns\": {}}}",
+            stats.queries,
+            stats.hit_rate(),
+            stats.epoch,
+            stats.mean_latency_ns(),
+            stats.latency_ns_max
+        );
+        if ix + 1 < SERVE_READER_SWEEP.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    let qps_at = |threads: usize| {
+        serve_qps
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .expect("sweep includes it")
+            .1
+    };
+    let serve_scaling = qps_at(8) / qps_at(1);
+    // Deterministic cache workload: one published epoch, one handle,
+    // SERVE_CACHE_ROUNDS passes over the pool — only the first pass can
+    // miss.
+    let cache_serve = CurrencyServe::new(
+        serve_spec.clone(),
+        &Options::default(),
+        &ServeOptions::default(),
+    )
+    .expect("valid spec");
+    let mut cache_handle = cache_serve.handle();
+    for _ in 0..SERVE_CACHE_ROUNDS {
+        for req in &serve_pool {
+            std::hint::black_box(cache_handle.query(req).expect("in budget"));
+        }
+    }
+    let cache_stats = cache_serve.stats();
+    let serve_cache_hit_rate = cache_stats.hit_rate();
+    let _ = writeln!(
+        json,
+        "  ], \"scaling_8v1\": {serve_scaling:.2}, \
+         \"cache\": {{\"rounds\": {SERVE_CACHE_ROUNDS}, \"queries\": {}, \
+         \"hits\": {}, \"misses\": {}, \"hit_rate\": {serve_cache_hit_rate:.3}}}}},",
+        cache_stats.queries, cache_stats.cache_hits, cache_stats.cache_misses
+    );
+
+    // ------------------------------------------------------------------
     // Lazy vs eager transitivity scaling on one large entity group.
     // ------------------------------------------------------------------
     let group_sweep: &[usize] = if args.fast {
@@ -536,6 +715,15 @@ fn main() {
     let replay_count_ok = replayed == expected_suffix;
     let recovery_ok =
         recovery_speedup >= RECOVERY_SPEEDUP_MIN && open.median_ns <= RECOVERY_WALL_NS;
+    // The full scaling bar applies only where the hardware can show it;
+    // the collapse floor applies everywhere.
+    let serve_scaling_enforced = cores >= SERVE_SCALING_MIN_CORES;
+    let serve_scaling_ok = if serve_scaling_enforced {
+        serve_scaling >= SERVE_SCALING_MIN
+    } else {
+        serve_scaling >= SERVE_COLLAPSE_FLOOR
+    };
+    let serve_cache_ok = serve_cache_hit_rate >= SERVE_CACHE_HIT_MIN;
     let pass = time_ok
         && clauses_ok
         && update_ok
@@ -543,7 +731,9 @@ fn main() {
         && large_rebuilt_ok
         && durable_overhead_ok
         && replay_count_ok
-        && recovery_ok;
+        && recovery_ok
+        && serve_scaling_ok
+        && serve_cache_ok;
     let _ = write!(
         json,
         "  \"check\": {{\"lazy_64_median_ns\": {lazy_64:.0}, \
@@ -560,7 +750,13 @@ fn main() {
          \"recovery_replayed\": {replayed}, \
          \"recovery_expected_suffix\": {expected_suffix}, \
          \"recovery_speedup\": {recovery_speedup:.1}, \
-         \"recovery_speedup_min\": {RECOVERY_SPEEDUP_MIN:.1}, \"pass\": {pass}}}\n}}\n"
+         \"recovery_speedup_min\": {RECOVERY_SPEEDUP_MIN:.1}, \
+         \"serve_scaling_8v1\": {serve_scaling:.2}, \
+         \"serve_scaling_min\": {SERVE_SCALING_MIN:.1}, \
+         \"serve_scaling_enforced\": {serve_scaling_enforced}, \
+         \"serve_collapse_floor\": {SERVE_COLLAPSE_FLOOR:.1}, \
+         \"serve_cache_hit_rate\": {serve_cache_hit_rate:.3}, \
+         \"serve_cache_hit_min\": {SERVE_CACHE_HIT_MIN:.2}, \"pass\": {pass}}}\n}}\n"
     );
 
     std::fs::write(&args.out, &json).expect("write bench JSON");
@@ -617,6 +813,28 @@ fn main() {
                  {recovery_speedup:.2}× faster than re-applying all {durability_deltas} \
                  deltas (floor {RECOVERY_SPEEDUP_MIN}×, wall cap {:.1} s)",
                 RECOVERY_WALL_NS / 1e9
+            );
+        }
+        if !serve_scaling_ok {
+            if serve_scaling_enforced {
+                eprintln!(
+                    "REGRESSION: 8 reader threads sustain only {serve_scaling:.2}× the \
+                     single-reader qps on {cores} cores (floor {SERVE_SCALING_MIN}×) — \
+                     a shared lock crept into the snapshot read path?"
+                );
+            } else {
+                eprintln!(
+                    "REGRESSION: 8 reader threads collapsed to {serve_scaling:.2}× the \
+                     single-reader qps (floor {SERVE_COLLAPSE_FLOOR}× even on {cores} \
+                     core(s)) — readers are serializing on shared state"
+                );
+            }
+        }
+        if !serve_cache_ok {
+            eprintln!(
+                "REGRESSION: repeated-query cache hit rate {serve_cache_hit_rate:.3} is \
+                 below {SERVE_CACHE_HIT_MIN} on a fixed snapshot — epoch keying or \
+                 canonicalized request hashing is broken"
             );
         }
         std::process::exit(1);

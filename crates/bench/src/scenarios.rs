@@ -8,6 +8,7 @@ use currency_core::{
 use currency_datagen::random::{random_spec, RandomSpecConfig};
 use currency_query::{Query, SpQuery};
 use currency_reason::{CurrencyEngine, CurrencyOrderQuery, Options, TransitivityMode};
+use currency_serve::ServeRequest;
 
 /// The target relation of the generated workloads.
 pub const T: RelId = RelId(0);
@@ -136,6 +137,18 @@ pub fn large_insert_delta() -> SpecDelta {
     let mut delta = SpecDelta::new();
     delta.insert_tuple(T, Tuple::new(Eid(0), vec![Value::int(1_000_000)]));
     delta
+}
+
+/// The serve workload's request pool: the amortized COP batch as
+/// canonicalized [`ServeRequest`]s.  Every reader thread cycles the
+/// *same* pool, so after each epoch's first pass the answers come from
+/// the shared epoch-keyed cache — which is exactly the read-mostly
+/// serving regime the qps numbers are about.
+pub fn serve_request_pool(spec: &Specification) -> Vec<ServeRequest> {
+    amortized_cop_queries(spec)
+        .into_iter()
+        .map(ServeRequest::Cop)
+        .collect()
 }
 
 /// One entity group of `n` tuples with strictly increasing values and a

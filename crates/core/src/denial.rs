@@ -38,7 +38,7 @@ use std::collections::BTreeSet;
 pub type VarId = usize;
 
 /// A term of a value atom: an attribute of a tuple variable, or a constant.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Term {
     /// `t_var[attr]`.
     Attr(VarId, AttrId),
@@ -63,7 +63,7 @@ impl Term {
 /// `Lt`/`Le`/`Gt`/`Ge` use the total order on [`Value`]; they are
 /// meaningful within one value kind, mirroring the paper's "built-in
 /// predicates defined on particular domains".
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// Equality.
     Eq,

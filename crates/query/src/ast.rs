@@ -23,7 +23,7 @@ impl fmt::Debug for QVar {
 }
 
 /// A term: a variable or a constant.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Term {
     /// A query variable.
     Var(QVar),
@@ -49,7 +49,7 @@ impl From<QVar> for Term {
 /// `eid` is the term bound to the tuple's entity id (entity ids surface as
 /// [`Value::Int`]); `None` leaves the entity id unconstrained, matching the
 /// paper's convention of "omitting the EID attribute" in query displays.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Atom {
     /// The relation queried.
     pub rel: RelId,
@@ -80,7 +80,7 @@ impl Atom {
 }
 
 /// A first-order formula over relation atoms and value comparisons.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Formula {
     /// A relation atom.
     Atom(Atom),
@@ -240,6 +240,27 @@ impl Query {
     /// `true` if the query has no head variables.
     pub fn is_boolean(&self) -> bool {
         self.head.is_empty()
+    }
+}
+
+/// Queries compare (and hash) by their **canonical key**: the head and
+/// the body.  `num_vars` is a builder artifact — it counts allocated
+/// variables, including ones the body never mentions — and two queries
+/// with equal head and body have identical answer sets regardless of it.
+/// This makes `Query` directly usable as a structural cache key (e.g. in
+/// an answer cache) without stringifying the AST.
+impl PartialEq for Query {
+    fn eq(&self, other: &Query) -> bool {
+        self.head == other.head && self.body == other.body
+    }
+}
+
+impl Eq for Query {}
+
+impl std::hash::Hash for Query {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.head.hash(state);
+        self.body.hash(state);
     }
 }
 

@@ -17,7 +17,10 @@ use currency_sat::SolveResult;
 
 /// A candidate currency order `Ot` for one relation: the pairs whose
 /// certainty is being asked about.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Derives `Hash`/`Eq` so the query itself can serve as a structural
+/// cache key (see `currency-serve`'s epoch-keyed answer cache).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CurrencyOrderQuery {
     /// The relation the order speaks about.
     pub rel: RelId,

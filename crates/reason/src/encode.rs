@@ -90,7 +90,7 @@ struct LazyGroup {
 /// [`Encoding::solve_with_assumptions`] or [`Encoding::for_each_model`]
 /// rather than the raw solver: in lazy mode those wrappers run the
 /// refinement loop that makes a `Sat` answer trustworthy.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Encoding {
     /// The solver loaded with the specification's clauses.  Private so
     /// that satisfiability can only be reached through the mode-aware
@@ -113,6 +113,40 @@ pub struct Encoding {
     mode: TransitivityMode,
     /// Closure-checked groups (empty in eager mode).
     lazy_groups: Vec<LazyGroup>,
+}
+
+/// Cloning an encoding clones the whole cached solver (learnt clauses and
+/// lazy-transitivity lemmas included), so the clone answers exactly like
+/// the original while staying fully private — the basis for per-reader
+/// solver scratch ([`crate::snapshot::SnapshotReader`]) and throwaway
+/// All-SAT enumeration.  Hand-rolled so `clone_from` reuses the
+/// destination's buffers (see [`currency_sat::Solver`]'s `Clone`):
+/// refreshing a reader's scratch encoding after an epoch change costs
+/// memcpys, not an allocation per clause.
+impl Clone for Encoding {
+    fn clone(&self) -> Self {
+        Encoding {
+            solver: self.solver.clone(),
+            order_vars: self.order_vars.clone(),
+            value_choices: self.value_choices.clone(),
+            value_projection: self.value_projection.clone(),
+            value_rels: self.value_rels.clone(),
+            scope: self.scope.clone(),
+            mode: self.mode,
+            lazy_groups: self.lazy_groups.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.solver.clone_from(&source.solver);
+        self.order_vars.clone_from(&source.order_vars);
+        self.value_choices.clone_from(&source.value_choices);
+        self.value_projection.clone_from(&source.value_projection);
+        self.value_rels.clone_from(&source.value_rels);
+        self.scope.clone_from(&source.scope);
+        self.mode = source.mode;
+        self.lazy_groups.clone_from(&source.lazy_groups);
+    }
 }
 
 impl Encoding {

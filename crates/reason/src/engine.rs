@@ -155,10 +155,96 @@ type ComponentChains = Vec<(RelId, AttrId, Eid, Vec<TupleId>)>;
 
 /// One component's contribution to a product enumeration: the component
 /// index, the restricted-projection indices, and the projected models.
-struct ComponentModels {
-    comp: usize,
-    indices: Vec<usize>,
-    models: Vec<Vec<bool>>,
+/// Shared with the epoch-published snapshot path ([`crate::snapshot`]),
+/// which enumerates against immutable encodings instead of locked slots.
+pub(crate) struct ComponentModels {
+    pub(crate) comp: usize,
+    pub(crate) indices: Vec<usize>,
+    pub(crate) models: Vec<Vec<bool>>,
+}
+
+/// Guard the composed cross-component product against the model budget.
+pub(crate) fn check_product_budget(
+    per_comp: &[ComponentModels],
+    max_models: usize,
+    what: &'static str,
+) -> Result<(), ReasonError> {
+    let mut product: usize = 1;
+    for cm in per_comp {
+        product = product.saturating_mul(cm.models.len().max(1));
+        if product > max_models {
+            return Err(ReasonError::BudgetExceeded { what });
+        }
+    }
+    Ok(())
+}
+
+/// Run `f` on the decoded rows of every combination of per-component
+/// model choices (odometer over the product); `f` returning `false` stops
+/// the iteration.  With no components, `f` runs once with no rows (the
+/// empty product has one element).  `decode` turns one component's chosen
+/// model into rows — the engine decodes under the component's lock, the
+/// snapshot path against its immutable per-slot encoding.
+pub(crate) fn for_each_combination(
+    per_comp: &[ComponentModels],
+    mut decode: impl FnMut(&ComponentModels, &[bool]) -> Vec<(RelId, Tuple)>,
+    mut f: impl FnMut(Vec<(RelId, Tuple)>) -> bool,
+) {
+    let mut pick = vec![0usize; per_comp.len()];
+    loop {
+        let mut rows: Vec<(RelId, Tuple)> = Vec::new();
+        for (k, cm) in per_comp.iter().enumerate() {
+            rows.extend(decode(cm, &cm.models[pick[k]]));
+        }
+        if !f(rows) {
+            return;
+        }
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == per_comp.len() {
+                return;
+            }
+            pick[i] += 1;
+            if pick[i] < per_comp[i].models.len() {
+                break;
+            }
+            pick[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Fold the certain-answer intersection over every realizable combination
+/// of current instances (the common tail of the engine's and the
+/// snapshot's `certain_answers`).
+pub(crate) fn intersect_certain_answers(
+    query: &Query,
+    rels: &[RelId],
+    per_comp: &[ComponentModels],
+    decode: impl FnMut(&ComponentModels, &[bool]) -> Vec<(RelId, Tuple)>,
+) -> CertainAnswers {
+    let mut certain: Option<BTreeSet<Vec<Value>>> = None;
+    for_each_combination(per_comp, decode, |rows| {
+        let mut insts: BTreeMap<RelId, NormalInstance> = rels
+            .iter()
+            .map(|&rel| (rel, NormalInstance::new(rel)))
+            .collect();
+        for (rel, t) in rows {
+            insts.get_mut(&rel).expect("requested relation").push(t);
+        }
+        let dbs: Vec<NormalInstance> = insts.into_values().collect();
+        let db = Database::new(&dbs);
+        let answers: BTreeSet<Vec<Value>> = query.eval(&db).into_iter().collect();
+        let next = match certain.take() {
+            None => answers,
+            Some(acc) => acc.intersection(&answers).cloned().collect(),
+        };
+        let keep_going = !next.is_empty(); // the intersection can only shrink
+        certain = Some(next);
+        keep_going
+    });
+    CertainAnswers::Answers(certain.unwrap_or_default().into_iter().collect())
 }
 
 /// The compiled, query-ready form of a specification.
@@ -648,29 +734,24 @@ impl<'a> CurrencyEngine<'a> {
             &touched,
             "current-instance enumeration (CCQA)",
         )?;
-        let mut certain: Option<BTreeSet<Vec<Value>>> = None;
-        self.for_each_combination(&rels, &per_comp, |rows| {
-            let mut insts: BTreeMap<RelId, NormalInstance> = rels
-                .iter()
-                .map(|&rel| (rel, NormalInstance::new(rel)))
-                .collect();
-            for (rel, t) in rows {
-                insts.get_mut(&rel).expect("requested relation").push(t);
-            }
-            let dbs: Vec<NormalInstance> = insts.into_values().collect();
-            let db = Database::new(&dbs);
-            let answers: BTreeSet<Vec<Value>> = query.eval(&db).into_iter().collect();
-            let next = match certain.take() {
-                None => answers,
-                Some(acc) => acc.intersection(&answers).cloned().collect(),
-            };
-            let keep_going = !next.is_empty(); // the intersection can only shrink
-            certain = Some(next);
-            keep_going
-        });
-        Ok(CertainAnswers::Answers(
-            certain.unwrap_or_default().into_iter().collect(),
+        Ok(intersect_certain_answers(
+            query,
+            &rels,
+            &per_comp,
+            |cm, model| self.decode_locked(&rels, cm, model),
         ))
+    }
+
+    /// Decode one component's chosen model under the component's lock.
+    fn decode_locked(
+        &self,
+        rels: &[RelId],
+        cm: &ComponentModels,
+        model: &[bool],
+    ) -> Vec<(RelId, Tuple)> {
+        let st = self.component(cm.comp);
+        st.enc
+            .decode_restricted(self.spec.as_ref(), rels, &cm.indices, model)
     }
 
     /// The components holding cells of any of `rels`, deduplicated.
@@ -722,55 +803,8 @@ impl<'a> CurrencyEngine<'a> {
                 models,
             })
         })?;
-        let mut product: usize = 1;
-        for cm in &per_comp {
-            product = product.saturating_mul(cm.models.len().max(1));
-            if product > self.opts.max_models {
-                return Err(ReasonError::BudgetExceeded { what });
-            }
-        }
+        check_product_budget(&per_comp, self.opts.max_models, what)?;
         Ok(per_comp)
-    }
-
-    /// Run `f` on the decoded rows of every combination of per-component
-    /// model choices (odometer over the product); `f` returning `false`
-    /// stops the iteration.  With no components, `f` runs once with no
-    /// rows (the empty product has one element).
-    fn for_each_combination(
-        &self,
-        rels: &[RelId],
-        per_comp: &[ComponentModels],
-        mut f: impl FnMut(Vec<(RelId, Tuple)>) -> bool,
-    ) {
-        let mut pick = vec![0usize; per_comp.len()];
-        loop {
-            let mut rows: Vec<(RelId, Tuple)> = Vec::new();
-            for (k, cm) in per_comp.iter().enumerate() {
-                let st = self.component(cm.comp);
-                rows.extend(st.enc.decode_restricted(
-                    self.spec.as_ref(),
-                    rels,
-                    &cm.indices,
-                    &cm.models[pick[k]],
-                ));
-            }
-            if !f(rows) {
-                return;
-            }
-            // Advance the odometer.
-            let mut i = 0;
-            loop {
-                if i == per_comp.len() {
-                    return;
-                }
-                pick[i] += 1;
-                if pick[i] < per_comp[i].models.len() {
-                    break;
-                }
-                pick[i] = 0;
-                i += 1;
-            }
-        }
     }
 
     /// A witness completion from `Mod(S)`, assembled from per-component
@@ -827,14 +861,18 @@ impl<'a> CurrencyEngine<'a> {
         let per_comp =
             self.enumerate_component_models(&rels, &touched, "current-instance enumeration")?;
         let mut out: Vec<NormalInstance> = Vec::new();
-        self.for_each_combination(&rels, &per_comp, |rows| {
-            let mut inst = NormalInstance::new(rel);
-            for (_, t) in rows {
-                inst.push(t);
-            }
-            out.push(inst);
-            true
-        });
+        for_each_combination(
+            &per_comp,
+            |cm, model| self.decode_locked(&rels, cm, model),
+            |rows| {
+                let mut inst = NormalInstance::new(rel);
+                for (_, t) in rows {
+                    inst.push(t);
+                }
+                out.push(inst);
+                true
+            },
+        );
         Ok(out)
     }
 
@@ -884,7 +922,7 @@ fn undecided_cache(slots: usize) -> CpsCache {
     }
 }
 
-fn effective_threads(opts: &Options) -> usize {
+pub(crate) fn effective_threads(opts: &Options) -> usize {
     if opts.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -897,7 +935,7 @@ fn effective_threads(opts: &Options) -> usize {
 /// Run `f(0..n)` and collect results in index order, fanning out across
 /// `threads` workers when the job count warrants it.  The first error
 /// wins; remaining work is still drained (workers are not cancelled).
-fn run_indexed<T, F>(threads: usize, n: usize, f: F) -> Result<Vec<T>, ReasonError>
+pub(crate) fn run_indexed<T, F>(threads: usize, n: usize, f: F) -> Result<Vec<T>, ReasonError>
 where
     T: Send,
     F: Fn(usize) -> Result<T, ReasonError> + Sync,

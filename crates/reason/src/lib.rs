@@ -37,6 +37,15 @@
 //!   [`partition`].
 //!   The pre-partitioning whole-specification path is kept as the
 //!   `*_monolithic` functions for differential testing.
+//!
+//!   For read-mostly concurrent serving, [`snapshot`] refactors the same
+//!   compiled state into epoch-published immutable views: a single
+//!   [`SnapshotEngine`] writer applies deltas through the O(dirty region)
+//!   path and publishes [`EngineSnapshot`]s through a [`SnapshotCell`];
+//!   any number of [`SnapshotReader`]s answer CPS/COP/DCIP/CCQA against
+//!   their pinned epoch with per-reader solver scratch and zero shared
+//!   locks.  The `currency-serve` crate builds the caching/rate-limited
+//!   front door on top.
 //! * **Enumeration reference solvers** ([`enumerate`]): brute-force
 //!   iteration over all completions, used as ground truth in differential
 //!   tests and the ablation benchmarks.
@@ -64,6 +73,7 @@ mod fixpoint;
 pub mod partition;
 mod preserve;
 mod preserve_sp;
+pub mod snapshot;
 mod sp_ptime;
 
 pub use ccqa::{
@@ -83,6 +93,7 @@ pub use fixpoint::{po_infinity, CertainOrders};
 pub use partition::{Partition, RefreshPlan};
 pub use preserve::{bcp, cpp, ecp, maximum_extension, ExtensionSlot, PreservationProblem};
 pub use preserve_sp::{bcp_sp, cpp_sp};
+pub use snapshot::{EngineSnapshot, PublishReport, SnapshotCell, SnapshotEngine, SnapshotReader};
 pub use sp_ptime::{ccqa_sp, certain_answers_sp, poss_instance};
 
 /// How the transitivity axiom of the order encoding is grounded (see

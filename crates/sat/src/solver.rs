@@ -84,7 +84,7 @@ impl std::iter::Sum for SolverStats {
     }
 }
 
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct Clause {
     lits: Vec<Lit>,
     /// Learnt (eligible for database reduction) vs original.
@@ -93,6 +93,28 @@ struct Clause {
     lbd: u32,
     /// Bump-and-decay activity, used to rank deletable learnt clauses.
     activity: f64,
+}
+
+/// Hand-rolled so that `Vec<Clause>::clone_from` (which is element-wise)
+/// reuses each destination clause's literal buffer instead of
+/// re-allocating it — the dominant allocation cost when refreshing a
+/// scratch solver from a shared one.
+impl Clone for Clause {
+    fn clone(&self) -> Self {
+        Clause {
+            lits: self.lits.clone(),
+            learnt: self.learnt,
+            lbd: self.lbd,
+            activity: self.activity,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.lits.clone_from(&source.lits);
+        self.learnt = source.learnt;
+        self.lbd = source.lbd;
+        self.activity = source.activity;
+    }
 }
 
 /// A watch-list entry: the watching clause plus a *blocking literal* — any
@@ -124,7 +146,7 @@ const GLUE_LBD: u32 = 2;
 /// permanently constraining the instance.  Cloning the solver clones the
 /// entire state, which `currency-reason` uses to fork entailment queries
 /// from a shared encoding.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Solver {
     clauses: Vec<Clause>,
     /// `watches[l.code()]` = watchers of clauses (length ≥ 3) currently
@@ -159,6 +181,70 @@ pub struct Solver {
     ok: bool,
     model: Vec<bool>,
     stats: SolverStats,
+}
+
+/// Cloning a solver copies its entire state — clause database, learnt
+/// clauses, watches, activities — so a clone answers exactly like the
+/// original while staying fully private (the basis for per-reader solver
+/// scratch in concurrent serving).
+///
+/// The impl is hand-rolled for `clone_from`: refreshing an existing
+/// scratch solver from a shared one reuses every buffer the scratch
+/// already owns (clause literal vectors, watch lists, trail, heap), so a
+/// reader that re-pins a new snapshot epoch pays memcpys instead of a
+/// fresh allocation per clause and per watch list.
+impl Clone for Solver {
+    fn clone(&self) -> Self {
+        Solver {
+            clauses: self.clauses.clone(),
+            watches: self.watches.clone(),
+            bin_watches: self.bin_watches.clone(),
+            assign: self.assign.clone(),
+            level: self.level.clone(),
+            reason: self.reason.clone(),
+            activity: self.activity.clone(),
+            phase: self.phase.clone(),
+            seen: self.seen.clone(),
+            trail: self.trail.clone(),
+            trail_lim: self.trail_lim.clone(),
+            qhead: self.qhead,
+            heap: self.heap.clone(),
+            var_inc: self.var_inc,
+            cla_inc: self.cla_inc,
+            lbd_stamp: self.lbd_stamp.clone(),
+            lbd_counter: self.lbd_counter,
+            num_learnts: self.num_learnts,
+            max_learnts: self.max_learnts,
+            ok: self.ok,
+            model: self.model.clone(),
+            stats: self.stats,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.clauses.clone_from(&source.clauses);
+        self.watches.clone_from(&source.watches);
+        self.bin_watches.clone_from(&source.bin_watches);
+        self.assign.clone_from(&source.assign);
+        self.level.clone_from(&source.level);
+        self.reason.clone_from(&source.reason);
+        self.activity.clone_from(&source.activity);
+        self.phase.clone_from(&source.phase);
+        self.seen.clone_from(&source.seen);
+        self.trail.clone_from(&source.trail);
+        self.trail_lim.clone_from(&source.trail_lim);
+        self.qhead = source.qhead;
+        self.heap.clone_from(&source.heap);
+        self.var_inc = source.var_inc;
+        self.cla_inc = source.cla_inc;
+        self.lbd_stamp.clone_from(&source.lbd_stamp);
+        self.lbd_counter = source.lbd_counter;
+        self.num_learnts = source.num_learnts;
+        self.max_learnts = source.max_learnts;
+        self.ok = source.ok;
+        self.model.clone_from(&source.model);
+        self.stats = source.stats;
+    }
 }
 
 const NO_REASON: u32 = u32::MAX;

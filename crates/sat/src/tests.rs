@@ -539,3 +539,48 @@ fn enumeration_counts_match_dpll_model_count() {
         );
     }
 }
+
+#[test]
+fn clone_and_clone_from_yield_independent_equivalent_solvers() {
+    // Per-reader scratch relies on two properties of `Clone`: the copy
+    // answers exactly like the original (clause database, learnt clauses
+    // and phases included), and work done on the copy never leaks back.
+    let mut rng = XorShift(0xfeed_f00d_dead_beef);
+    let mut recycled = Solver::new(); // refreshed via clone_from each round
+    for round in 0..60 {
+        let num_vars = 4 + (round % 5);
+        let num_clauses = 2 + (rng.below(3 * num_vars as u64) as usize);
+        let clauses = random_3sat(&mut rng, num_vars, num_clauses);
+        let mut shared = build(num_vars, &clauses);
+        let shared_result = shared.solve(); // accumulate learnt state first
+        let mut fresh = shared.clone();
+        recycled.clone_from(&shared); // reuses the previous round's buffers
+        assert_eq!(fresh.num_vars(), shared.num_vars(), "round {round}");
+        assert_eq!(fresh.num_clauses(), shared.num_clauses(), "round {round}");
+        assert_eq!(
+            recycled.num_clauses(),
+            shared.num_clauses(),
+            "round {round}"
+        );
+        // Both copies agree with the original on every single-assumption
+        // entailment probe.
+        for i in 0..num_vars {
+            for lit in [v(i).pos(), v(i).neg()] {
+                let want = shared.solve_with_assumptions(&[lit]);
+                assert_eq!(fresh.solve_with_assumptions(&[lit]), want, "round {round}");
+                assert_eq!(
+                    recycled.solve_with_assumptions(&[lit]),
+                    want,
+                    "round {round}"
+                );
+            }
+        }
+        // Mutating a copy (extra unit lemma) leaves the original untouched.
+        if shared_result == SolveResult::Sat {
+            let pinned = v(0).pos();
+            fresh.add_clause(&[pinned]);
+            let _ = fresh.solve();
+            assert_eq!(shared.solve(), SolveResult::Sat, "round {round}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The epoch-keyed answer cache.
+//!
+//! Entries are stored under the request itself and stamped with the
+//! epoch they were computed at.  An entry is a hit only when its stamp
+//! equals the *current* epoch, so publishing a new snapshot invalidates
+//! the whole cache for free — no flush, no generation sweep, no writer
+//! involvement.  Stale entries are evicted lazily: on the lookup that
+//! discovers them, and preferentially when a full shard needs room.
+
+use crate::{ServeAnswer, ServeRequest};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
+use std::sync::{Mutex, PoisonError};
+
+type Shard = HashMap<ServeRequest, (u64, ServeAnswer)>;
+
+/// Sharded `Mutex<HashMap>` cache.  Sharding keeps the critical
+/// sections short and disjoint; the expensive work (solving) happens
+/// strictly outside any shard lock, so a panicking solve can poison
+/// nothing — and lookups recover from poisoning anyway, since a cache
+/// entry is inserted atomically-by-value and cannot be half-written.
+pub(crate) struct AnswerCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Eviction threshold per shard (total capacity / shard count).
+    capacity_per_shard: usize,
+    hasher: RandomState,
+}
+
+impl AnswerCache {
+    /// `capacity == 0` disables caching entirely (every lookup misses,
+    /// inserts are dropped).
+    pub(crate) fn new(capacity: usize, shards: usize) -> AnswerCache {
+        let shards = shards.max(1);
+        AnswerCache {
+            shards: if capacity == 0 {
+                Vec::new()
+            } else {
+                (0..shards).map(|_| Mutex::new(Shard::new())).collect()
+            },
+            capacity_per_shard: capacity.div_ceil(shards).max(1),
+            hasher: RandomState::new(),
+        }
+    }
+
+    /// The cached answer for `req` computed at exactly `epoch`, if any.
+    /// A surviving entry from an older epoch is removed on discovery.
+    pub(crate) fn get(&self, req: &ServeRequest, epoch: u64) -> Option<ServeAnswer> {
+        let mut shard = self.shard(req)?;
+        match shard.get(req) {
+            Some((e, ans)) if *e == epoch => Some(ans.clone()),
+            Some(_) => {
+                shard.remove(req);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Record `ans` for `req` at `epoch`, evicting if the shard is full:
+    /// stale-epoch entries go first, then an arbitrary current one.
+    pub(crate) fn insert(&self, req: &ServeRequest, epoch: u64, ans: ServeAnswer) {
+        let Some(mut shard) = self.shard(req) else {
+            return;
+        };
+        if shard.len() >= self.capacity_per_shard && !shard.contains_key(req) {
+            shard.retain(|_, (e, _)| *e == epoch);
+            if shard.len() >= self.capacity_per_shard {
+                if let Some(victim) = shard.keys().next().cloned() {
+                    shard.remove(&victim);
+                }
+            }
+        }
+        shard.insert(req.clone(), (epoch, ans));
+    }
+
+    /// Total resident entries (any epoch), for stats.
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    fn shard(&self, req: &ServeRequest) -> Option<std::sync::MutexGuard<'_, Shard>> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        let ix = (self.hasher.hash_one(req) as usize) % self.shards.len();
+        Some(
+            self.shards[ix]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use currency_core::RelId;
+
+    fn req(rel: u32) -> ServeRequest {
+        ServeRequest::Dcip(RelId(rel))
+    }
+
+    #[test]
+    fn epoch_mismatch_misses_and_evicts() {
+        let cache = AnswerCache::new(16, 2);
+        cache.insert(&req(0), 1, ServeAnswer::Bool(true));
+        assert_eq!(cache.get(&req(0), 1), Some(ServeAnswer::Bool(true)));
+        assert_eq!(cache.get(&req(0), 2), None, "new epoch invalidates");
+        assert_eq!(cache.len(), 0, "stale entry evicted on discovery");
+    }
+
+    #[test]
+    fn full_shard_evicts_stale_entries_first() {
+        let cache = AnswerCache::new(4, 1);
+        for r in 0..4 {
+            cache.insert(&req(r), 1, ServeAnswer::Bool(true));
+        }
+        assert_eq!(cache.len(), 4);
+        // Insert at a newer epoch: the four stale entries make room.
+        cache.insert(&req(9), 2, ServeAnswer::Bool(false));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&req(9), 2), Some(ServeAnswer::Bool(false)));
+    }
+
+    #[test]
+    fn full_shard_of_current_entries_evicts_one() {
+        let cache = AnswerCache::new(2, 1);
+        cache.insert(&req(0), 1, ServeAnswer::Bool(true));
+        cache.insert(&req(1), 1, ServeAnswer::Bool(true));
+        cache.insert(&req(2), 1, ServeAnswer::Bool(true));
+        assert_eq!(cache.len(), 2, "capacity holds");
+        assert_eq!(cache.get(&req(2), 1), Some(ServeAnswer::Bool(true)));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = AnswerCache::new(0, 4);
+        cache.insert(&req(0), 1, ServeAnswer::Bool(true));
+        assert_eq!(cache.get(&req(0), 1), None);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn poisoned_shard_keeps_serving() {
+        let cache = AnswerCache::new(8, 1);
+        cache.insert(&req(0), 1, ServeAnswer::Bool(true));
+        // A thread dies while holding the (only) shard lock...
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.shards[0].lock().unwrap();
+            panic!("simulated crash under the shard lock");
+        }));
+        assert!(caught.is_err());
+        assert!(cache.shards[0].is_poisoned());
+        // ...and the cache shrugs: entries are inserted by value, so the
+        // map cannot be half-written and lookups recover the lock.
+        assert_eq!(cache.get(&req(0), 1), Some(ServeAnswer::Bool(true)));
+        cache.insert(&req(1), 1, ServeAnswer::Bool(false));
+        assert_eq!(cache.get(&req(1), 1), Some(ServeAnswer::Bool(false)));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_same_request_updates_epoch() {
+        let cache = AnswerCache::new(8, 1);
+        cache.insert(&req(0), 1, ServeAnswer::Bool(true));
+        cache.insert(&req(0), 2, ServeAnswer::Bool(false));
+        assert_eq!(cache.get(&req(0), 2), Some(ServeAnswer::Bool(false)));
+        assert_eq!(cache.len(), 1);
+    }
+}

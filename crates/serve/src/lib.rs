@@ -1,0 +1,530 @@
+//! # currency-serve
+//!
+//! The concurrent serving front door for a currency specification: many
+//! reader threads answering CPS/COP/DCIP/CCQA queries while one writer
+//! streams deltas, with nothing shared but epoch-published snapshots.
+//!
+//! Built on [`currency_reason::snapshot`]:
+//!
+//! * [`CurrencyServe`] owns the single [`SnapshotEngine`] writer.
+//!   [`CurrencyServe::apply`] applies a delta and publishes the next
+//!   epoch; it contends with **no reader** — readers hold `Arc`s to
+//!   immutable snapshots.
+//! * [`ServeHandle`] is a cheap per-thread handle (clone one per
+//!   reader).  Each query re-pins the latest published snapshot, then
+//!   consults the shared **epoch-keyed answer cache**: answers are
+//!   stored under `(request, epoch)`, so a cache entry is valid exactly
+//!   until the next publication and invalidation is free — a writer
+//!   bump makes every stale entry unreachable, and they are evicted
+//!   lazily on discovery.  Misses are evaluated against the handle's
+//!   private [`SnapshotReader`] solver scratch (no shared locks) and
+//!   then cached for every other handle.
+//! * Admission is controlled by an optional lock-free token-bucket
+//!   [`RateLimit`], and every counter ([`ServeStats`]) is an atomic, so
+//!   stats scrapes never block queries — and vice versa.
+//!
+//! ```
+//! use currency_serve::{CurrencyServe, ServeOptions};
+//! use currency_core::{Catalog, Eid, RelationSchema, Specification, Tuple, Value};
+//! use currency_reason::Options;
+//!
+//! let mut cat = Catalog::new();
+//! let r = cat.add(RelationSchema::new("Emp", &["salary"]));
+//! let mut spec = Specification::new(cat);
+//! spec.instance_mut(r)
+//!     .push_tuple(Tuple::new(Eid(0), vec![Value::int(50)]))
+//!     .unwrap();
+//!
+//! let serve = CurrencyServe::new(spec, &Options::default(), &ServeOptions::default()).unwrap();
+//! let mut handle = serve.handle(); // one per reader thread
+//! assert!(handle.cps().unwrap());
+//! assert_eq!(serve.stats().cache_misses, 1);
+//! assert!(handle.cps().unwrap()); // same epoch: served from cache
+//! assert_eq!(serve.stats().cache_hits, 1);
+//! ```
+
+mod cache;
+mod rate_limit;
+mod stats;
+
+pub use rate_limit::RateLimit;
+pub use stats::ServeStats;
+
+use cache::AnswerCache;
+use currency_core::{CompactReport, RelId, SpecDelta, Specification, Value};
+use currency_query::Query;
+use currency_reason::snapshot::{EngineSnapshot, PublishReport, SnapshotEngine, SnapshotReader};
+use currency_reason::{CertainAnswers, CurrencyOrderQuery, Options, ReasonError};
+use rate_limit::TokenBucket;
+use stats::{Counters, InflightGuard};
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// A servable query, canonicalized: requests that are `==` (and hash
+/// alike) are the same cache entry.  `Query` compares structurally on
+/// its head and body, so two independently built identical queries
+/// share one entry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ServeRequest {
+    /// Is the specification consistent?
+    Cps,
+    /// Is the currency order certain in every consistent completion?
+    Cop(CurrencyOrderQuery),
+    /// Do all completions agree on the relation's current instance?
+    Dcip(RelId),
+    /// All certain current answers of the query.
+    CertainAnswers(Query),
+    /// Is the tuple a certain current answer of the query?
+    Ccqa(Query, Vec<Value>),
+}
+
+/// The answer to a [`ServeRequest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeAnswer {
+    /// Verdict of a decision problem (CPS/COP/DCIP/CCQA).
+    Bool(bool),
+    /// Result of a [`ServeRequest::CertainAnswers`] request.
+    Answers(CertainAnswers),
+}
+
+impl ServeAnswer {
+    /// The boolean verdict, if this answers a decision problem.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ServeAnswer::Bool(b) => Some(*b),
+            ServeAnswer::Answers(_) => None,
+        }
+    }
+}
+
+/// Errors surfaced by the serving layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The rate limiter rejected the query; retry after backoff.
+    RateLimited,
+    /// The underlying decision procedure failed.
+    Reason(ReasonError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::RateLimited => write!(f, "query rejected by rate limiter"),
+            ServeError::Reason(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::RateLimited => None,
+            ServeError::Reason(e) => Some(e),
+        }
+    }
+}
+
+impl From<ReasonError> for ServeError {
+    fn from(e: ReasonError) -> ServeError {
+        ServeError::Reason(e)
+    }
+}
+
+/// Configuration of the serving layer (the underlying solvers are
+/// configured separately, through [`currency_reason::Options`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Answer-cache capacity in entries across all shards; `0` disables
+    /// caching.
+    pub cache_capacity: usize,
+    /// Number of independent cache shards (more shards, less lock
+    /// contention between concurrent misses; clamped to ≥ 1).
+    pub cache_shards: usize,
+    /// Admission control; `None` admits everything.
+    pub rate_limit: Option<RateLimit>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            cache_capacity: 4096,
+            cache_shards: 8,
+            rate_limit: None,
+        }
+    }
+}
+
+/// State shared by the service and every handle.
+struct ServeShared {
+    cell: Arc<currency_reason::SnapshotCell>,
+    cache: AnswerCache,
+    limiter: Option<TokenBucket>,
+    counters: Counters,
+}
+
+/// A concurrently servable currency specification: one writer, any
+/// number of [`ServeHandle`] readers, an epoch-keyed answer cache.
+pub struct CurrencyServe {
+    writer: Mutex<SnapshotEngine>,
+    shared: Arc<ServeShared>,
+}
+
+impl CurrencyServe {
+    /// Compile `spec` and stand up the serving layer.
+    pub fn new(
+        spec: Specification,
+        engine_opts: &Options,
+        opts: &ServeOptions,
+    ) -> Result<CurrencyServe, ReasonError> {
+        let engine = SnapshotEngine::new(spec, engine_opts)?;
+        Ok(CurrencyServe::from_engine(engine, opts))
+    }
+
+    /// Stand up the serving layer over an already-built writer (e.g. one
+    /// constructed with [`SnapshotEngine::with_value_rels`]).
+    pub fn from_engine(engine: SnapshotEngine, opts: &ServeOptions) -> CurrencyServe {
+        let shared = Arc::new(ServeShared {
+            cell: engine.cell(),
+            cache: AnswerCache::new(opts.cache_capacity, opts.cache_shards),
+            limiter: opts.rate_limit.map(TokenBucket::new),
+            counters: Counters::default(),
+        });
+        CurrencyServe {
+            writer: Mutex::new(engine),
+            shared,
+        }
+    }
+
+    /// A reader handle pinned to the current snapshot; clone (or call
+    /// again) for each reader thread.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            reader: SnapshotReader::new(self.shared.cell.load()),
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Apply a delta and publish the next epoch.  In-flight and future
+    /// reads at the old epoch stay valid; cache entries for old epochs
+    /// become unreachable at once.
+    ///
+    /// The writer lock recovers from poisoning: `SnapshotEngine::apply`
+    /// mutates nothing on the error path and publishes only complete
+    /// snapshots, so a writer thread that panicked elsewhere cannot have
+    /// left it half-updated.
+    pub fn apply(&self, delta: &SpecDelta) -> Result<PublishReport, ReasonError> {
+        self.writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .apply(delta)
+    }
+
+    /// Compact the writer's specification (see [`SnapshotEngine::compact`]).
+    pub fn compact(&self) -> Result<CompactReport, ReasonError> {
+        self.writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .compact()
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.shared.cell.load()
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.cell.load().epoch()
+    }
+
+    /// Scrape the serving counters — lock-free, valid while queries are
+    /// in flight and the writer is publishing.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        ServeStats {
+            epoch: self.shared.cell.load().epoch(),
+            queries: c.queries.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            rate_limited: c.rate_limited.load(Ordering::Relaxed),
+            inflight: c.inflight.load(Ordering::Relaxed),
+            cached_entries: self.shared.cache.len(),
+            latency_ns_total: c.latency_ns_total.load(Ordering::Relaxed),
+            latency_ns_max: c.latency_ns_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A per-thread reader handle: pinned snapshot, private solver scratch,
+/// shared cache and counters.
+///
+/// Queries take `&mut self` (the scratch learns clauses); hand each
+/// thread its own clone.  Cloning is cheap — the new handle shares the
+/// cache and counters and starts with empty scratch.
+pub struct ServeHandle {
+    reader: SnapshotReader,
+    shared: Arc<ServeShared>,
+}
+
+impl Clone for ServeHandle {
+    fn clone(&self) -> ServeHandle {
+        ServeHandle {
+            reader: SnapshotReader::new(self.shared.cell.load()),
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl ServeHandle {
+    /// Answer `req` at the latest published epoch: admission check,
+    /// cache lookup, then (on a miss) evaluation against this handle's
+    /// private scratch — strictly outside any shared lock — and cache
+    /// fill.
+    pub fn query(&mut self, req: &ServeRequest) -> Result<ServeAnswer, ServeError> {
+        let shared = self.shared.clone();
+        if let Some(limiter) = &shared.limiter {
+            if !limiter.try_acquire() {
+                shared.counters.rate_limited.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::RateLimited);
+            }
+        }
+        let _inflight = InflightGuard::enter(&shared.counters.inflight);
+        let start = Instant::now();
+        self.reader.pin(shared.cell.load());
+        let epoch = self.reader.epoch();
+        if let Some(ans) = shared.cache.get(req, epoch) {
+            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.counters.record_latency(saturating_elapsed_ns(start));
+            return Ok(ans);
+        }
+        let ans = match req {
+            ServeRequest::Cps => ServeAnswer::Bool(self.reader.cps()),
+            ServeRequest::Cop(ot) => ServeAnswer::Bool(self.reader.cop(ot)?),
+            ServeRequest::Dcip(rel) => ServeAnswer::Bool(self.reader.dcip(*rel)?),
+            ServeRequest::CertainAnswers(q) => {
+                ServeAnswer::Answers(self.reader.certain_answers(q)?)
+            }
+            ServeRequest::Ccqa(q, tuple) => ServeAnswer::Bool(self.reader.ccqa(q, tuple)?),
+        };
+        shared.cache.insert(req, epoch, ans.clone());
+        shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+        shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        shared.counters.record_latency(saturating_elapsed_ns(start));
+        Ok(ans)
+    }
+
+    /// **CPS** at the latest epoch.
+    pub fn cps(&mut self) -> Result<bool, ServeError> {
+        self.query_bool(ServeRequest::Cps)
+    }
+
+    /// **COP** at the latest epoch.
+    pub fn cop(&mut self, ot: &CurrencyOrderQuery) -> Result<bool, ServeError> {
+        self.query_bool(ServeRequest::Cop(ot.clone()))
+    }
+
+    /// **DCIP** at the latest epoch.
+    pub fn dcip(&mut self, rel: RelId) -> Result<bool, ServeError> {
+        self.query_bool(ServeRequest::Dcip(rel))
+    }
+
+    /// **CCQA** at the latest epoch.
+    pub fn ccqa(&mut self, query: &Query, tuple: &[Value]) -> Result<bool, ServeError> {
+        self.query_bool(ServeRequest::Ccqa(query.clone(), tuple.to_vec()))
+    }
+
+    /// Certain current answers at the latest epoch.
+    pub fn certain_answers(&mut self, query: &Query) -> Result<CertainAnswers, ServeError> {
+        match self.query(&ServeRequest::CertainAnswers(query.clone()))? {
+            ServeAnswer::Answers(a) => Ok(a),
+            ServeAnswer::Bool(_) => unreachable!("CertainAnswers answers with Answers"),
+        }
+    }
+
+    /// The epoch this handle's last query was answered at (handles
+    /// re-pin on every query, so this trails the published epoch only
+    /// between queries).
+    pub fn epoch(&self) -> u64 {
+        self.reader.epoch()
+    }
+
+    /// The snapshot this handle is currently pinned to.
+    pub fn snapshot(&self) -> &Arc<EngineSnapshot> {
+        self.reader.snapshot()
+    }
+
+    fn query_bool(&mut self, req: ServeRequest) -> Result<bool, ServeError> {
+        match self.query(&req)? {
+            ServeAnswer::Bool(b) => Ok(b),
+            ServeAnswer::Answers(_) => unreachable!("decision requests answer with Bool"),
+        }
+    }
+}
+
+fn saturating_elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use currency_core::{
+        AttrId, Catalog, CmpOp, DenialConstraint, Eid, RelationSchema, Term, Tuple, TupleId,
+    };
+    use currency_query::{Atom, Formula, QueryBuilder, Term as QTerm};
+
+    const A: AttrId = AttrId(0);
+
+    fn spec() -> (Specification, RelId) {
+        let mut cat = Catalog::new();
+        let r = cat.add(RelationSchema::new("R", &["A"]));
+        let mut spec = Specification::new(cat);
+        for e in 0..2u64 {
+            for v in [10, 20] {
+                spec.instance_mut(r)
+                    .push_tuple(Tuple::new(Eid(e), vec![Value::int(v + e as i64)]))
+                    .unwrap();
+            }
+        }
+        let monotone = DenialConstraint::builder(r, 2)
+            .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+            .then_order(1, A, 0)
+            .build()
+            .unwrap();
+        spec.add_constraint(monotone).unwrap();
+        (spec, r)
+    }
+
+    fn value_query(r: RelId) -> Query {
+        let mut b = QueryBuilder::new();
+        let x = b.var();
+        b.build(vec![x], Formula::Atom(Atom::new(r, vec![QTerm::Var(x)])))
+    }
+
+    fn serve(opts: &ServeOptions) -> (CurrencyServe, RelId) {
+        let (spec, r) = spec();
+        (
+            CurrencyServe::new(spec, &Options::default(), opts).unwrap(),
+            r,
+        )
+    }
+
+    #[test]
+    fn all_request_kinds_answer_and_cache() {
+        let (serve, r) = serve(&ServeOptions::default());
+        let mut h = serve.handle();
+        let q = value_query(r);
+        let requests = [
+            ServeRequest::Cps,
+            ServeRequest::Cop(CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1))),
+            ServeRequest::Dcip(r),
+            ServeRequest::CertainAnswers(q.clone()),
+            ServeRequest::Ccqa(q, vec![Value::int(20)]),
+        ];
+        let first: Vec<ServeAnswer> = requests.iter().map(|r| h.query(r).unwrap()).collect();
+        assert_eq!(first[0], ServeAnswer::Bool(true)); // CPS: consistent
+        assert_eq!(first[1], ServeAnswer::Bool(true)); // COP: 10 ≺ 20 forced
+        assert_eq!(first[2], ServeAnswer::Bool(true)); // DCIP: orders fully forced
+        assert_eq!(first[4], ServeAnswer::Bool(true)); // CCQA: 20 is entity 0's current
+        let second: Vec<ServeAnswer> = requests.iter().map(|r| h.query(r).unwrap()).collect();
+        assert_eq!(first, second);
+        let stats = serve.stats();
+        assert_eq!(stats.cache_misses, requests.len() as u64);
+        assert_eq!(stats.cache_hits, requests.len() as u64);
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(stats.cached_entries, requests.len());
+        assert_eq!(stats.inflight, 0);
+    }
+
+    #[test]
+    fn cache_hits_are_shared_across_handles() {
+        let (serve, _) = serve(&ServeOptions::default());
+        let mut h1 = serve.handle();
+        let mut h2 = h1.clone();
+        assert!(h1.cps().unwrap());
+        assert!(h2.cps().unwrap());
+        let stats = serve.stats();
+        assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+    }
+
+    #[test]
+    fn publish_invalidates_cached_answers() {
+        let (serve, r) = serve(&ServeOptions::default());
+        let mut h = serve.handle();
+        assert!(h.cps().unwrap());
+        assert!(h.cps().unwrap());
+        // Contradict entity 0's forced order: CPS flips to false.
+        let mut delta = SpecDelta::new();
+        delta.add_order_edge(r, A, TupleId(1), TupleId(0));
+        let report = serve.apply(&delta).unwrap();
+        assert_eq!(report.epoch, serve.epoch());
+        assert!(!h.cps().unwrap(), "stale cached true must not survive");
+        let stats = serve.stats();
+        assert_eq!((stats.cache_misses, stats.cache_hits), (2, 1));
+        assert_eq!(stats.epoch, report.epoch);
+    }
+
+    #[test]
+    fn rate_limiter_rejects_beyond_burst() {
+        let opts = ServeOptions {
+            rate_limit: Some(RateLimit {
+                burst: 2,
+                per_sec: 0,
+            }),
+            ..ServeOptions::default()
+        };
+        let (serve, _) = serve(&opts);
+        let mut h = serve.handle();
+        assert!(h.cps().is_ok());
+        assert!(h.cps().is_ok());
+        assert_eq!(h.cps(), Err(ServeError::RateLimited));
+        let stats = serve.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.rate_limited, 1);
+    }
+
+    #[test]
+    fn disabled_cache_still_answers_correctly() {
+        let opts = ServeOptions {
+            cache_capacity: 0,
+            ..ServeOptions::default()
+        };
+        let (serve, r) = serve(&opts);
+        let mut h = serve.handle();
+        let cop = CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1));
+        assert!(h.cop(&cop).unwrap());
+        assert!(h.cop(&cop).unwrap());
+        let stats = serve.stats();
+        assert_eq!((stats.cache_misses, stats.cache_hits), (2, 0));
+        assert_eq!(stats.cached_entries, 0);
+    }
+
+    #[test]
+    fn error_paths_surface_and_display() {
+        let (spec, r) = spec();
+        let engine = SnapshotEngine::with_value_rels(spec, &[], &Options::default()).unwrap();
+        let serve = CurrencyServe::from_engine(engine, &ServeOptions::default());
+        let mut h = serve.handle();
+        let err = h.dcip(r).unwrap_err();
+        assert!(matches!(err, ServeError::Reason(_)));
+        assert!(err.to_string().contains("value indicators"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(std::error::Error::source(&ServeError::RateLimited).is_none());
+        // Errors are not cached: the next identical request re-evaluates.
+        assert!(h.dcip(r).is_err());
+        assert_eq!(serve.stats().cached_entries, 0);
+    }
+
+    #[test]
+    fn equal_queries_built_independently_share_one_entry() {
+        let (serve, r) = serve(&ServeOptions::default());
+        let mut h = serve.handle();
+        h.certain_answers(&value_query(r)).unwrap();
+        h.certain_answers(&value_query(r)).unwrap();
+        let stats = serve.stats();
+        assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+    }
+}

@@ -1,0 +1,113 @@
+//! Lock-free serving counters and their scraped snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters, every one an atomic: they are bumped on the query hot
+/// path and scraped by monitoring **while queries are in flight**, so no
+/// counter may sit behind a lock a reader could be holding.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) queries: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) rate_limited: AtomicU64,
+    pub(crate) inflight: AtomicU64,
+    pub(crate) latency_ns_total: AtomicU64,
+    pub(crate) latency_ns_max: AtomicU64,
+}
+
+impl Counters {
+    pub(crate) fn record_latency(&self, ns: u64) {
+        self.latency_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time scrape of a service's counters.
+///
+/// Taken without acquiring any lock: the counters are atomics and the
+/// engine-side numbers come from the immutable published snapshot, so a
+/// scrape is safe (and non-blocking) while readers query and the writer
+/// publishes.  The counters are read individually, so a scrape taken
+/// mid-query may be off by the queries completing around it — fine for
+/// monitoring, which is what this is for.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Epoch of the currently published snapshot.
+    pub epoch: u64,
+    /// Queries answered (hits + misses; excludes rate-limited rejects).
+    pub queries: u64,
+    /// Queries answered from the epoch-keyed cache.
+    pub cache_hits: u64,
+    /// Queries that went to a solver (and then populated the cache).
+    pub cache_misses: u64,
+    /// Queries rejected by the rate limiter.
+    pub rate_limited: u64,
+    /// Queries currently being evaluated.
+    pub inflight: u64,
+    /// Entries currently resident in the answer cache (any epoch).
+    pub cached_entries: usize,
+    /// Total evaluation wall time across answered queries, nanoseconds.
+    pub latency_ns_total: u64,
+    /// Worst single answered-query wall time, nanoseconds.
+    pub latency_ns_max: u64,
+}
+
+impl ServeStats {
+    /// Fraction of answered queries served from the cache (0 when no
+    /// queries have been answered).
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean evaluation wall time per answered query, nanoseconds.
+    pub fn mean_latency_ns(&self) -> u64 {
+        self.latency_ns_total.checked_div(self.queries).unwrap_or(0)
+    }
+}
+
+/// RAII in-flight marker: increments on construction, decrements on drop
+/// — including the unwind path, so a panicking solve cannot leave the
+/// gauge stuck high.
+pub(crate) struct InflightGuard<'a>(&'a AtomicU64);
+
+impl<'a> InflightGuard<'a> {
+    pub(crate) fn enter(gauge: &'a AtomicU64) -> InflightGuard<'a> {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        InflightGuard(gauge)
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_mean_handle_zero() {
+        let s = ServeStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.mean_latency_ns(), 0);
+    }
+
+    #[test]
+    fn inflight_guard_decrements_on_unwind() {
+        let gauge = AtomicU64::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = InflightGuard::enter(&gauge);
+            assert_eq!(gauge.load(Ordering::Relaxed), 1);
+            panic!("mid-query crash");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+    }
+}

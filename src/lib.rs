@@ -17,6 +17,9 @@
 //!   entity-partitioned incremental `CurrencyEngine`.
 //! * [`store`] (`currency-store`) — durability: checksummed snapshots, a
 //!   delta write-ahead log, and the crash-recoverable `DurableEngine`.
+//! * [`serve`] (`currency-serve`) — concurrent query serving: epoch-published
+//!   snapshot views, the `CurrencyServe` front door with an epoch-keyed
+//!   answer cache, rate limiting and lock-free serving stats.
 //! * [`sat`] (`currency-sat`) — the CDCL SAT solver substrate.
 //! * [`datagen`] (`currency-datagen`) — paper scenarios, random
 //!   specification generators, and hardness-reduction gadgets.
@@ -29,6 +32,7 @@ pub use currency_datagen as datagen;
 pub use currency_query as query;
 pub use currency_reason as reason;
 pub use currency_sat as sat;
+pub use currency_serve as serve;
 pub use currency_store as store;
 
 /// Convenience prelude importing the most commonly used items.
@@ -40,4 +44,8 @@ pub mod prelude {
     pub use currency_core::*;
     pub use currency_query::{CmpOp as QueryCmpOp, Formula, Query, QueryClass, Term as QueryTerm};
     pub use currency_reason::*;
+    pub use currency_serve::{
+        CurrencyServe, RateLimit, ServeAnswer, ServeError, ServeHandle, ServeOptions, ServeRequest,
+        ServeStats,
+    };
 }
