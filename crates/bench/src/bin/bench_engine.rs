@@ -25,14 +25,14 @@ use currency_bench::measure::{measure, measure_once, Measurement};
 use currency_bench::scenarios;
 use currency_core::{SpecDelta, Specification};
 use currency_reason::{
-    certain_answers_exact_monolithic, cop_exact_monolithic, CurrencyEngine, Options,
-    TransitivityMode,
+    certain_answers_exact_monolithic, cop_exact_monolithic, CurrencyEngine, Options, ReasonError,
+    SnapshotEngine, SolveLimits, TransitivityMode,
 };
-use currency_serve::{CurrencyServe, ServeOptions, ServeRequest, ServeStats};
+use currency_serve::{CurrencyServe, ServeError, ServeOptions, ServeRequest, ServeStats};
 use currency_store::{DurableEngine, StoreOptions};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// Wall-time regression guard for `--check`: lazy end-to-end (engine
@@ -145,6 +145,30 @@ const SERVE_CACHE_HIT_MIN: f64 = 0.90;
 
 /// Passes over the request pool in the deterministic cache workload.
 const SERVE_CACHE_ROUNDS: usize = 50;
+
+/// Bounded-work guard for `--check`: a COP solve on the 128-entity spec
+/// under a starvation budget (1 conflict, 1 propagation) must return
+/// [`ReasonError::Interrupted`] within this wall time (best of
+/// [`INTERRUPTED_COP_TRIES`] calls).  The measured cost is single-digit
+/// microseconds — the budget stops the solver at its very first step —
+/// so 1 ms is ~100× headroom while still catching any unbounded work
+/// (or an un-budgeted solve path) ahead of the interrupt check.
+const INTERRUPTED_COP_WALL_NS: f64 = 1_000_000.0; // 1 ms
+
+/// Attempts for the interrupted-COP wall-time guard (min is taken, so a
+/// scheduler hiccup on one call cannot flake the check).
+const INTERRUPTED_COP_TRIES: usize = 64;
+
+/// Threads in the overload burst: all released by one barrier against a
+/// 2-slot in-flight cap with the cache disabled.
+const BURST_THREADS: usize = 64;
+
+/// In-flight cap for the overload burst.
+const BURST_INFLIGHT_CAP: usize = 2;
+
+/// Queries each burst thread issues (more than one so slow schedulers
+/// still overlap arrivals; every query either answers or sheds cleanly).
+const BURST_QUERIES_PER_THREAD: usize = 4;
 
 struct Args {
     fast: bool,
@@ -631,6 +655,87 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Robustness workload: bounded-work serving.  (a) A COP solve under
+    // a starvation budget (1 conflict, 1 propagation) on the 128-entity
+    // spec must come back Interrupted in far under a millisecond — the
+    // deterministic proof that budgets reach the solver and that
+    // interruption costs the caller nothing.  (b) A barrier-released
+    // burst of 64 threads against a 2-slot in-flight cap (cache off, so
+    // every admitted query really solves) must shed at least one query
+    // with a clean `Overloaded` — and no thread may panic.
+    // ------------------------------------------------------------------
+    eprintln!("robustness: interrupted COP + overload burst");
+    let robust_spec = scenarios::amortized_spec(UPDATE_ENTITIES);
+    let robust_queries = scenarios::amortized_cop_queries(&robust_spec);
+    let snap = SnapshotEngine::new(robust_spec.clone(), &Options::default()).expect("valid spec");
+    let mut bounded = snap.reader();
+    bounded.set_solve_limits(Some(SolveLimits {
+        max_conflicts: Some(1),
+        max_props: Some(1),
+    }));
+    let mut interrupted_min_ns = f64::INFINITY;
+    let mut interrupted_all = true;
+    for _ in 0..INTERRUPTED_COP_TRIES {
+        let t = Instant::now();
+        let verdict = bounded.cop(&robust_queries[0]);
+        let ns = t.elapsed().as_nanos() as f64;
+        interrupted_min_ns = interrupted_min_ns.min(ns);
+        interrupted_all &= matches!(verdict, Err(ReasonError::Interrupted { .. }));
+    }
+    let interrupted_ok = interrupted_all && interrupted_min_ns <= INTERRUPTED_COP_WALL_NS;
+
+    let burst_serve = Arc::new(
+        CurrencyServe::new(
+            robust_spec.clone(),
+            &Options::default(),
+            &ServeOptions {
+                cache_capacity: 0,
+                max_inflight: BURST_INFLIGHT_CAP,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("valid spec"),
+    );
+    let barrier = Arc::new(Barrier::new(BURST_THREADS));
+    let burst: Vec<(u64, u64, u64)> = (0..BURST_THREADS)
+        .map(|i| {
+            let serve = burst_serve.clone();
+            let barrier = barrier.clone();
+            let pool = serve_pool.clone();
+            std::thread::spawn(move || {
+                let mut handle = serve.handle();
+                let (mut answered, mut shed, mut unexpected) = (0u64, 0u64, 0u64);
+                barrier.wait();
+                for k in 0..BURST_QUERIES_PER_THREAD {
+                    match handle.query(&pool[(i + k) % pool.len()]) {
+                        Ok(_) => answered += 1,
+                        Err(ServeError::Overloaded) => shed += 1,
+                        Err(_) => unexpected += 1,
+                    }
+                }
+                (answered, shed, unexpected)
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().expect("burst thread must not panic"))
+        .collect();
+    let burst_answered: u64 = burst.iter().map(|r| r.0).sum();
+    let burst_shed: u64 = burst.iter().map(|r| r.1).sum();
+    let burst_unexpected: u64 = burst.iter().map(|r| r.2).sum();
+    let burst_stats = burst_serve.stats();
+    let shed_ok = burst_shed >= 1 && burst_unexpected == 0 && burst_answered >= 1;
+    let _ = writeln!(
+        json,
+        "  \"robustness\": {{\"interrupted_cop_min_ns\": {interrupted_min_ns:.0}, \
+         \"interrupted_all\": {interrupted_all}, \
+         \"burst_threads\": {BURST_THREADS}, \"burst_inflight_cap\": {BURST_INFLIGHT_CAP}, \
+         \"burst_answered\": {burst_answered}, \"burst_shed\": {burst_shed}, \
+         \"burst_unexpected\": {burst_unexpected}, \"stats_shed\": {}}},",
+        burst_stats.shed
+    );
+
+    // ------------------------------------------------------------------
     // Lazy vs eager transitivity scaling on one large entity group.
     // ------------------------------------------------------------------
     let group_sweep: &[usize] = if args.fast {
@@ -733,7 +838,9 @@ fn main() {
         && replay_count_ok
         && recovery_ok
         && serve_scaling_ok
-        && serve_cache_ok;
+        && serve_cache_ok
+        && interrupted_ok
+        && shed_ok;
     let _ = write!(
         json,
         "  \"check\": {{\"lazy_64_median_ns\": {lazy_64:.0}, \
@@ -756,7 +863,11 @@ fn main() {
          \"serve_scaling_enforced\": {serve_scaling_enforced}, \
          \"serve_collapse_floor\": {SERVE_COLLAPSE_FLOOR:.1}, \
          \"serve_cache_hit_rate\": {serve_cache_hit_rate:.3}, \
-         \"serve_cache_hit_min\": {SERVE_CACHE_HIT_MIN:.2}, \"pass\": {pass}}}\n}}\n"
+         \"serve_cache_hit_min\": {SERVE_CACHE_HIT_MIN:.2}, \
+         \"interrupted_cop_min_ns\": {interrupted_min_ns:.0}, \
+         \"interrupted_cop_wall_ns\": {INTERRUPTED_COP_WALL_NS:.0}, \
+         \"interrupted_ok\": {interrupted_ok}, \
+         \"burst_shed\": {burst_shed}, \"shed_ok\": {shed_ok}, \"pass\": {pass}}}\n}}\n"
     );
 
     std::fs::write(&args.out, &json).expect("write bench JSON");
@@ -835,6 +946,29 @@ fn main() {
                 "REGRESSION: repeated-query cache hit rate {serve_cache_hit_rate:.3} is \
                  below {SERVE_CACHE_HIT_MIN} on a fixed snapshot — epoch keying or \
                  canonicalized request hashing is broken"
+            );
+        }
+        if !interrupted_ok {
+            eprintln!(
+                "REGRESSION: starvation-budget COP on the {UPDATE_ENTITIES}-entity spec \
+                 {} (best of {INTERRUPTED_COP_TRIES}: {:.1} µs, ceiling {:.1} µs) — \
+                 budgets are not reaching the solver, or interruption is doing \
+                 unbounded work first",
+                if interrupted_all {
+                    "was interrupted too slowly"
+                } else {
+                    "returned a verdict instead of Interrupted"
+                },
+                interrupted_min_ns / 1e3,
+                INTERRUPTED_COP_WALL_NS / 1e3
+            );
+        }
+        if !shed_ok {
+            eprintln!(
+                "REGRESSION: {BURST_THREADS}-thread burst against a \
+                 {BURST_INFLIGHT_CAP}-slot in-flight cap answered {burst_answered}, \
+                 shed {burst_shed}, errored {burst_unexpected} — the cap must shed \
+                 overflow with Overloaded and nothing else"
             );
         }
         std::process::exit(1);

@@ -126,9 +126,11 @@ pub fn certain_answers_exact_monolithic(
         models.push(m.to_vec());
         true
     });
-    if matches!(enumeration, Enumeration::LimitReached(_)) {
+    if let Enumeration::LimitReached(n) = enumeration {
         return Err(ReasonError::BudgetExceeded {
             what: "current-instance enumeration (CCQA)",
+            budget: opts.max_models,
+            spent: n,
         });
     }
     if models.is_empty() {

@@ -50,9 +50,11 @@ pub fn dcip_exact_monolithic(
         models.push(m.to_vec());
         models.len() < 2
     });
-    if matches!(enumeration, Enumeration::LimitReached(_)) {
+    if let Enumeration::LimitReached(n) = enumeration {
         return Err(ReasonError::BudgetExceeded {
             what: "current-instance enumeration (DCIP)",
+            budget: opts.max_models,
+            spent: n,
         });
     }
     let mut first: Option<NormalInstance> = None;

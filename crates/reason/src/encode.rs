@@ -45,14 +45,62 @@
 //! collapsing the (huge) completion space to the (small) space of
 //! distinct `LST` outcomes.
 
+use crate::error::ReasonError;
 use crate::partition::{Component, GroundRuleAt, ObligationAt};
 use crate::TransitivityMode;
+use crate::{Options, SolveLimits, Spent};
 use currency_core::{
     AttrId, Completion, CurrencyError, Eid, NormalInstance, RelCompletion, RelId, Specification,
     Tuple, TupleId, Value,
 };
-use currency_sat::{enumerate_projected, Enumeration, Lit, ModelSource, SolveResult, Solver, Var};
+use currency_sat::{
+    enumerate_projected, Enumeration, Limits, Lit, ModelSource, SolveOutcome, SolveResult, Solver,
+    Var,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
+
+/// Conflict installment size for deadline-bounded solves: small enough
+/// that the wall clock is consulted every few milliseconds of search,
+/// large enough that warm-resume overhead (re-establishing assumptions)
+/// is noise.
+const DEADLINE_CHUNK: u64 = 512;
+
+/// The work bounds of one query, distilled from [`Options`]: a per-solve
+/// budget plus an absolute wall-clock deadline.
+///
+/// Bounded solves run in conflict installments (warm resume between
+/// installments makes chunking semantically identical to one long solve),
+/// so the deadline is observed without time syscalls inside the solver's
+/// hot loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bounds {
+    /// Per-SAT-call work budget.
+    pub limits: SolveLimits,
+    /// Absolute wall-clock deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl Bounds {
+    /// The bounds carried by an [`Options`].
+    pub fn from_options(opts: &Options) -> Bounds {
+        Bounds {
+            limits: opts.solve_limits,
+            deadline: opts.deadline,
+        }
+    }
+
+    /// `true` if nothing bounds the work: solves take the zero-overhead
+    /// unbounded path.
+    pub fn is_unbounded(&self) -> bool {
+        self.limits.is_unbounded() && self.deadline.is_none()
+    }
+
+    /// `true` once the wall-clock deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
 
 /// How the current value of one `(relation, entity, attribute)` cell is
 /// represented in the encoding.
@@ -485,6 +533,91 @@ impl Encoding {
         }
     }
 
+    /// [`Encoding::solve`] under work [`Bounds`].
+    pub fn solve_bounded(&mut self, bounds: &Bounds) -> Result<SolveResult, ReasonError> {
+        self.solve_bounded_with_assumptions(&[], bounds)
+    }
+
+    /// [`Encoding::solve_with_assumptions`] under work [`Bounds`]: the
+    /// refinement loop and every SAT decision inside it check the budget
+    /// and the deadline, surfacing [`ReasonError::Interrupted`] instead of
+    /// running unbounded.  Interrupts never yield a wrong verdict, and all
+    /// learnt state (learnt clauses *and* transitivity lemmas) survives
+    /// them, so a retry resumes warm.
+    pub fn solve_bounded_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        bounds: &Bounds,
+    ) -> Result<SolveResult, ReasonError> {
+        if bounds.is_unbounded() {
+            return Ok(self.solve_with_assumptions(assumptions));
+        }
+        let mut spent = Spent::default();
+        loop {
+            match self.solve_sat_bounded(assumptions, bounds, &mut spent)? {
+                SolveResult::Unsat => return Ok(SolveResult::Unsat),
+                SolveResult::Sat => {
+                    if self.mode == TransitivityMode::Eager || self.refine_transitivity() == 0 {
+                        return Ok(SolveResult::Sat);
+                    }
+                    // Lemmas installed; the next round's installment loop
+                    // re-checks the deadline before re-solving.
+                }
+            }
+        }
+    }
+
+    /// One raw SAT decision under `bounds`, run in conflict installments
+    /// so the wall-clock deadline is consulted between installments
+    /// rather than inside the search loop.  `spent` accumulates across
+    /// installments (and across refinement rounds of one bounded call).
+    fn solve_sat_bounded(
+        &mut self,
+        assumptions: &[Lit],
+        bounds: &Bounds,
+        spent: &mut Spent,
+    ) -> Result<SolveResult, ReasonError> {
+        loop {
+            if bounds.expired() {
+                return Err(ReasonError::Interrupted { spent: *spent });
+            }
+            let remaining = |max: Option<u64>, used: u64| -> Result<Option<u64>, ReasonError> {
+                match max {
+                    Some(m) if m > used => Ok(Some(m - used)),
+                    Some(_) => Err(ReasonError::Interrupted { spent: *spent }),
+                    None => Ok(None),
+                }
+            };
+            let conflicts_left = remaining(bounds.limits.max_conflicts, spent.conflicts)?;
+            let props_left = remaining(bounds.limits.max_props, spent.propagations)?;
+            let chunk = if bounds.deadline.is_some() {
+                Some(conflicts_left.unwrap_or(DEADLINE_CHUNK).min(DEADLINE_CHUNK))
+            } else {
+                conflicts_left
+            };
+            let limits = Limits {
+                max_conflicts: chunk,
+                max_props: props_left,
+                stop: None,
+            };
+            let before = self.solver.stats();
+            let outcome = self
+                .solver
+                .solve_limited_with_assumptions(assumptions, &limits);
+            let after = self.solver.stats();
+            spent.conflicts += after.conflicts - before.conflicts;
+            spent.propagations += after.propagations - before.propagations;
+            match outcome {
+                SolveOutcome::Sat => return Ok(SolveResult::Sat),
+                SolveOutcome::Unsat => return Ok(SolveResult::Unsat),
+                // Installment exhausted: loop — either a budget really ran
+                // out (the `remaining` checks above fire) or this was a
+                // deadline chunk and the search resumes warm.
+                SolveOutcome::Interrupted => {}
+            }
+        }
+    }
+
     /// Closure-check the current model and install every violated
     /// triangle as a lemma; returns the number of lemmas added (0 ⇒ the
     /// model is transitive).
@@ -566,6 +699,37 @@ impl Encoding {
         f: impl FnMut(&[bool]) -> bool,
     ) -> Enumeration {
         enumerate_projected(self, projection, limit, f)
+    }
+
+    /// [`Encoding::for_each_model`] under work [`Bounds`]: each solve of
+    /// the All-SAT loop is bounded, and a budget exhaustion or deadline
+    /// expiry surfaces as [`ReasonError::Interrupted`] (the models already
+    /// delivered to `f` were real, but the space was not exhausted).
+    ///
+    /// The per-solve budget applies to each model-finding solve
+    /// individually; the deadline bounds the enumeration as a whole.
+    pub fn for_each_model_bounded(
+        &mut self,
+        projection: &[Var],
+        limit: usize,
+        bounds: &Bounds,
+        f: impl FnMut(&[bool]) -> bool,
+    ) -> Result<Enumeration, ReasonError> {
+        if bounds.is_unbounded() {
+            return Ok(self.for_each_model(projection, limit, f));
+        }
+        let mut src = BoundedSource {
+            enc: self,
+            bounds: *bounds,
+            interrupted: None,
+        };
+        let e = enumerate_projected(&mut src, projection, limit, f);
+        match e {
+            Enumeration::Interrupted(_) => {
+                Err(src.interrupted.take().expect("interrupt was recorded"))
+            }
+            done => Ok(done),
+        }
     }
 
     /// The value-indicator projection (for [`Encoding::for_each_model`]).
@@ -987,8 +1151,8 @@ impl Encoding {
 /// the shared enumeration protocol ([`enumerate_projected`]) only ever
 /// sees closure-checked models.
 impl ModelSource for Encoding {
-    fn solve(&mut self) -> SolveResult {
-        Encoding::solve(self)
+    fn solve(&mut self) -> SolveOutcome {
+        Encoding::solve(self).into()
     }
 
     fn model_value(&self, v: Var) -> bool {
@@ -997,6 +1161,36 @@ impl ModelSource for Encoding {
 
     fn block(&mut self, clause: &[Lit]) -> bool {
         self.solver.add_clause(clause)
+    }
+}
+
+/// A [`ModelSource`] that answers each solve under [`Bounds`], recording
+/// the typed interrupt so [`Encoding::for_each_model_bounded`] can
+/// re-raise it once [`enumerate_projected`] unwinds.
+struct BoundedSource<'e> {
+    enc: &'e mut Encoding,
+    bounds: Bounds,
+    interrupted: Option<ReasonError>,
+}
+
+impl ModelSource for BoundedSource<'_> {
+    fn solve(&mut self) -> SolveOutcome {
+        match self.enc.solve_bounded_with_assumptions(&[], &self.bounds) {
+            Ok(SolveResult::Sat) => SolveOutcome::Sat,
+            Ok(SolveResult::Unsat) => SolveOutcome::Unsat,
+            Err(e) => {
+                self.interrupted = Some(e);
+                SolveOutcome::Interrupted
+            }
+        }
+    }
+
+    fn model_value(&self, v: Var) -> bool {
+        self.enc.solver.model_value(v)
+    }
+
+    fn block(&mut self, clause: &[Lit]) -> bool {
+        self.enc.solver.add_clause(clause)
     }
 }
 

@@ -45,7 +45,7 @@
 
 use crate::ccqa::CertainAnswers;
 use crate::cop::CurrencyOrderQuery;
-use crate::encode::Encoding;
+use crate::encode::{Bounds, Encoding};
 use crate::error::ReasonError;
 use crate::partition::Partition;
 use crate::Options;
@@ -173,7 +173,11 @@ pub(crate) fn check_product_budget(
     for cm in per_comp {
         product = product.saturating_mul(cm.models.len().max(1));
         if product > max_models {
-            return Err(ReasonError::BudgetExceeded { what });
+            return Err(ReasonError::BudgetExceeded {
+                what,
+                budget: max_models,
+                spent: product,
+            });
         }
     }
     Ok(())
@@ -185,25 +189,40 @@ pub(crate) fn check_product_budget(
 /// empty product has one element).  `decode` turns one component's chosen
 /// model into rows — the engine decodes under the component's lock, the
 /// snapshot path against its immutable per-slot encoding.
+///
+/// The odometer itself can run for `max_models` combinations even though
+/// every individual solve finished, so it re-checks `deadline` every
+/// [`COMBINATION_CHECK`] combinations and surfaces
+/// [`ReasonError::Interrupted`] on expiry.
 pub(crate) fn for_each_combination(
     per_comp: &[ComponentModels],
+    deadline: Option<std::time::Instant>,
     mut decode: impl FnMut(&ComponentModels, &[bool]) -> Vec<(RelId, Tuple)>,
     mut f: impl FnMut(Vec<(RelId, Tuple)>) -> bool,
-) {
+) -> Result<(), ReasonError> {
     let mut pick = vec![0usize; per_comp.len()];
+    let mut combos: u64 = 0;
     loop {
+        if let Some(d) = deadline {
+            if combos.is_multiple_of(COMBINATION_CHECK) && std::time::Instant::now() >= d {
+                return Err(ReasonError::Interrupted {
+                    spent: crate::Spent::default(),
+                });
+            }
+            combos += 1;
+        }
         let mut rows: Vec<(RelId, Tuple)> = Vec::new();
         for (k, cm) in per_comp.iter().enumerate() {
             rows.extend(decode(cm, &cm.models[pick[k]]));
         }
         if !f(rows) {
-            return;
+            return Ok(());
         }
         // Advance the odometer.
         let mut i = 0;
         loop {
             if i == per_comp.len() {
-                return;
+                return Ok(());
             }
             pick[i] += 1;
             if pick[i] < per_comp[i].models.len() {
@@ -215,6 +234,11 @@ pub(crate) fn for_each_combination(
     }
 }
 
+/// How often (in combinations) the odometer consults the wall clock.
+/// The first combination always checks, so an already-expired deadline
+/// interrupts before any row is decoded.
+pub(crate) const COMBINATION_CHECK: u64 = 1024;
+
 /// Fold the certain-answer intersection over every realizable combination
 /// of current instances (the common tail of the engine's and the
 /// snapshot's `certain_answers`).
@@ -222,10 +246,11 @@ pub(crate) fn intersect_certain_answers(
     query: &Query,
     rels: &[RelId],
     per_comp: &[ComponentModels],
+    deadline: Option<std::time::Instant>,
     decode: impl FnMut(&ComponentModels, &[bool]) -> Vec<(RelId, Tuple)>,
-) -> CertainAnswers {
+) -> Result<CertainAnswers, ReasonError> {
     let mut certain: Option<BTreeSet<Vec<Value>>> = None;
-    for_each_combination(per_comp, decode, |rows| {
+    for_each_combination(per_comp, deadline, decode, |rows| {
         let mut insts: BTreeMap<RelId, NormalInstance> = rels
             .iter()
             .map(|&rel| (rel, NormalInstance::new(rel)))
@@ -243,8 +268,10 @@ pub(crate) fn intersect_certain_answers(
         let keep_going = !next.is_empty(); // the intersection can only shrink
         certain = Some(next);
         keep_going
-    });
-    CertainAnswers::Answers(certain.unwrap_or_default().into_iter().collect())
+    })?;
+    Ok(CertainAnswers::Answers(
+        certain.unwrap_or_default().into_iter().collect(),
+    ))
 }
 
 /// The compiled, query-ready form of a specification.
@@ -598,18 +625,25 @@ impl<'a> CurrencyEngine<'a> {
     /// Satisfiability of one slot, solved on first demand and cached
     /// (with the aggregate cache book-kept under the slot's lock, so
     /// concurrent solvers of the same slot cannot double-count).
-    fn component_status(&self, ix: usize) -> bool {
+    ///
+    /// The solve runs under [`Options::solve_limits`] / deadline; an
+    /// interrupt leaves `status` as `None` and the slot in the undecided
+    /// set — the cache treats an interrupted slot as *undecided*, never
+    /// unsat — and the cached solver keeps its learnt state, so the next
+    /// attempt resumes warm.
+    fn component_status(&self, ix: usize) -> Result<bool, ReasonError> {
         let mut st = self.component(ix);
         if let Some(sat) = st.status {
-            return sat;
+            return Ok(sat);
         }
-        let sat = st.enc.solve() == SolveResult::Sat;
+        let bounds = Bounds::from_options(&self.opts);
+        let sat = st.enc.solve_bounded(&bounds)? == SolveResult::Sat;
         st.status = Some(sat);
         let mut cache = self.cps_lock();
         if cache.unsolved.remove(&ix) && !sat {
             cache.unsat += 1;
         }
-        sat
+        Ok(sat)
     }
 
     /// **CPS** — is the specification consistent?  Decides only the slots
@@ -634,7 +668,7 @@ impl<'a> CurrencyEngine<'a> {
                 cache.unsolved.iter().copied().collect()
             };
             run_indexed(effective_threads(&self.opts), pending.len(), |k| {
-                Ok(self.component_status(pending[k]))
+                self.component_status(pending[k])
             })?;
         }
     }
@@ -666,7 +700,8 @@ impl<'a> CurrencyEngine<'a> {
             let Some(l) = st.enc.order_lit(ot.rel, attr, lesser, greater) else {
                 return Ok(false);
             };
-            if st.enc.solve_with_assumptions(&[!l]) == SolveResult::Sat {
+            let bounds = Bounds::from_options(&self.opts);
+            if st.enc.solve_bounded_with_assumptions(&[!l], &bounds)? == SolveResult::Sat {
                 return Ok(false);
             }
         }
@@ -691,14 +726,18 @@ impl<'a> CurrencyEngine<'a> {
             }
             let mut enc = st.enc.clone();
             drop(st);
+            let bounds = Bounds::from_options(&self.opts);
             let mut count = 0usize;
-            let enumeration = enc.for_each_model(&vars, self.opts.max_models, |_| {
-                count += 1;
-                count < 2
-            });
-            if matches!(enumeration, Enumeration::LimitReached(_)) {
+            let enumeration =
+                enc.for_each_model_bounded(&vars, self.opts.max_models, &bounds, |_| {
+                    count += 1;
+                    count < 2
+                })?;
+            if let Enumeration::LimitReached(n) = enumeration {
                 return Err(ReasonError::BudgetExceeded {
                     what: "current-instance enumeration (DCIP)",
+                    budget: self.opts.max_models,
+                    spent: n,
                 });
             }
             Ok(count < 2)
@@ -734,12 +773,9 @@ impl<'a> CurrencyEngine<'a> {
             &touched,
             "current-instance enumeration (CCQA)",
         )?;
-        Ok(intersect_certain_answers(
-            query,
-            &rels,
-            &per_comp,
-            |cm, model| self.decode_locked(&rels, cm, model),
-        ))
+        intersect_certain_answers(query, &rels, &per_comp, self.opts.deadline, |cm, model| {
+            self.decode_locked(&rels, cm, model)
+        })
     }
 
     /// Decode one component's chosen model under the component's lock.
@@ -789,13 +825,19 @@ impl<'a> CurrencyEngine<'a> {
             }
             let mut enc = st.enc.clone();
             drop(st);
+            let bounds = Bounds::from_options(&self.opts);
             let mut models: Vec<Vec<bool>> = Vec::new();
-            let enumeration = enc.for_each_model(&vars, self.opts.max_models, |m| {
-                models.push(m.to_vec());
-                true
-            });
-            if matches!(enumeration, Enumeration::LimitReached(_)) {
-                return Err(ReasonError::BudgetExceeded { what });
+            let enumeration =
+                enc.for_each_model_bounded(&vars, self.opts.max_models, &bounds, |m| {
+                    models.push(m.to_vec());
+                    true
+                })?;
+            if let Enumeration::LimitReached(n) = enumeration {
+                return Err(ReasonError::BudgetExceeded {
+                    what,
+                    budget: self.opts.max_models,
+                    spent: n,
+                });
             }
             Ok(ComponentModels {
                 comp: ix,
@@ -863,6 +905,7 @@ impl<'a> CurrencyEngine<'a> {
         let mut out: Vec<NormalInstance> = Vec::new();
         for_each_combination(
             &per_comp,
+            self.opts.deadline,
             |cm, model| self.decode_locked(&rels, cm, model),
             |rows| {
                 let mut inst = NormalInstance::new(rel);
@@ -872,7 +915,7 @@ impl<'a> CurrencyEngine<'a> {
                 out.push(inst);
                 true
             },
-        );
+        )?;
         Ok(out)
     }
 
@@ -1434,6 +1477,115 @@ mod tests {
             };
             let engine = CurrencyEngine::new(&spec, &opts).unwrap();
             assert!(engine.cps().unwrap());
+        }
+    }
+
+    #[test]
+    fn zero_budget_interrupts_every_query_path() {
+        use crate::SolveLimits;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let bounded = Options {
+            solve_limits: SolveLimits {
+                max_conflicts: Some(0),
+                max_props: Some(0),
+            },
+            ..Options::default()
+        };
+        let engine = CurrencyEngine::new(&spec, &bounded).unwrap();
+        // Every solve-backed path surfaces the typed interrupt — never a
+        // verdict, never a panic.
+        assert!(matches!(engine.cps(), Err(ReasonError::Interrupted { .. })));
+        assert!(matches!(
+            engine.cop(&CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1))),
+            Err(ReasonError::Interrupted { .. })
+        ));
+        assert!(matches!(
+            engine.dcip(r),
+            Err(ReasonError::Interrupted { .. })
+        ));
+        let mut b = QueryBuilder::new();
+        let x = b.var();
+        let q = b.build(vec![x], Formula::Atom(Atom::new(r, vec![QTerm::Var(x)])));
+        assert!(matches!(
+            engine.certain_answers(&q),
+            Err(ReasonError::Interrupted { .. })
+        ));
+        assert!(matches!(
+            engine.current_instances(r),
+            Err(ReasonError::Interrupted { .. })
+        ));
+        // The interrupted slots stayed undecided: the same spec under an
+        // unbounded engine is satisfiable, so a cached "unsat" would be a
+        // soundness bug.
+        let unbounded = CurrencyEngine::new(&spec, &Options::default()).unwrap();
+        assert!(unbounded.cps().unwrap());
+        // Repeating the bounded query still interrupts (the cache did not
+        // absorb a wrong verdict from the earlier interruption).
+        assert!(matches!(engine.cps(), Err(ReasonError::Interrupted { .. })));
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_and_generous_deadline_completes() {
+        use std::time::{Duration, Instant};
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let expired = Options {
+            deadline: Some(Instant::now()),
+            ..Options::default()
+        };
+        let engine = CurrencyEngine::new(&spec, &expired).unwrap();
+        assert!(matches!(engine.cps(), Err(ReasonError::Interrupted { .. })));
+        assert!(matches!(
+            engine.dcip(r),
+            Err(ReasonError::Interrupted { .. })
+        ));
+        let generous = Options {
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+            ..Options::default()
+        };
+        let engine = CurrencyEngine::new(&spec, &generous).unwrap();
+        assert!(engine.cps().unwrap());
+        assert!(engine.dcip(r).unwrap());
+        assert!(engine
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)))
+            .unwrap());
+    }
+
+    #[test]
+    fn escalating_budgets_reach_the_unbounded_verdict() {
+        use crate::SolveLimits;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let oracle = CurrencyEngine::new(&spec, &Options::default())
+            .unwrap()
+            .cps()
+            .unwrap();
+        let mut budget: u64 = 1;
+        loop {
+            let opts = Options {
+                solve_limits: SolveLimits {
+                    max_conflicts: Some(budget),
+                    max_props: Some(budget * 64),
+                },
+                ..Options::default()
+            };
+            let engine = CurrencyEngine::new(&spec, &opts).unwrap();
+            match engine.cps() {
+                Ok(v) => {
+                    assert_eq!(v, oracle, "first decided verdict must match");
+                    break;
+                }
+                Err(ReasonError::Interrupted { spent }) => {
+                    assert!(
+                        spent.conflicts <= budget || spent.propagations > 0,
+                        "spent accounting is sane: {spent:?}"
+                    );
+                    budget *= 2;
+                    assert!(budget < 1 << 30, "budget escalation diverged");
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
         }
     }
 }

@@ -49,6 +49,8 @@ pub fn for_each_consistent_completion(
                 if total > limit {
                     return Err(ReasonError::BudgetExceeded {
                         what: "completion enumeration",
+                        budget: limit,
+                        spent: total,
                     });
                 }
                 cells.push(Cell {

@@ -12,6 +12,18 @@ pub enum ReasonError {
     BudgetExceeded {
         /// Which budget was exhausted.
         what: &'static str,
+        /// The configured budget that was exceeded.
+        budget: usize,
+        /// The amount actually spent when the guard fired (≥ `budget`).
+        spent: usize,
+    },
+    /// A cooperative work budget ([`crate::Options::solve_limits`] or
+    /// [`crate::Options::deadline`]) interrupted the query before it was
+    /// decided.  Never a verdict: the touched component stays undecided
+    /// and a retry resumes the search warm.
+    Interrupted {
+        /// Solver work performed before the interrupt.
+        spent: crate::Spent,
     },
     /// A query-shaped input was required but not met (e.g. an SP-only
     /// algorithm received a non-SP query).
@@ -25,8 +37,22 @@ impl fmt::Display for ReasonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReasonError::Currency(e) => write!(f, "invalid specification: {e}"),
-            ReasonError::BudgetExceeded { what } => {
-                write!(f, "exact solver budget exceeded: {what}")
+            ReasonError::BudgetExceeded {
+                what,
+                budget,
+                spent,
+            } => {
+                write!(
+                    f,
+                    "exact solver budget exceeded: {what} (budget {budget}, spent {spent})"
+                )
+            }
+            ReasonError::Interrupted { spent } => {
+                write!(
+                    f,
+                    "query interrupted by work budget after {} conflicts and {} propagations",
+                    spent.conflicts, spent.propagations
+                )
             }
             ReasonError::UnsupportedQuery { detail } => {
                 write!(f, "unsupported query: {detail}")
@@ -61,8 +87,22 @@ mod tests {
         });
         assert!(e.to_string().contains("R"));
         assert!(std::error::Error::source(&e).is_some());
-        let b = ReasonError::BudgetExceeded { what: "models" };
+        let b = ReasonError::BudgetExceeded {
+            what: "models",
+            budget: 8,
+            spent: 9,
+        };
         assert!(b.to_string().contains("models"));
+        assert!(b.to_string().contains("budget 8"));
+        assert!(b.to_string().contains("spent 9"));
         assert!(std::error::Error::source(&b).is_none());
+        let i = ReasonError::Interrupted {
+            spent: crate::Spent {
+                conflicts: 3,
+                propagations: 41,
+            },
+        };
+        assert!(i.to_string().contains("3 conflicts"));
+        assert!(i.to_string().contains("41 propagations"));
     }
 }

@@ -86,6 +86,7 @@ pub use cps::{
     witness_completion_monolithic,
 };
 pub use dcip::{dcip, dcip_exact, dcip_exact_monolithic, dcip_ptime};
+pub use encode::Bounds;
 pub use engine::{ApplyReport, CurrencyEngine, EngineStats};
 pub use error::ReasonError;
 pub use explain::{explain_inconsistency, InconsistencyCore, SpecComponent};
@@ -95,6 +96,40 @@ pub use preserve::{bcp, cpp, ecp, maximum_extension, ExtensionSlot, Preservation
 pub use preserve_sp::{bcp_sp, cpp_sp};
 pub use snapshot::{EngineSnapshot, PublishReport, SnapshotCell, SnapshotEngine, SnapshotReader};
 pub use sp_ptime::{ccqa_sp, certain_answers_sp, poss_instance};
+
+/// Per-call SAT work budget threaded down to `currency-sat`.
+///
+/// Unlike [`Options::max_models`] (which bounds how many *models* an
+/// enumeration may visit), these bound the work of each individual SAT
+/// decision — the knob that matters when a single solve is the thing that
+/// refuses to terminate.  Exhaustion surfaces as
+/// [`ReasonError::Interrupted`]; cached per-component solvers keep their
+/// learnt state, so retrying the same query grants the search another
+/// installment and it resumes warm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveLimits {
+    /// Interrupt a solve after this many conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Interrupt a solve after this many unit propagations.
+    pub max_props: Option<u64>,
+}
+
+impl SolveLimits {
+    /// `true` if no per-solve budget is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_conflicts.is_none() && self.max_props.is_none()
+    }
+}
+
+/// Work actually performed before an interrupt, reported in
+/// [`ReasonError::Interrupted`] so callers can size the retry budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Spent {
+    /// Conflicts hit before the interrupt.
+    pub conflicts: u64,
+    /// Unit propagations performed before the interrupt.
+    pub propagations: u64,
+}
 
 /// How the transitivity axiom of the order encoding is grounded (see
 /// [`encode`]).
@@ -164,6 +199,17 @@ pub struct Options {
     /// run and de-synchronize tuple ids (the recovery path detects this
     /// and fails cleanly rather than diverging silently).
     pub auto_compact_tombstones: usize,
+    /// Per-SAT-call work budget (unbounded by default).  Checked by every
+    /// engine/snapshot solve path; exhaustion surfaces as
+    /// [`ReasonError::Interrupted`] and leaves the touched component
+    /// undecided — never mis-cached as unsat.
+    pub solve_limits: SolveLimits,
+    /// Wall-clock deadline for a whole query (`None` = no deadline).
+    /// Bounded solves run in conflict installments so the deadline is
+    /// observed without any time syscalls inside the solver's hot loop,
+    /// and the CCQA/current-instance odometer re-checks it between
+    /// combination batches.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for Options {
@@ -174,6 +220,8 @@ impl Default for Options {
             threads: 0,
             transitivity: TransitivityMode::default(),
             auto_compact_tombstones: 0,
+            solve_limits: SolveLimits::default(),
+            deadline: None,
         }
     }
 }

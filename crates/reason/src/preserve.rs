@@ -257,26 +257,33 @@ pub fn cpp(problem: &PreservationProblem, opts: &Options) -> Result<bool, Reason
     let mut seen: BTreeSet<Vec<[u64; 4]>> = BTreeSet::new();
     let mut budget = opts.max_extensions;
     let mut changed = false;
-    for_each_choice(&slots, &mut Vec::new(), 0, &mut budget, &mut |actions| {
-        if actions.is_empty() {
-            return Ok(true); // ρ̄ itself is not in Ext(ρ̄)
-        }
-        let Some(ext) = apply_extension(problem.spec, actions) else {
-            return Ok(true);
-        };
-        if !seen.insert(extension_signature(problem.spec, &ext)) {
-            return Ok(true); // equivalent extension already checked
-        }
-        if !cps(&ext)? {
-            return Ok(true); // Mod(Sᵉ) = ∅: not quantified over
-        }
-        let ans = certain_answers(&ext, problem.query, opts)?;
-        if ans != base {
-            changed = true;
-            return Ok(false); // witness found: stop the enumeration
-        }
-        Ok(true)
-    })?;
+    for_each_choice(
+        &slots,
+        &mut Vec::new(),
+        0,
+        opts.max_extensions,
+        &mut budget,
+        &mut |actions| {
+            if actions.is_empty() {
+                return Ok(true); // ρ̄ itself is not in Ext(ρ̄)
+            }
+            let Some(ext) = apply_extension(problem.spec, actions) else {
+                return Ok(true);
+            };
+            if !seen.insert(extension_signature(problem.spec, &ext)) {
+                return Ok(true); // equivalent extension already checked
+            }
+            if !cps(&ext)? {
+                return Ok(true); // Mod(Sᵉ) = ∅: not quantified over
+            }
+            let ans = certain_answers(&ext, problem.query, opts)?;
+            if ans != base {
+                changed = true;
+                return Ok(false); // witness found: stop the enumeration
+            }
+            Ok(true)
+        },
+    )?;
     Ok(!changed)
 }
 
@@ -330,27 +337,35 @@ pub fn bcp(problem: &PreservationProblem, k: usize, opts: &Options) -> Result<bo
     let slots = viable_slots(problem.spec, extension_slots(problem.spec, problem.sources))?;
     let mut budget = opts.max_extensions;
     let mut found = false;
-    for_each_bounded_choice(&slots, k, &mut Vec::new(), 0, &mut budget, &mut |actions| {
-        if actions.is_empty() {
-            return Ok(true);
-        }
-        let Some(ext) = apply_extension(problem.spec, actions) else {
-            return Ok(true);
-        };
-        if !cps(&ext)? {
-            return Ok(true);
-        }
-        let sub = PreservationProblem {
-            spec: &ext,
-            sources: problem.sources,
-            query: problem.query,
-        };
-        if cpp(&sub, opts)? {
-            found = true;
-            return Ok(false);
-        }
-        Ok(true)
-    })?;
+    for_each_bounded_choice(
+        &slots,
+        k,
+        &mut Vec::new(),
+        0,
+        opts.max_extensions,
+        &mut budget,
+        &mut |actions| {
+            if actions.is_empty() {
+                return Ok(true);
+            }
+            let Some(ext) = apply_extension(problem.spec, actions) else {
+                return Ok(true);
+            };
+            if !cps(&ext)? {
+                return Ok(true);
+            }
+            let sub = PreservationProblem {
+                spec: &ext,
+                sources: problem.sources,
+                query: problem.query,
+            };
+            if cpp(&sub, opts)? {
+                found = true;
+                return Ok(false);
+            }
+            Ok(true)
+        },
+    )?;
     Ok(found)
 }
 
@@ -360,6 +375,7 @@ fn for_each_choice(
     slots: &[ExtensionSlot],
     chosen: &mut Vec<ExtensionSlot>,
     ix: usize,
+    limit: usize,
     budget: &mut usize,
     f: &mut impl FnMut(&[ExtensionSlot]) -> Result<bool, ReasonError>,
 ) -> Result<bool, ReasonError> {
@@ -367,16 +383,18 @@ fn for_each_choice(
         if *budget == 0 {
             return Err(ReasonError::BudgetExceeded {
                 what: "copy-function extension enumeration",
+                budget: limit,
+                spent: limit.saturating_add(1),
             });
         }
         *budget -= 1;
         return f(chosen);
     }
-    if !for_each_choice(slots, chosen, ix + 1, budget, f)? {
+    if !for_each_choice(slots, chosen, ix + 1, limit, budget, f)? {
         return Ok(false);
     }
     chosen.push(slots[ix].clone());
-    let cont = for_each_choice(slots, chosen, ix + 1, budget, f)?;
+    let cont = for_each_choice(slots, chosen, ix + 1, limit, budget, f)?;
     chosen.pop();
     Ok(cont)
 }
@@ -387,6 +405,7 @@ fn for_each_bounded_choice(
     k: usize,
     chosen: &mut Vec<ExtensionSlot>,
     ix: usize,
+    limit: usize,
     budget: &mut usize,
     f: &mut impl FnMut(&[ExtensionSlot]) -> Result<bool, ReasonError>,
 ) -> Result<bool, ReasonError> {
@@ -394,17 +413,19 @@ fn for_each_bounded_choice(
         if *budget == 0 {
             return Err(ReasonError::BudgetExceeded {
                 what: "bounded copy-function extension enumeration",
+                budget: limit,
+                spent: limit.saturating_add(1),
             });
         }
         *budget -= 1;
         return f(chosen);
     }
-    if !for_each_bounded_choice(slots, k, chosen, ix + 1, budget, f)? {
+    if !for_each_bounded_choice(slots, k, chosen, ix + 1, limit, budget, f)? {
         return Ok(false);
     }
     if chosen.len() < k {
         chosen.push(slots[ix].clone());
-        let cont = for_each_bounded_choice(slots, k, chosen, ix + 1, budget, f)?;
+        let cont = for_each_bounded_choice(slots, k, chosen, ix + 1, limit, budget, f)?;
         chosen.pop();
         if !cont {
             return Ok(false);

@@ -279,12 +279,15 @@ pub fn bcp_sp(
         k: usize,
         ix: usize,
         chosen: &mut Vec<ExtensionSlot>,
+        limit: usize,
         budget: &mut usize,
     ) -> Result<bool, ReasonError> {
         if !chosen.is_empty() {
             if *budget == 0 {
                 return Err(ReasonError::BudgetExceeded {
                     what: "bounded SP extension enumeration",
+                    budget: limit,
+                    spent: limit.saturating_add(1),
                 });
             }
             *budget -= 1;
@@ -299,14 +302,24 @@ pub fn bcp_sp(
         }
         for j in ix..slots.len() {
             chosen.push(slots[j].clone());
-            if recurse(spec, sources, query, slots, k, j + 1, chosen, budget)? {
+            if recurse(spec, sources, query, slots, k, j + 1, chosen, limit, budget)? {
                 return Ok(true);
             }
             chosen.pop();
         }
         Ok(false)
     }
-    recurse(spec, sources, query, &slots, k, 0, &mut chosen, &mut budget)
+    recurse(
+        spec,
+        sources,
+        query,
+        &slots,
+        k,
+        0,
+        &mut chosen,
+        opts.max_extensions,
+        &mut budget,
+    )
 }
 
 /// Certain answers used by tests: the SP answer set.

@@ -40,21 +40,23 @@
 
 use crate::ccqa::CertainAnswers;
 use crate::cop::CurrencyOrderQuery;
-use crate::encode::Encoding;
+use crate::encode::{Bounds, Encoding};
 use crate::engine::{
     check_product_budget, effective_threads, for_each_combination, intersect_certain_answers,
     run_indexed, ComponentModels, EngineStats,
 };
 use crate::error::ReasonError;
 use crate::partition::Partition;
-use crate::Options;
+use crate::{Options, SolveLimits};
 use currency_core::NormalInstance;
 use currency_core::{CompactReport, RelId, SpecDelta, Specification, TupleId, Value};
 use currency_query::Query;
 use currency_sat::{Enumeration, SolveResult};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One component slot of a snapshot: the compiled encoding (already
 /// solved, so its satisfiability and learnt clauses are baked in) plus
@@ -161,10 +163,17 @@ impl EngineSnapshot {
     /// `rel`?  Enumerates at most two rel-projected models per touched
     /// component on throwaway clones of the shared encodings.
     pub fn dcip(&self, rel: RelId) -> Result<bool, ReasonError> {
+        self.dcip_with(rel, &self.opts)
+    }
+
+    /// [`EngineSnapshot::dcip`] under a caller-supplied `Options` (the
+    /// [`SnapshotReader`] threads its per-request deadline through here).
+    pub(crate) fn dcip_with(&self, rel: RelId, opts: &Options) -> Result<bool, ReasonError> {
         self.require_value_rel(rel)?;
         if !self.consistent {
             return Ok(true); // vacuously deterministic
         }
+        let bounds = Bounds::from_options(opts);
         let touched = self.partition.components_touching(rel);
         for ix in touched {
             let shared = &self.slots[ix].enc;
@@ -174,13 +183,16 @@ impl EngineSnapshot {
             }
             let mut enc = (**shared).clone();
             let mut count = 0usize;
-            let enumeration = enc.for_each_model(&vars, self.opts.max_models, |_| {
-                count += 1;
-                count < 2
-            });
-            if matches!(enumeration, Enumeration::LimitReached(_)) {
+            let enumeration =
+                enc.for_each_model_bounded(&vars, opts.max_models, &bounds, |_| {
+                    count += 1;
+                    count < 2
+                })?;
+            if let Enumeration::LimitReached(n) = enumeration {
                 return Err(ReasonError::BudgetExceeded {
                     what: "current-instance enumeration (DCIP)",
+                    budget: opts.max_models,
+                    spent: n,
                 });
             }
             if count >= 2 {
@@ -200,6 +212,16 @@ impl EngineSnapshot {
     /// immutable encodings, with All-SAT blocking clauses confined to
     /// throwaway clones.
     pub fn certain_answers(&self, query: &Query) -> Result<CertainAnswers, ReasonError> {
+        self.certain_answers_with(query, &self.opts)
+    }
+
+    /// [`EngineSnapshot::certain_answers`] under a caller-supplied
+    /// `Options`.
+    pub(crate) fn certain_answers_with(
+        &self,
+        query: &Query,
+        opts: &Options,
+    ) -> Result<CertainAnswers, ReasonError> {
         let rels: Vec<RelId> = query.body().relations().into_iter().collect();
         for &rel in &rels {
             self.require_value_rel(rel)?;
@@ -211,19 +233,27 @@ impl EngineSnapshot {
         let per_comp = self.enumerate_component_models(
             &rels,
             &touched,
+            opts,
             "current-instance enumeration (CCQA)",
         )?;
-        Ok(intersect_certain_answers(
-            query,
-            &rels,
-            &per_comp,
-            |cm, model| self.decode(&rels, cm, model),
-        ))
+        intersect_certain_answers(query, &rels, &per_comp, opts.deadline, |cm, model| {
+            self.decode(&rels, cm, model)
+        })
     }
 
     /// The realizable current instances of `rel` (up to the model
     /// budget), composed across components.
     pub fn current_instances(&self, rel: RelId) -> Result<Vec<NormalInstance>, ReasonError> {
+        self.current_instances_with(rel, &self.opts)
+    }
+
+    /// [`EngineSnapshot::current_instances`] under a caller-supplied
+    /// `Options`.
+    pub(crate) fn current_instances_with(
+        &self,
+        rel: RelId,
+        opts: &Options,
+    ) -> Result<Vec<NormalInstance>, ReasonError> {
         self.require_value_rel(rel)?;
         if !self.consistent {
             return Ok(Vec::new());
@@ -231,10 +261,11 @@ impl EngineSnapshot {
         let rels = [rel];
         let touched = self.partition.components_touching(rel);
         let per_comp =
-            self.enumerate_component_models(&rels, &touched, "current-instance enumeration")?;
+            self.enumerate_component_models(&rels, &touched, opts, "current-instance enumeration")?;
         let mut out: Vec<NormalInstance> = Vec::new();
         for_each_combination(
             &per_comp,
+            opts.deadline,
             |cm, model| self.decode(&rels, cm, model),
             |rows| {
                 let mut inst = NormalInstance::new(rel);
@@ -244,7 +275,7 @@ impl EngineSnapshot {
                 out.push(inst);
                 true
             },
-        );
+        )?;
         Ok(out)
     }
 
@@ -277,9 +308,10 @@ impl EngineSnapshot {
         &self,
         rels: &[RelId],
         comps: &[usize],
+        opts: &Options,
         what: &'static str,
     ) -> Result<Vec<ComponentModels>, ReasonError> {
-        let per_comp = run_indexed(effective_threads(&self.opts), comps.len(), |k| {
+        let per_comp = run_indexed(effective_threads(opts), comps.len(), |k| {
             let ix = comps[k];
             let shared = &self.slots[ix].enc;
             let (indices, vars) = shared.restricted_projection(rels);
@@ -291,14 +323,19 @@ impl EngineSnapshot {
                     models: vec![Vec::new()],
                 });
             }
+            let bounds = Bounds::from_options(opts);
             let mut enc = (**shared).clone();
             let mut models: Vec<Vec<bool>> = Vec::new();
-            let enumeration = enc.for_each_model(&vars, self.opts.max_models, |m| {
+            let enumeration = enc.for_each_model_bounded(&vars, opts.max_models, &bounds, |m| {
                 models.push(m.to_vec());
                 true
-            });
-            if matches!(enumeration, Enumeration::LimitReached(_)) {
-                return Err(ReasonError::BudgetExceeded { what });
+            })?;
+            if let Enumeration::LimitReached(n) = enumeration {
+                return Err(ReasonError::BudgetExceeded {
+                    what,
+                    budget: opts.max_models,
+                    spent: n,
+                });
             }
             Ok(ComponentModels {
                 comp: ix,
@@ -306,7 +343,7 @@ impl EngineSnapshot {
                 models,
             })
         })?;
-        check_product_budget(&per_comp, self.opts.max_models, what)?;
+        check_product_budget(&per_comp, opts.max_models, what)?;
         Ok(per_comp)
     }
 
@@ -334,12 +371,18 @@ impl EngineSnapshot {
 /// neither wedge the writer's publish path nor corrupt the view.
 pub struct SnapshotCell {
     current: Mutex<Arc<EngineSnapshot>>,
+    /// Poison recoveries on `load`/`store`: the recovery is safe (the
+    /// protected value is an `Arc` a panic cannot tear) but it means a
+    /// reader died mid-operation, so it is counted instead of swallowed —
+    /// `currency-serve` surfaces it as `ServeStats::degraded_events`.
+    degraded: AtomicU64,
 }
 
 impl SnapshotCell {
     fn new(snap: Arc<EngineSnapshot>) -> SnapshotCell {
         SnapshotCell {
             current: Mutex::new(snap),
+            degraded: AtomicU64::new(0),
         }
     }
 
@@ -347,7 +390,13 @@ impl SnapshotCell {
     pub fn load(&self) -> Arc<EngineSnapshot> {
         self.current
             .lock()
-            .unwrap_or_else(PoisonError::into_inner)
+            .unwrap_or_else(|poisoned| {
+                // Clear the flag so one crash is one event, not one per
+                // subsequent load.
+                self.current.clear_poison();
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                poisoned.into_inner()
+            })
             .clone()
     }
 
@@ -356,8 +405,20 @@ impl SnapshotCell {
         self.load().epoch
     }
 
+    /// Times a `load`/`store` recovered from a poisoned lock (a reader
+    /// or writer panicked while holding it).  Each recovery is benign in
+    /// isolation, but a climbing count means queries are crashing —
+    /// operators should see it, not have it recovered silently.
+    pub fn degraded_events(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
     fn store(&self, next: Arc<EngineSnapshot>) {
-        *self.current.lock().unwrap_or_else(PoisonError::into_inner) = next;
+        *self.current.lock().unwrap_or_else(|poisoned| {
+            self.current.clear_poison();
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        }) = next;
     }
 }
 
@@ -686,6 +747,11 @@ pub struct SnapshotReader {
     scratch: HashMap<usize, ScratchSlot>,
     scratch_clones: u64,
     scratch_refreshes: u64,
+    /// Per-request wall-clock deadline layered over the snapshot's
+    /// options for every query until changed.
+    deadline: Option<Instant>,
+    /// Per-solve budget override layered over the snapshot's options.
+    solve_limits: Option<SolveLimits>,
 }
 
 impl SnapshotReader {
@@ -696,7 +762,36 @@ impl SnapshotReader {
             scratch: HashMap::new(),
             scratch_clones: 0,
             scratch_refreshes: 0,
+            deadline: None,
+            solve_limits: None,
         }
+    }
+
+    /// Set (or clear) the wall-clock deadline applied to every following
+    /// query on this reader.  A query that cannot finish in time returns
+    /// [`ReasonError::Interrupted`] — never a wrong verdict — and leaves
+    /// the reader usable; serving layers set this per request.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Set (or clear) a per-solve work budget overriding the snapshot's
+    /// [`Options::solve_limits`] for every following query.
+    pub fn set_solve_limits(&mut self, limits: Option<SolveLimits>) {
+        self.solve_limits = limits;
+    }
+
+    /// The snapshot's options with this reader's per-request overrides
+    /// applied.
+    fn effective_options(&self) -> Options {
+        let mut opts = self.snap.opts;
+        if self.deadline.is_some() {
+            opts.deadline = self.deadline;
+        }
+        if let Some(limits) = self.solve_limits {
+            opts.solve_limits = limits;
+        }
+        opts
     }
 
     /// Re-pin to `snap` (typically a fresh [`SnapshotCell::load`]).
@@ -754,11 +849,12 @@ impl SnapshotReader {
                 .partition
                 .component_of(ot.rel, lt.eid)
                 .expect("every entity has a component");
+            let bounds = Bounds::from_options(&self.effective_options());
             let enc = self.scratch_mut(ix);
             let Some(l) = enc.order_lit(ot.rel, attr, lesser, greater) else {
                 return Ok(false);
             };
-            if enc.solve_with_assumptions(&[!l]) == SolveResult::Sat {
+            if enc.solve_bounded_with_assumptions(&[!l], &bounds)? == SolveResult::Sat {
                 return Ok(false);
             }
         }
@@ -767,24 +863,26 @@ impl SnapshotReader {
 
     /// **DCIP** at the pinned epoch (see [`EngineSnapshot::dcip`]).
     pub fn dcip(&self, rel: RelId) -> Result<bool, ReasonError> {
-        self.snap.dcip(rel)
+        self.snap.dcip_with(rel, &self.effective_options())
     }
 
     /// **CCQA** at the pinned epoch (see [`EngineSnapshot::ccqa`]).
     pub fn ccqa(&self, query: &Query, tuple: &[Value]) -> Result<bool, ReasonError> {
-        self.snap.ccqa(query, tuple)
+        Ok(self.certain_answers(query)?.contains(tuple))
     }
 
     /// Certain answers at the pinned epoch (see
     /// [`EngineSnapshot::certain_answers`]).
     pub fn certain_answers(&self, query: &Query) -> Result<CertainAnswers, ReasonError> {
-        self.snap.certain_answers(query)
+        self.snap
+            .certain_answers_with(query, &self.effective_options())
     }
 
     /// Realizable current instances at the pinned epoch (see
     /// [`EngineSnapshot::current_instances`]).
     pub fn current_instances(&self, rel: RelId) -> Result<Vec<NormalInstance>, ReasonError> {
-        self.snap.current_instances(rel)
+        self.snap
+            .current_instances_with(rel, &self.effective_options())
     }
 
     /// This reader's private encoding for `slot`, cloned (or refreshed
@@ -1050,5 +1148,121 @@ mod tests {
             reader.dcip(r),
             Err(ReasonError::UnsupportedQuery { .. })
         ));
+    }
+
+    #[test]
+    fn reader_budget_override_interrupts_then_clears() {
+        use crate::SolveLimits;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let engine = SnapshotEngine::new(spec, &Options::default()).unwrap();
+        let mut reader = engine.reader();
+        // A zero-work per-request budget interrupts every solve-backed path
+        // with the typed error, never a wrong verdict.
+        reader.set_solve_limits(Some(SolveLimits {
+            max_conflicts: Some(0),
+            max_props: Some(0),
+        }));
+        let q01 = CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1));
+        assert!(matches!(
+            reader.cop(&q01),
+            Err(ReasonError::Interrupted { .. })
+        ));
+        assert!(matches!(
+            reader.dcip(r),
+            Err(ReasonError::Interrupted { .. })
+        ));
+        assert!(matches!(
+            reader.certain_answers(&value_query(r)),
+            Err(ReasonError::Interrupted { .. })
+        ));
+        assert!(matches!(
+            reader.current_instances(r),
+            Err(ReasonError::Interrupted { .. })
+        ));
+        // Clearing the override resumes on the same scratch state and the
+        // answers match a live engine — the interruption left nothing
+        // corrupted behind.
+        reader.set_solve_limits(None);
+        assert_matches_engine(&mut reader, r);
+    }
+
+    #[test]
+    fn reader_deadline_override_interrupts_then_clears() {
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let engine = SnapshotEngine::new(spec, &Options::default()).unwrap();
+        let mut reader = engine.reader();
+        reader.set_deadline(Some(Instant::now()));
+        let q01 = CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1));
+        assert!(matches!(
+            reader.cop(&q01),
+            Err(ReasonError::Interrupted { .. })
+        ));
+        assert!(matches!(
+            reader.certain_answers(&value_query(r)),
+            Err(ReasonError::Interrupted { .. })
+        ));
+        reader.set_deadline(None);
+        assert_matches_engine(&mut reader, r);
+    }
+
+    #[test]
+    fn reader_escalating_budgets_converge_warm() {
+        use crate::SolveLimits;
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let engine = SnapshotEngine::new(spec, &Options::default()).unwrap();
+        let oracle = {
+            let mut reader = engine.reader();
+            let q = CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1));
+            reader.cop(&q).unwrap()
+        };
+        // One reader retries the same query with doubling budgets; scratch
+        // encodings persist across attempts, so each retry resumes warm.
+        let mut reader = engine.reader();
+        let q = CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1));
+        let mut budget: u64 = 1;
+        loop {
+            reader.set_solve_limits(Some(SolveLimits {
+                max_conflicts: Some(budget),
+                max_props: Some(budget * 64),
+            }));
+            match reader.cop(&q) {
+                Ok(v) => {
+                    assert_eq!(v, oracle, "first decided verdict must match");
+                    break;
+                }
+                Err(ReasonError::Interrupted { .. }) => {
+                    budget *= 2;
+                    assert!(budget < 1 << 30, "budget escalation diverged");
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert_eq!(reader.scratch_clones(), 1, "retries reuse one scratch");
+    }
+
+    #[test]
+    fn cell_counts_poison_recoveries_as_degraded_events() {
+        let (mut spec, r) = multi_entity_spec();
+        spec.add_constraint(monotone(r)).unwrap();
+        let mut engine = SnapshotEngine::new(spec, &Options::default()).unwrap();
+        let cell = engine.cell();
+        assert_eq!(cell.degraded_events(), 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cell.current.lock().unwrap();
+            panic!("simulated reader crash during load");
+        }));
+        assert!(result.is_err());
+        // The first recovery (load or store) clears the poison and counts
+        // one degraded event; later operations are healthy again.
+        let _ = cell.load();
+        assert_eq!(cell.degraded_events(), 1);
+        let mut delta = SpecDelta::new();
+        delta.insert_tuple(r, Tuple::new(Eid(1), vec![Value::int(99)]));
+        engine.apply(&delta).unwrap();
+        let _ = cell.load();
+        assert_eq!(cell.degraded_events(), 1, "one crash, one event");
     }
 }

@@ -53,7 +53,10 @@ mod types;
 
 pub use dpll::solve_dpll;
 pub use luby::luby;
-pub use solver::{enumerate_projected, Enumeration, ModelSource, SolveResult, Solver, SolverStats};
+pub use solver::{
+    enumerate_projected, Enumeration, Limits, ModelSource, SolveOutcome, SolveResult, Solver,
+    SolverStats,
+};
 pub use types::{Lit, Var};
 
 #[cfg(test)]

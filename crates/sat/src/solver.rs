@@ -17,6 +17,8 @@
 use crate::heap::ActivityHeap;
 use crate::luby::luby;
 use crate::types::{LBool, Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -28,6 +30,58 @@ pub enum SolveResult {
     Unsat,
 }
 
+/// Outcome of a budgeted [`Solver::solve_limited`] call: the two verdicts
+/// of [`SolveResult`] plus the honest third answer a bounded search needs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolveOutcome {
+    /// A satisfying assignment was found; read it with
+    /// [`Solver::model_value`].
+    Sat,
+    /// The clauses (under the given assumptions, if any) are unsatisfiable.
+    Unsat,
+    /// A [`Limits`] budget ran out (or the stop flag was raised) before
+    /// the search decided the instance.  **Never a verdict**: the instance
+    /// may be either satisfiable or unsatisfiable.  All state learnt so
+    /// far — learnt clauses, variable activities, saved phases — is kept,
+    /// so calling again with a fresh budget resumes the search warm
+    /// instead of restarting it.
+    Interrupted,
+}
+
+impl From<SolveResult> for SolveOutcome {
+    fn from(r: SolveResult) -> SolveOutcome {
+        match r {
+            SolveResult::Sat => SolveOutcome::Sat,
+            SolveResult::Unsat => SolveOutcome::Unsat,
+        }
+    }
+}
+
+/// Cooperative work budget for one [`Solver::solve_limited`] call.
+///
+/// All fields measure work *within the call* (spent counters start at
+/// zero each call), so a caller granting installments of `n` conflicts
+/// per call hands out exactly `n` more units of work each retry.  The
+/// default is fully unbounded — identical to [`Solver::solve`].
+#[derive(Clone, Debug, Default)]
+pub struct Limits {
+    /// Interrupt after this many conflicts within the call.
+    pub max_conflicts: Option<u64>,
+    /// Interrupt after this many unit propagations within the call.
+    pub max_props: Option<u64>,
+    /// Externally raised stop flag, polled once per search-loop
+    /// iteration (`Relaxed`; raising it interrupts promptly but not
+    /// instantaneously).
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+impl Limits {
+    /// `true` if no budget is set: the solve cannot be interrupted.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_conflicts.is_none() && self.max_props.is_none() && self.stop.is_none()
+    }
+}
+
 /// Outcome of [`Solver::for_each_model`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Enumeration {
@@ -37,6 +91,11 @@ pub enum Enumeration {
     Stopped(usize),
     /// The model limit was reached before exhausting the space.
     LimitReached(usize),
+    /// The model source's budget ran out mid-enumeration (see
+    /// [`SolveOutcome::Interrupted`]); carries the count found so far.
+    /// The models already reported are real, but the space was not
+    /// exhausted — treat the enumeration as undecided, never as complete.
+    Interrupted(usize),
 }
 
 /// Counters exposed for benchmarking and ablation studies.
@@ -434,8 +493,34 @@ impl Solver {
     /// modified (beyond learnt clauses, which are logical consequences,
     /// and learnt-clause deletions, which only drop redundant ones).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        match self.solve_limited_with_assumptions(assumptions, &Limits::default()) {
+            SolveOutcome::Sat => SolveResult::Sat,
+            SolveOutcome::Unsat => SolveResult::Unsat,
+            SolveOutcome::Interrupted => unreachable!("unbounded solve cannot be interrupted"),
+        }
+    }
+
+    /// Check satisfiability under a cooperative work budget.
+    pub fn solve_limited(&mut self, limits: &Limits) -> SolveOutcome {
+        self.solve_limited_with_assumptions(&[], limits)
+    }
+
+    /// Check satisfiability under the given assumed literals and a
+    /// cooperative work budget.
+    ///
+    /// Once the budget is spent (or the stop flag is raised) the search
+    /// exits with [`SolveOutcome::Interrupted`] — never a wrong Sat/Unsat
+    /// verdict.  The budget counts work performed **within this call**,
+    /// and everything learnt before the interrupt (learnt clauses,
+    /// variable activities, saved phases) is kept, so calling again hands
+    /// the search a fresh installment and it resumes warm.
+    pub fn solve_limited_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        limits: &Limits,
+    ) -> SolveOutcome {
         if !self.ok {
-            return SolveResult::Unsat;
+            return SolveOutcome::Unsat;
         }
         self.cancel_until(0);
         if self.max_learnts == 0 {
@@ -444,16 +529,33 @@ impl Solver {
             let originals = self.clauses.len() - self.num_learnts;
             self.max_learnts = (originals / 3).max(MIN_LEARNT_LIMIT);
         }
+        let bounded = !limits.is_unbounded();
+        let props_base = self.stats.propagations;
+        let mut conflicts_spent: u64 = 0;
         let mut restart_idx: u64 = 0;
         let mut conflicts_here: u64 = 0;
         let mut budget = luby(restart_idx) * RESTART_BASE;
         loop {
+            if bounded
+                && (limits.max_conflicts.is_some_and(|m| conflicts_spent >= m)
+                    || limits
+                        .max_props
+                        .is_some_and(|m| self.stats.propagations - props_base >= m)
+                    || limits
+                        .stop
+                        .as_ref()
+                        .is_some_and(|s| s.load(Ordering::Relaxed)))
+            {
+                self.cancel_until(0);
+                return SolveOutcome::Interrupted;
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
+                conflicts_spent += 1;
                 conflicts_here += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
-                    return SolveResult::Unsat;
+                    return SolveOutcome::Unsat;
                 }
                 let (learnt, bt_level) = self.analyze(confl);
                 self.cancel_until(bt_level);
@@ -483,7 +585,7 @@ impl Solver {
                     LBool::False => {
                         // The assumptions contradict the clauses.
                         self.cancel_until(0);
-                        return SolveResult::Unsat;
+                        return SolveOutcome::Unsat;
                     }
                     LBool::Undef => {
                         self.trail_lim.push(self.trail.len());
@@ -501,7 +603,7 @@ impl Solver {
                 // Every variable assigned without conflict: model found.
                 self.model = self.assign.iter().map(|&a| a == LBool::True).collect();
                 self.cancel_until(0);
-                return SolveResult::Sat;
+                return SolveOutcome::Sat;
             }
         }
     }
@@ -1042,8 +1144,10 @@ impl Solver {
 /// transitivity refinement loop), so the blocking-clause enumeration
 /// protocol lives in exactly one place: [`enumerate_projected`].
 pub trait ModelSource {
-    /// Decide satisfiability of the current state.
-    fn solve(&mut self) -> SolveResult;
+    /// Decide satisfiability of the current state, or report that a work
+    /// budget interrupted the attempt (bounded sources only; unbounded
+    /// sources never return [`SolveOutcome::Interrupted`]).
+    fn solve(&mut self) -> SolveOutcome;
     /// Value of `v` in the most recent model (after a `Sat` result).
     fn model_value(&self, v: Var) -> bool;
     /// Permanently add a blocking clause; `false` if the instance became
@@ -1052,8 +1156,8 @@ pub trait ModelSource {
 }
 
 impl ModelSource for Solver {
-    fn solve(&mut self) -> SolveResult {
-        Solver::solve(self)
+    fn solve(&mut self) -> SolveOutcome {
+        Solver::solve(self).into()
     }
 
     fn model_value(&self, v: Var) -> bool {
@@ -1076,8 +1180,10 @@ pub fn enumerate_projected<S: ModelSource>(
     let mut count = 0usize;
     let mut values = vec![false; projection.len()];
     while count < limit {
-        if source.solve() == SolveResult::Unsat {
-            return Enumeration::Complete(count);
+        match source.solve() {
+            SolveOutcome::Sat => {}
+            SolveOutcome::Unsat => return Enumeration::Complete(count),
+            SolveOutcome::Interrupted => return Enumeration::Interrupted(count),
         }
         for (slot, &v) in values.iter_mut().zip(projection) {
             *slot = source.model_value(v);

@@ -584,3 +584,111 @@ fn clone_and_clone_from_yield_independent_equivalent_solvers() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Cooperative work budgets.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unbounded_limits_are_recognized() {
+    use crate::Limits;
+    assert!(Limits::default().is_unbounded());
+    assert!(!Limits {
+        max_conflicts: Some(1),
+        ..Default::default()
+    }
+    .is_unbounded());
+    assert!(!Limits {
+        max_props: Some(1),
+        ..Default::default()
+    }
+    .is_unbounded());
+    assert!(!Limits {
+        stop: Some(std::sync::Arc::new(std::sync::atomic::AtomicBool::new(
+            false
+        ))),
+        ..Default::default()
+    }
+    .is_unbounded());
+}
+
+#[test]
+fn raised_stop_flag_interrupts_before_any_work() {
+    use crate::{Limits, SolveOutcome};
+    let mut rng = XorShift(0x5702_f1a6_0000_0001);
+    let clauses = random_3sat(&mut rng, 8, 30);
+    let mut s = build(8, &clauses);
+    let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let limits = Limits {
+        stop: Some(flag.clone()),
+        ..Default::default()
+    };
+    let before = s.stats().decisions;
+    assert_eq!(s.solve_limited(&limits), SolveOutcome::Interrupted);
+    assert_eq!(s.stats().decisions, before, "interrupt must precede search");
+    // Lowering the flag lets the same call signature finish the solve.
+    flag.store(false, std::sync::atomic::Ordering::Relaxed);
+    let finished = s.solve_limited(&limits);
+    assert_ne!(finished, SolveOutcome::Interrupted);
+    assert_eq!(
+        finished == SolveOutcome::Sat,
+        solve_dpll(8, &clauses).is_some()
+    );
+}
+
+#[test]
+fn propagation_budget_interrupts_mid_search() {
+    use crate::{Limits, SolveOutcome};
+    // A chain a -> b -> c -> d forces propagations once `a` is decided.
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+    for w in vars.windows(2) {
+        s.add_clause(&[w[0].neg(), w[1].pos()]);
+    }
+    let limits = Limits {
+        max_props: Some(1),
+        ..Default::default()
+    };
+    assert_eq!(s.solve_limited(&limits), SolveOutcome::Interrupted);
+    // Unbounded retry resumes and completes.
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn escalating_conflict_budgets_never_flip_the_verdict() {
+    use crate::{Limits, SolveOutcome};
+    // Warm resume: retry the SAME solver with budgets 1, 2, 4, ... and
+    // assert the first decided outcome equals the unbounded verdict.
+    let mut rng = XorShift(0x1717_c0de_beef_0042);
+    for round in 0..150 {
+        let num_vars = 5 + (round % 6);
+        let num_clauses = 2 + (rng.below(5 * num_vars as u64) as usize);
+        let clauses = random_3sat(&mut rng, num_vars, num_clauses);
+        let oracle = solve_dpll(num_vars, &clauses);
+        let mut s = build(num_vars, &clauses);
+        let mut budget = 1u64;
+        let decided = loop {
+            let limits = Limits {
+                max_conflicts: Some(budget),
+                max_props: Some(budget * 16),
+                ..Default::default()
+            };
+            match s.solve_limited(&limits) {
+                SolveOutcome::Interrupted => {
+                    s.debug_check_invariants().unwrap();
+                    budget *= 2;
+                }
+                decided => break decided,
+            }
+        };
+        assert_eq!(
+            decided == SolveOutcome::Sat,
+            oracle.is_some(),
+            "round {round}: warm resume flipped the verdict on {clauses:?}"
+        );
+        if decided == SolveOutcome::Sat {
+            let model: Vec<bool> = (0..num_vars).map(|i| s.model_value(v(i))).collect();
+            assert!(evaluate(&clauses, &model), "round {round}: non-model");
+        }
+    }
+}

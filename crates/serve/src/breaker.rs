@@ -1,0 +1,218 @@
+//! Per-request-shape circuit breaker.
+//!
+//! A request shape that keeps timing out is pathological for *that*
+//! shape — the snapshot, the cache, and every other shape are healthy.
+//! So the breaker is keyed on the canonicalized [`ServeRequest`] itself:
+//! after `threshold` **consecutive** timeouts on one shape the breaker
+//! opens and queries for that shape fast-fail (or degrade to a stale
+//! cached answer) without burning a solver budget.  Once the backoff
+//! elapses a single half-open **probe** is admitted; success closes the
+//! breaker, another timeout re-opens it with the backoff doubled (capped
+//! at `max_backoff`).
+
+use crate::ServeRequest;
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Admission verdict for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Admit {
+    /// Go ahead (closed breaker, or the shape's half-open probe slot).
+    Allow,
+    /// The shape's breaker is open: do not solve.
+    Reject,
+}
+
+#[derive(Debug, Default)]
+struct BreakerState {
+    /// Consecutive timeouts since the last success (closed state only).
+    consecutive: u32,
+    /// While `Some(t)` and `now < t`, the breaker is open.
+    open_until: Option<Instant>,
+    /// Backoff applied at the last open; doubles on failed probes.
+    backoff: Duration,
+    /// A half-open probe is in flight; admit no second one.
+    probing: bool,
+}
+
+/// Breaker table shared by every handle.  The map is touched only on
+/// cache misses and holds one small entry per *distressed* shape
+/// (successes remove their entry), so the single mutex is uncontended in
+/// healthy operation.
+#[derive(Debug)]
+pub(crate) struct Breaker {
+    threshold: u32,
+    base_backoff: Duration,
+    max_backoff: Duration,
+    states: Mutex<HashMap<ServeRequest, BreakerState>>,
+}
+
+impl Breaker {
+    /// `threshold == 0` disables the breaker entirely.
+    pub(crate) fn new(threshold: u32, base_backoff: Duration, max_backoff: Duration) -> Breaker {
+        Breaker {
+            threshold,
+            base_backoff,
+            max_backoff: max_backoff.max(base_backoff),
+            states: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// May a query for `req` proceed to a solver right now?
+    pub(crate) fn admit(&self, req: &ServeRequest) -> Admit {
+        if self.threshold == 0 {
+            return Admit::Allow;
+        }
+        let mut states = self.lock();
+        let Some(st) = states.get_mut(req) else {
+            return Admit::Allow;
+        };
+        match st.open_until {
+            None => Admit::Allow,
+            Some(t) if Instant::now() < t => Admit::Reject,
+            Some(_) => {
+                // Backoff elapsed: half-open.  Exactly one probe goes
+                // through; concurrent arrivals keep fast-failing until
+                // the probe reports back.
+                if st.probing {
+                    Admit::Reject
+                } else {
+                    st.probing = true;
+                    Admit::Allow
+                }
+            }
+        }
+    }
+
+    /// Record a timed-out solve for `req`.  Returns `true` when this
+    /// timeout opened (or re-opened) the breaker.
+    pub(crate) fn record_timeout(&self, req: &ServeRequest) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let now = Instant::now();
+        let mut states = self.lock();
+        let st = states.entry(req.clone()).or_default();
+        if st.probing {
+            // Failed probe: re-open with doubled backoff.
+            st.probing = false;
+            st.backoff = (st.backoff * 2).min(self.max_backoff);
+            st.open_until = Some(now + st.backoff);
+            true
+        } else {
+            st.consecutive += 1;
+            if st.open_until.is_none() && st.consecutive >= self.threshold {
+                st.backoff = self.base_backoff;
+                st.open_until = Some(now + st.backoff);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// Record a completed solve for `req`: the shape is healthy again
+    /// and its entry (open or counting) is dropped.
+    pub(crate) fn record_success(&self, req: &ServeRequest) {
+        if self.threshold == 0 {
+            return;
+        }
+        self.lock().remove(req);
+    }
+
+    /// Number of shapes whose breaker is open right now (a half-open
+    /// shape still counts until its probe succeeds).
+    pub(crate) fn open_count(&self) -> usize {
+        if self.threshold == 0 {
+            return 0;
+        }
+        self.lock()
+            .values()
+            .filter(|st| st.open_until.is_some())
+            .count()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<ServeRequest, BreakerState>> {
+        // Entries are updated by value under the lock; a panicking
+        // holder cannot leave one half-written.
+        self.states.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use currency_core::RelId;
+
+    fn req(rel: u32) -> ServeRequest {
+        ServeRequest::Dcip(RelId(rel))
+    }
+
+    fn breaker(threshold: u32, backoff_ms: u64) -> Breaker {
+        Breaker::new(
+            threshold,
+            Duration::from_millis(backoff_ms),
+            Duration::from_millis(backoff_ms * 8),
+        )
+    }
+
+    #[test]
+    fn opens_after_consecutive_timeouts_only() {
+        let b = breaker(3, 60_000);
+        assert!(!b.record_timeout(&req(0)));
+        assert!(!b.record_timeout(&req(0)));
+        // A success in between resets the run.
+        b.record_success(&req(0));
+        assert!(!b.record_timeout(&req(0)));
+        assert!(!b.record_timeout(&req(0)));
+        assert!(b.record_timeout(&req(0)), "third consecutive trips");
+        assert_eq!(b.admit(&req(0)), Admit::Reject);
+        assert_eq!(b.open_count(), 1);
+        // Other shapes are unaffected.
+        assert_eq!(b.admit(&req(1)), Admit::Allow);
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_and_success_closes() {
+        let b = breaker(1, 1);
+        assert!(b.record_timeout(&req(0)));
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(b.admit(&req(0)), Admit::Allow, "the probe");
+        assert_eq!(b.admit(&req(0)), Admit::Reject, "only one probe");
+        b.record_success(&req(0));
+        assert_eq!(b.admit(&req(0)), Admit::Allow, "closed again");
+        assert_eq!(b.open_count(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_doubled_backoff() {
+        let b = breaker(1, 1);
+        assert!(b.record_timeout(&req(0)));
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(b.admit(&req(0)), Admit::Allow);
+        assert!(b.record_timeout(&req(0)), "failed probe re-trips");
+        assert_eq!(b.admit(&req(0)), Admit::Reject);
+        // The backoff doubles but stays capped.
+        for _ in 0..10 {
+            std::thread::sleep(Duration::from_millis(10));
+            while b.admit(&req(0)) == Admit::Reject {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert!(b.record_timeout(&req(0)));
+        }
+        let st = b.lock();
+        assert_eq!(st[&req(0)].backoff, Duration::from_millis(8), "capped");
+    }
+
+    #[test]
+    fn zero_threshold_disables() {
+        let b = breaker(0, 1);
+        for _ in 0..100 {
+            assert!(!b.record_timeout(&req(0)));
+        }
+        assert_eq!(b.admit(&req(0)), Admit::Allow);
+        assert_eq!(b.open_count(), 0);
+        assert!(b.lock().is_empty(), "disabled breaker tracks nothing");
+    }
+}

@@ -1,16 +1,19 @@
 //! The epoch-keyed answer cache.
 //!
 //! Entries are stored under the request itself and stamped with the
-//! epoch they were computed at.  An entry is a hit only when its stamp
-//! equals the *current* epoch, so publishing a new snapshot invalidates
-//! the whole cache for free — no flush, no generation sweep, no writer
-//! involvement.  Stale entries are evicted lazily: on the lookup that
-//! discovers them, and preferentially when a full shard needs room.
+//! epoch they were computed at.  An entry is a *fresh* hit only when its
+//! stamp equals the current epoch, so publishing a new snapshot
+//! invalidates the whole cache for free — no flush, no generation sweep,
+//! no writer involvement.  Stale entries are **retained**: they are the
+//! graceful-degradation reserve ([`AnswerCache::get_any`]) served when a
+//! query times out or its breaker is open, and they are pruned only when
+//! a full shard needs room (stale-epoch entries are evicted first).
 
 use crate::{ServeAnswer, ServeRequest};
 use std::collections::HashMap;
 use std::hash::{BuildHasher, RandomState};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 type Shard = HashMap<ServeRequest, (u64, ServeAnswer)>;
 
@@ -24,6 +27,9 @@ pub(crate) struct AnswerCache {
     /// Eviction threshold per shard (total capacity / shard count).
     capacity_per_shard: usize,
     hasher: RandomState,
+    /// Poisoned-shard recoveries: each is a reader that crashed under a
+    /// shard lock and was absorbed without losing the cache.
+    degraded: AtomicU64,
 }
 
 impl AnswerCache {
@@ -39,21 +45,27 @@ impl AnswerCache {
             },
             capacity_per_shard: capacity.div_ceil(shards).max(1),
             hasher: RandomState::new(),
+            degraded: AtomicU64::new(0),
         }
     }
 
     /// The cached answer for `req` computed at exactly `epoch`, if any.
-    /// A surviving entry from an older epoch is removed on discovery.
+    /// An entry from an older epoch is left in place for [`get_any`].
+    ///
+    /// [`get_any`]: AnswerCache::get_any
     pub(crate) fn get(&self, req: &ServeRequest, epoch: u64) -> Option<ServeAnswer> {
-        let mut shard = self.shard(req)?;
+        let shard = self.shard(req)?;
         match shard.get(req) {
             Some((e, ans)) if *e == epoch => Some(ans.clone()),
-            Some(_) => {
-                shard.remove(req);
-                None
-            }
-            None => None,
+            _ => None,
         }
+    }
+
+    /// The cached answer for `req` at **any** epoch, with the epoch it
+    /// was computed at — the stale-serve fallback for timed-out queries.
+    pub(crate) fn get_any(&self, req: &ServeRequest) -> Option<(u64, ServeAnswer)> {
+        let shard = self.shard(req)?;
+        shard.get(req).map(|(e, ans)| (*e, ans.clone()))
     }
 
     /// Record `ans` for `req` at `epoch`, evicting if the shard is full:
@@ -75,10 +87,20 @@ impl AnswerCache {
 
     /// Total resident entries (any epoch), for stats.
     pub(crate) fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len())
+        (0..self.shards.len())
+            .map(|ix| self.lock_shard(ix).len())
             .sum()
+    }
+
+    /// Poisoned-shard recoveries absorbed so far.
+    pub(crate) fn degraded_events(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: the raw shard locks, for poisoning them on purpose.
+    #[cfg(test)]
+    pub(crate) fn shards(&self) -> &[Mutex<Shard>] {
+        &self.shards
     }
 
     fn shard(&self, req: &ServeRequest) -> Option<std::sync::MutexGuard<'_, Shard>> {
@@ -86,11 +108,17 @@ impl AnswerCache {
             return None;
         }
         let ix = (self.hasher.hash_one(req) as usize) % self.shards.len();
-        Some(
-            self.shards[ix]
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner),
-        )
+        Some(self.lock_shard(ix))
+    }
+
+    fn lock_shard(&self, ix: usize) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[ix].lock().unwrap_or_else(|poisoned| {
+            // One crashed reader, one degraded event: clear the poison so
+            // healthy operation resumes without re-counting.
+            self.shards[ix].clear_poison();
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
     }
 }
 
@@ -104,12 +132,18 @@ mod tests {
     }
 
     #[test]
-    fn epoch_mismatch_misses_and_evicts() {
+    fn epoch_mismatch_misses_but_retains_for_stale_serve() {
         let cache = AnswerCache::new(16, 2);
         cache.insert(&req(0), 1, ServeAnswer::Bool(true));
         assert_eq!(cache.get(&req(0), 1), Some(ServeAnswer::Bool(true)));
         assert_eq!(cache.get(&req(0), 2), None, "new epoch invalidates");
-        assert_eq!(cache.len(), 0, "stale entry evicted on discovery");
+        assert_eq!(cache.len(), 1, "stale entry kept as degradation reserve");
+        assert_eq!(
+            cache.get_any(&req(0)),
+            Some((1, ServeAnswer::Bool(true))),
+            "stale entry reachable with its epoch"
+        );
+        assert_eq!(cache.get_any(&req(7)), None);
     }
 
     #[test]
@@ -140,11 +174,12 @@ mod tests {
         let cache = AnswerCache::new(0, 4);
         cache.insert(&req(0), 1, ServeAnswer::Bool(true));
         assert_eq!(cache.get(&req(0), 1), None);
+        assert_eq!(cache.get_any(&req(0)), None);
         assert_eq!(cache.len(), 0);
     }
 
     #[test]
-    fn poisoned_shard_keeps_serving() {
+    fn poisoned_shard_keeps_serving_and_counts_one_degraded_event() {
         let cache = AnswerCache::new(8, 1);
         cache.insert(&req(0), 1, ServeAnswer::Bool(true));
         // A thread dies while holding the (only) shard lock...
@@ -154,12 +189,16 @@ mod tests {
         }));
         assert!(caught.is_err());
         assert!(cache.shards[0].is_poisoned());
+        assert_eq!(cache.degraded_events(), 0, "counted on recovery, not crash");
         // ...and the cache shrugs: entries are inserted by value, so the
-        // map cannot be half-written and lookups recover the lock.
+        // map cannot be half-written and the first lookup recovers the
+        // lock, clears the poison, and counts one degraded event.
         assert_eq!(cache.get(&req(0), 1), Some(ServeAnswer::Bool(true)));
+        assert_eq!(cache.degraded_events(), 1);
         cache.insert(&req(1), 1, ServeAnswer::Bool(false));
         assert_eq!(cache.get(&req(1), 1), Some(ServeAnswer::Bool(false)));
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.degraded_events(), 1, "one crash, one event");
     }
 
     #[test]

@@ -13,15 +13,35 @@
 //! * [`ServeHandle`] is a cheap per-thread handle (clone one per
 //!   reader).  Each query re-pins the latest published snapshot, then
 //!   consults the shared **epoch-keyed answer cache**: answers are
-//!   stored under `(request, epoch)`, so a cache entry is valid exactly
+//!   stored under `(request, epoch)`, so a cache entry is fresh exactly
 //!   until the next publication and invalidation is free — a writer
-//!   bump makes every stale entry unreachable, and they are evicted
-//!   lazily on discovery.  Misses are evaluated against the handle's
+//!   bump makes every stale entry miss; stale entries are retained as
+//!   the degraded-serving reserve.  Misses are evaluated against the handle's
 //!   private [`SnapshotReader`] solver scratch (no shared locks) and
 //!   then cached for every other handle.
 //! * Admission is controlled by an optional lock-free token-bucket
 //!   [`RateLimit`], and every counter ([`ServeStats`]) is an atomic, so
 //!   stats scrapes never block queries — and vice versa.
+//!
+//! ## Bounded work
+//!
+//! Every query admitted past the front door carries a **work budget**:
+//! a wall-clock deadline ([`ServeOptions::request_timeout`], default
+//! 30 s) threaded down to the SAT solver, which checks it cooperatively
+//! and returns a typed interrupt — never a wrong verdict.  Around the
+//! budget sit three guard rails:
+//!
+//! * **Load shedding** — at most [`ServeOptions::max_inflight`] queries
+//!   solve concurrently; excess arrivals fast-fail with
+//!   [`ServeError::Overloaded`] *before* touching a solver.
+//! * **A per-shape circuit breaker** — after
+//!   [`ServeOptions::breaker_threshold`] consecutive timeouts on one
+//!   canonicalized request, that shape fast-fails
+//!   ([`ServeError::BreakerOpen`]) for an exponentially growing backoff,
+//!   then admits one half-open probe.
+//! * **Graceful degradation** — a timed-out or breaker-rejected query
+//!   is answered from the newest cached answer for the same request at
+//!   *any* epoch when one exists, tagged [`ServeAnswer::Stale`].
 //!
 //! ```
 //! use currency_serve::{CurrencyServe, ServeOptions};
@@ -43,6 +63,7 @@
 //! assert_eq!(serve.stats().cache_hits, 1);
 //! ```
 
+mod breaker;
 mod cache;
 mod rate_limit;
 mod stats;
@@ -50,6 +71,7 @@ mod stats;
 pub use rate_limit::RateLimit;
 pub use stats::ServeStats;
 
+use breaker::{Admit, Breaker};
 use cache::AnswerCache;
 use currency_core::{CompactReport, RelId, SpecDelta, Specification, Value};
 use currency_query::Query;
@@ -60,7 +82,7 @@ use stats::{Counters, InflightGuard};
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A servable query, canonicalized: requests that are `==` (and hash
 /// alike) are the same cache entry.  `Query` compares structurally on
@@ -87,15 +109,33 @@ pub enum ServeAnswer {
     Bool(bool),
     /// Result of a [`ServeRequest::CertainAnswers`] request.
     Answers(CertainAnswers),
+    /// A degraded answer: the solve timed out (or the shape's breaker
+    /// was open) and the newest cached answer for the same request was
+    /// served instead.  `epoch` is the epoch that answer was computed
+    /// at — older than the live epoch, so the caller can decide whether
+    /// stale-but-fast is acceptable.
+    Stale {
+        /// Epoch the wrapped answer was computed at.
+        epoch: u64,
+        /// The cached answer itself (never `Stale` — one level deep).
+        answer: Box<ServeAnswer>,
+    },
 }
 
 impl ServeAnswer {
-    /// The boolean verdict, if this answers a decision problem.
+    /// The boolean verdict, if this answers a decision problem
+    /// (looking through [`ServeAnswer::Stale`]).
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             ServeAnswer::Bool(b) => Some(*b),
             ServeAnswer::Answers(_) => None,
+            ServeAnswer::Stale { answer, .. } => answer.as_bool(),
         }
+    }
+
+    /// Whether this is a degraded (stale-epoch) answer.
+    pub fn is_stale(&self) -> bool {
+        matches!(self, ServeAnswer::Stale { .. })
     }
 }
 
@@ -104,7 +144,15 @@ impl ServeAnswer {
 pub enum ServeError {
     /// The rate limiter rejected the query; retry after backoff.
     RateLimited,
-    /// The underlying decision procedure failed.
+    /// The in-flight cap was reached: the query was shed before any
+    /// solving started.  Retry after backoff.
+    Overloaded,
+    /// This request shape's circuit breaker is open (consecutive
+    /// timeouts) and no cached answer exists to degrade to.
+    BreakerOpen,
+    /// The underlying decision procedure failed.  A
+    /// [`ReasonError::Interrupted`] here means the per-request budget
+    /// expired and no stale answer existed to degrade to.
     Reason(ReasonError),
 }
 
@@ -112,6 +160,10 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::RateLimited => write!(f, "query rejected by rate limiter"),
+            ServeError::Overloaded => write!(f, "query shed: in-flight cap reached"),
+            ServeError::BreakerOpen => {
+                write!(f, "circuit breaker open for this request shape")
+            }
             ServeError::Reason(e) => write!(f, "{e}"),
         }
     }
@@ -120,7 +172,7 @@ impl fmt::Display for ServeError {
 impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ServeError::RateLimited => None,
+            ServeError::RateLimited | ServeError::Overloaded | ServeError::BreakerOpen => None,
             ServeError::Reason(e) => Some(e),
         }
     }
@@ -144,6 +196,21 @@ pub struct ServeOptions {
     pub cache_shards: usize,
     /// Admission control; `None` admits everything.
     pub rate_limit: Option<RateLimit>,
+    /// Per-request wall-clock budget threaded down to the solver;
+    /// `None` disables the deadline (unbounded solves).  Overridable
+    /// per query with [`ServeHandle::query_within`].
+    pub request_timeout: Option<Duration>,
+    /// Maximum queries solving concurrently; excess arrivals are shed
+    /// with [`ServeError::Overloaded`].  `0` means unlimited.
+    pub max_inflight: usize,
+    /// Consecutive timeouts on one request shape that open its circuit
+    /// breaker.  `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// Backoff after the breaker first opens; doubles after each failed
+    /// half-open probe.
+    pub breaker_backoff: Duration,
+    /// Ceiling for the exponential breaker backoff.
+    pub breaker_max_backoff: Duration,
 }
 
 impl Default for ServeOptions {
@@ -152,6 +219,11 @@ impl Default for ServeOptions {
             cache_capacity: 4096,
             cache_shards: 8,
             rate_limit: None,
+            request_timeout: Some(Duration::from_secs(30)),
+            max_inflight: 0,
+            breaker_threshold: 3,
+            breaker_backoff: Duration::from_millis(100),
+            breaker_max_backoff: Duration::from_secs(5),
         }
     }
 }
@@ -161,7 +233,10 @@ struct ServeShared {
     cell: Arc<currency_reason::SnapshotCell>,
     cache: AnswerCache,
     limiter: Option<TokenBucket>,
+    breaker: Breaker,
     counters: Counters,
+    request_timeout: Option<Duration>,
+    max_inflight: usize,
 }
 
 /// A concurrently servable currency specification: one writer, any
@@ -189,7 +264,14 @@ impl CurrencyServe {
             cell: engine.cell(),
             cache: AnswerCache::new(opts.cache_capacity, opts.cache_shards),
             limiter: opts.rate_limit.map(TokenBucket::new),
+            breaker: Breaker::new(
+                opts.breaker_threshold,
+                opts.breaker_backoff,
+                opts.breaker_max_backoff,
+            ),
             counters: Counters::default(),
+            request_timeout: opts.request_timeout,
+            max_inflight: opts.max_inflight,
         });
         CurrencyServe {
             writer: Mutex::new(engine),
@@ -250,6 +332,14 @@ impl CurrencyServe {
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
             rate_limited: c.rate_limited.load(Ordering::Relaxed),
             inflight: c.inflight.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            stale_served: c.stale_served.load(Ordering::Relaxed),
+            breaker_trips: c.breaker_trips.load(Ordering::Relaxed),
+            breaker_rejects: c.breaker_rejects.load(Ordering::Relaxed),
+            breakers_open: self.shared.breaker.open_count(),
+            degraded_events: self.shared.cache.degraded_events()
+                + self.shared.cell.degraded_events(),
             cached_entries: self.shared.cache.len(),
             latency_ns_total: c.latency_ns_total.load(Ordering::Relaxed),
             latency_ns_max: c.latency_ns_max.load(Ordering::Relaxed),
@@ -278,11 +368,34 @@ impl Clone for ServeHandle {
 }
 
 impl ServeHandle {
-    /// Answer `req` at the latest published epoch: admission check,
-    /// cache lookup, then (on a miss) evaluation against this handle's
+    /// Answer `req` at the latest published epoch under the service's
+    /// default per-request budget: admission checks (rate limit,
+    /// in-flight cap), cache lookup, breaker admission, then (on a
+    /// miss) a deadline-bounded evaluation against this handle's
     /// private scratch — strictly outside any shared lock — and cache
-    /// fill.
+    /// fill.  A timed-out solve degrades to the newest stale cached
+    /// answer when one exists.
     pub fn query(&mut self, req: &ServeRequest) -> Result<ServeAnswer, ServeError> {
+        self.query_deadline(req, self.shared.request_timeout)
+    }
+
+    /// [`query`](ServeHandle::query) with an explicit per-request
+    /// budget: `Some(d)` overrides the configured
+    /// [`ServeOptions::request_timeout`], `None` removes the deadline
+    /// for this request (an explicit opt-in to unbounded work).
+    pub fn query_within(
+        &mut self,
+        req: &ServeRequest,
+        timeout: Option<Duration>,
+    ) -> Result<ServeAnswer, ServeError> {
+        self.query_deadline(req, timeout)
+    }
+
+    fn query_deadline(
+        &mut self,
+        req: &ServeRequest,
+        timeout: Option<Duration>,
+    ) -> Result<ServeAnswer, ServeError> {
         let shared = self.shared.clone();
         if let Some(limiter) = &shared.limiter {
             if !limiter.try_acquire() {
@@ -290,17 +403,69 @@ impl ServeHandle {
                 return Err(ServeError::RateLimited);
             }
         }
-        let _inflight = InflightGuard::enter(&shared.counters.inflight);
+        // Overload shedding: fail fast before pinning a snapshot or
+        // touching a solver, so a saturated service stays responsive.
+        let Some(_inflight) =
+            InflightGuard::try_enter(&shared.counters.inflight, shared.max_inflight)
+        else {
+            shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded);
+        };
         let start = Instant::now();
         self.reader.pin(shared.cell.load());
         let epoch = self.reader.epoch();
+        // A fresh cache hit costs no solve: it bypasses the breaker and
+        // the deadline entirely.
         if let Some(ans) = shared.cache.get(req, epoch) {
             shared.counters.queries.fetch_add(1, Ordering::Relaxed);
             shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             shared.counters.record_latency(saturating_elapsed_ns(start));
             return Ok(ans);
         }
-        let ans = match req {
+        if shared.breaker.admit(req) == Admit::Reject {
+            shared
+                .counters
+                .breaker_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            return match self.serve_stale(&shared, req, start) {
+                Some(stale) => Ok(stale),
+                None => Err(ServeError::BreakerOpen),
+            };
+        }
+        self.reader.set_deadline(timeout.map(|t| start + t));
+        let result = self.evaluate(req);
+        self.reader.set_deadline(None);
+        match result {
+            Ok(ans) => {
+                shared.breaker.record_success(req);
+                shared.cache.insert(req, epoch, ans.clone());
+                shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+                shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                shared.counters.record_latency(saturating_elapsed_ns(start));
+                Ok(ans)
+            }
+            Err(err @ ReasonError::Interrupted { .. }) => {
+                shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                if shared.breaker.record_timeout(req) {
+                    shared
+                        .counters
+                        .breaker_trips
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                match self.serve_stale(&shared, req, start) {
+                    Some(stale) => Ok(stale),
+                    None => Err(ServeError::Reason(err)),
+                }
+            }
+            Err(other) => Err(ServeError::Reason(other)),
+        }
+    }
+
+    /// Evaluate `req` against the pinned snapshot with this handle's
+    /// private scratch.  The reader's per-request deadline (set by the
+    /// caller) bounds every solve below.
+    fn evaluate(&mut self, req: &ServeRequest) -> Result<ServeAnswer, ReasonError> {
+        Ok(match req {
             ServeRequest::Cps => ServeAnswer::Bool(self.reader.cps()),
             ServeRequest::Cop(ot) => ServeAnswer::Bool(self.reader.cop(ot)?),
             ServeRequest::Dcip(rel) => ServeAnswer::Bool(self.reader.dcip(*rel)?),
@@ -308,12 +473,25 @@ impl ServeHandle {
                 ServeAnswer::Answers(self.reader.certain_answers(q)?)
             }
             ServeRequest::Ccqa(q, tuple) => ServeAnswer::Bool(self.reader.ccqa(q, tuple)?),
-        };
-        shared.cache.insert(req, epoch, ans.clone());
+        })
+    }
+
+    /// Graceful degradation: the newest cached answer for `req` at any
+    /// epoch, tagged stale, when one exists.
+    fn serve_stale(
+        &self,
+        shared: &ServeShared,
+        req: &ServeRequest,
+        start: Instant,
+    ) -> Option<ServeAnswer> {
+        let (stale_epoch, answer) = shared.cache.get_any(req)?;
         shared.counters.queries.fetch_add(1, Ordering::Relaxed);
-        shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        shared.counters.stale_served.fetch_add(1, Ordering::Relaxed);
         shared.counters.record_latency(saturating_elapsed_ns(start));
-        Ok(ans)
+        Some(ServeAnswer::Stale {
+            epoch: stale_epoch,
+            answer: Box::new(answer),
+        })
     }
 
     /// **CPS** at the latest epoch.
@@ -336,11 +514,17 @@ impl ServeHandle {
         self.query_bool(ServeRequest::Ccqa(query.clone(), tuple.to_vec()))
     }
 
-    /// Certain current answers at the latest epoch.
+    /// Certain current answers at the latest epoch.  A degraded
+    /// (stale-epoch) answer is unwrapped transparently; use
+    /// [`query`](ServeHandle::query) to observe staleness.
     pub fn certain_answers(&mut self, query: &Query) -> Result<CertainAnswers, ServeError> {
-        match self.query(&ServeRequest::CertainAnswers(query.clone()))? {
+        let mut ans = self.query(&ServeRequest::CertainAnswers(query.clone()))?;
+        if let ServeAnswer::Stale { answer, .. } = ans {
+            ans = *answer;
+        }
+        match ans {
             ServeAnswer::Answers(a) => Ok(a),
-            ServeAnswer::Bool(_) => unreachable!("CertainAnswers answers with Answers"),
+            _ => unreachable!("CertainAnswers answers with Answers"),
         }
     }
 
@@ -357,9 +541,9 @@ impl ServeHandle {
     }
 
     fn query_bool(&mut self, req: ServeRequest) -> Result<bool, ServeError> {
-        match self.query(&req)? {
-            ServeAnswer::Bool(b) => Ok(b),
-            ServeAnswer::Answers(_) => unreachable!("decision requests answer with Bool"),
+        match self.query(&req)?.as_bool() {
+            Some(b) => Ok(b),
+            None => unreachable!("decision requests answer with Bool"),
         }
     }
 }
@@ -526,5 +710,237 @@ mod tests {
         h.certain_answers(&value_query(r)).unwrap();
         let stats = serve.stats();
         assert_eq!((stats.cache_misses, stats.cache_hits), (1, 1));
+    }
+
+    #[test]
+    fn zero_timeout_without_stale_is_a_typed_interrupt() {
+        let (serve, r) = serve(&ServeOptions::default());
+        let mut h = serve.handle();
+        let req = ServeRequest::Cop(CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)));
+        let err = h.query_within(&req, Some(Duration::ZERO)).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Reason(ReasonError::Interrupted { .. })),
+            "expired budget surfaces the typed interrupt, got {err:?}"
+        );
+        let stats = serve.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.stale_served, 0);
+        assert_eq!(stats.queries, 0, "rejections are not answered queries");
+        // A later unbounded query gets the true verdict: the interrupt
+        // cached nothing wrong.
+        assert!(h.query_within(&req, None).unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn timeout_degrades_to_newest_stale_answer() {
+        let (serve, r) = serve(&ServeOptions::default());
+        let mut h = serve.handle();
+        let req = ServeRequest::Cop(CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)));
+        assert_eq!(h.query(&req).unwrap(), ServeAnswer::Bool(true));
+        let epoch_then = serve.epoch();
+        // Publish a new epoch so the cached answer goes stale.
+        let mut delta = SpecDelta::new();
+        delta.insert_tuple(r, Tuple::new(Eid(1), vec![Value::int(99)]));
+        serve.apply(&delta).unwrap();
+        // A zero budget can solve nothing — the stale answer steps in.
+        let ans = h.query_within(&req, Some(Duration::ZERO)).unwrap();
+        assert!(ans.is_stale());
+        assert_eq!(
+            ans,
+            ServeAnswer::Stale {
+                epoch: epoch_then,
+                answer: Box::new(ServeAnswer::Bool(true)),
+            }
+        );
+        assert_eq!(ans.as_bool(), Some(true), "as_bool looks through Stale");
+        let stats = serve.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.stale_served, 1);
+        // With budget restored the fresh verdict is recomputed and cached.
+        let fresh = h.query(&req).unwrap();
+        assert_eq!(fresh, ServeAnswer::Bool(true));
+        assert!(!fresh.is_stale());
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_timeouts_and_probes_shut() {
+        let opts = ServeOptions {
+            cache_capacity: 0, // no stale reserve: rejects surface
+            breaker_threshold: 2,
+            breaker_backoff: Duration::from_secs(3600),
+            breaker_max_backoff: Duration::from_secs(3600),
+            ..ServeOptions::default()
+        };
+        let (serve, r) = serve(&opts);
+        let mut h = serve.handle();
+        let req = ServeRequest::Cop(CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)));
+        for _ in 0..2 {
+            assert!(matches!(
+                h.query_within(&req, Some(Duration::ZERO)).unwrap_err(),
+                ServeError::Reason(ReasonError::Interrupted { .. })
+            ));
+        }
+        // Third arrival never reaches a solver: the breaker is open and
+        // there is no cache to degrade to.
+        assert_eq!(
+            h.query_within(&req, Some(Duration::ZERO)).unwrap_err(),
+            ServeError::BreakerOpen
+        );
+        // An unbounded retry is rejected too — the breaker guards the
+        // shape, not the budget.
+        assert_eq!(
+            h.query_within(&req, None).unwrap_err(),
+            ServeError::BreakerOpen
+        );
+        // Other shapes are unaffected.
+        assert!(h.cps().unwrap());
+        let stats = serve.stats();
+        assert_eq!(stats.timeouts, 2);
+        assert_eq!(stats.breaker_trips, 1);
+        assert_eq!(stats.breaker_rejects, 2);
+        assert_eq!(stats.breakers_open, 1);
+    }
+
+    #[test]
+    fn breaker_recovers_through_a_half_open_probe() {
+        let opts = ServeOptions {
+            cache_capacity: 0,
+            breaker_threshold: 1,
+            breaker_backoff: Duration::from_millis(1),
+            breaker_max_backoff: Duration::from_millis(8),
+            ..ServeOptions::default()
+        };
+        let (serve, r) = serve(&opts);
+        let mut h = serve.handle();
+        let req = ServeRequest::Cop(CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)));
+        assert!(h.query_within(&req, Some(Duration::ZERO)).is_err());
+        assert_eq!(serve.stats().breakers_open, 1);
+        std::thread::sleep(Duration::from_millis(3));
+        // Backoff elapsed: the next query is the half-open probe; with a
+        // real budget it completes and closes the breaker.
+        assert!(h.query_within(&req, None).unwrap().as_bool().unwrap());
+        let stats = serve.stats();
+        assert_eq!(stats.breakers_open, 0);
+        assert!(h.query(&req).is_ok(), "shape healthy again");
+    }
+
+    #[test]
+    fn breaker_rejection_still_degrades_to_stale() {
+        let opts = ServeOptions {
+            breaker_threshold: 1,
+            breaker_backoff: Duration::from_secs(3600),
+            breaker_max_backoff: Duration::from_secs(3600),
+            ..ServeOptions::default()
+        };
+        let (serve, r) = serve(&opts);
+        let mut h = serve.handle();
+        let req = ServeRequest::Cop(CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)));
+        assert_eq!(h.query(&req).unwrap(), ServeAnswer::Bool(true));
+        let epoch_then = serve.epoch();
+        let mut delta = SpecDelta::new();
+        delta.insert_tuple(r, Tuple::new(Eid(1), vec![Value::int(99)]));
+        serve.apply(&delta).unwrap();
+        // Trip the breaker (timeout degrades to stale already)...
+        assert!(h
+            .query_within(&req, Some(Duration::ZERO))
+            .unwrap()
+            .is_stale());
+        // ...and while open, requests keep getting the stale answer
+        // instead of hard-failing.
+        let ans = h.query_within(&req, None).unwrap();
+        assert_eq!(
+            ans,
+            ServeAnswer::Stale {
+                epoch: epoch_then,
+                answer: Box::new(ServeAnswer::Bool(true)),
+            }
+        );
+        let stats = serve.stats();
+        assert_eq!(stats.stale_served, 2);
+        assert_eq!(stats.breaker_rejects, 1);
+    }
+
+    #[test]
+    fn overload_sheds_excess_concurrent_queries() {
+        use std::sync::Barrier;
+        let opts = ServeOptions {
+            cache_capacity: 0, // every query must solve
+            max_inflight: 2,
+            ..ServeOptions::default()
+        };
+        let (serve, r) = serve(&opts);
+        let threads = 16;
+        let rounds = 8;
+        let barrier = Barrier::new(threads);
+        let shed_or_ok = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let mut h = serve.handle();
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        let mut outcomes = (0u64, 0u64); // (ok, shed)
+                        for k in 0..rounds {
+                            let pair = ((t + k) % 4) as u32;
+                            let req = ServeRequest::Cop(CurrencyOrderQuery::single(
+                                r,
+                                A,
+                                TupleId(pair),
+                                TupleId((pair + 1) % 4),
+                            ));
+                            match h.query(&req) {
+                                Ok(_) => outcomes.0 += 1,
+                                Err(ServeError::Overloaded) => outcomes.1 += 1,
+                                Err(e) => panic!("unexpected error under load: {e}"),
+                            }
+                        }
+                        outcomes
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .fold((0, 0), |acc, o| (acc.0 + o.0, acc.1 + o.1))
+        });
+        let stats = serve.stats();
+        assert_eq!(shed_or_ok.0 + shed_or_ok.1, (threads * rounds) as u64);
+        assert_eq!(stats.shed, shed_or_ok.1);
+        assert_eq!(stats.inflight, 0, "gauge settles to zero");
+        assert!(shed_or_ok.0 > 0, "some queries are served under overload");
+    }
+
+    #[test]
+    fn default_budget_is_bounded_and_answers_normally() {
+        let (serve, r) = serve(&ServeOptions::default());
+        assert!(serve.stats().timeouts == 0);
+        let mut h = serve.handle();
+        // The default 30 s budget is plenty for a 4-tuple spec: answers
+        // come back fresh and exact through the bounded path.
+        assert!(h.cps().unwrap());
+        assert!(h
+            .cop(&CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)))
+            .unwrap());
+        assert!(h.dcip(r).unwrap());
+        assert_eq!(serve.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn cache_poison_recovery_surfaces_as_degraded_event() {
+        let (serve, _) = serve(&ServeOptions::default());
+        let mut h = serve.handle();
+        assert!(h.cps().unwrap());
+        assert_eq!(serve.stats().degraded_events, 0);
+        // Crash a reader under a shard lock; the next query absorbs it.
+        for shard in serve.shared.cache.shards() {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = shard.lock().unwrap();
+                panic!("simulated crash under shard lock");
+            }));
+            assert!(caught.is_err());
+        }
+        assert!(h.cps().is_ok());
+        let stats = serve.stats();
+        assert!(stats.degraded_events >= 1, "recovery counted");
     }
 }

@@ -12,6 +12,11 @@ pub(crate) struct Counters {
     pub(crate) cache_misses: AtomicU64,
     pub(crate) rate_limited: AtomicU64,
     pub(crate) inflight: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) timeouts: AtomicU64,
+    pub(crate) stale_served: AtomicU64,
+    pub(crate) breaker_trips: AtomicU64,
+    pub(crate) breaker_rejects: AtomicU64,
     pub(crate) latency_ns_total: AtomicU64,
     pub(crate) latency_ns_max: AtomicU64,
 }
@@ -35,9 +40,10 @@ impl Counters {
 pub struct ServeStats {
     /// Epoch of the currently published snapshot.
     pub epoch: u64,
-    /// Queries answered (hits + misses; excludes rate-limited rejects).
+    /// Queries answered (hits + misses + stale serves; excludes
+    /// rejections).
     pub queries: u64,
-    /// Queries answered from the epoch-keyed cache.
+    /// Queries answered from the epoch-keyed cache at the live epoch.
     pub cache_hits: u64,
     /// Queries that went to a solver (and then populated the cache).
     pub cache_misses: u64,
@@ -45,6 +51,25 @@ pub struct ServeStats {
     pub rate_limited: u64,
     /// Queries currently being evaluated.
     pub inflight: u64,
+    /// Queries shed by the in-flight cap before any solving started.
+    pub shed: u64,
+    /// Queries whose solve was interrupted by the per-request deadline
+    /// or work budget.
+    pub timeouts: u64,
+    /// Timed-out or breaker-rejected queries answered from an older
+    /// epoch's cached answer (tagged [`crate::ServeAnswer::Stale`]).
+    pub stale_served: u64,
+    /// Circuit-breaker open transitions (including re-opens after a
+    /// failed half-open probe).
+    pub breaker_trips: u64,
+    /// Queries rejected because their request shape's breaker was open.
+    pub breaker_rejects: u64,
+    /// Request shapes whose breaker is currently open.
+    pub breakers_open: usize,
+    /// Lock-poisoning recoveries absorbed by the serving stack (snapshot
+    /// cell + answer-cache shards): each is a crashed reader somewhere
+    /// that degraded service without taking it down.
+    pub degraded_events: u64,
     /// Entries currently resident in the answer cache (any epoch).
     pub cached_entries: usize,
     /// Total evaluation wall time across answered queries, nanoseconds.
@@ -80,6 +105,31 @@ impl<'a> InflightGuard<'a> {
         gauge.fetch_add(1, Ordering::Relaxed);
         InflightGuard(gauge)
     }
+
+    /// Enter only if fewer than `cap` queries are in flight (`cap == 0`
+    /// means unlimited).  The compare-exchange loop makes the check and
+    /// the increment one atomic step, so a burst of arrivals can never
+    /// overshoot the cap.
+    pub(crate) fn try_enter(gauge: &'a AtomicU64, cap: usize) -> Option<InflightGuard<'a>> {
+        if cap == 0 {
+            return Some(InflightGuard::enter(gauge));
+        }
+        let mut current = gauge.load(Ordering::Relaxed);
+        loop {
+            if current >= cap as u64 {
+                return None;
+            }
+            match gauge.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(InflightGuard(gauge)),
+                Err(seen) => current = seen,
+            }
+        }
+    }
 }
 
 impl Drop for InflightGuard<'_> {
@@ -108,6 +158,30 @@ mod tests {
             panic!("mid-query crash");
         }));
         assert!(caught.is_err());
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn try_enter_enforces_the_cap() {
+        let gauge = AtomicU64::new(0);
+        let a = InflightGuard::try_enter(&gauge, 2).expect("slot 1");
+        let b = InflightGuard::try_enter(&gauge, 2).expect("slot 2");
+        assert!(InflightGuard::try_enter(&gauge, 2).is_none(), "cap hit");
+        drop(a);
+        let c = InflightGuard::try_enter(&gauge, 2).expect("slot freed");
+        drop(b);
+        drop(c);
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn zero_cap_is_unlimited() {
+        let gauge = AtomicU64::new(0);
+        let guards: Vec<_> = (0..64)
+            .map(|_| InflightGuard::try_enter(&gauge, 0).expect("unlimited"))
+            .collect();
+        assert_eq!(gauge.load(Ordering::Relaxed), 64);
+        drop(guards);
         assert_eq!(gauge.load(Ordering::Relaxed), 0);
     }
 }

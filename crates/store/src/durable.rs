@@ -47,8 +47,10 @@
 
 use crate::error::{io_err, StoreError};
 use crate::snapshot::{
-    list_snapshots, prune_snapshots, read_snapshot, sweep_tmp_snapshots, write_snapshot,
+    list_snapshots_with, prune_snapshots_with, read_snapshot_with, sweep_tmp_snapshots_with,
+    write_snapshot_with,
 };
+use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{Record, Wal};
 use currency_core::{CompactReport, SpecDelta, Specification};
 use currency_query::Query;
@@ -56,6 +58,7 @@ use currency_reason::{
     ApplyReport, CertainAnswers, CurrencyEngine, CurrencyOrderQuery, EngineStats, Options,
 };
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Durability knobs of a [`DurableEngine`].
 #[derive(Clone, Copy, Debug)]
@@ -119,6 +122,7 @@ fn wal_path(dir: &Path) -> PathBuf {
 /// (see module docs).
 pub struct DurableEngine {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     engine: CurrencyEngine<'static>,
     wal: Wal,
     store_opts: StoreOptions,
@@ -147,27 +151,41 @@ impl DurableEngine {
         engine_opts: &Options,
         store_opts: StoreOptions,
     ) -> Result<DurableEngine, StoreError> {
-        std::fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
-        if !list_snapshots(dir)?.is_empty() {
+        DurableEngine::create_with_vfs(Arc::new(RealVfs), dir, spec, engine_opts, store_opts)
+    }
+
+    /// [`DurableEngine::create`] through an explicit [`Vfs`] — the chaos
+    /// harness's entry point, and the hook for alternative filesystems.
+    pub fn create_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        spec: Specification,
+        engine_opts: &Options,
+        store_opts: StoreOptions,
+    ) -> Result<DurableEngine, StoreError> {
+        vfs.create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        if !list_snapshots_with(&*vfs, dir)?.is_empty() {
             return Err(StoreError::AlreadyExists {
                 dir: dir.to_path_buf(),
             });
         }
-        sweep_tmp_snapshots(dir)?;
+        sweep_tmp_snapshots_with(&*vfs, dir)?;
         // Log before snapshot: a store "exists" once its base snapshot
         // does (the `AlreadyExists` check above), so the snapshot must be
         // the *last* artifact laid down — a crash in between leaves a
         // directory a retried `create` simply recreates, never a
         // half-store that both `create` and `open` refuse.
-        let wal = Wal::create(
+        let wal = Wal::create_with(
+            &*vfs,
             &wal_path(dir),
             store_opts.group_commit,
             store_opts.sync_data,
         )?;
-        write_snapshot(dir, 0, &spec, store_opts.sync_data)?;
+        write_snapshot_with(&*vfs, dir, 0, &spec, store_opts.sync_data)?;
         let engine = CurrencyEngine::new_owned(spec, engine_opts)?;
         Ok(DurableEngine {
             dir: dir.to_path_buf(),
+            vfs,
             engine,
             wal,
             store_opts,
@@ -192,7 +210,17 @@ impl DurableEngine {
         engine_opts: &Options,
         store_opts: StoreOptions,
     ) -> Result<DurableEngine, StoreError> {
-        let snaps = list_snapshots(dir)?;
+        DurableEngine::open_with_vfs(Arc::new(RealVfs), dir, engine_opts, store_opts)
+    }
+
+    /// [`DurableEngine::open`] through an explicit [`Vfs`].
+    pub fn open_with_vfs(
+        vfs: Arc<dyn Vfs>,
+        dir: &Path,
+        engine_opts: &Options,
+        store_opts: StoreOptions,
+    ) -> Result<DurableEngine, StoreError> {
+        let snaps = list_snapshots_with(&*vfs, dir)?;
         if snaps.is_empty() {
             return Err(StoreError::NoSnapshot {
                 dir: dir.to_path_buf(),
@@ -202,7 +230,7 @@ impl DurableEngine {
         // never renamed into a live name, so it holds no committed state
         // and accumulating them would leak a full spec encoding per
         // crashed rotation.
-        sweep_tmp_snapshots(dir)?;
+        sweep_tmp_snapshots_with(&*vfs, dir)?;
         // Newest snapshot that passes its checksum wins; older
         // generations are the fallback chain.  If every generation is
         // damaged, surface the newest one's error.  Falling back is only
@@ -214,7 +242,7 @@ impl DurableEngine {
         let mut max_skipped_seq = 0u64;
         let mut first_err = None;
         for (name_seq, path) in snaps.iter().rev() {
-            match read_snapshot(path) {
+            match read_snapshot_with(&*vfs, path) {
                 Ok(loaded) => {
                     snapshot = Some(loaded);
                     break;
@@ -229,7 +257,8 @@ impl DurableEngine {
         let Some((snapshot_seq, spec)) = snapshot else {
             return Err(first_err.expect("at least one snapshot was tried"));
         };
-        let opened = Wal::open(
+        let opened = Wal::open_with(
+            &*vfs,
             &wal_path(dir),
             store_opts.group_commit,
             store_opts.sync_data,
@@ -356,6 +385,7 @@ impl DurableEngine {
         engine.note_recovery(recovery.deltas_replayed);
         Ok(DurableEngine {
             dir: dir.to_path_buf(),
+            vfs,
             engine,
             wal,
             store_opts,
@@ -451,12 +481,25 @@ impl DurableEngine {
 
     /// Write a snapshot of the current state now, truncating the log and
     /// pruning old generations — what rotation does, on demand.
+    ///
+    /// A failure partway (a torn snapshot publish, a log truncation that
+    /// errored mid-way) poisons the store, like any other write failure:
+    /// which on-disk artifacts survived is unknown, and only a reopen's
+    /// recovery can re-derive the consistent state.
     pub fn snapshot_now(&mut self) -> Result<(), StoreError> {
         // A poisoned store's engine may disagree with its log; a snapshot
         // claiming to cover `seq` would persist that disagreement.
         self.check_poison()?;
+        if let Err(e) = self.snapshot_inner() {
+            return self.poison("snapshot write failed", e);
+        }
+        Ok(())
+    }
+
+    fn snapshot_inner(&mut self) -> Result<(), StoreError> {
         self.wal.flush()?;
-        write_snapshot(
+        write_snapshot_with(
+            &*self.vfs,
             &self.dir,
             self.seq,
             self.engine.spec(),
@@ -464,7 +507,7 @@ impl DurableEngine {
         )?;
         self.snapshot_seq = self.seq;
         self.wal.reset()?;
-        prune_snapshots(&self.dir, self.store_opts.keep_snapshots)?;
+        prune_snapshots_with(&*self.vfs, &self.dir, self.store_opts.keep_snapshots)?;
         Ok(())
     }
 
@@ -546,6 +589,8 @@ impl Drop for DurableEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::{list_snapshots, write_snapshot};
+    use crate::vfs::{ChaosPlan, ChaosVfs, Fault};
     use currency_core::wire::encode_spec;
     use currency_core::{
         AttrId, Catalog, CmpOp, DenialConstraint, Eid, RelId, RelationSchema, Term, Tuple, TupleId,
@@ -1040,5 +1085,132 @@ mod tests {
         );
         assert_eq!(recovered.seq(), 4);
         assert!(recovered.cps().unwrap());
+    }
+
+    #[test]
+    fn injected_fsync_failure_is_fail_stop_and_reopen_recovers() {
+        // Dry run against a fault-free chaos layer to learn the exact
+        // operation sequence, then aim an fsync fault at the first log
+        // sync a real apply would issue.
+        let opts = Options::default();
+        let durable_opts = StoreOptions::default(); // sync_data ON
+        let dry_dir = tmpdir("chaos-fsync-dry");
+        let probe = Arc::new(ChaosVfs::new(ChaosPlan::new()));
+        let (spec, r) = seed_spec();
+        let mut dry = DurableEngine::create_with_vfs(
+            probe.clone(),
+            &dry_dir,
+            spec.clone(),
+            &opts,
+            durable_opts,
+        )
+        .unwrap();
+        let created_at = probe.ops();
+        dry.apply(&insert(r, 0, 50)).unwrap();
+        drop(dry);
+        let target = probe
+            .trace()
+            .iter()
+            .find(|(op, kind)| *op >= created_at && *kind == "sync_data")
+            .expect("a sync_data op inside apply")
+            .0;
+
+        // The measured run: same workload, fault injected.
+        let dir = tmpdir("chaos-fsync");
+        let chaos = Arc::new(ChaosVfs::new(
+            ChaosPlan::new().fail_at(target, Fault::FsyncErr),
+        ));
+        let mut durable =
+            DurableEngine::create_with_vfs(chaos.clone(), &dir, spec, &opts, durable_opts).unwrap();
+        assert!(
+            matches!(durable.apply(&insert(r, 0, 50)), Err(StoreError::Io { .. })),
+            "the failed fsync surfaces as a typed I/O error"
+        );
+        assert_eq!(chaos.injected(), 1);
+        // Fail-stop: the log's durability is now unknown, so every
+        // further mutation is refused until a reopen re-derives truth
+        // from disk.
+        assert!(matches!(
+            durable.apply(&insert(r, 1, 60)),
+            Err(StoreError::Poisoned { .. })
+        ));
+        assert!(matches!(
+            durable.compact(),
+            Err(StoreError::Poisoned { .. })
+        ));
+        assert!(durable.cps().unwrap(), "reads still answer");
+        drop(durable);
+        // Reopen (no faults): recovery lands on a prefix-consistent
+        // state.  An fsync that *errored* may still have persisted the
+        // bytes, so either the delta survived whole or it is gone whole —
+        // never half.
+        let recovered = DurableEngine::open(&dir, &opts, durable_opts).unwrap();
+        let replayed = recovered.recovery().deltas_replayed;
+        assert!(replayed <= 1, "at most the acknowledged suffix is lost");
+        assert_eq!(recovered.seq(), replayed as u64);
+        assert!(recovered.cps().unwrap());
+        let mut recovered = recovered;
+        recovered.apply(&insert(r, 2, 70)).unwrap();
+        assert!(recovered.cps().unwrap(), "store is fully usable again");
+    }
+
+    #[test]
+    fn torn_rename_during_rotation_falls_back_by_checksum() {
+        // Aim a torn rename at the snapshot publish inside an explicit
+        // rotation: the half-written snapshot sits under a live name and
+        // must be refused by checksum on reopen, with the log bridging
+        // the gap.
+        let opts = Options::default();
+        let durable_opts = StoreOptions {
+            sync_data: false,
+            ..StoreOptions::default()
+        };
+        let dry_dir = tmpdir("chaos-torn-dry");
+        let probe = Arc::new(ChaosVfs::new(ChaosPlan::new()));
+        let (spec, r) = seed_spec();
+        let mut dry = DurableEngine::create_with_vfs(
+            probe.clone(),
+            &dry_dir,
+            spec.clone(),
+            &opts,
+            durable_opts,
+        )
+        .unwrap();
+        dry.apply(&insert(r, 0, 50)).unwrap();
+        let before_rotation = probe.ops();
+        dry.snapshot_now().unwrap();
+        drop(dry);
+        let target = probe
+            .trace()
+            .iter()
+            .find(|(op, kind)| *op >= before_rotation && *kind == "rename")
+            .expect("the snapshot publish rename")
+            .0;
+
+        let dir = tmpdir("chaos-torn");
+        let chaos = Arc::new(ChaosVfs::new(
+            ChaosPlan::new().fail_at(target, Fault::TornRename),
+        ));
+        let mut durable =
+            DurableEngine::create_with_vfs(chaos.clone(), &dir, spec, &opts, durable_opts).unwrap();
+        durable.apply(&insert(r, 0, 50)).unwrap();
+        let live_bytes = encode_spec(durable.spec());
+        assert!(
+            matches!(durable.snapshot_now(), Err(StoreError::Io { .. })),
+            "the torn publish surfaces as a typed I/O error"
+        );
+        assert!(matches!(
+            durable.apply(&insert(r, 1, 60)),
+            Err(StoreError::Poisoned { .. })
+        ));
+        drop(durable);
+        // Reopen: the torn snapshot-1 fails its checksum, recovery falls
+        // back to the base snapshot, and the (untruncated) log replays
+        // the delta — byte-for-byte the acknowledged state.
+        let recovered = DurableEngine::open(&dir, &opts, durable_opts).unwrap();
+        assert_eq!(recovered.recovery().snapshots_skipped, 1);
+        assert_eq!(recovered.recovery().snapshot_seq, 0);
+        assert_eq!(recovered.recovery().deltas_replayed, 1);
+        assert_eq!(encode_spec(recovered.spec()), live_bytes);
     }
 }

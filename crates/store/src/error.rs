@@ -173,18 +173,3 @@ pub(crate) fn io_err(path: &std::path::Path, source: std::io::Error) -> StoreErr
         source,
     }
 }
-
-/// `fsync` a directory so a just-created or just-renamed entry inside it
-/// survives power loss — file-data syncs alone do not persist the
-/// directory entry.  Called after the atomic snapshot rename and after
-/// log creation (when `sync_data` is on); best-effort on platforms where
-/// directories cannot be opened for syncing.
-pub(crate) fn sync_dir(dir: &std::path::Path) -> Result<(), StoreError> {
-    match std::fs::File::open(dir) {
-        Ok(handle) => handle.sync_all().map_err(|e| io_err(dir, e)),
-        // Opening a directory read-only can be unsupported (non-POSIX
-        // platforms); the rename itself is still atomic, so degrade to
-        // the pre-fsync guarantee instead of failing the write.
-        Err(_) => Ok(()),
-    }
-}

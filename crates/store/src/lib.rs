@@ -24,6 +24,15 @@
 //!   suffix replay, each delta re-validated through the normal
 //!   [`SpecDelta::validate`] path.
 //!
+//! Every byte any of them moves goes through the [`vfs`] seam: the
+//! production path is [`RealVfs`] (a thin veneer over `std::fs`), and
+//! the chaos harness swaps in [`ChaosVfs`] — a scripted fault injector
+//! (outright I/O errors, short writes, fsync failures, torn renames)
+//! that proves the fail-stop contract *on the exact operation sequence
+//! production executes*.  A store that hits an injected write fault
+//! refuses every further mutation ([`StoreError::Poisoned`]) until a
+//! reopen re-derives the one consistent state the durable files define.
+//!
 //! The recovery contract, enforced by the fault-injection suite: opening
 //! a store either reproduces a **prefix-consistent** state (everything up
 //! to the last durable log record; a torn tail from a crash mid-append
@@ -70,8 +79,10 @@ pub mod crc;
 mod durable;
 mod error;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
 pub use durable::{DurableEngine, RecoveryReport, StoreOptions};
 pub use error::StoreError;
+pub use vfs::{ChaosPlan, ChaosVfs, Fault, RealVfs, Vfs, VfsFile};
 pub use wal::{Record, Wal, WalOpen};

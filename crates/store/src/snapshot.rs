@@ -23,11 +23,10 @@
 //! order is recovery order.
 
 use crate::crc::{crc32_finish, crc32_update, CRC_INIT};
-use crate::error::{io_err, sync_dir, StoreError};
+use crate::error::{io_err, StoreError};
+use crate::vfs::{RealVfs, Vfs};
 use currency_core::wire::{self, WIRE_VERSION};
 use currency_core::Specification;
-use std::fs::{self, File};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every snapshot file.
@@ -52,11 +51,16 @@ pub fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
 /// The `(seq, path)` of every snapshot file in `dir`, sorted ascending
 /// by covered sequence number (non-snapshot files are ignored).
 pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    list_snapshots_with(&RealVfs, dir)
+}
+
+/// [`list_snapshots`] through an explicit [`Vfs`].
+pub fn list_snapshots_with(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
     let mut out = Vec::new();
-    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, e))? {
-        let entry = entry.map_err(|e| io_err(dir, e))?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for path in vfs.read_dir(dir).map_err(|e| io_err(dir, e))? {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
         let Some(seq) = name
             .strip_prefix("snapshot-")
             .and_then(|s| s.strip_suffix(".cur"))
@@ -64,7 +68,7 @@ pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
         else {
             continue;
         };
-        out.push((seq, entry.path()));
+        out.push((seq, path));
     }
     out.sort();
     Ok(out)
@@ -73,6 +77,17 @@ pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
 /// Write a snapshot covering log records up to and including `seq`,
 /// atomically (write to a temporary sibling, `fsync`, rename).
 pub fn write_snapshot(
+    dir: &Path,
+    seq: u64,
+    spec: &Specification,
+    sync_data: bool,
+) -> Result<PathBuf, StoreError> {
+    write_snapshot_with(&RealVfs, dir, seq, spec, sync_data)
+}
+
+/// [`write_snapshot`] through an explicit [`Vfs`].
+pub fn write_snapshot_with(
+    vfs: &dyn Vfs,
     dir: &Path,
     seq: u64,
     spec: &Specification,
@@ -90,18 +105,18 @@ pub fn write_snapshot(
     let path = snapshot_path(dir, seq);
     let tmp = path.with_extension("cur.tmp");
     {
-        let mut file = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+        let mut file = vfs.create_truncate(&tmp).map_err(|e| io_err(&tmp, e))?;
         file.write_all(&bytes).map_err(|e| io_err(&tmp, e))?;
         if sync_data {
             file.sync_data().map_err(|e| io_err(&tmp, e))?;
         }
     }
-    fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+    vfs.rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
     if sync_data {
         // The renamed entry must itself reach disk: without the directory
         // fsync a power cut could forget the new snapshot while keeping a
         // later log truncation, silently losing acknowledged records.
-        sync_dir(dir)?;
+        vfs.sync_dir(dir).map_err(|e| io_err(dir, e))?;
     }
     Ok(path)
 }
@@ -109,8 +124,13 @@ pub fn write_snapshot(
 /// Read and verify a snapshot, returning the covered sequence number and
 /// the decoded specification.
 pub fn read_snapshot(path: &Path) -> Result<(u64, Specification), StoreError> {
+    read_snapshot_with(&RealVfs, path)
+}
+
+/// [`read_snapshot`] through an explicit [`Vfs`].
+pub fn read_snapshot_with(vfs: &dyn Vfs, path: &Path) -> Result<(u64, Specification), StoreError> {
     let mut bytes = Vec::new();
-    File::open(path)
+    vfs.open_read_write(path)
         .and_then(|mut f| f.read_to_end(&mut bytes))
         .map_err(|e| io_err(path, e))?;
     if bytes.len() < SNAPSHOT_HEADER_LEN || &bytes[..8] != SNAPSHOT_MAGIC {
@@ -156,15 +176,18 @@ pub fn read_snapshot(path: &Path) -> Result<(u64, Specification), StoreError> {
 /// snapshot's temp write and its atomic rename — never part of the
 /// committed state, but a full spec encoding each if left to pile up).
 pub fn sweep_tmp_snapshots(dir: &Path) -> Result<usize, StoreError> {
+    sweep_tmp_snapshots_with(&RealVfs, dir)
+}
+
+/// [`sweep_tmp_snapshots`] through an explicit [`Vfs`].
+pub fn sweep_tmp_snapshots_with(vfs: &dyn Vfs, dir: &Path) -> Result<usize, StoreError> {
     let mut swept = 0;
-    for entry in fs::read_dir(dir).map_err(|e| io_err(dir, e))? {
-        let entry = entry.map_err(|e| io_err(dir, e))?;
-        let path = entry.path();
+    for path in vfs.read_dir(dir).map_err(|e| io_err(dir, e))? {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
         if name.starts_with("snapshot-") && name.ends_with(".cur.tmp") {
-            fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+            vfs.remove_file(&path).map_err(|e| io_err(&path, e))?;
             swept += 1;
         }
     }
@@ -173,14 +196,19 @@ pub fn sweep_tmp_snapshots(dir: &Path) -> Result<usize, StoreError> {
 
 /// Delete every snapshot older than the newest `keep` generations.
 pub fn prune_snapshots(dir: &Path, keep: usize) -> Result<usize, StoreError> {
-    let snaps = list_snapshots(dir)?;
+    prune_snapshots_with(&RealVfs, dir, keep)
+}
+
+/// [`prune_snapshots`] through an explicit [`Vfs`].
+pub fn prune_snapshots_with(vfs: &dyn Vfs, dir: &Path, keep: usize) -> Result<usize, StoreError> {
+    let snaps = list_snapshots_with(vfs, dir)?;
     let keep = keep.max(1);
     if snaps.len() <= keep {
         return Ok(0);
     }
     let doomed = snaps.len() - keep;
     for (_, path) in &snaps[..doomed] {
-        fs::remove_file(path).map_err(|e| io_err(path, e))?;
+        vfs.remove_file(path).map_err(|e| io_err(path, e))?;
     }
     Ok(doomed)
 }
@@ -189,6 +217,7 @@ pub fn prune_snapshots(dir: &Path, keep: usize) -> Result<usize, StoreError> {
 mod tests {
     use super::*;
     use currency_core::{Catalog, Eid, RelationSchema, Tuple, Value};
+    use std::fs;
 
     fn tmpdir(name: &str) -> PathBuf {
         let dir =

@@ -1,0 +1,533 @@
+//! The filesystem seam: every byte the durability layer moves goes
+//! through a [`Vfs`], so the same code path runs against the real
+//! filesystem in production ([`RealVfs`]) and against a scripted
+//! fault injector in tests ([`ChaosVfs`]).
+//!
+//! ## Why a trait and not `#[cfg(test)]` hooks
+//!
+//! The recovery contract ("fail-stop, prefix-consistent, never silently
+//! wrong") is only worth what the fault coverage proves.  Hooking
+//! individual `std::fs` calls tests the hooks; routing *all* I/O through
+//! one narrow trait means a fault schedule can land on any operation the
+//! store will ever issue — the exact op set, in the exact order, that
+//! production executes.
+//!
+//! ## The chaos model
+//!
+//! [`ChaosVfs`] numbers every operation with a global counter and
+//! consults a [`ChaosPlan`] — a map from operation index to [`Fault`].
+//! The schedule is **scripted**: the same plan over the same workload
+//! injects the same fault at the same byte, so every chaos failure is
+//! replayable from its seed.  Four fault shapes cover the crash
+//! folklore:
+//!
+//! * [`Fault::Io`] — the operation fails outright (disk yanked, EIO);
+//! * [`Fault::ShortWrite`] — half the buffer reaches the file, then the
+//!   write errors (a torn append's on-disk footprint);
+//! * [`Fault::FsyncErr`] — the sync fails *after* the data was handed to
+//!   the OS (the infamous fsync-gate shape: the bytes may or may not be
+//!   durable, and the caller must treat the file as suspect);
+//! * [`Fault::TornRename`] — the destination materializes half-written
+//!   and the rename errors (a crash mid-publish on a non-atomic
+//!   filesystem; the checksum layer must refuse the torn file).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An open file handle behind the [`Vfs`] seam.
+pub trait VfsFile: Send {
+    /// Read the rest of the file into `buf`.
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize>;
+    /// Write the whole buffer at the current position.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Reposition the file cursor.
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64>;
+    /// Truncate (or extend) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Flush file *data* to stable storage.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Flush file data and metadata to stable storage.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem operations the durability layer needs — nothing more.
+/// Implementations must be shareable across threads (the serving stack
+/// holds stores behind `Arc`).
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Open an existing file for reading and appending/patching.
+    fn open_read_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Create (or truncate) a file for reading and writing.
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomically rename `from` to `to` (the snapshot publish step).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Every entry in `dir`, as full paths (order unspecified).
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Create a directory and its ancestors.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// `fsync` a directory so a just-created or just-renamed entry in it
+    /// survives power loss — file-data syncs alone do not persist the
+    /// directory entry.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production [`Vfs`]: a thin veneer over `std::fs`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealVfs;
+
+struct RealFile(File);
+
+impl VfsFile for RealFile {
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        self.0.read_to_end(buf)
+    }
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.0.seek(pos)
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Vfs for RealVfs {
+    fn open_read_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match File::open(dir) {
+            Ok(handle) => handle.sync_all(),
+            // Opening a directory read-only can be unsupported (non-POSIX
+            // platforms); the rename itself is still atomic, so degrade
+            // to the pre-fsync guarantee instead of failing the write.
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+/// One injected failure shape (see the module docs for the crash
+/// folklore each models).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation fails outright, touching nothing.
+    Io,
+    /// Half the buffer is written, then the write errors.
+    ShortWrite,
+    /// The sync errors; the preceding writes may or may not be durable.
+    FsyncErr,
+    /// The rename's destination materializes half-written, then errors.
+    TornRename,
+}
+
+/// A scripted fault schedule: operation index → fault.  Operation
+/// indices count **every** [`Vfs`]/[`VfsFile`] call the wrapped store
+/// issues, in issue order, starting from 0 — run the workload once
+/// against a fault-free [`ChaosVfs`] and [`ChaosVfs::trace`] names every
+/// index a fault can land on.
+///
+/// A fault whose shape does not match its operation (a
+/// [`Fault::TornRename`] landing on a read, say) degrades to
+/// [`Fault::Io`]: the operation still fails, which keeps randomly
+/// generated schedules meaningful everywhere they land.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosPlan {
+    faults: BTreeMap<u64, Fault>,
+}
+
+impl ChaosPlan {
+    /// An empty schedule (every operation succeeds).
+    pub fn new() -> ChaosPlan {
+        ChaosPlan::default()
+    }
+
+    /// Schedule `fault` at global operation index `op`.
+    pub fn fail_at(mut self, op: u64, fault: Fault) -> ChaosPlan {
+        self.faults.insert(op, fault);
+        self
+    }
+
+    /// A reproducible random schedule: up to `faults` faults at indices
+    /// below `horizon`, derived from `seed` alone (splitmix64 — no
+    /// global state, the same seed always builds the same plan).
+    pub fn from_seed(seed: u64, horizon: u64, faults: usize) -> ChaosPlan {
+        let mut plan = ChaosPlan::new();
+        if horizon == 0 {
+            return plan;
+        }
+        let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+        for _ in 0..faults {
+            let op = splitmix64(&mut state) % horizon;
+            let fault = match splitmix64(&mut state) % 4 {
+                0 => Fault::Io,
+                1 => Fault::ShortWrite,
+                2 => Fault::FsyncErr,
+                _ => Fault::TornRename,
+            };
+            plan.faults.insert(op, fault);
+        }
+        plan
+    }
+
+    /// The scheduled faults, by operation index.
+    pub fn faults(&self) -> &BTreeMap<u64, Fault> {
+        &self.faults
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug)]
+struct ChaosState {
+    plan: ChaosPlan,
+    next_op: AtomicU64,
+    injected: AtomicU64,
+    trace: Mutex<Vec<(u64, &'static str)>>,
+}
+
+impl ChaosState {
+    /// Number the operation, record it in the trace, and look up its
+    /// scheduled fault (if any).
+    fn step(&self, kind: &'static str) -> (u64, Option<Fault>) {
+        let op = self.next_op.fetch_add(1, Ordering::Relaxed);
+        self.trace
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((op, kind));
+        let fault = self.plan.faults.get(&op).copied();
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        (op, fault)
+    }
+}
+
+fn injected(op: u64, fault: Fault, kind: &'static str) -> io::Error {
+    io::Error::other(format!("chaos: injected {fault:?} at op #{op} ({kind})"))
+}
+
+/// A fault-injecting [`Vfs`] wrapper (see the module docs).  Wraps
+/// [`RealVfs`] by default; every operation — including those issued by
+/// files it handed out — is globally numbered and checked against the
+/// [`ChaosPlan`].
+#[derive(Debug)]
+pub struct ChaosVfs {
+    inner: Arc<dyn Vfs>,
+    state: Arc<ChaosState>,
+}
+
+impl ChaosVfs {
+    /// A chaos layer over the real filesystem.
+    pub fn new(plan: ChaosPlan) -> ChaosVfs {
+        ChaosVfs::over(Arc::new(RealVfs), plan)
+    }
+
+    /// A chaos layer over an arbitrary inner [`Vfs`].
+    pub fn over(inner: Arc<dyn Vfs>, plan: ChaosPlan) -> ChaosVfs {
+        ChaosVfs {
+            inner,
+            state: Arc::new(ChaosState {
+                plan,
+                next_op: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+                trace: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Operations issued so far — run a workload fault-free and this is
+    /// the `horizon` for [`ChaosPlan::from_seed`].
+    pub fn ops(&self) -> u64 {
+        self.state.next_op.load(Ordering::Relaxed)
+    }
+
+    /// Faults actually injected so far (a schedule whose indices the
+    /// workload never reached injects nothing).
+    pub fn injected(&self) -> u64 {
+        self.state.injected.load(Ordering::Relaxed)
+    }
+
+    /// Every operation issued so far, as `(index, kind)` — the map for
+    /// aiming a targeted schedule at, say, "the first `sync_data` after
+    /// the store was created".
+    pub fn trace(&self) -> Vec<(u64, &'static str)> {
+        self.state
+            .trace
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+struct ChaosFile {
+    inner: Box<dyn VfsFile>,
+    state: Arc<ChaosState>,
+}
+
+impl VfsFile for ChaosFile {
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        match self.state.step("read_to_end") {
+            (op, Some(fault)) => Err(injected(op, fault, "read_to_end")),
+            _ => self.inner.read_to_end(buf),
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.state.step("write_all") {
+            (op, Some(Fault::ShortWrite)) => {
+                // Half the buffer lands before the failure: the torn
+                // footprint the frame/checksum layers must absorb.
+                let _ = self.inner.write_all(&buf[..buf.len() / 2]);
+                Err(injected(op, Fault::ShortWrite, "write_all"))
+            }
+            (op, Some(fault)) => Err(injected(op, fault, "write_all")),
+            _ => self.inner.write_all(buf),
+        }
+    }
+
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        match self.state.step("seek") {
+            (op, Some(fault)) => Err(injected(op, fault, "seek")),
+            _ => self.inner.seek(pos),
+        }
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        match self.state.step("set_len") {
+            (op, Some(fault)) => Err(injected(op, fault, "set_len")),
+            _ => self.inner.set_len(len),
+        }
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        match self.state.step("sync_data") {
+            // FsyncErr semantics: the error surfaces but the preceding
+            // writes were already handed to the OS — durability is
+            // *unknown*, exactly the ambiguity callers must fail-stop on.
+            (op, Some(fault)) => Err(injected(op, fault, "sync_data")),
+            _ => self.inner.sync_data(),
+        }
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        match self.state.step("sync_all") {
+            (op, Some(fault)) => Err(injected(op, fault, "sync_all")),
+            _ => self.inner.sync_all(),
+        }
+    }
+}
+
+impl Vfs for ChaosVfs {
+    fn open_read_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        match self.state.step("open_read_write") {
+            (op, Some(fault)) => Err(injected(op, fault, "open_read_write")),
+            _ => Ok(Box::new(ChaosFile {
+                inner: self.inner.open_read_write(path)?,
+                state: self.state.clone(),
+            })),
+        }
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        match self.state.step("create_truncate") {
+            (op, Some(fault)) => Err(injected(op, fault, "create_truncate")),
+            _ => Ok(Box::new(ChaosFile {
+                inner: self.inner.create_truncate(path)?,
+                state: self.state.clone(),
+            })),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.state.step("rename") {
+            (op, Some(Fault::TornRename)) => {
+                // A crash mid-publish on a non-atomic filesystem: the
+                // destination shows up half-written (and the source
+                // stays).  The torn file sits under a *live* name, so
+                // whoever reads it must refuse it by checksum.
+                let mut bytes = Vec::new();
+                if let Ok(mut src) = self.inner.open_read_write(from) {
+                    let _ = src.read_to_end(&mut bytes);
+                }
+                if let Ok(mut dst) = self.inner.create_truncate(to) {
+                    let _ = dst.write_all(&bytes[..bytes.len() / 2]);
+                }
+                Err(injected(op, Fault::TornRename, "rename"))
+            }
+            (op, Some(fault)) => Err(injected(op, fault, "rename")),
+            _ => self.inner.rename(from, to),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.state.step("remove_file") {
+            (op, Some(fault)) => Err(injected(op, fault, "remove_file")),
+            _ => self.inner.remove_file(path),
+        }
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        match self.state.step("read_dir") {
+            (op, Some(fault)) => Err(injected(op, fault, "read_dir")),
+            _ => self.inner.read_dir(dir),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        match self.state.step("create_dir_all") {
+            (op, Some(fault)) => Err(injected(op, fault, "create_dir_all")),
+            _ => self.inner.create_dir_all(dir),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.state.step("sync_dir") {
+            (op, Some(fault)) => Err(injected(op, fault, "sync_dir")),
+            _ => self.inner.sync_dir(dir),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("currency-store-vfs-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_vfs_round_trips_and_lists() {
+        let dir = tmpdir("real");
+        let vfs = RealVfs;
+        let path = dir.join("a.bin");
+        {
+            let mut f = vfs.create_truncate(&path).unwrap();
+            f.write_all(b"hello").unwrap();
+            f.sync_data().unwrap();
+        }
+        let mut f = vfs.open_read_write(&path).unwrap();
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"hello");
+        f.seek(SeekFrom::Start(0)).unwrap();
+        f.set_len(2).unwrap();
+        drop(f);
+        let renamed = dir.join("b.bin");
+        vfs.rename(&path, &renamed).unwrap();
+        let listed = vfs.read_dir(&dir).unwrap();
+        assert_eq!(listed, vec![renamed.clone()]);
+        vfs.sync_dir(&dir).unwrap();
+        vfs.remove_file(&renamed).unwrap();
+        assert!(vfs.read_dir(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn chaos_counts_ops_and_injects_at_the_scheduled_index() {
+        let dir = tmpdir("chaos-count");
+        let vfs = ChaosVfs::new(ChaosPlan::new().fail_at(2, Fault::Io));
+        let path = dir.join("a.bin");
+        let mut f = vfs.create_truncate(&path).unwrap(); // op 0
+        f.write_all(b"xy").unwrap(); // op 1
+        let err = f.write_all(b"zw").unwrap_err(); // op 2: injected
+        assert_eq!(err.to_string(), "chaos: injected Io at op #2 (write_all)");
+        f.write_all(b"ok").unwrap(); // op 3: schedule exhausted
+        assert_eq!(vfs.ops(), 4);
+        assert_eq!(vfs.injected(), 1);
+        let kinds: Vec<_> = vfs.trace().iter().map(|(_, k)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec!["create_truncate", "write_all", "write_all", "write_all"]
+        );
+    }
+
+    #[test]
+    fn short_write_leaves_half_the_buffer() {
+        let dir = tmpdir("chaos-short");
+        let vfs = ChaosVfs::new(ChaosPlan::new().fail_at(1, Fault::ShortWrite));
+        let path = dir.join("a.bin");
+        let mut f = vfs.create_truncate(&path).unwrap();
+        assert!(f.write_all(b"12345678").is_err());
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"1234");
+    }
+
+    #[test]
+    fn torn_rename_leaves_a_half_written_destination() {
+        let dir = tmpdir("chaos-torn");
+        let src = dir.join("src.tmp");
+        std::fs::write(&src, b"ABCDEFGH").unwrap();
+        let vfs = ChaosVfs::new(ChaosPlan::new().fail_at(0, Fault::TornRename));
+        let dst = dir.join("dst.bin");
+        assert!(vfs.rename(&src, &dst).is_err());
+        assert_eq!(std::fs::read(&dst).unwrap(), b"ABCD", "torn destination");
+        assert!(src.exists(), "source not consumed");
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_bounded() {
+        let a = ChaosPlan::from_seed(42, 100, 3);
+        let b = ChaosPlan::from_seed(42, 100, 3);
+        assert_eq!(a.faults(), b.faults(), "same seed, same schedule");
+        assert!(a.faults().len() <= 3);
+        assert!(a.faults().keys().all(|&op| op < 100));
+        let c = ChaosPlan::from_seed(43, 100, 3);
+        assert_ne!(a.faults(), c.faults(), "different seed diverges");
+        assert!(ChaosPlan::from_seed(1, 0, 5).faults().is_empty());
+    }
+}

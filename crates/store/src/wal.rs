@@ -40,11 +40,11 @@
 //! durable before [`Wal::append`] returns.
 
 use crate::crc::crc32;
-use crate::error::{io_err, sync_dir, StoreError};
+use crate::error::{io_err, StoreError};
+use crate::vfs::{RealVfs, Vfs, VfsFile};
 use currency_core::wire::{self, WireReader, WireWriter, WIRE_VERSION};
 use currency_core::{CompactReport, SpecDelta};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every WAL file.
@@ -162,7 +162,7 @@ pub struct WalOpen {
 
 /// The append-only log file (see module docs).
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     /// Bytes durably framed on disk (header included).
     durable_len: u64,
@@ -172,19 +172,29 @@ pub struct Wal {
     pending: usize,
     group_commit: usize,
     sync_data: bool,
+    /// Set after a flush (or reset) failed partway: how much of the
+    /// buffer reached the file is unknown, so *re*-flushing would risk
+    /// appending duplicate frames.  Every later flush refuses until the
+    /// log is reopened (reopen re-derives the durable prefix from disk).
+    failed: bool,
 }
 
 impl Wal {
     /// Create a fresh log at `path` (truncating anything there), writing
     /// and syncing the header.
     pub fn create(path: &Path, group_commit: usize, sync_data: bool) -> Result<Wal, StoreError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)
-            .map_err(|e| io_err(path, e))?;
+        Wal::create_with(&RealVfs, path, group_commit, sync_data)
+    }
+
+    /// [`Wal::create`] through an explicit [`Vfs`] (fault injection,
+    /// alternative filesystems).
+    pub fn create_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+        group_commit: usize,
+        sync_data: bool,
+    ) -> Result<Wal, StoreError> {
+        let mut file = vfs.create_truncate(path).map_err(|e| io_err(path, e))?;
         let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
         header.extend_from_slice(WAL_MAGIC);
         header.extend_from_slice(&WIRE_VERSION.to_le_bytes());
@@ -193,7 +203,7 @@ impl Wal {
             file.sync_data().map_err(|e| io_err(path, e))?;
             // The new log's directory entry must survive power loss too.
             if let Some(dir) = path.parent() {
-                sync_dir(dir)?;
+                vfs.sync_dir(dir).map_err(|e| io_err(dir, e))?;
             }
         }
         Ok(Wal {
@@ -204,6 +214,7 @@ impl Wal {
             pending: 0,
             group_commit: group_commit.max(1),
             sync_data,
+            failed: false,
         })
     }
 
@@ -211,11 +222,17 @@ impl Wal {
     /// truncated away, any other framing or checksum damage is refused
     /// (see module docs for the classification).
     pub fn open(path: &Path, group_commit: usize, sync_data: bool) -> Result<WalOpen, StoreError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(path)
-            .map_err(|e| io_err(path, e))?;
+        Wal::open_with(&RealVfs, path, group_commit, sync_data)
+    }
+
+    /// [`Wal::open`] through an explicit [`Vfs`].
+    pub fn open_with(
+        vfs: &dyn Vfs,
+        path: &Path,
+        group_commit: usize,
+        sync_data: bool,
+    ) -> Result<WalOpen, StoreError> {
+        let mut file = vfs.open_read_write(path).map_err(|e| io_err(path, e))?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes).map_err(|e| io_err(path, e))?;
         if bytes.len() < WAL_HEADER_LEN as usize || &bytes[..8] != WAL_MAGIC {
@@ -305,6 +322,7 @@ impl Wal {
                 pending: 0,
                 group_commit: group_commit.max(1),
                 sync_data,
+                failed: false,
             },
             records,
             torn_tail_bytes,
@@ -346,19 +364,39 @@ impl Wal {
 
     /// Write (and, when configured, `fsync`) every buffered frame.  The
     /// durability point: records are crash-safe once this returns.
+    ///
+    /// A flush that fails partway leaves the log **fail-stop**: how many
+    /// buffered bytes reached the file is unknown, so retrying could
+    /// append the same frames twice (a reopen would then refuse the log
+    /// as corrupt).  Every later flush returns an error until the log is
+    /// reopened and the durable prefix re-derived from disk.
     pub fn flush(&mut self) -> Result<(), StoreError> {
+        if self.failed {
+            return Err(io_err(
+                &self.path,
+                std::io::Error::other("log is fail-stop after an earlier flush failure"),
+            ));
+        }
         if self.buf.is_empty() {
             return Ok(());
         }
+        if let Err(e) = self.flush_inner() {
+            self.failed = true;
+            return Err(e);
+        }
+        self.durable_len += self.buf.len() as u64;
+        self.buf.clear();
+        self.pending = 0;
+        Ok(())
+    }
+
+    fn flush_inner(&mut self) -> Result<(), StoreError> {
         self.file
             .write_all(&self.buf)
             .map_err(|e| io_err(&self.path, e))?;
         if self.sync_data {
             self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
         }
-        self.durable_len += self.buf.len() as u64;
-        self.buf.clear();
-        self.pending = 0;
         Ok(())
     }
 
@@ -378,6 +416,17 @@ impl Wal {
     /// first so the caller cannot silently drop acknowledged records.
     pub fn reset(&mut self) -> Result<(), StoreError> {
         self.flush()?;
+        if let Err(e) = self.reset_inner() {
+            // The file's length or cursor is now unknown; appending to it
+            // would interleave new frames with truncation residue.
+            self.failed = true;
+            return Err(e);
+        }
+        self.durable_len = WAL_HEADER_LEN;
+        Ok(())
+    }
+
+    fn reset_inner(&mut self) -> Result<(), StoreError> {
         self.file
             .set_len(WAL_HEADER_LEN)
             .map_err(|e| io_err(&self.path, e))?;
@@ -387,7 +436,6 @@ impl Wal {
         if self.sync_data {
             self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
         }
-        self.durable_len = WAL_HEADER_LEN;
         Ok(())
     }
 }

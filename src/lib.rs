@@ -16,10 +16,13 @@
 //!   seven problems (CPS, COP, DCIP, CCQA, CPP, ECP, BCP) and the
 //!   entity-partitioned incremental `CurrencyEngine`.
 //! * [`store`] (`currency-store`) — durability: checksummed snapshots, a
-//!   delta write-ahead log, and the crash-recoverable `DurableEngine`.
+//!   delta write-ahead log, the crash-recoverable `DurableEngine`, and the
+//!   `Vfs` seam with the `ChaosVfs` fault-injection harness.
 //! * [`serve`] (`currency-serve`) — concurrent query serving: epoch-published
 //!   snapshot views, the `CurrencyServe` front door with an epoch-keyed
-//!   answer cache, rate limiting and lock-free serving stats.
+//!   answer cache, rate limiting, per-request solve deadlines, overload
+//!   shedding, a per-shape circuit breaker with stale-serve degradation,
+//!   and lock-free serving stats.
 //! * [`sat`] (`currency-sat`) — the CDCL SAT solver substrate.
 //! * [`datagen`] (`currency-datagen`) — paper scenarios, random
 //!   specification generators, and hardness-reduction gadgets.
