@@ -8,7 +8,9 @@
 //! ```
 //!
 //! * `--fast` — CI smoke shape: fewer samples, smaller sweeps, lazy-only
-//!   at the largest group size (seconds, not minutes);
+//!   at the largest group size, the multi-second large-scale `compact()`
+//!   priced only at the 1× point, and the sharded sweep downscaled
+//!   (seconds, not minutes);
 //! * `--check` — exit non-zero if the 64-tuple-group lazy scenario
 //!   regresses (wall time past the generous [`LAZY_64_THRESHOLD_NS`], or
 //!   stored-clause count past the deterministic
@@ -23,13 +25,14 @@
 
 use currency_bench::measure::{measure, measure_once, Measurement};
 use currency_bench::scenarios;
-use currency_core::{SpecDelta, Specification};
+use currency_core::{Eid, SpecDelta, Specification, Tuple, Value};
+use currency_datagen::random::{random_spec, RandomSpecConfig};
 use currency_reason::{
     certain_answers_exact_monolithic, cop_exact_monolithic, CurrencyEngine, Options, ReasonError,
-    SnapshotEngine, SolveLimits, TransitivityMode,
+    ShardedEngine, SnapshotEngine, SolveLimits, TransitivityMode,
 };
 use currency_serve::{CurrencyServe, ServeError, ServeOptions, ServeRequest, ServeStats};
-use currency_store::{DurableEngine, StoreOptions};
+use currency_store::{DurableEngine, ShardedStore, StoreOptions};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
@@ -112,6 +115,77 @@ const RECOVERY_SPEEDUP_MIN: f64 = 1.5;
 /// Absolute wall-time ceiling on recovery for `--check` (generous: the
 /// measured open is tens of milliseconds).
 const RECOVERY_WALL_NS: f64 = 10_000_000_000.0; // 10 s
+
+/// Shard count of the sharded scale-out workload (the widest point the
+/// differential test suite exercises).
+const SHARDED_SHARDS: usize = 8;
+
+/// Baseline entity count of the sharded flatness sweep in full mode; the
+/// scaled point is [`SHARDED_SCALE`]× this — the 100k-entity regime the
+/// acceptance criteria name ([`scenarios::sharded_spec`] keeps entities
+/// lean so the *entity count*, the quantity sharding distributes, is
+/// what scales).
+const SHARDED_BASE_ENTITIES: usize = 10_000;
+
+/// Sharded-sweep baseline under `--fast` (same 1×-vs-10× shape, a
+/// fraction of the build time).
+const SHARDED_BASE_ENTITIES_FAST: usize = 1_000;
+
+/// The sharded sweep's scaled point is this multiple of the baseline.
+const SHARDED_SCALE: usize = 10;
+
+/// Flatness guard for `--check` on the sharded workload: per-delta
+/// apply + scatter-CPS at 10× the base entity count must stay within
+/// this factor of the baseline.  Routing is a hash + O(log n) placement
+/// lookup and the apply is O(dirty region) inside one shard, so the
+/// true ratio is ≈ 1 with only cache-pressure drift; an O(shard) or
+/// O(spec) term in the routed path pushes it well past 2×.
+const SHARDED_FLAT_FACTOR: f64 = 2.0;
+
+/// Entity count of the sharded recovery race in full mode (8 shards,
+/// each rebuilding its engine and replaying its log slice).
+const SHARDED_RECOVERY_ENTITIES: usize = 4_000;
+
+/// Sharded recovery entity count under `--fast`.
+const SHARDED_RECOVERY_ENTITIES_FAST: usize = 800;
+
+/// Logged single-shard deltas of the sharded recovery race in full mode
+/// (all of them replay on open — rotation is disabled).
+const SHARDED_RECOVERY_DELTAS: usize = 1_600;
+
+/// Sharded recovery history length under `--fast`.
+const SHARDED_RECOVERY_DELTAS_FAST: usize = 320;
+
+/// Recovery-parallelism guard for `--check`: opening all shards
+/// concurrently must beat the sequential open by this factor.  Shards
+/// recover with zero shared state, so on real multi-core hardware the
+/// speedup tracks the core count; 1.5 is the noise-safe floor for
+/// "measurably parallel".
+const SHARDED_RECOVERY_SPEEDUP_MIN: f64 = 1.5;
+
+/// The parallel-recovery bar is enforced only on machines that can
+/// physically show it; below this core count the per-shard threads
+/// time-slice one another and the honest speedup is ≈ 1.
+const SHARDED_RECOVERY_MIN_CORES: usize = 4;
+
+/// Everywhere-enforced sanity floor: even time-sliced on one core,
+/// parallel recovery must not *collapse* below this fraction of the
+/// sequential open — a cross-shard lock (or one shard recovering the
+/// others' work) would sink it.
+const SHARDED_RECOVERY_COLLAPSE_FLOOR: f64 = 0.35;
+
+/// Seeds of the sharded-vs-unsharded CPS differential sweep in full
+/// mode — the full 10k-seed space the property suites draw from.  The
+/// guard is deterministic: zero disagreements.
+const SHARDED_DIFF_SEEDS: u64 = 10_000;
+
+/// Differential-sweep seeds under `--fast`.
+const SHARDED_DIFF_SEEDS_FAST: u64 = 1_000;
+
+/// Shard count of the differential sweep (entity routing at N = 4
+/// splits the 3-entity specs nontrivially without degenerating to
+/// one-entity shards everywhere).
+const SHARDED_DIFF_SHARDS: usize = 4;
 
 /// Reader-thread sweep of the serve workload: sustained qps with a
 /// concurrent writer churning the delta stream.
@@ -424,11 +498,20 @@ fn main() {
         large_per_delta.push(per_delta_ns);
         // Every measured iteration retracted one tuple, leaving one
         // tombstone slot: compact them away and price the rebuild.
-        let compact = measure_once(|| {
-            std::hint::black_box(engine.compact().unwrap().reclaimed);
-        });
+        // Compaction recompiles every component, which is multi-second
+        // at full scale — `--fast` prices it only at the 1× point (same
+        // shape, a fraction of the cost) and records null above that.
+        let compact = if args.fast && scale > 1 {
+            None
+        } else {
+            Some(measure_once(|| {
+                std::hint::black_box(engine.compact().unwrap().reclaimed);
+            }))
+        };
         let reclaimed = engine.stats().slots_reclaimed;
-        assert!(engine.cps().unwrap(), "consistent after compaction");
+        if compact.is_some() {
+            assert!(engine.cps().unwrap(), "consistent after compaction");
+        }
         let _ = write!(
             json,
             "    {{\"entities\": {entities}, \"mappings\": {mappings}, \
@@ -436,11 +519,23 @@ fn main() {
              \"apply_pair\": "
         );
         push_measurement(&mut json, &apply);
-        let _ = write!(
-            json,
-            ", \"compact_reclaimed\": {reclaimed}, \"compact_ns\": {:.0}}}",
-            compact.median_ns
-        );
+        match &compact {
+            Some(c) => {
+                let per_reclaimed = c.median_ns / reclaimed.max(1) as f64;
+                let _ = write!(
+                    json,
+                    ", \"compact_reclaimed\": {reclaimed}, \"compact_ns\": {:.0}, \
+                     \"compact_ns_per_reclaimed\": {per_reclaimed:.0}}}",
+                    c.median_ns
+                );
+            }
+            None => {
+                json.push_str(
+                    ", \"compact_reclaimed\": null, \"compact_ns\": null, \
+                     \"compact_ns_per_reclaimed\": null}",
+                );
+            }
+        }
         if ix == 0 {
             json.push(',');
         }
@@ -577,6 +672,220 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Sharded scale-out workload (ShardedEngine / ShardedStore): (a)
+    // per-delta apply + scatter-CPS flatness from the 10k-entity
+    // baseline to the 100k-entity point on an 8-way engine; (b) parallel
+    // vs sequential vs trusted-replay recovery of an 8-shard durable
+    // store; (c) the 10k-seed CPS differential sweep against the
+    // unsharded engine (deterministic: zero disagreements).
+    // ------------------------------------------------------------------
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sharded_base = if args.fast {
+        SHARDED_BASE_ENTITIES_FAST
+    } else {
+        SHARDED_BASE_ENTITIES
+    };
+    let mut sharded_per_delta: Vec<f64> = Vec::new();
+    let _ = writeln!(
+        json,
+        "  \"sharded\": {{\"shards\": {SHARDED_SHARDS}, \"apply\": ["
+    );
+    for (ix, &scale) in [1usize, SHARDED_SCALE].iter().enumerate() {
+        let entities = sharded_base * scale;
+        eprintln!("sharded: entities = {entities} ({SHARDED_SHARDS}-way build)");
+        let spec = scenarios::sharded_spec(entities);
+        let opts = Options::default();
+        let mut sharded = ShardedEngine::new(&spec, SHARDED_SHARDS, &opts).expect("clean split");
+        assert!(
+            sharded.cps().expect("in budget"),
+            "consistent by construction"
+        );
+        let insert = scenarios::large_insert_delta();
+        // Entity 0's readings live in exactly one shard; the routed
+        // apply must land there and nowhere else.
+        let owner = sharded.plan().shard_of(Eid(0));
+        let report = sharded.apply(&insert).expect("admissible");
+        assert_eq!(
+            report.shard,
+            Some(owner),
+            "entity delta routed to its owner"
+        );
+        let (rel, id) = report.inserted[0];
+        sharded
+            .apply(&scenarios::update_remove_delta(rel, id))
+            .expect("admissible");
+        let apply = measure(samples, warmup, window, || {
+            let report = sharded.apply(&insert).unwrap();
+            std::hint::black_box(sharded.cps().unwrap());
+            let (rel, id) = report.inserted[0];
+            sharded
+                .apply(&scenarios::update_remove_delta(rel, id))
+                .unwrap();
+            std::hint::black_box(sharded.cps().unwrap());
+        });
+        let per_delta_ns = apply.median_ns / 2.0;
+        sharded_per_delta.push(per_delta_ns);
+        // Warm scatter-gather CPS: every shard verdict is cached, so
+        // this prices the all-shards conjunction itself.
+        let scatter = measure(samples, warmup, window, || {
+            std::hint::black_box(sharded.cps().unwrap());
+        });
+        let components = sharded.stats().total.components;
+        let _ = write!(
+            json,
+            "    {{\"entities\": {entities}, \"components\": {components}, \
+             \"per_delta_ns\": {per_delta_ns:.0}, \"apply_pair\": "
+        );
+        push_measurement(&mut json, &apply);
+        json.push_str(", \"scatter_cps\": ");
+        push_measurement(&mut json, &scatter);
+        json.push('}');
+        if ix == 0 {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    let sharded_ratio = sharded_per_delta[1] / sharded_per_delta[0];
+    let _ = write!(json, "  ], \"flat_ratio\": {sharded_ratio:.2},\n  ");
+    // (b) Recovery race: a logged history of single-shard inserts spread
+    // round-robin over the entities, then the three open paths.  fsync
+    // and rotation are off, so every logged delta replays and the race
+    // measures per-shard engine rebuild + replay, not the disk.
+    let sharded_rec_entities = if args.fast {
+        SHARDED_RECOVERY_ENTITIES_FAST
+    } else {
+        SHARDED_RECOVERY_ENTITIES
+    };
+    let sharded_rec_deltas = if args.fast {
+        SHARDED_RECOVERY_DELTAS_FAST
+    } else {
+        SHARDED_RECOVERY_DELTAS
+    };
+    eprintln!(
+        "sharded: recovery, entities = {sharded_rec_entities}, \
+         history = {sharded_rec_deltas} deltas"
+    );
+    let sharded_dir =
+        std::env::temp_dir().join(format!("currency-bench-sharded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&sharded_dir);
+    let sharded_rec_spec = scenarios::sharded_spec(sharded_rec_entities);
+    let opts = Options::default();
+    let sharded_store_opts = StoreOptions {
+        sync_data: false,
+        snapshot_rotate_bytes: u64::MAX,
+        ..StoreOptions::default()
+    };
+    let mut sharded_store = ShardedStore::create(
+        &sharded_dir,
+        &sharded_rec_spec,
+        SHARDED_SHARDS,
+        &opts,
+        sharded_store_opts,
+    )
+    .expect("fresh store");
+    for i in 0..sharded_rec_deltas {
+        let mut delta = SpecDelta::new();
+        delta.insert_tuple(
+            scenarios::T,
+            Tuple::new(
+                Eid((i % sharded_rec_entities) as u64),
+                vec![Value::int(1_000_000 + i as i64)],
+            ),
+        );
+        sharded_store.apply(&delta).expect("admissible");
+    }
+    sharded_store.flush().expect("clean log");
+    drop(sharded_store); // crash
+    let mut sharded_replayed: usize = 0;
+    let sharded_par_open = measure(samples, warmup, window, || {
+        let s = ShardedStore::open(&sharded_dir, &opts, sharded_store_opts).expect("clean store");
+        sharded_replayed = s.recoveries().iter().map(|r| r.deltas_replayed).sum();
+        std::hint::black_box(s.shards());
+    });
+    let sharded_seq_open = measure(samples, warmup, window, || {
+        let s = ShardedStore::open_sequential(&sharded_dir, &opts, sharded_store_opts)
+            .expect("clean store");
+        std::hint::black_box(s.shards());
+    });
+    let sharded_trusted_open = measure(samples, warmup, window, || {
+        let s = ShardedStore::open_sequential(
+            &sharded_dir,
+            &opts,
+            StoreOptions {
+                trusted_replay: true,
+                ..sharded_store_opts
+            },
+        )
+        .expect("clean store");
+        std::hint::black_box(s.shards());
+    });
+    let _ = std::fs::remove_dir_all(&sharded_dir);
+    let sharded_recovery_speedup = sharded_seq_open.median_ns / sharded_par_open.median_ns;
+    let sharded_trusted_speedup = sharded_seq_open.median_ns / sharded_trusted_open.median_ns;
+    let _ = write!(
+        json,
+        "\"recovery\": {{\"entities\": {sharded_rec_entities}, \
+         \"deltas\": {sharded_rec_deltas}, \"replayed\": {sharded_replayed}, \
+         \"parallel_open\": "
+    );
+    push_measurement(&mut json, &sharded_par_open);
+    json.push_str(", \"sequential_open\": ");
+    push_measurement(&mut json, &sharded_seq_open);
+    json.push_str(", \"trusted_open\": ");
+    push_measurement(&mut json, &sharded_trusted_open);
+    let _ = write!(
+        json,
+        ", \"parallel_speedup\": {sharded_recovery_speedup:.2}, \
+         \"trusted_speedup\": {sharded_trusted_speedup:.2}}},\n  "
+    );
+    // (c) Differential sweep: scatter-gather CPS must agree with the
+    // unsharded engine on every seed of the property suites' space.
+    let sharded_diff_seeds = if args.fast {
+        SHARDED_DIFF_SEEDS_FAST
+    } else {
+        SHARDED_DIFF_SEEDS
+    };
+    eprintln!("sharded: differential sweep, {sharded_diff_seeds} seeds");
+    let mut sharded_diff_disagreements: u64 = 0;
+    let mut sharded_diff_cps_true: u64 = 0;
+    for seed in 0..sharded_diff_seeds {
+        let spec = random_spec(&RandomSpecConfig {
+            entities: 3,
+            tuples_per_entity: (1, 2),
+            attrs: 1,
+            value_pool: 2,
+            order_density: 0.25,
+            monotone_constraints: (seed % 2) as usize,
+            correlated_constraints: 0,
+            with_copy: true,
+            seed,
+        });
+        let unsharded = CurrencyEngine::new(&spec, &opts)
+            .expect("valid spec")
+            .cps()
+            .expect("in budget");
+        let sharded = ShardedEngine::new(&spec, SHARDED_DIFF_SHARDS, &opts)
+            .expect("clean split")
+            .cps()
+            .expect("in budget");
+        if unsharded != sharded {
+            sharded_diff_disagreements += 1;
+        }
+        if unsharded {
+            sharded_diff_cps_true += 1;
+        }
+    }
+    let _ = writeln!(
+        json,
+        "\"differential\": {{\"seeds\": {sharded_diff_seeds}, \
+         \"shards\": {SHARDED_DIFF_SHARDS}, \
+         \"disagreements\": {sharded_diff_disagreements}, \
+         \"cps_true\": {sharded_diff_cps_true}}}}},"
+    );
+
+    // ------------------------------------------------------------------
     // Serve workload (currency-serve): sustained multi-reader qps over a
     // concurrent delta stream, then the deterministic repeated-query
     // cache workload.  The qps sweep shares one spec and one request
@@ -588,9 +897,6 @@ fn main() {
     } else {
         Duration::from_millis(600)
     };
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let serve_spec = scenarios::amortized_spec(UPDATE_ENTITIES);
     let serve_pool = scenarios::serve_request_pool(&serve_spec);
     let mut serve_qps: Vec<(usize, f64)> = Vec::new();
@@ -724,7 +1030,13 @@ fn main() {
     let burst_shed: u64 = burst.iter().map(|r| r.1).sum();
     let burst_unexpected: u64 = burst.iter().map(|r| r.2).sum();
     let burst_stats = burst_serve.stats();
-    let shed_ok = burst_shed >= 1 && burst_unexpected == 0 && burst_answered >= 1;
+    // Overload needs genuine overlap: on one core the 64 threads
+    // time-slice and each short query can finish before two others are
+    // in flight, so zero shed is the honest outcome there.  The no-panic
+    // and no-unexpected-error bars hold everywhere.
+    let shed_enforced = cores >= 2;
+    let shed_ok =
+        burst_unexpected == 0 && burst_answered >= 1 && (burst_shed >= 1 || !shed_enforced);
     let _ = writeln!(
         json,
         "  \"robustness\": {{\"interrupted_cop_min_ns\": {interrupted_min_ns:.0}, \
@@ -829,6 +1141,17 @@ fn main() {
         serve_scaling >= SERVE_COLLAPSE_FLOOR
     };
     let serve_cache_ok = serve_cache_hit_rate >= SERVE_CACHE_HIT_MIN;
+    let sharded_flat_ok = sharded_ratio <= SHARDED_FLAT_FACTOR;
+    // Like the serve scaling bar: the parallelism floor applies only
+    // where the hardware can show it, the collapse floor everywhere.
+    let sharded_recovery_enforced = cores >= SHARDED_RECOVERY_MIN_CORES;
+    let sharded_recovery_ok = if sharded_recovery_enforced {
+        sharded_recovery_speedup >= SHARDED_RECOVERY_SPEEDUP_MIN
+    } else {
+        sharded_recovery_speedup >= SHARDED_RECOVERY_COLLAPSE_FLOOR
+    };
+    let sharded_replay_ok = sharded_replayed == sharded_rec_deltas;
+    let sharded_diff_ok = sharded_diff_disagreements == 0;
     let pass = time_ok
         && clauses_ok
         && update_ok
@@ -840,7 +1163,11 @@ fn main() {
         && serve_scaling_ok
         && serve_cache_ok
         && interrupted_ok
-        && shed_ok;
+        && shed_ok
+        && sharded_flat_ok
+        && sharded_recovery_ok
+        && sharded_replay_ok
+        && sharded_diff_ok;
     let _ = write!(
         json,
         "  \"check\": {{\"lazy_64_median_ns\": {lazy_64:.0}, \
@@ -867,7 +1194,20 @@ fn main() {
          \"interrupted_cop_min_ns\": {interrupted_min_ns:.0}, \
          \"interrupted_cop_wall_ns\": {INTERRUPTED_COP_WALL_NS:.0}, \
          \"interrupted_ok\": {interrupted_ok}, \
-         \"burst_shed\": {burst_shed}, \"shed_ok\": {shed_ok}, \"pass\": {pass}}}\n}}\n"
+         \"burst_shed\": {burst_shed}, \"shed_enforced\": {shed_enforced}, \
+         \"shed_ok\": {shed_ok}, \
+         \"sharded_flat_ratio\": {sharded_ratio:.2}, \
+         \"sharded_flat_factor\": {SHARDED_FLAT_FACTOR:.1}, \
+         \"sharded_recovery_speedup\": {sharded_recovery_speedup:.2}, \
+         \"sharded_recovery_speedup_min\": {SHARDED_RECOVERY_SPEEDUP_MIN:.1}, \
+         \"sharded_recovery_enforced\": {sharded_recovery_enforced}, \
+         \"sharded_recovery_collapse_floor\": {SHARDED_RECOVERY_COLLAPSE_FLOOR:.2}, \
+         \"sharded_trusted_speedup\": {sharded_trusted_speedup:.2}, \
+         \"sharded_replayed\": {sharded_replayed}, \
+         \"sharded_replay_expected\": {sharded_rec_deltas}, \
+         \"sharded_diff_seeds\": {sharded_diff_seeds}, \
+         \"sharded_diff_disagreements\": {sharded_diff_disagreements}, \
+         \"pass\": {pass}}}\n}}\n"
     );
 
     std::fs::write(&args.out, &json).expect("write bench JSON");
@@ -967,8 +1307,47 @@ fn main() {
             eprintln!(
                 "REGRESSION: {BURST_THREADS}-thread burst against a \
                  {BURST_INFLIGHT_CAP}-slot in-flight cap answered {burst_answered}, \
-                 shed {burst_shed}, errored {burst_unexpected} — the cap must shed \
-                 overflow with Overloaded and nothing else"
+                 shed {burst_shed}, errored {burst_unexpected} on {cores} core(s) — \
+                 the cap must shed overflow with Overloaded and nothing else"
+            );
+        }
+        if !sharded_flat_ok {
+            eprintln!(
+                "REGRESSION: sharded per-delta apply grew {sharded_ratio:.2}× from the \
+                 {sharded_base}-entity baseline to {SHARDED_SCALE}× scale (limit \
+                 {SHARDED_FLAT_FACTOR}×) — an O(spec) or O(shard) term crept into the \
+                 routed apply or scatter-CPS path"
+            );
+        }
+        if !sharded_recovery_ok {
+            if sharded_recovery_enforced {
+                eprintln!(
+                    "REGRESSION: parallel {SHARDED_SHARDS}-shard recovery is only \
+                     {sharded_recovery_speedup:.2}× the sequential open on {cores} cores \
+                     (floor {SHARDED_RECOVERY_SPEEDUP_MIN}×) — shard recovery is \
+                     serializing on shared state"
+                );
+            } else {
+                eprintln!(
+                    "REGRESSION: parallel {SHARDED_SHARDS}-shard recovery collapsed to \
+                     {sharded_recovery_speedup:.2}× the sequential open (floor \
+                     {SHARDED_RECOVERY_COLLAPSE_FLOOR}× even on {cores} core(s)) — a \
+                     cross-shard lock or repeated work sank it"
+                );
+            }
+        }
+        if !sharded_replay_ok {
+            eprintln!(
+                "REGRESSION: sharded recovery replayed {sharded_replayed} deltas across \
+                 shards, the log holds exactly {sharded_rec_deltas} — per-shard seq \
+                 filtering or routing drifted"
+            );
+        }
+        if !sharded_diff_ok {
+            eprintln!(
+                "REGRESSION: scatter-gather CPS disagreed with the unsharded engine on \
+                 {sharded_diff_disagreements} of {sharded_diff_seeds} seeds — sharded \
+                 semantics must be observationally identical"
             );
         }
         std::process::exit(1);

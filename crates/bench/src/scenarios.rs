@@ -130,6 +130,50 @@ pub fn large_spec(entities: usize) -> Specification {
     spec
 }
 
+/// Tuples per target entity of [`sharded_spec`].
+pub const SHARDED_TUPLES_PER_ENTITY: usize = 3;
+
+/// The scale-out scenario: the same two-relation mirrored shape as
+/// [`large_spec`] but lean per entity ([`SHARDED_TUPLES_PER_ENTITY`]
+/// readings instead of 10), so the *entity count* — the quantity
+/// sharding distributes — can reach the 100k+ regime while each
+/// per-entity component stays small.  Consistent by construction for
+/// the same reason as [`large_spec`], and [`large_insert_delta`]
+/// applies unchanged (entity 0 exists in every size).
+pub fn sharded_spec(entities: usize) -> Specification {
+    let mut cat = Catalog::new();
+    let t = cat.add(RelationSchema::new("T", &["V"]));
+    let s = cat.add(RelationSchema::new("S", &["V"]));
+    let mut spec = Specification::new(cat);
+    let sig = CopySignature::new(t, vec![AttrId(0)], s, vec![AttrId(0)]).expect("signature");
+    let mut cf = CopyFunction::new(sig);
+    for e in 0..entities as u64 {
+        for v in 0..SHARDED_TUPLES_PER_ENTITY {
+            let tt = spec
+                .instance_mut(t)
+                .push_tuple(Tuple::new(Eid(e), vec![Value::int(v as i64)]))
+                .expect("arity");
+            let ts = spec
+                .instance_mut(s)
+                .push_tuple(Tuple::new(Eid(e), vec![Value::int(v as i64)]))
+                .expect("arity");
+            cf.set_mapping(tt, ts);
+        }
+    }
+    let dc = DenialConstraint::builder(t, 2)
+        .when_cmp(
+            Term::attr(0, AttrId(0)),
+            CmpOp::Gt,
+            Term::attr(1, AttrId(0)),
+        )
+        .then_order(1, AttrId(0), 0)
+        .build()
+        .expect("valid constraint");
+    spec.add_constraint(dc).expect("constraint applies");
+    spec.add_copy(cf).expect("copying condition holds");
+    spec
+}
+
 /// The large workload's delta: one fresh most-current reading for target
 /// entity 0 — component-local (entity 0's target cell merged with its
 /// mirrored source cell), unmapped, value above every existing reading.

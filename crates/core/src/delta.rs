@@ -234,6 +234,124 @@ impl SpecDelta {
         }
         sim.check_acyclic()
     }
+
+    /// Classify how this delta routes in an entity-sharded deployment,
+    /// **before** applying it — see [`DeltaRouting`].
+    ///
+    /// The classifier is specification-free so a sharded front door can
+    /// route without holding a global specification: `copy_rels` lists
+    /// the `(target, source)` relations of the existing copy functions
+    /// (for resolving [`DeltaOp::ExtendCopy`] indices), and `eid_of`
+    /// resolves an existing tuple reference to its entity (returning
+    /// `None` for unknown ids, which surfaces as
+    /// [`CurrencyError::UnknownTuple`]).  Tuples inserted by this same
+    /// delta anchor at their own entity directly and are never passed to
+    /// `eid_of`; operations referencing *earlier inserts of the same
+    /// delta* by id, however, must be resolvable by `eid_of` (the caller
+    /// knows its id-assignment rule), or the delta is reported unknown.
+    pub fn routing<F>(
+        &self,
+        copy_rels: &[(RelId, RelId)],
+        mut eid_of: F,
+    ) -> Result<DeltaRouting, CurrencyError>
+    where
+        F: FnMut(RelId, TupleId) -> Option<Eid>,
+    {
+        let mut eids = BTreeSet::new();
+        let mut anchored = 0usize;
+        let mut broadcasts = 0usize;
+        // Copies appended by this delta, continuing `copy_rels`' indices.
+        let mut added: Vec<(RelId, RelId)> = Vec::new();
+        for op in self.ops() {
+            match op {
+                DeltaOp::InsertTuple { tuple, .. } => {
+                    anchored += 1;
+                    eids.insert(tuple.eid);
+                }
+                DeltaOp::RemoveTuple { rel, tuple } => {
+                    anchored += 1;
+                    let eid = eid_of(*rel, *tuple).ok_or(CurrencyError::UnknownTuple {
+                        rel: *rel,
+                        tuple: *tuple,
+                    })?;
+                    eids.insert(eid);
+                }
+                DeltaOp::AddOrderEdge {
+                    rel,
+                    lesser,
+                    greater,
+                    ..
+                } => {
+                    anchored += 1;
+                    for id in [*lesser, *greater] {
+                        let eid = eid_of(*rel, id).ok_or(CurrencyError::UnknownTuple {
+                            rel: *rel,
+                            tuple: id,
+                        })?;
+                        eids.insert(eid);
+                    }
+                }
+                // Constraints ground entity-locally and a new copy
+                // function's mapping set is filtered per shard, so both
+                // are structure updates every shard must see.  (The
+                // mappings' per-pair co-location is a *placement* check,
+                // done where shard ownership is known — not here.)
+                DeltaOp::AddConstraint(_) => broadcasts += 1,
+                DeltaOp::AddCopy(cf) => {
+                    broadcasts += 1;
+                    let sig = cf.signature();
+                    added.push((sig.target, sig.source));
+                }
+                DeltaOp::ExtendCopy {
+                    copy,
+                    target,
+                    source,
+                } => {
+                    anchored += 1;
+                    let (target_rel, source_rel) = copy_rels
+                        .get(*copy)
+                        .or_else(|| added.get(copy.wrapping_sub(copy_rels.len())))
+                        .copied()
+                        .ok_or(CurrencyError::UnknownCopy { copy: *copy })?;
+                    for (rel, id) in [(target_rel, *target), (source_rel, *source)] {
+                        let eid = eid_of(rel, id)
+                            .ok_or(CurrencyError::UnknownTuple { rel, tuple: id })?;
+                        eids.insert(eid);
+                    }
+                }
+            }
+        }
+        Ok(match (anchored, broadcasts) {
+            (0, 0) => DeltaRouting::Empty,
+            (_, 0) => DeltaRouting::Entities(eids),
+            (0, _) => DeltaRouting::Broadcast,
+            _ => DeltaRouting::Mixed(eids),
+        })
+    }
+}
+
+/// How a delta routes in an entity-sharded deployment (computed by
+/// [`SpecDelta::routing`] before application, and reported after the
+/// fact through [`DeltaEffects::routing`]).
+///
+/// Ground rules are entity-local — only copy obligations relate
+/// different entities — so a shard is a self-contained sub-specification
+/// and every delta falls into one of four classes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum DeltaRouting {
+    /// No operations: a no-op anywhere.
+    #[default]
+    Empty,
+    /// Every operation anchors at one of these entities.  A sharded
+    /// deployment routes the delta to the shard owning them — and
+    /// rejects (or splits) the delta if they span shards.
+    Entities(BTreeSet<Eid>),
+    /// Structure only (denial constraints and/or new copy functions):
+    /// valid on — and required by — every shard.
+    Broadcast,
+    /// Mixes broadcast-class structure with entity-anchored operations.
+    /// Sharded deployments reject these; split the delta instead.
+    Mixed(BTreeSet<Eid>),
 }
 
 /// What a successfully applied delta changed (see
@@ -246,6 +364,9 @@ pub struct DeltaEffects {
     pub touched_cells: BTreeSet<(RelId, Eid)>,
     /// Ids assigned to inserted tuples, in operation order.
     pub inserted: Vec<(RelId, TupleId)>,
+    /// The delta's routing class for entity-sharded deployments (the
+    /// post-application counterpart of [`SpecDelta::routing`]).
+    pub routing: DeltaRouting,
 }
 
 /// Phase-1 simulation state: enough of the post-delta specification to
@@ -560,6 +681,20 @@ impl Specification {
                 }
             }
         }
+        // Routing metadata, resolved against the post-delta state (every
+        // referenced tuple exists now; tombstone slots keep their data,
+        // so removed anchors still resolve).
+        let copy_rels: Vec<(RelId, RelId)> = self
+            .copies()
+            .iter()
+            .map(|cf| (cf.signature().target, cf.signature().source))
+            .collect();
+        effects.routing = delta
+            .routing(&copy_rels, |rel, id| {
+                let inst = self.instance(rel);
+                (id.index() < inst.len()).then(|| inst.tuple(id).eid)
+            })
+            .expect("validated delta routes");
         debug_assert!(self.validate().is_ok(), "post-delta invariants hold");
         Ok(effects)
     }

@@ -88,7 +88,7 @@ pub mod wire;
 pub use completion::{Completion, RelCompletion};
 pub use copy::{CopyFunction, CopySignature};
 pub use current::{current_instance, current_tuple, lst};
-pub use delta::{DeltaEffects, DeltaOp, SpecDelta};
+pub use delta::{DeltaEffects, DeltaOp, DeltaRouting, SpecDelta};
 pub use denial::{
     CmpOp, DenialBuilder, DenialConstraint, EntityGrounder, GroundRule, OrderEdge, Predicate, Term,
     VarId,

@@ -73,6 +73,7 @@ mod fixpoint;
 pub mod partition;
 mod preserve;
 mod preserve_sp;
+pub mod shard;
 pub mod snapshot;
 mod sp_ptime;
 
@@ -94,6 +95,10 @@ pub use fixpoint::{po_infinity, CertainOrders};
 pub use partition::{Partition, RefreshPlan};
 pub use preserve::{bcp, cpp, ecp, maximum_extension, ExtensionSlot, PreservationProblem};
 pub use preserve_sp::{bcp_sp, cpp_sp};
+pub use shard::{
+    ShardError, ShardPlan, ShardedApplyReport, ShardedCompactReport, ShardedEngine, ShardedStats,
+    SpecImport,
+};
 pub use snapshot::{EngineSnapshot, PublishReport, SnapshotCell, SnapshotEngine, SnapshotReader};
 pub use sp_ptime::{ccqa_sp, certain_answers_sp, poss_instance};
 

@@ -66,9 +66,13 @@
 mod breaker;
 mod cache;
 mod rate_limit;
+mod sharded;
 mod stats;
 
 pub use rate_limit::RateLimit;
+pub use sharded::{
+    ShardedPublish, ShardedServe, ShardedServeError, ShardedServeHandle, ShardedServeStats,
+};
 pub use stats::ServeStats;
 
 use breaker::{Admit, Breaker};

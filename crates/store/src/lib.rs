@@ -78,11 +78,13 @@
 pub mod crc;
 mod durable;
 mod error;
+mod sharded;
 pub mod snapshot;
 pub mod vfs;
 pub mod wal;
 
 pub use durable::{DurableEngine, RecoveryReport, StoreOptions};
 pub use error::StoreError;
+pub use sharded::{ShardedStore, ShardedStoreError};
 pub use vfs::{ChaosPlan, ChaosVfs, Fault, RealVfs, Vfs, VfsFile};
 pub use wal::{Record, Wal, WalOpen};

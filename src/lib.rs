@@ -13,16 +13,18 @@
 //! * [`query`] (`currency-query`) — the SP ⊂ CQ ⊂ UCQ ⊂ ∃FO⁺ ⊂ FO query
 //!   family and evaluators over normal instances.
 //! * [`reason`] (`currency-reason`) — decision procedures for the paper's
-//!   seven problems (CPS, COP, DCIP, CCQA, CPP, ECP, BCP) and the
-//!   entity-partitioned incremental `CurrencyEngine`.
+//!   seven problems (CPS, COP, DCIP, CCQA, CPP, ECP, BCP), the
+//!   entity-partitioned incremental `CurrencyEngine`, and the
+//!   entity-sharded scatter-gather `ShardedEngine`.
 //! * [`store`] (`currency-store`) — durability: checksummed snapshots, a
-//!   delta write-ahead log, the crash-recoverable `DurableEngine`, and the
-//!   `Vfs` seam with the `ChaosVfs` fault-injection harness.
+//!   delta write-ahead log, the crash-recoverable `DurableEngine`, the
+//!   entity-sharded `ShardedStore` with parallel per-shard recovery, and
+//!   the `Vfs` seam with the `ChaosVfs` fault-injection harness.
 //! * [`serve`] (`currency-serve`) — concurrent query serving: epoch-published
 //!   snapshot views, the `CurrencyServe` front door with an epoch-keyed
 //!   answer cache, rate limiting, per-request solve deadlines, overload
 //!   shedding, a per-shape circuit breaker with stale-serve degradation,
-//!   and lock-free serving stats.
+//!   lock-free serving stats, and the sharded `ShardedServe` front door.
 //! * [`sat`] (`currency-sat`) — the CDCL SAT solver substrate.
 //! * [`datagen`] (`currency-datagen`) — paper scenarios, random
 //!   specification generators, and hardness-reduction gadgets.

@@ -1,0 +1,589 @@
+//! Differential testing of the entity-sharded engine: for every shard
+//! count N ∈ {1, 2, 4, 8}, a [`ShardedEngine`] fed the same seeded
+//! update stream as a single unsharded [`CurrencyEngine`] must agree on
+//! CPS, all-pairs COP, certain current answers, CCQA membership, and
+//! DCIP — before and after the stream, and after sharded compaction.
+//!
+//! The stream generator is the same one the unsharded update suite uses
+//! (`tests/engine_updates.rs`); its deltas speak the unsharded id space,
+//! so each delta is translated to sharded-global ids through a
+//! maintained id map (seeded from [`ShardedEngine::import`], extended by
+//! zipping the two apply reports' `inserted` lists).  A delta the
+//! sharded engine *rejects* under the documented routing policy
+//! (cross-shard anchors — e.g. a copy extension whose fresh source
+//! entity hashes to a different shard than its target) is skipped on
+//! both sides, keeping the two states in lockstep; the policy itself is
+//! pinned by the deterministic tests at the bottom.
+
+use data_currency::datagen::random::{random_spec, RandomSpecConfig};
+use data_currency::model::{
+    AttrId, CopyFunction, DeltaOp, Eid, RelId, SpecDelta, Specification, Tuple, TupleId, Value,
+};
+use data_currency::query::{Query, SpQuery};
+use data_currency::reason::shard::locate;
+use data_currency::reason::{
+    CurrencyEngine, CurrencyOrderQuery, Options, ShardError, ShardPlan, ShardedEngine,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const T: RelId = RelId(0);
+const SRC: RelId = RelId(1);
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const STREAM_LEN: usize = 6;
+
+fn config(seed: u64) -> RandomSpecConfig {
+    RandomSpecConfig {
+        entities: 3,
+        tuples_per_entity: (1, 2),
+        attrs: 1,
+        value_pool: 2,
+        order_density: 0.25,
+        monotone_constraints: 1,
+        correlated_constraints: 0,
+        with_copy: true,
+        seed,
+    }
+}
+
+fn value_query(rel: RelId, arity: usize) -> Query {
+    SpQuery::identity(rel, arity).to_query(arity)
+}
+
+/// Draw one admissible delta against the current (unsharded)
+/// specification — the generator space of `tests/engine_updates.rs`.
+fn random_delta(spec: &Specification, rng: &mut SmallRng) -> SpecDelta {
+    let inst = spec.instance(T);
+    let arity = inst.arity();
+    let live: Vec<TupleId> = inst.tuples().map(|(id, _)| id).collect();
+    let mut delta = SpecDelta::new();
+    match rng.gen_range(0..10u32) {
+        0..=3 => {
+            let eid = Eid(rng.gen_range(0..3u64));
+            let values: Vec<Value> = (0..arity)
+                .map(|_| Value::int(rng.gen_range(0..2)))
+                .collect();
+            delta.insert_tuple(T, Tuple::new(eid, values));
+        }
+        4..=5 if !live.is_empty() => {
+            let victim = live[rng.gen_range(0..live.len())];
+            delta.remove_tuple(T, victim);
+        }
+        6..=7 => {
+            let attr = AttrId(rng.gen_range(0..arity) as u32);
+            let mut found = None;
+            'outer: for (i, &u) in live.iter().enumerate() {
+                for &v in &live[i + 1..] {
+                    if inst.tuple(u).eid == inst.tuple(v).eid && !inst.order(attr).contains(u, v) {
+                        found = Some((u, v));
+                        break 'outer;
+                    }
+                }
+            }
+            if let Some((u, v)) = found {
+                delta.add_order_edge(T, attr, u, v);
+            } else {
+                delta.insert_tuple(T, Tuple::new(Eid(0), vec![Value::int(0); arity]));
+            }
+        }
+        8 => {
+            let attr = AttrId(rng.gen_range(0..arity) as u32);
+            let dc = data_currency::model::DenialConstraint::builder(T, 2)
+                .when_cmp(
+                    data_currency::model::Term::attr(0, attr),
+                    data_currency::model::CmpOp::Gt,
+                    data_currency::model::Term::attr(1, attr),
+                )
+                .then_order(1, attr, 0)
+                .build()
+                .expect("valid constraint");
+            delta.add_constraint(dc);
+        }
+        _ => {
+            let unmapped = live
+                .iter()
+                .copied()
+                .find(|&t| spec.copies().len() == 1 && spec.copies()[0].mapping(t).is_none());
+            if let Some(target) = unmapped {
+                let t = inst.tuple(target).clone();
+                let source_id = TupleId(spec.instance(SRC).len() as u32);
+                delta
+                    .insert_tuple(SRC, Tuple::new(Eid(t.eid.0 + 100), t.values.clone()))
+                    .extend_copy(0, target, source_id);
+            } else {
+                delta.insert_tuple(T, Tuple::new(Eid(1), vec![Value::int(1); arity]));
+            }
+        }
+    }
+    if delta.is_empty() {
+        delta.insert_tuple(T, Tuple::new(Eid(0), vec![Value::int(0); arity]));
+    }
+    delta
+}
+
+/// An unsharded engine and a sharded engine kept in lockstep, plus the
+/// unsharded → sharded-global tuple id translation (one map per
+/// relation).
+struct Mirror {
+    unsharded: CurrencyEngine<'static>,
+    sharded: ShardedEngine,
+    map: Vec<HashMap<TupleId, TupleId>>,
+}
+
+impl Mirror {
+    fn new(spec: &Specification, shards: usize, opts: &Options) -> Mirror {
+        let unsharded = CurrencyEngine::new_owned(spec.clone(), opts).expect("valid spec");
+        let sharded = ShardedEngine::new(spec, shards, opts).expect("valid spec");
+        let mut map: Vec<HashMap<TupleId, TupleId>> = Vec::new();
+        for (r, inst) in spec.instances().iter().enumerate() {
+            let rel = RelId(r as u32);
+            let mut m = HashMap::new();
+            for old in 0..inst.len() as u32 {
+                if let Some(g) = sharded.import().new_id(rel, TupleId(old)) {
+                    m.insert(TupleId(old), g);
+                }
+            }
+            map.push(m);
+        }
+        Mirror {
+            unsharded,
+            sharded,
+            map,
+        }
+    }
+
+    /// Rewrite a delta from the unsharded id space into the
+    /// sharded-global one.  Ids a delta assigns to its *own* inserts
+    /// (the copy-extension pattern references the mirrored source tuple
+    /// it inserts) are predicted on both sides, exactly as the sharded
+    /// router itself predicts them.
+    fn translate(&self, delta: &SpecDelta) -> SpecDelta {
+        let n = self.sharded.shards();
+        let mut un_next: HashMap<RelId, u32> = HashMap::new();
+        let mut sh_next: HashMap<(usize, RelId), u32> = HashMap::new();
+        let mut pending: HashMap<(RelId, TupleId), TupleId> = HashMap::new();
+        for op in delta.ops() {
+            if let DeltaOp::InsertTuple { rel, tuple } = op {
+                let uc = un_next.entry(*rel).or_insert(0);
+                let un_id = TupleId(self.unsharded.spec().instance(*rel).len() as u32 + *uc);
+                *uc += 1;
+                let shard = self.sharded.plan().shard_of(tuple.eid);
+                let sc = sh_next.entry((shard, *rel)).or_insert(0);
+                let g = TupleId(self.sharded.next_id(*rel, tuple.eid).0 + *sc * n as u32);
+                *sc += 1;
+                pending.insert((*rel, un_id), g);
+            }
+        }
+        let lookup = |rel: RelId, id: TupleId| -> TupleId {
+            self.map[rel.index()]
+                .get(&id)
+                .or_else(|| pending.get(&(rel, id)))
+                .copied()
+                .expect("generated deltas reference known tuples")
+        };
+        let mut out = SpecDelta::new();
+        for op in delta.ops() {
+            match op {
+                DeltaOp::InsertTuple { rel, tuple } => {
+                    out.insert_tuple(*rel, tuple.clone());
+                }
+                DeltaOp::RemoveTuple { rel, tuple } => {
+                    out.remove_tuple(*rel, lookup(*rel, *tuple));
+                }
+                DeltaOp::AddOrderEdge {
+                    rel,
+                    attr,
+                    lesser,
+                    greater,
+                } => {
+                    out.add_order_edge(*rel, *attr, lookup(*rel, *lesser), lookup(*rel, *greater));
+                }
+                DeltaOp::AddConstraint(dc) => {
+                    out.add_constraint(dc.clone());
+                }
+                DeltaOp::ExtendCopy {
+                    copy,
+                    target,
+                    source,
+                } => {
+                    let sig = self.unsharded.spec().copies()[*copy].signature();
+                    out.extend_copy(
+                        *copy,
+                        lookup(sig.target, *target),
+                        lookup(sig.source, *source),
+                    );
+                }
+                DeltaOp::AddCopy(_) => unreachable!("generator emits no new copy functions"),
+            }
+        }
+        out
+    }
+
+    /// Apply one delta on both sides (or skip it on both when the
+    /// routing policy rejects it).  Returns whether it was applied.
+    fn step(&mut self, delta: &SpecDelta, seed: u64, step: usize) -> bool {
+        let translated = self.translate(delta);
+        match self.sharded.apply(&translated) {
+            Ok(sh) => {
+                let un = self.unsharded.apply(delta).expect("admissible by draw");
+                assert_eq!(
+                    un.inserted.len(),
+                    sh.inserted.len(),
+                    "insert counts diverged (seed {seed} step {step})"
+                );
+                for (&(ru, iu), &(rs, ig)) in un.inserted.iter().zip(sh.inserted.iter()) {
+                    assert_eq!(
+                        ru, rs,
+                        "insert relations diverged (seed {seed} step {step})"
+                    );
+                    self.map[ru.index()].insert(iu, ig);
+                }
+                true
+            }
+            Err(ShardError::CrossShard { .. }) | Err(ShardError::CrossShardCopy { .. }) => {
+                // Documented policy: the batch is rejected whole, never
+                // re-homed.  With one shard nothing can ever cross.
+                assert!(
+                    self.sharded.shards() > 1,
+                    "single-shard routing rejected a delta (seed {seed} step {step})"
+                );
+                false
+            }
+            Err(e) => panic!("unexpected sharded failure (seed {seed} step {step}): {e}"),
+        }
+    }
+
+    /// Full agreement check: CPS, all-pairs COP over `T`, certain
+    /// answers on both relations, a CCQA probe, and DCIP.
+    fn assert_agreement(&self, seed: u64, stage: &str) {
+        let n = self.sharded.shards();
+        let cps = self.unsharded.cps().expect("in budget");
+        assert_eq!(
+            cps,
+            self.sharded.cps().unwrap(),
+            "CPS diverged (seed {seed}, N={n}, {stage})"
+        );
+        let inst = self.unsharded.spec().instance(T);
+        for a in 0..inst.arity() {
+            let attr = AttrId(a as u32);
+            for u in 0..inst.len() as u32 {
+                for v in 0..inst.len() as u32 {
+                    let (gu, gv) = (self.map[0][&TupleId(u)], self.map[0][&TupleId(v)]);
+                    let qu = CurrencyOrderQuery::single(T, attr, TupleId(u), TupleId(v));
+                    let qg = CurrencyOrderQuery::single(T, attr, gu, gv);
+                    assert_eq!(
+                        self.unsharded.cop(&qu).unwrap(),
+                        self.sharded.cop(&qg).unwrap(),
+                        "COP diverged (seed {seed}, N={n}, {stage}, {u} ≺ {v})"
+                    );
+                }
+            }
+        }
+        for rel in [T, SRC] {
+            let arity = self.unsharded.spec().instance(rel).arity();
+            let q = value_query(rel, arity);
+            let un = self.unsharded.certain_answers(&q).expect("in budget");
+            let sh = self.sharded.certain_answers(&q).unwrap();
+            assert_eq!(
+                un, sh,
+                "certain answers diverged (seed {seed}, N={n}, {stage}, rel {rel:?})"
+            );
+            // CCQA membership: a real row and a row that cannot occur.
+            if let Some(rows) = un.rows() {
+                if let Some(row) = rows.first() {
+                    assert!(
+                        self.sharded.ccqa(&q, row).unwrap(),
+                        "CCQA lost a certain row (seed {seed}, N={n}, {stage})"
+                    );
+                }
+            }
+            let bogus = vec![Value::int(99); arity];
+            assert_eq!(
+                self.unsharded.ccqa(&q, &bogus).unwrap(),
+                self.sharded.ccqa(&q, &bogus).unwrap(),
+                "CCQA diverged on absent row (seed {seed}, N={n}, {stage})"
+            );
+        }
+        assert_eq!(
+            self.unsharded.dcip(T).unwrap(),
+            self.sharded.dcip(T).unwrap(),
+            "DCIP diverged (seed {seed}, N={n}, {stage})"
+        );
+    }
+}
+
+/// One full differential round for one seed and one shard count.
+fn differential_round(seed: u64, shards: usize) {
+    let opts = Options::default();
+    let spec = random_spec(&config(seed));
+    let mut mirror = Mirror::new(&spec, shards, &opts);
+    mirror.assert_agreement(seed, "initial");
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+    let mut shadow = spec;
+    for step in 0..STREAM_LEN {
+        let delta = random_delta(&shadow, &mut rng);
+        if mirror.step(&delta, seed, step) {
+            shadow.apply_delta(&delta).expect("admissible by draw");
+            // CPS stays in agreement after every applied delta.
+            assert_eq!(
+                mirror.unsharded.cps().unwrap(),
+                mirror.sharded.cps().unwrap(),
+                "CPS diverged mid-stream (seed {seed}, N={shards}, step {step})"
+            );
+        }
+    }
+    mirror.assert_agreement(seed, "post-stream");
+
+    // Sharded compaction: shard-local renumbering must preserve every
+    // live tuple (translated through the report) and every verdict.
+    let live: Vec<(TupleId, Tuple)> = mirror
+        .unsharded
+        .spec()
+        .instance(T)
+        .tuples()
+        .map(|(id, t)| (id, t.clone()))
+        .collect();
+    let report = mirror.sharded.compact().expect("compaction succeeds");
+    for (old, tuple) in live {
+        let g = mirror.map[0][&old];
+        let ng = report.new_id(T, g).expect("live tuples survive compaction");
+        let (s, l) = locate(shards, ng);
+        let kept = mirror.sharded.engine(s).spec().instance(T).tuple(l);
+        assert_eq!(kept.eid, tuple.eid, "compaction moved a tuple's entity");
+        assert_eq!(
+            kept.values, tuple.values,
+            "compaction moved a tuple's values"
+        );
+    }
+    assert_eq!(
+        mirror.unsharded.cps().unwrap(),
+        mirror.sharded.cps().unwrap(),
+        "CPS diverged after compaction (seed {seed}, N={shards})"
+    );
+    let q = value_query(T, mirror.unsharded.spec().instance(T).arity());
+    assert_eq!(
+        mirror.unsharded.certain_answers(&q).unwrap(),
+        mirror.sharded.certain_answers(&q).unwrap(),
+        "certain answers diverged after compaction (seed {seed}, N={shards})"
+    );
+
+    // Stats aggregate exactly field-wise.
+    let stats = mirror.sharded.stats();
+    assert_eq!(stats.per_shard.len(), shards);
+    assert_eq!(
+        stats.total.components,
+        stats.per_shard.iter().map(|s| s.components).sum::<usize>()
+    );
+    assert_eq!(
+        stats.total.updates_applied,
+        stats
+            .per_shard
+            .iter()
+            .map(|s| s.updates_applied)
+            .sum::<usize>()
+    );
+    assert_eq!(
+        stats.total.compactions,
+        stats.per_shard.iter().map(|s| s.compactions).sum::<usize>()
+    );
+}
+
+/// Rebuild `spec` with every instance's tuples inserted in reverse
+/// order (ids renumbered), carrying over orders, constraints, and copy
+/// mappings — same content, different insertion order.
+fn reversed_spec(spec: &Specification) -> Specification {
+    let mut out = Specification::new(spec.catalog().clone());
+    let mut tables: Vec<HashMap<TupleId, TupleId>> = Vec::new();
+    for (r, inst) in spec.instances().iter().enumerate() {
+        let rel = RelId(r as u32);
+        let mut table = HashMap::new();
+        let live: Vec<(TupleId, Tuple)> = inst.tuples().map(|(id, t)| (id, t.clone())).collect();
+        for (old, tuple) in live.into_iter().rev() {
+            let new = out
+                .instance_mut(rel)
+                .push_tuple(tuple)
+                .expect("schema shared");
+            table.insert(old, new);
+        }
+        for a in 0..inst.arity() {
+            let attr = AttrId(a as u32);
+            for (l, g) in inst.order(attr).iter() {
+                out.instance_mut(rel)
+                    .add_order(attr, table[&l], table[&g])
+                    .expect("acyclic in the original");
+            }
+        }
+        tables.push(table);
+    }
+    for dc in spec.constraints() {
+        out.add_constraint(dc.clone()).expect("valid in original");
+    }
+    for cf in spec.copies() {
+        let sig = cf.signature();
+        let mut rebuilt = CopyFunction::new(sig.clone());
+        for (t, s) in cf.mappings() {
+            rebuilt.set_mapping(
+                tables[sig.target.index()][&t],
+                tables[sig.source.index()][&s],
+            );
+        }
+        out.add_copy(rebuilt).expect("copying condition unchanged");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    // The 10k-seed sweep: every shard count agrees with the unsharded
+    // engine across a random delta stream.
+    #[test]
+    fn sharded_engine_agrees_with_unsharded(seed in 0u64..10_000) {
+        for shards in SHARD_COUNTS {
+            differential_round(seed, shards);
+        }
+    }
+
+    // Routing determinism: the shard assignment is a function of the
+    // specification's *content* — rebuilding the same specification
+    // with a different tuple insertion order yields the identical plan.
+    #[test]
+    fn shard_assignment_ignores_insertion_order(seed in 0u64..10_000) {
+        let spec = random_spec(&config(seed));
+        let rev = reversed_spec(&spec);
+        for shards in SHARD_COUNTS {
+            let a = ShardPlan::from_spec(shards, &spec);
+            let b = ShardPlan::from_spec(shards, &rev);
+            prop_assert_eq!(&a, &b, "plans diverged (seed {}, N={})", seed, shards);
+            // Copy closures are co-located.
+            for cf in spec.copies() {
+                let sig = cf.signature();
+                for (t, s) in cf.mappings() {
+                    let te = spec.instance(sig.target).tuple(t).eid;
+                    let se = spec.instance(sig.source).tuple(s).eid;
+                    prop_assert_eq!(
+                        a.shard_of(te),
+                        a.shard_of(se),
+                        "copy-linked entities split (seed {}, N={})",
+                        seed,
+                        shards
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Two entities that hash to different shards under N=8 (found by
+/// scanning — the hash is fixed, so this is deterministic).
+fn split_pair(plan: &ShardPlan) -> (Eid, Eid) {
+    let a = Eid(0);
+    for i in 1..64 {
+        if plan.shard_of(Eid(i)) != plan.shard_of(a) {
+            return (a, Eid(i));
+        }
+    }
+    panic!("splitmix64 mapped 64 consecutive eids to one of 8 shards");
+}
+
+fn two_entity_spec(eids: (Eid, Eid)) -> Specification {
+    let mut catalog = data_currency::model::Catalog::new();
+    let r = catalog.add(data_currency::model::RelationSchema::new("R", &["A"]));
+    assert_eq!(r, T);
+    let mut spec = Specification::new(catalog);
+    spec.instance_mut(T)
+        .push_tuple(Tuple::new(eids.0, vec![Value::int(0)]))
+        .unwrap();
+    spec.instance_mut(T)
+        .push_tuple(Tuple::new(eids.1, vec![Value::int(1)]))
+        .unwrap();
+    spec
+}
+
+/// Policy: a delta anchored in two shards is rejected whole.
+#[test]
+fn cross_shard_delta_is_rejected() {
+    let opts = Options::default();
+    let probe = ShardPlan::from_spec(8, &two_entity_spec((Eid(0), Eid(1))));
+    let eids = split_pair(&probe);
+    let spec = two_entity_spec(eids);
+    let mut engine = ShardedEngine::new(&spec, 8, &opts).unwrap();
+    let ga = engine.import().new_id(T, TupleId(0)).unwrap();
+    let gb = engine.import().new_id(T, TupleId(1)).unwrap();
+    let mut delta = SpecDelta::new();
+    delta.remove_tuple(T, ga).remove_tuple(T, gb);
+    match engine.apply(&delta) {
+        Err(ShardError::CrossShard { shards }) => assert_eq!(shards.len(), 2),
+        other => panic!("expected CrossShard rejection, got {other:?}"),
+    }
+    // Rejection is atomic: both tuples are still live.
+    assert_eq!(
+        engine
+            .engine(engine.plan().shard_of(eids.0))
+            .spec()
+            .instance(T)
+            .live_len(),
+        1
+    );
+    assert_eq!(
+        engine
+            .engine(engine.plan().shard_of(eids.1))
+            .spec()
+            .instance(T)
+            .live_len(),
+        1
+    );
+    // Each half applies on its own.
+    let mut half = SpecDelta::new();
+    half.remove_tuple(T, ga);
+    engine.apply(&half).expect("single-shard half applies");
+}
+
+/// Policy: structure and entity operations never ride together.
+#[test]
+fn mixed_delta_is_rejected() {
+    let opts = Options::default();
+    let spec = two_entity_spec((Eid(0), Eid(1)));
+    let mut engine = ShardedEngine::new(&spec, 4, &opts).unwrap();
+    let dc = data_currency::model::DenialConstraint::builder(T, 2)
+        .when_cmp(
+            data_currency::model::Term::attr(0, AttrId(0)),
+            data_currency::model::CmpOp::Gt,
+            data_currency::model::Term::attr(1, AttrId(0)),
+        )
+        .then_order(1, AttrId(0), 0)
+        .build()
+        .unwrap();
+    let mut delta = SpecDelta::new();
+    delta
+        .insert_tuple(T, Tuple::new(Eid(0), vec![Value::int(2)]))
+        .add_constraint(dc);
+    assert!(matches!(engine.apply(&delta), Err(ShardError::MixedDelta)));
+}
+
+/// Structure-only deltas broadcast: every shard learns the constraint.
+#[test]
+fn constraints_broadcast_to_every_shard() {
+    let opts = Options::default();
+    let spec = two_entity_spec((Eid(0), Eid(1)));
+    let mut engine = ShardedEngine::new(&spec, 4, &opts).unwrap();
+    let dc = data_currency::model::DenialConstraint::builder(T, 2)
+        .when_cmp(
+            data_currency::model::Term::attr(0, AttrId(0)),
+            data_currency::model::CmpOp::Gt,
+            data_currency::model::Term::attr(1, AttrId(0)),
+        )
+        .then_order(1, AttrId(0), 0)
+        .build()
+        .unwrap();
+    let mut delta = SpecDelta::new();
+    delta.add_constraint(dc);
+    let report = engine.apply(&delta).unwrap();
+    assert!(report.broadcast);
+    assert_eq!(report.shard, None);
+    for k in 0..engine.shards() {
+        assert_eq!(engine.engine(k).spec().constraints().len(), 1);
+    }
+}
