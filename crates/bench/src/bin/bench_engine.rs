@@ -23,13 +23,13 @@
 //! * `--out PATH` — where to write the JSON (default
 //!   `BENCH_engine.json`).
 
-use currency_bench::measure::{measure, measure_once, Measurement};
+use currency_bench::measure::{measure, measure_once, measure_paired, Measurement};
 use currency_bench::scenarios;
-use currency_core::{Eid, SpecDelta, Specification, Tuple, Value};
+use currency_core::{wire, Eid, SpecDelta, Specification, Tuple, Value};
 use currency_datagen::random::{random_spec, RandomSpecConfig};
 use currency_reason::{
-    certain_answers_exact_monolithic, cop_exact_monolithic, CurrencyEngine, Options, ReasonError,
-    ShardedEngine, SnapshotEngine, SolveLimits, TransitivityMode,
+    certain_answers_exact_monolithic, cop_exact_monolithic, CompactBudget, CurrencyEngine, Options,
+    ReasonError, ShardedEngine, SnapshotEngine, SolveLimits, TransitivityMode,
 };
 use currency_serve::{CurrencyServe, ServeError, ServeOptions, ServeRequest, ServeStats};
 use currency_store::{DurableEngine, ShardedStore, StoreOptions};
@@ -83,6 +83,35 @@ const LARGE_BASE_ENTITIES: usize = 2_500;
 /// the same 1×-vs-4× shape at a fraction of the build time).
 const LARGE_BASE_ENTITIES_FAST: usize = 400;
 
+/// Insert+retract churn pairs run against each large-scale engine before
+/// the compaction section, growing a dead region big enough that the
+/// budgeted drain takes several bounded steps (and the monolithic sweep
+/// reclaims something worth pricing).
+const LARGE_COMPACT_CHURN: usize = 20_000;
+
+/// Compaction churn under `--fast` (one bounded step's worth: the fast
+/// lane prices a single budgeted step rather than a multi-step drain).
+const LARGE_COMPACT_CHURN_FAST: usize = 2_000;
+
+/// Hard pause bound for `--check` on a single budgeted compaction step at
+/// the large 4× scale (10k entities / 100k mappings in full mode).  A
+/// step scans [`COMPACT_STEP_SLOTS`] slots plus the dirty-region rebuild
+/// — sub-millisecond in practice; 250 ms is the serving-pause contract
+/// the roadmap names.
+const COMPACT_MAX_PAUSE_MS: u64 = 250;
+
+/// Slot budget per step of the benchmarked incremental drain (a few
+/// slice quanta: big enough to finish the drain in a handful of steps,
+/// small enough that per-step pause stays far under the bound).
+const COMPACT_STEP_SLOTS: usize = 4_096;
+
+/// Flatness guard for `--check` on the drain's per-reclaimed-slot cost
+/// across the two large scales.  A bounded step's cost is O(scan +
+/// moved), independent of specification size, so the true ratio is ≈ 1;
+/// an O(spec) term sneaking back into the step path (full index rebuild,
+/// whole-partition refresh) pushes it toward the 4× spec-size ratio.
+const COMPACT_FLAT_FACTOR: f64 = 3.0;
+
 /// Logged history length of the durability workload (1k deltas — the
 /// acceptance scenario; `--fast` scales it down but keeps the shape).
 const DURABILITY_DELTAS: usize = 1_000;
@@ -98,11 +127,14 @@ const DURABILITY_SNAPSHOT_FRACTION: f64 = 0.8;
 
 /// Overhead guard for `--check`: per-delta apply through the durable
 /// log-then-apply path must stay within this factor of the in-memory
-/// apply path on the same workload.  A buffered CRC-framed append costs
-/// single-digit microseconds against an ~70 µs apply+CPS round, so the
-/// true ratio is ≈ 1.05; 2× leaves ample room for runner noise while
-/// still catching an accidental per-delta fsync or snapshot write.
-const DURABLE_OVERHEAD_FACTOR: f64 = 2.0;
+/// apply path on the same workload.  A CRC-framed append plus one
+/// `write` syscall costs single-digit microseconds against an ~55 µs
+/// apply+CPS round (delta validation is ~80 ns), so the true ratio is
+/// ≈ 1.06 — measured as the median of *paired, order-alternated*
+/// rounds, which cancels the environment drift that once inflated the
+/// back-to-back ratio to 1.38×.  1.2× holds the machinery to its real
+/// cost while still absorbing per-round jitter.
+const DURABLE_OVERHEAD_FACTOR: f64 = 1.2;
 
 /// Recovery guard for `--check`: opening the store (newest snapshot +
 /// log-suffix replay) must beat re-applying the *full* delta history
@@ -173,6 +205,13 @@ const SHARDED_RECOVERY_MIN_CORES: usize = 4;
 /// sequential open — a cross-shard lock (or one shard recovering the
 /// others' work) would sink it.
 const SHARDED_RECOVERY_COLLAPSE_FLOOR: f64 = 0.35;
+
+/// Floor for `--check` on the trusted-replay speedup: skipping replay
+/// validation is strictly less work than the validated sequential open,
+/// so the *paired* per-round ratio must never drop below parity.  The
+/// ratio is measured order-alternated ([`measure_paired`]) precisely so
+/// environment drift cannot push a less-work path below 1×.
+const SHARDED_TRUSTED_SPEEDUP_MIN: f64 = 1.0;
 
 /// Seeds of the sharded-vs-unsharded CPS differential sweep in full
 /// mode — the full 10k-seed space the property suites draw from.  The
@@ -248,6 +287,20 @@ struct Args {
     fast: bool,
     check: bool,
     out: String,
+}
+
+/// One large-scale point of the compaction section: the budgeted drain
+/// against the core-layer reference sweep on the same dirty spec.
+struct CompactScale {
+    entities: usize,
+    churn: usize,
+    steps: usize,
+    reclaimed: usize,
+    max_step_ns: f64,
+    drain_ns: f64,
+    reference_ns: f64,
+    byte_identical: bool,
+    parity: bool,
 }
 
 fn parse_args() -> Args {
@@ -471,6 +524,7 @@ fn main() {
     };
     let mut large_per_delta: Vec<f64> = Vec::new();
     let mut large_rebuilt_per_delta: usize = 0;
+    let mut compact_scales: Vec<CompactScale> = Vec::new();
     json.push_str("  \"large\": [\n");
     for (ix, &scale) in [1usize, 4].iter().enumerate() {
         let entities = large_base * scale;
@@ -496,18 +550,74 @@ fn main() {
         });
         let per_delta_ns = apply.median_ns / 2.0;
         large_per_delta.push(per_delta_ns);
-        // Every measured iteration retracted one tuple, leaving one
-        // tombstone slot: compact them away and price the rebuild.
-        // Compaction recompiles every component, which is multi-second
-        // at full scale — `--fast` prices it only at the 1× point (same
-        // shape, a fraction of the cost) and records null above that.
-        let compact = if args.fast && scale > 1 {
-            None
+        // Grow a dead region worth draining: the measurement loop left
+        // one tombstone per iteration; the churn loop adds a contiguous
+        // block of them (each insert is retracted immediately).
+        let churn = if args.fast {
+            LARGE_COMPACT_CHURN_FAST
         } else {
-            Some(measure_once(|| {
-                std::hint::black_box(engine.compact().unwrap().reclaimed);
-            }))
+            LARGE_COMPACT_CHURN
         };
+        for _ in 0..churn {
+            let report = engine.apply(&insert).unwrap();
+            let (rel, id) = report.inserted[0];
+            engine
+                .apply(&scenarios::update_remove_delta(rel, id))
+                .unwrap();
+        }
+        // Three sweeps over the same dirty specification: the core-layer
+        // reference (`Specification::compact`, the monolithic oracle),
+        // the budgeted incremental drain on a twin engine, and the
+        // engine-level `compact()` that serving actually calls.  The
+        // drain must stay under the per-step pause bound, reclaim
+        // exactly what the reference does, and leave the specification
+        // wire-byte-identical to it.
+        let dirty = engine.spec().clone();
+        let mut ref_spec = dirty.clone();
+        let t = Instant::now();
+        let ref_report = ref_spec.compact();
+        let reference_ns = t.elapsed().as_nanos() as f64;
+        let mut inc =
+            CurrencyEngine::with_value_rels_owned(dirty, &[], &opts).expect("valid dirty spec");
+        let budget = CompactBudget {
+            max_pause: Duration::from_millis(COMPACT_MAX_PAUSE_MS),
+            max_slots_per_step: COMPACT_STEP_SLOTS,
+        };
+        let mut steps = 0usize;
+        let mut max_step_ns = 0f64;
+        let mut drain_ns = 0f64;
+        let mut drain_reclaimed = 0usize;
+        loop {
+            let t = Instant::now();
+            let step = inc.compact_step(&budget).unwrap();
+            let dt = t.elapsed().as_nanos() as f64;
+            steps += 1;
+            max_step_ns = max_step_ns.max(dt);
+            drain_ns += dt;
+            drain_reclaimed += step.reclaimed;
+            if step.done {
+                break;
+            }
+        }
+        let byte_identical = wire::encode_spec(inc.spec()) == wire::encode_spec(&ref_spec);
+        let parity = drain_reclaimed == ref_report.reclaimed;
+        drop(inc);
+        compact_scales.push(CompactScale {
+            entities,
+            churn,
+            steps,
+            reclaimed: drain_reclaimed,
+            max_step_ns,
+            drain_ns,
+            reference_ns,
+            byte_identical,
+            parity,
+        });
+        // The engine-level sweep drains the same slice machinery, so it
+        // is cheap at every scale and in every mode — price it always.
+        let compact = Some(measure_once(|| {
+            std::hint::black_box(engine.compact().unwrap().reclaimed);
+        }));
         let reclaimed = engine.stats().slots_reclaimed;
         if compact.is_some() {
             assert!(engine.cps().unwrap(), "consistent after compaction");
@@ -545,6 +655,52 @@ fn main() {
     let large_ratio = large_per_delta[1] / large_per_delta[0];
 
     // ------------------------------------------------------------------
+    // Compaction section: the budgeted incremental drain vs the
+    // monolithic reference at both large scales.  Guarded by --check:
+    // every step under the pause bound, reclaimed parity, byte-identical
+    // final specification, and per-reclaimed drain cost flat across the
+    // 4× spec-size jump.
+    // ------------------------------------------------------------------
+    json.push_str("  \"compaction\": {\"scales\": [\n");
+    for (ix, cs) in compact_scales.iter().enumerate() {
+        let per_reclaimed = cs.drain_ns / cs.reclaimed.max(1) as f64;
+        let _ = write!(
+            json,
+            "    {{\"entities\": {}, \"churn\": {}, \"steps\": {}, \"reclaimed\": {}, \
+             \"max_step_ns\": {:.0}, \"drain_ns\": {:.0}, \
+             \"drain_ns_per_reclaimed\": {per_reclaimed:.0}, \"reference_ns\": {:.0}, \
+             \"byte_identical\": {}, \"reclaimed_parity\": {}}}",
+            cs.entities,
+            cs.churn,
+            cs.steps,
+            cs.reclaimed,
+            cs.max_step_ns,
+            cs.drain_ns,
+            cs.reference_ns,
+            cs.byte_identical,
+            cs.parity
+        );
+        json.push_str(if ix == 0 { ",\n" } else { "\n" });
+    }
+    let compact_max_step_ns = compact_scales
+        .iter()
+        .map(|c| c.max_step_ns)
+        .fold(0f64, f64::max);
+    let compact_step_flat_ratio = {
+        let per = |c: &CompactScale| c.drain_ns / c.reclaimed.max(1) as f64;
+        per(&compact_scales[1]) / per(&compact_scales[0])
+    };
+    let compact_identical = compact_scales.iter().all(|c| c.byte_identical);
+    let compact_parity = compact_scales.iter().all(|c| c.parity);
+    let _ = writeln!(
+        json,
+        "  ], \"budget_slots\": {COMPACT_STEP_SLOTS}, \
+         \"budget_pause_ms\": {COMPACT_MAX_PAUSE_MS}, \
+         \"max_step_ns\": {compact_max_step_ns:.0}, \
+         \"step_flat_ratio\": {compact_step_flat_ratio:.2}}},"
+    );
+
+    // ------------------------------------------------------------------
     // Durability workload (currency-store): log-append overhead per
     // delta vs the in-memory apply path, then recovery of a logged
     // history (snapshot + suffix replay) vs re-applying every delta from
@@ -571,6 +727,14 @@ fn main() {
     // (a) Per-delta overhead: the same insert+retract+CPS pair loop as
     // the update section, through a DurableEngine and through a plain
     // CurrencyEngine on identical specs.
+    // The two paths race in paired, order-alternating rounds (one
+    // insert+CPS+retract+CPS pair each per round): measuring them as two
+    // back-to-back series let environment drift land entirely on one
+    // side, inflating the reported overhead to 1.38× of a ~1.06× path.
+    // The per-round ratio cancels the shared drift; its median is the
+    // overhead.  (Bisect note: the once-suspected per-append culprits
+    // are innocent — delta validation is ~80 ns and the Vfs-seam append
+    // is one buffered `write` — the creep was the measurement.)
     let mut durable = DurableEngine::create(
         &bench_dir.join("overhead"),
         durable_spec.clone(),
@@ -579,34 +743,38 @@ fn main() {
     )
     .expect("fresh store");
     durable.cps().unwrap();
-    let insert = scenarios::update_insert_delta(&durable_spec);
-    let durable_apply = measure(samples, warmup, window, || {
-        let report = durable.apply(&insert).unwrap();
-        std::hint::black_box(durable.cps().unwrap());
-        let (rel, id) = report.inserted[0];
-        let report = durable
-            .apply(&scenarios::update_remove_delta(rel, id))
-            .unwrap();
-        std::hint::black_box(durable.cps().unwrap());
-        std::hint::black_box(report.cells_touched);
-    });
-    drop(durable);
     let mut memory = CurrencyEngine::new_owned(durable_spec.clone(), &opts).unwrap();
     memory.cps().unwrap();
-    let memory_apply = measure(samples, warmup, window, || {
-        let report = memory.apply(&insert).unwrap();
-        std::hint::black_box(memory.cps().unwrap());
-        let (rel, id) = report.inserted[0];
-        let report = memory
-            .apply(&scenarios::update_remove_delta(rel, id))
-            .unwrap();
-        std::hint::black_box(memory.cps().unwrap());
-        std::hint::black_box(report.cells_touched);
-    });
+    let insert = scenarios::update_insert_delta(&durable_spec);
+    let pair_rounds = (samples * 8).max(64);
+    let (durable_apply, memory_apply, durable_over_apply) = measure_paired(
+        pair_rounds,
+        8,
+        || {
+            let report = durable.apply(&insert).unwrap();
+            std::hint::black_box(durable.cps().unwrap());
+            let (rel, id) = report.inserted[0];
+            let report = durable
+                .apply(&scenarios::update_remove_delta(rel, id))
+                .unwrap();
+            std::hint::black_box(durable.cps().unwrap());
+            std::hint::black_box(report.cells_touched);
+        },
+        || {
+            let report = memory.apply(&insert).unwrap();
+            std::hint::black_box(memory.cps().unwrap());
+            let (rel, id) = report.inserted[0];
+            let report = memory
+                .apply(&scenarios::update_remove_delta(rel, id))
+                .unwrap();
+            std::hint::black_box(memory.cps().unwrap());
+            std::hint::black_box(report.cells_touched);
+        },
+    );
+    drop(durable);
     drop(memory);
     let durable_per_delta = durable_apply.median_ns / 2.0;
     let memory_per_delta = memory_apply.median_ns / 2.0;
-    let durable_over_apply = durable_per_delta / memory_per_delta;
     // (b) Recovery: build a recorded history, snapshot at 80%, and race
     // `open` (snapshot + suffix replay) against a from-scratch re-apply
     // of all recorded deltas.
@@ -804,26 +972,36 @@ fn main() {
         sharded_replayed = s.recoveries().iter().map(|r| r.deltas_replayed).sum();
         std::hint::black_box(s.shards());
     });
-    let sharded_seq_open = measure(samples, warmup, window, || {
-        let s = ShardedStore::open_sequential(&sharded_dir, &opts, sharded_store_opts)
+    // Validated-sequential vs trusted-replay opens race in paired,
+    // order-alternating rounds: measuring them as two back-to-back
+    // series let environment drift (allocator/page-cache state warming
+    // across the section) land entirely on whichever open ran last,
+    // once even pushing the reported trusted "speedup" below 1× for a
+    // strictly-less-work code path.  The per-round ratio cancels the
+    // shared drift; its median is the speedup.
+    let (sharded_seq_open, sharded_trusted_open, sharded_trusted_speedup) = measure_paired(
+        samples,
+        1,
+        || {
+            let s = ShardedStore::open_sequential(&sharded_dir, &opts, sharded_store_opts)
+                .expect("clean store");
+            std::hint::black_box(s.shards());
+        },
+        || {
+            let s = ShardedStore::open_sequential(
+                &sharded_dir,
+                &opts,
+                StoreOptions {
+                    trusted_replay: true,
+                    ..sharded_store_opts
+                },
+            )
             .expect("clean store");
-        std::hint::black_box(s.shards());
-    });
-    let sharded_trusted_open = measure(samples, warmup, window, || {
-        let s = ShardedStore::open_sequential(
-            &sharded_dir,
-            &opts,
-            StoreOptions {
-                trusted_replay: true,
-                ..sharded_store_opts
-            },
-        )
-        .expect("clean store");
-        std::hint::black_box(s.shards());
-    });
+            std::hint::black_box(s.shards());
+        },
+    );
     let _ = std::fs::remove_dir_all(&sharded_dir);
     let sharded_recovery_speedup = sharded_seq_open.median_ns / sharded_par_open.median_ns;
-    let sharded_trusted_speedup = sharded_seq_open.median_ns / sharded_trusted_open.median_ns;
     let _ = write!(
         json,
         "\"recovery\": {{\"entities\": {sharded_rec_entities}, \
@@ -1128,6 +1306,9 @@ fn main() {
     let update_ok = rebuilt_per_delta <= UPDATE_REBUILT_LIMIT;
     let large_flat_ok = large_ratio <= LARGE_FLAT_FACTOR;
     let large_rebuilt_ok = large_rebuilt_per_delta <= UPDATE_REBUILT_LIMIT;
+    let compact_pause_ok = compact_max_step_ns <= (COMPACT_MAX_PAUSE_MS * 1_000_000) as f64;
+    let compact_flat_ok = compact_step_flat_ratio <= COMPACT_FLAT_FACTOR;
+    let compact_exact_ok = compact_identical && compact_parity;
     let durable_overhead_ok = durable_over_apply <= DURABLE_OVERHEAD_FACTOR;
     let replay_count_ok = replayed == expected_suffix;
     let recovery_ok =
@@ -1151,12 +1332,16 @@ fn main() {
         sharded_recovery_speedup >= SHARDED_RECOVERY_COLLAPSE_FLOOR
     };
     let sharded_replay_ok = sharded_replayed == sharded_rec_deltas;
+    let sharded_trusted_ok = sharded_trusted_speedup >= SHARDED_TRUSTED_SPEEDUP_MIN;
     let sharded_diff_ok = sharded_diff_disagreements == 0;
     let pass = time_ok
         && clauses_ok
         && update_ok
         && large_flat_ok
         && large_rebuilt_ok
+        && compact_pause_ok
+        && compact_flat_ok
+        && compact_exact_ok
         && durable_overhead_ok
         && replay_count_ok
         && recovery_ok
@@ -1167,6 +1352,7 @@ fn main() {
         && sharded_flat_ok
         && sharded_recovery_ok
         && sharded_replay_ok
+        && sharded_trusted_ok
         && sharded_diff_ok;
     let _ = write!(
         json,
@@ -1179,6 +1365,12 @@ fn main() {
          \"large_ratio_4x_over_1x\": {large_ratio:.2}, \
          \"large_flat_factor\": {LARGE_FLAT_FACTOR:.1}, \
          \"large_rebuilt_per_delta\": {large_rebuilt_per_delta}, \
+         \"compact_max_step_ns\": {compact_max_step_ns:.0}, \
+         \"compact_max_pause_ms\": {COMPACT_MAX_PAUSE_MS}, \
+         \"compact_step_flat_ratio\": {compact_step_flat_ratio:.2}, \
+         \"compact_flat_factor\": {COMPACT_FLAT_FACTOR:.1}, \
+         \"compact_byte_identical\": {compact_identical}, \
+         \"compact_reclaimed_parity\": {compact_parity}, \
          \"durable_over_apply\": {durable_over_apply:.2}, \
          \"durable_overhead_factor\": {DURABLE_OVERHEAD_FACTOR:.1}, \
          \"recovery_replayed\": {replayed}, \
@@ -1203,6 +1395,7 @@ fn main() {
          \"sharded_recovery_enforced\": {sharded_recovery_enforced}, \
          \"sharded_recovery_collapse_floor\": {SHARDED_RECOVERY_COLLAPSE_FLOOR:.2}, \
          \"sharded_trusted_speedup\": {sharded_trusted_speedup:.2}, \
+         \"sharded_trusted_speedup_min\": {SHARDED_TRUSTED_SPEEDUP_MIN:.1}, \
          \"sharded_replayed\": {sharded_replayed}, \
          \"sharded_replay_expected\": {sharded_rec_deltas}, \
          \"sharded_diff_seeds\": {sharded_diff_seeds}, \
@@ -1243,6 +1436,29 @@ fn main() {
             eprintln!(
                 "REGRESSION: a single-tuple delta on the large spec recompiled \
                  {large_rebuilt_per_delta} components (limit {UPDATE_REBUILT_LIMIT})"
+            );
+        }
+        if !compact_pause_ok {
+            eprintln!(
+                "REGRESSION: a budgeted compaction step paused {:.1} ms at the large \
+                 scale (bound {COMPACT_MAX_PAUSE_MS} ms) — the step is doing O(spec) \
+                 work instead of O(scan + moved)",
+                compact_max_step_ns / 1e6
+            );
+        }
+        if !compact_flat_ok {
+            eprintln!(
+                "REGRESSION: the drain's per-reclaimed-slot cost grew \
+                 {compact_step_flat_ratio:.2}× from 1× to 4× spec size (limit \
+                 {COMPACT_FLAT_FACTOR}×) — an O(spec) term crept into the slice path"
+            );
+        }
+        if !compact_exact_ok {
+            eprintln!(
+                "REGRESSION: the incremental drain diverged from the monolithic \
+                 reference (byte_identical: {compact_identical}, reclaimed parity: \
+                 {compact_parity}) — slice semantics drifted from \
+                 Specification::compact"
             );
         }
         if !durable_overhead_ok {
@@ -1341,6 +1557,14 @@ fn main() {
                 "REGRESSION: sharded recovery replayed {sharded_replayed} deltas across \
                  shards, the log holds exactly {sharded_rec_deltas} — per-shard seq \
                  filtering or routing drifted"
+            );
+        }
+        if !sharded_trusted_ok {
+            eprintln!(
+                "REGRESSION: trusted replay opened only {sharded_trusted_speedup:.2}× \
+                 as fast as the validated sequential open in paired rounds (floor \
+                 {SHARDED_TRUSTED_SPEEDUP_MIN}×) — validation skipping stopped \
+                 skipping work"
             );
         }
         if !sharded_diff_ok {

@@ -64,6 +64,61 @@ pub fn measure(
     }
 }
 
+/// Measure two routines in paired, order-alternating rounds: each round
+/// times `a` and `b` adjacently and swaps which goes first on every
+/// round, so slow environmental drift — allocator state, page cache,
+/// a noisy co-tenant — lands on both sides equally instead of on
+/// whichever routine a measure-then-measure sequence happens to run
+/// last.  Returns the two series plus the **median of the per-round
+/// `a`/`b` time ratios**: the pointwise ratio cancels each round's
+/// shared noise before the median is taken, which is the robust way to
+/// compare two variants of the same operation.
+pub fn measure_paired(
+    samples: usize,
+    warmup_rounds: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> (Measurement, Measurement, f64) {
+    let samples = samples.max(1);
+    let mut a_ns: Vec<f64> = Vec::with_capacity(samples);
+    let mut b_ns: Vec<f64> = Vec::with_capacity(samples);
+    let mut ratios: Vec<f64> = Vec::with_capacity(samples);
+    let time = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        t.elapsed().as_nanos() as f64
+    };
+    for round in 0..warmup_rounds + samples {
+        let (ra, rb) = if round % 2 == 0 {
+            let ra = time(&mut a);
+            let rb = time(&mut b);
+            (ra, rb)
+        } else {
+            let rb = time(&mut b);
+            let ra = time(&mut a);
+            (ra, rb)
+        };
+        if round >= warmup_rounds {
+            a_ns.push(ra);
+            b_ns.push(rb);
+            ratios.push(ra / rb);
+        }
+    }
+    let summarize = |mut v: Vec<f64>| -> Measurement {
+        v.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        Measurement {
+            median_ns: v[v.len() / 2],
+            min_ns: v[0],
+            mean_ns: v.iter().sum::<f64>() / v.len() as f64,
+            samples: v.len(),
+            iters: 1,
+        }
+    };
+    ratios.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let ratio = ratios[ratios.len() / 2];
+    (summarize(a_ns), summarize(b_ns), ratio)
+}
+
 /// Time a single execution (for expensive one-shot series like eager
 /// grounding at large group sizes).
 pub fn measure_once(mut routine: impl FnMut()) -> Measurement {

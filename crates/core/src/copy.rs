@@ -363,6 +363,100 @@ impl CopyFunction {
         self.index = new_index;
     }
 
+    /// Apply one incremental-compaction slice of relation `rel` to the
+    /// mapping set: drop the (orphan) mappings whose endpoint is one of
+    /// the `dead` slots, then re-key the endpoints that `moved`
+    /// (old id → new id).  Returns the number of mappings dropped.
+    ///
+    /// The bounded counterpart of [`CopyFunction::remap_tuples`]: with a
+    /// fresh entity-keyed index the cost is O(slice) — per dead slot and
+    /// per moved endpoint an indexed lookup, never a scan of the mapping
+    /// set — and the index is maintained in place (entities never change
+    /// on a move).  With a stale index the source side degrades to one
+    /// full pass over the map, exactly like the monolithic path.
+    ///
+    /// Moved target keys are processed in ascending old-id order; the
+    /// sweep moves tuples strictly downward onto slots whose mappings
+    /// (if any) were dropped when the slot died, so a re-keyed entry
+    /// never collides with a surviving one.
+    pub fn remap_slice(
+        &mut self,
+        rel: RelId,
+        moved: &BTreeMap<TupleId, TupleId>,
+        dead: &[TupleId],
+    ) -> usize {
+        let on_target = self.sig.target == rel;
+        let on_source = self.sig.source == rel;
+        if !on_target && !on_source {
+            return 0;
+        }
+        let mut dropped = 0;
+        // Orphan mappings referencing a dead slot go first (mirrors the
+        // monolithic remap's drop semantics and frees the slot's key for
+        // the re-keys below).
+        if on_target {
+            for &d in dead {
+                if self.remove_target_mapping(d).is_some() {
+                    dropped += 1;
+                }
+            }
+        }
+        if on_source {
+            for &d in dead {
+                dropped += self.remove_source_mappings(d).len();
+            }
+        }
+        // Target-side re-keys (map keys are target ids).
+        if on_target {
+            for (&old, &new) in moved {
+                let Some(src) = self.map.remove(&old) else {
+                    continue;
+                };
+                let prev = self.map.insert(new, src);
+                debug_assert!(prev.is_none(), "moved onto a surviving mapping key");
+                if let Some(ix) = &mut self.index {
+                    let key = ix.group_of.remove(&old).expect("indexed mapping");
+                    ix.group_of.insert(new, key);
+                    let ts = ix.by_source.get_mut(&src).expect("indexed source");
+                    ts.remove(&old);
+                    ts.insert(new);
+                    let group = ix.groups.get_mut(&key).expect("indexed group");
+                    group.remove(&(old, src));
+                    group.insert((new, src));
+                }
+            }
+        }
+        // Source-side re-keys (map values are source ids).
+        if on_source {
+            match &mut self.index {
+                Some(ix) => {
+                    for (&old, &new) in moved {
+                        let Some(targets) = ix.by_source.remove(&old) else {
+                            continue;
+                        };
+                        for &t in &targets {
+                            *self.map.get_mut(&t).expect("indexed mapping in map") = new;
+                            let key = *ix.group_of.get(&t).expect("indexed mapping");
+                            let group = ix.groups.get_mut(&key).expect("indexed group");
+                            group.remove(&(t, old));
+                            group.insert((t, new));
+                        }
+                        let prev = ix.by_source.insert(new, targets);
+                        debug_assert!(prev.is_none(), "moved onto a surviving source id");
+                    }
+                }
+                None => {
+                    for (_, s) in self.map.iter_mut() {
+                        if let Some(&ns) = moved.get(s) {
+                            *s = ns;
+                        }
+                    }
+                }
+            }
+        }
+        dropped
+    }
+
     /// Iterate over `(target, source)` pairs.
     pub fn mappings(&self) -> impl Iterator<Item = (TupleId, TupleId)> + '_ {
         self.map.iter().map(|(t, s)| (*t, *s))

@@ -63,6 +63,22 @@ pub enum CurrencyError {
         /// The out-of-range id.
         tuple: TupleId,
     },
+    /// An incremental-compaction slice carried bounds that do not
+    /// describe a valid sweep state of the instance (replaying a logged
+    /// slice against a diverged instance fails here instead of
+    /// corrupting slots).
+    InvalidCompactSlice {
+        /// Relation the slice addressed.
+        rel: RelId,
+        /// Claimed start of the slice's write region.
+        write: u32,
+        /// Claimed first scanned slot.
+        start: u32,
+        /// Claimed scan end (exclusive).
+        end: u32,
+        /// The instance's actual slot count.
+        slots: usize,
+    },
     /// An id referred to an out-of-range attribute.
     AttrOutOfRange {
         /// Relation involved.
@@ -136,6 +152,19 @@ impl fmt::Display for CurrencyError {
             }
             CurrencyError::UnknownTuple { rel, tuple } => {
                 write!(f, "relation {rel:?} has no tuple {tuple}")
+            }
+            CurrencyError::InvalidCompactSlice {
+                rel,
+                write,
+                start,
+                end,
+                slots,
+            } => {
+                write!(
+                    f,
+                    "compaction slice [write {write}, scan {start}..{end}) does not \
+                     describe a sweep state of relation {rel:?} ({slots} slots)"
+                )
             }
             CurrencyError::AttrOutOfRange { rel, attr } => {
                 write!(f, "relation {rel:?} has no attribute index {attr:?}")

@@ -38,6 +38,93 @@ impl CompactReport {
     }
 }
 
+/// One bounded slice of an incremental compaction sweep over a single
+/// relation (see [`Specification::compact_slice`]).
+///
+/// A sweep bubbles one contiguous dead block upward through the slot
+/// vector: the slice scanned slots `[start, end)`, moved the live
+/// tuples it found down onto `[write, …)`, and left the (grown) dead
+/// block behind — or truncated it, if the scan reached the end of the
+/// vector.  Slices are *logged and replayed verbatim* by the durability
+/// layer, so equality compares every field including the translation
+/// table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactSlice {
+    /// The relation the slice ran over.
+    pub rel: RelId,
+    /// First slot of the write region: scanned live tuples moved down
+    /// onto `[write, …)`.
+    pub write: u32,
+    /// First slot scanned (`[write, start)` is the dead block bubbled up
+    /// by earlier slices of the same sweep).
+    pub start: u32,
+    /// One past the last slot scanned (`end - start` bounds the slice's
+    /// work).
+    pub end: u32,
+    /// Translation table for slots `[write, write + remap.len())` —
+    /// always exactly `end - write` entries: `Some(new)` for live tuples
+    /// the slice moved, `None` for dead slots.  Ids below `write` or at
+    /// `end` and beyond are untouched by this slice.
+    pub remap: Vec<Option<TupleId>>,
+    /// Slots reclaimed (truncated off the slot vector) by this slice —
+    /// nonzero only for a slice whose scan reached the end.
+    pub reclaimed: u32,
+}
+
+impl CompactSlice {
+    /// Translate a tuple id of [`CompactSlice::rel`] through this slice
+    /// (`None` — the slot was dead and its id is gone).
+    pub fn new_id(&self, old: TupleId) -> Option<TupleId> {
+        let i = old.index();
+        let w = self.write as usize;
+        if i < w || i >= w + self.remap.len() {
+            Some(old)
+        } else {
+            self.remap[i - w]
+        }
+    }
+}
+
+/// The outcome of one bounded compaction step: the slices it executed,
+/// in order, plus composed totals.  Produced by
+/// `CurrencyEngine::compact_step` (and the auto-step policy); the
+/// durability layer logs one report per step and re-executes the slices
+/// on recovery.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompactStepReport {
+    /// Total tombstone slots reclaimed by this step's slices.
+    pub reclaimed: usize,
+    /// The slices executed, in execution order.  Their translation
+    /// tables compose left to right — [`CompactStepReport::new_id`]
+    /// folds them for external id holders.
+    pub slices: Vec<CompactSlice>,
+    /// `true` when no tombstones remain anywhere in the specification
+    /// after this step (the incremental sweep has fully drained).
+    pub done: bool,
+}
+
+impl CompactStepReport {
+    /// Translate an old tuple id through every slice of the step, in
+    /// order (`None` — the tuple's slot was reclaimed).  Reports from
+    /// consecutive steps compose the same way: feed each step's result
+    /// into the next.
+    pub fn new_id(&self, rel: RelId, old: TupleId) -> Option<TupleId> {
+        let mut id = old;
+        for slice in self.slices.iter().filter(|s| s.rel == rel) {
+            id = slice.new_id(id)?;
+        }
+        Some(id)
+    }
+
+    /// Fold another step's outcome into this one (slices concatenate in
+    /// execution order, totals add, `done` takes the later verdict).
+    pub fn absorb(&mut self, other: CompactStepReport) {
+        self.reclaimed += other.reclaimed;
+        self.slices.extend(other.slices);
+        self.done = other.done;
+    }
+}
+
 /// A specification `S` of data currency (paper §2): one temporal instance
 /// per relation of the catalog, a set of denial constraints, and a set of
 /// copy functions between the instances.
@@ -260,6 +347,85 @@ impl Specification {
         }
         debug_assert!(self.validate().is_ok(), "compaction preserves invariants");
         report
+    }
+
+    /// Total tombstoned slots across all instances (what a full
+    /// compaction sweep would reclaim).
+    pub fn total_tombstones(&self) -> usize {
+        self.instances.iter().map(|i| i.tombstones()).sum()
+    }
+
+    /// Execute the next canonical slice of an incremental compaction
+    /// sweep, scanning at most `max_scan` slots: the bounded counterpart
+    /// of [`Specification::compact`], costing O(scan + moved region)
+    /// instead of O(specification).  Returns `None` when there is
+    /// nothing left to reclaim.
+    ///
+    /// Relations drain lowest [`RelId`] first.  Between slices the
+    /// specification is a *valid* specification over a dense-enough id
+    /// space — entity groups, order pairs and copy mappings are
+    /// rewritten in lockstep for exactly the moved tuples — so deltas
+    /// and queries interleave freely with slices.  Once every slice has
+    /// run (`slices` drain to `None`), the specification is
+    /// byte-identical to what one [`Specification::compact`] call would
+    /// have produced; `compact` stays the reference implementation the
+    /// incremental path is differentially tested against.
+    ///
+    /// **The moved ids invalidate external holders** exactly like a
+    /// monolithic compaction — translate through the returned slice's
+    /// table ([`CompactSlice::new_id`], or fold a whole step with
+    /// [`CompactStepReport::new_id`]).
+    pub fn compact_slice(&mut self, max_scan: usize) -> Option<CompactSlice> {
+        let inst = self.instances.iter().find(|i| i.tombstones() > 0)?;
+        let rel = inst.rel();
+        let (write, start, end) = inst.compact_step_bounds(max_scan)?;
+        Some(
+            self.compact_slice_at(rel, write, start, end)
+                .expect("canonical bounds describe a valid slice"),
+        )
+    }
+
+    /// Execute one compaction slice with explicit bounds — the replay
+    /// path for slices logged by the durability layer.  Validates that
+    /// the bounds describe a real sweep state of `rel`'s instance
+    /// ([`CurrencyError::InvalidCompactSlice`] otherwise), so replaying
+    /// against a diverged specification fails cleanly.
+    pub fn compact_slice_at(
+        &mut self,
+        rel: RelId,
+        write: u32,
+        start: u32,
+        end: u32,
+    ) -> Result<CompactSlice, CurrencyError> {
+        if rel.index() >= self.instances.len() {
+            return Err(CurrencyError::InvalidCompactSlice {
+                rel,
+                write,
+                start,
+                end,
+                slots: 0,
+            });
+        }
+        let outcome = self.instances[rel.index()].compact_slice_at(write, start, end)?;
+        if !outcome.moved.is_empty() || !outcome.dead.is_empty() {
+            let moved_map: std::collections::BTreeMap<TupleId, TupleId> = outcome
+                .moved
+                .iter()
+                .map(|&(old, new, _)| (old, new))
+                .collect();
+            for cf in &mut self.copies {
+                cf.remap_slice(rel, &moved_map, &outcome.dead);
+            }
+        }
+        debug_assert!(self.validate().is_ok(), "slices preserve invariants");
+        Ok(CompactSlice {
+            rel,
+            write,
+            start,
+            end,
+            remap: outcome.remap,
+            reclaimed: outcome.reclaimed as u32,
+        })
     }
 
     /// Re-check every global invariant: instance orders acyclic and
@@ -505,6 +671,146 @@ mod tests {
             "stale index rebuilt by compaction"
         );
         assert!(spec.validate().is_ok());
+    }
+
+    /// A two-relation spec with a copy function, mirrored churn
+    /// tombstones on both sides, and a few order pairs — the fixture the
+    /// incremental-compaction differentials run over.
+    fn churned_copy_spec() -> (Specification, RelId, RelId) {
+        let (mut spec, r, s) = two_rel_spec();
+        let mut pairs = Vec::new();
+        for v in 0..10i64 {
+            let tr = spec
+                .instance_mut(r)
+                .push_tuple(Tuple::new(
+                    Eid(1 + (v as u64 % 3)),
+                    vec![Value::int(v), Value::int(v)],
+                ))
+                .unwrap();
+            let ts = spec
+                .instance_mut(s)
+                .push_tuple(Tuple::new(Eid(20 + (v as u64 % 3)), vec![Value::int(v)]))
+                .unwrap();
+            pairs.push((tr, ts));
+        }
+        spec.instance_mut(r)
+            .add_order(AttrId(0), pairs[0].0, pairs[3].0)
+            .unwrap();
+        spec.instance_mut(r)
+            .add_order(AttrId(1), pairs[6].0, pairs[9].0)
+            .unwrap();
+        spec.instance_mut(s)
+            .add_order(AttrId(0), pairs[2].1, pairs[8].1)
+            .unwrap();
+        let sig = CopySignature::new(r, vec![AttrId(0)], s, vec![AttrId(0)]).unwrap();
+        let mut cf = CopyFunction::new(sig);
+        for &(tr, ts) in &pairs {
+            cf.set_mapping(tr, ts);
+        }
+        spec.add_copy(cf).unwrap();
+        // Tombstone a scattered subset on both relations, cascading the
+        // copy mappings like the delta layer would.
+        for &i in &[1usize, 4, 5, 7] {
+            let (tr, ts) = pairs[i];
+            spec.copy_mut(0).remove_target_mapping(tr);
+            spec.instance_mut(r).remove_tuple(tr).unwrap();
+            spec.instance_mut(s).remove_tuple(ts).unwrap();
+        }
+        (spec, r, s)
+    }
+
+    #[test]
+    fn sliced_compaction_is_byte_identical_to_monolithic() {
+        for quantum in [1usize, 2, 3, 7, 64] {
+            let (mut spec, _, _) = churned_copy_spec();
+            let mut reference = spec.clone();
+            let ref_report = reference.compact();
+
+            let mut step = CompactStepReport::default();
+            while let Some(slice) = spec.compact_slice(quantum) {
+                step.reclaimed += slice.reclaimed as usize;
+                step.slices.push(slice);
+                assert!(spec.validate().is_ok(), "valid between slices");
+                assert!(step.slices.len() < 200, "sweep terminates");
+            }
+            step.done = spec.total_tombstones() == 0;
+            assert!(step.done);
+            assert_eq!(step.reclaimed, ref_report.reclaimed, "quantum {quantum}");
+            assert_eq!(
+                crate::wire::encode_spec(&spec),
+                crate::wire::encode_spec(&reference),
+                "drained spec byte-identical to compact(), quantum {quantum}"
+            );
+            // The composed slice tables agree with the monolithic
+            // translation on every old id of both relations.
+            for rel in [RelId(0), RelId(1)] {
+                for old in 0..10u32 {
+                    assert_eq!(
+                        step.new_id(rel, TupleId(old)),
+                        ref_report.new_id(rel, TupleId(old)),
+                        "rel {rel:?} id {old} quantum {quantum}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logged_slices_replay_to_the_same_state() {
+        // Re-executing a sweep's logged bounds via compact_slice_at must
+        // reproduce the slices (and the state) exactly — the durability
+        // layer's recovery contract.
+        let (mut spec, _, _) = churned_copy_spec();
+        let mut replayed = spec.clone();
+        let mut log = Vec::new();
+        while let Some(slice) = spec.compact_slice(3) {
+            log.push(slice);
+        }
+        for slice in &log {
+            let got = replayed
+                .compact_slice_at(slice.rel, slice.write, slice.start, slice.end)
+                .unwrap();
+            assert_eq!(&got, slice, "replayed slice identical");
+        }
+        assert_eq!(
+            crate::wire::encode_spec(&spec),
+            crate::wire::encode_spec(&replayed)
+        );
+    }
+
+    #[test]
+    fn slices_shed_orphaned_mappings_like_compact() {
+        let (mut spec, r, s) = two_rel_spec();
+        let tr = spec
+            .instance_mut(r)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1), Value::int(2)]))
+            .unwrap();
+        let ts = spec
+            .instance_mut(s)
+            .push_tuple(Tuple::new(Eid(1), vec![Value::int(1)]))
+            .unwrap();
+        let sig = CopySignature::new(r, vec![AttrId(0)], s, vec![AttrId(0)]).unwrap();
+        let mut cf = CopyFunction::new(sig);
+        cf.set_mapping(tr, ts);
+        spec.add_copy(cf).unwrap();
+        spec.instance_mut(s).remove_tuple(ts).unwrap(); // no cascade
+        while spec.compact_slice(4).is_some() {}
+        assert!(spec.copies()[0].is_empty(), "orphaned mapping shed");
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn slice_replay_against_diverged_spec_fails_cleanly() {
+        let (mut spec, _, _) = churned_copy_spec();
+        let slice = spec.clone().compact_slice(4).unwrap();
+        // Diverge: reclaim everything first, then replay the stale slice.
+        spec.compact();
+        assert!(matches!(
+            spec.compact_slice_at(slice.rel, slice.write, slice.start, slice.end),
+            Err(CurrencyError::InvalidCompactSlice { .. })
+        ));
+        // Unknown relation is rejected, not a panic.
+        assert!(spec.compact_slice_at(RelId(99), 0, 0, 0).is_err());
     }
 
     #[test]

@@ -45,6 +45,34 @@ pub struct TemporalInstance {
     tombstones: usize,
     orders: Vec<OrderRelation>,
     groups: BTreeMap<Eid, Vec<TupleId>>,
+    /// Lowest tombstoned slot index (`usize::MAX` when there are none).
+    /// Pure sweep-acceleration state for the incremental compactor —
+    /// never serialized, always recomputable from `removed`.
+    min_tombstone: usize,
+    /// The contiguous dead block `[start, end)` bubbled up by the
+    /// in-progress incremental sweep (valid only while `start` equals
+    /// `min_tombstone`; see [`TemporalInstance::compact_step_bounds`]).
+    /// Like `min_tombstone`, a non-serialized hint.
+    sweep_block: Option<(u32, u32)>,
+}
+
+/// The instance-level outcome of one incremental-compaction slice (see
+/// [`TemporalInstance::compact_slice_at`]).  Crate-internal: the
+/// specification layer consumes it to fix up copy functions and build
+/// the public [`crate::CompactSlice`] record.
+#[derive(Clone, Debug)]
+pub(crate) struct SliceOutcome {
+    /// Live tuples moved down by the slice: `(old id, new id, entity)`.
+    pub moved: Vec<(TupleId, TupleId, Eid)>,
+    /// Dead slots scanned by the slice (candidates for orphan
+    /// copy-mapping drops at the specification layer).
+    pub dead: Vec<TupleId>,
+    /// Translation table for slots `[write, write + remap.len())`:
+    /// `Some(new)` for moved live tuples, `None` for dead slots.
+    pub remap: Vec<Option<TupleId>>,
+    /// Slots truncated off the end of the slot vector (nonzero only
+    /// when the slice's scan reached the end).
+    pub reclaimed: usize,
 }
 
 impl TemporalInstance {
@@ -59,6 +87,8 @@ impl TemporalInstance {
             tombstones: 0,
             orders: vec![OrderRelation::new(); schema.arity()],
             groups: BTreeMap::new(),
+            min_tombstone: usize::MAX,
+            sweep_block: None,
         }
     }
 
@@ -132,6 +162,7 @@ impl TemporalInstance {
         }
         self.removed[id.index()] = true;
         self.tombstones += 1;
+        self.min_tombstone = self.min_tombstone.min(id.index());
         let eid = self.tuples[id.index()].eid;
         let group = self.groups.get_mut(&eid).expect("tuple was grouped");
         group.retain(|&t| t != id);
@@ -303,7 +334,182 @@ impl TemporalInstance {
         for order in &mut self.orders {
             order.remap(&remap);
         }
+        self.min_tombstone = usize::MAX;
+        self.sweep_block = None;
         (reclaimed, remap)
+    }
+
+    /// Bounds of the next canonical incremental-compaction slice, or
+    /// `None` when there is nothing to reclaim.
+    ///
+    /// The incremental sweep bubbles one contiguous dead block upward:
+    /// `write` is the lowest tombstoned slot, `[write, start)` is the
+    /// dead block accumulated by earlier slices of this sweep (skipped,
+    /// already processed), and `[start, end)` is the next scan window of
+    /// at most `max_scan` slots.  A retraction below `write` between
+    /// slices simply restarts the sweep at the new minimum — correctness
+    /// never depends on the cached block, only the cost does.
+    pub fn compact_step_bounds(&self, max_scan: usize) -> Option<(u32, u32, u32)> {
+        if self.tombstones == 0 {
+            return None;
+        }
+        let write = self.min_tombstone;
+        debug_assert!(self.removed[write], "min_tombstone hint must be exact");
+        let start = match self.sweep_block {
+            Some((bs, be)) if bs as usize == write => be as usize,
+            _ => write,
+        };
+        let end = (start + max_scan.max(1)).min(self.tuples.len());
+        Some((write as u32, start as u32, end as u32))
+    }
+
+    /// Execute one incremental-compaction slice with explicit bounds:
+    /// scan slots `[start, end)` in ascending order, moving every live
+    /// tuple down onto the dead block that begins at `write`, and
+    /// truncate the slot vector when the scan reaches its end.  The
+    /// instance is a *valid* instance before and after every slice —
+    /// entity groups and order pairs are rewritten in place for exactly
+    /// the moved tuples, so the slice costs O(scan + affected pairs),
+    /// never O(instance).
+    ///
+    /// Bounds are validated (`write ≤ start ≤ end ≤ len`, with
+    /// `[write, start)` entirely dead), so replaying a logged slice
+    /// against a diverged instance fails cleanly instead of corrupting
+    /// slots.  Use [`crate::Specification::compact_slice`] /
+    /// [`crate::Specification::compact_slice_at`] rather than calling
+    /// this directly: like [`TemporalInstance::compact`], a slice
+    /// invalidates external holders of the moved ids, and the
+    /// specification layer keeps copy functions in lockstep.
+    pub(crate) fn compact_slice_at(
+        &mut self,
+        write: u32,
+        start: u32,
+        end: u32,
+    ) -> Result<SliceOutcome, CurrencyError> {
+        let len = self.tuples.len();
+        let (w0, s0, e0) = (write as usize, start as usize, end as usize);
+        let bad_bounds = || CurrencyError::InvalidCompactSlice {
+            rel: self.rel,
+            write,
+            start,
+            end,
+            slots: len,
+        };
+        if w0 > s0 || s0 > e0 || e0 > len {
+            return Err(bad_bounds());
+        }
+        if self.removed[w0..s0].iter().any(|&dead| !dead) {
+            return Err(bad_bounds());
+        }
+
+        // Pass 1: bubble live tuples down onto the dead block.  One dead
+        // slot is consumed at `w` and one created at the vacated source,
+        // so the tombstone count is conserved until truncation.
+        let mut moved: Vec<(TupleId, TupleId, Eid)> = Vec::new();
+        let mut dead: Vec<TupleId> = Vec::new();
+        let mut remap: Vec<Option<TupleId>> = vec![None; s0 - w0];
+        let mut w = w0;
+        for i in s0..e0 {
+            if self.removed[i] {
+                dead.push(TupleId(i as u32));
+                remap.push(None);
+            } else {
+                if !self.removed[w] {
+                    // Only reachable through corrupt explicit bounds: a
+                    // canonical sweep always starts on a tombstone.
+                    return Err(bad_bounds());
+                }
+                let eid = self.tuples[i].eid;
+                self.tuples.swap(w, i);
+                self.removed[w] = false;
+                self.removed[i] = true;
+                moved.push((TupleId(i as u32), TupleId(w as u32), eid));
+                remap.push(Some(TupleId(w as u32)));
+                w += 1;
+            }
+        }
+
+        // Pass 2: rewrite the order pairs touching a moved endpoint.
+        // Orders only relate same-entity tuples, so walking the affected
+        // entities' (pre-update) member lists via `pairs_from` finds
+        // every such pair without an O(order) scan.  Fresh target ids
+        // were dead (pairs shed on removal), so the re-adds cannot
+        // collide with surviving pairs.
+        if !moved.is_empty() {
+            let moved_map: BTreeMap<TupleId, TupleId> =
+                moved.iter().map(|&(old, new, _)| (old, new)).collect();
+            let affected: std::collections::BTreeSet<Eid> =
+                moved.iter().map(|&(_, _, eid)| eid).collect();
+            for order in &mut self.orders {
+                if order.is_empty() {
+                    continue;
+                }
+                let mut changed: Vec<((TupleId, TupleId), (TupleId, TupleId))> = Vec::new();
+                for &eid in &affected {
+                    let Some(members) = self.groups.get(&eid) else {
+                        continue;
+                    };
+                    for &m in members {
+                        for (l, g) in order.pairs_from(m) {
+                            let nl = moved_map.get(&l).copied().unwrap_or(l);
+                            let ng = moved_map.get(&g).copied().unwrap_or(g);
+                            if (nl, ng) != (l, g) {
+                                changed.push(((l, g), (nl, ng)));
+                            }
+                        }
+                    }
+                }
+                for &((l, g), _) in &changed {
+                    order.remove(l, g);
+                }
+                for &(_, (nl, ng)) in &changed {
+                    order.add(nl, ng);
+                }
+            }
+            // Pass 3: entity groups, moved entries only (in-group
+            // insertion order survives because moves are monotone).
+            for &(old, new, eid) in &moved {
+                let group = self.groups.get_mut(&eid).expect("moved tuple is grouped");
+                let slot = group
+                    .iter_mut()
+                    .find(|t| **t == old)
+                    .expect("moved tuple appears in its entity group");
+                *slot = new;
+            }
+        }
+
+        // Truncate once the scan has reached the end of the slot vector:
+        // `[w, e0)` is then a trailing all-dead block.
+        let reclaimed = if e0 == len {
+            self.tuples.truncate(w);
+            self.removed.truncate(w);
+            let reclaimed = len - w;
+            self.tombstones -= reclaimed;
+            self.sweep_block = None;
+            if self.tombstones == 0 {
+                self.min_tombstone = usize::MAX;
+            }
+            debug_assert!(self.tombstones == 0 || self.min_tombstone < w);
+            reclaimed
+        } else {
+            if self.min_tombstone >= w0 {
+                self.min_tombstone = if w < e0 {
+                    w
+                } else {
+                    // Degenerate all-live scan (unreachable through
+                    // canonical bounds): recompute the hint exactly.
+                    self.removed.iter().position(|&d| d).unwrap_or(usize::MAX)
+                };
+            }
+            self.sweep_block = (w < e0).then_some((w as u32, e0 as u32));
+            0
+        };
+        Ok(SliceOutcome {
+            moved,
+            dead,
+            remap,
+            reclaimed,
+        })
     }
 }
 
@@ -488,6 +694,109 @@ mod tests {
         let (reclaimed, _) = d.compact();
         assert_eq!(reclaimed, 1);
         assert!(d.order(AttrId(1)).contains(TupleId(0), TupleId(1)));
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn sliced_sweep_matches_monolithic_compact() {
+        // Interleaved live/dead pattern, drained with a tiny quantum:
+        // the slice path must land on exactly the state compact() builds.
+        for quantum in 1..=5usize {
+            let mut d = inst();
+            let mut ids = Vec::new();
+            for i in 0..12i64 {
+                ids.push(d.push_tuple(tup(1 + (i % 3) as u64, i, i)).unwrap());
+            }
+            d.add_order(AttrId(0), ids[0], ids[3]).unwrap();
+            d.add_order(AttrId(0), ids[3], ids[9]).unwrap();
+            d.add_order(AttrId(1), ids[11], ids[2]).unwrap();
+            for &i in &[1usize, 4, 5, 7, 10] {
+                d.remove_tuple(ids[i]).unwrap();
+            }
+            let mut reference = d.clone();
+            let (ref_reclaimed, _) = reference.compact();
+
+            let mut sliced = 0;
+            let mut steps = 0;
+            while let Some((w, s, e)) = d.compact_step_bounds(quantum) {
+                let out = d.compact_slice_at(w, s, e).unwrap();
+                sliced += out.reclaimed;
+                steps += 1;
+                assert!(steps < 100, "sweep must terminate");
+                assert!(d.validate().is_ok(), "valid between slices");
+            }
+            assert_eq!(sliced, ref_reclaimed);
+            assert_eq!(d.len(), reference.len());
+            assert_eq!(d.tombstones(), 0);
+            let got: Vec<_> = d.tuples().map(|(i, t)| (i, t.clone())).collect();
+            let want: Vec<_> = reference.tuples().map(|(i, t)| (i, t.clone())).collect();
+            assert_eq!(got, want, "quantum {quantum}");
+            for eid in [Eid(1), Eid(2), Eid(3)] {
+                assert_eq!(d.entity_group(eid), reference.entity_group(eid));
+            }
+            for a in 0..2 {
+                assert_eq!(
+                    d.order(AttrId(a)).iter().collect::<Vec<_>>(),
+                    reference.order(AttrId(a)).iter().collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_sweep_survives_interleaved_churn() {
+        // Retractions and inserts *between* slices restart or extend the
+        // sweep but never corrupt it.
+        let mut d = inst();
+        for i in 0..10 {
+            d.push_tuple(tup(1, i, i)).unwrap();
+        }
+        for i in [0u32, 2, 4, 6] {
+            d.remove_tuple(TupleId(i)).unwrap();
+        }
+        let (w, s, e) = d.compact_step_bounds(2).unwrap();
+        d.compact_slice_at(w, s, e).unwrap();
+        // Retract below the sweep block (slot 0 now holds the moved
+        // value-1 tuple) and push a fresh tuple.
+        d.remove_tuple(TupleId(0)).unwrap();
+        let t = d.push_tuple(tup(1, 99, 99)).unwrap();
+        assert_eq!(t.index(), d.len() - 1);
+        let mut steps = 0;
+        while let Some((w, s, e)) = d.compact_step_bounds(3) {
+            d.compact_slice_at(w, s, e).unwrap();
+            assert!(d.validate().is_ok());
+            steps += 1;
+            assert!(steps < 50);
+        }
+        assert_eq!(d.tombstones(), 0);
+        assert_eq!(d.live_len(), d.len());
+        let values: Vec<i64> = d
+            .tuples()
+            .map(|(_, t)| t.values[0].clone())
+            .map(|v| match v {
+                Value::Int(i) => i,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(values, vec![3, 5, 7, 8, 9, 99], "order preserved");
+    }
+
+    #[test]
+    fn slice_with_corrupt_bounds_is_rejected() {
+        let mut d = inst();
+        for i in 0..6 {
+            d.push_tuple(tup(1, i, i)).unwrap();
+        }
+        d.remove_tuple(TupleId(2)).unwrap();
+        // write must not exceed start, scan must stay in range, and the
+        // skipped block must be dead.
+        assert!(d.compact_slice_at(3, 2, 5).is_err());
+        assert!(d.compact_slice_at(2, 3, 99).is_err());
+        assert!(d.compact_slice_at(0, 2, 5).is_err(), "live skipped block");
+        // A live write cursor (claiming slot 0 is dead) is rejected too.
+        assert!(d.compact_slice_at(0, 0, 2).is_err());
+        // The instance is untouched by the rejections.
+        assert_eq!(d.tombstones(), 1);
         assert!(d.validate().is_ok());
     }
 

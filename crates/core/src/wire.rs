@@ -45,7 +45,7 @@ use crate::denial::{CmpOp, DenialConstraint, Predicate, Term};
 use crate::error::CurrencyError;
 use crate::instance::Tuple;
 use crate::schema::{AttrId, Catalog, RelId, RelationSchema};
-use crate::spec::{CompactReport, Specification};
+use crate::spec::{CompactReport, CompactSlice, CompactStepReport, Specification};
 use crate::value::{Eid, TupleId, Value};
 use std::fmt;
 
@@ -795,6 +795,97 @@ pub fn get_compact_report(r: &mut WireReader<'_>) -> Result<CompactReport, WireE
         remap.push(table);
     }
     Ok(CompactReport { reclaimed, remap })
+}
+
+// ---------------------------------------------------------------------
+// CompactStepReport (incremental-compaction slices).
+// ---------------------------------------------------------------------
+
+/// Encode one incremental-compaction slice into an existing writer.
+pub fn put_compact_slice(w: &mut WireWriter, slice: &CompactSlice) {
+    w.put_u32(slice.rel.0);
+    w.put_u32(slice.write);
+    w.put_u32(slice.start);
+    w.put_u32(slice.end);
+    w.put_u32(slice.reclaimed);
+    w.put_len(slice.remap.len());
+    for entry in &slice.remap {
+        match entry {
+            Some(id) => {
+                w.put_bool(true);
+                w.put_u32(id.0);
+            }
+            None => w.put_bool(false),
+        }
+    }
+}
+
+/// Decode one incremental-compaction slice from a reader.
+pub fn get_compact_slice(r: &mut WireReader<'_>) -> Result<CompactSlice, WireError> {
+    let rel = RelId(r.get_u32("slice relation")?);
+    let write = r.get_u32("slice write cursor")?;
+    let start = r.get_u32("slice scan start")?;
+    let end = r.get_u32("slice scan end")?;
+    let reclaimed = r.get_u32("slice reclaimed count")?;
+    let n = r.get_len("slice remap length")?;
+    let mut remap = Vec::with_capacity(n);
+    for _ in 0..n {
+        let present = r.get_bool("slice remap entry presence")?;
+        remap.push(if present {
+            Some(TupleId(r.get_u32("slice remap entry")?))
+        } else {
+            None
+        });
+    }
+    Ok(CompactSlice {
+        rel,
+        write,
+        start,
+        end,
+        remap,
+        reclaimed,
+    })
+}
+
+/// Encode a compaction step report (slice list) as a byte payload.
+pub fn encode_compact_step(step: &CompactStepReport) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    put_compact_step(&mut w, step);
+    w.into_bytes()
+}
+
+/// Encode a compaction step report into an existing writer.
+pub fn put_compact_step(w: &mut WireWriter, step: &CompactStepReport) {
+    w.put_u64(step.reclaimed as u64);
+    w.put_bool(step.done);
+    w.put_len(step.slices.len());
+    for slice in &step.slices {
+        put_compact_slice(w, slice);
+    }
+}
+
+/// Decode a compaction step report (rejects trailing bytes).
+pub fn decode_compact_step(bytes: &[u8]) -> Result<CompactStepReport, WireError> {
+    let mut r = WireReader::new(bytes);
+    let step = get_compact_step(&mut r)?;
+    r.expect_empty()?;
+    Ok(step)
+}
+
+/// Decode a compaction step report from a reader.
+pub fn get_compact_step(r: &mut WireReader<'_>) -> Result<CompactStepReport, WireError> {
+    let reclaimed = r.get_u64("step reclaimed count")? as usize;
+    let done = r.get_bool("step done flag")?;
+    let n = r.get_len("step slice count")?;
+    let mut slices = Vec::with_capacity(n);
+    for _ in 0..n {
+        slices.push(get_compact_slice(r)?);
+    }
+    Ok(CompactStepReport {
+        reclaimed,
+        done,
+        slices,
+    })
 }
 
 #[cfg(test)]

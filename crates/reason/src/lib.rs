@@ -96,8 +96,8 @@ pub use partition::{Partition, RefreshPlan};
 pub use preserve::{bcp, cpp, ecp, maximum_extension, ExtensionSlot, PreservationProblem};
 pub use preserve_sp::{bcp_sp, cpp_sp};
 pub use shard::{
-    ShardError, ShardPlan, ShardedApplyReport, ShardedCompactReport, ShardedEngine, ShardedStats,
-    SpecImport,
+    ShardError, ShardPlan, ShardedApplyReport, ShardedCompactReport, ShardedCompactStepReport,
+    ShardedEngine, ShardedStats, SpecImport,
 };
 pub use snapshot::{EngineSnapshot, PublishReport, SnapshotCell, SnapshotEngine, SnapshotReader};
 pub use sp_ptime::{ccqa_sp, certain_answers_sp, poss_instance};
@@ -162,6 +162,44 @@ pub enum TransitivityMode {
     Lazy,
 }
 
+/// Pause budget for one incremental-compaction step
+/// ([`engine::CurrencyEngine::compact_step`] and the
+/// [`Options::auto_compact_budget`] policy).
+///
+/// A *step* executes canonical compaction slices
+/// ([`currency_core::Specification::compact_slice`]) until either bound
+/// trips: `max_slots_per_step` caps the slots scanned (the deterministic
+/// bound — the only one the auto policy uses, so log replay reproduces
+/// the same slices on any machine), `max_pause` caps wall-clock time for
+/// explicit maintenance calls.  Every step leaves the engine fully
+/// consistent and queryable; the sweep's progress lives in the
+/// specification itself, so steps may be spread across applies, threads
+/// of control, or process restarts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactBudget {
+    /// Wall-clock ceiling for one [`engine::CurrencyEngine::compact_step`]
+    /// call.  Checked between slices (a single slice's work is already
+    /// bounded by `max_slots_per_step`), ignored by the auto-step policy
+    /// for replay determinism.
+    pub max_pause: std::time::Duration,
+    /// Maximum slots scanned per step across all its slices.  The
+    /// deterministic work bound: a step over a specification state and a
+    /// slot budget always executes the same slices.
+    pub max_slots_per_step: usize,
+}
+
+impl Default for CompactBudget {
+    /// 250 ms pause ceiling, 4096 scanned slots per step — small enough
+    /// to interleave with a live delta stream, large enough that a churn
+    /// backlog drains in a few hundred steps.
+    fn default() -> CompactBudget {
+        CompactBudget {
+            max_pause: std::time::Duration::from_millis(250),
+            max_slots_per_step: 4096,
+        }
+    }
+}
+
 /// Resource limits for the exact (enumeration-heavy) solvers.
 ///
 /// The general problems are Σᵖ₂-hard and worse; the exact solvers can be
@@ -204,6 +242,26 @@ pub struct Options {
     /// run and de-synchronize tuple ids (the recovery path detects this
     /// and fails cleanly rather than diverging silently).
     pub auto_compact_tombstones: usize,
+    /// Incremental auto-compaction: when set (together with a nonzero
+    /// [`Options::auto_compact_tombstones`] threshold), crossing the
+    /// threshold no longer triggers one stop-the-world
+    /// [`engine::CurrencyEngine::compact`] — instead each
+    /// [`engine::CurrencyEngine::apply`] call runs **one bounded
+    /// compaction step** of at most
+    /// [`CompactBudget::max_slots_per_step`] scanned slots (surfaced
+    /// through [`engine::ApplyReport::compact_step`]), so reclamation
+    /// interleaves with the delta stream and no single apply pauses for
+    /// O(specification).
+    ///
+    /// The auto path deliberately ignores [`CompactBudget::max_pause`]:
+    /// a wall-clock cutoff would make the step's slice boundaries depend
+    /// on machine speed and break log-replay determinism.  Explicit
+    /// [`engine::CurrencyEngine::compact_step`] calls honor both bounds
+    /// (the durability layer logs whatever slices actually ran).
+    ///
+    /// `None` (the default) keeps the monolithic auto-compaction
+    /// behavior unchanged.
+    pub auto_compact_budget: Option<CompactBudget>,
     /// Per-SAT-call work budget (unbounded by default).  Checked by every
     /// engine/snapshot solve path; exhaustion surfaces as
     /// [`ReasonError::Interrupted`] and leaves the touched component
@@ -225,6 +283,7 @@ impl Default for Options {
             threads: 0,
             transitivity: TransitivityMode::default(),
             auto_compact_tombstones: 0,
+            auto_compact_budget: None,
             solve_limits: SolveLimits::default(),
             deadline: None,
         }

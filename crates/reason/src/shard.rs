@@ -64,10 +64,10 @@ use crate::ccqa::CertainAnswers;
 use crate::cop::CurrencyOrderQuery;
 use crate::engine::{ApplyReport, CurrencyEngine, EngineStats};
 use crate::error::ReasonError;
-use crate::Options;
+use crate::{CompactBudget, Options};
 use currency_core::{
-    AttrId, CompactReport, CurrencyError, DeltaOp, DeltaRouting, Eid, RelId, SpecDelta,
-    Specification, TupleId, Value,
+    AttrId, CompactReport, CompactStepReport, CurrencyError, DeltaOp, DeltaRouting, Eid, RelId,
+    SpecDelta, Specification, TupleId, Value,
 };
 use currency_query::Query;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -567,6 +567,10 @@ pub struct ShardedApplyReport {
     /// shard-local remap (translate via [`global_id`] over the shard's
     /// entries).
     pub compacted: Vec<(usize, CompactReport)>,
+    /// Bounded auto-compaction steps ([`Options::auto_compact_budget`])
+    /// triggered by the delta, per shard, in **shard-local** ids
+    /// (translate via [`global_id`] over the shard's entries).
+    pub compact_steps: Vec<(usize, CompactStepReport)>,
 }
 
 impl ShardedApplyReport {
@@ -584,6 +588,9 @@ impl ShardedApplyReport {
         );
         if let Some(c) = report.compacted {
             self.compacted.push((shard, c));
+        }
+        if let Some(s) = report.compact_step {
+            self.compact_steps.push((shard, s));
         }
     }
 }
@@ -606,6 +613,40 @@ impl ShardedCompactReport {
 
     /// Translate an old **global** id (`None` if the tuple was removed
     /// and its slot reclaimed).
+    pub fn new_id(&self, rel: RelId, old: TupleId) -> Option<TupleId> {
+        let (s, l) = locate(self.shards, old);
+        self.per_shard[s]
+            .new_id(rel, l)
+            .map(|nl| global_id(self.shards, s, nl))
+    }
+}
+
+/// The result of one bounded compaction step across every shard (see
+/// [`ShardedEngine::compact_step`]): one shard-local
+/// [`CompactStepReport`] per shard.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardedCompactStepReport {
+    /// Shard count (for id translation).
+    pub shards: usize,
+    /// Per-shard step reports, in shard order.
+    pub per_shard: Vec<CompactStepReport>,
+}
+
+impl ShardedCompactStepReport {
+    /// Total tombstone slots reclaimed across all shards this step.
+    pub fn reclaimed(&self) -> usize {
+        self.per_shard.iter().map(|r| r.reclaimed).sum()
+    }
+
+    /// `true` when every shard is fully drained (no tombstones left
+    /// anywhere).
+    pub fn done(&self) -> bool {
+        self.per_shard.iter().all(|r| r.done)
+    }
+
+    /// Translate an old **global** id through this step's slices
+    /// (`None` if some slice reclaimed the tuple's slot; ids the step
+    /// never scanned come back unchanged).
     pub fn new_id(&self, rel: RelId, old: TupleId) -> Option<TupleId> {
         let (s, l) = locate(self.shards, old);
         self.per_shard[s]
@@ -638,6 +679,7 @@ pub fn sharded_stats(engines: &[&CurrencyEngine<'_>]) -> ShardedStats {
         total.components_rebuilt += s.components_rebuilt;
         total.components_reused += s.components_reused;
         total.compactions += s.compactions;
+        total.compact_steps += s.compact_steps;
         total.slots_reclaimed += s.slots_reclaimed;
         total.recoveries += s.recoveries;
         total.deltas_replayed += s.deltas_replayed;
@@ -870,6 +912,39 @@ impl ShardedEngine {
     pub fn compact_shard(&mut self, shard: usize) -> Result<CompactReport, ShardError> {
         self.engines[shard]
             .compact()
+            .map_err(|source| ShardError::Shard { shard, source })
+    }
+
+    /// Run one bounded compaction step on **every** shard, one shard at
+    /// a time — each shard's pause is independent and budget-bounded, so
+    /// the longest stall any single entity's queries see is one shard's
+    /// step, never a fleet-wide sweep.  Shards drain at their own pace;
+    /// the aggregate is done when [`ShardedCompactStepReport::done`]
+    /// reports every shard drained.
+    pub fn compact_step(
+        &mut self,
+        budget: &CompactBudget,
+    ) -> Result<ShardedCompactStepReport, ShardError> {
+        let mut per_shard = Vec::with_capacity(self.shards());
+        for shard in 0..self.engines.len() {
+            per_shard.push(self.compact_step_shard(shard, budget)?);
+        }
+        Ok(ShardedCompactStepReport {
+            shards: self.shards(),
+            per_shard,
+        })
+    }
+
+    /// Run one bounded compaction step on one shard (the others keep
+    /// serving untouched).  The returned report is in **shard-local**
+    /// ids.
+    pub fn compact_step_shard(
+        &mut self,
+        shard: usize,
+        budget: &CompactBudget,
+    ) -> Result<CompactStepReport, ShardError> {
+        self.engines[shard]
+            .compact_step(budget)
             .map_err(|source| ShardError::Shard { shard, source })
     }
 

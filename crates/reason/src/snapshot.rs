@@ -47,13 +47,15 @@ use crate::engine::{
 };
 use crate::error::ReasonError;
 use crate::partition::Partition;
-use crate::{Options, SolveLimits};
+use crate::{CompactBudget, Options, SolveLimits};
 use currency_core::NormalInstance;
-use currency_core::{CompactReport, RelId, SpecDelta, Specification, TupleId, Value};
+use currency_core::{
+    CompactReport, CompactStepReport, Eid, RelId, SpecDelta, Specification, TupleId, Value,
+};
 use currency_query::Query;
 use currency_sat::{Enumeration, SolveResult};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -74,6 +76,7 @@ struct LifetimeCounters {
     components_rebuilt: usize,
     components_reused: usize,
     compactions: usize,
+    compact_steps: usize,
     slots_reclaimed: usize,
 }
 
@@ -148,6 +151,7 @@ impl EngineSnapshot {
             components_rebuilt: self.lifetime.components_rebuilt,
             components_reused: self.lifetime.components_reused,
             compactions: self.lifetime.compactions,
+            compact_steps: self.lifetime.compact_steps,
             slots_reclaimed: self.lifetime.slots_reclaimed,
             ..EngineStats::default()
         };
@@ -439,6 +443,11 @@ pub struct PublishReport {
     /// triggered after this delta, if any (ids in `inserted` stay in
     /// pre-compaction form; translate via [`CompactReport::new_id`]).
     pub compacted: Option<CompactReport>,
+    /// The bounded compaction step the [`Options::auto_compact_budget`]
+    /// policy ran after this delta, if any.  Only the ids its slices
+    /// remapped are invalidated; translate via
+    /// [`CompactStepReport::new_id`].
+    pub compact_step: Option<CompactStepReport>,
 }
 
 /// The single writer of an epoch-published engine.
@@ -525,8 +534,43 @@ impl SnapshotEngine {
         // no copy.
         delta.validate(&self.spec)?;
         let effects = Arc::make_mut(&mut self.spec).apply_delta(delta)?;
-        let plan =
-            Arc::make_mut(&mut self.partition).refresh(self.spec.as_ref(), &effects.touched_cells);
+        let plan = self.rebuild_touched(&effects.touched_cells)?;
+        self.counters.updates_applied += 1;
+        let mut report = PublishReport {
+            epoch: 0, // filled in after the publish below
+            components_rebuilt: plan.rebuilt(),
+            components_reused: plan.reused(),
+            cells_touched: effects.touched_cells.len(),
+            inserted: effects.inserted,
+            compacted: None,
+            compact_step: None,
+        };
+        if self.opts.auto_compact_tombstones > 0 {
+            let tombstones: usize = self.spec.instances().iter().map(|i| i.tombstones()).sum();
+            if tombstones >= self.opts.auto_compact_tombstones {
+                if let Some(budget) = self.opts.auto_compact_budget {
+                    // One slot-bounded step per apply; the delta and the
+                    // step publish as a single epoch.
+                    report.compact_step = Some(self.compact_step_inner(budget.max_slots_per_step)?);
+                } else {
+                    report.compacted = Some(self.compact_inner()?);
+                }
+            }
+        }
+        self.publish();
+        report.epoch = self.epoch;
+        Ok(report)
+    }
+
+    /// Recompile, re-solve and patch exactly the slots owning `touched`
+    /// cells — the shared tail of [`SnapshotEngine::apply`] and
+    /// [`SnapshotEngine::compact_step`].  Does not publish; the caller
+    /// decides the epoch boundary.
+    fn rebuild_touched(
+        &mut self,
+        touched: &BTreeSet<(RelId, Eid)>,
+    ) -> Result<crate::partition::RefreshPlan, ReasonError> {
+        let plan = Arc::make_mut(&mut self.partition).refresh(self.spec.as_ref(), touched);
         // Compile *and solve* the rebuilt slots before patching any
         // state: the fallible step cannot leave the writer half-updated,
         // and solving here bakes the verdict (and any lazy lemmas) into
@@ -566,26 +610,9 @@ impl SnapshotEngine {
             }
         }
         debug_assert_eq!(self.slots.len(), plan.slots, "slot arrays aligned");
-        self.counters.updates_applied += 1;
         self.counters.components_rebuilt += plan.rebuilt();
         self.counters.components_reused += plan.reused();
-        let mut report = PublishReport {
-            epoch: 0, // filled in after the publish below
-            components_rebuilt: plan.rebuilt(),
-            components_reused: plan.reused(),
-            cells_touched: effects.touched_cells.len(),
-            inserted: effects.inserted,
-            compacted: None,
-        };
-        if self.opts.auto_compact_tombstones > 0 {
-            let tombstones: usize = self.spec.instances().iter().map(|i| i.tombstones()).sum();
-            if tombstones >= self.opts.auto_compact_tombstones {
-                report.compacted = Some(self.compact_inner()?);
-            }
-        }
-        self.publish();
-        report.epoch = self.epoch;
-        Ok(report)
+        Ok(plan)
     }
 
     /// Reclaim every tombstone slot and publish the rebuilt state (a
@@ -621,6 +648,83 @@ impl SnapshotEngine {
         self.counters.compactions += 1;
         self.counters.slots_reclaimed += report.reclaimed;
         Ok(report)
+    }
+
+    /// Run one bounded compaction step and publish the result as a new
+    /// epoch (see
+    /// [`CurrencyEngine::compact_step`](crate::engine::CurrencyEngine::compact_step)
+    /// for the step semantics).  Readers pinned to earlier epochs keep
+    /// answering against their snapshot's pre-step tuple ids; each
+    /// completed step is exactly one published epoch, so an id is valid
+    /// for precisely the epochs between the steps that created and
+    /// remapped it.  A step that reclaimed nothing publishes no epoch.
+    pub fn compact_step(
+        &mut self,
+        budget: &CompactBudget,
+    ) -> Result<CompactStepReport, ReasonError> {
+        let deadline = Instant::now() + budget.max_pause;
+        let step = self.compact_step_bounded(budget.max_slots_per_step, Some(deadline))?;
+        if !step.slices.is_empty() {
+            self.publish();
+        }
+        Ok(step)
+    }
+
+    /// The deterministic (slot-bounded only) step the auto policy runs;
+    /// the caller publishes.
+    fn compact_step_inner(&mut self, max_slots: usize) -> Result<CompactStepReport, ReasonError> {
+        self.compact_step_bounded(max_slots, None)
+    }
+
+    fn compact_step_bounded(
+        &mut self,
+        max_slots: usize,
+        deadline: Option<Instant>,
+    ) -> Result<CompactStepReport, ReasonError> {
+        let mut step = CompactStepReport::default();
+        let tombstones: usize = self.spec.instances().iter().map(|i| i.tombstones()).sum();
+        if tombstones == 0 {
+            step.done = true;
+            return Ok(step);
+        }
+        let max_slots = max_slots.max(1);
+        {
+            let spec = Arc::make_mut(&mut self.spec);
+            let mut scanned = 0usize;
+            while scanned < max_slots {
+                if let Some(d) = deadline {
+                    if !step.slices.is_empty() && Instant::now() >= d {
+                        break;
+                    }
+                }
+                let quantum = SNAPSHOT_SLICE_QUANTUM.min(max_slots - scanned);
+                let Some(slice) = spec.compact_slice(quantum) else {
+                    break;
+                };
+                scanned += ((slice.end - slice.start) as usize).max(1);
+                step.reclaimed += slice.reclaimed as usize;
+                step.slices.push(slice);
+            }
+            step.done = spec.total_tombstones() == 0;
+        }
+        if !step.slices.is_empty() {
+            // Rebuild (and re-solve) only the slots owning a remapped
+            // tuple; every clean slot's `Arc` carries into the next
+            // snapshot unchanged.
+            let mut touched: BTreeSet<(RelId, Eid)> = BTreeSet::new();
+            for slice in &step.slices {
+                let inst = self.spec.instance(slice.rel);
+                for new_id in slice.remap.iter().flatten() {
+                    touched.insert((slice.rel, inst.tuple(*new_id).eid));
+                }
+            }
+            if !touched.is_empty() {
+                self.rebuild_touched(&touched)?;
+            }
+            self.counters.compact_steps += 1;
+            self.counters.slots_reclaimed += step.reclaimed;
+        }
+        Ok(step)
     }
 
     /// Bump the epoch and swap the assembled snapshot into the cell.
@@ -682,6 +786,10 @@ impl SnapshotEngine {
         self.snapshot().stats()
     }
 }
+
+/// Internal scan granularity of one compaction slice (the writer's
+/// deadline is consulted at least once per this many slots scanned).
+const SNAPSHOT_SLICE_QUANTUM: usize = 1024;
 
 /// The placeholder a [`SnapshotCell`] holds for the instant between
 /// field construction and the constructor's first publish.

@@ -77,10 +77,10 @@ pub use stats::ServeStats;
 
 use breaker::{Admit, Breaker};
 use cache::AnswerCache;
-use currency_core::{CompactReport, RelId, SpecDelta, Specification, Value};
+use currency_core::{CompactReport, CompactStepReport, RelId, SpecDelta, Specification, Value};
 use currency_query::Query;
 use currency_reason::snapshot::{EngineSnapshot, PublishReport, SnapshotEngine, SnapshotReader};
-use currency_reason::{CertainAnswers, CurrencyOrderQuery, Options, ReasonError};
+use currency_reason::{CertainAnswers, CompactBudget, CurrencyOrderQuery, Options, ReasonError};
 use rate_limit::TokenBucket;
 use stats::{Counters, InflightGuard};
 use std::fmt;
@@ -313,6 +313,17 @@ impl CurrencyServe {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .compact()
+    }
+
+    /// Run one bounded compaction step and publish it as a new epoch
+    /// (see [`SnapshotEngine::compact_step`]).  In-flight queries keep
+    /// answering against their pinned pre-step snapshots; the writer is
+    /// held for one budget-bounded pause, never a full sweep.
+    pub fn compact_step(&self, budget: &CompactBudget) -> Result<CompactStepReport, ReasonError> {
+        self.writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .compact_step(budget)
     }
 
     /// The currently published snapshot.

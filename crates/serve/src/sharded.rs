@@ -32,10 +32,10 @@ use currency_core::{RelId, SpecDelta, Specification, Value};
 use currency_query::Query;
 use currency_reason::shard::{
     localize, locate, split_spec, RoutedDelta, ShardError, ShardPlan, ShardedCompactReport,
-    SpecImport,
+    ShardedCompactStepReport, SpecImport,
 };
 use currency_reason::snapshot::PublishReport;
-use currency_reason::{CertainAnswers, CurrencyOrderQuery, Options, ReasonError};
+use currency_reason::{CertainAnswers, CompactBudget, CurrencyOrderQuery, Options, ReasonError};
 use std::fmt;
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -250,6 +250,32 @@ impl ShardedServe {
             );
         }
         Ok(ShardedCompactReport {
+            shards: self.serves.len(),
+            per_shard,
+        })
+    }
+
+    /// Run one bounded compaction step on every shard's writer, one at
+    /// a time — each pause is shard-local and budget-bounded, each
+    /// completed shard step publishes its own epoch, and every shard's
+    /// readers keep serving their pinned snapshots throughout.
+    pub fn compact_step(
+        &self,
+        budget: &CompactBudget,
+    ) -> Result<ShardedCompactStepReport, ShardedServeError> {
+        let writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if writer.poisoned {
+            return Err(ShardedServeError::Poisoned);
+        }
+        let mut per_shard = Vec::with_capacity(self.serves.len());
+        for (shard, serve) in self.serves.iter().enumerate() {
+            per_shard.push(
+                serve
+                    .compact_step(budget)
+                    .map_err(|source| ShardedServeError::Shard { shard, source })?,
+            );
+        }
+        Ok(ShardedCompactStepReport {
             shards: self.serves.len(),
             per_shard,
         })

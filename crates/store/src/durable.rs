@@ -52,10 +52,11 @@ use crate::snapshot::{
 };
 use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{Record, Wal};
-use currency_core::{CompactReport, SpecDelta, Specification};
+use currency_core::{CompactReport, CompactStepReport, SpecDelta, Specification};
 use currency_query::Query;
 use currency_reason::{
-    ApplyReport, CertainAnswers, CurrencyEngine, CurrencyOrderQuery, EngineStats, Options,
+    ApplyReport, CertainAnswers, CompactBudget, CurrencyEngine, CurrencyOrderQuery, EngineStats,
+    Options,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -118,6 +119,9 @@ pub struct RecoveryReport {
     pub deltas_replayed: usize,
     /// Compaction records re-executed (and verified) from the suffix.
     pub compacts_replayed: usize,
+    /// Bounded compaction *step* records re-executed (slice by slice,
+    /// and verified) from the suffix.
+    pub compact_steps_replayed: usize,
     /// Records skipped because the snapshot already covered them (the
     /// residue of a rotation interrupted between snapshot and log
     /// truncation).
@@ -284,9 +288,21 @@ impl DurableEngine {
             ..RecoveryReport::default()
         };
         let mut seq = snapshot_seq;
+        // With a compaction budget configured, replayed deltas must not
+        // *initiate* compaction steps: the log records the steps the
+        // original run actually took (as `CompactStep` records whose
+        // slices replay re-executes verbatim), so firing the policy a
+        // second time would compact twice.  The monolithic path keeps
+        // its ride-along semantics: the replayed apply reproduces the
+        // compaction and the marker record verifies it.
+        let budget_mode = engine_opts.auto_compact_budget.is_some();
         // The auto-compaction a replayed delta triggered, awaiting its
         // verification record.
         let mut pending_auto: Option<CompactReport> = None;
+        // Budget mode: the previous replayed delta crossed the
+        // auto-compaction threshold, so the original run took a bounded
+        // step right after it — its record must be next.
+        let mut pending_step = false;
         for record in opened.records {
             if record.seq() <= snapshot_seq {
                 // Rotation crashed between snapshot and log truncation:
@@ -329,6 +345,14 @@ impl DurableEngine {
                         .to_string(),
                 });
             }
+            if pending_step && !matches!(record, Record::CompactStep { auto: true, .. }) {
+                return Err(StoreError::ReplayDiverged {
+                    seq: record.seq(),
+                    detail: "replayed delta crossed the auto-compaction threshold \
+                             but the log has no step record for it"
+                        .to_string(),
+                });
+            }
             seq = record.seq();
             match record {
                 Record::Delta { seq, delta } => {
@@ -342,11 +366,34 @@ impl DurableEngine {
                             .validate(engine.spec())
                             .map_err(|source| StoreError::ReplayInvalid { seq, source })?;
                     }
-                    let report = engine.apply(&delta)?;
+                    let report = if budget_mode {
+                        engine.apply_replayed(&delta)?
+                    } else {
+                        engine.apply(&delta)?
+                    };
                     pending_auto = report.compacted;
+                    if budget_mode && engine_opts.auto_compact_tombstones > 0 {
+                        // Reconstruct the original run's policy decision:
+                        // it stepped iff the post-delta tombstone count
+                        // crossed the threshold.
+                        pending_step =
+                            engine.spec().total_tombstones() >= engine_opts.auto_compact_tombstones;
+                    }
                     recovery.deltas_replayed += 1;
                 }
                 Record::Compact { seq, auto, report } => {
+                    if auto && budget_mode {
+                        // The log was written under the monolithic auto
+                        // policy; replaying it with a budget would put
+                        // every later record in the wrong id space.
+                        return Err(StoreError::ReplayDiverged {
+                            seq,
+                            detail: "log records a stop-the-world auto-compaction, \
+                                     but the store was reopened with a compaction \
+                                     budget"
+                                .to_string(),
+                        });
+                    }
                     let actual = if auto {
                         pending_auto
                             .take()
@@ -370,6 +417,55 @@ impl DurableEngine {
                         });
                     }
                     recovery.compacts_replayed += 1;
+                }
+                Record::CompactStep { seq, auto, step } => {
+                    if auto {
+                        if !budget_mode {
+                            return Err(StoreError::ReplayDiverged {
+                                seq,
+                                detail: "log records an auto compaction step, but \
+                                         the store was reopened without a \
+                                         compaction budget"
+                                    .to_string(),
+                            });
+                        }
+                        if !pending_step {
+                            return Err(StoreError::ReplayDiverged {
+                                seq,
+                                detail: "log records an auto compaction step the \
+                                         replayed delta did not trigger"
+                                    .to_string(),
+                            });
+                        }
+                        pending_step = false;
+                    }
+                    // Re-execute the logged slices verbatim — the step's
+                    // bounds capture exactly what ran, wall-clock budget
+                    // included, so replay needs no policy reconstruction.
+                    let actual = engine.compact_apply_step(&step).map_err(|e| {
+                        StoreError::ReplayDiverged {
+                            seq,
+                            detail: format!(
+                                "logged compaction step does not re-execute \
+                                 against the replayed state: {e}"
+                            ),
+                        }
+                    })?;
+                    if actual != step {
+                        return Err(StoreError::ReplayDiverged {
+                            seq,
+                            detail: format!(
+                                "compaction step mismatch: replay reclaimed {} \
+                                 slot(s) over {} slice(s), the log records {} \
+                                 over {}",
+                                actual.reclaimed,
+                                actual.slices.len(),
+                                step.reclaimed,
+                                step.slices.len()
+                            ),
+                        });
+                    }
+                    recovery.compact_steps_replayed += 1;
                 }
             }
         }
@@ -398,6 +494,22 @@ impl DurableEngine {
             wal.append_compact(seq, true, &report)?;
             wal.flush()?;
             recovery.compacts_replayed += 1;
+        }
+        if pending_step {
+            // The original run crashed between the final delta and its
+            // auto step record.  Unlike the monolithic case the step was
+            // *not* reproduced during replay (budget-mode applies
+            // suppress the policy), so run the deterministic
+            // slot-bounded step now — exactly what the original apply
+            // did in memory — and backfill its record.
+            let budget = engine_opts
+                .auto_compact_budget
+                .expect("pending_step is only set in budget mode");
+            let step = engine.compact_step_slots(budget.max_slots_per_step)?;
+            seq += 1;
+            wal.append_compact_step(seq, true, &step)?;
+            wal.flush()?;
+            recovery.compact_steps_replayed += 1;
         }
         engine.note_recovery(recovery.deltas_replayed);
         Ok(DurableEngine {
@@ -463,6 +575,17 @@ impl DurableEngine {
                 return self.poison("auto-compaction marker append failed", e);
             }
         }
+        if let Some(step) = &report.compact_step {
+            // The budgeted auto policy ran one bounded step inside
+            // `apply`: log its slices so replay re-executes them in
+            // place (logged even when the step found nothing, so the
+            // record stream matches the policy decision replay
+            // reconstructs).
+            self.seq += 1;
+            if let Err(e) = self.wal.append_compact_step(self.seq, true, step) {
+                return self.poison("auto compaction step record append failed", e);
+            }
+        }
         if let Err(e) = self.maybe_rotate() {
             return self.poison("snapshot rotation failed", e);
         }
@@ -488,6 +611,34 @@ impl DurableEngine {
             }
         }
         Ok(report)
+    }
+
+    /// Run one bounded compaction step
+    /// ([`CurrencyEngine::compact_step`]), logging its slices as a
+    /// [`Record::CompactStep`] so post-step replay stays id-correct.  A
+    /// step that ran no slice logs nothing.  A crash between two steps
+    /// recovers to the valid intermediate state the completed steps
+    /// left: each step is its own durable record, re-executed verbatim
+    /// by the next open.  Failure handling matches
+    /// [`DurableEngine::apply`]: a failure after the engine stepped
+    /// poisons the store.
+    pub fn compact_step(
+        &mut self,
+        budget: &CompactBudget,
+    ) -> Result<CompactStepReport, StoreError> {
+        self.check_poison()?;
+        let step = self.engine.compact_step(budget)?;
+        if !step.slices.is_empty() {
+            self.seq += 1;
+            if let Err(e) = self.wal.append_compact_step(self.seq, false, &step) {
+                // The engine's ids moved but the log never heard of it.
+                return self.poison("compaction step record append failed", e);
+            }
+            if let Err(e) = self.maybe_rotate() {
+                return self.poison("snapshot rotation failed", e);
+            }
+        }
+        Ok(step)
     }
 
     /// Force every buffered log record to disk (the group-commit
@@ -1229,5 +1380,196 @@ mod tests {
         assert_eq!(recovered.recovery().snapshot_seq, 0);
         assert_eq!(recovered.recovery().deltas_replayed, 1);
         assert_eq!(encode_spec(recovered.spec()), live_bytes);
+    }
+
+    fn budget_opts(max_slots: usize) -> Options {
+        Options {
+            auto_compact_tombstones: 2,
+            auto_compact_budget: Some(CompactBudget {
+                max_slots_per_step: max_slots,
+                ..CompactBudget::default()
+            }),
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn budgeted_auto_steps_are_logged_and_replayed() {
+        let dir = tmpdir("budget-auto");
+        let (spec, r) = seed_spec();
+        let opts = budget_opts(2);
+        let mut durable = DurableEngine::create(&dir, spec, &opts, fast()).unwrap();
+        let mut steps_seen = 0;
+        for step in 0..4 {
+            let report = durable.apply(&insert(r, 0, 500 + step)).unwrap();
+            assert!(
+                report.compacted.is_none(),
+                "budget mode never stops the world"
+            );
+            let (rel, id) = report.inserted[0];
+            let mut retract = SpecDelta::new();
+            retract.remove_tuple(rel, id);
+            let report = durable.apply(&retract).unwrap();
+            assert!(report.compacted.is_none());
+            if report.compact_step.is_some() {
+                steps_seen += 1;
+            }
+        }
+        assert!(steps_seen >= 1, "threshold crossed during the churn");
+        let live_bytes = encode_spec(durable.spec());
+        drop(durable);
+        // Same options: replay re-executes every logged step's slices
+        // and verifies them.
+        let recovered = DurableEngine::open(&dir, &opts, fast()).unwrap();
+        assert_eq!(encode_spec(recovered.spec()), live_bytes);
+        assert_eq!(recovered.recovery().compact_steps_replayed, steps_seen);
+        assert_eq!(recovered.stats().compact_steps, steps_seen);
+        assert_eq!(recovered.stats().compactions, 0);
+        assert!(recovered.cps().unwrap());
+        drop(recovered);
+        // Reopening the budget-mode log under the monolithic auto policy
+        // must refuse: the replayed apply would compact stop-the-world
+        // where the original run took one bounded step.
+        let monolithic = Options {
+            auto_compact_tombstones: 2,
+            ..Options::default()
+        };
+        assert!(
+            matches!(
+                DurableEngine::open(&dir, &monolithic, fast()),
+                Err(StoreError::ReplayDiverged { .. })
+            ),
+            "budget-mode log + monolithic reopen must diverge"
+        );
+    }
+
+    #[test]
+    fn monolithic_log_refuses_a_budgeted_reopen() {
+        let dir = tmpdir("budget-mismatch");
+        let (spec, r) = seed_spec();
+        let monolithic = Options {
+            auto_compact_tombstones: 2,
+            ..Options::default()
+        };
+        let mut durable = DurableEngine::create(&dir, spec, &monolithic, fast()).unwrap();
+        let mut auto_seen = false;
+        for step in 0..3 {
+            let report = durable.apply(&insert(r, 0, 600 + step)).unwrap();
+            let (rel, id) = report.inserted[0];
+            let mut retract = SpecDelta::new();
+            retract.remove_tuple(rel, id);
+            auto_seen |= durable.apply(&retract).unwrap().compacted.is_some();
+        }
+        assert!(auto_seen, "a stop-the-world auto-compaction was logged");
+        drop(durable);
+        assert!(
+            matches!(
+                DurableEngine::open(&dir, &budget_opts(2), fast()),
+                Err(StoreError::ReplayDiverged { .. })
+            ),
+            "monolithic log + budgeted reopen must diverge"
+        );
+    }
+
+    #[test]
+    fn explicit_compact_steps_drain_durably_across_reopens() {
+        let dir = tmpdir("explicit-steps");
+        let (spec, r) = seed_spec();
+        let opts = Options::default();
+        let mut durable = DurableEngine::create(&dir, spec, &opts, fast()).unwrap();
+        // Churn up a scattered set of tombstones.
+        for step in 0..6 {
+            let report = durable
+                .apply(&insert(r, step % 3, 700 + step as i64))
+                .unwrap();
+            if step % 2 == 0 {
+                let (rel, id) = report.inserted[0];
+                let mut retract = SpecDelta::new();
+                retract.remove_tuple(rel, id);
+                durable.apply(&retract).unwrap();
+            }
+        }
+        let tombstones = durable.spec().total_tombstones();
+        assert!(tombstones > 0);
+        // Drain in 1-slot steps, reopening the store between two of them:
+        // a crash mid-compaction must recover to the intermediate state.
+        let budget = CompactBudget {
+            max_slots_per_step: 1,
+            ..CompactBudget::default()
+        };
+        let mut reclaimed = 0;
+        let mut steps_logged = 0;
+        loop {
+            let step = durable.compact_step(&budget).unwrap();
+            reclaimed += step.reclaimed;
+            if !step.slices.is_empty() {
+                steps_logged += 1;
+                // Reopen once mid-drain, from the first productive step.
+                if steps_logged == 1 {
+                    let mid_bytes = encode_spec(durable.spec());
+                    drop(durable);
+                    durable = DurableEngine::open(&dir, &opts, fast()).unwrap();
+                    assert_eq!(
+                        encode_spec(durable.spec()),
+                        mid_bytes,
+                        "recovery lands on the mid-compaction state"
+                    );
+                }
+            }
+            if step.done {
+                break;
+            }
+        }
+        assert_eq!(reclaimed, tombstones, "every tombstone slot reclaimed");
+        assert_eq!(durable.spec().total_tombstones(), 0);
+        let drained_bytes = encode_spec(durable.spec());
+        drop(durable);
+        let recovered = DurableEngine::open(&dir, &opts, fast()).unwrap();
+        assert_eq!(encode_spec(recovered.spec()), drained_bytes);
+        assert!(recovered.recovery().compact_steps_replayed > 0);
+        assert!(recovered.cps().unwrap());
+    }
+
+    #[test]
+    fn crash_between_delta_and_auto_step_record_backfills() {
+        // Budget-mode twin of the auto-marker backfill: a crash after
+        // the delta flush but before its step record leaves the step
+        // missing at end-of-log.  Recovery must run the deterministic
+        // slot-bounded step and backfill its record.
+        let dir = tmpdir("step-gap");
+        let (spec, r) = seed_spec();
+        let opts = budget_opts(2);
+        let mut durable = DurableEngine::create(&dir, spec, &opts, fast()).unwrap();
+        let mut step_seen = false;
+        for step in 0..2 {
+            let report = durable.apply(&insert(r, 0, 800 + step)).unwrap();
+            let (rel, id) = report.inserted[0];
+            let mut retract = SpecDelta::new();
+            retract.remove_tuple(rel, id);
+            step_seen |= durable.apply(&retract).unwrap().compact_step.is_some();
+        }
+        assert!(step_seen, "threshold crossed during the churn");
+        let seq_before = durable.seq();
+        let live_bytes = encode_spec(durable.spec());
+        drop(durable);
+        // Chop the final frame (the step record) off the log.
+        let wal = dir.join("wal.log");
+        let bytes = std::fs::read(&wal).unwrap();
+        let last = *frame_starts(&bytes).last().unwrap();
+        std::fs::write(&wal, &bytes[..last]).unwrap();
+        // First reopen: replay re-runs the deterministic step and
+        // backfills its record at the same sequence number.
+        let mut recovered = DurableEngine::open(&dir, &opts, fast()).unwrap();
+        assert_eq!(recovered.recovery().compact_steps_replayed, 1);
+        assert_eq!(recovered.seq(), seq_before, "step record seq restored");
+        assert_eq!(encode_spec(recovered.spec()), live_bytes);
+        recovered.apply(&insert(r, 1, 900)).unwrap();
+        let live = encode_spec(recovered.spec());
+        drop(recovered);
+        // Second reopen must find the backfilled record and recover.
+        let again = DurableEngine::open(&dir, &opts, fast())
+            .expect("store must stay openable after the backfill");
+        assert_eq!(encode_spec(again.spec()), live);
+        assert!(again.cps().unwrap());
     }
 }

@@ -49,9 +49,9 @@ use currency_query::Query;
 use currency_reason::shard::{
     localize, scatter_ccqa, scatter_certain_answers, scatter_cop, scatter_cps, scatter_dcip,
     sharded_stats, split_spec, RoutedDelta, ShardError, ShardPlan, ShardedApplyReport,
-    ShardedCompactReport, ShardedStats, SpecImport,
+    ShardedCompactReport, ShardedCompactStepReport, ShardedStats, SpecImport,
 };
-use currency_reason::{CertainAnswers, CurrencyEngine, CurrencyOrderQuery, Options};
+use currency_reason::{CertainAnswers, CompactBudget, CurrencyEngine, CurrencyOrderQuery, Options};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -440,6 +440,29 @@ impl ShardedStore {
             );
         }
         Ok(ShardedCompactReport {
+            shards: self.shards.len(),
+            per_shard,
+        })
+    }
+
+    /// Run one bounded compaction step on every shard, one at a time —
+    /// each pause (and each logged step record) is shard-local, never
+    /// global, and every shard drains at its own pace across repeated
+    /// calls.
+    pub fn compact_step(
+        &mut self,
+        budget: &CompactBudget,
+    ) -> Result<ShardedCompactStepReport, ShardedStoreError> {
+        self.check_poison()?;
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            per_shard.push(
+                self.shards[shard]
+                    .compact_step(budget)
+                    .map_err(|source| ShardedStoreError::Shard { shard, source })?,
+            );
+        }
+        Ok(ShardedCompactStepReport {
             shards: self.shards.len(),
             per_shard,
         })

@@ -43,7 +43,7 @@ use crate::crc::crc32;
 use crate::error::{io_err, StoreError};
 use crate::vfs::{RealVfs, Vfs, VfsFile};
 use currency_core::wire::{self, WireReader, WireWriter, WIRE_VERSION};
-use currency_core::{CompactReport, SpecDelta};
+use currency_core::{CompactReport, CompactStepReport, SpecDelta};
 use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
 
@@ -63,6 +63,7 @@ const MAX_FRAME_LEN: u32 = 1 << 30;
 
 const TAG_RECORD_DELTA: u8 = 0;
 const TAG_RECORD_COMPACT: u8 = 1;
+const TAG_RECORD_COMPACT_STEP: u8 = 2;
 
 /// One logged operation.
 #[derive(Clone, Debug)]
@@ -89,13 +90,30 @@ pub enum Record {
         /// The translation tables the compaction produced.
         report: CompactReport,
     },
+    /// One **bounded compaction step**'s slices, logged after the step
+    /// ran: every delta after this record speaks the post-step id space.
+    /// Replay re-executes the logged slice bounds verbatim (and verifies
+    /// the outcome), so a recovered engine passes through the exact
+    /// intermediate states of the original run — a crash between steps
+    /// recovers to the mid-compaction state, not to either end.
+    CompactStep {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// `true` if the [`currency_reason::Options::auto_compact_budget`]
+        /// policy ran it from inside the preceding delta's apply.
+        auto: bool,
+        /// The step's slices and totals.
+        step: CompactStepReport,
+    },
 }
 
 impl Record {
     /// The record's sequence number.
     pub fn seq(&self) -> u64 {
         match self {
-            Record::Delta { seq, .. } | Record::Compact { seq, .. } => *seq,
+            Record::Delta { seq, .. }
+            | Record::Compact { seq, .. }
+            | Record::CompactStep { seq, .. } => *seq,
         }
     }
 
@@ -103,6 +121,9 @@ impl Record {
         match self {
             Record::Delta { seq, delta } => encode_delta_payload(*seq, delta),
             Record::Compact { seq, auto, report } => encode_compact_payload(*seq, *auto, report),
+            Record::CompactStep { seq, auto, step } => {
+                encode_compact_step_payload(*seq, *auto, step)
+            }
         }
     }
 
@@ -117,6 +138,11 @@ impl Record {
                 seq: r.get_u64("record seq")?,
                 auto: r.get_bool("compact auto flag")?,
                 report: wire::get_compact_report(&mut r)?,
+            },
+            TAG_RECORD_COMPACT_STEP => Record::CompactStep {
+                seq: r.get_u64("record seq")?,
+                auto: r.get_bool("compact step auto flag")?,
+                step: wire::get_compact_step(&mut r)?,
             },
             tag => {
                 return Err(StoreError::Wire(currency_core::wire::WireError::BadTag {
@@ -147,6 +173,16 @@ fn encode_compact_payload(seq: u64, auto: bool, report: &CompactReport) -> Vec<u
     w.put_u64(seq);
     w.put_bool(auto);
     wire::put_compact_report(&mut w, report);
+    w.into_bytes()
+}
+
+/// A compaction step record's payload, encoded from a borrow.
+fn encode_compact_step_payload(seq: u64, auto: bool, step: &CompactStepReport) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(TAG_RECORD_COMPACT_STEP);
+    w.put_u64(seq);
+    w.put_bool(auto);
+    wire::put_compact_step(&mut w, step);
     w.into_bytes()
 }
 
@@ -348,6 +384,16 @@ impl Wal {
         report: &CompactReport,
     ) -> Result<(), StoreError> {
         self.append_payload(encode_compact_payload(seq, auto, report))
+    }
+
+    /// Append a compaction step record encoded straight from the borrow.
+    pub fn append_compact_step(
+        &mut self,
+        seq: u64,
+        auto: bool,
+        step: &CompactStepReport,
+    ) -> Result<(), StoreError> {
+        self.append_payload(encode_compact_step_payload(seq, auto, step))
     }
 
     fn append_payload(&mut self, payload: Vec<u8>) -> Result<(), StoreError> {
