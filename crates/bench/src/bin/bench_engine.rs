@@ -27,6 +27,7 @@ use currency_bench::measure::{measure, measure_once, measure_paired, Measurement
 use currency_bench::scenarios;
 use currency_core::{wire, Eid, SpecDelta, Specification, Tuple, Value};
 use currency_datagen::random::{random_spec, RandomSpecConfig};
+use currency_obs::RingRecorder;
 use currency_reason::{
     certain_answers_exact_monolithic, cop_exact_monolithic, CompactBudget, CurrencyEngine, Options,
     ReasonError, ShardedEngine, SnapshotEngine, SolveLimits, TransitivityMode,
@@ -135,6 +136,23 @@ const DURABILITY_SNAPSHOT_FRACTION: f64 = 0.8;
 /// back-to-back ratio to 1.38×.  1.2× holds the machinery to its real
 /// cost while still absorbing per-round jitter.
 const DURABLE_OVERHEAD_FACTOR: f64 = 1.2;
+
+/// Observability overhead guard for `--check`: per-delta apply with the
+/// always-on metrics (histogram records are three relaxed atomic adds)
+/// and the default no-op recorder must stay within this factor of the
+/// same engine with observability disabled.  The real cost is a handful
+/// of clock reads and atomics against a multi-microsecond apply+CPS
+/// round, so the honest paired ratio is ≈ 1.00; 1.02 is the jitter
+/// allowance.
+const OBS_NOOP_FACTOR: f64 = 1.02;
+
+/// Observability overhead guard with a live [`RingRecorder`] attached:
+/// full instrumentation — metrics plus span records into the sharded
+/// trace rings — must stay within this factor of the uninstrumented
+/// engine.  Tracing adds a mutexed ring push per span boundary (four
+/// spans per apply), so 1.10× bounds it while leaving the paired
+/// measurement room to breathe.
+const OBS_TRACED_FACTOR: f64 = 1.10;
 
 /// Recovery guard for `--check`: opening the store (newest snapshot +
 /// log-suffix replay) must beat re-applying the *full* delta history
@@ -1226,6 +1244,77 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Observability overhead (currency-obs): the same per-delta
+    // apply+CPS loop on identical engines, raced pairwise with the
+    // instrumentation toggled.  Two ratios: the always-on metrics with
+    // the default no-op recorder vs observability disabled (the price
+    // every user pays), and metrics plus a live RingRecorder draining
+    // span records vs disabled (the price of tracing).  Paired,
+    // order-alternated rounds for the same reason as the durable
+    // section: the honest ratios sit within a few percent of 1.0, where
+    // back-to-back series drift would swamp the signal.
+    // ------------------------------------------------------------------
+    // The guards here are the tightest in the file (1.02×), so this
+    // section buys extra rounds: the loop is ~100 µs, and a 4× longer
+    // paired series keeps the median ratio stable against scheduler
+    // noise that a 72-round series still lets through.
+    let obs_rounds = (samples * 32).max(256);
+    eprintln!("obs: entities = {UPDATE_ENTITIES}, paired rounds = {obs_rounds}");
+    let obs_spec = scenarios::amortized_spec(UPDATE_ENTITIES);
+    let obs_insert = scenarios::update_insert_delta(&obs_spec);
+    let obs_loop = |engine: &mut CurrencyEngine| {
+        let report = engine.apply(&obs_insert).unwrap();
+        std::hint::black_box(engine.cps().unwrap());
+        let (rel, id) = report.inserted[0];
+        let report = engine
+            .apply(&scenarios::update_remove_delta(rel, id))
+            .unwrap();
+        std::hint::black_box(engine.cps().unwrap());
+        std::hint::black_box(report.cells_touched);
+    };
+    let obs_opts = Options::default();
+    let obs_engine = |enabled: bool, traced: bool| {
+        let mut engine = CurrencyEngine::new_owned(obs_spec.clone(), &obs_opts).unwrap();
+        engine.obs_mut().set_enabled(enabled);
+        if traced {
+            engine.obs_mut().set_recorder(RingRecorder::new(65_536));
+        }
+        engine.cps().unwrap();
+        engine
+    };
+    let mut noop_engine = obs_engine(true, false);
+    let mut disabled_a = obs_engine(false, false);
+    let (obs_noop_m, obs_disabled_m, obs_noop_over) = measure_paired(
+        obs_rounds,
+        8,
+        || obs_loop(&mut noop_engine),
+        || obs_loop(&mut disabled_a),
+    );
+    let mut traced_engine = obs_engine(true, true);
+    let mut disabled_b = obs_engine(false, false);
+    let (obs_traced_m, _, obs_traced_over) = measure_paired(
+        obs_rounds,
+        8,
+        || obs_loop(&mut traced_engine),
+        || obs_loop(&mut disabled_b),
+    );
+    eprintln!(
+        "obs: metrics+noop {obs_noop_over:.3}x disabled, \
+         metrics+ring-traced {obs_traced_over:.3}x disabled"
+    );
+    let _ = write!(
+        json,
+        "  \"obs\": {{\"noop_over_disabled\": {obs_noop_over:.3}, \
+         \"traced_over_disabled\": {obs_traced_over:.3}, \"noop\": "
+    );
+    push_measurement(&mut json, &obs_noop_m);
+    json.push_str(", \"disabled\": ");
+    push_measurement(&mut json, &obs_disabled_m);
+    json.push_str(", \"traced\": ");
+    push_measurement(&mut json, &obs_traced_m);
+    json.push_str("},\n");
+
+    // ------------------------------------------------------------------
     // Lazy vs eager transitivity scaling on one large entity group.
     // ------------------------------------------------------------------
     let group_sweep: &[usize] = if args.fast {
@@ -1310,6 +1399,8 @@ fn main() {
     let compact_flat_ok = compact_step_flat_ratio <= COMPACT_FLAT_FACTOR;
     let compact_exact_ok = compact_identical && compact_parity;
     let durable_overhead_ok = durable_over_apply <= DURABLE_OVERHEAD_FACTOR;
+    let obs_noop_ok = obs_noop_over <= OBS_NOOP_FACTOR;
+    let obs_traced_ok = obs_traced_over <= OBS_TRACED_FACTOR;
     let replay_count_ok = replayed == expected_suffix;
     let recovery_ok =
         recovery_speedup >= RECOVERY_SPEEDUP_MIN && open.median_ns <= RECOVERY_WALL_NS;
@@ -1343,6 +1434,8 @@ fn main() {
         && compact_flat_ok
         && compact_exact_ok
         && durable_overhead_ok
+        && obs_noop_ok
+        && obs_traced_ok
         && replay_count_ok
         && recovery_ok
         && serve_scaling_ok
@@ -1373,6 +1466,10 @@ fn main() {
          \"compact_reclaimed_parity\": {compact_parity}, \
          \"durable_over_apply\": {durable_over_apply:.2}, \
          \"durable_overhead_factor\": {DURABLE_OVERHEAD_FACTOR:.1}, \
+         \"obs_noop_over_disabled\": {obs_noop_over:.3}, \
+         \"obs_noop_factor\": {OBS_NOOP_FACTOR:.2}, \
+         \"obs_traced_over_disabled\": {obs_traced_over:.3}, \
+         \"obs_traced_factor\": {OBS_TRACED_FACTOR:.2}, \
          \"recovery_replayed\": {replayed}, \
          \"recovery_expected_suffix\": {expected_suffix}, \
          \"recovery_speedup\": {recovery_speedup:.1}, \
@@ -1466,6 +1563,20 @@ fn main() {
                 "REGRESSION: durable apply costs {durable_over_apply:.2}× the in-memory \
                  path (limit {DURABLE_OVERHEAD_FACTOR}×) — a per-delta fsync or snapshot \
                  write crept into the log-append path?"
+            );
+        }
+        if !obs_noop_ok {
+            eprintln!(
+                "REGRESSION: always-on metrics cost {obs_noop_over:.3}× the uninstrumented \
+                 apply path (limit {OBS_NOOP_FACTOR}×) — an allocation, lock, or extra clock \
+                 read crept into a hot-path instrument?"
+            );
+        }
+        if !obs_traced_ok {
+            eprintln!(
+                "REGRESSION: metrics plus a live RingRecorder cost {obs_traced_over:.3}× the \
+                 uninstrumented apply path (limit {OBS_TRACED_FACTOR}×) — span recording is \
+                 doing more than a ring push per boundary?"
             );
         }
         if !replay_count_ok {

@@ -47,12 +47,14 @@ use crate::ccqa::CertainAnswers;
 use crate::cop::CurrencyOrderQuery;
 use crate::encode::{Bounds, Encoding};
 use crate::error::ReasonError;
+use crate::obs::EngineObs;
 use crate::partition::{Partition, RefreshPlan};
 use crate::{CompactBudget, Options};
 use currency_core::{
     AttrId, CompactReport, CompactSlice, CompactStepReport, Completion, Eid, NormalInstance,
     RelCompletion, RelId, SpecDelta, Specification, Tuple, TupleId, Value,
 };
+use currency_obs::SpanGuard;
 use currency_query::{Database, Query};
 use currency_sat::{Enumeration, SolveResult, SolverStats};
 use std::borrow::Cow;
@@ -324,6 +326,8 @@ pub struct CurrencyEngine<'a> {
     slots_reclaimed: usize,
     recoveries: usize,
     deltas_replayed: usize,
+    /// Metric handles + trace recorder (see [`EngineObs`]).
+    obs: EngineObs,
 }
 
 impl<'a> CurrencyEngine<'a> {
@@ -392,7 +396,19 @@ impl<'a> CurrencyEngine<'a> {
             slots_reclaimed: 0,
             recoveries: 0,
             deltas_replayed: 0,
+            obs: EngineObs::new(),
         })
+    }
+
+    /// The engine's observability bundle (metric handles, recorder).
+    pub fn obs(&self) -> &EngineObs {
+        &self.obs
+    }
+
+    /// Mutable access for wiring: bind the handles onto a shared
+    /// registry, attach a trace recorder, or switch metrics off.
+    pub fn obs_mut(&mut self) -> &mut EngineObs {
+        &mut self.obs
     }
 
     /// Apply a delta to the live specification and re-validate exactly the
@@ -436,6 +452,11 @@ impl<'a> CurrencyEngine<'a> {
         delta: &SpecDelta,
         fire_auto: bool,
     ) -> Result<ApplyReport, ReasonError> {
+        let recorder = self.obs.recorder().clone();
+        let apply_span = SpanGuard::enter(&*recorder, "engine.apply", 0);
+        let parent = apply_span.as_ref().map_or(0, SpanGuard::id);
+        let clock = self.obs.clock();
+        let validate_span = SpanGuard::enter(&*recorder, "engine.validate", parent);
         // A rejected delta on a still-borrowed engine must not pay the
         // Cow promotion (a full spec clone), so validate first; owned
         // engines skip this — `apply_delta` validates internally.
@@ -443,8 +464,14 @@ impl<'a> CurrencyEngine<'a> {
             delta.validate(self.spec.as_ref())?;
         }
         let effects = self.spec.to_mut().apply_delta(delta)?;
-        let plan = self.rebuild_touched(&effects.touched_cells)?;
+        drop(validate_span);
+        self.obs.lap(clock, &self.obs.apply_validate_ns);
+        let plan = self.rebuild_touched(&effects.touched_cells, parent)?;
         self.updates_applied += 1;
+        if let Some(start) = clock {
+            self.obs.apply_ns.record(start.elapsed().as_nanos() as u64);
+            self.obs.applies_total.inc();
+        }
         let mut report = ApplyReport {
             components_rebuilt: plan.rebuilt(),
             components_reused: plan.reused(),
@@ -485,13 +512,21 @@ impl<'a> CurrencyEngine<'a> {
     fn rebuild_touched(
         &mut self,
         touched: &BTreeSet<(RelId, Eid)>,
+        parent_span: u64,
     ) -> Result<RefreshPlan, ReasonError> {
-        let plan = self.partition.refresh(self.spec.as_ref(), touched);
+        let recorder = self.obs.recorder().clone();
+        let clock = self.obs.clock();
+        let plan = {
+            let _span = SpanGuard::enter(&*recorder, "engine.refresh", parent_span);
+            self.partition.refresh(self.spec.as_ref(), touched)
+        };
+        let clock = self.obs.lap(clock, &self.obs.apply_refresh_ns);
         // Compile the rebuilt slots (in parallel when the fleet warrants
         // it) *before* patching any state, so the fallible step cannot
         // leave the engine half-updated.
         let transitivity = self.opts.transitivity;
         let compiled = {
+            let _span = SpanGuard::enter(&*recorder, "engine.recompile", parent_span);
             let spec = self.spec.as_ref();
             let partition = &self.partition;
             let value_rels = &self.value_rels;
@@ -505,6 +540,7 @@ impl<'a> CurrencyEngine<'a> {
                 ))
             })?
         };
+        self.obs.lap(clock, &self.obs.apply_recompile_ns);
         // Patch exactly the changed slots (infallible from here on); no
         // other slot's mutex is even acquired.
         let cache = self
@@ -673,6 +709,7 @@ impl<'a> CurrencyEngine<'a> {
             step.done = true;
             return Ok(step);
         }
+        let clock = self.obs.clock();
         let max_slots = max_slots.max(1);
         {
             let spec = self.spec.to_mut();
@@ -698,6 +735,11 @@ impl<'a> CurrencyEngine<'a> {
             step.done = spec.total_tombstones() == 0;
         }
         self.finish_step(&step)?;
+        if let Some(start) = clock {
+            self.obs
+                .compact_step_pause_ns
+                .record(start.elapsed().as_nanos() as u64);
+        }
         Ok(step)
     }
 
@@ -764,7 +806,7 @@ impl<'a> CurrencyEngine<'a> {
             }
         }
         if !touched.is_empty() {
-            self.rebuild_touched(&touched)?;
+            self.rebuild_touched(&touched, 0)?;
         }
         Ok(())
     }
@@ -879,7 +921,19 @@ impl<'a> CurrencyEngine<'a> {
             return Ok(sat);
         }
         let bounds = Bounds::from_options(&self.opts);
-        let sat = st.enc.solve_bounded(&bounds)? == SolveResult::Sat;
+        let clock = self.obs.clock();
+        let before = if clock.is_some() {
+            st.enc.solver_stats()
+        } else {
+            SolverStats::default()
+        };
+        let outcome = st.enc.solve_bounded(&bounds);
+        // Record before propagating an interrupt: a budget-killed solve
+        // spent real time and conflicts, and the histograms must show
+        // it.
+        self.obs
+            .record_solve(clock, &before, &st.enc.solver_stats());
+        let sat = outcome? == SolveResult::Sat;
         st.status = Some(sat);
         let mut cache = self.cps_lock();
         if cache.unsolved.remove(&ix) && !sat {

@@ -70,6 +70,7 @@ pub mod enumerate;
 mod error;
 pub mod explain;
 mod fixpoint;
+pub mod obs;
 pub mod partition;
 mod preserve;
 mod preserve_sp;
@@ -92,6 +93,7 @@ pub use engine::{ApplyReport, CurrencyEngine, EngineStats};
 pub use error::ReasonError;
 pub use explain::{explain_inconsistency, InconsistencyCore, SpecComponent};
 pub use fixpoint::{po_infinity, CertainOrders};
+pub use obs::EngineObs;
 pub use partition::{Partition, RefreshPlan};
 pub use preserve::{bcp, cpp, ecp, maximum_extension, ExtensionSlot, PreservationProblem};
 pub use preserve_sp::{bcp_sp, cpp_sp};

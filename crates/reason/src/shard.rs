@@ -64,11 +64,13 @@ use crate::ccqa::CertainAnswers;
 use crate::cop::CurrencyOrderQuery;
 use crate::engine::{ApplyReport, CurrencyEngine, EngineStats};
 use crate::error::ReasonError;
+use crate::obs::EngineObs;
 use crate::{CompactBudget, Options};
 use currency_core::{
     AttrId, CompactReport, CompactStepReport, CurrencyError, DeltaOp, DeltaRouting, Eid, RelId,
     SpecDelta, Specification, TupleId, Value,
 };
+use currency_obs::MetricsSnapshot;
 use currency_query::Query;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -832,6 +834,30 @@ impl ShardedEngine {
     /// Shard `k`'s engine (shard-local ids!).
     pub fn engine(&self, shard: usize) -> &CurrencyEngine<'static> {
         &self.engines[shard]
+    }
+
+    /// Mutable access to shard `k`'s observability bundle — for
+    /// attaching a trace recorder or switching metrics per shard.
+    pub fn obs_mut(&mut self, shard: usize) -> &mut EngineObs {
+        self.engines[shard].obs_mut()
+    }
+
+    /// A merged metrics snapshot across all shards: every shard's
+    /// registry decorated with its `shard` label, then folded into one
+    /// family set (histograms merge bucket-wise).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::merged(self.engines.iter().enumerate().map(|(k, e)| {
+            e.obs()
+                .registry()
+                .snapshot()
+                .with_label("shard", &k.to_string())
+        }))
+    }
+
+    /// The merged per-shard metrics in the Prometheus text exposition
+    /// format.
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().render_prometheus()
     }
 
     fn engine_refs(&self) -> Vec<&CurrencyEngine<'static>> {

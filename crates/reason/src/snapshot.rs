@@ -46,13 +46,16 @@ use crate::engine::{
     run_indexed, ComponentModels, EngineStats,
 };
 use crate::error::ReasonError;
+use crate::obs::EngineObs;
 use crate::partition::Partition;
 use crate::{CompactBudget, Options, SolveLimits};
 use currency_core::NormalInstance;
 use currency_core::{
     CompactReport, CompactStepReport, Eid, RelId, SpecDelta, Specification, TupleId, Value,
 };
+use currency_obs::{SpanGuard, TraceEvent, TraceKind};
 use currency_query::Query;
+use currency_sat::SolverStats;
 use currency_sat::{Enumeration, SolveResult};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
@@ -471,6 +474,8 @@ pub struct SnapshotEngine {
     opts: Options,
     cell: Arc<SnapshotCell>,
     counters: LifetimeCounters,
+    /// Metric handles + trace recorder (see [`EngineObs`]).
+    obs: EngineObs,
 }
 
 impl SnapshotEngine {
@@ -514,9 +519,21 @@ impl SnapshotEngine {
                 lifetime: LifetimeCounters::default(),
             }))),
             counters: LifetimeCounters::default(),
+            obs: EngineObs::new(),
         };
         engine.publish();
         Ok(engine)
+    }
+
+    /// The writer's observability bundle (metric handles, recorder).
+    pub fn obs(&self) -> &EngineObs {
+        &self.obs
+    }
+
+    /// Mutable access for wiring: bind the handles onto a shared
+    /// registry, attach a trace recorder, or switch metrics off.
+    pub fn obs_mut(&mut self) -> &mut EngineObs {
+        &mut self.obs
     }
 
     /// Apply a delta and publish the resulting snapshot under a bumped
@@ -529,13 +546,24 @@ impl SnapshotEngine {
     /// snapshots share all compiled state outside the dirty region.  On
     /// error nothing is mutated and nothing is published.
     pub fn apply(&mut self, delta: &SpecDelta) -> Result<PublishReport, ReasonError> {
+        let recorder = self.obs.recorder().clone();
+        let apply_span = SpanGuard::enter(&*recorder, "engine.apply", 0);
+        let parent = apply_span.as_ref().map_or(0, SpanGuard::id);
+        let clock = self.obs.clock();
+        let validate_span = SpanGuard::enter(&*recorder, "engine.validate", parent);
         // The published snapshot shares our spec `Arc`, so `make_mut`
         // copies it on write; validate first so a rejected delta costs
         // no copy.
         delta.validate(&self.spec)?;
         let effects = Arc::make_mut(&mut self.spec).apply_delta(delta)?;
-        let plan = self.rebuild_touched(&effects.touched_cells)?;
+        drop(validate_span);
+        self.obs.lap(clock, &self.obs.apply_validate_ns);
+        let plan = self.rebuild_touched(&effects.touched_cells, parent)?;
         self.counters.updates_applied += 1;
+        if let Some(start) = clock {
+            self.obs.apply_ns.record(start.elapsed().as_nanos() as u64);
+            self.obs.applies_total.inc();
+        }
         let mut report = PublishReport {
             epoch: 0, // filled in after the publish below
             components_rebuilt: plan.rebuilt(),
@@ -569,14 +597,22 @@ impl SnapshotEngine {
     fn rebuild_touched(
         &mut self,
         touched: &BTreeSet<(RelId, Eid)>,
+        parent_span: u64,
     ) -> Result<crate::partition::RefreshPlan, ReasonError> {
-        let plan = Arc::make_mut(&mut self.partition).refresh(self.spec.as_ref(), touched);
+        let recorder = self.obs.recorder().clone();
+        let clock = self.obs.clock();
+        let plan = {
+            let _span = SpanGuard::enter(&*recorder, "engine.refresh", parent_span);
+            Arc::make_mut(&mut self.partition).refresh(self.spec.as_ref(), touched)
+        };
+        let clock = self.obs.lap(clock, &self.obs.apply_refresh_ns);
         // Compile *and solve* the rebuilt slots before patching any
         // state: the fallible step cannot leave the writer half-updated,
         // and solving here bakes the verdict (and any lazy lemmas) into
         // the published encoding so readers start warm.
         let transitivity = self.opts.transitivity;
         let compiled: Vec<SlotView> = {
+            let _span = SpanGuard::enter(&*recorder, "engine.recompile", parent_span);
             let spec = self.spec.as_ref();
             let partition = self.partition.as_ref();
             let value_rels = &self.value_rels;
@@ -590,6 +626,18 @@ impl SnapshotEngine {
                 ))
             })?
         };
+        self.obs.lap(clock, &self.obs.apply_recompile_ns);
+        if self.obs.enabled() {
+            // Each rebuilt slot is a fresh encoding solved during
+            // compilation, so its absolute counters *are* the
+            // per-solve delta.
+            for view in &compiled {
+                let stats: SolverStats = view.enc.solver_stats();
+                self.obs.solver_conflicts.record(stats.conflicts);
+                self.obs.solver_propagations.record(stats.propagations);
+                self.obs.solver_lemmas.record(stats.lemmas_added);
+            }
+        }
         for &slot in &plan.freed {
             self.retire(slot);
             self.slots[slot] = SlotView {
@@ -687,6 +735,7 @@ impl SnapshotEngine {
             step.done = true;
             return Ok(step);
         }
+        let clock = self.obs.clock();
         let max_slots = max_slots.max(1);
         {
             let spec = Arc::make_mut(&mut self.spec);
@@ -719,10 +768,15 @@ impl SnapshotEngine {
                 }
             }
             if !touched.is_empty() {
-                self.rebuild_touched(&touched)?;
+                self.rebuild_touched(&touched, 0)?;
             }
             self.counters.compact_steps += 1;
             self.counters.slots_reclaimed += step.reclaimed;
+        }
+        if let Some(start) = clock {
+            self.obs
+                .compact_step_pause_ns
+                .record(start.elapsed().as_nanos() as u64);
         }
         Ok(step)
     }
@@ -730,6 +784,20 @@ impl SnapshotEngine {
     /// Bump the epoch and swap the assembled snapshot into the cell.
     fn publish(&mut self) {
         self.epoch += 1;
+        if self.obs.enabled() {
+            self.obs.snapshot_epoch.set(self.epoch);
+        }
+        let recorder = self.obs.recorder();
+        if recorder.enabled() {
+            recorder.record(TraceEvent {
+                ts_ns: currency_obs::now_ns(),
+                kind: TraceKind::Event,
+                name: "snapshot.publish",
+                span: 0,
+                parent: 0,
+                value: self.epoch,
+            });
+        }
         let snap = Arc::new(EngineSnapshot {
             epoch: self.epoch,
             spec: self.spec.clone(),

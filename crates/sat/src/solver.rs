@@ -119,6 +119,25 @@ pub struct SolverStats {
     pub lemmas_added: u64,
 }
 
+impl SolverStats {
+    /// Counters accumulated since `earlier` — the per-solve delta an
+    /// observability layer records as histogram observations.  Every
+    /// field is monotone within one solver's lifetime; the subtraction
+    /// saturates so comparing snapshots of unrelated solvers cannot
+    /// wrap.
+    pub fn delta(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learnt_kept: self.learnt_kept.saturating_sub(earlier.learnt_kept),
+            learnt_deleted: self.learnt_deleted.saturating_sub(earlier.learnt_deleted),
+            lemmas_added: self.lemmas_added.saturating_sub(earlier.lemmas_added),
+        }
+    }
+}
+
 impl std::ops::AddAssign for SolverStats {
     fn add_assign(&mut self, rhs: SolverStats) {
         self.conflicts += rhs.conflicts;

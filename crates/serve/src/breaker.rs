@@ -18,8 +18,11 @@ use std::time::{Duration, Instant};
 /// Admission verdict for one request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Admit {
-    /// Go ahead (closed breaker, or the shape's half-open probe slot).
+    /// Go ahead (closed breaker).
     Allow,
+    /// Go ahead as the shape's single half-open probe: the backoff
+    /// elapsed and this request decides whether the breaker closes.
+    Probe,
     /// The shape's breaker is open: do not solve.
     Reject,
 }
@@ -79,7 +82,7 @@ impl Breaker {
                     Admit::Reject
                 } else {
                     st.probing = true;
-                    Admit::Allow
+                    Admit::Probe
                 }
             }
         }
@@ -113,12 +116,16 @@ impl Breaker {
     }
 
     /// Record a completed solve for `req`: the shape is healthy again
-    /// and its entry (open or counting) is dropped.
-    pub(crate) fn record_success(&self, req: &ServeRequest) {
+    /// and its entry (open or counting) is dropped.  Returns `true` when
+    /// this success **closed** an open (or half-open) breaker, as
+    /// opposed to merely resetting a consecutive-timeout count.
+    pub(crate) fn record_success(&self, req: &ServeRequest) -> bool {
         if self.threshold == 0 {
-            return;
+            return false;
         }
-        self.lock().remove(req);
+        self.lock()
+            .remove(req)
+            .is_some_and(|st| st.open_until.is_some() || st.probing)
     }
 
     /// Number of shapes whose breaker is open right now (a half-open
@@ -178,9 +185,9 @@ mod tests {
         let b = breaker(1, 1);
         assert!(b.record_timeout(&req(0)));
         std::thread::sleep(Duration::from_millis(3));
-        assert_eq!(b.admit(&req(0)), Admit::Allow, "the probe");
+        assert_eq!(b.admit(&req(0)), Admit::Probe, "the probe");
         assert_eq!(b.admit(&req(0)), Admit::Reject, "only one probe");
-        b.record_success(&req(0));
+        assert!(b.record_success(&req(0)), "probe success closes");
         assert_eq!(b.admit(&req(0)), Admit::Allow, "closed again");
         assert_eq!(b.open_count(), 0);
     }
@@ -190,7 +197,7 @@ mod tests {
         let b = breaker(1, 1);
         assert!(b.record_timeout(&req(0)));
         std::thread::sleep(Duration::from_millis(3));
-        assert_eq!(b.admit(&req(0)), Admit::Allow);
+        assert_eq!(b.admit(&req(0)), Admit::Probe);
         assert!(b.record_timeout(&req(0)), "failed probe re-trips");
         assert_eq!(b.admit(&req(0)), Admit::Reject);
         // The backoff doubles but stays capped.

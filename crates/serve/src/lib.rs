@@ -65,6 +65,7 @@
 
 mod breaker;
 mod cache;
+mod obs;
 mod rate_limit;
 mod sharded;
 mod stats;
@@ -78,11 +79,16 @@ pub use stats::ServeStats;
 use breaker::{Admit, Breaker};
 use cache::AnswerCache;
 use currency_core::{CompactReport, CompactStepReport, RelId, SpecDelta, Specification, Value};
+use currency_obs::{MetricsRegistry, Recorder};
 use currency_query::Query;
 use currency_reason::snapshot::{EngineSnapshot, PublishReport, SnapshotEngine, SnapshotReader};
-use currency_reason::{CertainAnswers, CompactBudget, CurrencyOrderQuery, Options, ReasonError};
+use currency_reason::{
+    CertainAnswers, CompactBudget, CurrencyOrderQuery, Options, ReasonError, Spent,
+};
+use obs::{kind_index, ServeObs};
 use rate_limit::TokenBucket;
 use stats::{Counters, InflightGuard};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -215,6 +221,12 @@ pub struct ServeOptions {
     pub breaker_backoff: Duration,
     /// Ceiling for the exponential breaker backoff.
     pub breaker_max_backoff: Duration,
+    /// Retain requests slower than this in the slow-query log
+    /// ([`CurrencyServe::slow_queries`]); `None` (the default) disables
+    /// the log.
+    pub slow_query_threshold: Option<Duration>,
+    /// Slow-query log capacity: the newest entries win (clamped ≥ 1).
+    pub slow_query_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -228,8 +240,25 @@ impl Default for ServeOptions {
             breaker_threshold: 3,
             breaker_backoff: Duration::from_millis(100),
             breaker_max_backoff: Duration::from_secs(5),
+            slow_query_threshold: None,
+            slow_query_capacity: 128,
         }
     }
+}
+
+/// One over-threshold request retained by the slow-query log (see
+/// [`ServeOptions::slow_query_threshold`]).
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// The canonicalized request shape.
+    pub request: ServeRequest,
+    /// Epoch the query was answered (or interrupted) at.
+    pub epoch: u64,
+    /// End-to-end wall time the caller observed.
+    pub duration: Duration,
+    /// Solver work performed when the query was interrupted by its
+    /// budget (`None` for slow-but-completed queries).
+    pub spent: Option<Spent>,
 }
 
 /// State shared by the service and every handle.
@@ -239,8 +268,38 @@ struct ServeShared {
     limiter: Option<TokenBucket>,
     breaker: Breaker,
     counters: Counters,
+    obs: ServeObs,
+    slow_queries: Mutex<VecDeque<SlowQuery>>,
+    slow_query_threshold: Option<Duration>,
+    slow_query_capacity: usize,
     request_timeout: Option<Duration>,
     max_inflight: usize,
+}
+
+impl ServeShared {
+    /// Retain `req` in the slow-query ring when it ran over the
+    /// configured threshold (overwrite-oldest at capacity).
+    fn note_slow(&self, req: &ServeRequest, epoch: u64, duration: Duration, spent: Option<Spent>) {
+        let Some(threshold) = self.slow_query_threshold else {
+            return;
+        };
+        if duration < threshold {
+            return;
+        }
+        let mut log = self
+            .slow_queries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while log.len() >= self.slow_query_capacity {
+            log.pop_front();
+        }
+        log.push_back(SlowQuery {
+            request: req.clone(),
+            epoch,
+            duration,
+            spent,
+        });
+    }
 }
 
 /// A concurrently servable currency specification: one writer, any
@@ -263,7 +322,12 @@ impl CurrencyServe {
 
     /// Stand up the serving layer over an already-built writer (e.g. one
     /// constructed with [`SnapshotEngine::with_value_rels`]).
-    pub fn from_engine(engine: SnapshotEngine, opts: &ServeOptions) -> CurrencyServe {
+    pub fn from_engine(mut engine: SnapshotEngine, opts: &ServeOptions) -> CurrencyServe {
+        // One registry for the whole stack: the writer engine's phase
+        // timings land next to the serve-side series, so a single
+        // scrape covers both.
+        let registry = Arc::new(MetricsRegistry::new());
+        engine.obs_mut().bind_metrics(&registry);
         let shared = Arc::new(ServeShared {
             cell: engine.cell(),
             cache: AnswerCache::new(opts.cache_capacity, opts.cache_shards),
@@ -274,6 +338,10 @@ impl CurrencyServe {
                 opts.breaker_max_backoff,
             ),
             counters: Counters::default(),
+            obs: ServeObs::new(registry),
+            slow_queries: Mutex::new(VecDeque::new()),
+            slow_query_threshold: opts.slow_query_threshold,
+            slow_query_capacity: opts.slow_query_capacity.max(1),
             request_timeout: opts.request_timeout,
             max_inflight: opts.max_inflight,
         });
@@ -360,6 +428,49 @@ impl CurrencyServe {
             latency_ns_max: c.latency_ns_max.load(Ordering::Relaxed),
         }
     }
+
+    /// The serving stack's metric registry: serve-side series (latency
+    /// histograms per query kind, cache hit/miss counters, degradation
+    /// counters) plus the writer engine's phase timings, all in one
+    /// place.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.shared.obs.registry()
+    }
+
+    /// Current metrics in Prometheus text exposition format (one scrape
+    /// covers the serve layer and the writer engine).
+    pub fn metrics_text(&self) -> String {
+        self.metrics().snapshot().render_prometheus()
+    }
+
+    /// Attach a trace recorder: breaker transitions and stale-serve
+    /// degradations are emitted as structured
+    /// [`currency_obs::TraceEvent`]s, and the writer engine's apply
+    /// phases record spans into the same sink.  Pass a
+    /// [`currency_obs::RingRecorder`] and drain it to inspect the
+    /// stream.
+    pub fn set_recorder(&self, recorder: Arc<dyn Recorder>) {
+        self.shared.obs.set_recorder(recorder.clone());
+        self.writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .obs_mut()
+            .set_recorder(recorder);
+    }
+
+    /// The slow-query log, oldest first — requests that ran over
+    /// [`ServeOptions::slow_query_threshold`], with the epoch they ran
+    /// at and (for interrupted solves) the work ledger they burned.
+    /// Empty when no threshold is configured.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared
+            .slow_queries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
 }
 
 /// A per-thread reader handle: pinned snapshot, private solver scratch,
@@ -412,9 +523,11 @@ impl ServeHandle {
         timeout: Option<Duration>,
     ) -> Result<ServeAnswer, ServeError> {
         let shared = self.shared.clone();
+        let kind = kind_index(req);
         if let Some(limiter) = &shared.limiter {
             if !limiter.try_acquire() {
                 shared.counters.rate_limited.fetch_add(1, Ordering::Relaxed);
+                shared.obs.rate_limited.inc();
                 return Err(ServeError::RateLimited);
             }
         }
@@ -424,6 +537,7 @@ impl ServeHandle {
             InflightGuard::try_enter(&shared.counters.inflight, shared.max_inflight)
         else {
             shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            shared.obs.shed.inc();
             return Err(ServeError::Overloaded);
         };
         let start = Instant::now();
@@ -434,38 +548,58 @@ impl ServeHandle {
         if let Some(ans) = shared.cache.get(req, epoch) {
             shared.counters.queries.fetch_add(1, Ordering::Relaxed);
             shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            shared.counters.record_latency(saturating_elapsed_ns(start));
+            shared.obs.cache_hits.inc();
+            let ns = saturating_elapsed_ns(start);
+            shared.counters.record_latency(ns);
+            shared.obs.latency_ns[kind].record(ns);
             return Ok(ans);
         }
-        if shared.breaker.admit(req) == Admit::Reject {
-            shared
-                .counters
-                .breaker_rejects
-                .fetch_add(1, Ordering::Relaxed);
-            return match self.serve_stale(&shared, req, start) {
-                Some(stale) => Ok(stale),
-                None => Err(ServeError::BreakerOpen),
-            };
+        match shared.breaker.admit(req) {
+            Admit::Allow => {}
+            Admit::Probe => shared.obs.event("breaker.half_open", 0),
+            Admit::Reject => {
+                shared
+                    .counters
+                    .breaker_rejects
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.obs.breaker_rejects.inc();
+                return match self.serve_stale(&shared, req, start) {
+                    Some(stale) => Ok(stale),
+                    None => Err(ServeError::BreakerOpen),
+                };
+            }
         }
         self.reader.set_deadline(timeout.map(|t| start + t));
         let result = self.evaluate(req);
         self.reader.set_deadline(None);
         match result {
             Ok(ans) => {
-                shared.breaker.record_success(req);
+                if shared.breaker.record_success(req) {
+                    shared.obs.event("breaker.closed", 0);
+                }
                 shared.cache.insert(req, epoch, ans.clone());
                 shared.counters.queries.fetch_add(1, Ordering::Relaxed);
                 shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-                shared.counters.record_latency(saturating_elapsed_ns(start));
+                shared.obs.cache_misses.inc();
+                let ns = saturating_elapsed_ns(start);
+                shared.counters.record_latency(ns);
+                shared.obs.latency_ns[kind].record(ns);
+                shared.note_slow(req, epoch, start.elapsed(), None);
                 Ok(ans)
             }
             Err(err @ ReasonError::Interrupted { .. }) => {
                 shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                shared.obs.timeouts.inc();
                 if shared.breaker.record_timeout(req) {
                     shared
                         .counters
                         .breaker_trips
                         .fetch_add(1, Ordering::Relaxed);
+                    shared.obs.breaker_trips.inc();
+                    shared.obs.event("breaker.open", 0);
+                }
+                if let ReasonError::Interrupted { spent } = &err {
+                    shared.note_slow(req, epoch, start.elapsed(), Some(*spent));
                 }
                 match self.serve_stale(&shared, req, start) {
                     Some(stale) => Ok(stale),
@@ -502,7 +636,13 @@ impl ServeHandle {
         let (stale_epoch, answer) = shared.cache.get_any(req)?;
         shared.counters.queries.fetch_add(1, Ordering::Relaxed);
         shared.counters.stale_served.fetch_add(1, Ordering::Relaxed);
-        shared.counters.record_latency(saturating_elapsed_ns(start));
+        shared.obs.stale_served.inc();
+        let lag = self.reader.epoch().saturating_sub(stale_epoch);
+        shared.obs.epoch_lag.set(lag);
+        shared.obs.event("serve.stale", lag);
+        let ns = saturating_elapsed_ns(start);
+        shared.counters.record_latency(ns);
+        shared.obs.latency_ns[kind_index(req)].record(ns);
         Some(ServeAnswer::Stale {
             epoch: stale_epoch,
             answer: Box::new(answer),
@@ -553,6 +693,13 @@ impl ServeHandle {
     /// The snapshot this handle is currently pinned to.
     pub fn snapshot(&self) -> &Arc<EngineSnapshot> {
         self.reader.snapshot()
+    }
+
+    /// Current metrics in Prometheus text exposition format — the same
+    /// registry [`CurrencyServe::metrics_text`] renders, reachable from
+    /// any reader thread without a reference to the service.
+    pub fn metrics_text(&self) -> String {
+        self.shared.obs.registry().snapshot().render_prometheus()
     }
 
     fn query_bool(&mut self, req: ServeRequest) -> Result<bool, ServeError> {

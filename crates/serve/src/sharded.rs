@@ -287,29 +287,55 @@ impl ShardedServe {
         self.serves.iter().map(|s| s.epoch()).collect()
     }
 
-    /// Per-shard + aggregate serving counters, lock-free.
+    /// Per-shard + aggregate serving counters, lock-free.  Sums
+    /// saturate: `latency_ns_total` in particular accumulates
+    /// nanoseconds across every shard and every answered query, and a
+    /// long-lived deployment overflowing `u64` must pin at the ceiling
+    /// rather than wrap to a tiny number mid-scrape.  (The
+    /// `currency_serve_latency_ns` histogram in
+    /// [`ShardedServe::metrics_text`] is the overflow-proof replacement
+    /// for the deprecated total/max fields.)
     pub fn stats(&self) -> ShardedServeStats {
         let per_shard: Vec<ServeStats> = self.serves.iter().map(|s| s.stats()).collect();
         let mut total = ServeStats::default();
         for s in &per_shard {
-            total.epoch += s.epoch;
-            total.queries += s.queries;
-            total.cache_hits += s.cache_hits;
-            total.cache_misses += s.cache_misses;
-            total.rate_limited += s.rate_limited;
-            total.inflight += s.inflight;
-            total.shed += s.shed;
-            total.timeouts += s.timeouts;
-            total.stale_served += s.stale_served;
-            total.breaker_trips += s.breaker_trips;
-            total.breaker_rejects += s.breaker_rejects;
-            total.breakers_open += s.breakers_open;
-            total.degraded_events += s.degraded_events;
-            total.cached_entries += s.cached_entries;
-            total.latency_ns_total += s.latency_ns_total;
+            total.epoch = total.epoch.saturating_add(s.epoch);
+            total.queries = total.queries.saturating_add(s.queries);
+            total.cache_hits = total.cache_hits.saturating_add(s.cache_hits);
+            total.cache_misses = total.cache_misses.saturating_add(s.cache_misses);
+            total.rate_limited = total.rate_limited.saturating_add(s.rate_limited);
+            total.inflight = total.inflight.saturating_add(s.inflight);
+            total.shed = total.shed.saturating_add(s.shed);
+            total.timeouts = total.timeouts.saturating_add(s.timeouts);
+            total.stale_served = total.stale_served.saturating_add(s.stale_served);
+            total.breaker_trips = total.breaker_trips.saturating_add(s.breaker_trips);
+            total.breaker_rejects = total.breaker_rejects.saturating_add(s.breaker_rejects);
+            total.breakers_open = total.breakers_open.saturating_add(s.breakers_open);
+            total.degraded_events = total.degraded_events.saturating_add(s.degraded_events);
+            total.cached_entries = total.cached_entries.saturating_add(s.cached_entries);
+            total.latency_ns_total = total.latency_ns_total.saturating_add(s.latency_ns_total);
             total.latency_ns_max = total.latency_ns_max.max(s.latency_ns_max);
         }
         ShardedServeStats { per_shard, total }
+    }
+
+    /// Every shard's metrics, merged into one snapshot with each series
+    /// labeled `shard="<k>"` — counters sum (saturating), gauges take
+    /// the max, histograms merge bucket-wise, so per-shard cache hit
+    /// rates and the aggregate latency distribution are both one scrape
+    /// away.
+    pub fn metrics_snapshot(&self) -> currency_obs::MetricsSnapshot {
+        currency_obs::MetricsSnapshot::merged(
+            self.serves
+                .iter()
+                .enumerate()
+                .map(|(k, s)| s.metrics().snapshot().with_label("shard", &k.to_string())),
+        )
+    }
+
+    /// The merged metrics in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().render_prometheus()
     }
 }
 

@@ -73,8 +73,16 @@ pub struct ServeStats {
     /// Entries currently resident in the answer cache (any epoch).
     pub cached_entries: usize,
     /// Total evaluation wall time across answered queries, nanoseconds.
+    ///
+    /// **Deprecated** in favor of the `currency_serve_latency_ns`
+    /// histogram (per-query-kind buckets, percentiles, overflow-proof
+    /// shard merging — see [`crate::CurrencyServe::metrics`]); still
+    /// populated for compatibility.  Sums across shards saturate.
     pub latency_ns_total: u64,
     /// Worst single answered-query wall time, nanoseconds.
+    ///
+    /// **Deprecated** in favor of the `currency_serve_latency_ns`
+    /// histogram's exact max; still populated for compatibility.
     pub latency_ns_max: u64,
 }
 

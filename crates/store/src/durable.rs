@@ -53,6 +53,7 @@ use crate::snapshot::{
 use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{Record, Wal};
 use currency_core::{CompactReport, CompactStepReport, SpecDelta, Specification};
+use currency_obs::MetricsRegistry;
 use currency_query::Query;
 use currency_reason::{
     ApplyReport, CertainAnswers, CompactBudget, CurrencyEngine, CurrencyOrderQuery, EngineStats,
@@ -155,6 +156,10 @@ pub struct DurableEngine {
     /// consistent state the durable files define.  A *rejected* delta
     /// (validation failure before anything is written) never poisons.
     poisoned: Option<String>,
+    /// The store's metric registry: WAL timings, engine phase timings,
+    /// and recovery progress all land here (see
+    /// [`DurableEngine::metrics`]).
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl DurableEngine {
@@ -192,14 +197,17 @@ impl DurableEngine {
         // the *last* artifact laid down — a crash in between leaves a
         // directory a retried `create` simply recreates, never a
         // half-store that both `create` and `open` refuse.
-        let wal = Wal::create_with(
+        let mut wal = Wal::create_with(
             &*vfs,
             &wal_path(dir),
             store_opts.group_commit,
             store_opts.sync_data,
         )?;
         write_snapshot_with(&*vfs, dir, 0, &spec, store_opts.sync_data)?;
-        let engine = CurrencyEngine::new_owned(spec, engine_opts)?;
+        let mut engine = CurrencyEngine::new_owned(spec, engine_opts)?;
+        let metrics = Arc::new(MetricsRegistry::new());
+        wal.bind_metrics(&metrics);
+        engine.obs_mut().bind_metrics(&metrics);
         Ok(DurableEngine {
             dir: dir.to_path_buf(),
             vfs,
@@ -210,6 +218,7 @@ impl DurableEngine {
             snapshot_seq: 0,
             recovery: RecoveryReport::default(),
             poisoned: None,
+            metrics,
         })
     }
 
@@ -281,6 +290,22 @@ impl DurableEngine {
             store_opts.sync_data,
         )?;
         let mut engine = CurrencyEngine::new_owned(spec, engine_opts)?;
+        let metrics = Arc::new(MetricsRegistry::new());
+        engine.obs_mut().bind_metrics(&metrics);
+        // Recovery progress gauges: total is known up front, replayed
+        // advances record by record, so a concurrent scrape (or a
+        // post-mortem snapshot) shows how far the replay got.
+        let recovery_total = metrics.gauge(
+            "currency_recovery_records_total",
+            "Log records found at open (replay target)",
+            &[],
+        );
+        let recovery_replayed = metrics.gauge(
+            "currency_recovery_records_replayed",
+            "Log records replayed (or skipped as already covered) so far",
+            &[],
+        );
+        recovery_total.set(opened.records.len() as u64);
         let mut recovery = RecoveryReport {
             snapshot_seq,
             snapshots_skipped,
@@ -304,6 +329,7 @@ impl DurableEngine {
         // step right after it — its record must be next.
         let mut pending_step = false;
         for record in opened.records {
+            recovery_replayed.add(1);
             if record.seq() <= snapshot_seq {
                 // Rotation crashed between snapshot and log truncation:
                 // the snapshot already contains these records' effects.
@@ -483,6 +509,7 @@ impl DurableEngine {
             });
         }
         let mut wal = opened.wal;
+        wal.bind_metrics(&metrics);
         if let Some(report) = pending_auto.take() {
             // The original run crashed between the final delta and its
             // auto-compaction marker.  The compaction itself was
@@ -522,6 +549,7 @@ impl DurableEngine {
             snapshot_seq,
             recovery,
             poisoned: None,
+            metrics,
         })
     }
 
@@ -743,6 +771,19 @@ impl DurableEngine {
     /// Aggregate engine statistics (includes the recovery counters).
     pub fn stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// The store's metric registry: engine apply phase timings, WAL
+    /// append/flush/fsync histograms, and the recovery progress gauges
+    /// all live here.  Hand the same registry to other components (or
+    /// snapshot-and-merge several stores') for a single exposition.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Current metrics in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.metrics.snapshot().render_prometheus()
     }
 }
 

@@ -45,6 +45,7 @@ use crate::durable::{DurableEngine, RecoveryReport, StoreOptions};
 use crate::error::StoreError;
 use crate::vfs::{RealVfs, Vfs};
 use currency_core::{RelId, SpecDelta, Specification, Value};
+use currency_obs::MetricsSnapshot;
 use currency_query::Query;
 use currency_reason::shard::{
     localize, scatter_ccqa, scatter_certain_answers, scatter_cop, scatter_cps, scatter_dcip,
@@ -541,5 +542,22 @@ impl ShardedStore {
     /// Per-shard + aggregate engine statistics, lock-free.
     pub fn stats(&self) -> ShardedStats {
         sharded_stats(&self.engine_refs())
+    }
+
+    /// Every shard's metrics, merged into one snapshot with each series
+    /// labeled `shard="<k>"` — counters sum, gauges take the max,
+    /// histograms merge bucket-wise.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::merged(
+            self.shards
+                .iter()
+                .enumerate()
+                .map(|(k, s)| s.metrics().snapshot().with_label("shard", &k.to_string())),
+        )
+    }
+
+    /// The merged metrics in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().render_prometheus()
     }
 }

@@ -44,8 +44,11 @@ use crate::error::{io_err, StoreError};
 use crate::vfs::{RealVfs, Vfs, VfsFile};
 use currency_core::wire::{self, WireReader, WireWriter, WIRE_VERSION};
 use currency_core::{CompactReport, CompactStepReport, SpecDelta};
+use currency_obs::{Counter, Histogram, MetricsRegistry};
 use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Magic bytes opening every WAL file.
 pub const WAL_MAGIC: &[u8; 8] = b"CURWAL01";
@@ -213,6 +216,17 @@ pub struct Wal {
     /// appending duplicate frames.  Every later flush refuses until the
     /// log is reopened (reopen re-derives the durable prefix from disk).
     failed: bool,
+    /// Optional timing instrumentation (see [`Wal::bind_metrics`]).
+    obs: Option<WalObs>,
+}
+
+/// Metric handles the log records into when bound to a registry.
+struct WalObs {
+    append_ns: Arc<Histogram>,
+    flush_ns: Arc<Histogram>,
+    fsync_ns: Arc<Histogram>,
+    appends_total: Arc<Counter>,
+    flushes_total: Arc<Counter>,
 }
 
 impl Wal {
@@ -251,6 +265,7 @@ impl Wal {
             group_commit: group_commit.max(1),
             sync_data,
             failed: false,
+            obs: None,
         })
     }
 
@@ -359,6 +374,7 @@ impl Wal {
                 group_commit: group_commit.max(1),
                 sync_data,
                 failed: false,
+                obs: None,
             },
             records,
             torn_tail_bytes,
@@ -397,15 +413,22 @@ impl Wal {
     }
 
     fn append_payload(&mut self, payload: Vec<u8>) -> Result<(), StoreError> {
+        let start = self.obs.as_ref().map(|_| Instant::now());
         self.buf
             .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
         self.buf.extend_from_slice(&payload);
         self.pending += 1;
-        if self.pending >= self.group_commit {
-            self.flush()?;
+        let result = if self.pending >= self.group_commit {
+            self.flush()
+        } else {
+            Ok(())
+        };
+        if let (Some(start), Some(obs)) = (start, self.obs.as_ref()) {
+            obs.append_ns.record(start.elapsed().as_nanos() as u64);
+            obs.appends_total.inc();
         }
-        Ok(())
+        result
     }
 
     /// Write (and, when configured, `fsync`) every buffered frame.  The
@@ -426,9 +449,14 @@ impl Wal {
         if self.buf.is_empty() {
             return Ok(());
         }
+        let start = self.obs.as_ref().map(|_| Instant::now());
         if let Err(e) = self.flush_inner() {
             self.failed = true;
             return Err(e);
+        }
+        if let (Some(start), Some(obs)) = (start, self.obs.as_ref()) {
+            obs.flush_ns.record(start.elapsed().as_nanos() as u64);
+            obs.flushes_total.inc();
         }
         self.durable_len += self.buf.len() as u64;
         self.buf.clear();
@@ -441,7 +469,11 @@ impl Wal {
             .write_all(&self.buf)
             .map_err(|e| io_err(&self.path, e))?;
         if self.sync_data {
+            let start = self.obs.as_ref().map(|_| Instant::now());
             self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+            if let (Some(start), Some(obs)) = (start, self.obs.as_ref()) {
+                obs.fsync_ns.record(start.elapsed().as_nanos() as u64);
+            }
         }
         Ok(())
     }
@@ -483,6 +515,43 @@ impl Wal {
             self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
         }
         Ok(())
+    }
+
+    /// Register this log's timing metrics in `registry` and start
+    /// recording into them: `currency_wal_append_ns` (whole append,
+    /// group-commit flush included when it triggers),
+    /// `currency_wal_flush_ns` (write + optional sync),
+    /// `currency_wal_fsync_ns` (the `sync_data` call alone), plus
+    /// `currency_wal_appends_total` / `currency_wal_flushes_total`.
+    /// Unbound logs (the default) skip every clock read.
+    pub fn bind_metrics(&mut self, registry: &Arc<MetricsRegistry>) {
+        self.obs = Some(WalObs {
+            append_ns: registry.histogram(
+                "currency_wal_append_ns",
+                "Wall time of one WAL append (group-commit flush included when it triggers)",
+                &[],
+            ),
+            flush_ns: registry.histogram(
+                "currency_wal_flush_ns",
+                "Wall time of one group-commit flush (write + optional sync)",
+                &[],
+            ),
+            fsync_ns: registry.histogram(
+                "currency_wal_fsync_ns",
+                "Wall time of the sync_data call inside a flush",
+                &[],
+            ),
+            appends_total: registry.counter(
+                "currency_wal_appends_total",
+                "Records appended to the WAL",
+                &[],
+            ),
+            flushes_total: registry.counter(
+                "currency_wal_flushes_total",
+                "Group-commit flushes that reached disk",
+                &[],
+            ),
+        });
     }
 }
 

@@ -25,6 +25,10 @@
 //!   answer cache, rate limiting, per-request solve deadlines, overload
 //!   shedding, a per-shape circuit breaker with stale-serve degradation,
 //!   lock-free serving stats, and the sharded `ShardedServe` front door.
+//! * [`obs`] (`currency-obs`) — observability: lock-free counters,
+//!   gauges, and log2-bucket histograms in a `MetricsRegistry` with
+//!   Prometheus/JSON exposition, plus structured span/event tracing
+//!   behind an attachable `Recorder`.
 //! * [`sat`] (`currency-sat`) — the CDCL SAT solver substrate.
 //! * [`datagen`] (`currency-datagen`) — paper scenarios, random
 //!   specification generators, and hardness-reduction gadgets.
@@ -34,6 +38,7 @@
 
 pub use currency_core as model;
 pub use currency_datagen as datagen;
+pub use currency_obs as obs;
 pub use currency_query as query;
 pub use currency_reason as reason;
 pub use currency_sat as sat;

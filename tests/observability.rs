@@ -1,0 +1,378 @@
+//! End-to-end checks of the observability layer: the Prometheus text
+//! every front door renders must parse line-by-line as valid exposition
+//! — under concurrent load, since scrapes happen while queries solve
+//! and the writer publishes — and the series the layers promise
+//! (serve latency buckets, engine apply phase timings, WAL flush
+//! timings, per-shard cache hit rates, recovery progress) must actually
+//! be there with non-trivial values.
+
+use data_currency::model::{
+    AttrId, Catalog, CmpOp, DenialConstraint, Eid, RelId, RelationSchema, SpecDelta, Specification,
+    Term, Tuple, TupleId, Value,
+};
+use data_currency::obs::{MetricsSnapshot, RingRecorder, SeriesValue, TraceKind};
+use data_currency::reason::CurrencyOrderQuery;
+use data_currency::reason::Options;
+use data_currency::serve::{CurrencyServe, ServeOptions, ServeRequest, ShardedServe};
+use data_currency::store::{DurableEngine, StoreOptions};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const A: AttrId = AttrId(0);
+
+fn spec(entities: u64) -> (Specification, RelId) {
+    let mut cat = Catalog::new();
+    let r = cat.add(RelationSchema::new("R", &["A"]));
+    let mut spec = Specification::new(cat);
+    for e in 0..entities {
+        for v in [10, 20] {
+            spec.instance_mut(r)
+                .push_tuple(Tuple::new(Eid(e), vec![Value::int(v + e as i64)]))
+                .unwrap();
+        }
+    }
+    let monotone = DenialConstraint::builder(r, 2)
+        .when_cmp(Term::attr(0, A), CmpOp::Gt, Term::attr(1, A))
+        .then_order(1, A, 0)
+        .build()
+        .unwrap();
+    spec.add_constraint(monotone).unwrap();
+    (spec, r)
+}
+
+fn insert(r: RelId, e: u64, v: i64) -> SpecDelta {
+    let mut d = SpecDelta::new();
+    d.insert_tuple(r, Tuple::new(Eid(e), vec![Value::int(v)]));
+    d
+}
+
+/// Parse `text` line by line as Prometheus text exposition: every
+/// non-comment line must be `name[{k="v",...}] value`, every sample's
+/// family must have been declared by a `# TYPE` line, and histogram
+/// `le` buckets must be cumulative.
+fn assert_prometheus_grammar(text: &str) {
+    let mut typed: HashMap<String, String> = HashMap::new();
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap();
+            assert!(!name.is_empty(), "HELP without a name: {line}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let name = it.next().unwrap().to_string();
+            let kind = it.next().expect("TYPE without a kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown TYPE kind: {line}"
+            );
+            typed.insert(name, kind.to_string());
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment form: {line}");
+        let (series, value) = line.rsplit_once(' ').expect("sample without a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value: {line}"
+        );
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name: {name}"
+        );
+        let labels = &series[name.len()..];
+        if !labels.is_empty() {
+            assert!(
+                labels.starts_with('{') && labels.ends_with('}'),
+                "malformed label block: {line}"
+            );
+            for pair in labels[1..labels.len() - 1].split(',') {
+                let (k, v) = pair.split_once('=').expect("label without =");
+                assert!(!k.is_empty(), "empty label key: {line}");
+                assert!(
+                    v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                    "unquoted label value: {line}"
+                );
+            }
+        }
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| typed.contains_key(*base))
+            .unwrap_or(name);
+        assert!(
+            typed.contains_key(base),
+            "sample {name} has no preceding TYPE"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "exposition rendered no samples");
+}
+
+#[test]
+fn serve_metrics_text_is_valid_prometheus_under_concurrent_load() {
+    let (spec, r) = spec(3);
+    let serve = CurrencyServe::new(spec, &Options::default(), &ServeOptions::default()).unwrap();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let mut h = serve.handle();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut k = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let pair = (t + k) % 2;
+                    let _ = h.cps();
+                    let _ = h.cop(&CurrencyOrderQuery::single(
+                        r,
+                        A,
+                        TupleId(pair),
+                        TupleId(pair + 1),
+                    ));
+                    k = k.wrapping_add(1);
+                }
+            });
+        }
+        // The scraper races the readers and the writer: every
+        // intermediate exposition must already be grammatical.
+        let scraper = {
+            let serve = &serve;
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    assert_prometheus_grammar(&serve.metrics_text());
+                }
+            })
+        };
+        for step in 0..30 {
+            serve
+                .apply(&insert(r, step % 3, 100 + step as i64))
+                .unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        scraper.join().unwrap();
+    });
+    let text = serve.handle().metrics_text();
+    assert_prometheus_grammar(&text);
+    // The promised series, with real content behind them.
+    assert!(
+        text.contains("currency_serve_latency_ns_bucket{query_kind=\"cps\",le="),
+        "serve latency histogram buckets missing:\n{text}"
+    );
+    assert!(
+        text.contains("currency_engine_apply_ns_bucket"),
+        "writer engine apply timings missing"
+    );
+    assert!(
+        text.contains("currency_engine_apply_refresh_ns"),
+        "apply phase (refresh) timings missing"
+    );
+    assert!(
+        text.contains("currency_serve_cache_hits_total{shard=\"0\"}"),
+        "cache hit counter missing"
+    );
+    let snap = serve.metrics().snapshot();
+    match snap.find("currency_serve_latency_ns", &[("query_kind", "cps")]) {
+        Some(SeriesValue::Histogram(h)) => assert!(h.count() > 0, "no cps latencies recorded"),
+        other => panic!("cps latency series missing: {other:?}"),
+    }
+    match snap.find("currency_engine_apply_ns", &[]) {
+        Some(SeriesValue::Histogram(h)) => {
+            assert!(h.count() >= 30, "one apply sample per delta")
+        }
+        other => panic!("apply histogram missing: {other:?}"),
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("currency-obs-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn durable_store_exposes_wal_timings_and_recovery_progress() {
+    let dir = tmpdir("durable");
+    let (spec, r) = spec(3);
+    let opts = Options::default();
+    let store_opts = StoreOptions {
+        sync_data: false,
+        ..StoreOptions::default()
+    };
+    let mut durable = DurableEngine::create(&dir, spec, &opts, store_opts).unwrap();
+    for step in 0..6 {
+        durable
+            .apply(&insert(r, step % 3, 100 + step as i64))
+            .unwrap();
+    }
+    durable.flush().unwrap();
+    let text = durable.metrics_text();
+    assert_prometheus_grammar(&text);
+    assert!(
+        text.contains("currency_wal_flush_ns_bucket"),
+        "WAL flush timings missing:\n{text}"
+    );
+    let snap = durable.metrics().snapshot();
+    match snap.find("currency_wal_append_ns", &[]) {
+        Some(SeriesValue::Histogram(h)) => assert!(h.count() >= 6, "one append per delta"),
+        other => panic!("WAL append histogram missing: {other:?}"),
+    }
+    match snap.find("currency_wal_flushes_total", &[]) {
+        Some(SeriesValue::Counter(n)) => assert!(*n >= 1, "explicit flush must be counted"),
+        other => panic!("WAL flush counter missing: {other:?}"),
+    }
+    drop(durable);
+
+    // Reopen: the recovery gauges report the replay target and progress.
+    let recovered = DurableEngine::open(&dir, &opts, store_opts).unwrap();
+    let snap = recovered.metrics().snapshot();
+    match snap.find("currency_recovery_records_total", &[]) {
+        Some(SeriesValue::Gauge(n)) => assert_eq!(*n, 6),
+        other => panic!("recovery total gauge missing: {other:?}"),
+    }
+    match snap.find("currency_recovery_records_replayed", &[]) {
+        Some(SeriesValue::Gauge(n)) => assert_eq!(*n, 6, "replay ran to completion"),
+        other => panic!("recovery progress gauge missing: {other:?}"),
+    }
+
+    // One exposition for a mixed stack: serve + store snapshots merge.
+    let (sspec, _) = spec_pair();
+    let serve = CurrencyServe::new(sspec, &opts, &ServeOptions::default()).unwrap();
+    let mut h = serve.handle();
+    h.cps().unwrap();
+    let mut merged = MetricsSnapshot::default();
+    merged.merge(&serve.metrics().snapshot());
+    merged.merge(&recovered.metrics().snapshot());
+    let text = merged.render_prometheus();
+    assert_prometheus_grammar(&text);
+    assert!(text.contains("currency_serve_latency_ns_bucket"));
+    assert!(text.contains("currency_wal_flush_ns_bucket"));
+}
+
+fn spec_pair() -> (Specification, RelId) {
+    spec(2)
+}
+
+#[test]
+fn sharded_serve_merges_per_shard_cache_series() {
+    let (spec, r) = spec(4);
+    let sharded =
+        ShardedServe::new(&spec, 2, &Options::default(), &ServeOptions::default()).unwrap();
+    let mut h = sharded.handle();
+    assert!(h.cps().unwrap());
+    assert!(h.cps().unwrap()); // second round: per-shard cache hits
+    let _ = r;
+    let text = sharded.metrics_text();
+    assert_prometheus_grammar(&text);
+    for shard in ["0", "1"] {
+        assert!(
+            text.contains(&format!(
+                "currency_serve_cache_hits_total{{shard=\"{shard}\"}}"
+            )),
+            "shard {shard} cache hit series missing:\n{text}"
+        );
+    }
+    let snap = sharded.metrics_snapshot();
+    for shard in ["0", "1"] {
+        match snap.find("currency_serve_cache_hits_total", &[("shard", shard)]) {
+            Some(SeriesValue::Counter(n)) => assert!(*n >= 1, "shard {shard} saw no hits"),
+            other => panic!("shard {shard} hit counter missing: {other:?}"),
+        }
+    }
+    // The deprecated aggregate fields stay populated alongside.
+    let stats = sharded.stats();
+    assert!(stats.total.queries >= 4);
+    assert!(stats.total.latency_ns_total > 0);
+}
+
+#[test]
+fn slow_query_log_retains_shape_epoch_and_spend() {
+    let (spec, r) = spec(2);
+    let opts = ServeOptions {
+        slow_query_threshold: Some(Duration::ZERO), // retain everything
+        slow_query_capacity: 4,
+        breaker_threshold: 0,
+        ..ServeOptions::default()
+    };
+    let serve = CurrencyServe::new(spec, &Options::default(), &opts).unwrap();
+    let mut h = serve.handle();
+    let req = ServeRequest::Cop(CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)));
+    h.query(&req).unwrap();
+    // A zero-budget solve is interrupted and logs its work ledger.
+    let fresh = ServeRequest::Cop(CurrencyOrderQuery::single(r, A, TupleId(2), TupleId(3)));
+    let _ = h.query_within(&fresh, Some(Duration::ZERO));
+    let slow = serve.slow_queries();
+    assert_eq!(slow.len(), 2);
+    assert_eq!(slow[0].request, req);
+    assert_eq!(slow[0].epoch, serve.epoch());
+    assert!(slow[0].spent.is_none(), "completed query has no ledger");
+    assert_eq!(slow[1].request, fresh);
+    assert!(slow[1].spent.is_some(), "interrupted query keeps its spend");
+    // Capacity bounds the ring: oldest entries fall off.
+    for _ in 0..8 {
+        let _ = h.query_within(&fresh, Some(Duration::ZERO));
+    }
+    assert!(serve.slow_queries().len() <= 4);
+}
+
+#[test]
+fn breaker_transitions_and_stale_serves_emit_trace_events() {
+    let (spec, r) = spec(2);
+    let opts = ServeOptions {
+        breaker_threshold: 1,
+        breaker_backoff: Duration::from_millis(1),
+        breaker_max_backoff: Duration::from_millis(8),
+        ..ServeOptions::default()
+    };
+    let serve = CurrencyServe::new(spec, &Options::default(), &opts).unwrap();
+    let recorder = RingRecorder::new(1024);
+    serve.set_recorder(recorder.clone());
+    let mut h = serve.handle();
+    let req = ServeRequest::Cop(CurrencyOrderQuery::single(r, A, TupleId(0), TupleId(1)));
+    // Warm the cache, go stale, then trip the breaker with a zero
+    // budget: the timeout degrades to the stale answer AND opens the
+    // breaker (threshold 1).
+    assert!(h.query(&req).unwrap().as_bool().unwrap());
+    serve.apply(&insert(r, 0, 99)).unwrap();
+    assert!(h
+        .query_within(&req, Some(Duration::ZERO))
+        .unwrap()
+        .is_stale());
+    // Backoff elapses; the next request is the half-open probe and its
+    // success closes the breaker.
+    std::thread::sleep(Duration::from_millis(5));
+    assert!(h.query_within(&req, None).unwrap().as_bool().unwrap());
+    let events = recorder.drain();
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Event)
+        .map(|e| e.name)
+        .collect();
+    for expected in [
+        "breaker.open",
+        "serve.stale",
+        "breaker.half_open",
+        "breaker.closed",
+    ] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+    let stale = events
+        .iter()
+        .find(|e| e.name == "serve.stale")
+        .expect("stale event");
+    assert_eq!(stale.value, 1, "one epoch behind");
+    // The writer's apply published through the same recorder: spans and
+    // the publish event are in the stream too.
+    assert!(
+        events.iter().any(|e| e.name == "snapshot.publish"),
+        "writer publish event missing"
+    );
+}
